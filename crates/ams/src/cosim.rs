@@ -1,0 +1,268 @@
+//! The co-simulation bridge: runs the elaborated analog receiver inside
+//! the discrete-time system simulation.
+//!
+//! Input frames arrive at the system (oversampled RF) rate; each sample
+//! is held (ZOH) while the analog engine takes `analog_osr` RK4 sub-steps
+//! through every device; the device-chain output is sampled once per
+//! system sample, then AGC, ADC and decimation produce the 20 Msps
+//! stream for the DSP receiver — interface-compatible with
+//! `wlan_rf::DoubleConversionReceiver` so the link testbench can swap
+//! abstraction levels.
+
+use crate::devices::AnalogDevice;
+use crate::elaborate::{elaborate, DEFAULT_RECEIVER_NETLIST};
+use crate::netlist::{Netlist, NetlistError};
+use wlan_dsp::iir::DcBlocker;
+use wlan_dsp::Complex;
+use wlan_rf::adc::Adc;
+use wlan_rf::agc::{Agc, AgcMode};
+
+/// Co-simulated double-conversion receiver.
+pub struct CosimReceiver {
+    devices: Vec<Box<dyn AnalogDevice>>,
+    analog_osr: usize,
+    dt: f64,
+    agc: Agc,
+    adc: Adc,
+    dc_correction: DcBlocker,
+    decimation: usize,
+    decim_phase: usize,
+    steps_taken: u64,
+}
+
+impl std::fmt::Debug for CosimReceiver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CosimReceiver")
+            .field(
+                "devices",
+                &self.devices.iter().map(|d| d.name()).collect::<Vec<_>>(),
+            )
+            .field("analog_osr", &self.analog_osr)
+            .field("dt", &self.dt)
+            .finish()
+    }
+}
+
+impl CosimReceiver {
+    /// Builds a co-simulated receiver from netlist text.
+    ///
+    /// * `sample_rate_hz` — system (input) rate, e.g. 80 MHz
+    /// * `analog_osr` — analog sub-steps per system sample (≥ 1)
+    /// * `decimation` — output decimation to the DSP rate (e.g. 4)
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetlistError`] if the netlist fails to parse or
+    /// elaborate.
+    pub fn from_netlist(
+        text: &str,
+        sample_rate_hz: f64,
+        analog_osr: usize,
+        decimation: usize,
+    ) -> Result<Self, NetlistError> {
+        assert!(analog_osr >= 1, "analog_osr must be >= 1");
+        let netlist = Netlist::parse(text)?;
+        let devices = elaborate(&netlist, "rf", "out")?;
+        Ok(CosimReceiver {
+            devices,
+            analog_osr,
+            dt: 1.0 / (sample_rate_hz * analog_osr as f64),
+            agc: Agc::new(AgcMode::Ideal, 1.0),
+            adc: Adc::new(10, 4.0),
+            dc_correction: DcBlocker::with_cutoff(40e3, sample_rate_hz / decimation as f64),
+            decimation,
+            decim_phase: 0,
+            steps_taken: 0,
+        })
+    }
+
+    /// Builds the default receiver (paper Fig. 2) with a custom channel
+    /// filter edge — the co-sim counterpart of the Fig. 5 sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetlistError`] on elaboration failure (should not
+    /// happen for the built-in netlist).
+    pub fn with_filter_edge(
+        edge_hz: f64,
+        sample_rate_hz: f64,
+        analog_osr: usize,
+        decimation: usize,
+    ) -> Result<Self, NetlistError> {
+        let mut netlist = Netlist::parse(DEFAULT_RECEIVER_NETLIST)?;
+        netlist.set_param("lpf1", "edge", edge_hz)?;
+        Self::from_netlist(&netlist.to_text(), sample_rate_hz, analog_osr, decimation)
+    }
+
+    /// Builds the default receiver.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetlistError`] on elaboration failure.
+    pub fn new(
+        sample_rate_hz: f64,
+        analog_osr: usize,
+        decimation: usize,
+    ) -> Result<Self, NetlistError> {
+        Self::from_netlist(DEFAULT_RECEIVER_NETLIST, sample_rate_hz, analog_osr, decimation)
+    }
+
+    /// Analog sub-steps executed so far (the cost driver behind the
+    /// paper's Table 2 runtime ratio).
+    pub fn steps_taken(&self) -> u64 {
+        self.steps_taken
+    }
+
+    /// Device names in chain order.
+    pub fn device_names(&self) -> Vec<&str> {
+        self.devices.iter().map(|d| d.name()).collect()
+    }
+
+    /// Processes an oversampled-rate frame, returning the decimated
+    /// DSP-rate output.
+    pub fn process(&mut self, x: &[Complex]) -> Vec<Complex> {
+        let mut analog_out = Vec::with_capacity(x.len());
+        for &u in x {
+            let mut y = Complex::ZERO;
+            for _ in 0..self.analog_osr {
+                let mut v = u; // ZOH input over the sub-steps
+                for d in self.devices.iter_mut() {
+                    v = d.step(v, self.dt);
+                }
+                y = v;
+                self.steps_taken += 1;
+            }
+            analog_out.push(y);
+        }
+        let leveled = self.agc.process(&analog_out);
+        let quantized = self.adc.process(&leveled);
+        // Plain sample picking + digital DC correction, matching the
+        // baseband front end.
+        let mut out = Vec::with_capacity(quantized.len() / self.decimation + 1);
+        for &s in &quantized {
+            if self.decim_phase == 0 {
+                out.push(self.dc_correction.push(s));
+            }
+            self.decim_phase = (self.decim_phase + 1) % self.decimation;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_dsp::complex::mean_power;
+    use wlan_dsp::goertzel::tone_power;
+    use wlan_dsp::math::dbm_to_watts;
+    use wlan_rf::receiver::{DoubleConversionReceiver, RfConfig};
+
+    fn tone_dbm(f: f64, fs: f64, dbm: f64, n: usize) -> Vec<Complex> {
+        let a = (2.0 * dbm_to_watts(dbm)).sqrt();
+        (0..n)
+            .map(|i| Complex::from_polar(a, 2.0 * std::f64::consts::PI * f * i as f64 / fs))
+            .collect()
+    }
+
+    #[test]
+    fn builds_default_receiver() {
+        let rx = CosimReceiver::new(80e6, 4, 4).expect("builds");
+        assert_eq!(
+            rx.device_names(),
+            vec!["lna1", "mix1", "hpf1", "mix2", "lpf1"]
+        );
+    }
+
+    #[test]
+    fn output_leveled_and_decimated() {
+        let mut rx = CosimReceiver::new(80e6, 4, 4).unwrap();
+        let x = tone_dbm(2e6, 80e6, -50.0, 16_000);
+        let y = rx.process(&x);
+        assert_eq!(y.len(), 4000);
+        let p = mean_power(&y[1000..]);
+        assert!((p - 1.0).abs() < 0.2, "power {p}");
+        assert_eq!(rx.steps_taken(), 64_000);
+    }
+
+    #[test]
+    fn matches_baseband_receiver_on_clean_tone() {
+        // Noise off in the baseband receiver → both abstraction levels
+        // should agree on the tone-to-total power fraction.
+        let fs = 80e6;
+        let x = tone_dbm(3e6, fs, -45.0, 40_000);
+
+        let mut cfg = RfConfig::default();
+        cfg.noise_enabled = false;
+        cfg.mixer2.iq_gain_imbalance_db = 0.0;
+        cfg.mixer2.iq_phase_imbalance_deg = 0.0;
+        cfg.mixer1.lo_linewidth_hz = 0.0;
+        cfg.mixer2.lo_linewidth_hz = 0.0;
+        let mut bb = DoubleConversionReceiver::new(cfg, 1);
+        let yb = bb.process(&x);
+
+        let mut cs = CosimReceiver::new(fs, 8, 4).unwrap();
+        let yc = cs.process(&x);
+
+        // Tone fraction: tone power is A²/2 while mean power is A², so
+        // scale by 2 for a 0..1 fraction.
+        let fb = 2.0 * tone_power(&yb[5000..], 3e6, 20e6) / mean_power(&yb[5000..]);
+        let fc = 2.0 * tone_power(&yc[5000..], 3e6, 20e6) / mean_power(&yc[5000..]);
+        assert!(fb > 0.8, "baseband tone fraction {fb}");
+        assert!(fc > 0.8, "cosim tone fraction {fc}");
+    }
+
+    #[test]
+    fn adjacent_channel_rejected_like_baseband() {
+        let fs = 80e6;
+        let n = 40_000;
+        let x: Vec<Complex> = tone_dbm(2e6, fs, -50.0, n)
+            .iter()
+            .zip(tone_dbm(20e6, fs, -34.0, n))
+            .map(|(a, b)| *a + b)
+            .collect();
+        let mut cs = CosimReceiver::new(fs, 8, 4).unwrap();
+        let y = cs.process(&x);
+        let tail = &y[y.len() / 2..];
+        let want = tone_power(tail, 2e6, 20e6);
+        let adj = tone_power(tail, 0.0, 20e6); // 20 MHz aliases to 0 after ÷4
+        assert!(want > 20.0 * adj, "want {want} vs adjacent {adj}");
+    }
+
+    #[test]
+    fn narrow_filter_netlist_variant() {
+        let fs = 80e6;
+        let x = tone_dbm(7e6, fs, -40.0, 30_000);
+        let mut wide = CosimReceiver::with_filter_edge(12e6, fs, 4, 4).unwrap();
+        let mut narrow = CosimReceiver::with_filter_edge(3e6, fs, 4, 4).unwrap();
+        let yw = wide.process(&x);
+        let yn = narrow.process(&x);
+        let fw = 2.0 * tone_power(&yw[4000..], 7e6, 20e6) / mean_power(&yw[4000..]);
+        let fn_ = 2.0 * tone_power(&yn[4000..], 7e6, 20e6) / mean_power(&yn[4000..]);
+        assert!(fw > 0.5, "wide {fw}");
+        assert!(fn_ < fw, "narrow {fn_} !< wide {fw}");
+    }
+
+    #[test]
+    fn bad_netlist_reports_error() {
+        assert!(CosimReceiver::from_netlist("x y\n", 80e6, 2, 4).is_err());
+    }
+
+    #[test]
+    fn cosim_slower_than_baseband() {
+        use std::time::Instant;
+        let fs = 80e6;
+        let x = tone_dbm(1e6, fs, -50.0, 40_000);
+        let mut cfg = RfConfig::default();
+        cfg.noise_enabled = false;
+        let mut bb = DoubleConversionReceiver::new(cfg, 1);
+        let t0 = Instant::now();
+        let _ = bb.process(&x);
+        let t_bb = t0.elapsed();
+        let mut cs = CosimReceiver::new(fs, 16, 4).unwrap();
+        let t1 = Instant::now();
+        let _ = cs.process(&x);
+        let t_cs = t1.elapsed();
+        let ratio = t_cs.as_secs_f64() / t_bb.as_secs_f64().max(1e-9);
+        assert!(ratio > 3.0, "co-sim only {ratio:.1}× slower");
+    }
+}

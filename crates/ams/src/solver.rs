@@ -1,0 +1,390 @@
+//! Fixed-step continuous-time integration of state-space sections.
+//!
+//! Analog filters are represented as cascades of first/second-order
+//! state-space systems in controllable canonical form and integrated
+//! with classic RK4 under a zero-order-hold input — the "analog solver"
+//! whose fine timestep makes co-simulation expensive (paper §5.3).
+
+use wlan_dsp::design::{AnalogFilter, AnalogSection};
+use wlan_dsp::Complex;
+
+/// Integration method for the fixed-step solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrator {
+    /// Classic 4th-order Runge–Kutta: accurate, conditionally stable
+    /// (needs `|pole|·dt ≲ 2.8`).
+    #[default]
+    Rk4,
+    /// Trapezoidal (Tustin): 2nd-order, A-stable — never diverges on a
+    /// stable linear system, whatever the step (the workhorse of SPICE
+    /// transient analysis).
+    Trapezoidal,
+}
+
+/// A single state-space section (order ≤ 2) over complex signals.
+///
+/// Controllable canonical form of `H(s) = N(s)/D(s)` with `D` normalized
+/// monic.
+#[derive(Debug, Clone)]
+pub struct StateSpaceSection {
+    order: usize,
+    /// Denominator coefficients: x'' = −α0·x − α1·x' + u.
+    alpha: [f64; 2],
+    /// Output map: y = c·x + d·u.
+    c: [f64; 2],
+    d: f64,
+    /// State (x, x').
+    state: [Complex; 2],
+    integrator: Integrator,
+    /// Cached trapezoidal update matrices for the last `dt` used:
+    /// `(dt, m_inv·p (2×2), m_inv·b·dt (2×1))`.
+    trap_cache: Option<(f64, [[f64; 2]; 2], [f64; 2])>,
+}
+
+impl StateSpaceSection {
+    /// Builds from an [`AnalogSection`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zeroth-order (pure gain) section with zero
+    /// denominator dynamics.
+    pub fn from_analog(sec: &AnalogSection) -> Self {
+        if sec.a[2] != 0.0 {
+            // Second order: normalize by a2.
+            let a0 = sec.a[0] / sec.a[2];
+            let a1 = sec.a[1] / sec.a[2];
+            let b0 = sec.b[0] / sec.a[2];
+            let b1 = sec.b[1] / sec.a[2];
+            let b2 = sec.b[2] / sec.a[2];
+            StateSpaceSection {
+                order: 2,
+                alpha: [a0, a1],
+                c: [b0 - b2 * a0, b1 - b2 * a1],
+                d: b2,
+                state: [Complex::ZERO; 2],
+                integrator: Integrator::Rk4,
+                trap_cache: None,
+            }
+        } else {
+            assert!(sec.a[1] != 0.0, "static section has no dynamics");
+            // First order: normalize by a1.
+            let a0 = sec.a[0] / sec.a[1];
+            let b0 = sec.b[0] / sec.a[1];
+            let b1 = sec.b[1] / sec.a[1];
+            StateSpaceSection {
+                order: 1,
+                alpha: [a0, 0.0],
+                c: [b0 - b1 * a0, 0.0],
+                d: b1,
+                state: [Complex::ZERO; 2],
+                integrator: Integrator::Rk4,
+                trap_cache: None,
+            }
+        }
+    }
+
+    /// Section order (1 or 2).
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Selects the integration method.
+    pub fn set_integrator(&mut self, integrator: Integrator) {
+        self.integrator = integrator;
+        self.trap_cache = None;
+    }
+
+    /// Trapezoidal update: `(I − h·A)x' = (I + h·A)x + dt·B·u`, `h = dt/2`,
+    /// solved analytically for the ≤2×2 system and cached per `dt`.
+    fn step_trapezoidal(&mut self, u: Complex, dt: f64) -> Complex {
+        let cached = match self.trap_cache {
+            Some((d, m, b)) if d == dt => (m, b),
+            _ => {
+                let h = dt / 2.0;
+                let (m, b) = if self.order == 2 {
+                    let (a0, a1) = (self.alpha[0], self.alpha[1]);
+                    // I − hA = [[1, −h],[h·a0, 1 + h·a1]]
+                    let det = (1.0 + h * a1) + h * h * a0;
+                    let inv = [
+                        [(1.0 + h * a1) / det, h / det],
+                        [-h * a0 / det, 1.0 / det],
+                    ];
+                    // P = I + hA = [[1, h],[−h·a0, 1 − h·a1]]
+                    let p = [[1.0, h], [-h * a0, 1.0 - h * a1]];
+                    // m = inv · p
+                    let m = [
+                        [
+                            inv[0][0] * p[0][0] + inv[0][1] * p[1][0],
+                            inv[0][0] * p[0][1] + inv[0][1] * p[1][1],
+                        ],
+                        [
+                            inv[1][0] * p[0][0] + inv[1][1] * p[1][0],
+                            inv[1][0] * p[0][1] + inv[1][1] * p[1][1],
+                        ],
+                    ];
+                    // b = inv · B·dt with B = [0, 1]
+                    let b = [inv[0][1] * dt, inv[1][1] * dt];
+                    (m, b)
+                } else {
+                    let a = -self.alpha[0];
+                    let den = 1.0 - h * a;
+                    ([[(1.0 + h * a) / den, 0.0], [0.0, 0.0]], [dt / den, 0.0])
+                };
+                self.trap_cache = Some((dt, m, b));
+                (m, b)
+            }
+        };
+        let (m, b) = cached;
+        let x = self.state;
+        self.state = [
+            x[0] * m[0][0] + x[1] * m[0][1] + u * b[0],
+            x[0] * m[1][0] + x[1] * m[1][1] + u * b[1],
+        ];
+        self.output(u)
+    }
+
+    #[inline]
+    fn derivative(&self, x: [Complex; 2], u: Complex) -> [Complex; 2] {
+        if self.order == 2 {
+            [
+                x[1],
+                u - x[0] * self.alpha[0] - x[1] * self.alpha[1],
+            ]
+        } else {
+            [u - x[0] * self.alpha[0], Complex::ZERO]
+        }
+    }
+
+    /// Advances the section by `dt` with input `u` held constant (ZOH),
+    /// returning the output at the end of the step.
+    pub fn step(&mut self, u: Complex, dt: f64) -> Complex {
+        if self.integrator == Integrator::Trapezoidal {
+            return self.step_trapezoidal(u, dt);
+        }
+        // RK4 with constant input.
+        let x = self.state;
+        let k1 = self.derivative(x, u);
+        let x2 = [x[0] + k1[0] * (dt / 2.0), x[1] + k1[1] * (dt / 2.0)];
+        let k2 = self.derivative(x2, u);
+        let x3 = [x[0] + k2[0] * (dt / 2.0), x[1] + k2[1] * (dt / 2.0)];
+        let k3 = self.derivative(x3, u);
+        let x4 = [x[0] + k3[0] * dt, x[1] + k3[1] * dt];
+        let k4 = self.derivative(x4, u);
+        for i in 0..2 {
+            self.state[i] = x[i]
+                + (k1[i] + k2[i] * 2.0 + k3[i] * 2.0 + k4[i]) * (dt / 6.0);
+        }
+        self.output(u)
+    }
+
+    /// Output for the current state and input.
+    pub fn output(&self, u: Complex) -> Complex {
+        self.state[0] * self.c[0] + self.state[1] * self.c[1] + u * self.d
+    }
+
+    /// Clears the state.
+    pub fn reset(&mut self) {
+        self.state = [Complex::ZERO; 2];
+    }
+}
+
+/// A full continuous-time filter: gain plus cascaded sections.
+#[derive(Debug, Clone)]
+pub struct StateSpaceFilter {
+    gain: f64,
+    sections: Vec<StateSpaceSection>,
+}
+
+impl StateSpaceFilter {
+    /// Builds from a designed [`AnalogFilter`].
+    pub fn from_analog(filter: &AnalogFilter) -> Self {
+        StateSpaceFilter {
+            gain: filter.gain(),
+            sections: filter
+                .sections()
+                .iter()
+                .map(StateSpaceSection::from_analog)
+                .collect(),
+        }
+    }
+
+    /// Selects the integration method for every section.
+    pub fn set_integrator(&mut self, integrator: Integrator) {
+        for s in self.sections.iter_mut() {
+            s.set_integrator(integrator);
+        }
+    }
+
+    /// Total state count.
+    pub fn state_count(&self) -> usize {
+        self.sections.iter().map(|s| s.order()).sum()
+    }
+
+    /// Advances the cascade by `dt` with ZOH input.
+    pub fn step(&mut self, u: Complex, dt: f64) -> Complex {
+        let mut v = u * self.gain;
+        for s in self.sections.iter_mut() {
+            v = s.step(v, dt);
+        }
+        v
+    }
+
+    /// Clears all states.
+    pub fn reset(&mut self) {
+        for s in self.sections.iter_mut() {
+            s.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_dsp::design::FilterKind;
+
+    fn tone_gain(filter: &mut StateSpaceFilter, f_hz: f64, dt: f64, n: usize) -> f64 {
+        let mut p_out = 0.0;
+        let mut count = 0usize;
+        for i in 0..n {
+            let t = i as f64 * dt;
+            let u = Complex::cis(2.0 * std::f64::consts::PI * f_hz * t);
+            let y = filter.step(u, dt);
+            if i > n / 2 {
+                p_out += y.norm_sqr();
+                count += 1;
+            }
+        }
+        (p_out / count as f64).sqrt()
+    }
+
+    #[test]
+    fn first_order_lowpass_dc_gain() {
+        let af = AnalogFilter::butterworth(1, FilterKind::Lowpass, 1e6);
+        let mut ss = StateSpaceFilter::from_analog(&af);
+        assert_eq!(ss.state_count(), 1);
+        let dt = 1.0 / 320e6;
+        let mut y = Complex::ZERO;
+        for _ in 0..200_000 {
+            y = ss.step(Complex::ONE, dt);
+        }
+        assert!((y.re - 1.0).abs() < 1e-6, "dc gain {}", y.re);
+    }
+
+    #[test]
+    fn matches_analog_response_across_band() {
+        let af = AnalogFilter::chebyshev1(5, 0.5, FilterKind::Lowpass, 8e6);
+        let dt = 1.0 / 640e6;
+        for f in [1e6, 4e6, 8e6, 16e6, 24e6] {
+            let mut ss = StateSpaceFilter::from_analog(&af);
+            let got = tone_gain(&mut ss, f, dt, 400_000);
+            let expect = af.response(f).abs();
+            assert!(
+                (got - expect).abs() < 0.02 * expect.max(0.01),
+                "f = {f}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn highpass_blocks_dc() {
+        let af = AnalogFilter::butterworth(2, FilterKind::Highpass, 150e3);
+        let mut ss = StateSpaceFilter::from_analog(&af);
+        let dt = 1.0 / 320e6;
+        let mut y = Complex::ONE;
+        for _ in 0..3_000_000 {
+            y = ss.step(Complex::ONE, dt);
+        }
+        assert!(y.abs() < 1e-2, "residual dc {}", y.abs());
+    }
+
+    #[test]
+    fn complex_signals_filtered_per_axis() {
+        // A purely imaginary input yields a purely imaginary output
+        // (real coefficients).
+        let af = AnalogFilter::butterworth(3, FilterKind::Lowpass, 5e6);
+        let mut ss = StateSpaceFilter::from_analog(&af);
+        let dt = 1.0 / 320e6;
+        for _ in 0..10_000 {
+            let y = ss.step(Complex::new(0.0, 1.0), dt);
+            assert!(y.re.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let af = AnalogFilter::butterworth(2, FilterKind::Lowpass, 1e6);
+        let mut ss = StateSpaceFilter::from_analog(&af);
+        let dt = 1e-9;
+        let a = ss.step(Complex::ONE, dt);
+        ss.reset();
+        let b = ss.step(Complex::ONE, dt);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trapezoidal_matches_analog_response() {
+        let af = AnalogFilter::chebyshev1(5, 0.5, FilterKind::Lowpass, 8e6);
+        let dt = 1.0 / 640e6;
+        for f in [1e6, 4e6, 8e6, 16e6] {
+            let mut ss = StateSpaceFilter::from_analog(&af);
+            ss.set_integrator(Integrator::Trapezoidal);
+            let got = tone_gain(&mut ss, f, dt, 400_000);
+            let expect = af.response(f).abs();
+            assert!(
+                (got - expect).abs() < 0.03 * expect.max(0.01),
+                "f = {f}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn trapezoidal_is_a_stable_where_rk4_diverges() {
+        // A 10 MHz pole stepped at dt = 1/16 MHz: |pole·dt| ≈ 3.9, past
+        // RK4's stability boundary (~2.8) but fine for trapezoidal.
+        let af = AnalogFilter::butterworth(1, FilterKind::Lowpass, 10e6);
+        let dt = 1.0 / 16e6;
+        let run = |integ: Integrator| -> f64 {
+            let mut ss = StateSpaceFilter::from_analog(&af);
+            ss.set_integrator(integ);
+            let mut peak = 0.0f64;
+            for _ in 0..2000 {
+                peak = peak.max(ss.step(Complex::ONE, dt).abs());
+                if !peak.is_finite() || peak > 1e12 {
+                    break;
+                }
+            }
+            peak
+        };
+        let rk4 = run(Integrator::Rk4);
+        let trap = run(Integrator::Trapezoidal);
+        assert!(rk4 > 1e6, "RK4 unexpectedly stable: peak {rk4}");
+        assert!(trap < 2.0, "trapezoidal diverged: peak {trap}");
+    }
+
+    #[test]
+    fn trapezoidal_dc_gain_exact() {
+        let af = AnalogFilter::butterworth(2, FilterKind::Lowpass, 1e6);
+        let mut ss = StateSpaceFilter::from_analog(&af);
+        ss.set_integrator(Integrator::Trapezoidal);
+        let dt = 1.0 / 100e6;
+        let mut y = Complex::ZERO;
+        for _ in 0..100_000 {
+            y = ss.step(Complex::ONE, dt);
+        }
+        assert!((y.re - 1.0).abs() < 1e-6, "dc {}", y.re);
+    }
+
+    #[test]
+    fn rk4_stable_at_practical_step() {
+        // 10 MHz edge integrated at 320 MHz must not blow up.
+        let af = AnalogFilter::chebyshev1(5, 0.5, FilterKind::Lowpass, 10e6);
+        let mut ss = StateSpaceFilter::from_analog(&af);
+        let dt = 1.0 / 320e6;
+        let mut peak = 0.0f64;
+        for i in 0..100_000 {
+            let u = Complex::cis(0.3 * i as f64);
+            peak = peak.max(ss.step(u, dt).abs());
+        }
+        assert!(peak < 10.0, "unstable: peak {peak}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Criterion benchmarks for the DSP kernels the simulation spends its
+//! time in: FFT, IIR filtering, resampling, Viterbi decoding.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use wlan_dsp::design::{chebyshev1, FilterKind};
+use wlan_dsp::fft::Fft;
+use wlan_dsp::resample::Upsampler;
+use wlan_dsp::{Complex, Rng};
+use wlan_phy::convolutional::encode;
+use wlan_phy::viterbi::decode_soft;
+
+fn random_signal(n: usize, seed: u64) -> Vec<Complex> {
+    let mut rng = Rng::new(seed);
+    (0..n).map(|_| rng.complex_gaussian(1.0)).collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for &n in &[64usize, 1024] {
+        let fft = Fft::new(n);
+        let x = random_signal(n, 1);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("forward_{n}"), |b| {
+            b.iter(|| {
+                let mut buf = x.clone();
+                fft.forward(black_box(&mut buf));
+                buf
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_iir(c: &mut Criterion) {
+    let mut g = c.benchmark_group("iir");
+    let x = random_signal(8192, 2);
+    g.throughput(Throughput::Elements(x.len() as u64));
+    g.bench_function("chebyshev5_8192", |b| {
+        let mut f = chebyshev1(5, 0.5, FilterKind::Lowpass, 10e6, 80e6);
+        b.iter(|| f.process(black_box(&x)))
+    });
+    g.finish();
+}
+
+fn bench_resample(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resample");
+    let x = random_signal(4096, 3);
+    g.throughput(Throughput::Elements(x.len() as u64));
+    g.bench_function("upsample_x4_4096", |b| {
+        let mut up = Upsampler::new(4, 32);
+        b.iter(|| up.process(black_box(&x)))
+    });
+    g.finish();
+}
+
+fn bench_viterbi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("viterbi");
+    let mut rng = Rng::new(4);
+    let mut msg = vec![0u8; 1000];
+    rng.bits(&mut msg[..994]);
+    let coded = encode(&msg);
+    let llrs: Vec<f64> = coded
+        .iter()
+        .map(|&b| if b == 1 { -1.0 } else { 1.0 })
+        .collect();
+    g.throughput(Throughput::Elements(msg.len() as u64));
+    g.bench_function("decode_1000_bits", |b| {
+        b.iter(|| decode_soft(black_box(&llrs)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_iir, bench_resample, bench_viterbi);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benchmarks for the 802.11a transmitter and receiver chains.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use wlan_dsp::Rng;
+use wlan_phy::{Rate, Receiver, Transmitter};
+
+fn bench_transmitter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transmitter");
+    let mut rng = Rng::new(1);
+    let mut psdu = vec![0u8; 500];
+    rng.bytes(&mut psdu);
+    for rate in [Rate::R6, Rate::R54] {
+        g.throughput(Throughput::Bytes(psdu.len() as u64));
+        g.bench_function(format!("tx_{}mbps_500B", rate.mbps()), |b| {
+            let tx = Transmitter::new(rate);
+            b.iter(|| tx.transmit(black_box(&psdu)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_receiver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("receiver");
+    g.sample_size(20);
+    let mut rng = Rng::new(2);
+    let mut psdu = vec![0u8; 500];
+    rng.bytes(&mut psdu);
+    for rate in [Rate::R6, Rate::R54] {
+        let burst = Transmitter::new(rate).transmit(&psdu);
+        // Add mild noise so the decoder works realistically.
+        let noisy: Vec<_> = burst
+            .samples
+            .iter()
+            .map(|&s| s + rng.complex_gaussian(1e-3))
+            .collect();
+        g.throughput(Throughput::Bytes(psdu.len() as u64));
+        g.bench_function(format!("rx_{}mbps_500B", rate.mbps()), |b| {
+            let rx = Receiver::new();
+            b.iter(|| rx.receive(black_box(&noisy)).expect("decodes"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_transmitter, bench_receiver);
+criterion_main!(benches);

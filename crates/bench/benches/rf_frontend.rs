@@ -1,0 +1,32 @@
+//! Criterion benchmarks for the RF front-end models.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use wlan_dsp::{Complex, Rng};
+use wlan_rf::receiver::{DoubleConversionReceiver, RfConfig};
+
+fn scene(n: usize) -> Vec<Complex> {
+    let mut rng = Rng::new(1);
+    let a = 1e-4;
+    (0..n).map(|_| rng.complex_gaussian(a * a)).collect()
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rf_frontend");
+    let x = scene(8192);
+    g.throughput(Throughput::Elements(x.len() as u64));
+    g.bench_function("double_conversion_8192", |b| {
+        let mut rx = DoubleConversionReceiver::new(RfConfig::default(), 7);
+        b.iter(|| rx.process(black_box(&x)))
+    });
+    let mut cfg = RfConfig::default();
+    cfg.noise_enabled = false;
+    g.bench_function("double_conversion_noiseless_8192", |b| {
+        let mut rx = DoubleConversionReceiver::new(cfg, 7);
+        b.iter(|| rx.process(black_box(&x)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_frontend);
+criterion_main!(benches);

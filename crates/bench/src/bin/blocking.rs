@@ -1,0 +1,16 @@
+//! §2.2: adjacent (+20 MHz) vs alternate (+40 MHz) channel rejection.
+use wlan_phy::Rate;
+use wlan_sim::experiments::{blocking, Effort};
+fn main() {
+    let effort = Effort::from_env();
+    eprintln!("running blocking sweep with {effort:?} ...");
+    let r = blocking::run(effort, Rate::R12, 4.0, 44.0, 11, 42);
+    let t = r.table();
+    println!("{t}");
+    println!(
+        "tolerated: adjacent {:?} dB (spec: 16), alternate {:?} dB (spec: 32)",
+        r.rejection_db(false, 1e-3),
+        r.rejection_db(true, 1e-3)
+    );
+    wlan_bench::save_csv(&t, "blocking");
+}

@@ -1,0 +1,15 @@
+//! Receiver CFO tolerance: BER vs carrier offset (spec: ±20 ppm ≈
+//! ±208 kHz at 5.2 GHz; the short-preamble estimator covers ±625 kHz).
+use wlan_phy::Rate;
+use wlan_sim::experiments::{cfo, Effort};
+fn main() {
+    let effort = Effort::from_env();
+    eprintln!("running cfo sweep with {effort:?} ...");
+    let r = cfo::run(effort, Rate::R24, 800e3, 9, 42);
+    let t = r.table();
+    println!("{t}");
+    if let Some(tol) = r.tolerance_hz(1e-3) {
+        println!("tolerated offset: {:.0} kHz (spec needs 208 kHz)", tol / 1e3);
+    }
+    wlan_bench::save_csv(&t, "cfo_sweep");
+}

@@ -1,0 +1,27 @@
+//! Captures and prints the equalized constellation at 16-QAM, clean vs
+//! through the RF front end (the SigCalc-viewer workflow).
+use wlan_phy::Rate;
+use wlan_sim::experiments::constellation;
+use wlan_sim::link::{FrontEnd, LinkConfig};
+
+fn main() {
+    let clean = constellation::run(&LinkConfig {
+        rate: Rate::R24,
+        psdu_len: 200,
+        snr_db: Some(35.0),
+        front_end: FrontEnd::Ideal,
+        ..LinkConfig::default()
+    });
+    println!("ideal link, 35 dB SNR (EVM {:.1} dB):", clean.evm_db);
+    println!("{}", clean.plot(41));
+
+    let rf = constellation::run(&LinkConfig {
+        rate: Rate::R24,
+        psdu_len: 200,
+        rx_level_dbm: -70.0,
+        front_end: FrontEnd::RfBaseband(wlan_rf::receiver::RfConfig::default()),
+        ..LinkConfig::default()
+    });
+    println!("through the RF front end at -70 dBm (EVM {:.1} dB):", rf.evm_db);
+    println!("{}", rf.plot(41));
+}

@@ -1,0 +1,24 @@
+//! Executes the paper's §4 design flow end-to-end against the default
+//! RF configuration and prints the pass/fail report.
+use wlan_rf::receiver::RfConfig;
+use wlan_sim::{DesignFlow, FlowCriteria};
+
+fn main() {
+    let packets = std::env::var("WLANSIM_PACKETS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let flow = DesignFlow::new(
+        RfConfig::default(),
+        FlowCriteria {
+            packets,
+            ..FlowCriteria::default()
+        },
+        42,
+    );
+    let report = flow.run();
+    let t = report.table();
+    println!("{t}");
+    println!("overall: {}", if report.passed() { "PASS" } else { "FAIL" });
+    wlan_bench::save_csv(&t, "design_flow");
+}

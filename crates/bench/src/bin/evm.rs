@@ -1,0 +1,11 @@
+//! §5.2: EVM vs SNR with the ideal (genie-timed) receiver.
+use wlan_phy::Rate;
+use wlan_sim::experiments::evm;
+fn main() {
+    for rate in [Rate::R12, Rate::R54] {
+        let r = evm::run(rate, &[10.0, 15.0, 20.0, 25.0, 30.0, 35.0], 300, 42);
+        let t = r.table();
+        println!("{t}");
+        wlan_bench::save_csv(&t, &format!("evm_{}", rate.mbps()));
+    }
+}

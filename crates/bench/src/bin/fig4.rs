@@ -1,0 +1,13 @@
+//! Regenerates Figure 4: OFDM signal and adjacent channel spectrum.
+fn main() {
+    let r = wlan_sim::experiments::fig4::run(42);
+    let t = r.table();
+    println!("{t}");
+    println!(
+        "wanted {:.1} dBm | adjacent {:.1} dBm | Δ {:.1} dB (paper: +16 dB)",
+        r.wanted_dbm,
+        r.adjacent_dbm,
+        r.adjacent_dbm - r.wanted_dbm
+    );
+    wlan_bench::save_csv(&t, "fig4");
+}

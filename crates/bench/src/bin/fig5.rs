@@ -1,0 +1,12 @@
+//! Regenerates Figure 5: BER vs channel-filter bandwidth with the
+//! adjacent channel present. Expect a bathtub.
+use wlan_sim::experiments::{fig5, Effort};
+fn main() {
+    let effort = Effort::from_env();
+    eprintln!("running fig5 with {effort:?} ...");
+    let r = fig5::run(effort, 12, 42);
+    let t = r.table();
+    println!("{t}");
+    println!("best edge: {:.2} MHz", r.best_edge_hz() / 1e6);
+    wlan_bench::save_csv(&t, "fig5");
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 6: BER vs compression point of the first LNA,
+//! with and without the adjacent channel.
+use wlan_sim::experiments::{fig6, Effort};
+fn main() {
+    let effort = Effort::from_env();
+    eprintln!("running fig6 with {effort:?} ...");
+    let r = fig6::run(effort, -50.0, -5.0, 10, 42);
+    let t = r.table();
+    println!("{t}");
+    if let (Some(a), Some(b)) = (r.knee_dbm(false, 0.01), r.knee_dbm(true, 0.01)) {
+        println!("knee without adjacent: {a:.0} dBm | with adjacent: {b:.0} dBm (shift {:.0} dB)", b - a);
+    }
+    wlan_bench::save_csv(&t, "fig6");
+}

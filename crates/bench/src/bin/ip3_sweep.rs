@@ -1,0 +1,10 @@
+//! §5.1: BER vs IP3 value of the LNA (adjacent channel present).
+use wlan_sim::experiments::{ip3, Effort};
+fn main() {
+    let effort = Effort::from_env();
+    eprintln!("running ip3 sweep with {effort:?} ...");
+    let r = ip3::run(effort, -40.0, 0.0, 9, 42);
+    let t = r.table();
+    println!("{t}");
+    wlan_bench::save_csv(&t, "ip3_sweep");
+}

@@ -1,0 +1,16 @@
+//! §5.1: BER across the receiver's specified input range (−88…−23 dBm).
+use wlan_phy::Rate;
+use wlan_sim::experiments::{level_sweep, Effort};
+fn main() {
+    let effort = Effort::from_env();
+    eprintln!("running level sweep with {effort:?} ...");
+    for rate in [Rate::R6, Rate::R24, Rate::R54] {
+        let r = level_sweep::run(effort, rate, -98.0, -23.0, 12, 42);
+        let t = r.table();
+        println!("{t}");
+        if let Some(s) = r.sensitivity_dbm(1e-3) {
+            println!("measured sensitivity at {rate}: {s:.0} dBm\n");
+        }
+        wlan_bench::save_csv(&t, &format!("level_sweep_{}", rate.mbps()));
+    }
+}

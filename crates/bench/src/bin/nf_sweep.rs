@@ -1,0 +1,12 @@
+//! §5.1: BER vs noise figure near sensitivity, system-level vs the
+//! noiseless co-simulation (the paper's AMS noise gap).
+use wlan_sim::experiments::{noise_figure, Effort};
+fn main() {
+    let effort = Effort::from_env();
+    eprintln!("running nf sweep with {effort:?} ...");
+    let r = noise_figure::run(effort, -82.0, 7, 42);
+    let t = r.table();
+    println!("{t}");
+    println!("note the co-sim column stays optimistic: no noise functions (paper §5.1).");
+    wlan_bench::save_csv(&t, "nf_sweep");
+}

@@ -1,0 +1,9 @@
+//! §4.2: SpectreRF-style characterization of the RF behavioral models.
+use wlan_sim::experiments::rf_char;
+fn main() {
+    let r = rf_char::run(42);
+    let t = r.table();
+    println!("{t}");
+    println!("worst spec error: {:.2}", r.worst_error());
+    wlan_bench::save_csv(&t, "rf_char");
+}

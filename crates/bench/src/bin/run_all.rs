@@ -1,0 +1,72 @@
+//! Runs every experiment in sequence (the full paper evaluation).
+use wlan_phy::Rate;
+use wlan_sim::experiments::*;
+
+fn main() {
+    let effort = Effort::from_env();
+    eprintln!("effort: {effort:?} (override with WLANSIM_PACKETS / WLANSIM_PSDU)\n");
+
+    let t = table1::run();
+    println!("{t}");
+    wlan_bench::save_csv(&t, "table1");
+
+    let r = fig4::run(42);
+    println!("{}", r.table());
+    wlan_bench::save_csv(&r.table(), "fig4");
+
+    let r = fig5::run(effort, 12, 42);
+    println!("{}", r.table());
+    wlan_bench::save_csv(&r.table(), "fig5");
+
+    let r = fig6::run(effort, -50.0, -5.0, 10, 42);
+    println!("{}", r.table());
+    wlan_bench::save_csv(&r.table(), "fig6");
+
+    let r = table2::run(&[1, 5, 10], 100, 64, 42);
+    println!("{}", r.table());
+    wlan_bench::save_csv(&r.table(), "table2");
+
+    let r = ip3::run(effort, -40.0, 0.0, 9, 42);
+    println!("{}", r.table());
+    wlan_bench::save_csv(&r.table(), "ip3_sweep");
+
+    let r = noise_figure::run(effort, -82.0, 7, 42);
+    println!("{}", r.table());
+    wlan_bench::save_csv(&r.table(), "nf_sweep");
+
+    for rate in [Rate::R12, Rate::R54] {
+        let r = evm::run(rate, &[10.0, 15.0, 20.0, 25.0, 30.0, 35.0], 300, 42);
+        println!("{}", r.table());
+        wlan_bench::save_csv(&r.table(), &format!("evm_{}", rate.mbps()));
+    }
+
+    let r = rf_char::run(42);
+    println!("{}", r.table());
+    wlan_bench::save_csv(&r.table(), "rf_char");
+
+    let r = ber_snr::run(effort, &[2.0, 5.0, 8.0, 11.0, 14.0, 17.0, 20.0, 23.0, 26.0], 42);
+    println!("{}", r.table());
+    wlan_bench::save_csv(&r.table(), "ber_snr");
+
+    let r = level_sweep::run(effort, Rate::R24, -98.0, -23.0, 12, 42);
+    println!("{}", r.table());
+    wlan_bench::save_csv(&r.table(), "level_sweep_24");
+
+    let r = blocking::run(effort, Rate::R12, 4.0, 44.0, 11, 42);
+    println!("{}", r.table());
+    wlan_bench::save_csv(&r.table(), "blocking");
+
+    let r = fading::run(
+        effort,
+        Rate::R12,
+        30.0,
+        &[25e-9, 50e-9, 100e-9, 250e-9, 600e-9, 1e-6],
+        42,
+    );
+    println!("{}", r.table());
+    wlan_bench::save_csv(&r.table(), "fading");
+
+    let r = cfo::run(effort, Rate::R24, 800e3, 9, 42);
+    println!("{}", r.table());
+    wlan_bench::save_csv(&r.table(), "cfo_sweep");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 1 (IEEE WLAN standards).
+fn main() {
+    let t = wlan_sim::experiments::table1::run();
+    println!("{t}");
+    wlan_bench::save_csv(&t, "table1");
+}

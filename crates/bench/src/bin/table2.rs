@@ -1,0 +1,15 @@
+//! Regenerates Table 2: simulation time of the system-level run vs the
+//! mixed-signal co-simulation.
+use wlan_sim::experiments::table2;
+fn main() {
+    let osr: usize = std::env::var("WLANSIM_ANALOG_OSR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    eprintln!("running table2 (analog osr {osr}) ...");
+    let r = table2::run(&[1, 5, 10], 100, osr, 42);
+    let t = r.table();
+    println!("{t}");
+    println!("paper reports 30-40x; the exact ratio is host-dependent.");
+    wlan_bench::save_csv(&t, "table2");
+}

@@ -1,0 +1,29 @@
+use wlan_sim::link::*;
+use wlan_rf::receiver::RfConfig;
+use wlan_phy::{Rate, Transmitter, Receiver};
+use wlan_channel::interferer::Scene;
+use wlan_dsp::complex::mean_power;
+
+fn main() {
+    // Reproduce manually.
+    let psdu = vec![0xA5u8; 100];
+    let burst = Transmitter::new(Rate::R24).transmit(&psdu);
+    let scene = Scene::new(20e6, 4).add(&burst.samples, 0.0, -50.0, 256).render();
+    println!("scene len {} power {:.2e}", scene.len(), mean_power(&scene));
+    let mut fe = wlan_rf::receiver::DoubleConversionReceiver::new(RfConfig::default(), 99);
+    let y = fe.process(&scene);
+    println!("out len {} power {:.3}", y.len(), mean_power(&y));
+    let rx = Receiver::new();
+    match rx.receive(&y) {
+        Ok(got) => println!("decoded: len {} errors {}", got.psdu.len(),
+            got.psdu.iter().zip(&psdu).filter(|(a,b)| a!=b).count()),
+        Err(e) => println!("RX error: {e}"),
+    }
+    // Also LinkSimulation path:
+    let r = LinkSimulation::new(LinkConfig {
+        packets: 2, rx_level_dbm: -50.0,
+        front_end: FrontEnd::RfBaseband(RfConfig::default()),
+        ..LinkConfig::default()
+    }).run();
+    println!("link: ber {} per {} decoded {}", r.ber(), r.per(), r.decoded_packets);
+}

@@ -1,0 +1,36 @@
+//! Benchmark and experiment-regeneration harnesses.
+//!
+//! Binaries (`cargo run -p wlan-bench --release --bin <name>`):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — IEEE WLAN standards |
+//! | `fig4` | Fig. 4 — OFDM + adjacent channel spectrum |
+//! | `fig5` | Fig. 5 — BER vs channel-filter bandwidth |
+//! | `fig6` | Fig. 6 — BER vs LNA compression point |
+//! | `table2` | Table 2 — simulation time comparison |
+//! | `ip3_sweep` | §5.1 BER vs LNA IIP3 |
+//! | `nf_sweep` | §5.1 BER vs noise figure + co-sim gap |
+//! | `evm` | §5.2 EVM vs SNR (ideal receiver) |
+//! | `rf_char` | §4.2 RF model characterization |
+//! | `ber_snr` | BER vs SNR baseline, all rates |
+//! | `run_all` | everything above, CSV dump included |
+//!
+//! Effort is controlled by `WLANSIM_PACKETS` / `WLANSIM_PSDU`.
+//!
+//! Criterion benches (`cargo bench`):
+//! `dsp_kernels`, `phy_chain`, `rf_frontend`,
+//! `table2_abstraction_levels`.
+
+/// Writes a table's CSV next to the current directory under `results/`.
+pub fn save_csv(table: &wlan_sim::Table, name: &str) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.csv"));
+        if let Err(e) = table.write_csv(&path) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("(csv written to {})", path.display());
+        }
+    }
+}

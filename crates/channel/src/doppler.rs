@@ -1,0 +1,233 @@
+//! Time-varying Rayleigh fading: Jakes-spectrum sum-of-sinusoids model.
+//!
+//! The paper's testbench offers "an additive white gaussian noise (AWGN)
+//! or a fading channel" (§3.1). [`crate::fading`] covers static
+//! (block-fading) multipath; this module adds temporal variation with
+//! the classic Clarke/Jakes Doppler spectrum, relevant when a burst is
+//! long relative to the channel coherence time (pedestrian motion at
+//! 5.2 GHz gives Doppler spreads of tens of hertz — slow for one WLAN
+//! packet, visible across many).
+
+use wlan_dsp::{Complex, Rng};
+
+/// One Rayleigh-faded tap gain evolving with a Jakes Doppler spectrum
+/// (sum of `N` sinusoids with random angles/phases — the
+/// Pop–Beaulieu improvement over the classic deterministic Jakes model).
+#[derive(Debug, Clone)]
+pub struct JakesFader {
+    /// Per-sinusoid angular Doppler (rad/sample).
+    omegas: Vec<f64>,
+    phases_i: Vec<f64>,
+    phases_q: Vec<f64>,
+    scale: f64,
+    /// Average power of the tap.
+    power: f64,
+    n: u64,
+}
+
+impl JakesFader {
+    /// Creates a fader with maximum Doppler `fd_hz` at `sample_rate_hz`,
+    /// average power `power`, using `n_sinusoids` components (8–16 is
+    /// plenty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fd_hz < 0`, `power < 0` or `n_sinusoids == 0`.
+    pub fn new(
+        fd_hz: f64,
+        sample_rate_hz: f64,
+        power: f64,
+        n_sinusoids: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(fd_hz >= 0.0 && power >= 0.0, "negative parameters");
+        assert!(n_sinusoids > 0, "need at least one sinusoid");
+        let wd = 2.0 * std::f64::consts::PI * fd_hz / sample_rate_hz;
+        let mut omegas = Vec::with_capacity(n_sinusoids);
+        let mut phases_i = Vec::with_capacity(n_sinusoids);
+        let mut phases_q = Vec::with_capacity(n_sinusoids);
+        for k in 0..n_sinusoids {
+            // Arrival angles spread over a quadrant with random jitter
+            // gives the Jakes U-shaped spectrum on average.
+            let alpha = (2.0 * std::f64::consts::PI * (k as f64 + rng.uniform()))
+                / n_sinusoids as f64;
+            omegas.push(wd * alpha.cos());
+            phases_i.push(2.0 * std::f64::consts::PI * rng.uniform());
+            phases_q.push(2.0 * std::f64::consts::PI * rng.uniform());
+        }
+        JakesFader {
+            omegas,
+            phases_i,
+            phases_q,
+            scale: (power / n_sinusoids as f64).sqrt(),
+            power,
+            n: 0,
+        }
+    }
+
+    /// Average tap power.
+    pub fn power(&self) -> f64 {
+        self.power
+    }
+
+    /// The tap gain at the current time; advances by one sample.
+    pub fn next_gain(&mut self) -> Complex {
+        let t = self.n as f64;
+        self.n += 1;
+        let mut g = Complex::ZERO;
+        for k in 0..self.omegas.len() {
+            let w = self.omegas[k] * t;
+            g += Complex::new((w + self.phases_i[k]).cos(), (w + self.phases_q[k]).cos());
+        }
+        g * self.scale
+    }
+
+    /// Applies the time-varying (single-tap, flat) fade to a signal.
+    pub fn apply(&mut self, x: &[Complex]) -> Vec<Complex> {
+        x.iter().map(|&v| v * self.next_gain()).collect()
+    }
+}
+
+/// A time-varying tapped delay line: exponential PDP with independent
+/// Jakes faders per tap.
+#[derive(Debug, Clone)]
+pub struct TimeVaryingChannel {
+    taps: Vec<JakesFader>,
+    history: Vec<Complex>,
+    pos: usize,
+}
+
+impl TimeVaryingChannel {
+    /// Creates a channel with RMS delay spread `trms_s`, maximum Doppler
+    /// `fd_hz`, at `sample_rate_hz`, unit average energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive `trms_s` or `sample_rate_hz`.
+    pub fn new(trms_s: f64, fd_hz: f64, sample_rate_hz: f64, rng: &mut Rng) -> Self {
+        assert!(trms_s > 0.0 && sample_rate_hz > 0.0, "positive parameters required");
+        let ts = 1.0 / sample_rate_hz;
+        let n_taps = ((5.0 * trms_s / ts).ceil() as usize).max(1);
+        let mut powers: Vec<f64> = (0..n_taps)
+            .map(|k| (-(k as f64) * ts / trms_s).exp())
+            .collect();
+        let total: f64 = powers.iter().sum();
+        for p in powers.iter_mut() {
+            *p /= total;
+        }
+        let taps = powers
+            .iter()
+            .map(|&p| JakesFader::new(fd_hz, sample_rate_hz, p, 12, rng))
+            .collect::<Vec<_>>();
+        let n = taps.len();
+        TimeVaryingChannel {
+            taps,
+            history: vec![Complex::ZERO; n],
+            pos: 0,
+        }
+    }
+
+    /// Number of taps.
+    pub fn tap_count(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Filters the signal through the evolving channel.
+    pub fn apply(&mut self, x: &[Complex]) -> Vec<Complex> {
+        let n = self.taps.len();
+        x.iter()
+            .map(|&v| {
+                self.history[self.pos] = v;
+                let mut acc = Complex::ZERO;
+                let mut idx = self.pos;
+                for tap in self.taps.iter_mut() {
+                    acc += self.history[idx] * tap.next_gain();
+                    idx = if idx == 0 { n - 1 } else { idx - 1 };
+                }
+                self.pos = (self.pos + 1) % n;
+                acc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_dsp::complex::mean_power;
+
+    #[test]
+    fn average_power_matches_spec() {
+        let mut rng = Rng::new(1);
+        let mut acc = 0.0;
+        let trials = 200;
+        for _ in 0..trials {
+            let mut f = JakesFader::new(100.0, 20e6, 2.0, 12, &mut rng);
+            // Sample sparsely over many coherence times.
+            let mut p = 0.0;
+            for _ in 0..50 {
+                for _ in 0..997 {
+                    f.next_gain();
+                }
+                p += f.next_gain().norm_sqr();
+            }
+            acc += p / 50.0;
+        }
+        acc /= trials as f64;
+        assert!((acc - 2.0).abs() < 0.15, "mean power {acc}");
+    }
+
+    #[test]
+    fn zero_doppler_is_static() {
+        let mut rng = Rng::new(2);
+        let mut f = JakesFader::new(0.0, 20e6, 1.0, 8, &mut rng);
+        let g0 = f.next_gain();
+        for _ in 0..1000 {
+            let g = f.next_gain();
+            assert!((g - g0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gain_decorrelates_over_coherence_time() {
+        // Coherence time ≈ 0.423/fd; far beyond it the gain should have
+        // moved substantially.
+        let mut rng = Rng::new(3);
+        let fs = 1e6;
+        let fd = 1000.0;
+        let mut f = JakesFader::new(fd, fs, 1.0, 12, &mut rng);
+        let g0 = f.next_gain();
+        // Advance 10 coherence times.
+        let steps = (10.0 * 0.423 / fd * fs) as usize;
+        let mut g = Complex::ZERO;
+        for _ in 0..steps {
+            g = f.next_gain();
+        }
+        assert!((g - g0).abs() > 0.05, "gain froze: {g0} → {g}");
+    }
+
+    #[test]
+    fn gain_nearly_constant_within_one_packet() {
+        // WLAN-relevant: 50 Hz Doppler at 20 Msps across a 56 µs packet
+        // must be essentially static (the block-fading assumption).
+        let mut rng = Rng::new(4);
+        let mut f = JakesFader::new(50.0, 20e6, 1.0, 12, &mut rng);
+        let g0 = f.next_gain();
+        let mut max_dev: f64 = 0.0;
+        for _ in 0..1120 {
+            max_dev = max_dev.max((f.next_gain() - g0).abs());
+        }
+        assert!(max_dev < 0.01 * g0.abs().max(0.1), "deviation {max_dev}");
+    }
+
+    #[test]
+    fn time_varying_channel_preserves_mean_power() {
+        let mut rng = Rng::new(5);
+        let mut ch = TimeVaryingChannel::new(100e-9, 200.0, 20e6, &mut rng);
+        assert!(ch.tap_count() > 1);
+        let x: Vec<Complex> = (0..200_000).map(|_| rng.complex_gaussian(1.0)).collect();
+        let y = ch.apply(&x);
+        let ratio = mean_power(&y) / mean_power(&x);
+        assert!((ratio - 1.0).abs() < 0.35, "power ratio {ratio}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Multipath fading: tapped delay line with exponential power delay
+//! profile and Rayleigh-distributed taps (block fading — one realization
+//! per packet, appropriate for indoor WLAN where the channel is static
+//! over a burst).
+
+use wlan_dsp::{Complex, Rng};
+
+/// A static multipath channel realization (tapped delay line).
+#[derive(Debug, Clone)]
+pub struct MultipathChannel {
+    taps: Vec<Complex>,
+}
+
+impl MultipathChannel {
+    /// Creates a channel from explicit complex tap gains (tap `k` delays
+    /// by `k` samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty.
+    pub fn new(taps: Vec<Complex>) -> Self {
+        assert!(!taps.is_empty(), "need at least one tap");
+        MultipathChannel { taps }
+    }
+
+    /// An identity (single-tap, unit-gain) channel.
+    pub fn identity() -> Self {
+        MultipathChannel {
+            taps: vec![Complex::ONE],
+        }
+    }
+
+    /// Draws a Rayleigh-faded realization with an exponential power delay
+    /// profile of RMS delay spread `trms_s`, sampled at `sample_rate_hz`.
+    /// Tap powers are normalized to unit total energy (so the *average*
+    /// channel neither amplifies nor attenuates). Tap count covers 5·trms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trms_s` or `sample_rate_hz` is not positive.
+    pub fn rayleigh_exponential(trms_s: f64, sample_rate_hz: f64, rng: &mut Rng) -> Self {
+        assert!(trms_s > 0.0 && sample_rate_hz > 0.0, "positive parameters required");
+        let ts = 1.0 / sample_rate_hz;
+        let n_taps = ((5.0 * trms_s / ts).ceil() as usize).max(1);
+        let mut powers: Vec<f64> = (0..n_taps)
+            .map(|k| (-(k as f64) * ts / trms_s).exp())
+            .collect();
+        let total: f64 = powers.iter().sum();
+        for p in powers.iter_mut() {
+            *p /= total;
+        }
+        let taps = powers
+            .iter()
+            .map(|&p| rng.complex_gaussian(p))
+            .collect();
+        MultipathChannel { taps }
+    }
+
+    /// The tap gains.
+    pub fn taps(&self) -> &[Complex] {
+        &self.taps
+    }
+
+    /// Total energy `Σ|h_k|²` of this realization.
+    pub fn energy(&self) -> f64 {
+        self.taps.iter().map(|t| t.norm_sqr()).sum()
+    }
+
+    /// Channel frequency response at normalized frequency `f`
+    /// (cycles/sample).
+    pub fn response(&self, f: f64) -> Complex {
+        self.taps
+            .iter()
+            .enumerate()
+            .map(|(k, &h)| h * Complex::cis(-2.0 * std::f64::consts::PI * f * k as f64))
+            .sum()
+    }
+
+    /// Convolves the channel with `x` ("same"-length output plus tail).
+    pub fn apply(&self, x: &[Complex]) -> Vec<Complex> {
+        if x.is_empty() {
+            return Vec::new();
+        }
+        let mut y = vec![Complex::ZERO; x.len() + self.taps.len() - 1];
+        for (i, &xi) in x.iter().enumerate() {
+            for (k, &h) in self.taps.iter().enumerate() {
+                y[i + k] += xi * h;
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_dsp::complex::mean_power;
+
+    #[test]
+    fn identity_passes_through() {
+        let ch = MultipathChannel::identity();
+        let x = vec![Complex::new(1.0, -2.0); 10];
+        assert_eq!(ch.apply(&x), x);
+        assert!((ch.energy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_tap_impulse_response() {
+        let ch = MultipathChannel::new(vec![Complex::ONE, Complex::new(0.0, 0.5)]);
+        let y = ch.apply(&[Complex::ONE]);
+        assert_eq!(y.len(), 2);
+        assert_eq!(y[0], Complex::ONE);
+        assert_eq!(y[1], Complex::new(0.0, 0.5));
+    }
+
+    #[test]
+    fn rayleigh_average_energy_is_unity() {
+        let mut rng = Rng::new(1);
+        let n = 2000;
+        let mut e = 0.0;
+        for _ in 0..n {
+            e += MultipathChannel::rayleigh_exponential(50e-9, 20e6, &mut rng).energy();
+        }
+        e /= n as f64;
+        assert!((e - 1.0).abs() < 0.05, "mean energy {e}");
+    }
+
+    #[test]
+    fn tap_count_scales_with_delay_spread() {
+        let mut rng = Rng::new(2);
+        let short = MultipathChannel::rayleigh_exponential(25e-9, 20e6, &mut rng);
+        let long = MultipathChannel::rayleigh_exponential(200e-9, 20e6, &mut rng);
+        assert!(long.taps().len() > short.taps().len());
+        // 200 ns at 20 Msps: 5·200ns/50ns = 20 taps.
+        assert_eq!(long.taps().len(), 20);
+    }
+
+    #[test]
+    fn frequency_selectivity_appears_with_delay_spread() {
+        let mut rng = Rng::new(3);
+        let ch = MultipathChannel::rayleigh_exponential(100e-9, 20e6, &mut rng);
+        // The response should vary across the band for a dispersive channel.
+        let mags: Vec<f64> = (0..16)
+            .map(|i| ch.response(i as f64 / 32.0 - 0.25).abs())
+            .collect();
+        let mx = mags.iter().cloned().fold(f64::MIN, f64::max);
+        let mn = mags.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(mx / mn > 1.2, "channel unexpectedly flat: {mx}/{mn}");
+    }
+
+    #[test]
+    fn applied_power_matches_energy_for_white_input() {
+        let mut rng = Rng::new(4);
+        let ch = MultipathChannel::rayleigh_exponential(100e-9, 20e6, &mut rng);
+        let x: Vec<Complex> = (0..50_000).map(|_| rng.complex_gaussian(1.0)).collect();
+        let y = ch.apply(&x);
+        let ratio = mean_power(&y[..x.len()]) / mean_power(&x);
+        assert!((ratio - ch.energy()).abs() < 0.05 * ch.energy().max(0.1));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(MultipathChannel::identity().apply(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_taps_panic() {
+        let _ = MultipathChannel::new(vec![]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Oversampled scene composition: the wanted channel plus
+//! frequency-offset interferers (the paper's adjacent channel at
+//! +20 MHz, §4.1: "the transmitter model was duplicated and its OFDM
+//! signal was shifted by 20 MHz in the frequency domain; the baseband
+//! signal was over-sampled to fulfill the sampling theorem").
+
+use crate::level::set_power_dbm;
+use wlan_dsp::resample::{FrequencyShifter, Upsampler};
+use wlan_dsp::Complex;
+
+/// One signal in the scene.
+#[derive(Debug, Clone)]
+struct Emitter {
+    samples: Vec<Complex>,
+    offset_hz: f64,
+    power_dbm: f64,
+    /// Delay at the oversampled rate before the burst begins.
+    delay: usize,
+}
+
+/// Builder for a composite oversampled baseband scene.
+///
+/// All input signals are at the DSP rate (`base_rate_hz`); the scene is
+/// rendered at `base_rate_hz · osr`.
+///
+/// # Example
+///
+/// ```
+/// use wlan_channel::Scene;
+/// use wlan_dsp::Complex;
+/// let burst: Vec<Complex> = (0..256).map(|n| Complex::cis(0.01 * n as f64)).collect();
+/// let scene = Scene::new(20e6, 4)
+///     .add(&burst, 0.0, -40.0, 0)
+///     .add(&burst, 20e6, -24.0, 0)
+///     .render();
+/// assert_eq!(scene.len(), 256 * 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scene {
+    base_rate_hz: f64,
+    osr: usize,
+    emitters: Vec<Emitter>,
+    interp_taps: usize,
+}
+
+impl Scene {
+    /// Creates a scene at base rate `base_rate_hz` with oversampling
+    /// ratio `osr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `osr` is zero or the rate is not positive.
+    pub fn new(base_rate_hz: f64, osr: usize) -> Self {
+        assert!(osr >= 1, "oversampling ratio must be >= 1");
+        assert!(base_rate_hz > 0.0, "sample rate must be positive");
+        Scene {
+            base_rate_hz,
+            osr,
+            emitters: Vec::new(),
+            interp_taps: 32,
+        }
+    }
+
+    /// Oversampled rate of the rendered scene.
+    pub fn sample_rate(&self) -> f64 {
+        self.base_rate_hz * self.osr as f64
+    }
+
+    /// Oversampling ratio.
+    pub fn osr(&self) -> usize {
+        self.osr
+    }
+
+    /// Adds an emitter: `samples` at the base rate, shifted to
+    /// `offset_hz`, scaled to `power_dbm` mean power, starting after
+    /// `delay` oversampled-rate samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset exceeds the rendered Nyquist range.
+    pub fn add(mut self, samples: &[Complex], offset_hz: f64, power_dbm: f64, delay: usize) -> Self {
+        let fs = self.sample_rate();
+        assert!(
+            offset_hz.abs() < fs / 2.0,
+            "offset {offset_hz} Hz outside ±{} Hz",
+            fs / 2.0
+        );
+        self.emitters.push(Emitter {
+            samples: samples.to_vec(),
+            offset_hz,
+            power_dbm,
+            delay,
+        });
+        self
+    }
+
+    /// Renders the composite scene at the oversampled rate. Output length
+    /// covers the longest emitter (including its delay).
+    pub fn render(&self) -> Vec<Complex> {
+        let mut total_len = 0usize;
+        let mut parts: Vec<(usize, Vec<Complex>)> = Vec::new();
+        for e in &self.emitters {
+            // Upsample, scale to absolute power, then shift.
+            let mut up = Upsampler::new(self.osr, self.interp_taps);
+            let hi = up.process(&e.samples);
+            let scaled = set_power_dbm(&hi, e.power_dbm);
+            let mut shifter = FrequencyShifter::new(e.offset_hz, self.sample_rate());
+            let shifted = shifter.process(&scaled);
+            total_len = total_len.max(e.delay + shifted.len());
+            parts.push((e.delay, shifted));
+        }
+        let mut out = vec![Complex::ZERO; total_len];
+        for (delay, sig) in parts {
+            for (i, v) in sig.into_iter().enumerate() {
+                out[delay + i] += v;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::power_dbm;
+    use wlan_dsp::spectrum::{band_power, welch_psd};
+    use wlan_dsp::Rng;
+
+    fn noise_burst(n: usize, seed: u64) -> Vec<Complex> {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| rng.complex_gaussian(1.0)).collect()
+    }
+
+    #[test]
+    fn render_length_and_power() {
+        let b = noise_burst(2048, 1);
+        let scene = Scene::new(20e6, 4).add(&b, 0.0, -30.0, 0).render();
+        assert_eq!(scene.len(), 8192);
+        // Skipping the interpolation transient, power ≈ −30 dBm.
+        let p = power_dbm(&scene[1024..]);
+        assert!((p - (-30.0)).abs() < 0.5, "power {p}");
+    }
+
+    #[test]
+    fn adjacent_channel_lands_at_offset() {
+        let b = noise_burst(8192, 2);
+        let scene = Scene::new(20e6, 4)
+            .add(&b, 0.0, -40.0, 0)
+            .add(&b, 20e6, -24.0, 0)
+            .render();
+        let fs = 80e6;
+        let (freqs, psd) = welch_psd(&scene[2048..], 1024, fs);
+        let main = band_power(&freqs, &psd, -9e6, 9e6);
+        let adj = band_power(&freqs, &psd, 11e6, 29e6);
+        let ratio_db = 10.0 * (adj / main).log10();
+        assert!((ratio_db - 16.0).abs() < 1.0, "adj/main {ratio_db} dB");
+    }
+
+    #[test]
+    fn delay_offsets_burst() {
+        let b = noise_burst(256, 3);
+        let scene = Scene::new(20e6, 2).add(&b, 0.0, -30.0, 100).render();
+        assert_eq!(scene.len(), 100 + 512);
+        assert!(scene[..100].iter().all(|v| v.abs() == 0.0));
+    }
+
+    #[test]
+    fn two_emitters_superpose() {
+        let b = noise_burst(1024, 4);
+        let one = Scene::new(20e6, 2).add(&b, 0.0, -30.0, 0).render();
+        let two = Scene::new(20e6, 2)
+            .add(&b, 0.0, -30.0, 0)
+            .add(&b, 0.0, -30.0, 0)
+            .render();
+        for (a, c) in one.iter().zip(two.iter()) {
+            assert!((*c - *a * 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn offset_beyond_nyquist_panics() {
+        let b = noise_burst(64, 5);
+        let _ = Scene::new(20e6, 1).add(&b, 20e6, -30.0, 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Absolute power scaling: setting receive levels in dBm under the
+//! workspace 1 Ω, `P = mean(|x|²)/2` convention.
+
+use wlan_dsp::complex::mean_power;
+use wlan_dsp::math::{dbm_to_watts, watts_to_dbm};
+use wlan_dsp::Complex;
+
+/// Measures the mean power of `x` in dBm.
+///
+/// Returns `-inf` dBm for zero-power signals.
+pub fn power_dbm(x: &[Complex]) -> f64 {
+    watts_to_dbm(mean_power(x) / 2.0)
+}
+
+/// Scales `x` so its mean power equals `target_dbm`.
+///
+/// # Panics
+///
+/// Panics if `x` has zero power.
+pub fn set_power_dbm(x: &[Complex], target_dbm: f64) -> Vec<Complex> {
+    let p = mean_power(x) / 2.0;
+    assert!(p > 0.0, "cannot scale a zero-power signal");
+    let k = (dbm_to_watts(target_dbm) / p).sqrt();
+    x.iter().map(|&v| v * k).collect()
+}
+
+/// Applies a gain in dB.
+pub fn apply_gain_db(x: &[Complex], gain_db: f64) -> Vec<Complex> {
+    let k = 10f64.powf(gain_db / 20.0);
+    x.iter().map(|&v| v * k).collect()
+}
+
+/// The paper's receiver input range for the wanted channel (§2.2).
+pub const RX_LEVEL_MIN_DBM: f64 = -88.0;
+/// Upper end of the wanted-channel input range.
+pub const RX_LEVEL_MAX_DBM: f64 = -23.0;
+/// The first adjacent channel may exceed the wanted level by this much.
+pub const ADJACENT_CHANNEL_REL_DB: f64 = 16.0;
+/// The second (non-adjacent) channel may exceed the wanted level by this.
+pub const ALTERNATE_CHANNEL_REL_DB: f64 = 32.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_measure_roundtrip() {
+        let x = vec![Complex::new(0.3, -0.4); 1000];
+        for dbm in [-88.0, -50.0, -23.0, 0.0] {
+            let y = set_power_dbm(&x, dbm);
+            assert!((power_dbm(&y) - dbm).abs() < 1e-9, "{dbm}");
+        }
+    }
+
+    #[test]
+    fn gain_db_changes_power() {
+        let x = vec![Complex::ONE; 100];
+        let y = apply_gain_db(&x, 20.0);
+        assert!((power_dbm(&y) - power_dbm(&x) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amplitude_one_tone_is_about_27_dbm() {
+        // A = 1 → P = 0.5 W = 26.99 dBm.
+        let x: Vec<Complex> = (0..1024)
+            .map(|n| Complex::cis(0.3 * n as f64))
+            .collect();
+        assert!((power_dbm(&x) - 26.99).abs() < 0.05);
+    }
+
+    #[test]
+    fn spec_constants() {
+        assert_eq!(ADJACENT_CHANNEL_REL_DB, 16.0);
+        assert_eq!(ALTERNATE_CHANNEL_REL_DB, 32.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_signal_panics() {
+        let _ = set_power_dbm(&[Complex::ZERO; 4], -30.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! §5.1 baseline — BER vs SNR over AWGN for all eight 802.11a rates:
+//! the "executable specification" sanity curves every later experiment
+//! builds on.
+
+use crate::experiments::Effort;
+use crate::link::{FrontEnd, LinkConfig, LinkSimulation};
+use crate::report::{format_ber, Table};
+use wlan_phy::params::ALL_RATES;
+use wlan_phy::Rate;
+
+/// One (rate, SNR) cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BerSnrPoint {
+    /// Data rate.
+    pub rate: Rate,
+    /// SNR in dB.
+    pub snr_db: f64,
+    /// Measured BER.
+    pub ber: f64,
+    /// Bits counted.
+    pub bits: u64,
+}
+
+/// The BER-vs-SNR grid.
+#[derive(Debug, Clone)]
+pub struct BerSnrResult {
+    /// SNR axis.
+    pub snrs_db: Vec<f64>,
+    /// Row-major points: all SNRs for rate 0, then rate 1, …
+    pub points: Vec<BerSnrPoint>,
+}
+
+impl BerSnrResult {
+    /// The BER for a given rate and SNR.
+    pub fn ber(&self, rate: Rate, snr_db: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.rate == rate && (p.snr_db - snr_db).abs() < 1e-9)
+            .map(|p| p.ber)
+    }
+
+    /// Renders the grid: one row per rate, one column per SNR.
+    pub fn table(&self) -> Table {
+        let mut headers = vec!["rate".to_string()];
+        headers.extend(self.snrs_db.iter().map(|s| format!("{s:.0} dB")));
+        let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new("BER vs SNR (AWGN, all rates)", &hrefs);
+        for rate in ALL_RATES {
+            let mut row = vec![rate.to_string()];
+            for &snr in &self.snrs_db {
+                let cell = self
+                    .points
+                    .iter()
+                    .find(|p| p.rate == rate && (p.snr_db - snr).abs() < 1e-9)
+                    .map(|p| format_ber(p.ber, p.bits))
+                    .unwrap_or_else(|| "-".to_string());
+                row.push(cell);
+            }
+            t.push_row(row);
+        }
+        t
+    }
+}
+
+/// Runs the grid for all rates at the given SNRs.
+pub fn run(effort: Effort, snrs_db: &[f64], seed: u64) -> BerSnrResult {
+    let mut points = Vec::new();
+    for rate in ALL_RATES {
+        for &snr in snrs_db {
+            let report = LinkSimulation::new(LinkConfig {
+                rate,
+                psdu_len: effort.psdu_len,
+                packets: effort.packets,
+                seed: seed ^ (rate.mbps() as u64) << 8 ^ (snr as u64),
+                snr_db: Some(snr),
+                front_end: FrontEnd::Ideal,
+                ..LinkConfig::default()
+            })
+            .run();
+            points.push(BerSnrPoint {
+                rate,
+                snr_db: snr,
+                ber: report.ber(),
+                bits: report.meter.bits(),
+            });
+        }
+    }
+    BerSnrResult {
+        snrs_db: snrs_db.to_vec(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_robustness_ordering() {
+        // At a mid SNR, 6 Mbit/s must beat 54 Mbit/s.
+        let r = run(Effort::quick(), &[8.0, 26.0], 3);
+        let b6 = r.ber(Rate::R6, 8.0).unwrap();
+        let b54 = r.ber(Rate::R54, 8.0).unwrap();
+        assert!(b6 < b54, "6 Mbps {b6} vs 54 Mbps {b54} at 8 dB");
+        // Every rate is clean at 26 dB.
+        for rate in ALL_RATES {
+            assert_eq!(r.ber(rate, 26.0).unwrap(), 0.0, "{rate}");
+        }
+    }
+
+    #[test]
+    fn ber_decreases_with_snr() {
+        let r = run(Effort::quick(), &[4.0, 30.0], 4);
+        for rate in [Rate::R24, Rate::R54] {
+            let low = r.ber(rate, 4.0).unwrap();
+            let high = r.ber(rate, 30.0).unwrap();
+            assert!(low >= high, "{rate}: {low} < {high}");
+        }
+        assert!(r.table().render().contains("BER vs SNR"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Carrier-frequency-offset tolerance: BER vs CFO for the blind
+//! receiver. 802.11a allows ±20 ppm per side (±208 kHz at 5.2 GHz);
+//! the short-preamble estimator unambiguously covers
+//! `±fs/(2·16) = ±625 kHz`, so the link must hold to ±208 kHz with
+//! margin and collapse past the estimator range.
+
+use crate::experiments::Effort;
+use crate::report::{bar, format_ber, Table};
+use wlan_channel::awgn::Awgn;
+use wlan_dataflow::sweep::Sweep;
+use wlan_dsp::{Complex, Rng};
+use wlan_meas::BerMeter;
+use wlan_phy::params::SAMPLE_RATE;
+use wlan_phy::{Rate, Receiver, Transmitter};
+
+/// One sweep row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CfoPoint {
+    /// Applied carrier offset (Hz).
+    pub cfo_hz: f64,
+    /// Measured BER.
+    pub ber: f64,
+    /// Mean absolute CFO estimation error over decoded packets (Hz).
+    pub est_err_hz: f64,
+    /// Bits counted.
+    pub bits: u64,
+}
+
+/// Sweep result.
+#[derive(Debug, Clone)]
+pub struct CfoResult {
+    /// Rate used.
+    pub rate: Rate,
+    /// Points in ascending offset.
+    pub points: Vec<CfoPoint>,
+}
+
+impl CfoResult {
+    /// Renders the sweep.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "BER vs carrier frequency offset ({}); 802.11a spec ±208 kHz",
+                self.rate
+            ),
+            &["CFO [kHz]", "BER", "est err [kHz]", "plot"],
+        );
+        for p in &self.points {
+            t.push_row(vec![
+                format!("{:.0}", p.cfo_hz / 1e3),
+                format_ber(p.ber, p.bits),
+                format!("{:.1}", p.est_err_hz / 1e3),
+                bar(p.ber, 0.5, 30),
+            ]);
+        }
+        t
+    }
+
+    /// The largest offset still decoding below `threshold` BER.
+    pub fn tolerance_hz(&self, threshold: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .rev()
+            .find(|p| p.ber < threshold)
+            .map(|p| p.cfo_hz)
+    }
+}
+
+/// Runs the sweep at 20 dB SNR with offsets from 0 to `max_hz`.
+pub fn run(effort: Effort, rate: Rate, max_hz: f64, points: usize, seed: u64) -> CfoResult {
+    let rx = Receiver::new();
+    let sweep = Sweep::linspace(0.0, max_hz, points.max(2));
+    let rows = sweep.run(|&cfo| {
+        let mut rng = Rng::new(seed);
+        let mut noise = Awgn::new(seed ^ 0xC0FE);
+        let mut meter = BerMeter::new();
+        let mut err_acc = 0.0;
+        let mut decoded = 0usize;
+        for _ in 0..effort.packets {
+            let mut psdu = vec![0u8; effort.psdu_len];
+            rng.bytes(&mut psdu);
+            let burst = Transmitter::new(rate).transmit(&psdu);
+            let w = 2.0 * std::f64::consts::PI * cfo / SAMPLE_RATE;
+            let shifted: Vec<Complex> = burst
+                .samples
+                .iter()
+                .enumerate()
+                .map(|(n, &s)| s * Complex::cis(w * n as f64))
+                .collect();
+            let noisy = noise.add_noise_power(&shifted, 0.01);
+            match rx.receive(&noisy) {
+                Ok(got) if got.psdu.len() == psdu.len() => {
+                    meter.update_bytes(&psdu, &got.psdu);
+                    err_acc += (got.cfo_hz - cfo).abs();
+                    decoded += 1;
+                }
+                _ => meter.update_lost_packet(8 * effort.psdu_len),
+            }
+        }
+        (
+            meter.ber(),
+            if decoded > 0 {
+                err_acc / decoded as f64
+            } else {
+                f64::NAN
+            },
+            meter.bits(),
+        )
+    });
+    CfoResult {
+        rate,
+        points: rows
+            .into_iter()
+            .map(|p| CfoPoint {
+                cfo_hz: p.param,
+                ber: p.result.0,
+                est_err_hz: p.result.1,
+                bits: p.result.2,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_offset_tolerated_estimator_range_limits() {
+        let effort = Effort {
+            packets: 3,
+            psdu_len: 60,
+        };
+        let r = run(effort, Rate::R12, 900e3, 4, 21);
+        // 0 and 300 kHz: clean. 900 kHz: beyond the ±625 kHz estimator
+        // range → fails.
+        assert_eq!(r.points[0].ber, 0.0, "zero offset");
+        assert_eq!(r.points[1].ber, 0.0, "300 kHz (spec is 208 kHz)");
+        assert!(
+            r.points[3].ber > 0.1,
+            "900 kHz should break sync: {}",
+            r.points[3].ber
+        );
+        let tol = r.tolerance_hz(0.01).expect("some tolerance");
+        assert!(tol >= 300e3, "tolerance {tol}");
+    }
+
+    #[test]
+    fn estimation_error_small_in_range() {
+        let effort = Effort {
+            packets: 2,
+            psdu_len: 60,
+        };
+        let r = run(effort, Rate::R24, 200e3, 2, 22);
+        for p in &r.points {
+            assert!(p.est_err_hz < 5e3, "CFO {} est err {}", p.cfo_hz, p.est_err_hz);
+        }
+        assert!(r.table().render().contains("frequency offset"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Constellation capture: the waveform-viewer workflow of the paper
+//! ("probed signals can be displayed by using the SPW SigCalc viewer").
+//! Captures the receiver's equalized constellation under a chosen front
+//! end and renders it as an ASCII scatter plot.
+
+use crate::link::{FrontEnd, LinkConfig};
+use crate::report::scatter;
+use wlan_channel::awgn::Awgn;
+use wlan_channel::interferer::Scene;
+use wlan_dsp::{Complex, Rng};
+use wlan_phy::params::SAMPLE_RATE;
+use wlan_phy::{Receiver, Transmitter};
+use wlan_rf::receiver::DoubleConversionReceiver;
+
+/// A captured constellation.
+#[derive(Debug, Clone)]
+pub struct ConstellationResult {
+    /// The equalized data-subcarrier points.
+    pub points: Vec<Complex>,
+    /// Measured EVM (dB).
+    pub evm_db: f64,
+}
+
+impl ConstellationResult {
+    /// ASCII scatter plot of the captured points.
+    pub fn plot(&self, size: usize) -> String {
+        scatter(&self.points, 1.6, size)
+    }
+}
+
+/// Transmits one packet through the configured link and captures the
+/// receiver's equalized constellation.
+///
+/// Supports [`FrontEnd::Ideal`] (with `snr_db`) and
+/// [`FrontEnd::RfBaseband`]; the co-sim front end is intentionally not
+/// offered here (identical output, 30× the wait).
+///
+/// # Panics
+///
+/// Panics if the packet fails to decode (choose a workable
+/// configuration) or an unsupported front end is requested.
+pub fn run(cfg: &LinkConfig) -> ConstellationResult {
+    let mut rng = Rng::new(cfg.seed);
+    let mut psdu = vec![0u8; cfg.psdu_len];
+    rng.bytes(&mut psdu);
+    let burst = Transmitter::new(cfg.rate).transmit(&psdu);
+    let rx = Receiver::new();
+
+    let dsp_input: Vec<Complex> = match &cfg.front_end {
+        FrontEnd::Ideal => {
+            let mut x = vec![Complex::ZERO; 200];
+            x.extend_from_slice(&burst.samples);
+            x.extend(std::iter::repeat_n(Complex::ZERO, 200));
+            match cfg.snr_db {
+                Some(snr) => Awgn::new(cfg.seed ^ 0xE0F)
+                    .add_noise_power(&x, 10f64.powf(-snr / 10.0)),
+                None => x,
+            }
+        }
+        FrontEnd::RfBaseband(rf) => {
+            let mut rf = *rf;
+            rf.sample_rate_hz = SAMPLE_RATE * cfg.osr as f64;
+            rf.osr = cfg.osr;
+            let mut padded = burst.samples.clone();
+            padded.extend(std::iter::repeat_n(Complex::ZERO, 160));
+            let scene = Scene::new(SAMPLE_RATE, cfg.osr)
+                .add(&padded, 0.0, cfg.rx_level_dbm, 64 * cfg.osr)
+                .render();
+            let mut noise = Awgn::new(cfg.seed ^ 0x50F);
+            let x = noise.add_noise_power(
+                &scene,
+                wlan_rf::noise::source_noise_power(SAMPLE_RATE * cfg.osr as f64),
+            );
+            DoubleConversionReceiver::new(rf, cfg.seed).process(&x)
+        }
+        other => panic!("constellation capture does not support {other:?}"),
+    };
+
+    let got = rx
+        .receive(&dsp_input)
+        .expect("constellation capture needs a decodable packet");
+    ConstellationResult {
+        points: got.equalized.clone(),
+        evm_db: got.evm_db(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_phy::Rate;
+
+    #[test]
+    fn clean_qpsk_clusters_at_four_points() {
+        let r = run(&LinkConfig {
+            rate: Rate::R12,
+            psdu_len: 100,
+            snr_db: Some(35.0),
+            front_end: FrontEnd::Ideal,
+            ..LinkConfig::default()
+        });
+        assert!(r.evm_db < -25.0, "EVM {}", r.evm_db);
+        // Every point near ±1/√2 ± j/√2.
+        let k = 1.0 / 2f64.sqrt();
+        for p in &r.points {
+            let near = [
+                Complex::new(k, k),
+                Complex::new(k, -k),
+                Complex::new(-k, k),
+                Complex::new(-k, -k),
+            ]
+            .iter()
+            .any(|c| (*p - *c).abs() < 0.25);
+            assert!(near, "stray point {p}");
+        }
+        let plot = r.plot(31);
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn rf_front_end_spreads_the_clusters() {
+        let clean = run(&LinkConfig {
+            rate: Rate::R24,
+            psdu_len: 100,
+            snr_db: Some(35.0),
+            front_end: FrontEnd::Ideal,
+            ..LinkConfig::default()
+        });
+        let rf = run(&LinkConfig {
+            rate: Rate::R24,
+            psdu_len: 100,
+            rx_level_dbm: -60.0,
+            front_end: FrontEnd::RfBaseband(wlan_rf::receiver::RfConfig::default()),
+            ..LinkConfig::default()
+        });
+        assert!(
+            rf.evm_db > clean.evm_db + 3.0,
+            "RF impairments invisible: clean {} vs rf {}",
+            clean.evm_db,
+            rf.evm_db
+        );
+    }
+}

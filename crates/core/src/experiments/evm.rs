@@ -1,0 +1,117 @@
+//! §5.2 — EVM measurement: "an EVM measurement was only performed while
+//! simulating a WLAN system which includes an ideal receiver model".
+//!
+//! We use the genie-timed receiver (known timing, no CFO) so the EVM
+//! isolates the channel/impairment, and sweep the SNR; theory predicts
+//! `EVM(dB) ≈ −SNR(dB)`.
+
+use crate::report::Table;
+use wlan_dsp::{Complex, Rng};
+use wlan_meas::evm::evm_from_snr_db;
+use wlan_phy::{Rate, Receiver, Transmitter};
+
+/// One EVM measurement row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvmPoint {
+    /// SNR in dB.
+    pub snr_db: f64,
+    /// Measured RMS EVM in dB.
+    pub evm_db: f64,
+    /// Theoretical EVM (−SNR) in dB.
+    pub theory_db: f64,
+    /// Whether the packet still decoded without bit errors.
+    pub error_free: bool,
+}
+
+/// Sweep result.
+#[derive(Debug, Clone)]
+pub struct EvmResult {
+    /// Rate used.
+    pub rate: Rate,
+    /// Points in ascending SNR.
+    pub points: Vec<EvmPoint>,
+}
+
+impl EvmResult {
+    /// Renders the sweep.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!("EVM vs SNR, ideal (genie-timed) receiver, {}", self.rate),
+            &["SNR [dB]", "EVM [dB]", "theory [dB]", "error-free"],
+        );
+        for p in &self.points {
+            t.push_row(vec![
+                format!("{:.0}", p.snr_db),
+                format!("{:.1}", p.evm_db),
+                format!("{:.1}", p.theory_db),
+                if p.error_free { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+/// Measures EVM at each SNR with known timing (LTF at index 192 of the
+/// un-padded burst) and no frequency offset.
+pub fn run(rate: Rate, snrs_db: &[f64], psdu_len: usize, seed: u64) -> EvmResult {
+    let mut rng = Rng::new(seed);
+    let rx = Receiver::new();
+    let points = snrs_db
+        .iter()
+        .map(|&snr| {
+            let mut psdu = vec![0u8; psdu_len];
+            rng.bytes(&mut psdu);
+            let burst = Transmitter::new(rate).transmit(&psdu);
+            let nv = 10f64.powf(-snr / 10.0);
+            let noisy: Vec<Complex> = burst
+                .samples
+                .iter()
+                .map(|&s| s + rng.complex_gaussian(nv))
+                .collect();
+            match rx.receive_with_timing(&noisy, 192, 0.0) {
+                Ok(got) => EvmPoint {
+                    snr_db: snr,
+                    evm_db: got.evm_db(),
+                    theory_db: 20.0 * evm_from_snr_db(snr).log10(),
+                    error_free: got.psdu == psdu,
+                },
+                Err(_) => EvmPoint {
+                    snr_db: snr,
+                    evm_db: 0.0,
+                    theory_db: 20.0 * evm_from_snr_db(snr).log10(),
+                    error_free: false,
+                },
+            }
+        })
+        .collect();
+    EvmResult { rate, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evm_tracks_snr_theory() {
+        let r = run(Rate::R12, &[15.0, 25.0, 35.0], 150, 1);
+        for p in &r.points {
+            // Channel-estimation noise adds ~1 dB; allow 2.5 dB slack.
+            assert!(
+                (p.evm_db - p.theory_db).abs() < 2.5,
+                "SNR {}: EVM {} vs theory {}",
+                p.snr_db,
+                p.evm_db,
+                p.theory_db
+            );
+        }
+        // Monotone improvement.
+        assert!(r.points[0].evm_db > r.points[2].evm_db);
+    }
+
+    #[test]
+    fn high_snr_decodes_error_free() {
+        let r = run(Rate::R24, &[30.0], 100, 2);
+        assert!(r.points[0].error_free);
+        assert!(r.table().render().contains("EVM"));
+    }
+}

@@ -1,0 +1,118 @@
+//! §3.1 — the fading channel: "The signal is transmitted over a channel
+//! model that can realize an additive white gaussian noise (AWGN) or a
+//! fading channel."
+//!
+//! BER versus RMS delay spread over Rayleigh multipath: OFDM shrugs off
+//! dispersion while the (5·τ_rms) excess delay stays inside the 800 ns
+//! guard interval, then collapses from inter-symbol interference.
+
+use crate::experiments::Effort;
+use crate::link::{FrontEnd, LinkConfig, LinkSimulation};
+use crate::report::{bar, format_ber, Table};
+use wlan_dataflow::sweep::Sweep;
+use wlan_phy::Rate;
+
+/// One sweep row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FadingPoint {
+    /// RMS delay spread in seconds.
+    pub trms_s: f64,
+    /// Measured BER.
+    pub ber: f64,
+    /// Packet error rate (fading causes whole-packet losses).
+    pub per: f64,
+    /// Bits counted.
+    pub bits: u64,
+}
+
+/// Sweep result.
+#[derive(Debug, Clone)]
+pub struct FadingResult {
+    /// Rate used.
+    pub rate: Rate,
+    /// SNR used (dB).
+    pub snr_db: f64,
+    /// Points in ascending delay spread.
+    pub points: Vec<FadingPoint>,
+}
+
+impl FadingResult {
+    /// Renders the sweep.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "BER vs RMS delay spread ({}, {} dB SNR, guard 800 ns)",
+                self.rate, self.snr_db
+            ),
+            &["trms [ns]", "BER", "PER", "plot"],
+        );
+        for p in &self.points {
+            t.push_row(vec![
+                format!("{:.0}", p.trms_s * 1e9),
+                format_ber(p.ber, p.bits),
+                format!("{:.2}", p.per),
+                bar(p.ber, 0.5, 40),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs the sweep across delay spreads (seconds).
+pub fn run(effort: Effort, rate: Rate, snr_db: f64, trms_list: &[f64], seed: u64) -> FadingResult {
+    let sweep = Sweep::over(trms_list.to_vec());
+    let rows = sweep.run(|&trms| {
+        let report = LinkSimulation::new(LinkConfig {
+            rate,
+            psdu_len: effort.psdu_len,
+            packets: effort.packets,
+            seed,
+            snr_db: Some(snr_db),
+            multipath_trms_s: Some(trms),
+            front_end: FrontEnd::Ideal,
+            ..LinkConfig::default()
+        })
+        .run();
+        (report.ber(), report.per(), report.meter.bits())
+    });
+    FadingResult {
+        rate,
+        snr_db,
+        points: rows
+            .into_iter()
+            .map(|p| FadingPoint {
+                trms_s: p.param,
+                ber: p.result.0,
+                per: p.result.1,
+                bits: p.result.2,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_interval_limit() {
+        // 50 ns: excess delay 250 ns ≪ 800 ns guard → fine (up to the
+        // occasional deep fade). 1 µs: excess 5 µs ≫ guard → ISI
+        // collapse.
+        let effort = Effort {
+            packets: 8,
+            psdu_len: 60,
+        };
+        let r = run(effort, Rate::R12, 30.0, &[50e-9, 1e-6], 11);
+        let short = r.points[0].ber;
+        let long = r.points[1].ber;
+        assert!(long > short + 0.02, "no ISI collapse: {short} vs {long}");
+        assert!(short < 0.05, "short delay spread already broken: {short}");
+    }
+
+    #[test]
+    fn table_renders() {
+        let r = run(Effort::quick(), Rate::R6, 25.0, &[100e-9], 12);
+        assert!(r.table().render().contains("delay spread"));
+    }
+}

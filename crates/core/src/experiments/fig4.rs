@@ -1,0 +1,134 @@
+//! Figure 4 — "OFDM signal and adjacent channel": the spectrum of the
+//! wanted 802.11a burst plus the +20 MHz interferer, at the oversampled
+//! scene rate.
+
+use crate::report::{bar, Table};
+use wlan_channel::interferer::Scene;
+use wlan_dsp::spectrum::{band_power, welch_psd};
+use wlan_dsp::Rng;
+use wlan_phy::params::SAMPLE_RATE;
+use wlan_phy::{Rate, Transmitter};
+
+/// Spectrum result.
+#[derive(Debug, Clone)]
+pub struct SpectrumResult {
+    /// `(frequency Hz, PSD dBm/Hz)` series in ascending frequency.
+    pub series: Vec<(f64, f64)>,
+    /// Wanted-channel integrated power (dBm).
+    pub wanted_dbm: f64,
+    /// Adjacent-channel integrated power (dBm).
+    pub adjacent_dbm: f64,
+}
+
+impl SpectrumResult {
+    /// Formats the spectrum as a coarse ASCII plot table (one row per
+    /// 2 MHz bin).
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 4: OFDM signal and adjacent channel (PSD)",
+            &["f [MHz]", "PSD [dBm/Hz]", "plot"],
+        );
+        let max_db = self
+            .series
+            .iter()
+            .map(|(_, p)| *p)
+            .fold(f64::MIN, f64::max);
+        let min_db = max_db - 60.0;
+        // Aggregate into 2 MHz bins for display.
+        let mut bin_f = -40e6;
+        while bin_f < 40e6 - 1.0 {
+            let vals: Vec<f64> = self
+                .series
+                .iter()
+                .filter(|(f, _)| *f >= bin_f && *f < bin_f + 2e6)
+                .map(|(_, p)| *p)
+                .collect();
+            if !vals.is_empty() {
+                let avg = vals.iter().sum::<f64>() / vals.len() as f64;
+                t.push_row(vec![
+                    format!("{:+.0}", bin_f / 1e6),
+                    format!("{avg:.1}"),
+                    bar(avg - min_db, max_db - min_db, 40),
+                ]);
+            }
+            bin_f += 2e6;
+        }
+        t
+    }
+}
+
+/// Builds the Fig. 4 scene (wanted at −40 dBm, adjacent +16 dB at
+/// +20 MHz, both 54 Mbit/s OFDM) and measures its PSD.
+pub fn run(seed: u64) -> SpectrumResult {
+    let mut rng = Rng::new(seed);
+    let mut wanted_psdu = vec![0u8; 400];
+    let mut adj_psdu = vec![0u8; 400];
+    rng.bytes(&mut wanted_psdu);
+    rng.bytes(&mut adj_psdu);
+    let wanted = Transmitter::new(Rate::R54).transmit(&wanted_psdu);
+    let adjacent = Transmitter::new(Rate::R54)
+        .with_scrambler_seed(0b0110011)
+        .transmit(&adj_psdu);
+
+    let osr = 4;
+    let scene = Scene::new(SAMPLE_RATE, osr)
+        .add(&wanted.samples, 0.0, -40.0, 0)
+        .add(&adjacent.samples, 20e6, -24.0, 0)
+        .render();
+    let fs = SAMPLE_RATE * osr as f64;
+    let (freqs, psd) = welch_psd(&scene[1024..], 2048, fs);
+    let series: Vec<(f64, f64)> = freqs
+        .iter()
+        .zip(psd.iter())
+        .map(|(f, p)| (*f, 10.0 * (p / 2.0 / 1e-3).log10()))
+        .collect();
+    let wanted_dbm = 10.0 * (band_power(&freqs, &psd, -9e6, 9e6) / 2.0 / 1e-3).log10();
+    let adjacent_dbm = 10.0 * (band_power(&freqs, &psd, 11e6, 29e6) / 2.0 / 1e-3).log10();
+    SpectrumResult {
+        series,
+        wanted_dbm,
+        adjacent_dbm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectrum_shape_matches_paper() {
+        let r = run(1);
+        // Wanted channel integrates to ≈ −40 dBm, adjacent to ≈ −24 dBm.
+        assert!((r.wanted_dbm - (-40.0)).abs() < 1.0, "wanted {}", r.wanted_dbm);
+        assert!(
+            (r.adjacent_dbm - (-24.0)).abs() < 1.0,
+            "adjacent {}",
+            r.adjacent_dbm
+        );
+        // The adjacent channel sits 16 dB above the wanted one.
+        let rel = r.adjacent_dbm - r.wanted_dbm;
+        assert!((rel - 16.0).abs() < 1.0, "rel {rel}");
+        // Spectral gap between the channels (at ±10 MHz) is far below
+        // both in-band levels.
+        let at = |f0: f64| {
+            r.series
+                .iter()
+                .filter(|(f, _)| (f - f0).abs() < 1e6)
+                .map(|(_, p)| *p)
+                .sum::<f64>()
+                / r.series.iter().filter(|(f, _)| (f - f0).abs() < 1e6).count() as f64
+        };
+        let in_band = at(0.0);
+        let gap = at(10.4e6);
+        let outside = at(-30e6);
+        assert!(in_band > gap, "no roll-off at the channel edge");
+        assert!(in_band > outside + 20.0, "no out-of-band floor");
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = run(2).table();
+        assert!(t.len() > 30);
+        assert!(t.render().contains("Figure 4"));
+    }
+}

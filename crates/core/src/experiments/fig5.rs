@@ -1,0 +1,127 @@
+//! Figure 5 — "BER vs filter bandwidth (with present adjacent channel)":
+//! sweep of the channel-select Chebyshev passband edge.
+//!
+//! Expected shape (paper): a bathtub — a too-narrow filter destroys the
+//! wanted OFDM band (±8.3 MHz), a too-wide filter lets the +16 dB
+//! adjacent channel through.
+
+use crate::experiments::Effort;
+use crate::link::{AdjacentChannel, FrontEnd, LinkConfig, LinkSimulation};
+use crate::report::{bar, format_ber, Table};
+use wlan_dataflow::sweep::Sweep;
+use wlan_phy::Rate;
+use wlan_rf::receiver::RfConfig;
+
+/// One sweep row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig5Point {
+    /// Filter passband edge in Hz.
+    pub edge_hz: f64,
+    /// Measured BER.
+    pub ber: f64,
+    /// Bits counted.
+    pub bits: u64,
+}
+
+/// Sweep result.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// The sweep points, ascending edge.
+    pub points: Vec<Fig5Point>,
+}
+
+impl Fig5Result {
+    /// Renders with the paper's x-axis ("passband edge frequency
+    /// (1.0e8 Hz)").
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 5: BER vs filter bandwidth (adjacent channel present)",
+            &["edge [1e8 Hz]", "edge [MHz]", "BER", "plot"],
+        );
+        for p in &self.points {
+            t.push_row(vec![
+                format!("{:.3}", p.edge_hz / 1e8),
+                format!("{:.1}", p.edge_hz / 1e6),
+                format_ber(p.ber, p.bits),
+                bar(p.ber, 0.5, 40),
+            ]);
+        }
+        t
+    }
+
+    /// The edge (Hz) with the lowest BER.
+    pub fn best_edge_hz(&self) -> f64 {
+        self.points
+            .iter()
+            .min_by(|a, b| a.ber.partial_cmp(&b.ber).unwrap())
+            .map(|p| p.edge_hz)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Runs the sweep: 24 Mbit/s link at −55 dBm with the +16 dB adjacent
+/// channel, Chebyshev edge from 3 to 16 MHz.
+pub fn run(effort: Effort, points: usize, seed: u64) -> Fig5Result {
+    let sweep = Sweep::linspace(3e6, 16e6, points.max(2));
+    let rows = sweep.run(|&edge_hz| {
+        let mut rf = RfConfig::default();
+        rf.channel_filter_edge_hz = edge_hz;
+        let report = LinkSimulation::new(LinkConfig {
+            rate: Rate::R24,
+            psdu_len: effort.psdu_len,
+            packets: effort.packets,
+            seed,
+            rx_level_dbm: -55.0,
+            adjacent: Some(AdjacentChannel::first()),
+            front_end: FrontEnd::RfBaseband(rf),
+            ..LinkConfig::default()
+        })
+        .run();
+        (report.ber(), report.meter.bits())
+    });
+    Fig5Result {
+        points: rows
+            .into_iter()
+            .map(|p| Fig5Point {
+                edge_hz: p.param,
+                ber: p.result.0,
+                bits: p.result.1,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bathtub_shape() {
+        // Narrow (3 MHz) and the best mid-band edge must differ sharply;
+        // quick effort keeps this CI-friendly.
+        let r = run(Effort::quick(), 5, 3);
+        assert_eq!(r.points.len(), 5);
+        let narrow = r.points.first().unwrap().ber;
+        let wide = r.points.last().unwrap().ber;
+        let best = r
+            .points
+            .iter()
+            .map(|p| p.ber)
+            .fold(f64::MAX, f64::min);
+        assert!(narrow > 0.05, "narrow filter should fail: {narrow}");
+        assert!(wide > 0.1, "wide filter should admit the adjacent channel: {wide}");
+        assert!(best < 0.01, "some edge should work: {best}");
+        // The best edge covers the signal band without admitting the
+        // aliased adjacent channel.
+        let e = r.best_edge_hz();
+        assert!((4e6..12e6).contains(&e), "best edge {e}");
+    }
+
+    #[test]
+    fn table_renders() {
+        let r = run(Effort::quick(), 3, 4);
+        let t = r.table();
+        assert_eq!(t.len(), 3);
+        assert!(t.render().contains("Figure 5"));
+    }
+}

@@ -1,0 +1,107 @@
+//! §5.1 — BER vs third-order intercept point of the LNA ("it was
+//! possible to measure bit error rates versus critical parameters of the
+//! RF front-end, e.g. IP3 value of the LNA").
+//!
+//! With the adjacent channel present, a low IIP3 lets the interferer's
+//! intermodulation products land in-band.
+
+use crate::experiments::Effort;
+use crate::link::{AdjacentChannel, FrontEnd, LinkConfig, LinkSimulation};
+use crate::report::{bar, format_ber, Table};
+use wlan_dataflow::sweep::Sweep;
+use wlan_phy::Rate;
+use wlan_rf::nonlinearity::Nonlinearity;
+use wlan_rf::receiver::RfConfig;
+
+/// One sweep row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ip3Point {
+    /// LNA input-referred IIP3 (dBm).
+    pub iip3_dbm: f64,
+    /// Measured BER (adjacent channel present).
+    pub ber: f64,
+    /// Bits counted.
+    pub bits: u64,
+}
+
+/// Sweep result.
+#[derive(Debug, Clone)]
+pub struct Ip3Result {
+    /// Points in ascending IIP3.
+    pub points: Vec<Ip3Point>,
+}
+
+impl Ip3Result {
+    /// Renders the sweep.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "BER vs IIP3 of the LNA (adjacent channel present)",
+            &["IIP3 [dBm]", "BER", "plot"],
+        );
+        for p in &self.points {
+            t.push_row(vec![
+                format!("{:.0}", p.iip3_dbm),
+                format_ber(p.ber, p.bits),
+                bar(p.ber, 0.5, 40),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs the sweep at −40 dBm wanted level (36 Mbit/s) with a +6 dB
+/// adjacent channel, IIP3 from `lo` to `hi` dBm.
+pub fn run(effort: Effort, lo_dbm: f64, hi_dbm: f64, points: usize, seed: u64) -> Ip3Result {
+    let sweep = Sweep::linspace(lo_dbm, hi_dbm, points.max(2));
+    let rows = sweep.run(|&iip3| {
+        let mut rf = RfConfig::default();
+        rf.lna_nonlinearity = Nonlinearity::Cubic { iip3_dbm: iip3 };
+        let report = LinkSimulation::new(LinkConfig {
+            rate: Rate::R36,
+            psdu_len: effort.psdu_len,
+            packets: effort.packets,
+            seed,
+            rx_level_dbm: -40.0,
+            adjacent: Some(AdjacentChannel {
+                offset_hz: 20e6,
+                rel_db: 6.0,
+            }),
+            front_end: FrontEnd::RfBaseband(rf),
+            ..LinkConfig::default()
+        })
+        .run();
+        (report.ber(), report.meter.bits())
+    });
+    Ip3Result {
+        points: rows
+            .into_iter()
+            .map(|p| Ip3Point {
+                iip3_dbm: p.param,
+                ber: p.result.0,
+                bits: p.result.1,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_iip3_breaks_link_high_iip3_fixes_it() {
+        let r = run(Effort::quick(), -40.0, 0.0, 4, 7);
+        let worst = r.points.first().unwrap().ber;
+        let best = r.points.last().unwrap().ber;
+        assert!(worst > 0.05, "low IIP3 should fail: {worst}");
+        assert!(best < 0.01, "high IIP3 should work: {best}");
+        // Monotone trend (allowing Monte-Carlo wiggle): last ≤ first.
+        assert!(best <= worst);
+    }
+
+    #[test]
+    fn table_renders() {
+        let r = run(Effort::quick(), -30.0, -10.0, 2, 8);
+        assert!(r.table().render().contains("IIP3"));
+    }
+}

@@ -1,0 +1,110 @@
+//! §5.1 — the "input and output scale" parameter: BER across the
+//! receiver's specified input range (−88 … −23 dBm, §2.2), verifying
+//! sensitivity at the bottom and overload behavior at the top.
+
+use crate::experiments::Effort;
+use crate::link::{FrontEnd, LinkConfig, LinkSimulation};
+use crate::report::{bar, format_ber, Table};
+use wlan_dataflow::sweep::Sweep;
+use wlan_phy::Rate;
+use wlan_rf::receiver::RfConfig;
+
+/// One sweep row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelPoint {
+    /// Input level (dBm).
+    pub rx_level_dbm: f64,
+    /// Measured BER.
+    pub ber: f64,
+    /// Bits counted.
+    pub bits: u64,
+}
+
+/// Sweep result.
+#[derive(Debug, Clone)]
+pub struct LevelSweepResult {
+    /// Rate used.
+    pub rate: Rate,
+    /// Points in ascending level.
+    pub points: Vec<LevelPoint>,
+}
+
+impl LevelSweepResult {
+    /// Renders the sweep.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!("BER vs input level ({}), spec range -88..-23 dBm", self.rate),
+            &["level [dBm]", "BER", "plot"],
+        );
+        for p in &self.points {
+            t.push_row(vec![
+                format!("{:.0}", p.rx_level_dbm),
+                format_ber(p.ber, p.bits),
+                bar(p.ber, 0.5, 40),
+            ]);
+        }
+        t
+    }
+
+    /// The lowest level with BER below `threshold` (measured
+    /// sensitivity).
+    pub fn sensitivity_dbm(&self, threshold: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.ber < threshold)
+            .map(|p| p.rx_level_dbm)
+    }
+}
+
+/// Runs the sweep from below sensitivity to above the specified maximum.
+pub fn run(effort: Effort, rate: Rate, lo_dbm: f64, hi_dbm: f64, points: usize, seed: u64) -> LevelSweepResult {
+    let sweep = Sweep::linspace(lo_dbm, hi_dbm, points.max(2));
+    let rows = sweep.run(|&level| {
+        let report = LinkSimulation::new(LinkConfig {
+            rate,
+            psdu_len: effort.psdu_len,
+            packets: effort.packets,
+            seed,
+            rx_level_dbm: level,
+            front_end: FrontEnd::RfBaseband(RfConfig::default()),
+            ..LinkConfig::default()
+        })
+        .run();
+        (report.ber(), report.meter.bits())
+    });
+    LevelSweepResult {
+        rate,
+        points: rows
+            .into_iter()
+            .map(|p| LevelPoint {
+                rx_level_dbm: p.param,
+                ber: p.result.0,
+                bits: p.result.1,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensitivity_cliff_and_spec_range_clean() {
+        let r = run(Effort::quick(), Rate::R12, -100.0, -25.0, 6, 3);
+        // Far below sensitivity: broken. Within the range: clean.
+        assert!(r.points.first().unwrap().ber > 0.1, "{:?}", r.points[0]);
+        assert!(r.points.last().unwrap().ber < 0.01, "{:?}", r.points.last());
+        let sens = r.sensitivity_dbm(0.01).expect("link closes somewhere");
+        assert!(
+            (-95.0..=-70.0).contains(&sens),
+            "measured sensitivity {sens} dBm"
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let r = run(Effort::quick(), Rate::R24, -60.0, -30.0, 2, 4);
+        assert!(r.table().render().contains("input level"));
+    }
+}

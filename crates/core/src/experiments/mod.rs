@@ -1,0 +1,86 @@
+//! The paper's evaluation, experiment by experiment.
+//!
+//! Every table and figure of the DATE 2003 paper maps to one module
+//! here; each `run` function returns a structured result that formats
+//! itself as a [`crate::Table`] (and CSV). The `wlan-bench` crate has
+//! one binary per experiment.
+//!
+//! | Module | Paper item |
+//! |---|---|
+//! | [`table1`] | Table 1 — IEEE WLAN standards |
+//! | [`fading`] | §3.1 — BER vs delay spread over the Rayleigh fading channel |
+//! | [`fig3`] | Fig. 3 — the receiver as an SPW-style block schematic |
+//! | [`fig4`] | Fig. 4 — OFDM signal and adjacent channel spectrum |
+//! | [`fig5`] | Fig. 5 — BER vs channel-filter bandwidth (adjacent present) |
+//! | [`fig6`] | Fig. 6 — BER vs LNA compression point (± adjacent) |
+//! | [`table2`] | Table 2 — simulation time, system-level vs co-simulation |
+//! | [`ip3`] | §5.1 — BER vs LNA IP3 |
+//! | [`noise_figure`] | §5.1 — BER vs noise figure & the co-sim noise gap |
+//! | [`evm`] | §5.2 — EVM measurement with the ideal receiver |
+//! | [`rf_char`] | §4.2 — SpectreRF-style characterization of the RF blocks |
+//! | [`level_sweep`] | §5.1 — BER across the −88…−23 dBm input range |
+//! | [`blocking`] | §2.2 — adjacent/alternate channel rejection |
+//! | [`cfo`] | receiver CFO tolerance vs the ±20 ppm spec |
+//! | [`constellation`] | constellation capture (the SigCalc viewer workflow) |
+//! | [`ber_snr`] | §5.1 — BER-vs-SNR baseline for all eight rates |
+
+pub mod ber_snr;
+pub mod blocking;
+pub mod cfo;
+pub mod constellation;
+pub mod evm;
+pub mod fading;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod ip3;
+pub mod level_sweep;
+pub mod noise_figure;
+pub mod rf_char;
+pub mod table1;
+pub mod table2;
+
+/// Effort level shared by the Monte-Carlo experiments: packets simulated
+/// per sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Effort {
+    /// Packets per sweep point.
+    pub packets: usize,
+    /// PSDU length in bytes.
+    pub psdu_len: usize,
+}
+
+impl Default for Effort {
+    fn default() -> Self {
+        Effort {
+            packets: 10,
+            psdu_len: 100,
+        }
+    }
+}
+
+impl Effort {
+    /// A fast smoke-test effort (CI-friendly).
+    pub fn quick() -> Self {
+        Effort {
+            packets: 2,
+            psdu_len: 60,
+        }
+    }
+
+    /// Reads the effort from the `WLANSIM_PACKETS` / `WLANSIM_PSDU`
+    /// environment variables, falling back to the default.
+    pub fn from_env() -> Self {
+        let d = Effort::default();
+        let packets = std::env::var("WLANSIM_PACKETS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(d.packets);
+        let psdu_len = std::env::var("WLANSIM_PSDU")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(d.psdu_len);
+        Effort { packets, psdu_len }
+    }
+}

@@ -1,0 +1,143 @@
+//! §5.1 — the noise-figure experiment and the co-simulation noise gap.
+//!
+//! The paper: "During a co-simulation it was not possible to examine the
+//! influence of the noise figure, because the AMS Designer does not
+//! support the Verilog-AMS noise functions. This causes, that the
+//! measured BER values were better than the results from the
+//! corresponding SPW only simulation."
+//!
+//! We sweep the LNA noise figure near sensitivity in the baseband
+//! (SPW-style) simulation, and run the same configuration through the
+//! noiseless co-simulation to reproduce the optimistic-BER artifact.
+
+use crate::experiments::Effort;
+use crate::link::{FrontEnd, LinkConfig, LinkSimulation};
+use crate::report::{bar, format_ber, Table};
+use wlan_dataflow::sweep::Sweep;
+use wlan_phy::Rate;
+use wlan_rf::receiver::RfConfig;
+
+/// One sweep row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NfPoint {
+    /// LNA noise figure (dB).
+    pub nf_db: f64,
+    /// BER in the baseband (noisy) simulation.
+    pub ber_baseband: f64,
+    /// BER in the noiseless co-simulation at the same setting.
+    pub ber_cosim: f64,
+    /// Bits per series.
+    pub bits: u64,
+}
+
+/// Sweep result.
+#[derive(Debug, Clone)]
+pub struct NfResult {
+    /// Points in ascending noise figure.
+    pub points: Vec<NfPoint>,
+    /// Receive level used (dBm).
+    pub rx_level_dbm: f64,
+}
+
+impl NfResult {
+    /// Renders both series.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "BER vs LNA noise figure at {} dBm (baseband vs noiseless co-sim)",
+                self.rx_level_dbm
+            ),
+            &["NF [dB]", "BER baseband", "BER co-sim", "baseband"],
+        );
+        for p in &self.points {
+            t.push_row(vec![
+                format!("{:.0}", p.nf_db),
+                format_ber(p.ber_baseband, p.bits),
+                format_ber(p.ber_cosim, p.bits),
+                bar(p.ber_baseband, 0.5, 30),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs the sweep near sensitivity.
+pub fn run(effort: Effort, rx_level_dbm: f64, points: usize, seed: u64) -> NfResult {
+    let sweep = Sweep::linspace(3.0, 27.0, points.max(2));
+    let rows = sweep.run(|&nf| {
+        let mut rf = RfConfig::default();
+        rf.lna_nf_db = nf;
+        let base = LinkSimulation::new(LinkConfig {
+            rate: Rate::R12,
+            psdu_len: effort.psdu_len,
+            packets: effort.packets,
+            seed,
+            rx_level_dbm,
+            front_end: FrontEnd::RfBaseband(rf),
+            ..LinkConfig::default()
+        })
+        .run();
+        // The co-simulation cannot model the noise figure at all — every
+        // NF setting produces the same (noiseless) behavior.
+        let cosim = LinkSimulation::new(LinkConfig {
+            rate: Rate::R12,
+            psdu_len: effort.psdu_len,
+            packets: effort.packets,
+            seed,
+            rx_level_dbm,
+            front_end: FrontEnd::RfCosim {
+                filter_edge_hz: 10e6,
+                analog_osr: 4,
+                noise_workaround: false,
+            },
+            ..LinkConfig::default()
+        })
+        .run();
+        (base.ber(), cosim.ber(), base.meter.bits())
+    });
+    NfResult {
+        points: rows
+            .into_iter()
+            .map(|p| NfPoint {
+                nf_db: p.param,
+                ber_baseband: p.result.0,
+                ber_cosim: p.result.1,
+                bits: p.result.2,
+            })
+            .collect(),
+        rx_level_dbm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosim_is_optimistic_at_high_nf() {
+        // At −82 dBm a 27 dB front-end NF kills the baseband link while
+        // the noiseless co-sim stays clean — the paper's observed gap.
+        let r = run(Effort::quick(), -82.0, 3, 9);
+        let worst = r.points.last().unwrap();
+        assert!(worst.nf_db > 20.0);
+        assert!(
+            worst.ber_baseband > 0.02,
+            "baseband should degrade: {}",
+            worst.ber_baseband
+        );
+        assert!(
+            worst.ber_cosim < worst.ber_baseband,
+            "co-sim must be optimistic: {} vs {}",
+            worst.ber_cosim,
+            worst.ber_baseband
+        );
+    }
+
+    #[test]
+    fn low_nf_link_works() {
+        let r = run(Effort::quick(), -80.0, 2, 10);
+        let best = r.points.first().unwrap();
+        assert!(best.ber_baseband < 0.02, "{}", best.ber_baseband);
+        assert!(r.table().render().contains("noise figure"));
+    }
+}

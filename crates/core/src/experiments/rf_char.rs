@@ -1,0 +1,180 @@
+//! §4.2 — SpectreRF-style characterization of the behavioral RF blocks:
+//! verify each model (and the cascade) against its specification before
+//! using it in the system simulation ("Verify the RF system separately
+//! using RF simulation techniques. … Calibration of the behavioral
+//! models.").
+
+use crate::report::Table;
+use wlan_dsp::{Complex, Rng};
+use wlan_meas::compression::measure_p1db;
+use wlan_meas::noisefigure::measure_noise_figure;
+use wlan_meas::twotone::measure_iip3;
+use wlan_rf::nonlinearity::Nonlinearity;
+use wlan_rf::spec::{cascade_noise_figure_db, StageSpec};
+use wlan_rf::Amplifier;
+
+/// One spec-vs-measured row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharRow {
+    /// Block and quantity.
+    pub quantity: String,
+    /// Specified value.
+    pub spec: f64,
+    /// Measured value.
+    pub measured: f64,
+    /// Unit label.
+    pub unit: &'static str,
+}
+
+impl CharRow {
+    /// Absolute error.
+    pub fn error(&self) -> f64 {
+        (self.measured - self.spec).abs()
+    }
+}
+
+/// Characterization result.
+#[derive(Debug, Clone)]
+pub struct RfCharResult {
+    /// All rows.
+    pub rows: Vec<CharRow>,
+}
+
+impl RfCharResult {
+    /// Renders the spec-vs-measured table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "RF characterization: behavioral models vs specification",
+            &["quantity", "spec", "measured", "unit", "error"],
+        );
+        for r in &self.rows {
+            t.push_row(vec![
+                r.quantity.clone(),
+                format!("{:.2}", r.spec),
+                format!("{:.2}", r.measured),
+                r.unit.to_string(),
+                format!("{:.2}", r.error()),
+            ]);
+        }
+        t
+    }
+
+    /// Largest spec error across all rows.
+    pub fn worst_error(&self) -> f64 {
+        self.rows.iter().map(CharRow::error).fold(0.0, f64::max)
+    }
+}
+
+/// Characterizes the default LNA (gain/NF/P1dB/IIP3) and the
+/// LNA + mixer cascade noise figure.
+pub fn run(seed: u64) -> RfCharResult {
+    let fs = 80e6;
+    let mut rows = Vec::new();
+
+    // LNA gain + P1dB via compression sweep (no noise for clean tones).
+    let lna_gain = 15.0;
+    let lna_p1 = -5.0;
+    {
+        let mut lna = Amplifier::new(lna_gain, 3.0, Nonlinearity::rapp(lna_p1), fs, Rng::new(seed));
+        lna.set_noise_enabled(false);
+        let mut dev = |x: &[Complex]| lna.process(x);
+        let m = measure_p1db(&mut dev, 1e6, -45.0, 5.0, 1.0, fs, 4000);
+        rows.push(CharRow {
+            quantity: "LNA gain".into(),
+            spec: lna_gain,
+            measured: m.small_signal_gain_db,
+            unit: "dB",
+        });
+        rows.push(CharRow {
+            quantity: "LNA P1dB (in)".into(),
+            spec: lna_p1,
+            measured: m.p1db_in_dbm.unwrap_or(f64::NAN),
+            unit: "dBm",
+        });
+    }
+
+    // LNA IIP3 on a cubic variant.
+    {
+        let iip3 = -8.0;
+        let mut lna = Amplifier::new(
+            lna_gain,
+            3.0,
+            Nonlinearity::Cubic { iip3_dbm: iip3 },
+            fs,
+            Rng::new(seed + 1),
+        );
+        lna.set_noise_enabled(false);
+        let mut dev = |x: &[Complex]| lna.process(x);
+        let m = measure_iip3(&mut dev, 1e6, 1.37e6, iip3 - 30.0, fs, 40_000);
+        rows.push(CharRow {
+            quantity: "LNA IIP3".into(),
+            spec: iip3,
+            measured: m.iip3_dbm,
+            unit: "dBm",
+        });
+    }
+
+    // LNA noise figure.
+    {
+        let nf = 3.0;
+        let mut lna = Amplifier::new(lna_gain, nf, Nonlinearity::Linear, fs, Rng::new(seed + 2));
+        let mut dev = |x: &[Complex]| lna.process(x);
+        let m = measure_noise_figure(&mut dev, 1e6, -65.0, fs, 300_000, seed + 3);
+        rows.push(CharRow {
+            quantity: "LNA NF".into(),
+            spec: nf,
+            measured: m.nf_db,
+            unit: "dB",
+        });
+    }
+
+    // Cascade NF (LNA + first mixer) vs the Friis budget.
+    {
+        let stages = [
+            StageSpec {
+                name: "lna",
+                gain_db: 15.0,
+                nf_db: 3.0,
+            },
+            StageSpec {
+                name: "mixer1",
+                gain_db: 8.0,
+                nf_db: 9.0,
+            },
+        ];
+        let friis = cascade_noise_figure_db(&stages);
+        let mut lna = Amplifier::new(15.0, 3.0, Nonlinearity::Linear, fs, Rng::new(seed + 4));
+        let mut mix = Amplifier::new(8.0, 9.0, Nonlinearity::Linear, fs, Rng::new(seed + 5));
+        let mut dev = |x: &[Complex]| mix.process(&lna.process(x));
+        let m = measure_noise_figure(&mut dev, 1e6, -65.0, fs, 300_000, seed + 6);
+        rows.push(CharRow {
+            quantity: "cascade NF (Friis)".into(),
+            spec: friis,
+            measured: m.nf_db,
+            unit: "dB",
+        });
+    }
+
+    RfCharResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn models_meet_their_specs() {
+        let r = run(11);
+        assert_eq!(r.rows.len(), 5);
+        for row in &r.rows {
+            assert!(
+                row.error() < 0.6,
+                "{}: spec {} vs measured {}",
+                row.quantity,
+                row.spec,
+                row.measured
+            );
+        }
+        assert!(r.table().render().contains("characterization"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Table 1 — IEEE WLAN standards.
+
+use crate::report::Table;
+use wlan_phy::params::WLAN_STANDARDS;
+
+/// Renders the standards table (static data from `wlan_phy::params`).
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "Table 1: IEEE WLAN standards",
+        &["Standard", "Approval", "Freq. band [GHz]", "Data rates [Mbps]"],
+    );
+    for s in WLAN_STANDARDS {
+        let rates = s
+            .data_rates_mbps
+            .iter()
+            .map(|r| {
+                if r.fract() == 0.0 {
+                    format!("{r:.0}")
+                } else {
+                    format!("{r}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        t.push_row(vec![
+            s.name.to_string(),
+            s.approval_year.to_string(),
+            format!("{}", s.freq_band_ghz),
+            rates,
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_four_standards() {
+        let t = run();
+        assert_eq!(t.len(), 4);
+        let text = t.render();
+        assert!(text.contains("802.11a"));
+        assert!(text.contains("5.2"));
+        assert!(text.contains("54"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Table 2 — "Comparison of simulation time": the pure system-level
+//! (SPW-style baseband) run versus the mixed-signal co-simulation, for a
+//! growing number of OFDM packets.
+//!
+//! The paper reports the co-simulation 30–40× slower; the exact ratio is
+//! host-dependent, but it is structural (the analog engine RK4-integrates
+//! every filter state at `analog_osr` sub-steps per RF sample), so the
+//! ratio is far above 1 on any machine.
+
+use crate::link::{FrontEnd, LinkConfig, LinkSimulation};
+use crate::report::Table;
+use std::time::Duration;
+use wlan_phy::Rate;
+use wlan_rf::receiver::RfConfig;
+
+/// One row of the timing comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingRow {
+    /// OFDM packets simulated.
+    pub packets: usize,
+    /// System-level (baseband) wall time.
+    pub baseband: Duration,
+    /// Co-simulation wall time.
+    pub cosim: Duration,
+}
+
+impl TimingRow {
+    /// Slowdown factor of the co-simulation.
+    pub fn ratio(&self) -> f64 {
+        self.cosim.as_secs_f64() / self.baseband.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The timing comparison result.
+#[derive(Debug, Clone)]
+pub struct Table2Result {
+    /// Rows in ascending packet count.
+    pub rows: Vec<TimingRow>,
+    /// Analog sub-steps per RF sample used for the co-simulation.
+    pub analog_osr: usize,
+}
+
+impl Table2Result {
+    /// Renders the comparison (paper Table 2 format plus the ratio).
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Table 2: simulation time, system-level vs co-simulation (analog osr {})",
+                self.analog_osr
+            ),
+            &["OFDM packets", "baseband [ms]", "co-sim [ms]", "ratio"],
+        );
+        for r in &self.rows {
+            t.push_row(vec![
+                r.packets.to_string(),
+                format!("{:.1}", r.baseband.as_secs_f64() * 1e3),
+                format!("{:.1}", r.cosim.as_secs_f64() * 1e3),
+                format!("{:.1}x", r.ratio()),
+            ]);
+        }
+        t
+    }
+}
+
+fn run_mode(front_end: FrontEnd, packets: usize, psdu_len: usize, seed: u64) -> Duration {
+    let report = LinkSimulation::new(LinkConfig {
+        rate: Rate::R24,
+        psdu_len,
+        packets,
+        seed,
+        rx_level_dbm: -50.0,
+        front_end,
+        ..LinkConfig::default()
+    })
+    .run();
+    report.elapsed
+}
+
+/// Runs the comparison for the given packet counts.
+///
+/// `analog_osr` sets the co-simulation's sub-step count (the paper's
+/// ratio regime is reached around 16–32).
+pub fn run(packet_counts: &[usize], psdu_len: usize, analog_osr: usize, seed: u64) -> Table2Result {
+    let rows = packet_counts
+        .iter()
+        .map(|&packets| {
+            let mut cfg = RfConfig::default();
+            cfg.noise_enabled = false; // match the noiseless co-sim
+            let baseband = run_mode(FrontEnd::RfBaseband(cfg), packets, psdu_len, seed);
+            let cosim = run_mode(
+                FrontEnd::RfCosim {
+                    filter_edge_hz: 10e6,
+                    analog_osr,
+                    noise_workaround: false,
+                },
+                packets,
+                psdu_len,
+                seed,
+            );
+            TimingRow {
+                packets,
+                baseband,
+                cosim,
+            }
+        })
+        .collect();
+    Table2Result { rows, analog_osr }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosim_is_much_slower() {
+        let r = run(&[1], 60, 16, 1);
+        assert_eq!(r.rows.len(), 1);
+        let ratio = r.rows[0].ratio();
+        assert!(ratio > 3.0, "co-sim only {ratio:.1}x slower");
+    }
+
+    #[test]
+    fn time_grows_with_packets() {
+        let r = run(&[1, 3], 60, 4, 2);
+        assert!(r.rows[1].cosim > r.rows[0].cosim);
+        assert!(r.table().render().contains("Table 2"));
+    }
+}

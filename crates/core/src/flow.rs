@@ -1,0 +1,236 @@
+//! The paper's suggested top-down design flow (§4), executable.
+//!
+//! > "Creation of a hierarchical model of the RF part using the SPW RF
+//! > models. Verification of the model within SPW simulation of the
+//! > complete system. Model the RF subsystem in Spectre … Verify the RF
+//! > system separately using RF simulation techniques. … Verification of
+//! > the RF design in the DSP environment by … co-simulation."
+//!
+//! [`DesignFlow::run`] executes those steps in order against a given RF
+//! configuration and reports pass/fail per step — the regression harness
+//! an RF system designer would run after every change to the front end.
+
+use crate::experiments::rf_char;
+use crate::link::{AdjacentChannel, FrontEnd, LinkConfig, LinkSimulation};
+use crate::report::Table;
+use std::time::Duration;
+use wlan_phy::Rate;
+use wlan_rf::receiver::RfConfig;
+
+/// One executed flow step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowStep {
+    /// Step label (mirrors the paper's §4 list).
+    pub name: &'static str,
+    /// Whether the step's acceptance criterion held.
+    pub passed: bool,
+    /// Human-readable evidence ("BER 3.1e-4", "worst spec error 0.02 dB").
+    pub evidence: String,
+    /// Wall-clock cost of the step.
+    pub elapsed: Duration,
+}
+
+/// The executed flow.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// Steps in execution order.
+    pub steps: Vec<FlowStep>,
+}
+
+impl FlowReport {
+    /// `true` when every step passed.
+    pub fn passed(&self) -> bool {
+        self.steps.iter().all(|s| s.passed)
+    }
+
+    /// Renders the flow as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Design flow (paper §4): RF subsystem verification",
+            &["step", "result", "evidence", "time [ms]"],
+        );
+        for s in &self.steps {
+            t.push_row(vec![
+                s.name.to_string(),
+                if s.passed { "PASS" } else { "FAIL" }.to_string(),
+                s.evidence.clone(),
+                format!("{:.0}", s.elapsed.as_secs_f64() * 1e3),
+            ]);
+        }
+        t
+    }
+}
+
+/// Acceptance thresholds for the flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowCriteria {
+    /// Maximum BER accepted in the system verifications.
+    pub max_ber: f64,
+    /// Maximum spec error (dB / dBm) in RF characterization.
+    pub max_spec_error: f64,
+    /// Packets per verification run.
+    pub packets: usize,
+    /// Receive level for the system runs (dBm).
+    pub rx_level_dbm: f64,
+    /// Data rate for the system runs.
+    pub rate: Rate,
+}
+
+impl Default for FlowCriteria {
+    fn default() -> Self {
+        FlowCriteria {
+            max_ber: 1e-3,
+            max_spec_error: 0.5,
+            packets: 5,
+            rx_level_dbm: -55.0,
+            rate: Rate::R24,
+        }
+    }
+}
+
+/// The executable design flow.
+#[derive(Debug, Clone)]
+pub struct DesignFlow {
+    rf: RfConfig,
+    criteria: FlowCriteria,
+    seed: u64,
+}
+
+impl DesignFlow {
+    /// Creates a flow for the RF design under test.
+    pub fn new(rf: RfConfig, criteria: FlowCriteria, seed: u64) -> Self {
+        DesignFlow { rf, criteria, seed }
+    }
+
+    fn link(&self, front_end: FrontEnd, adjacent: Option<AdjacentChannel>) -> LinkConfig {
+        LinkConfig {
+            rate: self.criteria.rate,
+            psdu_len: 100,
+            packets: self.criteria.packets,
+            seed: self.seed,
+            rx_level_dbm: self.criteria.rx_level_dbm,
+            adjacent,
+            front_end,
+            ..LinkConfig::default()
+        }
+    }
+
+    /// Executes all five steps.
+    pub fn run(&self) -> FlowReport {
+        let mut steps = Vec::new();
+        let c = &self.criteria;
+
+        // Step 1: DSP executable specification (no RF part).
+        let t0 = std::time::Instant::now();
+        let spec = LinkSimulation::new(LinkConfig {
+            snr_db: Some(20.0),
+            ..self.link(FrontEnd::Ideal, None)
+        })
+        .run();
+        steps.push(FlowStep {
+            name: "1. DSP executable specification",
+            passed: spec.ber() <= c.max_ber,
+            evidence: format!("BER {:.1e} at 20 dB AWGN", spec.ber()),
+            elapsed: t0.elapsed(),
+        });
+
+        // Step 2: characterize the RF behavioral models (SpectreRF role).
+        let t0 = std::time::Instant::now();
+        let char_result = rf_char::run(self.seed);
+        steps.push(FlowStep {
+            name: "2. RF model characterization",
+            passed: char_result.worst_error() <= c.max_spec_error,
+            evidence: format!("worst spec error {:.2}", char_result.worst_error()),
+            elapsed: t0.elapsed(),
+        });
+
+        // Step 3: verify the RF model inside the system simulation.
+        let t0 = std::time::Instant::now();
+        let sys = LinkSimulation::new(self.link(FrontEnd::RfBaseband(self.rf), None)).run();
+        steps.push(FlowStep {
+            name: "3. system verification (SPW level)",
+            passed: sys.ber() <= c.max_ber,
+            evidence: format!("BER {:.1e} at {} dBm", sys.ber(), c.rx_level_dbm),
+            elapsed: t0.elapsed(),
+        });
+
+        // Step 4: adjacent-channel robustness.
+        let t0 = std::time::Instant::now();
+        let adj = LinkSimulation::new(self.link(
+            FrontEnd::RfBaseband(self.rf),
+            Some(AdjacentChannel::first()),
+        ))
+        .run();
+        steps.push(FlowStep {
+            name: "4. adjacent-channel verification",
+            passed: adj.ber() <= 10.0 * c.max_ber,
+            evidence: format!("BER {:.1e} with +16 dB adjacent", adj.ber()),
+            elapsed: t0.elapsed(),
+        });
+
+        // Step 5: mixed-signal co-simulation of the netlist design.
+        let t0 = std::time::Instant::now();
+        let cosim = LinkSimulation::new(self.link(
+            FrontEnd::RfCosim {
+                filter_edge_hz: self.rf.channel_filter_edge_hz,
+                analog_osr: 8,
+                noise_workaround: false,
+            },
+            None,
+        ))
+        .run();
+        steps.push(FlowStep {
+            name: "5. AMS co-simulation verification",
+            passed: cosim.ber() <= c.max_ber,
+            evidence: format!(
+                "BER {:.1e}, {:.0} ms ({}x baseband)",
+                cosim.ber(),
+                cosim.elapsed.as_secs_f64() * 1e3,
+                (cosim.elapsed.as_secs_f64() / sys.elapsed.as_secs_f64().max(1e-9)).round()
+            ),
+            elapsed: t0.elapsed(),
+        });
+
+        FlowReport { steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_rf::nonlinearity::Nonlinearity;
+
+    fn quick_criteria() -> FlowCriteria {
+        FlowCriteria {
+            packets: 2,
+            ..FlowCriteria::default()
+        }
+    }
+
+    #[test]
+    fn good_design_passes_all_steps() {
+        let flow = DesignFlow::new(RfConfig::default(), quick_criteria(), 3);
+        let report = flow.run();
+        assert_eq!(report.steps.len(), 5);
+        for s in &report.steps {
+            assert!(s.passed, "{} failed: {}", s.name, s.evidence);
+        }
+        assert!(report.passed());
+        assert!(report.table().render().contains("Design flow"));
+    }
+
+    #[test]
+    fn broken_design_fails_the_right_step() {
+        // An LNA that saturates far below the operating level: the
+        // system steps fail while the DSP spec step still passes.
+        let mut rf = RfConfig::default();
+        rf.lna_nonlinearity = Nonlinearity::rapp(-70.0);
+        let mut criteria = quick_criteria();
+        criteria.rate = Rate::R54;
+        criteria.rx_level_dbm = -40.0;
+        let report = DesignFlow::new(rf, criteria, 4).run();
+        assert!(report.steps[0].passed, "spec step must not involve RF");
+        assert!(!report.steps[2].passed, "system step should catch the bad LNA");
+        assert!(!report.passed());
+    }
+}

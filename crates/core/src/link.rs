@@ -1,0 +1,487 @@
+//! The end-to-end link testbench: transmitter → channel (+ adjacent
+//! channel) → RF front-end at a chosen abstraction level → DSP receiver
+//! → BER/EVM meters.
+
+use std::time::{Duration, Instant};
+use wlan_ams::CosimReceiver;
+use wlan_channel::awgn::Awgn;
+use wlan_channel::fading::MultipathChannel;
+use wlan_channel::interferer::Scene;
+use wlan_dsp::{Complex, Rng};
+use wlan_meas::BerMeter;
+use wlan_phy::params::SAMPLE_RATE;
+use wlan_phy::{Rate, Receiver, Transmitter};
+use wlan_rf::receiver::{DoubleConversionReceiver, RfConfig};
+
+/// Adjacent-channel interferer description (paper §4.1: a duplicated
+/// transmitter shifted by 20 MHz).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdjacentChannel {
+    /// Center-frequency offset in Hz (±20 MHz for the first adjacent
+    /// channel).
+    pub offset_hz: f64,
+    /// Level relative to the wanted channel in dB (paper: +16 dB for the
+    /// first adjacent, +32 dB for the alternate channel).
+    pub rel_db: f64,
+}
+
+impl AdjacentChannel {
+    /// The paper's first adjacent channel: +20 MHz, +16 dB.
+    pub fn first() -> Self {
+        AdjacentChannel {
+            offset_hz: 20e6,
+            rel_db: 16.0,
+        }
+    }
+
+    /// The paper's alternate (non-adjacent) channel: +40 MHz, +32 dB.
+    pub fn alternate() -> Self {
+        AdjacentChannel {
+            offset_hz: 40e6,
+            rel_db: 32.0,
+        }
+    }
+}
+
+/// RF front-end abstraction level.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // RfConfig is plain-old-data config
+pub enum FrontEnd {
+    /// No RF part: the DSP receiver sees the channel output directly at
+    /// 20 Msps.
+    Ideal,
+    /// Complex-baseband behavioral RF models (SPW level).
+    RfBaseband(RfConfig),
+    /// Netlist-elaborated continuous-time co-simulation (AMS level).
+    RfCosim {
+        /// Channel-select filter edge in Hz.
+        filter_edge_hz: f64,
+        /// Analog solver sub-steps per 80 Msps sample.
+        analog_osr: usize,
+        /// Apply the paper's workaround of injecting the missing noise
+        /// in the discrete-time part of the co-simulation.
+        noise_workaround: bool,
+    },
+}
+
+impl FrontEnd {
+    /// The default co-simulation front end (no noise — reproducing the
+    /// paper's AMS limitation).
+    pub fn default_cosim() -> Self {
+        FrontEnd::RfCosim {
+            filter_edge_hz: 10e6,
+            analog_osr: 8,
+            noise_workaround: false,
+        }
+    }
+}
+
+/// Link simulation configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkConfig {
+    /// 802.11a data rate.
+    pub rate: Rate,
+    /// PSDU length in bytes.
+    pub psdu_len: usize,
+    /// Number of packets to simulate.
+    pub packets: usize,
+    /// Master seed (packets use derived streams).
+    pub seed: u64,
+    /// Wanted-channel level at the RF input in dBm (RF modes).
+    pub rx_level_dbm: f64,
+    /// AWGN SNR in dB for [`FrontEnd::Ideal`]; `None` = noiseless.
+    /// Ignored in RF modes (noise comes from the RF models and the
+    /// thermal floor).
+    pub snr_db: Option<f64>,
+    /// RMS delay spread of a Rayleigh multipath channel; `None` = flat.
+    pub multipath_trms_s: Option<f64>,
+    /// Optional adjacent-channel interferer.
+    pub adjacent: Option<AdjacentChannel>,
+    /// Front-end abstraction level.
+    pub front_end: FrontEnd,
+    /// Scene oversampling ratio for the RF modes.
+    pub osr: usize,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            rate: Rate::R24,
+            psdu_len: 100,
+            packets: 10,
+            seed: 1,
+            rx_level_dbm: -55.0,
+            snr_db: None,
+            multipath_trms_s: None,
+            adjacent: None,
+            front_end: FrontEnd::Ideal,
+            osr: 4,
+        }
+    }
+}
+
+/// Link simulation results.
+#[derive(Debug, Clone)]
+pub struct LinkReport {
+    /// Packets simulated.
+    pub packets: usize,
+    /// Packets that decoded (detected and parsed; may still carry bit
+    /// errors).
+    pub decoded_packets: usize,
+    /// BER meter with totals.
+    pub meter: BerMeter,
+    /// Mean EVM (dB) over decoded packets, `None` if nothing decoded.
+    pub evm_db: Option<f64>,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+}
+
+impl LinkReport {
+    /// Bit error rate.
+    pub fn ber(&self) -> f64 {
+        self.meter.ber()
+    }
+
+    /// Packet error rate.
+    pub fn per(&self) -> f64 {
+        self.meter.per()
+    }
+}
+
+/// The link simulation engine.
+#[derive(Debug, Clone)]
+pub struct LinkSimulation {
+    config: LinkConfig,
+}
+
+impl LinkSimulation {
+    /// Creates a simulation from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero packets or PSDU length.
+    pub fn new(config: LinkConfig) -> Self {
+        assert!(config.packets > 0, "need at least one packet");
+        assert!(config.psdu_len > 0, "PSDU must not be empty");
+        LinkSimulation { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Runs all packets and accumulates the report.
+    pub fn run(&self) -> LinkReport {
+        let cfg = &self.config;
+        let started = Instant::now();
+        let mut rng = Rng::new(cfg.seed);
+        let mut meter = BerMeter::new();
+        let mut evm_acc = 0.0f64;
+        let mut decoded = 0usize;
+
+        // Front-end state persists across packets (filters settle).
+        let mut bb_frontend = match &cfg.front_end {
+            FrontEnd::RfBaseband(rf) => {
+                // The front end must run at the scene's oversampled rate.
+                let mut rf = *rf;
+                rf.sample_rate_hz = SAMPLE_RATE * cfg.osr as f64;
+                rf.osr = cfg.osr;
+                Some(DoubleConversionReceiver::new(rf, cfg.seed ^ 0xABCD))
+            }
+            _ => None,
+        };
+        let mut cosim_frontend = match &cfg.front_end {
+            FrontEnd::RfCosim {
+                filter_edge_hz,
+                analog_osr,
+                ..
+            } => Some(
+                CosimReceiver::with_filter_edge(
+                    *filter_edge_hz,
+                    SAMPLE_RATE * cfg.osr as f64,
+                    *analog_osr,
+                    cfg.osr,
+                )
+                .expect("built-in netlist elaborates"),
+            ),
+            _ => None,
+        };
+
+        let tx = Transmitter::new(cfg.rate);
+        let rx = Receiver::new();
+        let mut noise = Awgn::new(cfg.seed ^ 0x5EED);
+
+        for pkt in 0..cfg.packets {
+            let mut psdu = vec![0u8; cfg.psdu_len];
+            rng.bytes(&mut psdu);
+            let seed_bits = ((pkt as u8).wrapping_mul(37) % 127) + 1;
+            let burst = Transmitter::new(cfg.rate)
+                .with_scrambler_seed(seed_bits)
+                .transmit(&psdu);
+            let _ = &tx;
+
+            // Optional multipath (one realization per packet).
+            let faded = match cfg.multipath_trms_s {
+                Some(trms) => {
+                    let ch = MultipathChannel::rayleigh_exponential(trms, SAMPLE_RATE, &mut rng);
+                    ch.apply(&burst.samples)
+                }
+                None => burst.samples.clone(),
+            };
+
+            let dsp_input: Vec<Complex> = match &cfg.front_end {
+                FrontEnd::Ideal => {
+                    let mut x = Vec::with_capacity(faded.len() + 400);
+                    x.extend(std::iter::repeat_n(Complex::ZERO, 200));
+                    x.extend_from_slice(&faded);
+                    x.extend(std::iter::repeat_n(Complex::ZERO, 200));
+                    match cfg.snr_db {
+                        Some(snr) => {
+                            // Noise power relative to burst power (≈1).
+                            let np = 10f64.powf(-snr / 10.0);
+                            noise.add_noise_power(&x, np)
+                        }
+                        None => x,
+                    }
+                }
+                FrontEnd::RfBaseband(_) | FrontEnd::RfCosim { .. } => {
+                    let scene = self.build_scene(&faded, cfg, pkt, &mut rng);
+                    let x = self.add_frontend_noise(scene, cfg, &mut noise);
+                    match (&mut bb_frontend, &mut cosim_frontend) {
+                        (Some(fe), _) => fe.process(&x),
+                        (_, Some(fe)) => fe.process(&x),
+                        _ => unreachable!(),
+                    }
+                }
+            };
+
+            match rx.receive(&dsp_input) {
+                Ok(got) if got.psdu.len() == psdu.len() => {
+                    meter.update_bytes(&psdu, &got.psdu);
+                    evm_acc += got.evm_db();
+                    decoded += 1;
+                }
+                _ => {
+                    meter.update_lost_packet(8 * cfg.psdu_len);
+                }
+            }
+        }
+
+        LinkReport {
+            packets: cfg.packets,
+            decoded_packets: decoded,
+            meter,
+            evm_db: if decoded > 0 {
+                Some(evm_acc / decoded as f64)
+            } else {
+                None
+            },
+            elapsed: started.elapsed(),
+        }
+    }
+
+    /// Builds the oversampled scene: wanted channel at the configured
+    /// level plus the optional adjacent channel (a duplicated transmitter
+    /// with independent payload).
+    fn build_scene(
+        &self,
+        wanted: &[Complex],
+        cfg: &LinkConfig,
+        pkt: usize,
+        rng: &mut Rng,
+    ) -> Vec<Complex> {
+        // Trailing pad: the front-end filters delay the burst by tens of
+        // samples; without tail room the last OFDM symbols would fall off
+        // the end of the processed buffer.
+        let mut padded = wanted.to_vec();
+        padded.extend(std::iter::repeat_n(Complex::ZERO, 160));
+        let mut scene = Scene::new(SAMPLE_RATE, cfg.osr).add(
+            &padded,
+            0.0,
+            cfg.rx_level_dbm,
+            64 * cfg.osr,
+        );
+        if let Some(adj) = cfg.adjacent {
+            let mut adj_psdu = vec![0u8; cfg.psdu_len];
+            rng.bytes(&mut adj_psdu);
+            let adj_seed = ((pkt as u8).wrapping_mul(53) % 127) + 1;
+            let adj_burst = Transmitter::new(cfg.rate)
+                .with_scrambler_seed(adj_seed)
+                .transmit(&adj_psdu);
+            scene = scene.add(
+                &adj_burst.samples,
+                adj.offset_hz,
+                cfg.rx_level_dbm + adj.rel_db,
+                0,
+            );
+        }
+        scene.render()
+    }
+
+    /// Adds the antenna thermal floor. The paper's co-simulation could
+    /// not generate noise in the analog part; the `noise_workaround`
+    /// flag reproduces the suggested fix of adding it in the
+    /// discrete-time part.
+    fn add_frontend_noise(
+        &self,
+        scene: Vec<Complex>,
+        cfg: &LinkConfig,
+        noise: &mut Awgn,
+    ) -> Vec<Complex> {
+        let fs = SAMPLE_RATE * cfg.osr as f64;
+        let floor = wlan_rf::noise::source_noise_power(fs);
+        match &cfg.front_end {
+            FrontEnd::RfBaseband(_) => noise.add_noise_power(&scene, floor),
+            FrontEnd::RfCosim {
+                noise_workaround, ..
+            } => {
+                if *noise_workaround {
+                    // Approximate the whole cascade's input-referred noise
+                    // (floor × system noise figure budget ≈ +6 dB).
+                    noise.add_noise_power(&scene, floor * 4.0)
+                } else {
+                    scene
+                }
+            }
+            FrontEnd::Ideal => scene,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(cfg: LinkConfig) -> LinkReport {
+        LinkSimulation::new(cfg).run()
+    }
+
+    #[test]
+    fn ideal_noiseless_is_error_free() {
+        let r = quick(LinkConfig {
+            packets: 3,
+            snr_db: None,
+            ..LinkConfig::default()
+        });
+        assert_eq!(r.ber(), 0.0);
+        assert_eq!(r.decoded_packets, 3);
+        assert!(r.evm_db.unwrap() < -35.0);
+    }
+
+    #[test]
+    fn ideal_low_snr_fails() {
+        let r = quick(LinkConfig {
+            packets: 3,
+            rate: Rate::R54,
+            snr_db: Some(5.0),
+            ..LinkConfig::default()
+        });
+        assert!(r.ber() > 0.05, "ber {}", r.ber());
+    }
+
+    #[test]
+    fn ideal_snr_ordering() {
+        let mk = |snr: f64| {
+            quick(LinkConfig {
+                packets: 4,
+                rate: Rate::R36,
+                snr_db: Some(snr),
+                seed: 3,
+                ..LinkConfig::default()
+            })
+            .ber()
+        };
+        let low = mk(8.0);
+        let high = mk(30.0);
+        assert!(low > high, "low-SNR {low} vs high-SNR {high}");
+        assert_eq!(high, 0.0);
+    }
+
+    #[test]
+    fn rf_baseband_strong_signal_decodes() {
+        let r = quick(LinkConfig {
+            packets: 2,
+            rx_level_dbm: -50.0,
+            front_end: FrontEnd::RfBaseband(RfConfig::default()),
+            ..LinkConfig::default()
+        });
+        assert_eq!(r.ber(), 0.0, "per {} decoded {}", r.per(), r.decoded_packets);
+    }
+
+    #[test]
+    fn rf_baseband_below_sensitivity_fails() {
+        let r = quick(LinkConfig {
+            packets: 2,
+            rate: Rate::R54,
+            rx_level_dbm: -95.0,
+            front_end: FrontEnd::RfBaseband(RfConfig::default()),
+            ..LinkConfig::default()
+        });
+        assert!(r.ber() > 0.05, "ber {}", r.ber());
+    }
+
+    #[test]
+    fn adjacent_channel_tolerated_with_good_filter() {
+        let r = quick(LinkConfig {
+            packets: 2,
+            rx_level_dbm: -50.0,
+            adjacent: Some(AdjacentChannel::first()),
+            front_end: FrontEnd::RfBaseband(RfConfig::default()),
+            ..LinkConfig::default()
+        });
+        assert!(r.ber() < 0.02, "adjacent channel broke the link: {}", r.ber());
+    }
+
+    #[test]
+    fn narrow_filter_with_adjacent_fails() {
+        let mut rf = RfConfig::default();
+        rf.channel_filter_edge_hz = 3e6; // destroys the signal band
+        let r = quick(LinkConfig {
+            packets: 2,
+            rx_level_dbm: -50.0,
+            adjacent: Some(AdjacentChannel::first()),
+            front_end: FrontEnd::RfBaseband(rf),
+            ..LinkConfig::default()
+        });
+        assert!(r.ber() > 0.05, "ber {}", r.ber());
+    }
+
+    #[test]
+    fn cosim_strong_signal_decodes() {
+        let r = quick(LinkConfig {
+            packets: 1,
+            rx_level_dbm: -50.0,
+            front_end: FrontEnd::RfCosim {
+                filter_edge_hz: 10e6,
+                analog_osr: 4,
+                noise_workaround: false,
+            },
+            ..LinkConfig::default()
+        });
+        assert_eq!(r.ber(), 0.0, "decoded {}", r.decoded_packets);
+    }
+
+    #[test]
+    fn multipath_flat_vs_dispersive() {
+        let r = quick(LinkConfig {
+            packets: 4,
+            rate: Rate::R12,
+            snr_db: Some(30.0),
+            multipath_trms_s: Some(50e-9),
+            seed: 9,
+            ..LinkConfig::default()
+        });
+        // 50 ns delay spread fits comfortably in the 800 ns guard.
+        assert!(r.ber() < 0.01, "ber {}", r.ber());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_packets_panics() {
+        let _ = LinkSimulation::new(LinkConfig {
+            packets: 0,
+            ..LinkConfig::default()
+        });
+    }
+}

@@ -1,0 +1,228 @@
+//! Plain-text table and CSV formatting for experiment results.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+        rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Raw row access.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut parts = Vec::with_capacity(ncol);
+            for (i, c) in cells.iter().enumerate() {
+                parts.push(format!("{:>width$}", c, width = widths[i]));
+            }
+            let _ = writeln!(out, "  {}", parts.join("  "));
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncol - 1);
+        let _ = writeln!(out, "  {}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as CSV text (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a BER for display: scientific below 1e-2, fixed above, `<x`
+/// marker when zero errors were observed out of `bits`.
+pub fn format_ber(ber: f64, bits: u64) -> String {
+    if ber == 0.0 {
+        if bits == 0 {
+            "n/a".to_string()
+        } else {
+            format!("<{:.1e}", 1.0 / bits as f64)
+        }
+    } else if ber < 1e-2 {
+        format!("{ber:.2e}")
+    } else {
+        format!("{ber:.3}")
+    }
+}
+
+/// Renders complex points as an ASCII scatter plot (the quick-look
+/// constellation view of a waveform viewer). `extent` sets the plotted
+/// range `[-extent, extent]` on both axes; points outside are clipped to
+/// the border.
+pub fn scatter(points: &[wlan_dsp::Complex], extent: f64, size: usize) -> String {
+    let mut grid = vec![vec![' '; size]; size];
+    // Axes.
+    for i in 0..size {
+        grid[size / 2][i] = '-';
+        grid[i][size / 2] = '|';
+    }
+    grid[size / 2][size / 2] = '+';
+    for p in points {
+        let col = (((p.re / extent) + 1.0) / 2.0 * (size - 1) as f64)
+            .round()
+            .clamp(0.0, (size - 1) as f64) as usize;
+        let row = ((1.0 - (p.im / extent)) / 2.0 * (size - 1) as f64)
+            .round()
+            .clamp(0.0, (size - 1) as f64) as usize;
+        grid[row][col] = '*';
+    }
+    let mut out = String::new();
+    for row in grid {
+        out.push_str(&row.into_iter().collect::<String>());
+        out.push('\n');
+    }
+    out
+}
+
+/// An ASCII bar for quick-look plots: proportional `#` fill.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max).clamp(0.0, 1.0) * width as f64).round() as usize;
+    "#".repeat(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["x", "value"]);
+        t.push_row(vec!["1".into(), "10.5".into()]);
+        t.push_row(vec!["200".into(), "3".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("200"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_width_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn ber_formatting() {
+        assert_eq!(format_ber(0.0, 10_000), "<1.0e-4");
+        assert_eq!(format_ber(0.0, 0), "n/a");
+        assert_eq!(format_ber(0.25, 100), "0.250");
+        assert!(format_ber(1e-4, 100_000).contains("e-4"));
+    }
+
+    #[test]
+    fn scatter_places_points() {
+        use wlan_dsp::Complex;
+        let pts = [Complex::new(1.0, 1.0), Complex::new(-1.0, -1.0)];
+        let s = scatter(&pts, 1.5, 21);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 21);
+        // Upper-right and lower-left quadrants each contain a '*'.
+        let upper: String = lines[..10].concat();
+        let lower: String = lines[11..].concat();
+        assert!(upper.contains('*'));
+        assert!(lower.contains('*'));
+        // Axes drawn.
+        assert!(lines[10].contains('-'));
+    }
+
+    #[test]
+    fn bar_scaling() {
+        assert_eq!(bar(0.5, 1.0, 10), "#####");
+        assert_eq!(bar(2.0, 1.0, 4), "####");
+        assert_eq!(bar(0.0, 1.0, 4), "");
+        assert_eq!(bar(1.0, 0.0, 4), "");
+    }
+}

@@ -1,0 +1,33 @@
+//! The dataflow block abstraction.
+
+use wlan_dsp::Complex;
+
+/// A frame of complex baseband samples flowing along one edge.
+pub type Frame = Vec<Complex>;
+
+/// A dataflow block.
+///
+/// Each scheduler tick, a block consumes exactly one frame per input
+/// port and produces exactly one frame per output port. Frame lengths
+/// may differ between ports (rate-changing blocks shrink or grow them).
+/// A block with no inputs is a source; it signals end-of-stream by
+/// returning an empty first output frame.
+pub trait Block {
+    /// Display name (used in diagnostics).
+    fn name(&self) -> &str;
+
+    /// Number of input ports.
+    fn inputs(&self) -> usize;
+
+    /// Number of output ports.
+    fn outputs(&self) -> usize;
+
+    /// Processes one tick.
+    ///
+    /// `inputs` holds one frame per input port. Must return exactly
+    /// [`Block::outputs`] frames.
+    fn process(&mut self, inputs: &[&[Complex]]) -> Vec<Frame>;
+
+    /// Resets internal state (filters, counters) for a fresh run.
+    fn reset(&mut self) {}
+}

@@ -1,0 +1,465 @@
+//! Stock dataflow blocks: sources, sinks, function adapters and simple
+//! arithmetic.
+
+use crate::block::{Block, Frame};
+use wlan_dsp::Complex;
+
+/// Source that plays out a prepared sample vector in fixed-size frames,
+/// then signals end-of-stream.
+#[derive(Debug, Clone)]
+pub struct SourceBlock {
+    name: String,
+    samples: Vec<Complex>,
+    frame_len: usize,
+    pos: usize,
+}
+
+impl SourceBlock {
+    /// Creates a source over `samples` emitting `frame_len`-sample
+    /// frames (the final frame may be shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_len` is zero.
+    pub fn new(name: impl Into<String>, samples: Vec<Complex>, frame_len: usize) -> Self {
+        assert!(frame_len > 0, "frame length must be positive");
+        SourceBlock {
+            name: name.into(),
+            samples,
+            frame_len,
+            pos: 0,
+        }
+    }
+}
+
+impl Block for SourceBlock {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn inputs(&self) -> usize {
+        0
+    }
+    fn outputs(&self) -> usize {
+        1
+    }
+    fn process(&mut self, _inputs: &[&[Complex]]) -> Vec<Frame> {
+        let end = (self.pos + self.frame_len).min(self.samples.len());
+        let frame = self.samples[self.pos..end].to_vec();
+        self.pos = end;
+        vec![frame]
+    }
+    fn reset(&mut self) {
+        self.pos = 0;
+    }
+}
+
+/// One-input one-output adapter around a closure.
+pub struct FnBlock<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnBlock<F>
+where
+    F: FnMut(&[Complex]) -> Vec<Complex>,
+{
+    /// Wraps `f` as a block.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnBlock {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F> Block for FnBlock<F>
+where
+    F: FnMut(&[Complex]) -> Vec<Complex>,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn inputs(&self) -> usize {
+        1
+    }
+    fn outputs(&self) -> usize {
+        1
+    }
+    fn process(&mut self, inputs: &[&[Complex]]) -> Vec<Frame> {
+        vec![(self.f)(inputs[0])]
+    }
+}
+
+/// Adds two inputs sample-by-sample (shorter input zero-padded).
+#[derive(Debug, Clone)]
+pub struct AddBlock {
+    name: String,
+}
+
+impl AddBlock {
+    /// Creates an adder.
+    pub fn new(name: impl Into<String>) -> Self {
+        AddBlock { name: name.into() }
+    }
+}
+
+impl Block for AddBlock {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn inputs(&self) -> usize {
+        2
+    }
+    fn outputs(&self) -> usize {
+        1
+    }
+    fn process(&mut self, inputs: &[&[Complex]]) -> Vec<Frame> {
+        let (a, b) = (inputs[0], inputs[1]);
+        let n = a.len().max(b.len());
+        let frame = (0..n)
+            .map(|i| {
+                let x = a.get(i).copied().unwrap_or(Complex::ZERO);
+                let y = b.get(i).copied().unwrap_or(Complex::ZERO);
+                x + y
+            })
+            .collect();
+        vec![frame]
+    }
+}
+
+/// Multiplies by a constant complex gain.
+#[derive(Debug, Clone)]
+pub struct GainBlock {
+    name: String,
+    gain: Complex,
+}
+
+impl GainBlock {
+    /// Creates a gain block.
+    pub fn new(name: impl Into<String>, gain: Complex) -> Self {
+        GainBlock {
+            name: name.into(),
+            gain,
+        }
+    }
+}
+
+impl Block for GainBlock {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn inputs(&self) -> usize {
+        1
+    }
+    fn outputs(&self) -> usize {
+        1
+    }
+    fn process(&mut self, inputs: &[&[Complex]]) -> Vec<Frame> {
+        vec![inputs[0].iter().map(|&v| v * self.gain).collect()]
+    }
+}
+
+/// Discards its input.
+#[derive(Debug, Clone)]
+pub struct NullSink {
+    name: String,
+    consumed: usize,
+}
+
+impl NullSink {
+    /// Creates a sink.
+    pub fn new(name: impl Into<String>) -> Self {
+        NullSink {
+            name: name.into(),
+            consumed: 0,
+        }
+    }
+
+    /// Samples consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+}
+
+impl Block for NullSink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn inputs(&self) -> usize {
+        1
+    }
+    fn outputs(&self) -> usize {
+        0
+    }
+    fn process(&mut self, inputs: &[&[Complex]]) -> Vec<Frame> {
+        self.consumed += inputs[0].len();
+        Vec::new()
+    }
+    fn reset(&mut self) {
+        self.consumed = 0;
+    }
+}
+
+/// Splits one input to two identical outputs (a wiring fork).
+#[derive(Debug, Clone)]
+pub struct ForkBlock {
+    name: String,
+}
+
+impl ForkBlock {
+    /// Creates a fork.
+    pub fn new(name: impl Into<String>) -> Self {
+        ForkBlock { name: name.into() }
+    }
+}
+
+impl Block for ForkBlock {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn inputs(&self) -> usize {
+        1
+    }
+    fn outputs(&self) -> usize {
+        2
+    }
+    fn process(&mut self, inputs: &[&[Complex]]) -> Vec<Frame> {
+        vec![inputs[0].to_vec(), inputs[0].to_vec()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_chunks_and_ends() {
+        let mut s = SourceBlock::new("s", vec![Complex::ONE; 10], 4);
+        assert_eq!(s.process(&[])[0].len(), 4);
+        assert_eq!(s.process(&[])[0].len(), 4);
+        assert_eq!(s.process(&[])[0].len(), 2);
+        assert!(s.process(&[])[0].is_empty());
+        s.reset();
+        assert_eq!(s.process(&[])[0].len(), 4);
+    }
+
+    #[test]
+    fn fn_block_applies_closure() {
+        let mut b = FnBlock::new("neg", |x: &[Complex]| x.iter().map(|&v| -v).collect());
+        let out = b.process(&[&[Complex::ONE]]);
+        assert_eq!(out[0][0], -Complex::ONE);
+    }
+
+    #[test]
+    fn add_block_pads_shorter() {
+        let mut b = AddBlock::new("+");
+        let a = [Complex::ONE, Complex::ONE];
+        let c = [Complex::ONE];
+        let out = b.process(&[&a, &c]);
+        assert_eq!(out[0], vec![Complex::new(2.0, 0.0), Complex::ONE]);
+    }
+
+    #[test]
+    fn gain_and_fork() {
+        let mut g = GainBlock::new("g", Complex::new(0.0, 1.0));
+        assert_eq!(g.process(&[&[Complex::ONE]])[0][0], Complex::new(0.0, 1.0));
+        let mut f = ForkBlock::new("f");
+        let out = f.process(&[&[Complex::ONE]]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], out[1]);
+    }
+
+    #[test]
+    fn null_sink_counts() {
+        let mut s = NullSink::new("sink");
+        s.process(&[&[Complex::ZERO; 7]]);
+        assert_eq!(s.consumed(), 7);
+        s.reset();
+        assert_eq!(s.consumed(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_frame_source_panics() {
+        let _ = SourceBlock::new("s", vec![], 0);
+    }
+}
+
+/// Delays the stream by a fixed number of samples (zero-filled start).
+#[derive(Debug, Clone)]
+pub struct DelayBlock {
+    name: String,
+    line: std::collections::VecDeque<Complex>,
+    delay: usize,
+}
+
+impl DelayBlock {
+    /// Creates a `delay`-sample delay line.
+    pub fn new(name: impl Into<String>, delay: usize) -> Self {
+        DelayBlock {
+            name: name.into(),
+            line: std::iter::repeat_n(Complex::ZERO, delay).collect(),
+            delay,
+        }
+    }
+}
+
+impl Block for DelayBlock {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn inputs(&self) -> usize {
+        1
+    }
+    fn outputs(&self) -> usize {
+        1
+    }
+    fn process(&mut self, inputs: &[&[Complex]]) -> Vec<Frame> {
+        let mut out = Vec::with_capacity(inputs[0].len());
+        for &x in inputs[0] {
+            self.line.push_back(x);
+            out.push(self.line.pop_front().expect("line never empty"));
+        }
+        vec![out]
+    }
+    fn reset(&mut self) {
+        self.line.clear();
+        self.line.extend(std::iter::repeat_n(Complex::ZERO, self.delay));
+    }
+}
+
+/// Keeps every `factor`-th sample (no anti-alias filtering — pair with a
+/// filter block when the input is not already band-limited).
+#[derive(Debug, Clone)]
+pub struct DecimateBlock {
+    name: String,
+    factor: usize,
+    phase: usize,
+}
+
+impl DecimateBlock {
+    /// Creates a decimator by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn new(name: impl Into<String>, factor: usize) -> Self {
+        assert!(factor >= 1, "factor must be >= 1");
+        DecimateBlock {
+            name: name.into(),
+            factor,
+            phase: 0,
+        }
+    }
+}
+
+impl Block for DecimateBlock {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn inputs(&self) -> usize {
+        1
+    }
+    fn outputs(&self) -> usize {
+        1
+    }
+    fn process(&mut self, inputs: &[&[Complex]]) -> Vec<Frame> {
+        let mut out = Vec::with_capacity(inputs[0].len() / self.factor + 1);
+        for &x in inputs[0] {
+            if self.phase == 0 {
+                out.push(x);
+            }
+            self.phase = (self.phase + 1) % self.factor;
+        }
+        vec![out]
+    }
+    fn reset(&mut self) {
+        self.phase = 0;
+    }
+}
+
+/// Shifts the spectrum by a fixed frequency (persistent oscillator
+/// phase across frames).
+pub struct FrequencyShiftBlock {
+    name: String,
+    shifter: wlan_dsp::resample::FrequencyShifter,
+}
+
+impl FrequencyShiftBlock {
+    /// Creates a shifter moving the spectrum by `shift_hz` at
+    /// `sample_rate_hz`.
+    pub fn new(name: impl Into<String>, shift_hz: f64, sample_rate_hz: f64) -> Self {
+        FrequencyShiftBlock {
+            name: name.into(),
+            shifter: wlan_dsp::resample::FrequencyShifter::new(shift_hz, sample_rate_hz),
+        }
+    }
+}
+
+impl Block for FrequencyShiftBlock {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn inputs(&self) -> usize {
+        1
+    }
+    fn outputs(&self) -> usize {
+        1
+    }
+    fn process(&mut self, inputs: &[&[Complex]]) -> Vec<Frame> {
+        vec![self.shifter.process(inputs[0])]
+    }
+    fn reset(&mut self) {
+        self.shifter.reset();
+    }
+}
+
+#[cfg(test)]
+mod extra_block_tests {
+    use super::*;
+
+    #[test]
+    fn delay_block_shifts_stream() {
+        let mut d = DelayBlock::new("z3", 3);
+        let x = [Complex::ONE, Complex::from_re(2.0), Complex::from_re(3.0), Complex::from_re(4.0)];
+        let y = d.process(&[&x]);
+        assert_eq!(y[0][0], Complex::ZERO);
+        assert_eq!(y[0][3], Complex::ONE);
+        // Continuity across frames.
+        let y2 = d.process(&[&x[..2]]);
+        assert_eq!(y2[0][0], Complex::from_re(2.0));
+        d.reset();
+        assert_eq!(d.process(&[&x[..1]])[0][0], Complex::ZERO);
+    }
+
+    #[test]
+    fn decimate_block_keeps_every_nth_across_frames() {
+        let mut d = DecimateBlock::new("dec", 3);
+        let x: Vec<Complex> = (0..7).map(|i| Complex::from_re(i as f64)).collect();
+        let mut out = Vec::new();
+        out.extend(d.process(&[&x[..4]])[0].clone());
+        out.extend(d.process(&[&x[4..]])[0].clone());
+        let kept: Vec<f64> = out.iter().map(|v| v.re).collect();
+        assert_eq!(kept, vec![0.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn frequency_shift_block_phase_continuous() {
+        // Shift by fs/4: each sample advances 90°; phase must continue
+        // across frame boundaries.
+        let mut b = FrequencyShiftBlock::new("shift", 0.25, 1.0);
+        let x = [Complex::ONE; 8];
+        let y1 = b.process(&[&x[..4]]);
+        let y2 = b.process(&[&x[4..]]);
+        assert!((y1[0][0] - Complex::ONE).abs() < 1e-12);
+        // Sample 4 overall: phase 4·90° = 360° → back to 1.
+        assert!((y2[0][0] - Complex::ONE).abs() < 1e-9);
+        assert!((y2[0][1] - Complex::new(0.0, 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn decimate_zero_factor_panics() {
+        let _ = DecimateBlock::new("bad", 0);
+    }
+}

@@ -1,0 +1,352 @@
+//! Block-diagram construction and validation.
+
+use crate::block::Block;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+/// Graph construction errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A port index was out of range for the node.
+    InvalidPort {
+        /// Offending node name.
+        node: String,
+        /// Offending port index.
+        port: usize,
+    },
+    /// Two drivers were connected to the same input.
+    InputAlreadyDriven {
+        /// Node whose input is double-driven.
+        node: String,
+        /// The input port.
+        port: usize,
+    },
+    /// An input port has no driver at run time.
+    UnconnectedInput {
+        /// Node with the dangling input.
+        node: String,
+        /// The input port.
+        port: usize,
+    },
+    /// The graph contains a cycle (no delays are modeled).
+    Cycle,
+    /// A node id belongs to a different graph.
+    UnknownNode,
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::InvalidPort { node, port } => {
+                write!(f, "invalid port {port} on block '{node}'")
+            }
+            GraphError::InputAlreadyDriven { node, port } => {
+                write!(f, "input {port} of block '{node}' already driven")
+            }
+            GraphError::UnconnectedInput { node, port } => {
+                write!(f, "input {port} of block '{node}' has no driver")
+            }
+            GraphError::Cycle => write!(f, "dataflow graph contains a cycle"),
+            GraphError::UnknownNode => write!(f, "node id from a different graph"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// One edge: `(source node, source port) → (dest node, dest port)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Edge {
+    pub src: usize,
+    pub src_port: usize,
+    pub dst: usize,
+    pub dst_port: usize,
+}
+
+/// A block-diagram graph.
+pub struct Graph {
+    pub(crate) nodes: Vec<Box<dyn Block>>,
+    pub(crate) edges: Vec<Edge>,
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.nodes.iter().map(|n| n.name()).collect::<Vec<_>>())
+            .field("edges", &self.edges)
+            .finish()
+    }
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::new()
+    }
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a block, returning its node handle.
+    pub fn add<B: Block + 'static>(&mut self, block: B) -> NodeId {
+        self.nodes.push(Box::new(block));
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the graph has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Connects `src`'s output port to `dst`'s input port.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] for unknown nodes, bad ports or an input
+    /// that already has a driver.
+    pub fn connect(
+        &mut self,
+        src: NodeId,
+        src_port: usize,
+        dst: NodeId,
+        dst_port: usize,
+    ) -> Result<(), GraphError> {
+        if src.0 >= self.nodes.len() || dst.0 >= self.nodes.len() {
+            return Err(GraphError::UnknownNode);
+        }
+        if src_port >= self.nodes[src.0].outputs() {
+            return Err(GraphError::InvalidPort {
+                node: self.nodes[src.0].name().to_string(),
+                port: src_port,
+            });
+        }
+        if dst_port >= self.nodes[dst.0].inputs() {
+            return Err(GraphError::InvalidPort {
+                node: self.nodes[dst.0].name().to_string(),
+                port: dst_port,
+            });
+        }
+        if self
+            .edges
+            .iter()
+            .any(|e| e.dst == dst.0 && e.dst_port == dst_port)
+        {
+            return Err(GraphError::InputAlreadyDriven {
+                node: self.nodes[dst.0].name().to_string(),
+                port: dst_port,
+            });
+        }
+        self.edges.push(Edge {
+            src: src.0,
+            src_port,
+            dst: dst.0,
+            dst_port,
+        });
+        Ok(())
+    }
+
+    /// Validates connectivity and computes a topological execution order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnconnectedInput`] or [`GraphError::Cycle`].
+    pub fn schedule(&self) -> Result<Vec<usize>, GraphError> {
+        // Every input must be driven.
+        for (i, n) in self.nodes.iter().enumerate() {
+            for p in 0..n.inputs() {
+                if !self.edges.iter().any(|e| e.dst == i && e.dst_port == p) {
+                    return Err(GraphError::UnconnectedInput {
+                        node: n.name().to_string(),
+                        port: p,
+                    });
+                }
+            }
+        }
+        // Kahn's algorithm.
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            indeg[e.dst] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = queue.pop() {
+            order.push(i);
+            for e in self.edges.iter().filter(|e| e.src == i) {
+                indeg[e.dst] -= 1;
+                if indeg[e.dst] == 0 {
+                    queue.push(e.dst);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(GraphError::Cycle);
+        }
+        Ok(order)
+    }
+
+    /// Resets every block's state.
+    pub fn reset(&mut self) {
+        for n in self.nodes.iter_mut() {
+            n.reset();
+        }
+    }
+
+    /// The node names in insertion order.
+    pub fn node_names(&self) -> Vec<&str> {
+        self.nodes.iter().map(|n| n.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::{FnBlock, NullSink, SourceBlock};
+    use wlan_dsp::Complex;
+
+    fn simple_graph() -> (Graph, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let a = g.add(SourceBlock::new("src", vec![Complex::ONE; 8], 4));
+        let b = g.add(FnBlock::new("id", |x: &[Complex]| x.to_vec()));
+        let c = g.add(NullSink::new("sink"));
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn connect_and_schedule() {
+        let (mut g, a, b, c) = simple_graph();
+        g.connect(a, 0, b, 0).unwrap();
+        g.connect(b, 0, c, 0).unwrap();
+        let order = g.schedule().unwrap();
+        assert_eq!(order.len(), 3);
+        let pos = |id: usize| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(a.0) < pos(b.0));
+        assert!(pos(b.0) < pos(c.0));
+    }
+
+    #[test]
+    fn double_driven_input_rejected() {
+        let (mut g, a, b, _c) = simple_graph();
+        g.connect(a, 0, b, 0).unwrap();
+        let err = g.connect(a, 0, b, 0).unwrap_err();
+        assert!(matches!(err, GraphError::InputAlreadyDriven { .. }));
+    }
+
+    #[test]
+    fn invalid_port_rejected() {
+        let (mut g, a, b, _c) = simple_graph();
+        assert!(matches!(
+            g.connect(a, 1, b, 0),
+            Err(GraphError::InvalidPort { .. })
+        ));
+        assert!(matches!(
+            g.connect(a, 0, b, 5),
+            Err(GraphError::InvalidPort { .. })
+        ));
+    }
+
+    #[test]
+    fn unconnected_input_detected() {
+        let (g, _a, _b, _c) = simple_graph();
+        assert!(matches!(
+            g.schedule(),
+            Err(GraphError::UnconnectedInput { .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = Graph::new();
+        let a = g.add(FnBlock::new("a", |x: &[Complex]| x.to_vec()));
+        let b = g.add(FnBlock::new("b", |x: &[Complex]| x.to_vec()));
+        g.connect(a, 0, b, 0).unwrap();
+        g.connect(b, 0, a, 0).unwrap();
+        assert_eq!(g.schedule(), Err(GraphError::Cycle));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let (mut g, a, _b, _c) = simple_graph();
+        let ghost = NodeId(99);
+        assert_eq!(g.connect(a, 0, ghost, 0), Err(GraphError::UnknownNode));
+    }
+
+    #[test]
+    fn names_and_len() {
+        let (g, ..) = simple_graph();
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+        assert_eq!(g.node_names(), vec!["src", "id", "sink"]);
+    }
+}
+
+impl Graph {
+    /// Exports the schematic as Graphviz DOT text (the block-diagram
+    /// view an SPW user would edit).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph dataflow {\n  rankdir=LR;\n  node [shape=box];\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let shape = if n.inputs() == 0 {
+                "invhouse"
+            } else if n.outputs() == 0 {
+                "house"
+            } else {
+                "box"
+            };
+            let _ = writeln!(out, "  n{i} [label=\"{}\" shape={shape}];", n.name());
+        }
+        for e in &self.edges {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [taillabel=\"{}\" headlabel=\"{}\"];",
+                e.src, e.dst, e.src_port, e.dst_port
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+    use crate::blocks::{FnBlock, NullSink, SourceBlock};
+    use wlan_dsp::Complex;
+
+    #[test]
+    fn dot_export_contains_nodes_and_edges() {
+        let mut g = Graph::new();
+        let a = g.add(SourceBlock::new("tx", vec![Complex::ONE; 4], 2));
+        let b = g.add(FnBlock::new("rf", |x: &[Complex]| x.to_vec()));
+        let c = g.add(NullSink::new("meter"));
+        g.connect(a, 0, b, 0).unwrap();
+        g.connect(b, 0, c, 0).unwrap();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph dataflow {"));
+        assert!(dot.contains("label=\"tx\" shape=invhouse"));
+        assert!(dot.contains("label=\"meter\" shape=house"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("n1 -> n2"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_graph_exports() {
+        let dot = Graph::new().to_dot();
+        assert!(dot.contains("digraph"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Signal probes: capture what flows along an edge (the SPW "probed
+//! signals can be displayed by using the SigCalc viewer" role).
+
+use crate::block::{Block, Frame};
+use std::cell::RefCell;
+use std::rc::Rc;
+use wlan_dsp::Complex;
+
+/// A shared capture buffer; create one, obtain its sink block via
+/// [`Probe::block`], and read the samples after the run.
+#[derive(Debug, Clone, Default)]
+pub struct Probe {
+    buf: Rc<RefCell<Vec<Complex>>>,
+}
+
+impl Probe {
+    /// Creates an empty probe.
+    pub fn new() -> Self {
+        Probe::default()
+    }
+
+    /// Builds the sink block that feeds this probe.
+    pub fn block(&self, name: impl Into<String>) -> ProbeSink {
+        ProbeSink {
+            name: name.into(),
+            buf: Rc::clone(&self.buf),
+        }
+    }
+
+    /// The captured samples so far.
+    pub fn samples(&self) -> Vec<Complex> {
+        self.buf.borrow().clone()
+    }
+
+    /// Number of captured samples.
+    pub fn len(&self) -> usize {
+        self.buf.borrow().len()
+    }
+
+    /// `true` if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.buf.borrow().is_empty()
+    }
+
+    /// Clears the capture buffer.
+    pub fn clear(&self) {
+        self.buf.borrow_mut().clear();
+    }
+}
+
+/// The sink block side of a [`Probe`].
+#[derive(Debug, Clone)]
+pub struct ProbeSink {
+    name: String,
+    buf: Rc<RefCell<Vec<Complex>>>,
+}
+
+impl Block for ProbeSink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn inputs(&self) -> usize {
+        1
+    }
+    fn outputs(&self) -> usize {
+        0
+    }
+    fn process(&mut self, inputs: &[&[Complex]]) -> Vec<Frame> {
+        self.buf.borrow_mut().extend_from_slice(inputs[0]);
+        Vec::new()
+    }
+    fn reset(&mut self) {
+        self.buf.borrow_mut().clear();
+    }
+}
+
+/// A pass-through probe: records the stream *and* forwards it (for
+/// tapping mid-graph without a fork).
+#[derive(Debug, Clone)]
+pub struct ProbeTap {
+    name: String,
+    buf: Rc<RefCell<Vec<Complex>>>,
+}
+
+impl Probe {
+    /// Builds a pass-through tap block that records into this probe.
+    pub fn tap(&self, name: impl Into<String>) -> ProbeTap {
+        ProbeTap {
+            name: name.into(),
+            buf: Rc::clone(&self.buf),
+        }
+    }
+}
+
+impl Block for ProbeTap {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn inputs(&self) -> usize {
+        1
+    }
+    fn outputs(&self) -> usize {
+        1
+    }
+    fn process(&mut self, inputs: &[&[Complex]]) -> Vec<Frame> {
+        self.buf.borrow_mut().extend_from_slice(inputs[0]);
+        vec![inputs[0].to_vec()]
+    }
+    fn reset(&mut self) {
+        self.buf.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_records() {
+        let p = Probe::new();
+        let mut sink = p.block("probe");
+        sink.process(&[&[Complex::ONE, Complex::ZERO]]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.samples()[0], Complex::ONE);
+        p.clear();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn tap_forwards_and_records() {
+        let p = Probe::new();
+        let mut tap = p.tap("tap");
+        let out = tap.process(&[&[Complex::ONE]]);
+        assert_eq!(out[0], vec![Complex::ONE]);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn reset_clears_buffer() {
+        let p = Probe::new();
+        let mut sink = p.block("probe");
+        sink.process(&[&[Complex::ONE]]);
+        sink.reset();
+        assert!(p.is_empty());
+    }
+}

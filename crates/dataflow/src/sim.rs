@@ -1,0 +1,224 @@
+//! The simulation manager: compiles the static schedule and runs the
+//! graph until its sources are exhausted.
+
+use crate::block::Frame;
+use crate::graph::{Graph, GraphError};
+use std::time::Instant;
+
+/// Run statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimStats {
+    /// Scheduler ticks executed.
+    pub ticks: usize,
+    /// Total samples produced by source blocks.
+    pub source_samples: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: std::time::Duration,
+}
+
+/// The simulation engine.
+#[derive(Debug, Clone, Default)]
+pub struct Simulation {
+    max_ticks: Option<usize>,
+}
+
+impl Simulation {
+    /// Creates a simulation manager.
+    pub fn new() -> Self {
+        Simulation::default()
+    }
+
+    /// Limits the run to `max_ticks` scheduler ticks (a safety net for
+    /// graphs without finite sources).
+    pub fn with_max_ticks(mut self, max_ticks: usize) -> Self {
+        self.max_ticks = Some(max_ticks);
+        self
+    }
+
+    /// Runs `graph` to completion: every tick executes all blocks in
+    /// topological order; the run ends when every source emits an empty
+    /// frame (or `max_ticks` is reached).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if the graph fails validation.
+    pub fn run(&self, graph: &mut Graph) -> Result<SimStats, GraphError> {
+        let order = graph.schedule()?;
+        let started = Instant::now();
+        let n = graph.nodes.len();
+
+        // Output frame storage per (node, port).
+        let mut outputs: Vec<Vec<Frame>> = (0..n)
+            .map(|i| vec![Frame::new(); graph.nodes[i].outputs()])
+            .collect();
+
+        let mut ticks = 0usize;
+        let mut source_samples = 0usize;
+        loop {
+            if let Some(limit) = self.max_ticks {
+                if ticks >= limit {
+                    break;
+                }
+            }
+            let mut sources_alive = false;
+            let mut any_source = false;
+            for &i in &order {
+                // Gather input frames (clones of upstream outputs).
+                let in_frames: Vec<Frame> = (0..graph.nodes[i].inputs())
+                    .map(|p| {
+                        let e = graph
+                            .edges
+                            .iter()
+                            .find(|e| e.dst == i && e.dst_port == p)
+                            .expect("validated by schedule()");
+                        outputs[e.src][e.src_port].clone()
+                    })
+                    .collect();
+                let in_refs: Vec<&[wlan_dsp::Complex]> =
+                    in_frames.iter().map(|f| f.as_slice()).collect();
+                let out = graph.nodes[i].process(&in_refs);
+                debug_assert_eq!(out.len(), graph.nodes[i].outputs());
+                if graph.nodes[i].inputs() == 0 {
+                    any_source = true;
+                    let produced: usize = out.iter().map(|f| f.len()).sum();
+                    source_samples += produced;
+                    if produced > 0 {
+                        sources_alive = true;
+                    }
+                }
+                outputs[i] = out;
+            }
+            ticks += 1;
+            if !any_source || !sources_alive {
+                break;
+            }
+        }
+        Ok(SimStats {
+            ticks,
+            source_samples,
+            elapsed: started.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::{AddBlock, FnBlock, ForkBlock, GainBlock, SourceBlock};
+    use crate::probe::Probe;
+    use wlan_dsp::Complex;
+
+    #[test]
+    fn runs_linear_chain() {
+        let mut g = Graph::new();
+        let src = g.add(SourceBlock::new("src", vec![Complex::ONE; 100], 32));
+        let gain = g.add(GainBlock::new("g", Complex::from_re(3.0)));
+        let p = Probe::new();
+        let sink = g.add(p.block("sink"));
+        g.connect(src, 0, gain, 0).unwrap();
+        g.connect(gain, 0, sink, 0).unwrap();
+        let stats = Simulation::new().run(&mut g).unwrap();
+        assert_eq!(stats.source_samples, 100);
+        assert_eq!(p.len(), 100);
+        assert!(p.samples().iter().all(|v| v.re == 3.0));
+        // 100 samples / 32 per frame → 4 producing ticks + 1 empty.
+        assert_eq!(stats.ticks, 5);
+    }
+
+    #[test]
+    fn fork_and_add_topology() {
+        // src → fork → (direct, negated) → add → probe: output must be 0.
+        let mut g = Graph::new();
+        let src = g.add(SourceBlock::new("src", vec![Complex::ONE; 16], 8));
+        let fork = g.add(ForkBlock::new("fork"));
+        let neg = g.add(FnBlock::new("neg", |x: &[Complex]| {
+            x.iter().map(|&v| -v).collect()
+        }));
+        let add = g.add(AddBlock::new("add"));
+        let p = Probe::new();
+        let sink = g.add(p.block("probe"));
+        g.connect(src, 0, fork, 0).unwrap();
+        g.connect(fork, 0, add, 0).unwrap();
+        g.connect(fork, 1, neg, 0).unwrap();
+        g.connect(neg, 0, add, 1).unwrap();
+        g.connect(add, 0, sink, 0).unwrap();
+        Simulation::new().run(&mut g).unwrap();
+        assert_eq!(p.len(), 16);
+        assert!(p.samples().iter().all(|v| v.abs() < 1e-15));
+    }
+
+    #[test]
+    fn stateful_block_keeps_state_between_frames() {
+        // A cumulative-sum block must see a continuous stream across
+        // frame boundaries.
+        let mut g = Graph::new();
+        let src = g.add(SourceBlock::new("src", vec![Complex::ONE; 10], 3));
+        let mut acc = Complex::ZERO;
+        let cum = g.add(FnBlock::new("cum", move |x: &[Complex]| {
+            x.iter()
+                .map(|&v| {
+                    acc += v;
+                    acc
+                })
+                .collect()
+        }));
+        let p = Probe::new();
+        let sink = g.add(p.block("probe"));
+        g.connect(src, 0, cum, 0).unwrap();
+        g.connect(cum, 0, sink, 0).unwrap();
+        Simulation::new().run(&mut g).unwrap();
+        let got = p.samples();
+        assert_eq!(got.len(), 10);
+        assert!((got[9].re - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_ticks_bounds_sourceless_loops() {
+        // A source that never ends (constant frames) is bounded by the
+        // tick limit.
+        struct Forever;
+        impl crate::block::Block for Forever {
+            fn name(&self) -> &str {
+                "forever"
+            }
+            fn inputs(&self) -> usize {
+                0
+            }
+            fn outputs(&self) -> usize {
+                1
+            }
+            fn process(&mut self, _i: &[&[Complex]]) -> Vec<Frame> {
+                vec![vec![Complex::ONE; 4]]
+            }
+        }
+        let mut g = Graph::new();
+        let src = g.add(Forever);
+        let p = Probe::new();
+        let sink = g.add(p.block("probe"));
+        g.connect(src, 0, sink, 0).unwrap();
+        let stats = Simulation::new().with_max_ticks(10).run(&mut g).unwrap();
+        assert_eq!(stats.ticks, 10);
+        assert_eq!(p.len(), 40);
+    }
+
+    #[test]
+    fn invalid_graph_errors_out() {
+        let mut g = Graph::new();
+        let _ = g.add(GainBlock::new("g", Complex::ONE));
+        assert!(Simulation::new().run(&mut g).is_err());
+    }
+
+    #[test]
+    fn rerun_after_reset_is_identical() {
+        let mut g = Graph::new();
+        let src = g.add(SourceBlock::new("src", vec![Complex::ONE; 12], 5));
+        let p = Probe::new();
+        let sink = g.add(p.block("probe"));
+        g.connect(src, 0, sink, 0).unwrap();
+        Simulation::new().run(&mut g).unwrap();
+        let first = p.samples();
+        g.reset();
+        Simulation::new().run(&mut g).unwrap();
+        assert_eq!(p.samples(), first);
+    }
+}

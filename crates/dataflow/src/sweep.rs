@@ -1,0 +1,110 @@
+//! Parameter sweeps: the simulation-manager feature the paper used to
+//! "measure bit error rates versus critical parameters of the RF
+//! front-end, e.g. IP3 value of the LNA" (§4.1).
+
+use std::time::{Duration, Instant};
+
+/// One evaluated sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint<P, R> {
+    /// The parameter value.
+    pub param: P,
+    /// The simulation result.
+    pub result: R,
+    /// Wall-clock time this point took.
+    pub elapsed: Duration,
+}
+
+/// A parameter sweep over arbitrary values.
+#[derive(Debug, Clone)]
+pub struct Sweep<P> {
+    points: Vec<P>,
+}
+
+impl Sweep<f64> {
+    /// Linearly spaced sweep from `start` to `stop` inclusive with
+    /// `count` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count < 2`.
+    pub fn linspace(start: f64, stop: f64, count: usize) -> Self {
+        assert!(count >= 2, "need at least two points");
+        let step = (stop - start) / (count - 1) as f64;
+        Sweep {
+            points: (0..count).map(|i| start + step * i as f64).collect(),
+        }
+    }
+}
+
+impl<P: Clone> Sweep<P> {
+    /// A sweep over explicit values.
+    pub fn over(points: Vec<P>) -> Self {
+        Sweep { points }
+    }
+
+    /// The parameter values.
+    pub fn points(&self) -> &[P] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` for an empty sweep.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Evaluates `f` at every point, timing each evaluation.
+    pub fn run<R>(&self, mut f: impl FnMut(&P) -> R) -> Vec<SweepPoint<P, R>> {
+        self.points
+            .iter()
+            .map(|p| {
+                let t0 = Instant::now();
+                let result = f(p);
+                SweepPoint {
+                    param: p.clone(),
+                    result,
+                    elapsed: t0.elapsed(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints_and_spacing() {
+        let s = Sweep::linspace(0.0, 1.0, 5);
+        assert_eq!(s.points(), &[0.0, 0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn run_evaluates_in_order() {
+        let s = Sweep::over(vec![1, 2, 3]);
+        let rows = s.run(|&p| p * 10);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].result, 10);
+        assert_eq!(rows[2].param, 3);
+    }
+
+    #[test]
+    fn timing_is_recorded() {
+        let s = Sweep::over(vec![0u32]);
+        let rows = s.run(|_| std::thread::sleep(Duration::from_millis(5)));
+        assert!(rows[0].elapsed >= Duration::from_millis(4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_point_linspace_panics() {
+        let _ = Sweep::linspace(0.0, 1.0, 1);
+    }
+}

@@ -1,0 +1,399 @@
+//! Complex number type used throughout the workspace.
+//!
+//! A small, `Copy`, `f64`-based complex type. We ship our own rather than
+//! pulling in an external crate so the numerical conventions (and the
+//! whole reproduction) are self-contained.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + j·im` with `f64` components.
+///
+/// # Example
+///
+/// ```
+/// use wlan_dsp::Complex;
+/// let a = Complex::new(1.0, 2.0);
+/// let b = Complex::new(3.0, -1.0);
+/// assert_eq!(a * b, Complex::new(5.0, 5.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// The imaginary unit `j`.
+pub const J: Complex = Complex { re: 0.0, im: 1.0 };
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_re(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar magnitude and angle (radians).
+    ///
+    /// ```
+    /// use wlan_dsp::Complex;
+    /// let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-12 && (z.im - 2.0).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_polar(mag: f64, angle: f64) -> Self {
+        Complex::new(mag * angle.cos(), mag * angle.sin())
+    }
+
+    /// `e^{jθ}` — a unit phasor at angle `theta` radians.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns a non-finite value when `z` is zero.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex::new(self.re * k, self.im * k)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Complex::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Returns the unit-magnitude phasor `z/|z|`, or zero for zero input.
+    #[inline]
+    pub fn signum(self) -> Self {
+        let a = self.abs();
+        if a == 0.0 {
+            Complex::ZERO
+        } else {
+            self.scale(1.0 / a)
+        }
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_re(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z·w⁻¹ is the definition
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.inv()
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = self.scale(rhs);
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |acc, z| acc + z)
+    }
+}
+
+/// Mean power `mean(|x[n]|²)` of a slice of complex samples.
+///
+/// Returns `0.0` for an empty slice.
+pub fn mean_power(x: &[Complex]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64
+}
+
+/// Scales a signal in place so that `mean(|x|²)` equals `target`.
+///
+/// Signals with zero power are left untouched.
+pub fn normalize_power(x: &mut [Complex], target: f64) {
+    let p = mean_power(x);
+    if p > 0.0 {
+        let k = (target / p).sqrt();
+        for z in x.iter_mut() {
+            *z = z.scale(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.5, -2.5);
+        assert_eq!(a + Complex::ZERO, a);
+        assert_eq!(a * Complex::ONE, a);
+        assert!(close(a * a.inv(), Complex::ONE, 1e-12));
+        assert_eq!(-a + a, Complex::ZERO);
+    }
+
+    #[test]
+    fn j_squared_is_minus_one() {
+        assert_eq!(J * J, Complex::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::new(3.0, 4.0);
+        let w = Complex::from_polar(z.abs(), z.arg());
+        assert!(close(z, w, 1e-12));
+        assert!((z.abs() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conj_flips_imag() {
+        let z = Complex::new(1.0, 2.0);
+        assert_eq!(z.conj(), Complex::new(1.0, -2.0));
+        assert!((z * z.conj()).im.abs() < 1e-15);
+        assert!(((z * z.conj()).re - z.norm_sqr()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_of_j_pi_is_minus_one() {
+        let z = (J * std::f64::consts::PI).exp();
+        assert!(close(z, Complex::new(-1.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = Complex::new(-3.0, 4.0);
+        let r = z.sqrt();
+        assert!(close(r * r, z, 1e-9));
+    }
+
+    #[test]
+    fn division() {
+        let a = Complex::new(4.0, 2.0);
+        let b = Complex::new(1.0, -1.0);
+        assert!(close(a / b * b, a, 1e-12));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2j");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2j");
+    }
+
+    #[test]
+    fn mean_power_and_normalize() {
+        let mut x = vec![Complex::new(2.0, 0.0); 8];
+        assert!((mean_power(&x) - 4.0).abs() < 1e-12);
+        normalize_power(&mut x, 1.0);
+        assert!((mean_power(&x) - 1.0).abs() < 1e-12);
+        assert_eq!(mean_power(&[]), 0.0);
+    }
+
+    #[test]
+    fn signum_is_unit_or_zero() {
+        assert_eq!(Complex::ZERO.signum(), Complex::ZERO);
+        let s = Complex::new(3.0, -4.0).signum();
+        assert!((s.abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Complex = (0..4).map(|k| Complex::new(k as f64, 1.0)).sum();
+        assert_eq!(total, Complex::new(6.0, 4.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_commutes(ar in -1e3..1e3f64, ai in -1e3..1e3f64,
+                             br in -1e3..1e3f64, bi in -1e3..1e3f64) {
+            let a = Complex::new(ar, ai);
+            let b = Complex::new(br, bi);
+            prop_assert!(close(a * b, b * a, 1e-6));
+        }
+
+        #[test]
+        fn prop_abs_is_multiplicative(ar in -1e3..1e3f64, ai in -1e3..1e3f64,
+                                      br in -1e3..1e3f64, bi in -1e3..1e3f64) {
+            let a = Complex::new(ar, ai);
+            let b = Complex::new(br, bi);
+            prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-4);
+        }
+
+        #[test]
+        fn prop_distributive(ar in -1e2..1e2f64, ai in -1e2..1e2f64,
+                             br in -1e2..1e2f64, bi in -1e2..1e2f64,
+                             cr in -1e2..1e2f64, ci in -1e2..1e2f64) {
+            let a = Complex::new(ar, ai);
+            let b = Complex::new(br, bi);
+            let c = Complex::new(cr, ci);
+            prop_assert!(close(a * (b + c), a * b + a * c, 1e-6));
+        }
+    }
+}

@@ -1,0 +1,697 @@
+//! Classic IIR filter design: Butterworth and Chebyshev type-I analog
+//! prototypes discretized with the prewarped bilinear transform.
+//!
+//! These are the filter families used for the channel-selection lowpass
+//! and inter-stage DC-blocking highpass of the paper's double-conversion
+//! receiver (the paper sweeps the "chebyshev filter bandwidth" in Fig. 5).
+
+use crate::complex::Complex;
+use crate::iir::{Biquad, Sos};
+
+/// Filter response type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterKind {
+    /// Passes frequencies below the edge.
+    Lowpass,
+    /// Passes frequencies above the edge.
+    Highpass,
+}
+
+/// Left-half-plane Butterworth poles for a normalized (ωc = 1) prototype.
+fn butterworth_poles(order: usize) -> Vec<Complex> {
+    (0..order)
+        .map(|k| {
+            let theta = std::f64::consts::PI * (2 * k + order + 1) as f64 / (2 * order) as f64;
+            Complex::cis(theta)
+        })
+        .collect()
+}
+
+/// Left-half-plane Chebyshev type-I poles for a normalized prototype with
+/// `ripple_db` passband ripple.
+fn chebyshev1_poles(order: usize, ripple_db: f64) -> Vec<Complex> {
+    let eps = (10f64.powf(ripple_db / 10.0) - 1.0).sqrt();
+    let mu = (1.0 / eps).asinh() / order as f64;
+    (0..order)
+        .map(|k| {
+            let theta = std::f64::consts::PI * (2 * k + 1) as f64 / (2 * order) as f64;
+            Complex::new(-mu.sinh() * theta.sin(), mu.cosh() * theta.cos())
+        })
+        .collect()
+}
+
+/// Applies the bilinear transform to a *first-order* analog section
+/// `(B0 + B1·s)/(A0 + A1·s)`, producing a first-order digital section
+/// (no spurious pole/zero at z = −1).
+fn bilinear_section1(bn: [f64; 2], an: [f64; 2], c: f64) -> Biquad {
+    let b0 = bn[0] + bn[1] * c;
+    let b1 = bn[0] - bn[1] * c;
+    let a0 = an[0] + an[1] * c;
+    let a1 = an[0] - an[1] * c;
+    Biquad::new([b0 / a0, b1 / a0, 0.0], [a1 / a0, 0.0])
+}
+
+/// Applies the bilinear transform `s = c·(1−z⁻¹)/(1+z⁻¹)` to an analog
+/// section `(B0 + B1·s + B2·s²)/(A0 + A1·s + A2·s²)`.
+fn bilinear_section(bn: [f64; 3], an: [f64; 3], c: f64) -> Biquad {
+    let (b0a, b1a, b2a) = (bn[0], bn[1], bn[2]);
+    let (a0a, a1a, a2a) = (an[0], an[1], an[2]);
+    let b0 = b0a + b1a * c + b2a * c * c;
+    let b1 = 2.0 * b0a - 2.0 * b2a * c * c;
+    let b2 = b0a - b1a * c + b2a * c * c;
+    let a0 = a0a + a1a * c + a2a * c * c;
+    let a1 = 2.0 * a0a - 2.0 * a2a * c * c;
+    let a2 = a0a - a1a * c + a2a * c * c;
+    Biquad::new([b0 / a0, b1 / a0, b2 / a0], [a1 / a0, a2 / a0])
+}
+
+/// Builds a digital filter from prototype poles.
+///
+/// The prototype is all-pole lowpass with unit cutoff. Lowpass designs
+/// scale the poles by the prewarped edge; highpass designs additionally
+/// apply the `s → ωc/s` transform (poles `ωc/p`, `n` zeros at the origin).
+/// The cascade gain is normalized so the reference-frequency magnitude
+/// equals `ref_gain` (DC for lowpass, Nyquist for highpass).
+fn realize(
+    proto_poles: &[Complex],
+    kind: FilterKind,
+    edge_hz: f64,
+    sample_rate_hz: f64,
+    ref_gain: f64,
+) -> Sos {
+    let c = 2.0 * sample_rate_hz;
+    // Prewarped analog edge so the digital response hits the edge exactly.
+    let wc = c * (std::f64::consts::PI * edge_hz / sample_rate_hz).tan();
+
+    // Transform prototype poles to the target analog filter.
+    let poles: Vec<Complex> = proto_poles
+        .iter()
+        .map(|&p| match kind {
+            FilterKind::Lowpass => p * wc,
+            FilterKind::Highpass => Complex::from_re(wc) / p,
+        })
+        .collect();
+
+    // Pair complex-conjugate poles; the Chebyshev/Butterworth pole sets
+    // are symmetric so sorting by imaginary part pairs k with n-1-k.
+    let n = poles.len();
+    let mut sections = Vec::new();
+    let mut used = vec![false; n];
+    for i in 0..n {
+        if used[i] {
+            continue;
+        }
+        let p = poles[i];
+        if p.im.abs() < 1e-9 * p.abs().max(1e-300) {
+            used[i] = true;
+            // Real pole: (s - p) in the denominator.
+            let an = [-p.re, 1.0];
+            let bn = match kind {
+                FilterKind::Lowpass => [1.0, 0.0],
+                FilterKind::Highpass => [0.0, 1.0],
+            };
+            sections.push(bilinear_section1(bn, an, c));
+        } else {
+            // Find its conjugate partner.
+            let j = (0..n)
+                .find(|&j| {
+                    !used[j]
+                        && j != i
+                        && (poles[j] - p.conj()).abs() < 1e-6 * p.abs().max(1e-300)
+                })
+                .expect("conjugate pole missing: prototype set not symmetric");
+            used[i] = true;
+            used[j] = true;
+            // (s - p)(s - p*) = s² - 2Re(p)s + |p|²
+            let an = [p.norm_sqr(), -2.0 * p.re, 1.0];
+            let bn = match kind {
+                FilterKind::Lowpass => [1.0, 0.0, 0.0],
+                FilterKind::Highpass => [0.0, 0.0, 1.0],
+            };
+            sections.push(bilinear_section(bn, an, c));
+        }
+    }
+
+    // Normalize the overall gain at the reference frequency.
+    let sos = Sos::new(sections, 1.0);
+    let f_ref = match kind {
+        FilterKind::Lowpass => 0.0,
+        FilterKind::Highpass => 0.5,
+    };
+    let mag = sos.response(f_ref).abs();
+    let sections = sos.sections().to_vec();
+    Sos::new(sections, ref_gain / mag)
+}
+
+/// One analog second-order section
+/// `H(s) = (b0 + b1·s + b2·s²)/(a0 + a1·s + a2·s²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalogSection {
+    /// Numerator coefficients `[b0, b1, b2]`.
+    pub b: [f64; 3],
+    /// Denominator coefficients `[a0, a1, a2]`.
+    pub a: [f64; 3],
+}
+
+impl AnalogSection {
+    /// Response at frequency `f_hz` (`s = j2πf`).
+    pub fn response(&self, f_hz: f64) -> Complex {
+        let s = Complex::new(0.0, 2.0 * std::f64::consts::PI * f_hz);
+        let s2 = s * s;
+        let num = Complex::from_re(self.b[0]) + s * self.b[1] + s2 * self.b[2];
+        let den = Complex::from_re(self.a[0]) + s * self.a[1] + s2 * self.a[2];
+        num / den
+    }
+
+    /// Frequency-scales the section (`s → s/λ`).
+    pub fn scaled(&self, lambda: f64) -> AnalogSection {
+        AnalogSection {
+            b: [self.b[0], self.b[1] / lambda, self.b[2] / (lambda * lambda)],
+            a: [self.a[0], self.a[1] / lambda, self.a[2] / (lambda * lambda)],
+        }
+    }
+}
+
+/// A continuous-time filter as a cascade of [`AnalogSection`]s with an
+/// overall gain — the form consumed both by the bilinear discretization
+/// here and by the `wlan-ams` continuous-time solver.
+#[derive(Debug, Clone)]
+pub struct AnalogFilter {
+    sections: Vec<AnalogSection>,
+    gain: f64,
+    edge_hz: f64,
+    kind: FilterKind,
+}
+
+impl AnalogFilter {
+    /// Butterworth prototype realized at `edge_hz` (−3 dB point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order == 0` or `edge_hz <= 0`.
+    pub fn butterworth(order: usize, kind: FilterKind, edge_hz: f64) -> Self {
+        assert!(order >= 1 && edge_hz > 0.0, "invalid butterworth parameters");
+        Self::from_poles(&butterworth_poles(order), kind, edge_hz, 1.0)
+    }
+
+    /// Chebyshev type-I prototype with `ripple_db` passband ripple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order == 0`, `ripple_db <= 0` or `edge_hz <= 0`.
+    pub fn chebyshev1(order: usize, ripple_db: f64, kind: FilterKind, edge_hz: f64) -> Self {
+        assert!(
+            order >= 1 && ripple_db > 0.0 && edge_hz > 0.0,
+            "invalid chebyshev parameters"
+        );
+        let ref_gain = if order.is_multiple_of(2) {
+            10f64.powf(-ripple_db / 20.0)
+        } else {
+            1.0
+        };
+        Self::from_poles(&chebyshev1_poles(order, ripple_db), kind, edge_hz, ref_gain)
+    }
+
+    fn from_poles(proto: &[Complex], kind: FilterKind, edge_hz: f64, ref_gain: f64) -> Self {
+        let wc = 2.0 * std::f64::consts::PI * edge_hz;
+        let poles: Vec<Complex> = proto
+            .iter()
+            .map(|&p| match kind {
+                FilterKind::Lowpass => p * wc,
+                FilterKind::Highpass => Complex::from_re(wc) / p,
+            })
+            .collect();
+        let n = poles.len();
+        let mut sections = Vec::new();
+        let mut used = vec![false; n];
+        for i in 0..n {
+            if used[i] {
+                continue;
+            }
+            let p = poles[i];
+            if p.im.abs() < 1e-9 * p.abs().max(1e-300) {
+                used[i] = true;
+                sections.push(AnalogSection {
+                    b: match kind {
+                        FilterKind::Lowpass => [1.0, 0.0, 0.0],
+                        FilterKind::Highpass => [0.0, 1.0, 0.0],
+                    },
+                    a: [-p.re, 1.0, 0.0],
+                });
+            } else {
+                let j = (0..n)
+                    .find(|&j| {
+                        !used[j] && j != i && (poles[j] - p.conj()).abs() < 1e-6 * p.abs()
+                    })
+                    .expect("conjugate pole missing");
+                used[i] = true;
+                used[j] = true;
+                sections.push(AnalogSection {
+                    b: match kind {
+                        FilterKind::Lowpass => [1.0, 0.0, 0.0],
+                        FilterKind::Highpass => [0.0, 0.0, 1.0],
+                    },
+                    a: [p.norm_sqr(), -2.0 * p.re, 1.0],
+                });
+            }
+        }
+        // Normalize the reference-frequency gain.
+        let tmp = AnalogFilter {
+            sections,
+            gain: 1.0,
+            edge_hz,
+            kind,
+        };
+        let f_ref = match kind {
+            FilterKind::Lowpass => 0.0,
+            FilterKind::Highpass => edge_hz * 1e6, // effectively s → ∞
+        };
+        let mag = tmp.response(f_ref).abs();
+        AnalogFilter {
+            gain: ref_gain / mag,
+            ..tmp
+        }
+    }
+
+    /// The second-order sections.
+    pub fn sections(&self) -> &[AnalogSection] {
+        &self.sections
+    }
+
+    /// Overall gain factor.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Design edge frequency in Hz.
+    pub fn edge_hz(&self) -> f64 {
+        self.edge_hz
+    }
+
+    /// Response at frequency `f_hz`.
+    pub fn response(&self, f_hz: f64) -> Complex {
+        let mut h = Complex::from_re(self.gain);
+        for s in &self.sections {
+            h *= s.response(f_hz);
+        }
+        h
+    }
+
+    /// Magnitude response in dB at `f_hz`.
+    pub fn response_db(&self, f_hz: f64) -> f64 {
+        20.0 * self.response(f_hz).abs().log10()
+    }
+
+    /// Discretizes via the prewarped bilinear transform at `sample_rate_hz`
+    /// so the digital response matches this analog filter at the edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge is not below `sample_rate_hz / 2`.
+    pub fn to_digital(&self, sample_rate_hz: f64) -> Sos {
+        assert!(
+            self.edge_hz < sample_rate_hz / 2.0,
+            "edge {} above Nyquist of fs {}",
+            self.edge_hz,
+            sample_rate_hz
+        );
+        let c = 2.0 * sample_rate_hz;
+        // Prewarp: scale the analog filter so the bilinear map puts the
+        // edge exactly right.
+        let wc_true = 2.0 * std::f64::consts::PI * self.edge_hz;
+        let wc_pre = c * (std::f64::consts::PI * self.edge_hz / sample_rate_hz).tan();
+        let lambda = wc_pre / wc_true;
+        let sections: Vec<Biquad> = self
+            .sections
+            .iter()
+            .map(|s| {
+                let s = s.scaled(lambda);
+                if s.a[2] == 0.0 && s.b[2] == 0.0 {
+                    bilinear_section1([s.b[0], s.b[1]], [s.a[0], s.a[1]], c)
+                } else {
+                    bilinear_section(s.b, s.a, c)
+                }
+            })
+            .collect();
+        // Renormalize the digital gain at the reference frequency (the
+        // bilinear transform preserves DC/Nyquist, but rounding in gain
+        // accumulation is avoided by re-measuring).
+        let sos = Sos::new(sections, 1.0);
+        let f_ref = match self.kind {
+            FilterKind::Lowpass => 0.0,
+            FilterKind::Highpass => 0.5,
+        };
+        let target = match self.kind {
+            FilterKind::Lowpass => self.response(0.0).abs(),
+            FilterKind::Highpass => self.response(self.edge_hz * 1e6).abs(),
+        };
+        let mag = sos.response(f_ref).abs();
+        let sections = sos.sections().to_vec();
+        Sos::new(sections, target / mag)
+    }
+}
+
+fn validate(order: usize, edge_hz: f64, sample_rate_hz: f64) {
+    assert!(order >= 1, "filter order must be at least 1");
+    assert!(
+        edge_hz > 0.0 && edge_hz < sample_rate_hz / 2.0,
+        "edge {edge_hz} Hz must be in (0, fs/2) with fs = {sample_rate_hz}"
+    );
+}
+
+/// Designs a Butterworth filter.
+///
+/// `edge_hz` is the -3 dB frequency.
+///
+/// # Panics
+///
+/// Panics if `order == 0` or the edge is outside `(0, fs/2)`.
+///
+/// ```
+/// use wlan_dsp::design::{butterworth, FilterKind};
+/// let lp = butterworth(5, FilterKind::Lowpass, 8.3e6, 80e6);
+/// assert!(lp.is_stable());
+/// // -3 dB at the edge
+/// assert!((lp.response_db(8.3e6 / 80e6) + 3.0).abs() < 0.1);
+/// ```
+pub fn butterworth(order: usize, kind: FilterKind, edge_hz: f64, sample_rate_hz: f64) -> Sos {
+    validate(order, edge_hz, sample_rate_hz);
+    let poles = butterworth_poles(order);
+    realize(&poles, kind, edge_hz, sample_rate_hz, 1.0)
+}
+
+/// Designs a Chebyshev type-I filter with `ripple_db` of passband ripple.
+///
+/// `edge_hz` is the ripple-band edge (the response leaves the
+/// `[-ripple_db, 0]` corridor beyond it).
+///
+/// # Panics
+///
+/// Panics if `order == 0`, `ripple_db <= 0`, or the edge is outside
+/// `(0, fs/2)`.
+pub fn chebyshev1(
+    order: usize,
+    ripple_db: f64,
+    kind: FilterKind,
+    edge_hz: f64,
+    sample_rate_hz: f64,
+) -> Sos {
+    validate(order, edge_hz, sample_rate_hz);
+    assert!(ripple_db > 0.0, "ripple must be positive, got {ripple_db}");
+    let poles = chebyshev1_poles(order, ripple_db);
+    // Even-order Chebyshev I has its DC (LP) / Nyquist (HP) gain at the
+    // bottom of the ripple corridor.
+    let ref_gain = if order.is_multiple_of(2) {
+        10f64.powf(-ripple_db / 20.0)
+    } else {
+        1.0
+    };
+    realize(&poles, kind, edge_hz, sample_rate_hz, ref_gain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FS: f64 = 80e6;
+
+    #[test]
+    fn butterworth_lowpass_edge_is_3db() {
+        for order in 1..=8 {
+            let f = butterworth(order, FilterKind::Lowpass, 10e6, FS);
+            assert!(f.is_stable(), "order {order}");
+            let edge_db = f.response_db(10e6 / FS);
+            assert!((edge_db + 3.0103).abs() < 0.05, "order {order}: {edge_db}");
+            assert!((f.response_db(0.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn butterworth_rolloff_scales_with_order() {
+        // One octave above the edge, order n should attenuate ~6n dB.
+        for order in [2usize, 4, 6] {
+            let f = butterworth(order, FilterKind::Lowpass, 5e6, FS);
+            let att = -f.response_db(10e6 / FS);
+            let expect = 6.02 * order as f64;
+            assert!(
+                (att - expect).abs() < 0.25 * expect,
+                "order {order}: got {att}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn butterworth_monotonic_passband() {
+        let f = butterworth(5, FilterKind::Lowpass, 10e6, FS);
+        let mut last = f.response(0.0).abs();
+        for i in 1..50 {
+            let mag = f.response(i as f64 * (10e6 / FS) / 50.0).abs();
+            assert!(mag <= last + 1e-9, "not monotonic at step {i}");
+            last = mag;
+        }
+    }
+
+    #[test]
+    fn butterworth_highpass_blocks_dc() {
+        let f = butterworth(4, FilterKind::Highpass, 1e6, FS);
+        assert!(f.is_stable());
+        assert!(f.response(0.0).abs() < 1e-9);
+        assert!(f.response_db(0.5).abs() < 1e-6);
+        assert!((f.response_db(1e6 / FS) + 3.0103).abs() < 0.05);
+    }
+
+    #[test]
+    fn chebyshev_ripple_corridor() {
+        let ripple = 0.5;
+        for order in [3usize, 4, 5, 6] {
+            let f = chebyshev1(order, ripple, FilterKind::Lowpass, 8e6, FS);
+            assert!(f.is_stable(), "order {order}");
+            // Whole passband inside [-ripple, 0] dB.
+            let mut min_db: f64 = 0.0;
+            let mut max_db: f64 = -100.0;
+            for i in 0..=200 {
+                let db = f.response_db(i as f64 * (8e6 / FS) / 200.0);
+                min_db = min_db.min(db);
+                max_db = max_db.max(db);
+            }
+            assert!(max_db < 1e-6, "order {order}: max {max_db}");
+            assert!(min_db > -ripple - 0.02, "order {order}: min {min_db}");
+            // Equiripple: the minimum actually touches the corridor floor.
+            assert!(min_db < -ripple + 0.05, "order {order}: min {min_db}");
+            // Edge is at the ripple bound.
+            let edge_db = f.response_db(8e6 / FS);
+            assert!((edge_db + ripple).abs() < 0.05, "order {order}: edge {edge_db}");
+        }
+    }
+
+    #[test]
+    fn chebyshev_sharper_than_butterworth() {
+        let bw = butterworth(5, FilterKind::Lowpass, 8e6, FS);
+        let ch = chebyshev1(5, 0.5, FilterKind::Lowpass, 8e6, FS);
+        // One octave out, Chebyshev should attenuate more.
+        let f = 16e6 / FS;
+        assert!(ch.response_db(f) < bw.response_db(f) - 5.0);
+    }
+
+    #[test]
+    fn chebyshev_highpass() {
+        let f = chebyshev1(5, 1.0, FilterKind::Highpass, 2e6, FS);
+        assert!(f.is_stable());
+        assert!(f.response(0.0).abs() < 1e-9);
+        assert!(f.response_db(0.5).abs() < 1e-6);
+        // Stopband well below the edge.
+        assert!(f.response_db(0.5e6 / FS) < -25.0);
+    }
+
+    #[test]
+    fn first_order_sections() {
+        let f = butterworth(1, FilterKind::Lowpass, 10e6, FS);
+        assert_eq!(f.len(), 1);
+        let f = chebyshev1(1, 0.5, FilterKind::Highpass, 10e6, FS);
+        assert_eq!(f.len(), 1);
+        assert!(f.is_stable());
+    }
+
+    #[test]
+    fn section_count_is_ceil_half_order() {
+        assert_eq!(butterworth(7, FilterKind::Lowpass, 5e6, FS).len(), 4);
+        assert_eq!(butterworth(8, FilterKind::Lowpass, 5e6, FS).len(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_order_panics() {
+        let _ = butterworth(0, FilterKind::Lowpass, 1e6, FS);
+    }
+
+    #[test]
+    #[should_panic]
+    fn edge_beyond_nyquist_panics() {
+        let _ = butterworth(3, FilterKind::Lowpass, 50e6, FS);
+    }
+
+    #[test]
+    fn time_domain_tone_attenuation_matches_response() {
+        let mut f = chebyshev1(5, 0.5, FilterKind::Lowpass, 8e6, FS);
+        let freq = 20e6 / FS;
+        let expect = f.response(freq).abs();
+        let n = 20_000;
+        let mut p = 0.0;
+        for i in 0..n {
+            let x = Complex::cis(2.0 * std::f64::consts::PI * freq * i as f64);
+            let y = f.push(x);
+            if i > n / 2 {
+                p += y.norm_sqr();
+            }
+        }
+        let mag = (p / (n / 2 - 1) as f64).sqrt();
+        assert!(
+            (mag - expect).abs() < 0.02 * expect.max(1e-6),
+            "time {mag} vs freq {expect}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod analog_tests {
+    use super::*;
+
+    #[test]
+    fn analog_butterworth_edge_is_3db() {
+        for order in 1..=7 {
+            let f = AnalogFilter::butterworth(order, FilterKind::Lowpass, 10e6);
+            assert!((f.response_db(10e6) + 3.0103).abs() < 0.01, "order {order}");
+            assert!((f.response_db(0.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn analog_chebyshev_edge_at_ripple() {
+        for order in [3usize, 4, 5] {
+            let f = AnalogFilter::chebyshev1(order, 0.5, FilterKind::Lowpass, 8e6);
+            assert!((f.response_db(8e6) + 0.5).abs() < 0.01, "order {order}");
+        }
+    }
+
+    #[test]
+    fn analog_highpass_rejects_dc() {
+        let f = AnalogFilter::butterworth(3, FilterKind::Highpass, 1e6);
+        assert!(f.response(0.0).abs() < 1e-12);
+        assert!((f.response_db(100e6)).abs() < 0.01);
+        assert!((f.response_db(1e6) + 3.0103).abs() < 0.01);
+    }
+
+    #[test]
+    fn digitized_matches_analog_in_passband() {
+        let fs = 80e6;
+        let af = AnalogFilter::chebyshev1(5, 0.5, FilterKind::Lowpass, 8e6);
+        let df = af.to_digital(fs);
+        for f in [0.0f64, 1e6, 4e6, 8e6] {
+            let a = af.response_db(f);
+            let d = df.response_db(f / fs);
+            assert!((a - d).abs() < 0.1, "f = {f}: analog {a}, digital {d}");
+        }
+    }
+
+    #[test]
+    fn digitized_matches_legacy_api() {
+        let fs = 80e6;
+        let a = AnalogFilter::chebyshev1(5, 0.5, FilterKind::Lowpass, 8e6).to_digital(fs);
+        let b = chebyshev1(5, 0.5, FilterKind::Lowpass, 8e6, fs);
+        for i in 0..40 {
+            let f = i as f64 * 0.5 / 40.0;
+            assert!(
+                (a.response(f).abs() - b.response(f).abs()).abs() < 1e-6,
+                "f = {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn section_scaling_shifts_edge() {
+        let f1 = AnalogFilter::butterworth(2, FilterKind::Lowpass, 1e6);
+        // Scaling all sections by 2 doubles every pole frequency.
+        let scaled: Vec<AnalogSection> = f1.sections().iter().map(|s| s.scaled(2.0)).collect();
+        let tmp = AnalogFilter {
+            sections: scaled,
+            gain: f1.gain(),
+            edge_hz: 2e6,
+            kind: FilterKind::Lowpass,
+        };
+        assert!((tmp.response_db(2e6) + 3.0103).abs() < 0.05);
+    }
+}
+
+#[cfg(test)]
+mod design_property_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Every Butterworth design in the sane parameter space is stable
+        /// and monotone at DC/edge.
+        #[test]
+        fn prop_butterworth_always_stable(
+            order in 1usize..9,
+            edge_frac in 0.01..0.45f64,
+        ) {
+            let fs = 80e6;
+            let f = butterworth(order, FilterKind::Lowpass, edge_frac * fs, fs);
+            prop_assert!(f.is_stable());
+            prop_assert!(f.response_db(0.0).abs() < 1e-6);
+            prop_assert!((f.response_db(edge_frac) + 3.0103).abs() < 0.2);
+        }
+
+        /// Chebyshev designs stay inside the ripple corridor in-band and
+        /// stable for all parameters.
+        #[test]
+        fn prop_chebyshev_corridor(
+            order in 1usize..8,
+            ripple in 0.1..3.0f64,
+            edge_frac in 0.02..0.4f64,
+        ) {
+            let fs = 80e6;
+            let f = chebyshev1(order, ripple, FilterKind::Lowpass, edge_frac * fs, fs);
+            prop_assert!(f.is_stable());
+            for i in 0..=20 {
+                let db = f.response_db(i as f64 * edge_frac / 20.0);
+                prop_assert!(db < 0.05, "ripple top exceeded: {db}");
+                prop_assert!(db > -ripple - 0.1, "ripple floor exceeded: {db}");
+            }
+        }
+
+        /// Highpass designs reject DC and pass Nyquist, always.
+        #[test]
+        fn prop_highpass_dc_rejection(
+            order in 1usize..7,
+            edge_frac in 0.01..0.3f64,
+        ) {
+            let fs = 80e6;
+            let f = butterworth(order, FilterKind::Highpass, edge_frac * fs, fs);
+            prop_assert!(f.is_stable());
+            prop_assert!(f.response(0.0).abs() < 1e-6);
+            prop_assert!(f.response_db(0.5).abs() < 1e-6);
+        }
+
+        /// The analog prototype and its bilinear discretization agree in
+        /// the passband for any design.
+        #[test]
+        fn prop_analog_digital_agreement(
+            order in 1usize..7,
+            edge_frac in 0.02..0.2f64,
+        ) {
+            let fs = 80e6;
+            let edge = edge_frac * fs;
+            let af = AnalogFilter::butterworth(order, FilterKind::Lowpass, edge);
+            let df = af.to_digital(fs);
+            for i in 1..=5 {
+                let f_hz = i as f64 * edge / 6.0;
+                let a = af.response_db(f_hz);
+                let d = df.response_db(f_hz / fs);
+                prop_assert!((a - d).abs() < 0.3, "f {f_hz}: analog {a} vs digital {d}");
+            }
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Radix-2 decimation-in-time FFT with cached twiddle factors.
+//!
+//! Sized for this workspace: 64-point OFDM (de)modulation and up to a few
+//! thousand points for Welch spectral estimation. Forward transform is
+//! unnormalized (`X[k] = Σ x[n]·e^{-j2πkn/N}`); the inverse divides by `N`
+//! so `inverse(forward(x)) == x`. Unitary variants scaling by `1/√N` are
+//! provided for power-preserving OFDM processing.
+
+use crate::complex::Complex;
+
+/// FFT plan for a fixed power-of-two size.
+///
+/// Precomputes the bit-reversal permutation and twiddle factors once;
+/// transforms then run allocation-free in place.
+///
+/// # Example
+///
+/// ```
+/// use wlan_dsp::{Complex, fft::Fft};
+/// let fft = Fft::new(8);
+/// let mut x = vec![Complex::ONE; 8];
+/// fft.forward(&mut x);
+/// assert!((x[0].re - 8.0).abs() < 1e-12); // DC bin
+/// assert!(x[1].abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft {
+    n: usize,
+    rev: Vec<u32>,
+    /// Twiddles for the forward transform: `e^{-j2πk/N}`, k in 0..N/2.
+    tw: Vec<Complex>,
+}
+
+impl Fft {
+    /// Creates a plan for an `n`-point transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n > 0, "FFT size must be a power of two, got {n}");
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
+            .collect::<Vec<_>>();
+        let rev = if n == 1 { vec![0] } else { rev };
+        let tw = (0..n / 2)
+            .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        Fft { n, rev, tw }
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the plan size is... never; plans are at least 1 point.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn dit(&self, x: &mut [Complex], inverse: bool) {
+        let n = self.n;
+        debug_assert_eq!(x.len(), n);
+        if n == 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                x.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.tw[k * step];
+                    if inverse {
+                        w = w.conj();
+                    }
+                    let a = x[start + k];
+                    let b = x[start + k + half] * w;
+                    x[start + k] = a + b;
+                    x[start + k + half] = a - b;
+                }
+            }
+            len *= 2;
+        }
+    }
+
+    /// In-place forward DFT (unnormalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the plan size.
+    pub fn forward(&self, x: &mut [Complex]) {
+        assert_eq!(x.len(), self.n, "buffer length must match FFT size");
+        self.dit(x, false);
+    }
+
+    /// In-place inverse DFT, scaled by `1/N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the plan size.
+    pub fn inverse(&self, x: &mut [Complex]) {
+        assert_eq!(x.len(), self.n, "buffer length must match FFT size");
+        self.dit(x, true);
+        let k = 1.0 / self.n as f64;
+        for v in x.iter_mut() {
+            *v = v.scale(k);
+        }
+    }
+
+    /// In-place unitary forward DFT (scaled by `1/√N`), preserving power.
+    pub fn forward_unitary(&self, x: &mut [Complex]) {
+        self.forward(x);
+        let k = 1.0 / (self.n as f64).sqrt();
+        for v in x.iter_mut() {
+            *v = v.scale(k);
+        }
+    }
+
+    /// In-place unitary inverse DFT (scaled by `1/√N`), preserving power.
+    pub fn inverse_unitary(&self, x: &mut [Complex]) {
+        assert_eq!(x.len(), self.n, "buffer length must match FFT size");
+        self.dit(x, true);
+        let k = 1.0 / (self.n as f64).sqrt();
+        for v in x.iter_mut() {
+            *v = v.scale(k);
+        }
+    }
+}
+
+/// Reorders a spectrum so the zero-frequency bin sits in the middle
+/// (`fftshift`), returning a new vector.
+///
+/// ```
+/// use wlan_dsp::fft::fftshift;
+/// assert_eq!(fftshift(&[0, 1, 2, 3]), vec![2, 3, 0, 1]);
+/// ```
+pub fn fftshift<T: Copy>(x: &[T]) -> Vec<T> {
+    let n = x.len();
+    let half = n.div_ceil(2);
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&x[half..]);
+    out.extend_from_slice(&x[..half]);
+    out
+}
+
+/// Frequency axis (Hz) matching [`fftshift`] ordering for an `n`-point
+/// transform at sample rate `fs`.
+pub fn fftshift_freqs(n: usize, fs: f64) -> Vec<f64> {
+    let n_i = n as i64;
+    (0..n_i)
+        .map(|i| (i - n_i / 2) as f64 * fs / n as f64)
+        .collect()
+}
+
+/// Reference O(N²) DFT used in tests and for non-power-of-two sizes.
+pub fn dft_reference(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            x.iter()
+                .enumerate()
+                .map(|(i, &v)| v * Complex::cis(-2.0 * std::f64::consts::PI * (k * i) as f64 / n as f64))
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use proptest::prelude::*;
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<Complex> {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| rng.complex_gaussian(1.0)).collect()
+    }
+
+    #[test]
+    fn matches_reference_dft() {
+        for &n in &[1usize, 2, 4, 8, 16, 64, 256] {
+            let x = rand_signal(n, n as u64);
+            let mut y = x.clone();
+            Fft::new(n).forward(&mut y);
+            let r = dft_reference(&x);
+            for (a, b) in y.iter().zip(r.iter()) {
+                assert!((*a - *b).abs() < 1e-9 * n as f64, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let fft = Fft::new(128);
+        let x = rand_signal(128, 9);
+        let mut y = x.clone();
+        fft.forward(&mut y);
+        fft.inverse(&mut y);
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn unitary_preserves_power() {
+        let fft = Fft::new(64);
+        let x = rand_signal(64, 4);
+        let p_in: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut y = x.clone();
+        fft.forward_unitary(&mut y);
+        let p_out: f64 = y.iter().map(|z| z.norm_sqr()).sum();
+        assert!((p_in - p_out).abs() < 1e-9 * p_in);
+        fft.inverse_unitary(&mut y);
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_bin() {
+        let n = 64;
+        let fft = Fft::new(n);
+        for bin in [1usize, 5, 31, 63] {
+            let mut x: Vec<Complex> = (0..n)
+                .map(|i| Complex::cis(2.0 * std::f64::consts::PI * bin as f64 * i as f64 / n as f64))
+                .collect();
+            fft.forward(&mut x);
+            assert!((x[bin].abs() - n as f64).abs() < 1e-9);
+            let leak: f64 = x
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| *k != bin)
+                .map(|(_, z)| z.abs())
+                .sum();
+            assert!(leak < 1e-8);
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let fft = Fft::new(32);
+        let a = rand_signal(32, 1);
+        let b = rand_signal(32, 2);
+        let mut sum: Vec<Complex> = a.iter().zip(b.iter()).map(|(&x, &y)| x + y).collect();
+        let (mut fa, mut fb) = (a, b);
+        fft.forward(&mut fa);
+        fft.forward(&mut fb);
+        fft.forward(&mut sum);
+        for i in 0..32 {
+            assert!((sum[i] - (fa[i] + fb[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_pow2_panics() {
+        let _ = Fft::new(48);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_length_panics() {
+        let fft = Fft::new(8);
+        let mut x = vec![Complex::ZERO; 4];
+        fft.forward(&mut x);
+    }
+
+    #[test]
+    fn fftshift_even_odd() {
+        assert_eq!(fftshift(&[0, 1, 2, 3]), vec![2, 3, 0, 1]);
+        assert_eq!(fftshift(&[0, 1, 2, 3, 4]), vec![3, 4, 0, 1, 2]);
+    }
+
+    #[test]
+    fn fftshift_freqs_axis() {
+        let f = fftshift_freqs(4, 8.0);
+        assert_eq!(f, vec![-4.0, -2.0, 0.0, 2.0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_parseval(seed in 0u64..1000) {
+            let n = 256;
+            let x = rand_signal(n, seed);
+            let mut y = x.clone();
+            Fft::new(n).forward(&mut y);
+            let time_e: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+            let freq_e: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+            prop_assert!((time_e - freq_e).abs() < 1e-7 * time_e.max(1.0));
+        }
+    }
+}

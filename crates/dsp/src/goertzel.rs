@@ -1,0 +1,96 @@
+//! Goertzel single-bin DFT for tone power measurements.
+//!
+//! Used by the SpectreRF-style RF characterization harnesses (two-tone
+//! IM3, compression) where only a handful of known frequencies matter.
+
+use crate::complex::Complex;
+
+/// Measures the complex amplitude of the tone at `freq_hz` in `x`
+/// (sampled at `sample_rate_hz`) via the Goertzel recursion generalized to
+/// non-integer bins (a direct single-frequency DFT).
+///
+/// Returns the complex amplitude such that a pure input
+/// `A·e^{j(2πft+φ)}` yields approximately `A·e^{jφ}`.
+///
+/// # Panics
+///
+/// Panics if `x` is empty.
+pub fn tone_amplitude(x: &[Complex], freq_hz: f64, sample_rate_hz: f64) -> Complex {
+    assert!(!x.is_empty(), "empty signal");
+    let w = -2.0 * std::f64::consts::PI * freq_hz / sample_rate_hz;
+    let mut acc = Complex::ZERO;
+    for (n, &v) in x.iter().enumerate() {
+        acc += v * Complex::cis(w * n as f64);
+    }
+    acc / x.len() as f64
+}
+
+/// Power (1 Ω, `A²/2` convention) of the tone at `freq_hz`.
+pub fn tone_power(x: &[Complex], freq_hz: f64, sample_rate_hz: f64) -> f64 {
+    let a = tone_amplitude(x, freq_hz, sample_rate_hz);
+    a.norm_sqr() / 2.0
+}
+
+/// Power of the tone in dBm.
+pub fn tone_power_dbm(x: &[Complex], freq_hz: f64, sample_rate_hz: f64) -> f64 {
+    crate::math::watts_to_dbm(tone_power(x, freq_hz, sample_rate_hz))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_amplitude_and_phase() {
+        let fs = 80e6;
+        let f0 = 5e6;
+        let x: Vec<Complex> = (0..8000)
+            .map(|n| Complex::from_polar(2.0, 2.0 * std::f64::consts::PI * f0 * n as f64 / fs + 0.7))
+            .collect();
+        let a = tone_amplitude(&x, f0, fs);
+        assert!((a.abs() - 2.0).abs() < 1e-6);
+        assert!((a.arg() - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tone_power_convention() {
+        let fs = 1.0;
+        // Amplitude 1 tone → power 0.5 W.
+        let x: Vec<Complex> = (0..1000)
+            .map(|n| Complex::cis(2.0 * std::f64::consts::PI * 0.1 * n as f64))
+            .collect();
+        assert!((tone_power(&x, 0.1, fs) - 0.5).abs() < 1e-9);
+        assert!((tone_power_dbm(&x, 0.1, fs) - 26.99).abs() < 0.02);
+    }
+
+    #[test]
+    fn rejects_off_frequency_tone() {
+        let fs = 1.0;
+        // Measure at 0.2 while signal is at 0.1; with whole cycles the
+        // orthogonality is exact.
+        let x: Vec<Complex> = (0..1000)
+            .map(|n| Complex::cis(2.0 * std::f64::consts::PI * 0.1 * n as f64))
+            .collect();
+        assert!(tone_power(&x, 0.2, fs) < 1e-20);
+    }
+
+    #[test]
+    fn separates_two_tones() {
+        let fs = 100.0;
+        let x: Vec<Complex> = (0..10_000)
+            .map(|n| {
+                let t = n as f64 / fs;
+                Complex::from_polar(1.0, 2.0 * std::f64::consts::PI * 10.0 * t)
+                    + Complex::from_polar(0.01, 2.0 * std::f64::consts::PI * 11.0 * t)
+            })
+            .collect();
+        assert!((tone_amplitude(&x, 10.0, fs).abs() - 1.0).abs() < 1e-6);
+        assert!((tone_amplitude(&x, 11.0, fs).abs() - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_signal_panics() {
+        let _ = tone_amplitude(&[], 1.0, 10.0);
+    }
+}

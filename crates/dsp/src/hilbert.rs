@@ -1,0 +1,154 @@
+//! FIR Hilbert transformer: builds the analytic signal of a real
+//! waveform (used to move between the real-passband and
+//! complex-envelope representations without a quadrature LO).
+
+use crate::complex::Complex;
+use crate::window::Window;
+
+/// Odd-length type-III FIR Hilbert transformer.
+///
+/// `analytic(x)[n] ≈ x[n - delay] + j·H{x}[n]` where `H` is the Hilbert
+/// transform; a real tone `cos(ωt)` becomes `e^{jω(t - delay)}` for
+/// `0 < ω < π` (positive frequencies kept, negative removed).
+#[derive(Debug, Clone)]
+pub struct Hilbert {
+    taps: Vec<f64>,
+    delay: usize,
+    history: Vec<f64>,
+    pos: usize,
+}
+
+impl Hilbert {
+    /// Creates a transformer with `taps` coefficients (odd, ≥ 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is even or below 7.
+    pub fn new(taps: usize) -> Self {
+        assert!(taps % 2 == 1 && taps >= 7, "need an odd tap count >= 7");
+        let m = (taps - 1) / 2;
+        let w = Window::Blackman.coefficients(taps - 1);
+        let taps_v: Vec<f64> = (0..taps)
+            .map(|i| {
+                let k = i as i64 - m as i64;
+                if k == 0 || k % 2 == 0 {
+                    0.0
+                } else {
+                    // Ideal Hilbert: h[k] = 2/(πk) for odd k.
+                    let win = if i < taps - 1 { w[i] } else { w[0] };
+                    2.0 / (std::f64::consts::PI * k as f64) * win
+                }
+            })
+            .collect();
+        Hilbert {
+            taps: taps_v,
+            delay: m,
+            history: vec![0.0; taps],
+            pos: 0,
+        }
+    }
+
+    /// Group delay in samples of the quadrature path (the in-phase path
+    /// is delayed to match).
+    pub fn delay(&self) -> usize {
+        self.delay
+    }
+
+    /// Pushes one real sample, returning the analytic-signal sample
+    /// (delayed by [`Hilbert::delay`]).
+    pub fn push(&mut self, x: f64) -> Complex {
+        let n = self.taps.len();
+        self.history[self.pos] = x;
+        // Quadrature: convolution with the Hilbert kernel.
+        let mut q = 0.0;
+        let mut idx = self.pos;
+        for &t in &self.taps {
+            q += self.history[idx] * t;
+            idx = if idx == 0 { n - 1 } else { idx - 1 };
+        }
+        // In-phase: the center-tap (pure delay) path.
+        let i_idx = (self.pos + n - self.delay) % n;
+        let i = self.history[i_idx];
+        self.pos = (self.pos + 1) % n;
+        Complex::new(i, q)
+    }
+
+    /// Converts a real frame to its analytic signal.
+    pub fn process(&mut self, x: &[f64]) -> Vec<Complex> {
+        x.iter().map(|&v| self.push(v)).collect()
+    }
+
+    /// Clears the state.
+    pub fn reset(&mut self) {
+        self.history.fill(0.0);
+        self.pos = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goertzel::tone_power;
+
+    #[test]
+    fn analytic_signal_of_cosine_is_single_sided() {
+        let fs = 1.0;
+        let f0 = 0.12;
+        let mut h = Hilbert::new(63);
+        let x: Vec<f64> = (0..8000)
+            .map(|n| (2.0 * std::f64::consts::PI * f0 * n as f64).cos())
+            .collect();
+        let y = h.process(&x);
+        let tail = &y[1000..];
+        let pos = tone_power(tail, f0, fs);
+        let neg = tone_power(tail, -f0, fs);
+        // cos = ½e^{+} + ½e^{-}; analytic keeps the + side at full
+        // amplitude.
+        assert!((pos - 0.5).abs() < 0.02, "positive side {pos}");
+        assert!(neg < pos * 1e-3, "negative side not suppressed: {neg}");
+    }
+
+    #[test]
+    fn works_across_the_band() {
+        for f0 in [0.05, 0.2, 0.35, 0.45] {
+            let mut h = Hilbert::new(101);
+            let x: Vec<f64> = (0..8000)
+                .map(|n| (2.0 * std::f64::consts::PI * f0 * n as f64).cos())
+                .collect();
+            let y = h.process(&x);
+            let tail = &y[1000..];
+            let pos = tone_power(tail, f0, 1.0);
+            let neg = tone_power(tail, -f0, 1.0);
+            assert!(neg < pos * 0.01, "f = {f0}: {neg} vs {pos}");
+        }
+    }
+
+    #[test]
+    fn magnitude_is_envelope() {
+        // |analytic| of A·cos is ≈ A.
+        let mut h = Hilbert::new(63);
+        let x: Vec<f64> = (0..4000)
+            .map(|n| 2.0 * (2.0 * std::f64::consts::PI * 0.1 * n as f64).cos())
+            .collect();
+        let y = h.process(&x);
+        for v in &y[500..3500] {
+            assert!((v.abs() - 2.0).abs() < 0.05, "envelope {}", v.abs());
+        }
+    }
+
+    #[test]
+    fn reset_and_delay() {
+        let mut h = Hilbert::new(31);
+        assert_eq!(h.delay(), 15);
+        h.push(1.0);
+        h.reset();
+        let y = h.push(0.0);
+        assert_eq!(y, Complex::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn even_taps_panic() {
+        let _ = Hilbert::new(32);
+    }
+}

@@ -1,0 +1,243 @@
+//! Decibel conversions and small special functions.
+//!
+//! All power quantities in the workspace use the 1 Ω convention documented
+//! in `DESIGN.md`: a complex envelope tone of amplitude `A` carries
+//! `A²/2` watts.
+
+/// Boltzmann constant in J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Standard noise reference temperature in kelvin (IEEE T₀).
+pub const T0_KELVIN: f64 = 290.0;
+
+/// Converts a power ratio to decibels: `10·log10(ratio)`.
+///
+/// ```
+/// use wlan_dsp::math::lin_to_db;
+/// assert!((lin_to_db(100.0) - 20.0).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn lin_to_db(ratio: f64) -> f64 {
+    10.0 * ratio.log10()
+}
+
+/// Converts decibels to a power ratio: `10^(db/10)`.
+#[inline]
+pub fn db_to_lin(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts watts to dBm.
+///
+/// ```
+/// use wlan_dsp::math::watts_to_dbm;
+/// assert!((watts_to_dbm(1e-3) - 0.0).abs() < 1e-12);
+/// assert!((watts_to_dbm(1.0) - 30.0).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn watts_to_dbm(watts: f64) -> f64 {
+    10.0 * (watts / 1e-3).log10()
+}
+
+/// Converts dBm to watts.
+#[inline]
+pub fn dbm_to_watts(dbm: f64) -> f64 {
+    1e-3 * 10f64.powf(dbm / 10.0)
+}
+
+/// Converts a voltage (amplitude) ratio to decibels: `20·log10(ratio)`.
+#[inline]
+pub fn amp_to_db(ratio: f64) -> f64 {
+    20.0 * ratio.log10()
+}
+
+/// Converts decibels to a voltage (amplitude) ratio: `10^(db/20)`.
+#[inline]
+pub fn db_to_amp(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+/// Normalized sinc function `sin(πx)/(πx)` with `sinc(0) = 1`.
+///
+/// ```
+/// use wlan_dsp::math::sinc;
+/// assert_eq!(sinc(0.0), 1.0);
+/// assert!(sinc(1.0).abs() < 1e-12);
+/// ```
+pub fn sinc(x: f64) -> f64 {
+    if x == 0.0 {
+        1.0
+    } else {
+        let px = std::f64::consts::PI * x;
+        px.sin() / px
+    }
+}
+
+/// Modified Bessel function of the first kind, order zero, `I₀(x)`.
+///
+/// Power-series evaluation, accurate to better than 1e-12 for the `|x| ≤ 20`
+/// arguments used in Kaiser window design.
+pub fn bessel_i0(x: f64) -> f64 {
+    let half_x = x / 2.0;
+    let mut term = 1.0;
+    let mut sum = 1.0;
+    for k in 1..64 {
+        term *= (half_x / k as f64) * (half_x / k as f64);
+        sum += term;
+        if term < sum * 1e-16 {
+            break;
+        }
+    }
+    sum
+}
+
+/// Complementary error function `erfc(x)`.
+///
+/// Uses the numerically stable rational approximation from Numerical
+/// Recipes (fractional error < 1.2e-7 everywhere), adequate for BER
+/// theory curves.
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Gaussian tail probability `Q(x) = 0.5·erfc(x/√2)`.
+///
+/// ```
+/// use wlan_dsp::math::q_function;
+/// assert!((q_function(0.0) - 0.5).abs() < 1e-7);
+/// ```
+pub fn q_function(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Smallest power of two `>= n`.
+///
+/// # Panics
+///
+/// Panics if `n` is 0.
+pub fn next_pow2(n: usize) -> usize {
+    assert!(n > 0, "next_pow2 of zero");
+    n.next_power_of_two()
+}
+
+/// Wraps an angle to the interval `(-π, π]`.
+pub fn wrap_phase(theta: f64) -> f64 {
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let mut t = theta % two_pi;
+    if t > std::f64::consts::PI {
+        t -= two_pi;
+    } else if t <= -std::f64::consts::PI {
+        t += two_pi;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_roundtrip() {
+        for db in [-30.0, -3.0, 0.0, 3.0, 10.0, 33.3] {
+            assert!((lin_to_db(db_to_lin(db)) - db).abs() < 1e-9);
+            assert!((amp_to_db(db_to_amp(db)) - db).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dbm_roundtrip() {
+        for dbm in [-88.0, -23.0, 0.0, 16.0] {
+            assert!((watts_to_dbm(dbm_to_watts(dbm)) - dbm).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn three_db_is_factor_two() {
+        assert!((db_to_lin(3.0103) - 2.0).abs() < 1e-3);
+        assert!((db_to_amp(6.0206) - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sinc_zeros_at_integers() {
+        for k in 1..6 {
+            assert!(sinc(k as f64).abs() < 1e-12);
+            assert!(sinc(-(k as f64)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bessel_i0_reference_values() {
+        // Abramowitz & Stegun table values.
+        assert!((bessel_i0(0.0) - 1.0).abs() < 1e-14);
+        assert!((bessel_i0(1.0) - 1.2660658777520084).abs() < 1e-12);
+        assert!((bessel_i0(2.0) - 2.2795853023360673).abs() < 1e-12);
+        assert!((bessel_i0(5.0) - 27.239871823604442).abs() < 1e-9);
+    }
+
+    #[test]
+    fn erfc_reference_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.15729920705028513).abs() < 1e-6);
+        assert!((erfc(-1.0) - 1.8427007929497148).abs() < 1e-6);
+        assert!(erfc(6.0) < 1e-15);
+    }
+
+    #[test]
+    fn q_function_symmetry() {
+        for x in [0.5, 1.0, 2.0] {
+            assert!((q_function(x) + q_function(-x) - 1.0).abs() < 1e-6);
+        }
+        // Q(3) ≈ 1.3499e-3
+        assert!((q_function(3.0) - 1.3499e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1000), 1024);
+    }
+
+    #[test]
+    #[should_panic]
+    fn next_pow2_zero_panics() {
+        next_pow2(0);
+    }
+
+    #[test]
+    fn wrap_phase_range() {
+        use std::f64::consts::PI;
+        assert!((wrap_phase(3.0 * PI) - PI).abs() < 1e-12);
+        assert!((wrap_phase(-3.0 * PI) - PI).abs() < 1e-12);
+        assert!((wrap_phase(0.1) - 0.1).abs() < 1e-15);
+        for k in -10..10 {
+            let w = wrap_phase(k as f64 * 1.7);
+            assert!(w > -PI - 1e-12 && w <= PI + 1e-12);
+        }
+    }
+
+    #[test]
+    fn thermal_noise_floor_sanity() {
+        // kT0 in dBm/Hz should be about -174 dBm/Hz.
+        let kt = BOLTZMANN * T0_KELVIN;
+        assert!((watts_to_dbm(kt) - (-173.98)).abs() < 0.05);
+    }
+}

@@ -1,0 +1,237 @@
+//! Deterministic random number generation for reproducible simulations.
+//!
+//! Monte-Carlo BER experiments must be bit-exactly reproducible across
+//! machines and library versions, so the workspace ships its own small
+//! generator instead of depending on an external crate: xoshiro256**
+//! (Blackman & Vigna, 2018) seeded through SplitMix64, with uniform,
+//! Gaussian (polar Box-Muller) and complex-Gaussian output.
+
+use crate::complex::Complex;
+
+/// xoshiro256** pseudo-random generator.
+///
+/// # Example
+///
+/// ```
+/// use wlan_dsp::Rng;
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second Box-Muller deviate.
+    gauss_spare: Option<f64>,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// The state is expanded with SplitMix64 so that similar seeds give
+    /// uncorrelated streams.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next_sm(), next_sm(), next_sm(), next_sm()];
+        Rng {
+            s,
+            gauss_spare: None,
+        }
+    }
+
+    /// Derives an independent child generator (for per-block noise
+    /// sources that must not share a stream).
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)` via rejection-free Lemire reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// A random bit.
+    pub fn bit(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Fills `buf` with random bits.
+    pub fn bits(&mut self, buf: &mut [u8]) {
+        for b in buf.iter_mut() {
+            *b = self.bit() as u8;
+        }
+    }
+
+    /// Fills `buf` with random bytes.
+    pub fn bytes(&mut self, buf: &mut [u8]) {
+        for b in buf.iter_mut() {
+            *b = (self.next_u64() >> 32) as u8;
+        }
+    }
+
+    /// Standard-normal deviate (zero mean, unit variance) via the polar
+    /// Box-Muller method.
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(g) = self.gauss_spare.take() {
+            return g;
+        }
+        loop {
+            let u = 2.0 * self.uniform() - 1.0;
+            let v = 2.0 * self.uniform() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let k = (-2.0 * s.ln() / s).sqrt();
+                self.gauss_spare = Some(v * k);
+                return u * k;
+            }
+        }
+    }
+
+    /// Circularly-symmetric complex Gaussian sample with total variance
+    /// `E[|z|²] = variance` (i.e. `variance/2` per real dimension).
+    pub fn complex_gaussian(&mut self, variance: f64) -> Complex {
+        let sigma = (variance / 2.0).sqrt();
+        Complex::new(sigma * self.gaussian(), sigma * self.gaussian())
+    }
+}
+
+impl Default for Rng {
+    fn default() -> Self {
+        Rng::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = Rng::new(123);
+        let mut b = Rng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = Rng::new(7);
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_and_variance() {
+        let mut rng = Rng::new(99);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.uniform()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01);
+        assert!((var - 1.0 / 12.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = Rng::new(5);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let kurt = xs.iter().map(|x| x.powi(4)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01);
+        assert!((var - 1.0).abs() < 0.02);
+        assert!((kurt - 3.0).abs() < 0.1); // Gaussian kurtosis
+    }
+
+    #[test]
+    fn complex_gaussian_power() {
+        let mut rng = Rng::new(11);
+        let n = 100_000;
+        let p: f64 = (0..n)
+            .map(|_| rng.complex_gaussian(2.5).norm_sqr())
+            .sum::<f64>()
+            / n as f64;
+        assert!((p - 2.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = Rng::new(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fork_gives_independent_stream() {
+        let mut a = Rng::new(10);
+        let mut c = a.fork();
+        // Child stream should not track the parent.
+        let same = (0..64).filter(|_| a.next_u64() == c.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn bits_are_roughly_balanced() {
+        let mut rng = Rng::new(21);
+        let mut buf = vec![0u8; 10_000];
+        rng.bits(&mut buf);
+        let ones: usize = buf.iter().map(|&b| b as usize).sum();
+        assert!(ones > 4700 && ones < 5300);
+    }
+}

@@ -1,0 +1,173 @@
+//! Power spectral density estimation (Welch's method) and derived
+//! channel-power measurements.
+
+use crate::complex::Complex;
+use crate::fft::{fftshift, fftshift_freqs, Fft};
+use crate::window::Window;
+
+/// Welch PSD estimate with 50 % overlap and a Hann window.
+///
+/// Returns `(freqs_hz, psd)` in [`fftshift`] order: frequencies from
+/// `-fs/2` to `fs/2`, PSD in power per hertz (so that
+/// `sum(psd)·fs/nfft ≈ mean(|x|²)`).
+///
+/// # Panics
+///
+/// Panics if `nfft` is not a power of two or `x.len() < nfft`.
+///
+/// ```
+/// use wlan_dsp::{Complex, spectrum::welch_psd};
+/// let x: Vec<Complex> = (0..4096)
+///     .map(|n| Complex::cis(2.0 * std::f64::consts::PI * 0.25 * n as f64))
+///     .collect();
+/// let (freqs, psd) = welch_psd(&x, 512, 1.0);
+/// let peak = psd.iter().cloned().fold(f64::MIN, f64::max);
+/// let peak_idx = psd.iter().position(|&p| p == peak).unwrap();
+/// assert!((freqs[peak_idx] - 0.25).abs() < 0.01);
+/// ```
+pub fn welch_psd(x: &[Complex], nfft: usize, sample_rate_hz: f64) -> (Vec<f64>, Vec<f64>) {
+    assert!(nfft.is_power_of_two(), "nfft must be a power of two");
+    assert!(
+        x.len() >= nfft,
+        "signal ({}) shorter than nfft ({nfft})",
+        x.len()
+    );
+    let fft = Fft::new(nfft);
+    let win = Window::Hann.coefficients(nfft);
+    let win_power: f64 = win.iter().map(|w| w * w).sum();
+    let hop = nfft / 2;
+    let mut acc = vec![0.0f64; nfft];
+    let mut segments = 0usize;
+    let mut start = 0;
+    while start + nfft <= x.len() {
+        let mut buf: Vec<Complex> = (0..nfft).map(|i| x[start + i] * win[i]).collect();
+        fft.forward(&mut buf);
+        for (a, b) in acc.iter_mut().zip(buf.iter()) {
+            *a += b.norm_sqr();
+        }
+        segments += 1;
+        start += hop;
+    }
+    let scale = 1.0 / (segments as f64 * win_power * sample_rate_hz);
+    let psd: Vec<f64> = acc.iter().map(|&p| p * scale).collect();
+    (fftshift_freqs(nfft, sample_rate_hz), fftshift(&psd))
+}
+
+/// Integrated power (watts under the 1 Ω `mean(|x|²)` convention) of a PSD
+/// between `f_lo` and `f_hi` hertz.
+pub fn band_power(freqs: &[f64], psd: &[f64], f_lo: f64, f_hi: f64) -> f64 {
+    assert_eq!(freqs.len(), psd.len());
+    if freqs.len() < 2 {
+        return 0.0;
+    }
+    let df = freqs[1] - freqs[0];
+    freqs
+        .iter()
+        .zip(psd.iter())
+        .filter(|(f, _)| **f >= f_lo && **f < f_hi)
+        .map(|(_, p)| p * df)
+        .sum()
+}
+
+/// Adjacent-channel power ratio in dB: power in the adjacent channel
+/// (centered at `offset_hz`, width `bw_hz`) relative to the main channel
+/// (centered at 0, same width).
+pub fn acpr_db(freqs: &[f64], psd: &[f64], offset_hz: f64, bw_hz: f64) -> f64 {
+    let main = band_power(freqs, psd, -bw_hz / 2.0, bw_hz / 2.0);
+    let adj = band_power(freqs, psd, offset_hz - bw_hz / 2.0, offset_hz + bw_hz / 2.0);
+    10.0 * (adj / main).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn white_noise_is_flat_and_integrates_to_power() {
+        let mut rng = Rng::new(1);
+        let fs = 20e6;
+        let x: Vec<Complex> = (0..65536).map(|_| rng.complex_gaussian(2.0)).collect();
+        let (freqs, psd) = welch_psd(&x, 1024, fs);
+        let total = band_power(&freqs, &psd, -fs / 2.0, fs / 2.0);
+        assert!((total - 2.0).abs() < 0.1, "total {total}");
+        // Flatness: max/min across decade bins within ~3 dB.
+        let mx = psd.iter().cloned().fold(f64::MIN, f64::max);
+        let mn = psd.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(mx / mn < 4.0, "not flat: {mx}/{mn}");
+    }
+
+    #[test]
+    fn tone_power_recovered() {
+        let fs = 80e6;
+        let f0 = 10e6;
+        let amp = 0.5;
+        let x: Vec<Complex> = (0..32768)
+            .map(|n| Complex::from_polar(amp, 2.0 * std::f64::consts::PI * f0 * n as f64 / fs))
+            .collect();
+        let (freqs, psd) = welch_psd(&x, 2048, fs);
+        let p = band_power(&freqs, &psd, f0 - 1e6, f0 + 1e6);
+        assert!((p - amp * amp).abs() < 0.01 * amp * amp, "p = {p}");
+    }
+
+    #[test]
+    fn negative_frequency_tone() {
+        let fs = 80e6;
+        let x: Vec<Complex> = (0..16384)
+            .map(|n| Complex::cis(-2.0 * std::f64::consts::PI * 15e6 * n as f64 / fs))
+            .collect();
+        let (freqs, psd) = welch_psd(&x, 1024, fs);
+        let peak = psd
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!((freqs[peak] + 15e6).abs() < 0.5e6);
+    }
+
+    #[test]
+    fn acpr_of_shifted_interferer() {
+        let fs = 80e6;
+        let mut rng = Rng::new(2);
+        // Main channel: lowpass-ish noise; adjacent at +20 MHz, 10 dB lower.
+        let x: Vec<Complex> = (0..65536)
+            .map(|n| {
+                let main = rng.complex_gaussian(1.0);
+                let adj = rng.complex_gaussian(0.1)
+                    * Complex::cis(2.0 * std::f64::consts::PI * 20e6 * n as f64 / fs);
+                // crude band-limit: use raw noise; both occupy full band, but the
+                // measurement bands are narrow around each center.
+                main + adj
+            })
+            .collect();
+        let (freqs, psd) = welch_psd(&x, 1024, fs);
+        // Wideband noise: ACPR measurement over ±8 MHz windows sees
+        // (1.0+0.1)/... both present; just check the helper math with a tone.
+        let _ = acpr_db(&freqs, &psd, 20e6, 16e6);
+        // Direct tone-based check:
+        let y: Vec<Complex> = (0..65536)
+            .map(|n| {
+                Complex::cis(2.0 * std::f64::consts::PI * 1e6 * n as f64 / fs)
+                    + Complex::from_polar(0.1, 2.0 * std::f64::consts::PI * 20e6 * n as f64 / fs)
+            })
+            .collect();
+        let (freqs, psd) = welch_psd(&y, 1024, fs);
+        let acpr = acpr_db(&freqs, &psd, 20e6, 16e6);
+        assert!((acpr + 20.0).abs() < 0.5, "acpr {acpr}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_signal_panics() {
+        let x = vec![Complex::ZERO; 10];
+        let _ = welch_psd(&x, 64, 1.0);
+    }
+
+    #[test]
+    fn band_power_empty_band_is_zero() {
+        let freqs = vec![-1.0, 0.0, 1.0];
+        let psd = vec![1.0, 1.0, 1.0];
+        assert_eq!(band_power(&freqs, &psd, 5.0, 6.0), 0.0);
+    }
+}

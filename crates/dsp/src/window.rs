@@ -1,0 +1,160 @@
+//! Window functions for spectral analysis and FIR design.
+
+use crate::math::bessel_i0;
+
+/// Window shape selector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Window {
+    /// Rectangular (no taper).
+    Rectangular,
+    /// Hann (raised cosine).
+    Hann,
+    /// Hamming.
+    Hamming,
+    /// Blackman (three-term).
+    Blackman,
+    /// Kaiser with shape parameter β.
+    Kaiser(f64),
+}
+
+impl Window {
+    /// Evaluates the window coefficients for length `n`.
+    ///
+    /// Uses the *periodic* convention denominator `n` for spectral
+    /// estimation friendliness when `n > 1`; a length-1 window is `[1.0]`.
+    ///
+    /// ```
+    /// use wlan_dsp::window::Window;
+    /// let w = Window::Hann.coefficients(8);
+    /// assert_eq!(w.len(), 8);
+    /// assert!(w[0] < 1e-12); // Hann starts at zero
+    /// ```
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![1.0];
+        }
+        let nn = n as f64;
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / nn;
+                let two_pi_x = 2.0 * std::f64::consts::PI * x;
+                match self {
+                    Window::Rectangular => 1.0,
+                    Window::Hann => 0.5 - 0.5 * two_pi_x.cos(),
+                    Window::Hamming => 0.54 - 0.46 * two_pi_x.cos(),
+                    Window::Blackman => {
+                        0.42 - 0.5 * two_pi_x.cos() + 0.08 * (2.0 * two_pi_x).cos()
+                    }
+                    Window::Kaiser(beta) => {
+                        // Symmetric Kaiser over [0, n-1].
+                        let m = (n - 1) as f64;
+                        let r = 2.0 * i as f64 / m - 1.0;
+                        bessel_i0(beta * (1.0 - r * r).max(0.0).sqrt()) / bessel_i0(beta)
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Coherent gain: mean of the coefficients (amplitude scaling of a
+    /// windowed tone).
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        let w = self.coefficients(n);
+        if w.is_empty() {
+            return 0.0;
+        }
+        w.iter().sum::<f64>() / n as f64
+    }
+
+    /// Noise-equivalent power gain: mean of the squared coefficients.
+    pub fn power_gain(self, n: usize) -> f64 {
+        let w = self.coefficients(n);
+        if w.is_empty() {
+            return 0.0;
+        }
+        w.iter().map(|v| v * v).sum::<f64>() / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_bounds() {
+        for w in [
+            Window::Rectangular,
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+            Window::Kaiser(8.0),
+        ] {
+            let c = w.coefficients(33);
+            assert_eq!(c.len(), 33);
+            assert!(c.iter().all(|&v| (-1e-12..=1.0 + 1e-12).contains(&v)), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(Window::Hann.coefficients(0).is_empty());
+        assert_eq!(Window::Hann.coefficients(1), vec![1.0]);
+    }
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(Window::Rectangular
+            .coefficients(16)
+            .iter()
+            .all(|&v| v == 1.0));
+        assert_eq!(Window::Rectangular.coherent_gain(16), 1.0);
+        assert_eq!(Window::Rectangular.power_gain(16), 1.0);
+    }
+
+    #[test]
+    fn hann_peak_and_symmetry() {
+        let n = 64;
+        let c = Window::Hann.coefficients(n);
+        // Periodic Hann: c[i] == c[n-i] for i>0.
+        for i in 1..n {
+            assert!((c[i] - c[n - i]).abs() < 1e-12);
+        }
+        assert!((c[n / 2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hann_coherent_gain_is_half() {
+        assert!((Window::Hann.coherent_gain(1024) - 0.5).abs() < 1e-3);
+        assert!((Window::Hann.power_gain(1024) - 0.375).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hamming_endpoint() {
+        let c = Window::Hamming.coefficients(64);
+        assert!((c[0] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kaiser_beta_zero_is_rectangular() {
+        let c = Window::Kaiser(0.0).coefficients(16);
+        assert!(c.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn kaiser_tapers_with_beta() {
+        let a = Window::Kaiser(2.0).coefficients(65);
+        let b = Window::Kaiser(10.0).coefficients(65);
+        // Larger beta → smaller edges.
+        assert!(b[0] < a[0]);
+        assert!((a[32] - 1.0).abs() < 1e-9 && (b[32] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blackman_near_zero_edges() {
+        let c = Window::Blackman.coefficients(128);
+        assert!(c[0].abs() < 1e-9);
+    }
+}

@@ -1,0 +1,158 @@
+//! Adjacent-channel power ratio and occupied-bandwidth measurements on
+//! transmitted or received spectra.
+
+use wlan_dsp::spectrum::{band_power, welch_psd};
+use wlan_dsp::Complex;
+
+/// Result of a channel-power analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcprMeasurement {
+    /// Main-channel power (W, `mean(|x|²)/2` convention).
+    pub main_w: f64,
+    /// Lower adjacent-channel power (W).
+    pub lower_w: f64,
+    /// Upper adjacent-channel power (W).
+    pub upper_w: f64,
+    /// Lower ACPR in dB (negative = cleaner).
+    pub lower_db: f64,
+    /// Upper ACPR in dB.
+    pub upper_db: f64,
+}
+
+/// Measures ACPR for a channelized signal: main channel centered at 0,
+/// adjacent channels at ±`spacing_hz`, each integrating `bandwidth_hz`.
+///
+/// # Panics
+///
+/// Panics if the signal is shorter than the FFT size (2048) or the
+/// bands exceed Nyquist.
+pub fn measure_acpr(
+    x: &[Complex],
+    sample_rate_hz: f64,
+    spacing_hz: f64,
+    bandwidth_hz: f64,
+) -> AcprMeasurement {
+    assert!(
+        spacing_hz + bandwidth_hz / 2.0 < sample_rate_hz / 2.0,
+        "adjacent band beyond Nyquist"
+    );
+    let nfft = 2048.min(wlan_dsp::math::next_pow2(x.len() / 8).max(256));
+    let (freqs, psd) = welch_psd(x, nfft, sample_rate_hz);
+    let half = bandwidth_hz / 2.0;
+    let main = band_power(&freqs, &psd, -half, half) / 2.0;
+    let lower = band_power(&freqs, &psd, -spacing_hz - half, -spacing_hz + half) / 2.0;
+    let upper = band_power(&freqs, &psd, spacing_hz - half, spacing_hz + half) / 2.0;
+    AcprMeasurement {
+        main_w: main,
+        lower_w: lower,
+        upper_w: upper,
+        lower_db: 10.0 * (lower / main).log10(),
+        upper_db: 10.0 * (upper / main).log10(),
+    }
+}
+
+/// The bandwidth containing `fraction` (e.g. 0.99) of the total power,
+/// centered on the spectrum's power centroid.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `(0, 1]` or the signal is too short.
+pub fn occupied_bandwidth(x: &[Complex], sample_rate_hz: f64, fraction: f64) -> f64 {
+    assert!(fraction > 0.0 && fraction <= 1.0, "fraction in (0,1]");
+    let nfft = 2048.min(wlan_dsp::math::next_pow2(x.len() / 8).max(256));
+    let (freqs, psd) = welch_psd(x, nfft, sample_rate_hz);
+    let total: f64 = psd.iter().sum();
+    // Walk outward from the peak bin until the fraction is contained.
+    let peak = psd
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mut acc = psd[peak];
+    let (mut lo, mut hi) = (peak, peak);
+    while acc < fraction * total && (lo > 0 || hi < psd.len() - 1) {
+        let next_lo = if lo > 0 { psd[lo - 1] } else { f64::MIN };
+        let next_hi = if hi < psd.len() - 1 { psd[hi + 1] } else { f64::MIN };
+        if next_lo >= next_hi {
+            lo -= 1;
+            acc += psd[lo];
+        } else {
+            hi += 1;
+            acc += psd[hi];
+        }
+    }
+    freqs[hi] - freqs[lo]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_phy::{Rate, Transmitter};
+
+    fn ofdm_burst() -> Vec<Complex> {
+        Transmitter::new(Rate::R54).transmit(&[0x5Au8; 800]).samples
+    }
+
+    #[test]
+    fn clean_ofdm_has_low_acpr() {
+        let x = ofdm_burst();
+        // ±20 MHz channels need the oversampled scene representation.
+        let scene = wlan_channel::interferer::Scene::new(20e6, 4)
+            .add(&x, 0.0, -40.0, 0)
+            .render();
+        let m = measure_acpr(&scene[2048..], 80e6, 20e6, 16.6e6);
+        assert!(m.upper_db < -30.0, "upper ACPR {}", m.upper_db);
+        assert!(m.lower_db < -30.0, "lower ACPR {}", m.lower_db);
+    }
+
+    #[test]
+    fn nonlinearity_raises_acpr() {
+        // Spectral regrowth: a compressed PA shoulder rises.
+        use wlan_rf::nonlinearity::Nonlinearity;
+        let x = ofdm_burst();
+        let scene = wlan_channel::interferer::Scene::new(20e6, 4)
+            .add(&x, 0.0, -20.0, 0)
+            .render();
+        let clean = measure_acpr(&scene[2048..], 80e6, 20e6, 16.6e6);
+        let nl = Nonlinearity::rapp(-25.0); // deep compression
+        let dirty_sig: Vec<Complex> = scene.iter().map(|&u| nl.apply(u, 1.0)).collect();
+        let dirty = measure_acpr(&dirty_sig[2048..], 80e6, 20e6, 16.6e6);
+        assert!(
+            dirty.upper_db > clean.upper_db + 10.0,
+            "no regrowth: clean {} dirty {}",
+            clean.upper_db,
+            dirty.upper_db
+        );
+    }
+
+    #[test]
+    fn occupied_bandwidth_of_ofdm() {
+        // 802.11a occupies ±8.3 MHz ≈ 16.6 MHz.
+        let x = ofdm_burst();
+        let scene = wlan_channel::interferer::Scene::new(20e6, 4)
+            .add(&x, 0.0, -40.0, 0)
+            .render();
+        let obw = occupied_bandwidth(&scene[2048..], 80e6, 0.99);
+        assert!(
+            (15e6..19e6).contains(&obw),
+            "occupied bandwidth {obw}"
+        );
+    }
+
+    #[test]
+    fn single_tone_obw_is_narrow() {
+        let x: Vec<Complex> = (0..32768)
+            .map(|n| Complex::cis(2.0 * std::f64::consts::PI * 0.1 * n as f64))
+            .collect();
+        let obw = occupied_bandwidth(&x, 20e6, 0.99);
+        assert!(obw < 0.5e6, "tone OBW {obw}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn adjacent_beyond_nyquist_panics() {
+        let x = vec![Complex::ONE; 4096];
+        let _ = measure_acpr(&x, 20e6, 15e6, 16e6);
+    }
+}

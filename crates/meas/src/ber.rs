@@ -1,0 +1,199 @@
+//! Bit-error-rate accumulation with confidence intervals.
+
+/// Accumulating bit-error-rate meter.
+///
+/// # Example
+///
+/// ```
+/// use wlan_meas::BerMeter;
+/// let mut m = BerMeter::new();
+/// m.update_bits(&[0, 1, 1, 0], &[0, 1, 0, 0]);
+/// assert_eq!(m.errors(), 1);
+/// assert_eq!(m.bits(), 4);
+/// assert!((m.ber() - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BerMeter {
+    errors: u64,
+    bits: u64,
+    packets: u64,
+    packet_errors: u64,
+}
+
+impl BerMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        BerMeter::default()
+    }
+
+    /// Compares two bit slices (values 0/1) of equal length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn update_bits(&mut self, tx: &[u8], rx: &[u8]) {
+        assert_eq!(tx.len(), rx.len(), "bit slices must match");
+        let e = tx
+            .iter()
+            .zip(rx.iter())
+            .filter(|(a, b)| (**a ^ **b) & 1 == 1)
+            .count() as u64;
+        self.errors += e;
+        self.bits += tx.len() as u64;
+        self.packets += 1;
+        if e > 0 {
+            self.packet_errors += 1;
+        }
+    }
+
+    /// Compares byte payloads bit-by-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn update_bytes(&mut self, tx: &[u8], rx: &[u8]) {
+        assert_eq!(tx.len(), rx.len(), "byte slices must match");
+        let e: u64 = tx
+            .iter()
+            .zip(rx.iter())
+            .map(|(a, b)| (a ^ b).count_ones() as u64)
+            .sum();
+        self.errors += e;
+        self.bits += 8 * tx.len() as u64;
+        self.packets += 1;
+        if e > 0 {
+            self.packet_errors += 1;
+        }
+    }
+
+    /// Records a packet that was entirely lost (all bits counted as
+    /// errored at rate 0.5, the convention for undetected packets).
+    pub fn update_lost_packet(&mut self, bits: usize) {
+        self.errors += bits as u64 / 2;
+        self.bits += bits as u64;
+        self.packets += 1;
+        self.packet_errors += 1;
+    }
+
+    /// Total errored bits.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Total compared bits.
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Packets observed.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Bit error rate (0 for an empty meter).
+    pub fn ber(&self) -> f64 {
+        if self.bits == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.bits as f64
+        }
+    }
+
+    /// Packet error rate.
+    pub fn per(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.packet_errors as f64 / self.packets as f64
+        }
+    }
+
+    /// 95 % Wilson confidence interval for the BER.
+    pub fn confidence_interval(&self) -> (f64, f64) {
+        if self.bits == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.bits as f64;
+        let p = self.ber();
+        let z = 1.96f64;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+
+    /// Merges another meter's counts into this one.
+    pub fn merge(&mut self, other: &BerMeter) {
+        self.errors += other.errors;
+        self.bits += other.bits;
+        self.packets += other.packets;
+        self.packet_errors += other.packet_errors;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_meter() {
+        let m = BerMeter::new();
+        assert_eq!(m.ber(), 0.0);
+        assert_eq!(m.per(), 0.0);
+        assert_eq!(m.confidence_interval(), (0.0, 1.0));
+    }
+
+    #[test]
+    fn counts_byte_errors() {
+        let mut m = BerMeter::new();
+        m.update_bytes(&[0xff, 0x00], &[0xfe, 0x00]);
+        assert_eq!(m.errors(), 1);
+        assert_eq!(m.bits(), 16);
+        assert_eq!(m.per(), 1.0);
+        m.update_bytes(&[0xaa], &[0xaa]);
+        assert_eq!(m.packets(), 2);
+        assert!((m.per() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lost_packet_counts_half() {
+        let mut m = BerMeter::new();
+        m.update_lost_packet(1000);
+        assert_eq!(m.errors(), 500);
+        assert!((m.ber() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_interval_contains_estimate() {
+        let mut m = BerMeter::new();
+        let tx = vec![0u8; 10_000];
+        let mut rx = vec![0u8; 10_000];
+        for r in rx.iter_mut().step_by(100) {
+            *r = 1;
+        }
+        m.update_bits(&tx, &rx);
+        let (lo, hi) = m.confidence_interval();
+        assert!(lo < 0.01 && 0.01 < hi, "({lo}, {hi})");
+        assert!(hi - lo < 0.005, "interval too wide: {}", hi - lo);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = BerMeter::new();
+        a.update_bits(&[0, 0], &[1, 0]);
+        let mut b = BerMeter::new();
+        b.update_bits(&[1, 1], &[1, 1]);
+        a.merge(&b);
+        assert_eq!(a.bits(), 4);
+        assert_eq!(a.errors(), 1);
+        assert_eq!(a.packets(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let mut m = BerMeter::new();
+        m.update_bits(&[0, 1], &[0]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Error vector magnitude: "the distance between the complex point of a
+//! received symbol to the ideal complex point of a reference" (§5.2).
+
+use wlan_dsp::Complex;
+
+/// Accumulating EVM meter.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EvmMeter {
+    err_acc: f64,
+    ref_acc: f64,
+    peak_err: f64,
+    count: u64,
+}
+
+impl EvmMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        EvmMeter::default()
+    }
+
+    /// Adds one received symbol against its ideal reference point.
+    pub fn update(&mut self, received: Complex, reference: Complex) {
+        let e = (received - reference).norm_sqr();
+        self.err_acc += e;
+        self.ref_acc += reference.norm_sqr();
+        self.peak_err = self.peak_err.max(e);
+        self.count += 1;
+    }
+
+    /// Adds a slice of symbol/reference pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn update_slice(&mut self, received: &[Complex], reference: &[Complex]) {
+        assert_eq!(received.len(), reference.len(), "length mismatch");
+        for (&r, &i) in received.iter().zip(reference.iter()) {
+            self.update(r, i);
+        }
+    }
+
+    /// Number of symbols accumulated.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// RMS EVM normalized to the RMS reference magnitude (linear).
+    ///
+    /// Returns 0 for an empty meter.
+    pub fn rms(&self) -> f64 {
+        if self.count == 0 || self.ref_acc == 0.0 {
+            0.0
+        } else {
+            (self.err_acc / self.ref_acc).sqrt()
+        }
+    }
+
+    /// RMS EVM in percent.
+    pub fn rms_percent(&self) -> f64 {
+        100.0 * self.rms()
+    }
+
+    /// RMS EVM in dB.
+    pub fn rms_db(&self) -> f64 {
+        20.0 * self.rms().log10()
+    }
+
+    /// Peak symbol error magnitude relative to the RMS reference.
+    pub fn peak(&self) -> f64 {
+        if self.count == 0 || self.ref_acc == 0.0 {
+            0.0
+        } else {
+            (self.peak_err / (self.ref_acc / self.count as f64)).sqrt()
+        }
+    }
+}
+
+/// EVM expected from pure AWGN at a given SNR: `EVM = 10^(−SNR/20)`.
+pub fn evm_from_snr_db(snr_db: f64) -> f64 {
+    10f64.powf(-snr_db / 20.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_dsp::Rng;
+
+    #[test]
+    fn perfect_symbols_zero_evm() {
+        let mut m = EvmMeter::new();
+        for i in 0..10 {
+            let p = Complex::from_polar(1.0, i as f64);
+            m.update(p, p);
+        }
+        assert_eq!(m.rms(), 0.0);
+        assert_eq!(m.peak(), 0.0);
+    }
+
+    #[test]
+    fn known_error_vector() {
+        let mut m = EvmMeter::new();
+        // Reference magnitude 1, error magnitude 0.1 → EVM 10 % = −20 dB.
+        m.update(Complex::new(1.1, 0.0), Complex::ONE);
+        m.update(Complex::new(0.9, 0.0), Complex::ONE);
+        assert!((m.rms() - 0.1).abs() < 1e-12);
+        assert!((m.rms_percent() - 10.0).abs() < 1e-9);
+        assert!((m.rms_db() + 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn awgn_evm_matches_snr() {
+        let mut rng = Rng::new(1);
+        let snr_db = 25.0;
+        let nv = 10f64.powf(-snr_db / 10.0);
+        let mut m = EvmMeter::new();
+        for _ in 0..100_000 {
+            let r = Complex::ONE + rng.complex_gaussian(nv);
+            m.update(r, Complex::ONE);
+        }
+        let expect = evm_from_snr_db(snr_db);
+        assert!(
+            (m.rms() / expect - 1.0).abs() < 0.02,
+            "evm {} vs {expect}",
+            m.rms()
+        );
+    }
+
+    #[test]
+    fn peak_exceeds_rms() {
+        let mut rng = Rng::new(2);
+        let mut m = EvmMeter::new();
+        for _ in 0..1000 {
+            m.update(Complex::ONE + rng.complex_gaussian(0.01), Complex::ONE);
+        }
+        assert!(m.peak() > m.rms());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_slices_panic() {
+        let mut m = EvmMeter::new();
+        m.update_slice(&[Complex::ONE], &[]);
+    }
+}

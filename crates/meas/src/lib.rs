@@ -1,0 +1,24 @@
+//! Measurement infrastructure for the WLAN verification flow.
+//!
+//! Two families, mirroring the paper's methodology:
+//!
+//! * **System-level** (§5): [`ber::BerMeter`] (the "safest information
+//!   about the system performance") and [`evm::EvmMeter`].
+//! * **RF characterization** (§4.2, the SpectreRF role): two-tone IM3 /
+//!   [`twotone::measure_iip3`], gain-compression sweep
+//!   [`compression::measure_p1db`], and output-noise-based
+//!   [`noisefigure::measure_noise_figure`] — applied to the behavioral
+//!   models to verify that they meet their specs before system
+//!   simulation ("verify the RF system separately using RF simulation
+//!   techniques").
+
+pub mod acpr;
+pub mod ber;
+pub mod compression;
+pub mod desense;
+pub mod evm;
+pub mod noisefigure;
+pub mod twotone;
+
+pub use ber::BerMeter;
+pub use evm::EvmMeter;

@@ -1,0 +1,115 @@
+//! Noise-figure measurement: SNR degradation through a device observing
+//! the standard T₀ source noise floor.
+
+use wlan_dsp::complex::mean_power;
+use wlan_dsp::goertzel::tone_power;
+use wlan_dsp::math::{dbm_to_watts, lin_to_db};
+use wlan_dsp::{Complex, Rng};
+use wlan_rf::noise::source_noise_power;
+
+/// Result of a noise-figure measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseFigureMeasurement {
+    /// Input SNR (dB) of the probe tone over the source floor.
+    pub snr_in_db: f64,
+    /// Output SNR (dB).
+    pub snr_out_db: f64,
+    /// Noise figure (dB): `SNR_in − SNR_out`.
+    pub nf_db: f64,
+    /// Measured device gain (dB).
+    pub gain_db: f64,
+}
+
+/// Measures the noise figure of `device` by driving it with a probe tone
+/// plus the kT₀ source floor, then comparing input and output SNR.
+///
+/// `device` must include its own internal noise (e.g. an
+/// [`wlan_rf::Amplifier`] with noise enabled). The probe level should sit
+/// well above the floor but below compression.
+pub fn measure_noise_figure<F>(
+    device: &mut F,
+    tone_hz: f64,
+    tone_dbm: f64,
+    sample_rate_hz: f64,
+    samples: usize,
+    seed: u64,
+) -> NoiseFigureMeasurement
+where
+    F: FnMut(&[Complex]) -> Vec<Complex>,
+{
+    let mut rng = Rng::new(seed);
+    let floor = source_noise_power(sample_rate_hz);
+    let a = (2.0 * dbm_to_watts(tone_dbm)).sqrt();
+    let x: Vec<Complex> = (0..samples)
+        .map(|n| {
+            Complex::from_polar(
+                a,
+                2.0 * std::f64::consts::PI * tone_hz * n as f64 / sample_rate_hz,
+            ) + rng.complex_gaussian(floor)
+        })
+        .collect();
+    let y = device(&x);
+    let tail = &y[y.len() / 4..];
+
+    let p_tone_out = 2.0 * tone_power(tail, tone_hz, sample_rate_hz);
+    let p_total_out = mean_power(tail);
+    let p_noise_out = (p_total_out - p_tone_out).max(1e-300);
+
+    let snr_in_db = lin_to_db(2.0 * dbm_to_watts(tone_dbm) / floor);
+    let snr_out_db = lin_to_db(p_tone_out / p_noise_out);
+    let gain_db = lin_to_db(p_tone_out / (2.0 * dbm_to_watts(tone_dbm)));
+    NoiseFigureMeasurement {
+        snr_in_db,
+        snr_out_db,
+        nf_db: snr_in_db - snr_out_db,
+        gain_db,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_dsp::Rng;
+    use wlan_rf::nonlinearity::Nonlinearity;
+    use wlan_rf::Amplifier;
+
+    #[test]
+    fn measures_amplifier_nf() {
+        let fs = 20e6;
+        for nf in [2.0, 6.0, 12.0] {
+            let mut amp = Amplifier::new(15.0, nf, Nonlinearity::Linear, fs, Rng::new(3));
+            let mut dev = |x: &[Complex]| amp.process(x);
+            let m = measure_noise_figure(&mut dev, 1e6, -70.0, fs, 400_000, 7);
+            assert!((m.nf_db - nf).abs() < 0.4, "set {nf}, got {}", m.nf_db);
+            assert!((m.gain_db - 15.0).abs() < 0.2, "gain {}", m.gain_db);
+        }
+    }
+
+    #[test]
+    fn noiseless_device_measures_near_zero_nf() {
+        let fs = 20e6;
+        let mut dev = |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| u * 10.0).collect() };
+        let m = measure_noise_figure(&mut dev, 1e6, -70.0, fs, 200_000, 8);
+        assert!(m.nf_db.abs() < 0.3, "nf {}", m.nf_db);
+        assert!((m.gain_db - 20.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn cascade_follows_friis() {
+        let fs = 20e6;
+        // LNA 15 dB / NF 3, then lossy mixer NF 12 / gain 6.
+        let mut lna = Amplifier::new(15.0, 3.0, Nonlinearity::Linear, fs, Rng::new(4));
+        let mut mix = Amplifier::new(6.0, 12.0, Nonlinearity::Linear, fs, Rng::new(5));
+        let mut dev = |x: &[Complex]| -> Vec<Complex> { mix.process(&lna.process(x)) };
+        let m = measure_noise_figure(&mut dev, 1e6, -70.0, fs, 400_000, 9);
+        let friis = wlan_rf::spec::cascade_noise_figure_db(&[
+            wlan_rf::spec::StageSpec { name: "lna", gain_db: 15.0, nf_db: 3.0 },
+            wlan_rf::spec::StageSpec { name: "mix", gain_db: 6.0, nf_db: 12.0 },
+        ]);
+        assert!(
+            (m.nf_db - friis).abs() < 0.5,
+            "measured {} vs Friis {friis}",
+            m.nf_db
+        );
+    }
+}

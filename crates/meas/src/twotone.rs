@@ -1,0 +1,163 @@
+//! Two-tone intermodulation measurement: the SpectreRF-style IIP3
+//! characterization ("test benches with two tone signals allow … several
+//! measurements of RF specific parameters", §4.2).
+
+use wlan_dsp::goertzel::tone_power_dbm;
+use wlan_dsp::math::dbm_to_watts;
+use wlan_dsp::Complex;
+
+/// Result of a two-tone IM3 measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Iip3Measurement {
+    /// Input power per tone used for the measurement (dBm).
+    pub input_dbm: f64,
+    /// Output fundamental power (dBm).
+    pub fundamental_dbm: f64,
+    /// Output IM3 product power (dBm).
+    pub im3_dbm: f64,
+    /// Extrapolated input-referred IP3 (dBm).
+    pub iip3_dbm: f64,
+    /// Extrapolated output-referred IP3 (dBm).
+    pub oip3_dbm: f64,
+    /// Measured gain (dB).
+    pub gain_db: f64,
+}
+
+/// Drives a device with two tones at `f1`/`f2` (each at `input_dbm`) and
+/// extrapolates IIP3 from the IM3 product at `2·f1 − f2`.
+///
+/// The device is any frame processor `&[Complex] → Vec<Complex>` at
+/// `sample_rate_hz`. Choose `input_dbm` well below compression (the 3:1
+/// extrapolation assumes small-signal behavior).
+///
+/// # Panics
+///
+/// Panics if the tone frequencies don't fit the sample rate.
+pub fn measure_iip3<F>(
+    device: &mut F,
+    f1_hz: f64,
+    f2_hz: f64,
+    input_dbm: f64,
+    sample_rate_hz: f64,
+    samples: usize,
+) -> Iip3Measurement
+where
+    F: FnMut(&[Complex]) -> Vec<Complex>,
+{
+    assert!(
+        f1_hz.abs() < sample_rate_hz / 2.0 && f2_hz.abs() < sample_rate_hz / 2.0,
+        "tones outside Nyquist"
+    );
+    // Coherent sampling: snap both tones to the analysis-window frequency
+    // grid so the (often −60…−100 dBc) IM3 bin is perfectly orthogonal to
+    // the fundamentals — otherwise sinc leakage dominates the product.
+    let tail_len = samples - samples / 4;
+    let grid = sample_rate_hz / tail_len as f64;
+    let f1 = (f1_hz / grid).round() * grid;
+    let f2 = (f2_hz / grid).round() * grid;
+    let a = (2.0 * dbm_to_watts(input_dbm)).sqrt();
+    let x: Vec<Complex> = (0..samples)
+        .map(|n| {
+            let t = n as f64 / sample_rate_hz;
+            Complex::from_polar(a, 2.0 * std::f64::consts::PI * f1 * t)
+                + Complex::from_polar(a, 2.0 * std::f64::consts::PI * f2 * t)
+        })
+        .collect();
+    let y = device(&x);
+    // Skip transients.
+    let tail = &y[y.len() - tail_len..];
+    let fundamental_dbm = tone_power_dbm(tail, f1, sample_rate_hz);
+    let im3_dbm = tone_power_dbm(tail, 2.0 * f1 - f2, sample_rate_hz);
+    let gain_db = fundamental_dbm - input_dbm;
+    // IIP3 = Pin + ΔIM3/2 where ΔIM3 = fundamental − IM3 (dBc).
+    let iip3_dbm = input_dbm + (fundamental_dbm - im3_dbm) / 2.0;
+    Iip3Measurement {
+        input_dbm,
+        fundamental_dbm,
+        im3_dbm,
+        iip3_dbm,
+        oip3_dbm: iip3_dbm + gain_db,
+        gain_db,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_rf::nonlinearity::Nonlinearity;
+
+    #[test]
+    fn recovers_cubic_iip3() {
+        for iip3 in [-15.0, -5.0, 5.0] {
+            let nl = Nonlinearity::Cubic { iip3_dbm: iip3 };
+            let mut dev = |x: &[Complex]| -> Vec<Complex> {
+                x.iter().map(|&u| nl.apply(u, 4.0)).collect()
+            };
+            let m = measure_iip3(&mut dev, 1e6, 1.3e6, iip3 - 30.0, 80e6, 40_000);
+            assert!(
+                (m.iip3_dbm - iip3).abs() < 0.3,
+                "set {iip3}, measured {}",
+                m.iip3_dbm
+            );
+            assert!((m.gain_db - 12.04).abs() < 0.1, "gain {}", m.gain_db);
+            assert!((m.oip3_dbm - (m.iip3_dbm + m.gain_db)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rapp_iip3_relates_to_p1db() {
+        // A smoothness-1 Rapp has a true cubic term: its small-signal
+        // IIP3 sits ≈8.9 dB above P1dB (v_sat² derivation in the docs).
+        let nl = Nonlinearity::Rapp {
+            p1db_dbm: -10.0,
+            smoothness: 1.0,
+        };
+        let mut dev = |x: &[Complex]| -> Vec<Complex> {
+            x.iter().map(|&u| nl.apply(u, 1.0)).collect()
+        };
+        let m = measure_iip3(&mut dev, 1e6, 1.4e6, -35.0, 80e6, 40_000);
+        assert!(
+            (m.iip3_dbm - (-1.1)).abs() < 1.5,
+            "Rapp(p=1) IIP3 {} vs expected ≈ −1.1 dBm",
+            m.iip3_dbm
+        );
+    }
+
+    #[test]
+    fn high_smoothness_rapp_has_weak_im3() {
+        // Smoothness-2 Rapp has no cubic Taylor term, so the
+        // small-signal extrapolated "IIP3" is far above P1dB.
+        let nl = Nonlinearity::rapp(-10.0);
+        let mut dev = |x: &[Complex]| -> Vec<Complex> {
+            x.iter().map(|&u| nl.apply(u, 1.0)).collect()
+        };
+        let m = measure_iip3(&mut dev, 1e6, 1.4e6, -35.0, 80e6, 40_000);
+        assert!(m.iip3_dbm > 5.0, "Rapp(p=2) IIP3 {}", m.iip3_dbm);
+    }
+
+    #[test]
+    fn linear_device_has_huge_iip3() {
+        let mut dev = |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| u * 2.0).collect() };
+        let m = measure_iip3(&mut dev, 1e6, 1.3e6, -40.0, 80e6, 20_000);
+        assert!(m.iip3_dbm > 50.0, "linear IIP3 {}", m.iip3_dbm);
+    }
+
+    #[test]
+    fn im3_slope_is_three_to_one() {
+        let nl = Nonlinearity::Cubic { iip3_dbm: 0.0 };
+        let mut dev = |x: &[Complex]| -> Vec<Complex> {
+            x.iter().map(|&u| nl.apply(u, 1.0)).collect()
+        };
+        let m1 = measure_iip3(&mut dev, 1e6, 1.3e6, -40.0, 80e6, 40_000);
+        let m2 = measure_iip3(&mut dev, 1e6, 1.3e6, -30.0, 80e6, 40_000);
+        let slope = (m2.im3_dbm - m1.im3_dbm) / 10.0;
+        assert!((slope - 3.0).abs() < 0.05, "IM3 slope {slope}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn tone_outside_nyquist_panics() {
+        let mut dev = |x: &[Complex]| -> Vec<Complex> { x.to_vec() };
+        let _ = measure_iip3(&mut dev, 50e6, 1e6, -30.0, 80e6, 1000);
+    }
+}

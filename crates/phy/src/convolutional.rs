@@ -1,0 +1,134 @@
+//! The 802.11a convolutional encoder: constraint length 7, generator
+//! polynomials g₀ = 133₈ and g₁ = 171₈, rate 1/2.
+
+/// Generator polynomial A (133 octal, 7 taps).
+pub const G0: u32 = 0o133;
+/// Generator polynomial B (171 octal, 7 taps).
+pub const G1: u32 = 0o171;
+/// `G0` bit-reversed for the newest-bit-at-LSB shift register.
+const G0_REV: u32 = 0b110_1101;
+/// `G1` bit-reversed for the newest-bit-at-LSB shift register.
+const G1_REV: u32 = 0b100_1111;
+/// Constraint length.
+pub const CONSTRAINT: usize = 7;
+/// Number of trellis states.
+pub const N_STATES: usize = 64;
+
+#[inline]
+fn parity(x: u32) -> u8 {
+    (x.count_ones() & 1) as u8
+}
+
+/// Encodes `bits` at rate 1/2, producing `2·bits.len()` output bits in the
+/// order A₀ B₀ A₁ B₁ … The encoder starts in the all-zero state; append
+/// six zero tail bits to the input to terminate the trellis.
+///
+/// ```
+/// use wlan_phy::convolutional::encode;
+/// // An all-zero message encodes to all zeros.
+/// assert_eq!(encode(&[0, 0, 0, 0]), vec![0; 8]);
+/// ```
+pub fn encode(bits: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bits.len() * 2);
+    let mut sr: u32 = 0; // bit 0 = newest input, bit 6 = oldest
+    for &b in bits {
+        sr = ((sr << 1) | (b as u32 & 1)) & 0x7f;
+        out.push(parity(sr & G0_REV));
+        out.push(parity(sr & G1_REV));
+    }
+    out
+}
+
+/// Output pair `(a, b)` for trellis `state` (6 bits of history, bit 0 =
+/// most recent) receiving input `input`.
+#[inline]
+pub fn branch_output(state: u32, input: u8) -> (u8, u8) {
+    let sr = ((state << 1) | (input as u32 & 1)) & 0x7f;
+    (parity(sr & G0_REV), parity(sr & G1_REV))
+}
+
+/// Next trellis state after `state` consumes `input`.
+#[inline]
+pub fn next_state(state: u32, input: u8) -> u32 {
+    ((state << 1) | (input as u32 & 1)) & 0x3f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impulse_response_is_generators() {
+        // Single 1 followed by zeros: outputs trace the generator taps
+        // MSB-first.
+        let y = encode(&[1, 0, 0, 0, 0, 0, 0]);
+        let a: Vec<u8> = y.iter().step_by(2).copied().collect();
+        let b: Vec<u8> = y.iter().skip(1).step_by(2).copied().collect();
+        // g0 = 133₈ = 1011011₂, g1 = 171₈ = 1111001₂ (MSB = first output).
+        assert_eq!(a, vec![1, 0, 1, 1, 0, 1, 1]);
+        assert_eq!(b, vec![1, 1, 1, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn encoder_is_linear() {
+        let x1: Vec<u8> = vec![1, 0, 1, 1, 0, 0, 1, 0, 1, 1];
+        let x2: Vec<u8> = vec![0, 1, 1, 0, 1, 0, 0, 1, 1, 0];
+        let xor: Vec<u8> = x1.iter().zip(&x2).map(|(a, b)| a ^ b).collect();
+        let y1 = encode(&x1);
+        let y2 = encode(&x2);
+        let yx = encode(&xor);
+        let xored: Vec<u8> = y1.iter().zip(&y2).map(|(a, b)| a ^ b).collect();
+        assert_eq!(yx, xored);
+    }
+
+    #[test]
+    fn output_length_doubles() {
+        assert_eq!(encode(&[1; 100]).len(), 200);
+        assert!(encode(&[]).is_empty());
+    }
+
+    #[test]
+    fn branch_functions_match_encoder() {
+        let bits = [1u8, 1, 0, 1, 0, 0, 1, 1, 1, 0];
+        let y = encode(&bits);
+        let mut state = 0u32;
+        for (i, &b) in bits.iter().enumerate() {
+            let (a, bb) = branch_output(state, b);
+            assert_eq!(a, y[2 * i]);
+            assert_eq!(bb, y[2 * i + 1]);
+            state = next_state(state, b);
+        }
+    }
+
+    #[test]
+    fn tail_returns_to_zero_state() {
+        let mut state = 0u32;
+        for &b in &[1u8, 0, 1, 1, 1, 0, 1, 0, 1] {
+            state = next_state(state, b);
+        }
+        assert_ne!(state, 0);
+        for _ in 0..6 {
+            state = next_state(state, 0);
+        }
+        assert_eq!(state, 0);
+    }
+
+    #[test]
+    fn free_distance_is_ten() {
+        // The (133,171) code has free distance 10: exhaustively search
+        // short input sequences for the minimum-weight nonzero codeword.
+        let mut dmin = usize::MAX;
+        for len in 1..=8usize {
+            for m in 1u32..(1 << len) {
+                let bits: Vec<u8> = (0..len).map(|i| ((m >> i) & 1) as u8).collect();
+                let mut padded = bits.clone();
+                padded.extend_from_slice(&[0; 6]);
+                let w: usize = encode(&padded).iter().map(|&b| b as usize).sum();
+                if w > 0 {
+                    dmin = dmin.min(w);
+                }
+            }
+        }
+        assert_eq!(dmin, 10);
+    }
+}

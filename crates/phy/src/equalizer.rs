@@ -1,0 +1,329 @@
+//! Channel estimation from the long training symbols, zero-forcing
+//! equalization and pilot-based common-phase-error tracking.
+
+use crate::ofdm::{carrier_to_bin, Ofdm};
+use crate::params::{
+    data_carrier_indices, FFT_SIZE, N_DATA_CARRIERS, PILOT_CARRIERS, PILOT_VALUES,
+};
+use crate::pilots::polarity;
+use crate::preamble::long_training_value;
+use wlan_dsp::Complex;
+
+/// Per-subcarrier channel estimate over the 64 FFT bins (zeros on unused
+/// bins).
+#[derive(Debug, Clone)]
+pub struct ChannelEstimate {
+    h: [Complex; FFT_SIZE],
+}
+
+impl ChannelEstimate {
+    /// Least-squares estimate from the two received long-training symbol
+    /// bodies (64 samples each, cyclic prefix already removed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either body is not 64 samples.
+    pub fn from_ltf(ofdm: &Ofdm, body1: &[Complex], body2: &[Complex]) -> Self {
+        let f1 = ofdm.demodulate_body(body1);
+        let f2 = ofdm.demodulate_body(body2);
+        let mut h = [Complex::ZERO; FFT_SIZE];
+        for k in -26..=26i32 {
+            let l = long_training_value(k);
+            if l == 0.0 {
+                continue;
+            }
+            let bin = carrier_to_bin(k);
+            h[bin] = (f1[bin] + f2[bin]) * 0.5 / l;
+        }
+        ChannelEstimate { h }
+    }
+
+    /// An ideal (all-ones) channel estimate, for genie testing.
+    pub fn ideal() -> Self {
+        let mut h = [Complex::ZERO; FFT_SIZE];
+        for k in -26..=26i32 {
+            if k != 0 {
+                h[carrier_to_bin(k)] = Complex::ONE;
+            }
+        }
+        ChannelEstimate { h }
+    }
+
+    /// Channel gain at logical subcarrier `k`.
+    pub fn at(&self, k: i32) -> Complex {
+        self.h[carrier_to_bin(k)]
+    }
+
+    /// Mean squared channel magnitude over the used carriers (an SNR-ish
+    /// gain figure).
+    pub fn mean_gain(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0;
+        for k in -26..=26i32 {
+            if k == 0 {
+                continue;
+            }
+            sum += self.at(k).norm_sqr();
+            n += 1;
+        }
+        sum / n as f64
+    }
+}
+
+/// Estimates the per-carrier SNR from the *difference* of the two long
+/// training symbol bodies: their half-difference is pure noise, their
+/// half-sum is pure signal (both carry the same channel).
+///
+/// Returns the estimated SNR in dB, or `None` for degenerate inputs.
+///
+/// # Panics
+///
+/// Panics if either body is not 64 samples.
+pub fn estimate_snr_db(ofdm: &Ofdm, body1: &[Complex], body2: &[Complex]) -> Option<f64> {
+    let f1 = ofdm.demodulate_body(body1);
+    let f2 = ofdm.demodulate_body(body2);
+    let mut sig = 0.0;
+    let mut noise = 0.0;
+    for k in -26..=26i32 {
+        if long_training_value(k) == 0.0 {
+            continue;
+        }
+        let bin = carrier_to_bin(k);
+        let sum = (f1[bin] + f2[bin]) * 0.5;
+        let diff = (f1[bin] - f2[bin]) * 0.5;
+        sig += sum.norm_sqr();
+        noise += diff.norm_sqr();
+    }
+    if noise <= 0.0 || sig <= 0.0 {
+        return None;
+    }
+    // Per carrier: E[|sum|²] = S + N/2 and E[|diff|²] = N/2, so
+    // S = sig − noise and N = 2·noise.
+    let snr = (sig - noise).max(1e-12) / (2.0 * noise);
+    Some(10.0 * snr.log10())
+}
+
+/// One equalized OFDM data symbol.
+#[derive(Debug, Clone)]
+pub struct EqualizedSymbol {
+    /// The 48 equalized data-subcarrier values.
+    pub data: [Complex; N_DATA_CARRIERS],
+    /// Per-carrier reliability weights `|H_k|²` for soft demapping.
+    pub csi: [f64; N_DATA_CARRIERS],
+    /// The common phase error that was removed (radians).
+    pub cpe: f64,
+}
+
+/// Equalizes one demodulated symbol (64 frequency bins) with the channel
+/// estimate and removes the pilot-tracked common phase error.
+///
+/// `symbol_index` selects the pilot polarity (0 = SIGNAL, 1.. = DATA).
+pub fn equalize_symbol(
+    freq: &[Complex; FFT_SIZE],
+    channel: &ChannelEstimate,
+    symbol_index: usize,
+) -> EqualizedSymbol {
+    // Zero-forcing on pilots, then CPE from the four pilots.
+    let p = polarity(symbol_index);
+    let mut acc = Complex::ZERO;
+    for (i, &k) in PILOT_CARRIERS.iter().enumerate() {
+        let h = channel.at(k);
+        if h.norm_sqr() < 1e-18 {
+            continue;
+        }
+        let eq = freq[carrier_to_bin(k)] / h;
+        let reference = p * PILOT_VALUES[i];
+        acc += eq * reference; // reference is ±1 ⇒ conj == itself
+    }
+    let cpe = acc.arg();
+    let derot = Complex::cis(-cpe);
+
+    let idx = data_carrier_indices();
+    let mut data = [Complex::ZERO; N_DATA_CARRIERS];
+    let mut csi = [0.0; N_DATA_CARRIERS];
+    for (i, &k) in idx.iter().enumerate() {
+        let h = channel.at(k);
+        let h2 = h.norm_sqr();
+        if h2 < 1e-18 {
+            data[i] = Complex::ZERO;
+            csi[i] = 0.0;
+        } else {
+            data[i] = freq[carrier_to_bin(k)] / h * derot;
+            csi[i] = h2;
+        }
+    }
+    EqualizedSymbol { data, csi, cpe }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulation::map_bits;
+    use crate::params::Modulation;
+    use crate::preamble::long_training_symbol;
+    use wlan_dsp::rng::Rng;
+
+    fn random_qpsk(seed: u64) -> Vec<Complex> {
+        let mut rng = Rng::new(seed);
+        let mut bits = vec![0u8; 96];
+        rng.bits(&mut bits);
+        map_bits(&bits, Modulation::Qpsk)
+    }
+
+    #[test]
+    fn ideal_channel_estimate_from_clean_ltf() {
+        let ofdm = Ofdm::new();
+        let ltf = long_training_symbol(&ofdm);
+        let est = ChannelEstimate::from_ltf(&ofdm, &ltf, &ltf);
+        for k in -26..=26i32 {
+            if k == 0 {
+                continue;
+            }
+            assert!((est.at(k) - Complex::ONE).abs() < 1e-9, "k = {k}");
+        }
+        assert!((est.mean_gain() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimates_flat_complex_gain() {
+        let ofdm = Ofdm::new();
+        let g = Complex::from_polar(0.5, 1.1);
+        let ltf: Vec<Complex> = long_training_symbol(&ofdm).iter().map(|&x| x * g).collect();
+        let est = ChannelEstimate::from_ltf(&ofdm, &ltf, &ltf);
+        for k in [-26i32, -7, 3, 26] {
+            assert!((est.at(k) - g).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn averaging_halves_noise() {
+        let ofdm = Ofdm::new();
+        let mut rng = Rng::new(9);
+        let clean = long_training_symbol(&ofdm);
+        let noisy = |rng: &mut Rng| -> Vec<Complex> {
+            clean.iter().map(|&x| x + rng.complex_gaussian(0.01)).collect()
+        };
+        let b1 = noisy(&mut rng);
+        let b2 = noisy(&mut rng);
+        let est = ChannelEstimate::from_ltf(&ofdm, &b1, &b2);
+        let err: f64 = (-26..=26i32)
+            .filter(|&k| k != 0)
+            .map(|k| (est.at(k) - Complex::ONE).norm_sqr())
+            .sum::<f64>()
+            / 52.0;
+        // Noise var per carrier ~0.01/2 after averaging (up to the OFDM
+        // demod normalization 64/52).
+        assert!(err < 0.012, "estimation error {err}");
+    }
+
+    #[test]
+    fn snr_estimate_tracks_truth() {
+        let ofdm = Ofdm::new();
+        let clean = long_training_symbol(&ofdm);
+        for snr_db in [10.0, 20.0, 30.0] {
+            let nv = 10f64.powf(-snr_db / 10.0);
+            // Average over realizations (only 52 carriers per estimate).
+            let mut rng = Rng::new(42 + snr_db as u64);
+            let mut acc = 0.0;
+            let trials = 50;
+            for _ in 0..trials {
+                let b1: Vec<Complex> =
+                    clean.iter().map(|&x| x + rng.complex_gaussian(nv)).collect();
+                let b2: Vec<Complex> =
+                    clean.iter().map(|&x| x + rng.complex_gaussian(nv)).collect();
+                acc += estimate_snr_db(&ofdm, &b1, &b2).expect("estimates");
+            }
+            let est = acc / trials as f64;
+            assert!(
+                (est - snr_db).abs() < 1.5,
+                "true {snr_db} dB, estimated {est} dB"
+            );
+        }
+    }
+
+    #[test]
+    fn snr_estimate_degenerate_input() {
+        let ofdm = Ofdm::new();
+        let zero = [Complex::ZERO; 64];
+        assert_eq!(estimate_snr_db(&ofdm, &zero, &zero), None);
+    }
+
+    #[test]
+    fn equalizer_inverts_channel_and_cpe() {
+        let ofdm = Ofdm::new();
+        let data = random_qpsk(3);
+        let sym = ofdm.modulate(&data, 1);
+        // Apply flat channel + a common phase rotation.
+        let g = Complex::from_polar(0.8, -0.4);
+        let phase = Complex::cis(0.3);
+        let rx: Vec<Complex> = sym.iter().map(|&x| x * g * phase).collect();
+        // Channel estimate sees only g (estimated before the phase drift).
+        let ltf: Vec<Complex> = long_training_symbol(&ofdm).iter().map(|&x| x * g).collect();
+        let est = ChannelEstimate::from_ltf(&ofdm, &ltf, &ltf);
+        let freq = ofdm.demodulate(&rx);
+        let eq = equalize_symbol(&freq, &est, 1);
+        assert!((eq.cpe - 0.3).abs() < 1e-6, "cpe {}", eq.cpe);
+        for (a, b) in eq.data.iter().zip(data.iter()) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+        for &w in eq.csi.iter() {
+            assert!((w - 0.64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn frequency_selective_channel_equalized() {
+        let ofdm = Ofdm::new();
+        let data = random_qpsk(4);
+        // Two-tap channel h = [1, 0.4j] applied circularly via frequency
+        // domain (equivalent for CP'd symbols).
+        let h_of = |k: i32| {
+            Complex::ONE
+                + Complex::new(0.0, 0.4)
+                    * Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / 64.0)
+        };
+        let apply = |body: &[Complex]| -> Vec<Complex> {
+            let freq0 = ofdm.demodulate_body(body);
+            let mut freq = freq0;
+            for k in -32..32i32 {
+                let bin = carrier_to_bin(k);
+                freq[bin] *= h_of(k);
+            }
+            // back to time
+            let mut arr = [Complex::ZERO; 64];
+            arr.copy_from_slice(&freq);
+            // invert the demodulate_body scaling: time_symbol applies the
+            // forward normalization again.
+            ofdm.time_symbol(&arr).to_vec()
+        };
+        let ltf_rx = apply(&long_training_symbol(&ofdm));
+        let est = ChannelEstimate::from_ltf(&ofdm, &ltf_rx, &ltf_rx);
+        for k in [-26i32, -1, 13, 26] {
+            assert!((est.at(k) - h_of(k)).abs() < 1e-9, "k = {k}");
+        }
+        let sym = ofdm.modulate(&data, 2);
+        let rx_body = apply(&sym[16..]);
+        let freq = ofdm.demodulate_body(&rx_body);
+        let eq = equalize_symbol(&freq, &est, 2);
+        for (a, b) in eq.data.iter().zip(data.iter()) {
+            assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn zero_channel_bins_give_zero_csi() {
+        let est = ChannelEstimate::ideal();
+        let mut freq = [Complex::ONE; FFT_SIZE];
+        freq[carrier_to_bin(0)] = Complex::ZERO;
+        let eq = equalize_symbol(&freq, &est, 1);
+        assert!(eq.csi.iter().all(|&w| w > 0.0));
+        // Now a dead channel:
+        let mut h = ChannelEstimate::ideal();
+        h.h[carrier_to_bin(5)] = Complex::ZERO;
+        let eq = equalize_symbol(&freq, &h, 1);
+        let idx = data_carrier_indices();
+        let i5 = idx.iter().position(|&k| k == 5).unwrap();
+        assert_eq!(eq.csi[i5], 0.0);
+        assert_eq!(eq.data[i5], Complex::ZERO);
+    }
+}

@@ -1,0 +1,203 @@
+//! DATA field construction: SERVICE + PSDU + tail + pad, scrambling,
+//! coding, puncturing and per-symbol interleaving
+//! (IEEE 802.11a-1999 §17.3.5).
+
+use crate::convolutional::encode;
+use crate::interleaver::Interleaver;
+use crate::modulation::map_bits;
+use crate::params::{Rate, SERVICE_BITS, TAIL_BITS};
+use crate::puncture::puncture;
+use crate::scrambler::Scrambler;
+use wlan_dsp::Complex;
+
+/// Unpacks bytes into bits, LSB first within each byte (the standard's
+/// transmission order).
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
+    let mut bits = Vec::with_capacity(bytes.len() * 8);
+    for &b in bytes {
+        for i in 0..8 {
+            bits.push((b >> i) & 1);
+        }
+    }
+    bits
+}
+
+/// Packs bits (LSB first) back into bytes.
+///
+/// # Panics
+///
+/// Panics if `bits.len()` is not a multiple of 8.
+pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
+    assert!(bits.len().is_multiple_of(8), "bit count must be a byte multiple");
+    bits.chunks_exact(8)
+        .map(|c| c.iter().enumerate().fold(0u8, |b, (i, &v)| b | ((v & 1) << i)))
+        .collect()
+}
+
+/// The scrambled, coded, punctured bit stream of the DATA field, split
+/// into per-symbol interleaved blocks ready for constellation mapping.
+#[derive(Debug, Clone)]
+pub struct DataField {
+    /// Interleaved coded bits, one `ncbps`-sized block per OFDM symbol.
+    pub symbol_bits: Vec<Vec<u8>>,
+    /// Total number of pad bits appended.
+    pub pad_bits: usize,
+}
+
+/// Builds the DATA field bit blocks for `psdu` at `rate` with scrambler
+/// seed `seed`.
+///
+/// # Panics
+///
+/// Panics if `psdu` is empty or exceeds the 12-bit length limit, or if
+/// `seed` is invalid for [`Scrambler::new`].
+pub fn build_data_field(psdu: &[u8], rate: Rate, seed: u8) -> DataField {
+    assert!(!psdu.is_empty(), "PSDU must not be empty");
+    assert!(psdu.len() <= crate::params::MAX_PSDU_LEN, "PSDU too long");
+    let ndbps = rate.ndbps();
+    let n_sym = rate.data_symbols(psdu.len());
+    let payload_bits = SERVICE_BITS + 8 * psdu.len() + TAIL_BITS;
+    let total_bits = n_sym * ndbps;
+    let pad_bits = total_bits - payload_bits;
+
+    // SERVICE (16 zero bits) + PSDU + tail + pad.
+    let mut bits = vec![0u8; SERVICE_BITS];
+    bits.extend(bytes_to_bits(psdu));
+    bits.extend(std::iter::repeat_n(0u8, TAIL_BITS + pad_bits));
+    debug_assert_eq!(bits.len(), total_bits);
+
+    // Scramble everything, then zero the tail positions so the encoder
+    // terminates (§17.3.5.2).
+    let mut scr = Scrambler::new(seed);
+    scr.scramble_in_place(&mut bits);
+    let tail_start = SERVICE_BITS + 8 * psdu.len();
+    for b in bits[tail_start..tail_start + TAIL_BITS].iter_mut() {
+        *b = 0;
+    }
+
+    // Convolutional encoding + puncturing.
+    let coded = encode(&bits);
+    let punctured = puncture(&coded, rate.code_rate());
+    debug_assert_eq!(punctured.len(), n_sym * rate.ncbps());
+
+    // Per-symbol interleaving.
+    let il = Interleaver::new(rate);
+    let symbol_bits = punctured
+        .chunks_exact(rate.ncbps())
+        .map(|blk| il.interleave(blk))
+        .collect();
+
+    DataField {
+        symbol_bits,
+        pad_bits,
+    }
+}
+
+/// Maps the interleaved bit blocks to per-symbol constellation values.
+pub fn map_data_field(field: &DataField, rate: Rate) -> Vec<Vec<Complex>> {
+    field
+        .symbol_bits
+        .iter()
+        .map(|blk| map_bits(blk, rate.modulation()))
+        .collect()
+}
+
+/// Reverses the DATA-field bit processing on decoded (descrambled is done
+/// here) bits: takes the Viterbi output for the whole DATA field and
+/// extracts the PSDU bytes.
+///
+/// The scrambler seed is recovered from the first seven SERVICE bits.
+///
+/// Returns `None` if the seed cannot be recovered (SERVICE bits damaged).
+pub fn extract_psdu(decoded_bits: &[u8], psdu_len: usize) -> Option<Vec<u8>> {
+    let needed = SERVICE_BITS + 8 * psdu_len;
+    if decoded_bits.len() < needed {
+        return None;
+    }
+    let seed = crate::scrambler::recover_seed(&decoded_bits[..7])?;
+    let mut scr = Scrambler::new(seed);
+    let descrambled = scr.scramble(&decoded_bits[..needed]);
+    Some(bits_to_bytes(&descrambled[SERVICE_BITS..needed]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ALL_RATES;
+    use crate::scrambler::DEFAULT_SEED;
+    use crate::viterbi::decode_soft;
+    use crate::puncture::depuncture;
+    use wlan_dsp::rng::Rng;
+
+    #[test]
+    fn bytes_bits_roundtrip() {
+        let bytes = vec![0x00, 0xff, 0xa5, 0x3c];
+        assert_eq!(bits_to_bytes(&bytes_to_bits(&bytes)), bytes);
+        // LSB-first order.
+        assert_eq!(bytes_to_bits(&[0x01])[0], 1);
+        assert_eq!(bytes_to_bits(&[0x80])[7], 1);
+    }
+
+    #[test]
+    fn block_counts_match_rate() {
+        for r in ALL_RATES {
+            let psdu = vec![0x55u8; 200];
+            let field = build_data_field(&psdu, r, DEFAULT_SEED);
+            assert_eq!(field.symbol_bits.len(), r.data_symbols(200), "{r}");
+            for blk in &field.symbol_bits {
+                assert_eq!(blk.len(), r.ncbps(), "{r}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_bit_pipeline_roundtrip() {
+        let mut rng = Rng::new(11);
+        for r in ALL_RATES {
+            let mut psdu = vec![0u8; 150];
+            rng.bytes(&mut psdu);
+            let field = build_data_field(&psdu, r, DEFAULT_SEED);
+
+            // Receiver side: deinterleave, depuncture, decode, descramble.
+            let il = Interleaver::new(r);
+            let mut llrs = Vec::new();
+            for blk in &field.symbol_bits {
+                let blk_llrs: Vec<f64> = blk
+                    .iter()
+                    .map(|&b| if b == 1 { -1.0 } else { 1.0 })
+                    .collect();
+                llrs.extend(il.deinterleave(&blk_llrs));
+            }
+            let full = depuncture(&llrs, r.code_rate());
+            let decoded = decode_soft(&full);
+            let psdu_rx = extract_psdu(&decoded, psdu.len()).expect("seed recovers");
+            assert_eq!(psdu_rx, psdu, "{r}");
+        }
+    }
+
+    #[test]
+    fn pad_bits_fill_last_symbol() {
+        let r = Rate::R24; // ndbps 96
+        // 100 bytes → 822 bits → 9 symbols → 864 bits → 42 pad.
+        let field = build_data_field(&[0u8; 100], r, DEFAULT_SEED);
+        assert_eq!(field.pad_bits, 42);
+    }
+
+    #[test]
+    fn different_seeds_scramble_differently() {
+        let f1 = build_data_field(&[0u8; 50], Rate::R12, 0b1011101);
+        let f2 = build_data_field(&[0u8; 50], Rate::R12, 0b0000001);
+        assert_ne!(f1.symbol_bits, f2.symbol_bits);
+    }
+
+    #[test]
+    fn extract_psdu_rejects_short_input() {
+        assert_eq!(extract_psdu(&[0u8; 10], 100), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_psdu_panics() {
+        let _ = build_data_field(&[], Rate::R6, DEFAULT_SEED);
+    }
+}

@@ -1,0 +1,197 @@
+//! The 802.11a two-permutation block interleaver
+//! (IEEE 802.11a-1999 §17.3.5.6).
+//!
+//! All coded bits of one OFDM symbol (N_CBPS bits) are permuted so that
+//! adjacent coded bits land on non-adjacent subcarriers (first
+//! permutation) and alternately on more/less significant constellation
+//! bits (second permutation).
+
+use crate::params::Rate;
+use crate::viterbi::Llr;
+
+/// Interleaver for one rate's symbol size.
+#[derive(Debug, Clone)]
+pub struct Interleaver {
+    /// `perm[k]` = transmit position of input bit `k`.
+    perm: Vec<usize>,
+    /// Inverse permutation.
+    inv: Vec<usize>,
+}
+
+impl Interleaver {
+    /// Builds the interleaver for `rate` (block size N_CBPS).
+    pub fn new(rate: Rate) -> Self {
+        Self::with_params(rate.ncbps(), rate.nbpsc())
+    }
+
+    /// Builds an interleaver from raw N_CBPS and N_BPSC parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ncbps` is not a multiple of 16 (the standard's row
+    /// count) or `nbpsc` is zero.
+    pub fn with_params(ncbps: usize, nbpsc: usize) -> Self {
+        assert!(ncbps.is_multiple_of(16), "N_CBPS must be a multiple of 16");
+        assert!(nbpsc > 0, "N_BPSC must be positive");
+        let s = (nbpsc / 2).max(1);
+        let mut perm = vec![0usize; ncbps];
+        for k in 0..ncbps {
+            // First permutation.
+            let i = (ncbps / 16) * (k % 16) + k / 16;
+            // Second permutation.
+            let j = s * (i / s) + (i + ncbps - 16 * i / ncbps) % s;
+            perm[k] = j;
+        }
+        let mut inv = vec![0usize; ncbps];
+        for (k, &j) in perm.iter().enumerate() {
+            inv[j] = k;
+        }
+        Interleaver { perm, inv }
+    }
+
+    /// Block size (N_CBPS).
+    pub fn block_len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Interleaves one block of coded bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` differs from the block size.
+    pub fn interleave(&self, bits: &[u8]) -> Vec<u8> {
+        assert_eq!(bits.len(), self.perm.len(), "block size mismatch");
+        let mut out = vec![0u8; bits.len()];
+        for (k, &b) in bits.iter().enumerate() {
+            out[self.perm[k]] = b;
+        }
+        out
+    }
+
+    /// De-interleaves one block of received LLRs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs.len()` differs from the block size.
+    pub fn deinterleave(&self, llrs: &[Llr]) -> Vec<Llr> {
+        assert_eq!(llrs.len(), self.inv.len(), "block size mismatch");
+        let mut out = vec![0.0; llrs.len()];
+        for (j, &l) in llrs.iter().enumerate() {
+            out[self.inv[j]] = l;
+        }
+        out
+    }
+
+    /// De-interleaves one block of hard bits.
+    pub fn deinterleave_bits(&self, bits: &[u8]) -> Vec<u8> {
+        assert_eq!(bits.len(), self.inv.len(), "block size mismatch");
+        let mut out = vec![0u8; bits.len()];
+        for (j, &b) in bits.iter().enumerate() {
+            out[self.inv[j]] = b;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ALL_RATES;
+    use proptest::prelude::*;
+
+    #[test]
+    fn is_a_permutation_for_all_rates() {
+        for r in ALL_RATES {
+            let il = Interleaver::new(r);
+            let mut seen = vec![false; il.block_len()];
+            for k in 0..il.block_len() {
+                let j = il.perm[k];
+                assert!(!seen[j], "{r}: duplicate target {j}");
+                seen[j] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        for r in ALL_RATES {
+            let il = Interleaver::new(r);
+            let bits: Vec<u8> = (0..il.block_len()).map(|i| (i % 2) as u8).collect();
+            let tx = il.interleave(&bits);
+            let rx = il.deinterleave_bits(&tx);
+            assert_eq!(rx, bits, "{r}");
+        }
+    }
+
+    #[test]
+    fn llr_roundtrip() {
+        let il = Interleaver::new(crate::params::Rate::R54);
+        let llrs: Vec<f64> = (0..il.block_len()).map(|i| i as f64 - 100.0).collect();
+        // Interleave by treating positions: push llrs through interleave on
+        // indices then deinterleave must restore.
+        let as_bits: Vec<u8> = (0..il.block_len()).map(|i| (i % 2) as u8).collect();
+        let inter = il.interleave(&as_bits);
+        let _ = inter;
+        let tx: Vec<f64> = {
+            let mut out = vec![0.0; llrs.len()];
+            for (k, &l) in llrs.iter().enumerate() {
+                out[il.perm[k]] = l;
+            }
+            out
+        };
+        assert_eq!(il.deinterleave(&tx), llrs);
+    }
+
+    #[test]
+    fn bpsk_first_permutation_known_values() {
+        // For BPSK (s = 1) only the first permutation acts:
+        // i = 3·(k mod 16) + k/16 with N_CBPS = 48.
+        let il = Interleaver::with_params(48, 1);
+        assert_eq!(il.perm[0], 0);
+        assert_eq!(il.perm[1], 3);
+        assert_eq!(il.perm[16], 1);
+        assert_eq!(il.perm[47], 47);
+    }
+
+    #[test]
+    fn adjacent_bits_spread_apart() {
+        // After interleaving, originally adjacent coded bits must map to
+        // subcarriers at least 2 apart (the whole point of the design).
+        for r in ALL_RATES {
+            let il = Interleaver::new(r);
+            let nbpsc = r.nbpsc();
+            for k in 0..il.block_len() - 1 {
+                let c1 = il.perm[k] / nbpsc;
+                let c2 = il.perm[k + 1] / nbpsc;
+                assert!(c1 != c2, "{r}: adjacent bits on same carrier");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_block_len_panics() {
+        let il = Interleaver::new(crate::params::Rate::R6);
+        let _ = il.interleave(&[0u8; 10]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_multiple_of_16_panics() {
+        let _ = Interleaver::with_params(50, 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_roundtrip_random_bits(seed in 0u64..500) {
+            let mut rng = wlan_dsp::rng::Rng::new(seed);
+            for r in ALL_RATES {
+                let il = Interleaver::new(r);
+                let mut bits = vec![0u8; il.block_len()];
+                rng.bits(&mut bits);
+                prop_assert_eq!(il.deinterleave_bits(&il.interleave(&bits)), bits);
+            }
+        }
+    }
+}

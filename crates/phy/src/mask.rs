@@ -1,0 +1,153 @@
+//! The 802.11a transmit spectral mask (IEEE 802.11a-1999 §17.3.9.2):
+//! 0 dBr inside ±9 MHz, −20 dBr at ±11 MHz, −28 dBr at ±20 MHz,
+//! −40 dBr at and beyond ±30 MHz, with linear interpolation between the
+//! breakpoints.
+
+use wlan_dsp::spectrum::welch_psd;
+use wlan_dsp::Complex;
+
+/// Mask limit in dBr (relative to the in-band PSD) at frequency offset
+/// `f_hz` from the channel center.
+pub fn mask_dbr(f_hz: f64) -> f64 {
+    let f = f_hz.abs();
+    const PTS: [(f64, f64); 4] = [
+        (9e6, 0.0),
+        (11e6, -20.0),
+        (20e6, -28.0),
+        (30e6, -40.0),
+    ];
+    if f <= PTS[0].0 {
+        return 0.0;
+    }
+    for w in PTS.windows(2) {
+        let (f1, l1) = w[0];
+        let (f2, l2) = w[1];
+        if f <= f2 {
+            return l1 + (l2 - l1) * (f - f1) / (f2 - f1);
+        }
+    }
+    -40.0
+}
+
+/// Result of a mask compliance check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaskReport {
+    /// `true` when no measured point exceeds the mask.
+    pub compliant: bool,
+    /// Worst margin in dB (positive = headroom, negative = violation).
+    pub worst_margin_db: f64,
+    /// Frequency offset (Hz) of the worst point.
+    pub worst_offset_hz: f64,
+}
+
+/// Checks a transmitted signal at `sample_rate_hz` (center = 0 Hz)
+/// against the mask. The reference 0 dBr level is the average in-band
+/// (±8 MHz) PSD.
+///
+/// # Panics
+///
+/// Panics if the signal is shorter than 4096 samples or the rate does
+/// not cover ±20 MHz (mask checks need an oversampled signal).
+pub fn check_mask(x: &[Complex], sample_rate_hz: f64) -> MaskReport {
+    assert!(x.len() >= 4096, "need at least 4096 samples");
+    assert!(
+        sample_rate_hz >= 40e6,
+        "mask check needs ≥ 40 Msps to see ±20 MHz"
+    );
+    let (freqs, psd) = welch_psd(x, 1024, sample_rate_hz);
+    // 0 dBr reference: mean in-band density.
+    let inband: Vec<f64> = freqs
+        .iter()
+        .zip(psd.iter())
+        .filter(|(f, _)| f.abs() < 8e6)
+        .map(|(_, p)| *p)
+        .collect();
+    let ref_density = inband.iter().sum::<f64>() / inband.len() as f64;
+
+    let mut worst = f64::MAX;
+    let mut worst_f = 0.0;
+    for (f, p) in freqs.iter().zip(psd.iter()) {
+        if f.abs() < 9e6 || f.abs() > sample_rate_hz / 2.0 * 0.95 {
+            continue;
+        }
+        let level_dbr = 10.0 * (p / ref_density).log10();
+        let margin = mask_dbr(*f) - level_dbr;
+        if margin < worst {
+            worst = margin;
+            worst_f = *f;
+        }
+    }
+    MaskReport {
+        compliant: worst >= 0.0,
+        worst_margin_db: worst,
+        worst_offset_hz: worst_f,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Rate, Transmitter};
+
+    #[test]
+    fn mask_breakpoints() {
+        assert_eq!(mask_dbr(0.0), 0.0);
+        assert_eq!(mask_dbr(9e6), 0.0);
+        assert_eq!(mask_dbr(11e6), -20.0);
+        assert_eq!(mask_dbr(20e6), -28.0);
+        assert_eq!(mask_dbr(30e6), -40.0);
+        assert_eq!(mask_dbr(50e6), -40.0);
+        assert_eq!(mask_dbr(-11e6), -20.0);
+        // Interpolation between 9 and 11 MHz.
+        assert!((mask_dbr(10e6) + 10.0).abs() < 1e-9);
+    }
+
+    fn oversampled_burst() -> Vec<Complex> {
+        let burst = Transmitter::new(Rate::R54).transmit(&[0x3Cu8; 600]);
+        wlan_channel::interferer::Scene::new(20e6, 4)
+            .add(&burst.samples, 0.0, 0.0, 0)
+            .render()
+    }
+
+    #[test]
+    fn clean_transmitter_meets_the_mask() {
+        let x = oversampled_burst();
+        let report = check_mask(&x[2048..], 80e6);
+        assert!(
+            report.compliant,
+            "mask violated by {:.1} dB at {:.1} MHz",
+            -report.worst_margin_db,
+            report.worst_offset_hz / 1e6
+        );
+    }
+
+    #[test]
+    fn clipped_transmitter_violates_the_mask() {
+        // Hard clipping causes spectral regrowth beyond ±11 MHz.
+        let x = oversampled_burst();
+        let clip = 0.6 * (wlan_dsp::complex::mean_power(&x)).sqrt();
+        let clipped: Vec<Complex> = x
+            .iter()
+            .map(|&v| {
+                if v.abs() > clip {
+                    v.signum() * clip
+                } else {
+                    v
+                }
+            })
+            .collect();
+        let report = check_mask(&clipped[2048..], 80e6);
+        assert!(
+            !report.compliant,
+            "clipping should violate the mask (margin {:.1} dB)",
+            report.worst_margin_db
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn low_rate_panics() {
+        let x = vec![Complex::ONE; 8192];
+        let _ = check_mask(&x, 20e6);
+    }
+}

@@ -1,0 +1,259 @@
+//! OFDM (de)modulation: subcarrier mapping, 64-point IFFT/FFT and cyclic
+//! prefix handling.
+//!
+//! Normalization: the unitary (I)FFT is used, scaled by `√(64/52)`, so a
+//! symbol whose 52 loaded carriers have unit average constellation power
+//! produces time samples with mean power 1.0.
+
+use crate::params::{data_carrier_indices, CP_LEN, FFT_SIZE, N_DATA_CARRIERS, N_USED_CARRIERS};
+use crate::pilots::pilot_symbols;
+use wlan_dsp::fft::Fft;
+use wlan_dsp::Complex;
+
+/// Power normalization factor `√(FFT_SIZE / N_USED)`.
+pub fn power_norm() -> f64 {
+    (FFT_SIZE as f64 / N_USED_CARRIERS as f64).sqrt()
+}
+
+/// Converts a logical subcarrier index `k ∈ −32..32` to its FFT bin.
+#[inline]
+pub fn carrier_to_bin(k: i32) -> usize {
+    ((k + FFT_SIZE as i32) % FFT_SIZE as i32) as usize
+}
+
+/// OFDM modulator/demodulator with a cached FFT plan.
+#[derive(Debug, Clone)]
+pub struct Ofdm {
+    fft: Fft,
+    data_idx: [i32; N_DATA_CARRIERS],
+}
+
+impl Ofdm {
+    /// Creates the 64-point 802.11a OFDM processor.
+    pub fn new() -> Self {
+        Ofdm {
+            fft: Fft::new(FFT_SIZE),
+            data_idx: data_carrier_indices(),
+        }
+    }
+
+    /// Assembles the frequency-domain symbol for 48 data values and the
+    /// pilots of OFDM symbol index `symbol_index`, returning 64 bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != 48`.
+    pub fn assemble(&self, data: &[Complex], symbol_index: usize) -> [Complex; FFT_SIZE] {
+        assert_eq!(data.len(), N_DATA_CARRIERS, "need 48 data values");
+        let mut freq = [Complex::ZERO; FFT_SIZE];
+        for (i, &k) in self.data_idx.iter().enumerate() {
+            freq[carrier_to_bin(k)] = data[i];
+        }
+        for (k, v) in pilot_symbols(symbol_index) {
+            freq[carrier_to_bin(k)] = Complex::from_re(v);
+        }
+        freq
+    }
+
+    /// Modulates 48 data values into one 80-sample OFDM symbol
+    /// (16-sample cyclic prefix + 64-sample body).
+    pub fn modulate(&self, data: &[Complex], symbol_index: usize) -> Vec<Complex> {
+        let freq = self.assemble(data, symbol_index);
+        self.modulate_freq(&freq)
+    }
+
+    /// Modulates an arbitrary 64-bin frequency symbol (used for the
+    /// preamble) into an 80-sample symbol with cyclic prefix.
+    pub fn modulate_freq(&self, freq: &[Complex; FFT_SIZE]) -> Vec<Complex> {
+        let body = self.time_symbol(freq);
+        let mut out = Vec::with_capacity(CP_LEN + FFT_SIZE);
+        out.extend_from_slice(&body[FFT_SIZE - CP_LEN..]);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// The 64-sample time-domain body (no cyclic prefix) of a frequency
+    /// symbol.
+    pub fn time_symbol(&self, freq: &[Complex; FFT_SIZE]) -> [Complex; FFT_SIZE] {
+        let mut buf = *freq;
+        self.fft.inverse_unitary(&mut buf);
+        let k = power_norm();
+        let mut out = [Complex::ZERO; FFT_SIZE];
+        for (o, b) in out.iter_mut().zip(buf.iter()) {
+            *o = *b * k;
+        }
+        out
+    }
+
+    /// Demodulates one 80-sample received symbol: strips the cyclic
+    /// prefix, FFTs, undoes the power normalization and returns all 64
+    /// frequency bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len() != 80`.
+    pub fn demodulate(&self, samples: &[Complex]) -> [Complex; FFT_SIZE] {
+        assert_eq!(samples.len(), CP_LEN + FFT_SIZE, "need one 80-sample symbol");
+        let mut buf = [Complex::ZERO; FFT_SIZE];
+        buf.copy_from_slice(&samples[CP_LEN..]);
+        self.fft.forward_unitary(&mut buf);
+        let k = 1.0 / power_norm();
+        for b in buf.iter_mut() {
+            *b *= k;
+        }
+        buf
+    }
+
+    /// Demodulates a 64-sample body that has already had its prefix
+    /// removed (used on the long training symbols).
+    pub fn demodulate_body(&self, samples: &[Complex]) -> [Complex; FFT_SIZE] {
+        assert_eq!(samples.len(), FFT_SIZE, "need a 64-sample body");
+        let mut buf = [Complex::ZERO; FFT_SIZE];
+        buf.copy_from_slice(samples);
+        self.fft.forward_unitary(&mut buf);
+        let k = 1.0 / power_norm();
+        for b in buf.iter_mut() {
+            *b *= k;
+        }
+        buf
+    }
+
+    /// Extracts the 48 data-subcarrier values from 64 frequency bins.
+    pub fn extract_data(&self, freq: &[Complex; FFT_SIZE]) -> [Complex; N_DATA_CARRIERS] {
+        let mut out = [Complex::ZERO; N_DATA_CARRIERS];
+        for (i, &k) in self.data_idx.iter().enumerate() {
+            out[i] = freq[carrier_to_bin(k)];
+        }
+        out
+    }
+
+    /// Extracts the four pilot values (in −21, −7, 7, 21 order).
+    pub fn extract_pilots(&self, freq: &[Complex; FFT_SIZE]) -> [Complex; 4] {
+        let mut out = [Complex::ZERO; 4];
+        for (i, &k) in crate::params::PILOT_CARRIERS.iter().enumerate() {
+            out[i] = freq[carrier_to_bin(k)];
+        }
+        out
+    }
+}
+
+impl Default for Ofdm {
+    fn default() -> Self {
+        Ofdm::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_dsp::complex::mean_power;
+    use wlan_dsp::rng::Rng;
+
+    fn random_data(seed: u64) -> Vec<Complex> {
+        let mut rng = Rng::new(seed);
+        (0..48)
+            .map(|_| {
+                Complex::new(
+                    if rng.bit() { 1.0 } else { -1.0 },
+                    if rng.bit() { 1.0 } else { -1.0 },
+                ) * (1.0 / 2f64.sqrt())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn carrier_bin_mapping() {
+        assert_eq!(carrier_to_bin(0), 0);
+        assert_eq!(carrier_to_bin(1), 1);
+        assert_eq!(carrier_to_bin(26), 26);
+        assert_eq!(carrier_to_bin(-1), 63);
+        assert_eq!(carrier_to_bin(-26), 38);
+    }
+
+    #[test]
+    fn modulate_demodulate_roundtrip() {
+        let ofdm = Ofdm::new();
+        let data = random_data(1);
+        let sym = ofdm.modulate(&data, 3);
+        assert_eq!(sym.len(), 80);
+        let freq = ofdm.demodulate(&sym);
+        let rx = ofdm.extract_data(&freq);
+        for (a, b) in rx.iter().zip(data.iter()) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pilots_roundtrip() {
+        let ofdm = Ofdm::new();
+        let data = random_data(2);
+        for n in [0usize, 1, 4, 130] {
+            let sym = ofdm.modulate(&data, n);
+            let freq = ofdm.demodulate(&sym);
+            let pilots = ofdm.extract_pilots(&freq);
+            let expect = crate::pilots::pilot_symbols(n);
+            for (p, (_, v)) in pilots.iter().zip(expect.iter()) {
+                assert!((p.re - v).abs() < 1e-10 && p.im.abs() < 1e-10, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_prefix_is_cyclic() {
+        let ofdm = Ofdm::new();
+        let sym = ofdm.modulate(&random_data(3), 1);
+        for i in 0..16 {
+            assert!((sym[i] - sym[64 + i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_symbol_power_is_unity() {
+        let ofdm = Ofdm::new();
+        // Average over many random symbols.
+        let mut p = 0.0;
+        let n = 200;
+        for s in 0..n {
+            let sym = ofdm.modulate(&random_data(100 + s as u64), s);
+            p += mean_power(&sym[16..]); // body only (CP repeats samples)
+        }
+        p /= n as f64;
+        assert!((p - 1.0).abs() < 0.02, "mean power {p}");
+    }
+
+    #[test]
+    fn dc_and_guard_bins_empty() {
+        let ofdm = Ofdm::new();
+        let freq = ofdm.assemble(&random_data(4), 1);
+        assert_eq!(freq[0], Complex::ZERO); // DC
+        for k in 27..=37 {
+            assert_eq!(freq[k], Complex::ZERO, "guard bin {k}");
+        }
+    }
+
+    #[test]
+    fn demodulate_body_matches_demodulate() {
+        let ofdm = Ofdm::new();
+        let data = random_data(5);
+        let sym = ofdm.modulate(&data, 2);
+        let f1 = ofdm.demodulate(&sym);
+        let f2 = ofdm.demodulate_body(&sym[16..]);
+        for (a, b) in f1.iter().zip(f2.iter()) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_data_len_panics() {
+        let ofdm = Ofdm::new();
+        let _ = ofdm.assemble(&[Complex::ZERO; 10], 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_symbol_len_panics() {
+        let ofdm = Ofdm::new();
+        let _ = ofdm.demodulate(&[Complex::ZERO; 64]);
+    }
+}

@@ -1,0 +1,391 @@
+//! IEEE 802.11a rate-dependent parameters and standard constants.
+
+/// Number of data subcarriers per OFDM symbol.
+pub const N_DATA_CARRIERS: usize = 48;
+/// Number of pilot subcarriers per OFDM symbol.
+pub const N_PILOT_CARRIERS: usize = 4;
+/// Total used subcarriers.
+pub const N_USED_CARRIERS: usize = 52;
+/// FFT size.
+pub const FFT_SIZE: usize = 64;
+/// Cyclic prefix (guard interval) length in samples.
+pub const CP_LEN: usize = 16;
+/// Total OFDM symbol length in samples.
+pub const SYMBOL_LEN: usize = FFT_SIZE + CP_LEN;
+/// Baseband sample rate in Hz (20 MHz channel spacing).
+pub const SAMPLE_RATE: f64 = 20e6;
+/// Subcarrier spacing in Hz (312.5 kHz).
+pub const SUBCARRIER_SPACING: f64 = SAMPLE_RATE / FFT_SIZE as f64;
+/// Logical pilot subcarrier indices (of −26..26).
+pub const PILOT_CARRIERS: [i32; 4] = [-21, -7, 7, 21];
+/// Pilot BPSK values before polarity scrambling.
+pub const PILOT_VALUES: [f64; 4] = [1.0, 1.0, 1.0, -1.0];
+/// Number of SERVICE bits at the start of the DATA field.
+pub const SERVICE_BITS: usize = 16;
+/// Number of zero tail bits terminating the convolutional code.
+pub const TAIL_BITS: usize = 6;
+/// Maximum PSDU length in bytes (12-bit LENGTH field).
+pub const MAX_PSDU_LEN: usize = 4095;
+
+/// Subcarrier constellation of the modulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Modulation {
+    /// Binary phase shift keying, 1 bit/carrier.
+    Bpsk,
+    /// Quaternary phase shift keying, 2 bits/carrier.
+    Qpsk,
+    /// 16-point quadrature amplitude modulation, 4 bits/carrier.
+    Qam16,
+    /// 64-point quadrature amplitude modulation, 6 bits/carrier.
+    Qam64,
+}
+
+impl Modulation {
+    /// Coded bits per subcarrier (N_BPSC).
+    pub fn bits_per_carrier(self) -> usize {
+        match self {
+            Modulation::Bpsk => 1,
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+        }
+    }
+
+    /// Normalization factor K_mod so the average constellation power is 1.
+    pub fn kmod(self) -> f64 {
+        match self {
+            Modulation::Bpsk => 1.0,
+            Modulation::Qpsk => 1.0 / 2f64.sqrt(),
+            Modulation::Qam16 => 1.0 / 10f64.sqrt(),
+            Modulation::Qam64 => 1.0 / 42f64.sqrt(),
+        }
+    }
+}
+
+/// Convolutional code rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodeRate {
+    /// Rate 1/2 (mother code).
+    R12,
+    /// Rate 2/3 (punctured).
+    R23,
+    /// Rate 3/4 (punctured).
+    R34,
+}
+
+impl CodeRate {
+    /// `(numerator, denominator)` of the rate.
+    pub fn as_fraction(self) -> (usize, usize) {
+        match self {
+            CodeRate::R12 => (1, 2),
+            CodeRate::R23 => (2, 3),
+            CodeRate::R34 => (3, 4),
+        }
+    }
+}
+
+/// IEEE 802.11a data rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rate {
+    /// 6 Mbit/s — BPSK, rate 1/2.
+    R6,
+    /// 9 Mbit/s — BPSK, rate 3/4.
+    R9,
+    /// 12 Mbit/s — QPSK, rate 1/2.
+    R12,
+    /// 18 Mbit/s — QPSK, rate 3/4.
+    R18,
+    /// 24 Mbit/s — 16-QAM, rate 1/2.
+    R24,
+    /// 36 Mbit/s — 16-QAM, rate 3/4.
+    R36,
+    /// 48 Mbit/s — 64-QAM, rate 2/3.
+    R48,
+    /// 54 Mbit/s — 64-QAM, rate 3/4.
+    R54,
+}
+
+/// All eight 802.11a rates, ascending.
+pub const ALL_RATES: [Rate; 8] = [
+    Rate::R6,
+    Rate::R9,
+    Rate::R12,
+    Rate::R18,
+    Rate::R24,
+    Rate::R36,
+    Rate::R48,
+    Rate::R54,
+];
+
+impl Rate {
+    /// Data rate in Mbit/s.
+    pub fn mbps(self) -> u32 {
+        match self {
+            Rate::R6 => 6,
+            Rate::R9 => 9,
+            Rate::R12 => 12,
+            Rate::R18 => 18,
+            Rate::R24 => 24,
+            Rate::R36 => 36,
+            Rate::R48 => 48,
+            Rate::R54 => 54,
+        }
+    }
+
+    /// Subcarrier modulation.
+    pub fn modulation(self) -> Modulation {
+        match self {
+            Rate::R6 | Rate::R9 => Modulation::Bpsk,
+            Rate::R12 | Rate::R18 => Modulation::Qpsk,
+            Rate::R24 | Rate::R36 => Modulation::Qam16,
+            Rate::R48 | Rate::R54 => Modulation::Qam64,
+        }
+    }
+
+    /// Convolutional code rate.
+    pub fn code_rate(self) -> CodeRate {
+        match self {
+            Rate::R6 | Rate::R12 | Rate::R24 => CodeRate::R12,
+            Rate::R48 => CodeRate::R23,
+            Rate::R9 | Rate::R18 | Rate::R36 | Rate::R54 => CodeRate::R34,
+        }
+    }
+
+    /// Coded bits per subcarrier (N_BPSC).
+    pub fn nbpsc(self) -> usize {
+        self.modulation().bits_per_carrier()
+    }
+
+    /// Coded bits per OFDM symbol (N_CBPS).
+    pub fn ncbps(self) -> usize {
+        self.nbpsc() * N_DATA_CARRIERS
+    }
+
+    /// Data bits per OFDM symbol (N_DBPS).
+    pub fn ndbps(self) -> usize {
+        let (num, den) = self.code_rate().as_fraction();
+        self.ncbps() * num / den
+    }
+
+    /// 4-bit RATE field of the SIGNAL symbol, transmitted R1 first.
+    pub fn rate_field(self) -> [u8; 4] {
+        match self {
+            Rate::R6 => [1, 1, 0, 1],
+            Rate::R9 => [1, 1, 1, 1],
+            Rate::R12 => [0, 1, 0, 1],
+            Rate::R18 => [0, 1, 1, 1],
+            Rate::R24 => [1, 0, 0, 1],
+            Rate::R36 => [1, 0, 1, 1],
+            Rate::R48 => [0, 0, 0, 1],
+            Rate::R54 => [0, 0, 1, 1],
+        }
+    }
+
+    /// Looks a rate up from its RATE field bits.
+    pub fn from_rate_field(bits: [u8; 4]) -> Option<Rate> {
+        ALL_RATES.into_iter().find(|r| r.rate_field() == bits)
+    }
+
+    /// Number of DATA OFDM symbols needed for a `psdu_len`-byte PSDU
+    /// (SERVICE + PSDU + tail, padded to a symbol boundary).
+    pub fn data_symbols(self, psdu_len: usize) -> usize {
+        let bits = SERVICE_BITS + 8 * psdu_len + TAIL_BITS;
+        bits.div_ceil(self.ndbps())
+    }
+
+    /// Total PPDU duration in seconds (preamble + SIGNAL + DATA).
+    pub fn ppdu_duration(self, psdu_len: usize) -> f64 {
+        let samples = 320 + SYMBOL_LEN * (1 + self.data_symbols(psdu_len));
+        samples as f64 / SAMPLE_RATE
+    }
+
+    /// Minimum receiver sensitivity required by IEEE 802.11a-1999
+    /// Table 91, in dBm.
+    pub fn sensitivity_dbm(self) -> f64 {
+        match self {
+            Rate::R6 => -82.0,
+            Rate::R9 => -81.0,
+            Rate::R12 => -79.0,
+            Rate::R18 => -77.0,
+            Rate::R24 => -74.0,
+            Rate::R36 => -70.0,
+            Rate::R48 => -66.0,
+            Rate::R54 => -65.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Rate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} Mbit/s", self.mbps())
+    }
+}
+
+/// Logical data-subcarrier indices, in the order coded bits fill them
+/// (−26..26 skipping DC and pilots).
+pub fn data_carrier_indices() -> [i32; N_DATA_CARRIERS] {
+    let mut out = [0i32; N_DATA_CARRIERS];
+    let mut n = 0;
+    for k in -26..=26 {
+        if k == 0 || PILOT_CARRIERS.contains(&k) {
+            continue;
+        }
+        out[n] = k;
+        n += 1;
+    }
+    debug_assert_eq!(n, N_DATA_CARRIERS);
+    out
+}
+
+/// One row of the paper's Table 1 (IEEE WLAN standards).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WlanStandard {
+    /// Standard name.
+    pub name: &'static str,
+    /// Approval year.
+    pub approval_year: u32,
+    /// Frequency band in GHz.
+    pub freq_band_ghz: f64,
+    /// Supported data rates in Mbit/s, descending.
+    pub data_rates_mbps: &'static [f64],
+}
+
+/// The IEEE WLAN standards listed in the paper's Table 1.
+pub const WLAN_STANDARDS: [WlanStandard; 4] = [
+    WlanStandard {
+        name: "802.11",
+        approval_year: 1997,
+        freq_band_ghz: 2.4,
+        data_rates_mbps: &[2.0, 1.0],
+    },
+    WlanStandard {
+        name: "802.11a",
+        approval_year: 1999,
+        freq_band_ghz: 5.2,
+        data_rates_mbps: &[54.0, 48.0, 36.0, 24.0, 18.0, 12.0, 9.0, 6.0],
+    },
+    WlanStandard {
+        name: "802.11b",
+        approval_year: 1999,
+        freq_band_ghz: 2.4,
+        data_rates_mbps: &[11.0, 5.5, 2.0, 1.0],
+    },
+    WlanStandard {
+        name: "802.11g",
+        approval_year: 2003,
+        freq_band_ghz: 2.4,
+        data_rates_mbps: &[54.0, 48.0, 36.0, 24.0, 18.0, 12.0, 9.0, 6.0, 5.5, 2.0, 1.0],
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_tables_match_standard() {
+        // N_DBPS per Table 78 of 802.11a-1999.
+        let expect = [
+            (Rate::R6, 24, 48, 1),
+            (Rate::R9, 36, 48, 1),
+            (Rate::R12, 48, 96, 2),
+            (Rate::R18, 72, 96, 2),
+            (Rate::R24, 96, 192, 4),
+            (Rate::R36, 144, 192, 4),
+            (Rate::R48, 192, 288, 6),
+            (Rate::R54, 216, 288, 6),
+        ];
+        for (r, ndbps, ncbps, nbpsc) in expect {
+            assert_eq!(r.ndbps(), ndbps, "{r}");
+            assert_eq!(r.ncbps(), ncbps, "{r}");
+            assert_eq!(r.nbpsc(), nbpsc, "{r}");
+        }
+    }
+
+    #[test]
+    fn mbps_consistent_with_ndbps() {
+        // N_DBPS per 4 µs symbol = Mbit/s · 4.
+        for r in ALL_RATES {
+            assert_eq!(r.ndbps() as u32, r.mbps() * 4, "{r}");
+        }
+    }
+
+    #[test]
+    fn rate_field_roundtrip_and_unique() {
+        for r in ALL_RATES {
+            assert_eq!(Rate::from_rate_field(r.rate_field()), Some(r));
+        }
+        assert_eq!(Rate::from_rate_field([0, 0, 0, 0]), None);
+    }
+
+    #[test]
+    fn kmod_normalizes_power() {
+        // Mean |constellation|² with Kmod applied must be 1.
+        // For square M²-QAM with levels ±1..±(L-1): E[level²] per axis.
+        let axis_power = |levels: &[f64]| -> f64 {
+            levels.iter().map(|l| l * l).sum::<f64>() / levels.len() as f64
+        };
+        let qam16 = 2.0 * axis_power(&[-3.0, -1.0, 1.0, 3.0]);
+        assert!((Modulation::Qam16.kmod().powi(2) * qam16 - 1.0).abs() < 1e-12);
+        let qam64 = 2.0 * axis_power(&[-7.0, -5.0, -3.0, -1.0, 1.0, 3.0, 5.0, 7.0]);
+        assert!((Modulation::Qam64.kmod().powi(2) * qam64 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn data_carrier_indices_skip_pilots_and_dc() {
+        let idx = data_carrier_indices();
+        assert_eq!(idx.len(), 48);
+        assert!(!idx.contains(&0));
+        for p in PILOT_CARRIERS {
+            assert!(!idx.contains(&p));
+        }
+        assert_eq!(idx[0], -26);
+        assert_eq!(idx[47], 26);
+    }
+
+    #[test]
+    fn data_symbols_counts() {
+        // 100-byte PSDU at 24 Mbit/s: 16+800+6 = 822 bits / 96 = 8.56 → 9.
+        assert_eq!(Rate::R24.data_symbols(100), 9);
+        // Exactly full symbol.
+        assert_eq!(Rate::R6.data_symbols((24 * 4 - 16 - 6) / 8), 4);
+    }
+
+    #[test]
+    fn ppdu_duration_examples() {
+        // 100 bytes at 24 Mbit/s: 9 data symbols → 20 + 36 µs = 56 µs.
+        assert!((Rate::R24.ppdu_duration(100) - 56e-6).abs() < 1e-12);
+        // Longer at a slower rate.
+        assert!(Rate::R6.ppdu_duration(100) > Rate::R54.ppdu_duration(100));
+    }
+
+    #[test]
+    fn sensitivity_monotone_with_rate() {
+        for w in ALL_RATES.windows(2) {
+            assert!(
+                w[0].sensitivity_dbm() <= w[1].sensitivity_dbm(),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+        assert_eq!(Rate::R6.sensitivity_dbm(), -82.0);
+        assert_eq!(Rate::R54.sensitivity_dbm(), -65.0);
+    }
+
+    #[test]
+    fn standards_table_contents() {
+        assert_eq!(WLAN_STANDARDS.len(), 4);
+        let a = WLAN_STANDARDS.iter().find(|s| s.name == "802.11a").unwrap();
+        assert_eq!(a.freq_band_ghz, 5.2);
+        assert_eq!(a.data_rates_mbps[0], 54.0);
+    }
+
+    #[test]
+    fn symbol_timing_constants() {
+        assert_eq!(SYMBOL_LEN, 80);
+        // 4 µs per symbol at 20 Msps.
+        assert!((SYMBOL_LEN as f64 / SAMPLE_RATE - 4e-6).abs() < 1e-18);
+        assert!((SUBCARRIER_SPACING - 312_500.0).abs() < 1e-9);
+    }
+}

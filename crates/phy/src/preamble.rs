@@ -1,0 +1,184 @@
+//! PLCP preamble: short and long training fields
+//! (IEEE 802.11a-1999 §17.3.3).
+
+use crate::ofdm::{carrier_to_bin, Ofdm};
+use crate::params::FFT_SIZE;
+use wlan_dsp::Complex;
+
+/// Length of the short training field in samples (10 × 16).
+pub const STF_LEN: usize = 160;
+/// Length of the long training field in samples (32 + 2 × 64).
+pub const LTF_LEN: usize = 160;
+/// Total preamble length in samples.
+pub const PREAMBLE_LEN: usize = STF_LEN + LTF_LEN;
+/// Period of the short training symbol in samples.
+pub const STF_PERIOD: usize = 16;
+
+/// Frequency-domain short-training values `S_k` on the 12 loaded
+/// subcarriers (±4, ±8, ±12, ±16, ±20, ±24), including the √(13/6)
+/// power normalization.
+pub fn short_training_freq() -> [Complex; FFT_SIZE] {
+    let k = (13.0f64 / 6.0).sqrt();
+    let p = Complex::new(1.0, 1.0) * k;
+    let m = Complex::new(-1.0, -1.0) * k;
+    let entries: [(i32, Complex); 12] = [
+        (-24, p),
+        (-20, m),
+        (-16, p),
+        (-12, m),
+        (-8, m),
+        (-4, p),
+        (4, m),
+        (8, m),
+        (12, p),
+        (16, p),
+        (20, p),
+        (24, p),
+    ];
+    let mut freq = [Complex::ZERO; FFT_SIZE];
+    for (kk, v) in entries {
+        freq[carrier_to_bin(kk)] = v;
+    }
+    freq
+}
+
+/// Frequency-domain long-training values `L_k` (±1 on all 52 used
+/// subcarriers).
+pub fn long_training_freq() -> [Complex; FFT_SIZE] {
+    // L_{-26..-1} then L_{1..26}, per §17.3.3.
+    const NEG: [i8; 26] = [
+        1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1,
+    ];
+    const POS: [i8; 26] = [
+        1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1,
+    ];
+    let mut freq = [Complex::ZERO; FFT_SIZE];
+    for (i, &v) in NEG.iter().enumerate() {
+        freq[carrier_to_bin(-26 + i as i32)] = Complex::from_re(v as f64);
+    }
+    for (i, &v) in POS.iter().enumerate() {
+        freq[carrier_to_bin(1 + i as i32)] = Complex::from_re(v as f64);
+    }
+    freq
+}
+
+/// The known long-training value at logical subcarrier `k` (±1, or 0 for
+/// unused bins) — the channel estimator's reference.
+pub fn long_training_value(k: i32) -> f64 {
+    long_training_freq()[carrier_to_bin(k)].re
+}
+
+/// Generates the 160-sample short training field: 10 repetitions of the
+/// 16-sample periodic sequence.
+pub fn short_training_field(ofdm: &Ofdm) -> Vec<Complex> {
+    let body = ofdm.time_symbol(&short_training_freq());
+    // The 64-sample IFFT of S is periodic with period 16; the STF is the
+    // first 160 samples of its periodic extension.
+    (0..STF_LEN).map(|n| body[n % FFT_SIZE]).collect()
+}
+
+/// Generates the 160-sample long training field: a 32-sample guard
+/// (cyclic extension) followed by two 64-sample long training symbols.
+pub fn long_training_field(ofdm: &Ofdm) -> Vec<Complex> {
+    let body = ofdm.time_symbol(&long_training_freq());
+    let mut out = Vec::with_capacity(LTF_LEN);
+    out.extend_from_slice(&body[FFT_SIZE - 32..]);
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Generates the complete 320-sample PLCP preamble (STF followed by LTF).
+pub fn preamble(ofdm: &Ofdm) -> Vec<Complex> {
+    let mut out = short_training_field(ofdm);
+    out.extend(long_training_field(ofdm));
+    out
+}
+
+/// The 64-sample long-training time symbol (for cross-correlation sync).
+pub fn long_training_symbol(ofdm: &Ofdm) -> [Complex; FFT_SIZE] {
+    ofdm.time_symbol(&long_training_freq())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_dsp::complex::mean_power;
+
+    #[test]
+    fn stf_is_periodic_16() {
+        let ofdm = Ofdm::new();
+        let stf = short_training_field(&ofdm);
+        assert_eq!(stf.len(), 160);
+        for n in 0..160 - STF_PERIOD {
+            assert!((stf[n] - stf[n + STF_PERIOD]).abs() < 1e-12, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn stf_loads_twelve_carriers() {
+        let f = short_training_freq();
+        let loaded = f.iter().filter(|v| v.abs() > 0.0).count();
+        assert_eq!(loaded, 12);
+        // Total preamble power normalized like a data symbol:
+        // 12 carriers × |√(13/6)·(1+j)|² = 12 · (13/6) · 2 = 52.
+        let total: f64 = f.iter().map(|v| v.norm_sqr()).sum();
+        assert!((total - 52.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ltf_loads_52_carriers_with_unit_magnitude() {
+        let f = long_training_freq();
+        let loaded: Vec<&Complex> = f.iter().filter(|v| v.abs() > 0.0).collect();
+        assert_eq!(loaded.len(), 52);
+        assert!(loaded.iter().all(|v| (v.abs() - 1.0).abs() < 1e-12));
+        assert_eq!(f[0], Complex::ZERO); // DC empty
+    }
+
+    #[test]
+    fn ltf_structure_guard_plus_two_symbols() {
+        let ofdm = Ofdm::new();
+        let ltf = long_training_field(&ofdm);
+        assert_eq!(ltf.len(), 160);
+        // The two 64-sample symbols are identical.
+        for n in 0..64 {
+            assert!((ltf[32 + n] - ltf[96 + n]).abs() < 1e-12);
+        }
+        // The guard is the tail of the symbol.
+        for n in 0..32 {
+            assert!((ltf[n] - ltf[n + 64]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn preamble_power_near_unity() {
+        let ofdm = Ofdm::new();
+        let p = preamble(&ofdm);
+        assert_eq!(p.len(), PREAMBLE_LEN);
+        let power = mean_power(&p);
+        assert!((power - 1.0).abs() < 0.05, "preamble power {power}");
+    }
+
+    #[test]
+    fn ltf_demodulates_to_reference() {
+        let ofdm = Ofdm::new();
+        let sym = long_training_symbol(&ofdm);
+        let freq = ofdm.demodulate_body(&sym);
+        for k in -26..=26i32 {
+            let got = freq[carrier_to_bin(k)];
+            let expect = long_training_value(k);
+            assert!((got.re - expect).abs() < 1e-9, "k = {k}");
+            assert!(got.im.abs() < 1e-9, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn known_ltf_signs() {
+        assert_eq!(long_training_value(-26), 1.0);
+        assert_eq!(long_training_value(-24), -1.0);
+        assert_eq!(long_training_value(1), 1.0);
+        assert_eq!(long_training_value(26), 1.0);
+        assert_eq!(long_training_value(0), 0.0);
+        assert_eq!(long_training_value(30), 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Puncturing of the rate-1/2 mother code to rates 2/3 and 3/4
+//! (IEEE 802.11a-1999 §17.3.5.6, figure 113).
+
+use crate::params::CodeRate;
+use crate::viterbi::Llr;
+
+/// Keep-mask over the interleaved coded stream `A₀B₀A₁B₁…` for one
+/// puncturing period.
+fn mask(rate: CodeRate) -> &'static [bool] {
+    match rate {
+        CodeRate::R12 => &[true, true],
+        // Period: A₁B₁ A₂(B₂ stolen) → keep A1 B1 A2, drop B2.
+        CodeRate::R23 => &[true, true, true, false],
+        // Period: A₁B₁ (A₂... ) transmit A1 B1 A2 B3 — drop B2 and A3.
+        CodeRate::R34 => &[true, true, true, false, false, true],
+    }
+}
+
+/// Punctures a rate-1/2 coded stream down to `rate`.
+///
+/// The input length must be a whole number of puncturing periods (always
+/// true for 802.11a OFDM symbols).
+///
+/// # Panics
+///
+/// Panics if `coded.len()` is not a multiple of the puncturing period.
+pub fn puncture(coded: &[u8], rate: CodeRate) -> Vec<u8> {
+    let m = mask(rate);
+    assert!(
+        coded.len().is_multiple_of(m.len()),
+        "coded length {} is not a multiple of the puncturing period {}",
+        coded.len(),
+        m.len()
+    );
+    coded
+        .iter()
+        .zip(m.iter().cycle())
+        .filter(|(_, &keep)| keep)
+        .map(|(&b, _)| b)
+        .collect()
+}
+
+/// Re-inserts erasures (zero LLRs) at the punctured positions so the
+/// Viterbi decoder sees a full-rate stream.
+///
+/// # Panics
+///
+/// Panics if `llrs.len()` is not a multiple of the kept-bits-per-period
+/// count.
+pub fn depuncture(llrs: &[Llr], rate: CodeRate) -> Vec<Llr> {
+    let m = mask(rate);
+    let kept = m.iter().filter(|&&k| k).count();
+    assert!(
+        llrs.len().is_multiple_of(kept),
+        "punctured length {} is not a multiple of {kept}",
+        llrs.len()
+    );
+    let periods = llrs.len() / kept;
+    let mut out = Vec::with_capacity(periods * m.len());
+    let mut it = llrs.iter();
+    for _ in 0..periods {
+        for &keep in m {
+            if keep {
+                out.push(*it.next().expect("length checked above"));
+            } else {
+                out.push(0.0);
+            }
+        }
+    }
+    out
+}
+
+/// Number of transmitted bits per period / coded bits per period.
+pub fn expansion(rate: CodeRate) -> (usize, usize) {
+    let m = mask(rate);
+    (m.iter().filter(|&&k| k).count(), m.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convolutional::encode;
+    use crate::viterbi::decode_soft;
+    use wlan_dsp::rng::Rng;
+
+    #[test]
+    fn rate12_is_identity() {
+        let coded = vec![1u8, 0, 1, 1, 0, 0];
+        assert_eq!(puncture(&coded, CodeRate::R12), coded);
+    }
+
+    #[test]
+    fn rate23_drops_every_fourth() {
+        let coded: Vec<u8> = (0..8).map(|i| (i % 2) as u8).collect(); // A=0,B=1 pattern
+        let p = puncture(&coded, CodeRate::R23);
+        assert_eq!(p.len(), 6);
+        // Positions kept: 0,1,2, 4,5,6.
+        assert_eq!(p, vec![0, 1, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn rate34_length() {
+        let coded = vec![0u8; 12];
+        assert_eq!(puncture(&coded, CodeRate::R34).len(), 8);
+    }
+
+    #[test]
+    fn rates_match_fractions() {
+        for rate in [CodeRate::R12, CodeRate::R23, CodeRate::R34] {
+            let (kept, period) = expansion(rate);
+            let (num, den) = rate.as_fraction();
+            // info bits per period = period/2; transmitted = kept;
+            // code rate = (period/2)/kept must equal num/den.
+            assert_eq!((period / 2) * den, kept * num, "{rate:?}");
+        }
+    }
+
+    #[test]
+    fn depuncture_restores_positions() {
+        let llrs = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let d = depuncture(&llrs, CodeRate::R23);
+        assert_eq!(d, vec![1.0, 2.0, 3.0, 0.0, 4.0, 5.0, 6.0, 0.0]);
+        // Rate 3/4: period keeps indices 0,1,2,5 of every 6.
+        let llrs = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let d = depuncture(&llrs, CodeRate::R34);
+        assert_eq!(
+            d,
+            vec![1.0, 2.0, 3.0, 0.0, 0.0, 4.0, 5.0, 6.0, 7.0, 0.0, 0.0, 8.0]
+        );
+    }
+
+    #[test]
+    fn punctured_roundtrip_decodes() {
+        let mut rng = Rng::new(7);
+        for rate in [CodeRate::R12, CodeRate::R23, CodeRate::R34] {
+            // Message length that makes the coded length a period multiple.
+            let mut msg = vec![0u8; 96];
+            rng.bits(&mut msg[..90]);
+            let coded = encode(&msg);
+            let tx = puncture(&coded, rate);
+            let llrs: Vec<Llr> = tx.iter().map(|&b| if b == 1 { -1.0 } else { 1.0 }).collect();
+            let full = depuncture(&llrs, rate);
+            assert_eq!(full.len(), coded.len());
+            assert_eq!(decode_soft(&full), msg, "{rate:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_period_panics() {
+        let _ = puncture(&[1, 0, 1], CodeRate::R23);
+    }
+}

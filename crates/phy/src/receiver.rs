@@ -1,0 +1,423 @@
+//! The complete 802.11a receiver: packet detection through PSDU
+//! extraction.
+
+use crate::equalizer::{equalize_symbol, estimate_snr_db, ChannelEstimate};
+use crate::frame::extract_psdu;
+use crate::interleaver::Interleaver;
+use crate::modulation::{demap_soft, nearest_point};
+use crate::ofdm::Ofdm;
+use crate::params::{Rate, FFT_SIZE, SYMBOL_LEN};
+use crate::puncture::depuncture;
+use crate::signal_field::{decode_signal, SignalError, SignalField};
+use crate::sync::{correct_cfo, detect_packet, fine_cfo, locate_ltf};
+use crate::viterbi::decode_soft;
+use wlan_dsp::Complex;
+
+/// Receive failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RxError {
+    /// No short-training plateau found.
+    NotDetected,
+    /// The long training field could not be located.
+    LtfNotFound,
+    /// The SIGNAL field failed to decode.
+    Signal(SignalError),
+    /// The burst ends before the announced number of DATA symbols.
+    Truncated {
+        /// Samples required by the SIGNAL field.
+        needed: usize,
+        /// Samples actually available.
+        available: usize,
+    },
+    /// The scrambler seed could not be recovered from the SERVICE field.
+    ScramblerSync,
+}
+
+impl std::fmt::Display for RxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RxError::NotDetected => write!(f, "no packet detected"),
+            RxError::LtfNotFound => write!(f, "long training field not located"),
+            RxError::Signal(e) => write!(f, "signal field: {e}"),
+            RxError::Truncated { needed, available } => {
+                write!(f, "burst truncated: need {needed} samples, have {available}")
+            }
+            RxError::ScramblerSync => write!(f, "scrambler seed recovery failed"),
+        }
+    }
+}
+
+impl std::error::Error for RxError {}
+
+impl From<SignalError> for RxError {
+    fn from(e: SignalError) -> Self {
+        RxError::Signal(e)
+    }
+}
+
+/// A successfully decoded packet.
+#[derive(Debug, Clone)]
+pub struct Received {
+    /// Decoded PSDU bytes.
+    pub psdu: Vec<u8>,
+    /// Decoded SIGNAL field (rate and length).
+    pub signal: SignalField,
+    /// Total carrier frequency offset that was removed (Hz).
+    pub cfo_hz: f64,
+    /// All equalized data-subcarrier values (for constellation and EVM
+    /// analysis), in symbol order.
+    pub equalized: Vec<Complex>,
+    /// RMS error vector magnitude of the equalized constellation,
+    /// relative to the nearest ideal points (linear, not %).
+    pub evm_rms: f64,
+    /// SNR estimated from the long training field (dB), when measurable.
+    pub snr_est_db: Option<f64>,
+}
+
+impl Received {
+    /// EVM in dB (`20·log10(evm_rms)`).
+    pub fn evm_db(&self) -> f64 {
+        20.0 * self.evm_rms.log10()
+    }
+
+    /// The PSDU as LSB-first bits (for BER counting).
+    pub fn psdu_bits(&self) -> Vec<u8> {
+        crate::frame::bytes_to_bits(&self.psdu)
+    }
+}
+
+/// Full 802.11a receiver.
+///
+/// The default configuration performs blind detection, coarse + fine CFO
+/// correction, LTF timing, LS channel estimation, pilot phase tracking
+/// and soft-decision Viterbi decoding.
+#[derive(Debug, Clone)]
+pub struct Receiver {
+    ofdm: Ofdm,
+    detection_threshold: f64,
+    detection_run: usize,
+    /// FFT window backoff into the cyclic prefix (samples).
+    timing_backoff: usize,
+}
+
+impl Default for Receiver {
+    fn default() -> Self {
+        Receiver::new()
+    }
+}
+
+impl Receiver {
+    /// Creates a receiver with default synchronization parameters.
+    pub fn new() -> Self {
+        Receiver {
+            ofdm: Ofdm::new(),
+            detection_threshold: 0.55,
+            detection_run: 16,
+            timing_backoff: 3,
+        }
+    }
+
+    /// Overrides the detection metric threshold (0..1).
+    pub fn with_detection_threshold(mut self, threshold: f64) -> Self {
+        self.detection_threshold = threshold;
+        self
+    }
+
+    /// Receives a burst: full blind synchronization and decoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`RxError`] describing the first failing stage.
+    pub fn receive(&self, samples: &[Complex]) -> Result<Received, RxError> {
+        let det = detect_packet(samples, self.detection_threshold, self.detection_run)
+            .ok_or(RxError::NotDetected)?;
+        let coarse = correct_cfo(samples, det.coarse_cfo_hz);
+
+        // The LTF body 1 nominally sits 192 samples after the STF start;
+        // search a generous window around it.
+        let w_lo = (det.start + 150).min(coarse.len());
+        let w_hi = (det.start + 280).min(coarse.len());
+        if w_lo >= w_hi {
+            return Err(RxError::LtfNotFound);
+        }
+        let ltf1 = locate_ltf(&coarse, &self.ofdm, w_lo..w_hi).ok_or(RxError::LtfNotFound)?;
+
+        let fine = fine_cfo(&coarse, ltf1).ok_or(RxError::LtfNotFound)?;
+        let total_cfo = det.coarse_cfo_hz + fine;
+        let corrected = correct_cfo(samples, total_cfo);
+
+        self.decode_from(&corrected, ltf1, total_cfo)
+    }
+
+    /// Receives with genie timing: `ltf_start` is the known index of the
+    /// first long-training symbol body and `cfo_hz` the known offset.
+    /// Used for EVM measurements with an "ideal receiver" (the paper's
+    /// §5.2) and for isolating impairments from sync behavior.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`RxError`] if decoding fails.
+    pub fn receive_with_timing(
+        &self,
+        samples: &[Complex],
+        ltf_start: usize,
+        cfo_hz: f64,
+    ) -> Result<Received, RxError> {
+        let corrected = if cfo_hz == 0.0 {
+            samples.to_vec()
+        } else {
+            correct_cfo(samples, cfo_hz)
+        };
+        self.decode_from(&corrected, ltf_start, cfo_hz)
+    }
+
+    fn decode_from(
+        &self,
+        x: &[Complex],
+        ltf1: usize,
+        cfo_hz: f64,
+    ) -> Result<Received, RxError> {
+        let d = self.timing_backoff;
+        if ltf1 < d || ltf1 + 2 * FFT_SIZE + SYMBOL_LEN > x.len() {
+            return Err(RxError::Truncated {
+                needed: ltf1 + 2 * FFT_SIZE + SYMBOL_LEN,
+                available: x.len(),
+            });
+        }
+
+        // Channel estimate from the two LTF bodies (with timing backoff —
+        // the resulting linear phase is absorbed into H and cancelled for
+        // the data symbols, which use the same backoff).
+        let b1 = &x[ltf1 - d..ltf1 - d + FFT_SIZE];
+        let b2 = &x[ltf1 - d + FFT_SIZE..ltf1 - d + 2 * FFT_SIZE];
+        let channel = ChannelEstimate::from_ltf(&self.ofdm, b1, b2);
+        let snr_est_db = estimate_snr_db(&self.ofdm, b1, b2);
+
+        // SIGNAL symbol body.
+        let sig_body_start = ltf1 + 2 * FFT_SIZE + crate::params::CP_LEN - d;
+        if sig_body_start + FFT_SIZE > x.len() {
+            return Err(RxError::Truncated {
+                needed: sig_body_start + FFT_SIZE,
+                available: x.len(),
+            });
+        }
+        let sig_freq = self
+            .ofdm
+            .demodulate_body(&x[sig_body_start..sig_body_start + FFT_SIZE]);
+        let sig_eq = equalize_symbol(&sig_freq, &channel, 0);
+        let signal = decode_signal(&sig_eq.data, Some(&sig_eq.csi))?;
+
+        let rate: Rate = signal.rate;
+        let n_sym = rate.data_symbols(signal.length);
+        let data_start = ltf1 + 2 * FFT_SIZE + SYMBOL_LEN; // start of first DATA symbol (incl. CP)
+        let needed = data_start + n_sym * SYMBOL_LEN - d;
+        if needed > x.len() {
+            return Err(RxError::Truncated {
+                needed,
+                available: x.len(),
+            });
+        }
+
+        // Demodulate, equalize and soft-demap each DATA symbol.
+        let il = Interleaver::new(rate);
+        let mut llrs = Vec::with_capacity(n_sym * rate.ncbps());
+        let mut equalized = Vec::with_capacity(n_sym * 48);
+        let mut ev_acc = 0.0f64;
+        let mut ev_n = 0usize;
+        for m in 0..n_sym {
+            let body = data_start + m * SYMBOL_LEN + crate::params::CP_LEN - d;
+            let freq = self.ofdm.demodulate_body(&x[body..body + FFT_SIZE]);
+            let eq = equalize_symbol(&freq, &channel, m + 1);
+            let sym_llrs = demap_soft(&eq.data, rate.modulation(), Some(&eq.csi));
+            llrs.extend(il.deinterleave(&sym_llrs));
+            for &v in eq.data.iter() {
+                let ideal = nearest_point(v, rate.modulation());
+                ev_acc += (v - ideal).norm_sqr();
+                ev_n += 1;
+                equalized.push(v);
+            }
+        }
+        let evm_rms = (ev_acc / ev_n as f64).sqrt();
+
+        // Decode.
+        let full = depuncture(&llrs, rate.code_rate());
+        let decoded = decode_soft(&full);
+        let psdu = extract_psdu(&decoded, signal.length).ok_or(RxError::ScramblerSync)?;
+
+        Ok(Received {
+            psdu,
+            signal,
+            cfo_hz,
+            equalized,
+            evm_rms,
+            snr_est_db,
+        })
+    }
+}
+
+/// Counts bit errors between a transmitted and received byte payload of
+/// equal length; unequal lengths count every bit of the length difference
+/// as an error.
+pub fn count_bit_errors(tx: &[u8], rx: &[u8]) -> usize {
+    let common = tx.len().min(rx.len());
+    let diff_bits: usize = tx[..common]
+        .iter()
+        .zip(&rx[..common])
+        .map(|(a, b)| (a ^ b).count_ones() as usize)
+        .sum();
+    diff_bits + 8 * (tx.len().max(rx.len()) - common)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ALL_RATES, SAMPLE_RATE};
+    use crate::transmitter::Transmitter;
+    use wlan_dsp::rng::Rng;
+
+    fn impaired(
+        burst: &[Complex],
+        pad: usize,
+        cfo_hz: f64,
+        snr_db: f64,
+        seed: u64,
+    ) -> Vec<Complex> {
+        let mut rng = Rng::new(seed);
+        let nv = 10f64.powf(-snr_db / 10.0);
+        let w = 2.0 * std::f64::consts::PI * cfo_hz / SAMPLE_RATE;
+        let mut out: Vec<Complex> = (0..pad).map(|_| rng.complex_gaussian(nv)).collect();
+        for (n, &s) in burst.iter().enumerate() {
+            out.push(s * Complex::cis(w * (pad + n) as f64) + rng.complex_gaussian(nv));
+        }
+        out.extend((0..200).map(|_| rng.complex_gaussian(nv)));
+        out
+    }
+
+    #[test]
+    fn loopback_clean_all_rates() {
+        let mut rng = Rng::new(1);
+        let rx = Receiver::new();
+        for r in ALL_RATES {
+            let mut psdu = vec![0u8; 100];
+            rng.bytes(&mut psdu);
+            let burst = Transmitter::new(r).transmit(&psdu);
+            let got = rx.receive(&burst.samples).unwrap_or_else(|e| panic!("{r}: {e}"));
+            assert_eq!(got.psdu, psdu, "{r}");
+            assert_eq!(got.signal.rate, r);
+            assert_eq!(got.signal.length, 100);
+            assert!(got.evm_db() < -40.0, "{r}: EVM {}", got.evm_db());
+        }
+    }
+
+    #[test]
+    fn decodes_with_noise_pad_and_cfo() {
+        let mut rng = Rng::new(2);
+        let rx = Receiver::new();
+        for (r, snr) in [(Rate::R6, 10.0), (Rate::R24, 20.0), (Rate::R54, 28.0)] {
+            let mut psdu = vec![0u8; 80];
+            rng.bytes(&mut psdu);
+            let burst = Transmitter::new(r).transmit(&psdu);
+            let x = impaired(&burst.samples, 137, 80e3, snr, 3);
+            let got = rx.receive(&x).unwrap_or_else(|e| panic!("{r}: {e}"));
+            assert_eq!(got.psdu, psdu, "{r}");
+            assert!((got.cfo_hz - 80e3).abs() < 5e3, "{r}: cfo {}", got.cfo_hz);
+        }
+    }
+
+    #[test]
+    fn flat_channel_gain_and_phase_handled() {
+        let mut rng = Rng::new(4);
+        let mut psdu = vec![0u8; 60];
+        rng.bytes(&mut psdu);
+        let burst = Transmitter::new(Rate::R36).transmit(&psdu);
+        let g = Complex::from_polar(0.31, 2.2);
+        let x: Vec<Complex> = burst.samples.iter().map(|&s| s * g).collect();
+        let got = Receiver::new().receive(&x).expect("decodes");
+        assert_eq!(got.psdu, psdu);
+    }
+
+    #[test]
+    fn multipath_channel_decodes() {
+        // Two-ray channel within the cyclic prefix.
+        let mut rng = Rng::new(5);
+        let mut psdu = vec![0u8; 120];
+        rng.bytes(&mut psdu);
+        let burst = Transmitter::new(Rate::R12).transmit(&psdu);
+        let mut x = vec![Complex::ZERO; burst.samples.len() + 8];
+        for (n, &s) in burst.samples.iter().enumerate() {
+            x[n] += s;
+            x[n + 5] += s * Complex::from_polar(0.4, 1.0);
+        }
+        let got = Receiver::new().receive(&x).expect("decodes");
+        assert_eq!(got.psdu, psdu);
+    }
+
+    #[test]
+    fn genie_timing_matches_blind() {
+        let mut rng = Rng::new(6);
+        let mut psdu = vec![0u8; 90];
+        rng.bytes(&mut psdu);
+        let burst = Transmitter::new(Rate::R24).transmit(&psdu);
+        let got = Receiver::new()
+            .receive_with_timing(&burst.samples, 192, 0.0)
+            .expect("decodes");
+        assert_eq!(got.psdu, psdu);
+        assert!(got.evm_db() < -40.0);
+    }
+
+    #[test]
+    fn pure_noise_is_not_detected() {
+        let mut rng = Rng::new(7);
+        let x: Vec<Complex> = (0..4000).map(|_| rng.complex_gaussian(1.0)).collect();
+        assert!(matches!(
+            Receiver::new().receive(&x),
+            Err(RxError::NotDetected)
+        ));
+    }
+
+    #[test]
+    fn truncated_burst_reports_error() {
+        let burst = Transmitter::new(Rate::R6).transmit(&[1u8; 200]);
+        let cut = &burst.samples[..600];
+        match Receiver::new().receive(cut) {
+            Err(RxError::Truncated { .. }) | Err(RxError::LtfNotFound) => {}
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snr_estimate_reported() {
+        let mut rng = Rng::new(12);
+        let mut psdu = vec![0u8; 100];
+        rng.bytes(&mut psdu);
+        let burst = Transmitter::new(Rate::R12).transmit(&psdu);
+        let x = impaired(&burst.samples, 64, 0.0, 20.0, 13);
+        let got = Receiver::new().receive(&x).expect("decodes");
+        let snr = got.snr_est_db.expect("measurable");
+        assert!((snr - 20.0).abs() < 4.0, "estimated {snr} dB at true 20 dB");
+    }
+
+    #[test]
+    fn evm_tracks_snr() {
+        let mut rng = Rng::new(8);
+        let mut psdu = vec![0u8; 200];
+        rng.bytes(&mut psdu);
+        let burst = Transmitter::new(Rate::R12).transmit(&psdu);
+        let rx = Receiver::new();
+        let x20 = impaired(&burst.samples, 50, 0.0, 20.0, 9);
+        let x30 = impaired(&burst.samples, 50, 0.0, 30.0, 10);
+        let e20 = rx.receive(&x20).expect("20 dB").evm_db();
+        let e30 = rx.receive(&x30).expect("30 dB").evm_db();
+        // ~10 dB EVM improvement for 10 dB SNR improvement.
+        assert!(e20 - e30 > 6.0, "e20 {e20}, e30 {e30}");
+        assert!(e20 > -25.0 && e20 < -12.0, "e20 {e20}");
+    }
+
+    #[test]
+    fn count_bit_errors_cases() {
+        assert_eq!(count_bit_errors(&[0xff], &[0xff]), 0);
+        assert_eq!(count_bit_errors(&[0xff], &[0x7f]), 1);
+        assert_eq!(count_bit_errors(&[0xff, 0x00], &[0xff]), 8);
+        assert_eq!(count_bit_errors(&[], &[]), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! The 802.11a frame-synchronous scrambler (generator x⁷ + x⁴ + 1).
+//!
+//! The same 127-bit maximal-length sequence also generates the pilot
+//! polarity sequence (all-ones seed, see [`crate::pilots`]).
+
+/// 7-bit LFSR scrambler.
+///
+/// State convention: bit 6 is x⁷ (oldest), bit 0 is x¹. Each step outputs
+/// `x⁷ ⊕ x⁴` and shifts it back into x¹.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scrambler {
+    state: u8,
+}
+
+/// Default transmit seed used by this implementation (the Annex G example
+/// uses 1011101).
+pub const DEFAULT_SEED: u8 = 0b1011101;
+
+impl Scrambler {
+    /// Creates a scrambler with the given 7-bit seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` is zero (the all-zero state is degenerate) or has
+    /// bits above bit 6 set.
+    pub fn new(seed: u8) -> Self {
+        assert!(seed != 0, "scrambler seed must be non-zero");
+        assert!(seed < 0x80, "scrambler seed is 7 bits");
+        Scrambler { state: seed }
+    }
+
+    /// Current 7-bit state.
+    pub fn state(&self) -> u8 {
+        self.state
+    }
+
+    /// Produces the next scrambler sequence bit.
+    #[inline]
+    pub fn next_bit(&mut self) -> u8 {
+        let x7 = (self.state >> 6) & 1;
+        let x4 = (self.state >> 3) & 1;
+        let fb = x7 ^ x4;
+        self.state = ((self.state << 1) | fb) & 0x7f;
+        fb
+    }
+
+    /// Scrambles (XORs) `bits` in place. Descrambling is the same
+    /// operation with the same seed.
+    pub fn scramble_in_place(&mut self, bits: &mut [u8]) {
+        for b in bits.iter_mut() {
+            *b ^= self.next_bit();
+        }
+    }
+
+    /// Scrambles `bits`, returning a new vector.
+    pub fn scramble(&mut self, bits: &[u8]) -> Vec<u8> {
+        bits.iter().map(|&b| b ^ self.next_bit()).collect()
+    }
+
+    /// One full period (127 bits) of the sequence from the current state.
+    pub fn sequence(&mut self) -> [u8; 127] {
+        let mut out = [0u8; 127];
+        for o in out.iter_mut() {
+            *o = self.next_bit();
+        }
+        out
+    }
+}
+
+/// Recovers the transmit seed from the first seven *scrambled* SERVICE
+/// bits (the plaintext SERVICE field starts with seven zero bits, so the
+/// received bits equal the scrambler sequence).
+///
+/// Returns `None` if no non-zero seed reproduces the observed bits
+/// (indicating bit errors in the SERVICE field).
+pub fn recover_seed(first7_scrambled: &[u8]) -> Option<u8> {
+    assert!(first7_scrambled.len() >= 7, "need at least 7 bits");
+    (1u8..=0x7f).find(|&seed| {
+        let mut s = Scrambler::new(seed);
+        (0..7).all(|i| s.next_bit() == first7_scrambled[i] & 1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_has_period_127() {
+        let mut s = Scrambler::new(0b1111111);
+        let first = s.sequence();
+        let second = s.sequence();
+        assert_eq!(first, second);
+        // And no shorter period: state must not revisit within a period.
+        let mut s = Scrambler::new(0b1111111);
+        let mut states = std::collections::HashSet::new();
+        for _ in 0..127 {
+            assert!(states.insert(s.state()));
+            s.next_bit();
+        }
+    }
+
+    #[test]
+    fn all_ones_sequence_prefix() {
+        // IEEE 802.11a-1999 §17.3.5.4: the all-ones seed generates a
+        // sequence beginning 00001110 11110010 11001001 ...
+        let mut s = Scrambler::new(0b1111111);
+        let seq = s.sequence();
+        let expect_prefix = [
+            0, 0, 0, 0, 1, 1, 1, 0, // 0x0E
+            1, 1, 1, 1, 0, 0, 1, 0, // 0xF2
+            1, 1, 0, 0, 1, 0, 0, 1, // 0xC9
+        ];
+        assert_eq!(&seq[..24], &expect_prefix);
+    }
+
+    #[test]
+    fn sequence_is_balanced() {
+        // m-sequence of length 127 has 64 ones and 63 zeros.
+        let mut s = Scrambler::new(0b1010101);
+        let seq = s.sequence();
+        let ones: usize = seq.iter().map(|&b| b as usize).sum();
+        assert_eq!(ones, 64);
+    }
+
+    #[test]
+    fn scramble_is_involution() {
+        let bits: Vec<u8> = (0..500).map(|i| (i * 7 % 3 == 0) as u8).collect();
+        let mut tx = Scrambler::new(DEFAULT_SEED);
+        let scrambled = tx.scramble(&bits);
+        assert_ne!(scrambled, bits);
+        let mut rx = Scrambler::new(DEFAULT_SEED);
+        let unscrambled = rx.scramble(&scrambled);
+        assert_eq!(unscrambled, bits);
+    }
+
+    #[test]
+    fn recover_seed_from_service_prefix() {
+        for seed in [1u8, 0b1011101, 0b1111111, 42] {
+            let mut s = Scrambler::new(seed);
+            // Seven zero SERVICE bits scrambled = raw sequence bits.
+            let scrambled: Vec<u8> = (0..7).map(|_| s.next_bit()).collect();
+            assert_eq!(recover_seed(&scrambled), Some(seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn recover_seed_rejects_impossible_pattern() {
+        // All-zero observed prefix can only come from the zero state,
+        // which is excluded.
+        assert_eq!(recover_seed(&[0; 7]), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_seed_panics() {
+        let _ = Scrambler::new(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wide_seed_panics() {
+        let _ = Scrambler::new(0x80);
+    }
+}

@@ -1,0 +1,173 @@
+//! The complete 802.11a transmitter: PSDU in, complex-baseband burst out.
+
+use crate::frame::{build_data_field, bytes_to_bits, map_data_field};
+use crate::ofdm::Ofdm;
+use crate::params::{Rate, SAMPLE_RATE, SYMBOL_LEN};
+use crate::preamble::{preamble, PREAMBLE_LEN};
+use crate::scrambler::DEFAULT_SEED;
+use crate::signal_field::modulate_signal;
+use wlan_dsp::Complex;
+
+/// A transmitted PPDU burst.
+#[derive(Debug, Clone)]
+pub struct Burst {
+    /// Complex-baseband samples at 20 Msps, mean power ≈ 1.
+    pub samples: Vec<Complex>,
+    /// The transmitted PSDU (payload reference for BER counting).
+    pub psdu: Vec<u8>,
+    /// The PSDU as a bit vector (LSB-first per byte).
+    pub psdu_bits: Vec<u8>,
+    /// Data rate used.
+    pub rate: Rate,
+    /// Number of DATA OFDM symbols.
+    pub data_symbols: usize,
+}
+
+impl Burst {
+    /// Burst duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.samples.len() as f64 / SAMPLE_RATE
+    }
+}
+
+/// 802.11a transmitter for a fixed rate.
+///
+/// # Example
+///
+/// ```
+/// use wlan_phy::{params::Rate, transmitter::Transmitter};
+/// let tx = Transmitter::new(Rate::R6);
+/// let burst = tx.transmit(&[0xAB; 40]);
+/// // Preamble (320) + SIGNAL (80) + data symbols.
+/// assert_eq!(burst.samples.len(), 320 + 80 + burst.data_symbols * 80);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Transmitter {
+    rate: Rate,
+    scrambler_seed: u8,
+    ofdm: Ofdm,
+}
+
+impl Transmitter {
+    /// Creates a transmitter at `rate` with the default scrambler seed.
+    pub fn new(rate: Rate) -> Self {
+        Transmitter {
+            rate,
+            scrambler_seed: DEFAULT_SEED,
+            ofdm: Ofdm::new(),
+        }
+    }
+
+    /// Sets the 7-bit scrambler seed (non-zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` is zero or wider than 7 bits.
+    pub fn with_scrambler_seed(mut self, seed: u8) -> Self {
+        assert!(seed != 0 && seed < 0x80, "seed must be a non-zero 7-bit value");
+        self.scrambler_seed = seed;
+        self
+    }
+
+    /// The configured data rate.
+    pub fn rate(&self) -> Rate {
+        self.rate
+    }
+
+    /// Builds the PPDU burst for `psdu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `psdu` is empty or longer than 4095 bytes.
+    pub fn transmit(&self, psdu: &[u8]) -> Burst {
+        let field = build_data_field(psdu, self.rate, self.scrambler_seed);
+        let data_syms = map_data_field(&field, self.rate);
+        let n_sym = data_syms.len();
+
+        let mut samples = Vec::with_capacity(PREAMBLE_LEN + SYMBOL_LEN * (1 + n_sym));
+        samples.extend(preamble(&self.ofdm));
+        samples.extend(modulate_signal(&self.ofdm, self.rate, psdu.len()));
+        for (i, sym) in data_syms.iter().enumerate() {
+            // Pilot polarity index: SIGNAL is 0, data symbols start at 1.
+            samples.extend(self.ofdm.modulate(sym, i + 1));
+        }
+
+        Burst {
+            samples,
+            psdu: psdu.to_vec(),
+            psdu_bits: bytes_to_bits(psdu),
+            rate: self.rate,
+            data_symbols: n_sym,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ALL_RATES;
+    use wlan_dsp::complex::mean_power;
+    use wlan_dsp::rng::Rng;
+
+    #[test]
+    fn burst_length_all_rates() {
+        let mut rng = Rng::new(1);
+        for r in ALL_RATES {
+            let mut psdu = vec![0u8; 123];
+            rng.bytes(&mut psdu);
+            let burst = Transmitter::new(r).transmit(&psdu);
+            let expect = 320 + 80 + r.data_symbols(123) * 80;
+            assert_eq!(burst.samples.len(), expect, "{r}");
+            assert_eq!(burst.rate, r);
+        }
+    }
+
+    #[test]
+    fn burst_power_near_unity() {
+        let burst = Transmitter::new(Rate::R54).transmit(&[0x5A; 500]);
+        let p = mean_power(&burst.samples);
+        assert!((p - 1.0).abs() < 0.1, "power {p}");
+    }
+
+    #[test]
+    fn duration_24mbps_100_bytes() {
+        // 9 data symbols → (320 + 80 + 720) samples / 20 MHz = 56 µs.
+        let burst = Transmitter::new(Rate::R24).transmit(&[0u8; 100]);
+        assert!((burst.duration() - 56e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psdu_bits_match_psdu() {
+        let burst = Transmitter::new(Rate::R6).transmit(&[0x01, 0x80]);
+        assert_eq!(burst.psdu_bits.len(), 16);
+        assert_eq!(burst.psdu_bits[0], 1);
+        assert_eq!(burst.psdu_bits[15], 1);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let t = Transmitter::new(Rate::R36);
+        let a = t.transmit(&[7u8; 64]);
+        let b = t.transmit(&[7u8; 64]);
+        assert_eq!(a.samples.len(), b.samples.len());
+        for (x, y) in a.samples.iter().zip(b.samples.iter()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn seed_changes_samples_not_length() {
+        let a = Transmitter::new(Rate::R12).transmit(&[1u8; 80]);
+        let b = Transmitter::new(Rate::R12)
+            .with_scrambler_seed(0b0101010)
+            .transmit(&[1u8; 80]);
+        assert_eq!(a.samples.len(), b.samples.len());
+        let diff = a
+            .samples
+            .iter()
+            .zip(b.samples.iter())
+            .filter(|(x, y)| (**x - **y).abs() > 1e-12)
+            .count();
+        assert!(diff > 100, "scrambler seed had no effect");
+    }
+}

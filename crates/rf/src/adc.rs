@@ -1,0 +1,136 @@
+//! ADC model: uniform quantization with clipping on I and Q.
+
+use wlan_dsp::Complex;
+
+/// Dual (I/Q) analog-to-digital converter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adc {
+    bits: u32,
+    full_scale: f64,
+    step: f64,
+}
+
+impl Adc {
+    /// Creates a converter with `bits` of resolution and clipping at
+    /// ±`full_scale` on each of I and Q.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 24, or `full_scale <= 0`.
+    pub fn new(bits: u32, full_scale: f64) -> Self {
+        assert!((1..=24).contains(&bits), "bits must be 1..=24");
+        assert!(full_scale > 0.0, "full scale must be positive");
+        Adc {
+            bits,
+            full_scale,
+            step: 2.0 * full_scale / (1u64 << bits) as f64,
+        }
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Full-scale amplitude.
+    pub fn full_scale(&self) -> f64 {
+        self.full_scale
+    }
+
+    /// Quantization step size.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    fn quantize_axis(&self, v: f64) -> f64 {
+        // Mid-tread quantizer: zero input gives zero output (a mid-rise
+        // converter would emit a constant ±LSB/2 during idle periods,
+        // which looks like a periodic signal to the packet detector).
+        let q = (v / self.step).round() * self.step;
+        q.clamp(-self.full_scale, self.full_scale - self.step)
+    }
+
+    /// Converts one sample.
+    #[inline]
+    pub fn convert(&self, x: Complex) -> Complex {
+        Complex::new(self.quantize_axis(x.re), self.quantize_axis(x.im))
+    }
+
+    /// Converts a frame.
+    pub fn process(&self, x: &[Complex]) -> Vec<Complex> {
+        x.iter().map(|&v| self.convert(v)).collect()
+    }
+
+    /// Theoretical SQNR for a full-scale sine: `6.02·bits + 1.76` dB.
+    pub fn ideal_sqnr_db(&self) -> f64 {
+        6.02 * self.bits as f64 + 1.76
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_dsp::complex::mean_power;
+    use wlan_dsp::math::lin_to_db;
+
+    #[test]
+    fn quantization_error_bounded_by_half_step() {
+        let adc = Adc::new(8, 1.0);
+        for i in 0..1000 {
+            let v = -0.99 + 0.0019 * i as f64;
+            let q = adc.convert(Complex::from_re(v)).re;
+            assert!((q - v).abs() <= adc.step() / 2.0 + 1e-12, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn clipping_beyond_full_scale() {
+        let adc = Adc::new(10, 1.0);
+        let q = adc.convert(Complex::new(5.0, -5.0));
+        assert!(q.re <= 1.0 && q.re > 0.99 - adc.step());
+        assert!(q.im >= -1.0 && q.im < -0.99 + adc.step());
+    }
+
+    #[test]
+    fn sqnr_close_to_ideal_for_sine() {
+        let bits = 10;
+        let adc = Adc::new(bits, 1.0);
+        let n = 100_000;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_re((2.0 * std::f64::consts::PI * 0.01 * i as f64).sin() * 0.999))
+            .collect();
+        let y = adc.process(&x);
+        let err: Vec<Complex> = y.iter().zip(&x).map(|(a, b)| *a - *b).collect();
+        // Compare I-axis signal to I-axis error power.
+        let sig_p: f64 = x.iter().map(|v| v.re * v.re).sum::<f64>() / n as f64;
+        let err_p: f64 = err.iter().map(|v| v.re * v.re).sum::<f64>() / n as f64;
+        let sqnr = lin_to_db(sig_p / err_p);
+        assert!(
+            (sqnr - adc.ideal_sqnr_db()).abs() < 2.0,
+            "SQNR {sqnr} vs ideal {}",
+            adc.ideal_sqnr_db()
+        );
+    }
+
+    #[test]
+    fn high_resolution_is_nearly_transparent() {
+        let adc = Adc::new(16, 4.0);
+        let x: Vec<Complex> = (0..100)
+            .map(|i| Complex::from_polar(1.0, 0.1 * i as f64))
+            .collect();
+        let y = adc.process(&x);
+        let err: f64 = y
+            .iter()
+            .zip(&x)
+            .map(|(a, b)| (*a - *b).norm_sqr())
+            .sum::<f64>()
+            / x.len() as f64;
+        assert!(lin_to_db(err / mean_power(&x)) < -80.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bits_panics() {
+        let _ = Adc::new(0, 1.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Automatic gain control: the baseband variable-gain amplifier that
+//! levels the signal into the ADC.
+
+use wlan_dsp::Complex;
+
+/// AGC operating mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AgcMode {
+    /// Per-frame normalization to the target power (the paper's
+    /// "input and output level … adapted with constant multipliers" —
+    /// deterministic, ideal).
+    Ideal,
+    /// Sample-by-sample feedback loop in the log domain with the given
+    /// adaptation rate (per sample).
+    Feedback {
+        /// Log-domain loop step size per sample (e.g. 1e-3).
+        rate: f64,
+    },
+}
+
+/// Automatic gain-controlled amplifier.
+#[derive(Debug, Clone)]
+pub struct Agc {
+    mode: AgcMode,
+    target_power: f64,
+    gain: f64,
+    power_est: f64,
+}
+
+impl Agc {
+    /// Creates an AGC with output target `target_power`
+    /// (`mean(|x|²)` convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_power` is not positive.
+    pub fn new(mode: AgcMode, target_power: f64) -> Self {
+        assert!(target_power > 0.0, "target power must be positive");
+        Agc {
+            mode,
+            target_power,
+            gain: 1.0,
+            power_est: target_power,
+        }
+    }
+
+    /// Current linear amplitude gain (feedback mode; 1.0 until the first
+    /// frame in ideal mode).
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Target output power.
+    pub fn target_power(&self) -> f64 {
+        self.target_power
+    }
+
+    /// Processes a frame.
+    ///
+    /// Ideal mode measures the frame power and applies one exact scale
+    /// factor; feedback mode runs the loop sample by sample.
+    pub fn process(&mut self, x: &[Complex]) -> Vec<Complex> {
+        match self.mode {
+            AgcMode::Ideal => {
+                let p = wlan_dsp::complex::mean_power(x);
+                if p > 0.0 {
+                    self.gain = (self.target_power / p).sqrt();
+                }
+                x.iter().map(|&v| v * self.gain).collect()
+            }
+            AgcMode::Feedback { rate } => x
+                .iter()
+                .map(|&v| {
+                    let y = v * self.gain;
+                    // One-pole power estimate and log-domain update.
+                    self.power_est = 0.999 * self.power_est + 0.001 * y.norm_sqr();
+                    let err = (self.target_power / self.power_est.max(1e-300)).ln();
+                    self.gain *= (rate * err).exp();
+                    y
+                })
+                .collect(),
+        }
+    }
+
+    /// Resets the loop state.
+    pub fn reset(&mut self) {
+        self.gain = 1.0;
+        self.power_est = self.target_power;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_dsp::complex::mean_power;
+    use wlan_dsp::Rng;
+
+    #[test]
+    fn ideal_hits_target_exactly() {
+        let mut agc = Agc::new(AgcMode::Ideal, 1.0);
+        let mut rng = Rng::new(1);
+        let x: Vec<Complex> = (0..1000).map(|_| rng.complex_gaussian(1e-8)).collect();
+        let y = agc.process(&x);
+        assert!((mean_power(&y) - 1.0).abs() < 1e-12);
+        assert!(agc.gain() > 1e3);
+    }
+
+    #[test]
+    fn ideal_handles_zero_input() {
+        let mut agc = Agc::new(AgcMode::Ideal, 1.0);
+        let y = agc.process(&[Complex::ZERO; 10]);
+        assert!(y.iter().all(|v| *v == Complex::ZERO));
+    }
+
+    #[test]
+    fn feedback_converges_to_target() {
+        let mut agc = Agc::new(AgcMode::Feedback { rate: 5e-3 }, 1.0);
+        let mut rng = Rng::new(2);
+        let x: Vec<Complex> = (0..60_000).map(|_| rng.complex_gaussian(1e-6)).collect();
+        let y = agc.process(&x);
+        let settled = mean_power(&y[40_000..]);
+        assert!((settled - 1.0).abs() < 0.2, "settled power {settled}");
+    }
+
+    #[test]
+    fn feedback_tracks_level_step() {
+        let mut agc = Agc::new(AgcMode::Feedback { rate: 5e-3 }, 1.0);
+        let mut rng = Rng::new(3);
+        let a: Vec<Complex> = (0..40_000).map(|_| rng.complex_gaussian(1e-4)).collect();
+        let _ = agc.process(&a);
+        // 20 dB drop:
+        let b: Vec<Complex> = (0..60_000).map(|_| rng.complex_gaussian(1e-6)).collect();
+        let y = agc.process(&b);
+        let settled = mean_power(&y[40_000..]);
+        assert!((settled - 1.0).abs() < 0.25, "after step: {settled}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_target_panics() {
+        let _ = Agc::new(AgcMode::Ideal, 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Behavioral amplifier: gain, noise figure and a selectable
+//! nonlinearity. Models the LNA and the baseband amplifier of the
+//! double-conversion receiver.
+
+use crate::noise::ThermalNoise;
+use crate::nonlinearity::Nonlinearity;
+use wlan_dsp::math::db_to_amp;
+use wlan_dsp::{Complex, Rng};
+
+/// Behavioral amplifier model.
+///
+/// Processing order per sample: add input-referred thermal noise (from
+/// the noise figure), then apply the nonlinearity with the linear gain
+/// folded in.
+#[derive(Debug, Clone)]
+pub struct Amplifier {
+    a1: f64,
+    gain_db: f64,
+    nf_db: f64,
+    nonlinearity: Nonlinearity,
+    noise: ThermalNoise,
+    noise_enabled: bool,
+}
+
+impl Amplifier {
+    /// Creates an amplifier.
+    ///
+    /// * `gain_db` — linear power gain in dB
+    /// * `nf_db` — noise figure in dB (input-referred added noise)
+    /// * `nonlinearity` — compression model
+    /// * `sample_rate_hz` — envelope sample rate (sets the noise bandwidth)
+    /// * `rng` — dedicated noise stream
+    pub fn new(
+        gain_db: f64,
+        nf_db: f64,
+        nonlinearity: Nonlinearity,
+        sample_rate_hz: f64,
+        rng: Rng,
+    ) -> Self {
+        Amplifier {
+            a1: db_to_amp(gain_db),
+            gain_db,
+            nf_db,
+            nonlinearity,
+            noise: ThermalNoise::from_noise_figure(nf_db, sample_rate_hz, rng),
+            noise_enabled: true,
+        }
+    }
+
+    /// Linear gain in dB.
+    pub fn gain_db(&self) -> f64 {
+        self.gain_db
+    }
+
+    /// Noise figure in dB.
+    pub fn nf_db(&self) -> f64 {
+        self.nf_db
+    }
+
+    /// The configured nonlinearity.
+    pub fn nonlinearity(&self) -> Nonlinearity {
+        self.nonlinearity
+    }
+
+    /// Enables or disables stochastic noise injection (the co-simulation
+    /// experiment: the paper's AMS runs lacked transient noise).
+    pub fn set_noise_enabled(&mut self, enabled: bool) {
+        self.noise_enabled = enabled;
+    }
+
+    /// Processes one sample.
+    #[inline]
+    pub fn push(&mut self, x: Complex) -> Complex {
+        let v = if self.noise_enabled {
+            x + self.noise.next_sample()
+        } else {
+            x
+        };
+        self.nonlinearity.apply(v, self.a1)
+    }
+
+    /// Processes a frame.
+    pub fn process(&mut self, x: &[Complex]) -> Vec<Complex> {
+        x.iter().map(|&v| self.push(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_dsp::complex::mean_power;
+    use wlan_dsp::math::{dbm_to_watts, lin_to_db};
+
+    fn tone(p_dbm: f64, n: usize) -> Vec<Complex> {
+        let a = (2.0 * dbm_to_watts(p_dbm)).sqrt();
+        (0..n)
+            .map(|i| Complex::from_polar(a, 0.05 * i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn linear_gain_applied() {
+        let mut amp = Amplifier::new(20.0, 0.0, Nonlinearity::Linear, 20e6, Rng::new(1));
+        let x = tone(-40.0, 1000);
+        let y = amp.process(&x);
+        let g = lin_to_db(mean_power(&y) / mean_power(&x));
+        assert!((g - 20.0).abs() < 0.01, "gain {g}");
+    }
+
+    #[test]
+    fn noise_degrades_snr_by_nf() {
+        // Input: tone at −70 dBm plus source noise floor. Output SNR
+        // should be input SNR − NF.
+        let fs = 20e6;
+        let nf = 6.0;
+        let mut amp = Amplifier::new(15.0, nf, Nonlinearity::Linear, fs, Rng::new(2));
+        let n = 200_000;
+        let sig = tone(-70.0, n);
+        let mut src = crate::noise::ThermalNoise::new(crate::noise::source_noise_power(fs), Rng::new(3));
+        let x: Vec<Complex> = sig.iter().map(|&s| s + src.next_sample()).collect();
+        let y = amp.process(&x);
+        // Output noise: run the amp again on noise-only input.
+        let mut amp2 = Amplifier::new(15.0, nf, Nonlinearity::Linear, fs, Rng::new(2));
+        let mut src2 = crate::noise::ThermalNoise::new(crate::noise::source_noise_power(fs), Rng::new(3));
+        let noise_in: Vec<Complex> = (0..n).map(|_| src2.next_sample()).collect();
+        let noise_out = amp2.process(&noise_in);
+        let snr_in = lin_to_db(mean_power(&sig) / crate::noise::source_noise_power(fs));
+        let snr_out = lin_to_db((mean_power(&y) - mean_power(&noise_out)) / mean_power(&noise_out));
+        let measured_nf = snr_in - snr_out;
+        assert!((measured_nf - nf).abs() < 0.5, "NF {measured_nf}");
+    }
+
+    #[test]
+    fn noise_disable_makes_it_deterministic() {
+        let mut amp = Amplifier::new(10.0, 8.0, Nonlinearity::Linear, 20e6, Rng::new(4));
+        amp.set_noise_enabled(false);
+        let x = tone(-50.0, 100);
+        let y1 = amp.process(&x);
+        let mut amp2 = Amplifier::new(10.0, 8.0, Nonlinearity::Linear, 20e6, Rng::new(99));
+        amp2.set_noise_enabled(false);
+        let y2 = amp2.process(&x);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn compression_reduces_gain_at_high_level() {
+        let mut amp = Amplifier::new(
+            15.0,
+            0.0,
+            Nonlinearity::rapp(-15.0),
+            20e6,
+            Rng::new(5),
+        );
+        let lo = tone(-60.0, 500);
+        let hi = tone(-15.0, 500);
+        let g_lo = lin_to_db(mean_power(&amp.process(&lo)) / mean_power(&lo));
+        let g_hi = lin_to_db(mean_power(&amp.process(&hi)) / mean_power(&hi));
+        assert!((g_lo - g_hi - 1.0).abs() < 0.1, "compression {}", g_lo - g_hi);
+    }
+}

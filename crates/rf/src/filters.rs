@@ -1,0 +1,210 @@
+//! Receiver filters: the channel-select Chebyshev lowpass (the Fig. 5
+//! sweep subject) and the inter-stage DC-block highpass.
+
+use wlan_dsp::design::{AnalogFilter, FilterKind};
+use wlan_dsp::iir::Sos;
+use wlan_dsp::Complex;
+
+/// Channel-selection lowpass: Chebyshev type-I, the paper's baseband
+/// filter that suppresses "the adjacent and non-adjacent channels".
+#[derive(Debug, Clone)]
+pub struct ChannelSelectFilter {
+    analog: AnalogFilter,
+    digital: Sos,
+    edge_hz: f64,
+}
+
+impl ChannelSelectFilter {
+    /// Default receiver design: order 5, 0.5 dB ripple.
+    pub const DEFAULT_ORDER: usize = 5;
+    /// Default passband ripple in dB.
+    pub const DEFAULT_RIPPLE_DB: f64 = 0.5;
+
+    /// Creates the filter with passband edge `edge_hz` at rate
+    /// `sample_rate_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge is not inside `(0, fs/2)`.
+    pub fn new(edge_hz: f64, sample_rate_hz: f64) -> Self {
+        Self::with_order(Self::DEFAULT_ORDER, Self::DEFAULT_RIPPLE_DB, edge_hz, sample_rate_hz)
+    }
+
+    /// Creates with explicit order and ripple.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid order/ripple/edge.
+    pub fn with_order(order: usize, ripple_db: f64, edge_hz: f64, sample_rate_hz: f64) -> Self {
+        let analog = AnalogFilter::chebyshev1(order, ripple_db, FilterKind::Lowpass, edge_hz);
+        let digital = analog.to_digital(sample_rate_hz);
+        ChannelSelectFilter {
+            analog,
+            digital,
+            edge_hz,
+        }
+    }
+
+    /// Passband edge in Hz.
+    pub fn edge_hz(&self) -> f64 {
+        self.edge_hz
+    }
+
+    /// The continuous-time prototype (consumed by the AMS solver).
+    pub fn analog(&self) -> &AnalogFilter {
+        &self.analog
+    }
+
+    /// Attenuation (positive dB) at `f_hz` of the analog prototype.
+    pub fn attenuation_db(&self, f_hz: f64) -> f64 {
+        -self.analog.response_db(f_hz)
+    }
+
+    /// Filters a frame.
+    pub fn process(&mut self, x: &[Complex]) -> Vec<Complex> {
+        self.digital.process(x)
+    }
+
+    /// Processes one sample.
+    pub fn push(&mut self, x: Complex) -> Complex {
+        self.digital.push(x)
+    }
+
+    /// Clears the filter state.
+    pub fn reset(&mut self) {
+        self.digital.reset();
+    }
+}
+
+/// Inter-stage DC-blocking highpass: removes the second mixer's
+/// self-mixing DC and the bulk of its flicker noise.
+#[derive(Debug, Clone)]
+pub struct DcBlockFilter {
+    digital: Sos,
+    analog: AnalogFilter,
+    cutoff_hz: f64,
+}
+
+impl DcBlockFilter {
+    /// Creates a 2nd-order Butterworth highpass with `cutoff_hz` at rate
+    /// `sample_rate_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cutoff is not inside `(0, fs/2)`.
+    pub fn new(cutoff_hz: f64, sample_rate_hz: f64) -> Self {
+        let analog = AnalogFilter::butterworth(2, FilterKind::Highpass, cutoff_hz);
+        let digital = analog.to_digital(sample_rate_hz);
+        DcBlockFilter {
+            digital,
+            analog,
+            cutoff_hz,
+        }
+    }
+
+    /// Cutoff frequency in Hz.
+    pub fn cutoff_hz(&self) -> f64 {
+        self.cutoff_hz
+    }
+
+    /// The continuous-time prototype (consumed by the AMS solver).
+    pub fn analog(&self) -> &AnalogFilter {
+        &self.analog
+    }
+
+    /// Filters a frame.
+    pub fn process(&mut self, x: &[Complex]) -> Vec<Complex> {
+        self.digital.process(x)
+    }
+
+    /// Processes one sample.
+    pub fn push(&mut self, x: Complex) -> Complex {
+        self.digital.push(x)
+    }
+
+    /// Clears the filter state.
+    pub fn reset(&mut self) {
+        self.digital.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_dsp::complex::mean_power;
+
+    fn tone_response(filter: &mut ChannelSelectFilter, f: f64, fs: f64) -> f64 {
+        let n = 20_000;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::cis(2.0 * std::f64::consts::PI * f * i as f64 / fs))
+            .collect();
+        let y = filter.process(&x);
+        10.0 * mean_power(&y[n / 2..]).log10()
+    }
+
+    #[test]
+    fn passes_wanted_channel_rejects_adjacent() {
+        let fs = 80e6;
+        let mut f = ChannelSelectFilter::new(10e6, fs);
+        // In-band OFDM extent: ±8.3 MHz.
+        let pass = tone_response(&mut f, 5e6, fs);
+        f.reset();
+        let adj = tone_response(&mut f, 20e6, fs);
+        assert!(pass.abs() < 0.6, "passband {pass} dB");
+        assert!(adj < -30.0, "adjacent {adj} dB");
+    }
+
+    #[test]
+    fn narrower_edge_rejects_more() {
+        let fs = 80e6;
+        let wide = ChannelSelectFilter::new(16e6, fs);
+        let narrow = ChannelSelectFilter::new(8e6, fs);
+        assert!(narrow.attenuation_db(20e6) > wide.attenuation_db(20e6) + 10.0);
+    }
+
+    #[test]
+    fn attenuation_db_sign_convention() {
+        let f = ChannelSelectFilter::new(10e6, 80e6);
+        assert!(f.attenuation_db(0.0) < 0.6);
+        assert!(f.attenuation_db(40e6) > 40.0);
+    }
+
+    #[test]
+    fn negative_frequencies_filtered_symmetrically() {
+        // Complex baseband: the filter has real coefficients so ±f see
+        // the same magnitude.
+        let fs = 80e6;
+        let mut f1 = ChannelSelectFilter::new(10e6, fs);
+        let mut f2 = ChannelSelectFilter::new(10e6, fs);
+        let p_pos = tone_response(&mut f1, 20e6, fs);
+        let p_neg = tone_response(&mut f2, -20e6, fs);
+        assert!((p_pos - p_neg).abs() < 0.1);
+    }
+
+    #[test]
+    fn dc_block_removes_dc_passes_signal() {
+        let fs = 80e6;
+        let mut f = DcBlockFilter::new(150e3, fs);
+        let x: Vec<Complex> = (0..40_000)
+            .map(|n| {
+                Complex::from_re(0.5)
+                    + Complex::cis(2.0 * std::f64::consts::PI * 3e6 * n as f64 / fs)
+            })
+            .collect();
+        let y = f.process(&x);
+        let tail = &y[20_000..];
+        // DC gone, tone intact: mean ≈ 0, power ≈ 1.
+        let mean: Complex = tail.iter().copied().sum::<Complex>() / tail.len() as f64;
+        assert!(mean.abs() < 0.01, "residual DC {}", mean.abs());
+        assert!((mean_power(tail) - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn dc_block_cutoff_below_first_subcarrier() {
+        // The first 802.11a subcarrier sits at 312.5 kHz; a 150 kHz
+        // cutoff must not materially attenuate it.
+        let f = DcBlockFilter::new(150e3, 80e6);
+        let h = f.analog().response_db(312_500.0);
+        assert!(h > -1.5, "first subcarrier attenuated {h} dB");
+    }
+}

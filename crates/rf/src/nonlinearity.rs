@@ -1,0 +1,216 @@
+//! Memoryless envelope nonlinearities: cubic (IIP3-accurate) and Rapp
+//! (compression-point-accurate).
+//!
+//! ## Cubic model
+//!
+//! The passband cubic `y = a₁x + a₃x³` has the complex-envelope
+//! equivalent `y = a₁u + (3/4)a₃|u|²u`. With the tone-power convention
+//! `P = A²/2` and input-referred intercept `P_IP3`, the envelope form is
+//!
+//! ```text
+//! y = a₁ · u · (1 − |u|² / (2·P_IP3))
+//! ```
+//!
+//! which gives two-tone IM3 of exactly `2·(P_in − IIP3)` dBc and a 1 dB
+//! compression point 9.6 dB below IIP3 — the classic cubic relations.
+//!
+//! ## Rapp model
+//!
+//! `y = G·u / (1 + (|G·u|/v_sat)^{2p})^{1/(2p)}`; `v_sat` is derived from
+//! the requested input-referred 1 dB compression point. Smoothness `p`
+//! defaults to 2 (typical solid-state PA fit).
+
+use wlan_dsp::math::dbm_to_watts;
+use wlan_dsp::Complex;
+
+/// Nonlinearity selection for an amplifier stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Nonlinearity {
+    /// Perfectly linear.
+    Linear,
+    /// Cubic soft nonlinearity with the given input-referred IIP3 (dBm).
+    Cubic {
+        /// Input-referred third-order intercept point in dBm.
+        iip3_dbm: f64,
+    },
+    /// Rapp saturation with the given input-referred P1dB (dBm).
+    Rapp {
+        /// Input-referred 1 dB compression point in dBm.
+        p1db_dbm: f64,
+        /// Knee smoothness (higher = harder clipping); typical 1–3.
+        smoothness: f64,
+    },
+}
+
+impl Nonlinearity {
+    /// Convenience constructor for the default-smoothness Rapp model.
+    pub fn rapp(p1db_dbm: f64) -> Self {
+        Nonlinearity::Rapp {
+            p1db_dbm,
+            smoothness: 2.0,
+        }
+    }
+
+    /// Applies the nonlinearity (including linear gain `a1`) to one
+    /// envelope sample.
+    #[inline]
+    pub fn apply(self, u: Complex, a1: f64) -> Complex {
+        match self {
+            Nonlinearity::Linear => u * a1,
+            Nonlinearity::Cubic { iip3_dbm } => {
+                let p_ip3 = dbm_to_watts(iip3_dbm);
+                let u2 = u.norm_sqr();
+                // The cubic is non-monotonic beyond |u|² = 2·P_IP3/3;
+                // clamp there so overdrive saturates instead of folding.
+                let lim = 2.0 * p_ip3 / 3.0;
+                if u2 <= lim {
+                    u * (a1 * (1.0 - u2 / (2.0 * p_ip3)))
+                } else {
+                    let a_max = lim.sqrt();
+                    let y_max = a1 * a_max * (1.0 - lim / (2.0 * p_ip3));
+                    u.signum() * y_max
+                }
+            }
+            Nonlinearity::Rapp {
+                p1db_dbm,
+                smoothness,
+            } => {
+                let p = smoothness;
+                let a1db = (2.0 * dbm_to_watts(p1db_dbm)).sqrt();
+                let vsat = a1 * a1db / (10f64.powf(p / 10.0) - 1.0).powf(1.0 / (2.0 * p));
+                let v = u * a1;
+                let r = v.abs() / vsat;
+                v * (1.0 + r.powf(2.0 * p)).powf(-1.0 / (2.0 * p))
+            }
+        }
+    }
+}
+
+/// The cubic model's theoretical 1 dB compression point, 9.6 dB below
+/// IIP3 (for spec cross-checks).
+pub fn cubic_p1db_from_iip3(iip3_dbm: f64) -> f64 {
+    iip3_dbm - 9.636
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_dsp::math::{watts_to_dbm, amp_to_db};
+
+    fn gain_at_power(nl: Nonlinearity, a1: f64, p_dbm: f64) -> f64 {
+        let a = (2.0 * dbm_to_watts(p_dbm)).sqrt();
+        let y = nl.apply(Complex::from_re(a), a1);
+        amp_to_db(y.abs() / a)
+    }
+
+    #[test]
+    fn linear_is_linear() {
+        let nl = Nonlinearity::Linear;
+        let u = Complex::new(3.0, -4.0);
+        assert_eq!(nl.apply(u, 2.0), u * 2.0);
+    }
+
+    #[test]
+    fn cubic_small_signal_gain() {
+        let nl = Nonlinearity::Cubic { iip3_dbm: -10.0 };
+        // At −60 dBm the compression is negligible.
+        let g = gain_at_power(nl, 10.0, -60.0);
+        assert!((g - 20.0).abs() < 0.01, "gain {g}");
+    }
+
+    #[test]
+    fn cubic_compression_point_is_9p6_below_iip3() {
+        let iip3 = -10.0;
+        let nl = Nonlinearity::Cubic { iip3_dbm: iip3 };
+        let p1 = cubic_p1db_from_iip3(iip3);
+        let g = gain_at_power(nl, 1.0, p1);
+        assert!((g + 1.0).abs() < 0.02, "compression at P1dB: {g} dB");
+    }
+
+    #[test]
+    fn cubic_im3_follows_3to1_slope() {
+        // Two-tone test: IM3 dBc = 2(Pin − IIP3).
+        let iip3 = 0.0;
+        let nl = Nonlinearity::Cubic { iip3_dbm: iip3 };
+        let fs = 1000.0;
+        let (f1, f2) = (100.0, 110.0);
+        for pin in [-40.0, -30.0, -20.0] {
+            let a = (2.0 * dbm_to_watts(pin)).sqrt();
+            let x: Vec<Complex> = (0..20_000)
+                .map(|n| {
+                    let t = n as f64 / fs;
+                    Complex::from_polar(a, 2.0 * std::f64::consts::PI * f1 * t)
+                        + Complex::from_polar(a, 2.0 * std::f64::consts::PI * f2 * t)
+                })
+                .collect();
+            let y: Vec<Complex> = x.iter().map(|&u| nl.apply(u, 1.0)).collect();
+            let fund = wlan_dsp::goertzel::tone_power_dbm(&y, f1, fs);
+            let im3 = wlan_dsp::goertzel::tone_power_dbm(&y, 2.0 * f1 - f2, fs);
+            let dbc = im3 - fund;
+            let expect = 2.0 * (pin - iip3);
+            assert!(
+                (dbc - expect).abs() < 0.3,
+                "Pin {pin}: IM3 {dbc} dBc, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn cubic_clamps_overdrive() {
+        let nl = Nonlinearity::Cubic { iip3_dbm: -20.0 };
+        // Far beyond the fold-over point the output must stay saturated,
+        // not invert.
+        let big = Complex::from_re(1.0);
+        let y = nl.apply(big, 1.0);
+        assert!(y.re > 0.0, "folded over: {y}");
+        let huge = nl.apply(Complex::from_re(10.0), 1.0);
+        assert!((huge.abs() - y.abs()).abs() < y.abs() * 0.5);
+    }
+
+    #[test]
+    fn rapp_small_signal_gain() {
+        let nl = Nonlinearity::rapp(-10.0);
+        let g = gain_at_power(nl, 10.0, -55.0);
+        assert!((g - 20.0).abs() < 0.01, "gain {g}");
+    }
+
+    #[test]
+    fn rapp_1db_compression_at_p1db() {
+        for p1 in [-20.0, -10.0, 0.0] {
+            for smooth in [1.0, 2.0, 3.0] {
+                let nl = Nonlinearity::Rapp {
+                    p1db_dbm: p1,
+                    smoothness: smooth,
+                };
+                let g = gain_at_power(nl, 5.0, p1);
+                let g0 = gain_at_power(nl, 5.0, p1 - 50.0);
+                assert!(
+                    (g0 - g - 1.0).abs() < 0.02,
+                    "p1 {p1} smooth {smooth}: compression {}",
+                    g0 - g
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rapp_hard_saturation() {
+        let nl = Nonlinearity::rapp(-10.0);
+        let y1 = nl.apply(Complex::from_re(1.0), 1.0).abs();
+        let y2 = nl.apply(Complex::from_re(100.0), 1.0).abs();
+        // Deep saturation: 40 dB more input produces < 1 dB more output.
+        assert!(amp_to_db(y2 / y1) < 1.0);
+        // Saturated output should be near vsat: check it's finite and
+        // above the P1dB output level.
+        let p_out_sat = watts_to_dbm(y2 * y2 / 2.0);
+        assert!(p_out_sat > -11.0 && p_out_sat < 0.0, "sat {p_out_sat} dBm");
+    }
+
+    #[test]
+    fn rapp_preserves_phase() {
+        let nl = Nonlinearity::rapp(-10.0);
+        let u = Complex::from_polar(0.5, 1.23);
+        let y = nl.apply(u, 3.0);
+        assert!((y.arg() - 1.23).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,132 @@
+//! Local-oscillator phase noise: Wiener (random-walk) phase model, the
+//! standard behavioral model for a free-running VCO disciplined by a PLL
+//! with loop bandwidth well below the subcarrier spacing.
+
+use wlan_dsp::{Complex, Rng};
+
+/// Wiener phase-noise process.
+///
+/// The phase performs a random walk with per-sample variance
+/// `2π·linewidth/fs`, giving a Lorentzian phase-noise spectrum with the
+/// given 3 dB linewidth.
+#[derive(Debug, Clone)]
+pub struct PhaseNoise {
+    sigma: f64,
+    phase: f64,
+    rng: Rng,
+    enabled: bool,
+}
+
+impl PhaseNoise {
+    /// Creates a phase-noise source with `linewidth_hz` Lorentzian
+    /// linewidth at sample rate `sample_rate_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `linewidth_hz` is negative.
+    pub fn new(linewidth_hz: f64, sample_rate_hz: f64, rng: Rng) -> Self {
+        assert!(linewidth_hz >= 0.0, "linewidth must be non-negative");
+        PhaseNoise {
+            sigma: (2.0 * std::f64::consts::PI * linewidth_hz / sample_rate_hz).sqrt(),
+            phase: 0.0,
+            rng,
+            enabled: linewidth_hz > 0.0,
+        }
+    }
+
+    /// A disabled (zero phase noise) source.
+    pub fn off() -> Self {
+        PhaseNoise {
+            sigma: 0.0,
+            phase: 0.0,
+            rng: Rng::new(0),
+            enabled: false,
+        }
+    }
+
+    /// Enables or disables the noise process.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Applies the oscillator phase to one sample and advances the walk.
+    #[inline]
+    pub fn push(&mut self, x: Complex) -> Complex {
+        if !self.enabled {
+            return x;
+        }
+        let y = x * Complex::cis(self.phase);
+        self.phase += self.sigma * self.rng.gaussian();
+        y
+    }
+
+    /// Applies to a frame.
+    pub fn process(&mut self, x: &[Complex]) -> Vec<Complex> {
+        x.iter().map(|&v| self.push(v)).collect()
+    }
+
+    /// Current accumulated phase (radians).
+    pub fn phase(&self) -> f64 {
+        self.phase
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_identity() {
+        let mut pn = PhaseNoise::off();
+        let x = Complex::new(1.0, 2.0);
+        assert_eq!(pn.push(x), x);
+    }
+
+    #[test]
+    fn preserves_magnitude() {
+        let mut pn = PhaseNoise::new(1e3, 20e6, Rng::new(1));
+        for i in 0..1000 {
+            let x = Complex::from_polar(2.0, i as f64);
+            assert!((pn.push(x).abs() - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn phase_variance_grows_linearly() {
+        // Wiener process: Var[φ(n)] = n·σ².
+        let fs = 20e6;
+        let lw = 10e3;
+        let n = 2000usize;
+        let trials = 400;
+        let mut var = 0.0;
+        for t in 0..trials {
+            let mut pn = PhaseNoise::new(lw, fs, Rng::new(t as u64));
+            for _ in 0..n {
+                pn.push(Complex::ONE);
+            }
+            var += pn.phase() * pn.phase();
+        }
+        var /= trials as f64;
+        let expect = n as f64 * 2.0 * std::f64::consts::PI * lw / fs;
+        assert!(
+            (var / expect - 1.0).abs() < 0.15,
+            "var {var} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn linewidth_broadening_visible_in_spectrum() {
+        // A tone through heavy phase noise spreads energy out of its bin.
+        use wlan_dsp::goertzel::tone_power;
+        let fs = 1e6;
+        let f0 = 100e3;
+        let clean: Vec<Complex> = (0..65536)
+            .map(|n| Complex::cis(2.0 * std::f64::consts::PI * f0 * n as f64 / fs))
+            .collect();
+        let mut pn = PhaseNoise::new(2e3, fs, Rng::new(5));
+        let dirty = pn.process(&clean);
+        let p_clean = tone_power(&clean, f0, fs);
+        let p_dirty = tone_power(&dirty, f0, fs);
+        assert!(p_dirty < 0.7 * p_clean, "no broadening: {p_dirty} vs {p_clean}");
+    }
+}

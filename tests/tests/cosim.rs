@@ -1,0 +1,139 @@
+//! Mixed-signal co-simulation integration: netlist → analog solver →
+//! full link, and agreement with the baseband abstraction level.
+
+use wlan_ams::CosimReceiver;
+use wlan_phy::Rate;
+use wlan_rf::receiver::RfConfig;
+use wlan_sim::link::{FrontEnd, LinkConfig, LinkSimulation};
+
+fn link(front_end: FrontEnd, packets: usize, level: f64, seed: u64) -> wlan_sim::LinkReport {
+    LinkSimulation::new(LinkConfig {
+        rate: Rate::R24,
+        psdu_len: 100,
+        packets,
+        seed,
+        rx_level_dbm: level,
+        front_end,
+        ..LinkConfig::default()
+    })
+    .run()
+}
+
+#[test]
+fn cosim_link_decodes_cleanly() {
+    let report = link(
+        FrontEnd::RfCosim {
+            filter_edge_hz: 10e6,
+            analog_osr: 4,
+            noise_workaround: false,
+        },
+        2,
+        -50.0,
+        1,
+    );
+    assert_eq!(report.ber(), 0.0, "per {}", report.per());
+    assert!(report.evm_db.unwrap() < -20.0);
+}
+
+#[test]
+fn abstraction_levels_agree_at_high_snr() {
+    // Where noise is irrelevant, both abstraction levels must give the
+    // same verdict (error-free) and comparable EVM.
+    let mut rf = RfConfig::default();
+    rf.noise_enabled = false;
+    rf.mixer2.iq_gain_imbalance_db = 0.0;
+    rf.mixer2.iq_phase_imbalance_deg = 0.0;
+    rf.mixer1.lo_linewidth_hz = 0.0;
+    rf.mixer2.lo_linewidth_hz = 0.0;
+    rf.mixer2.flicker_corner_hz = None;
+    let bb = link(FrontEnd::RfBaseband(rf), 2, -45.0, 2);
+    let cs = link(
+        FrontEnd::RfCosim {
+            filter_edge_hz: 10e6,
+            analog_osr: 8,
+            noise_workaround: false,
+        },
+        2,
+        -45.0,
+        2,
+    );
+    assert_eq!(bb.ber(), 0.0);
+    assert_eq!(cs.ber(), 0.0);
+    let (e1, e2) = (bb.evm_db.unwrap(), cs.evm_db.unwrap());
+    assert!(
+        (e1 - e2).abs() < 8.0,
+        "abstraction levels disagree: baseband {e1} dB, cosim {e2} dB"
+    );
+}
+
+#[test]
+fn noise_workaround_restores_pessimism() {
+    // Near sensitivity, the noiseless co-sim is optimistic; the paper's
+    // workaround (noise injected in the discrete-time part) restores a
+    // realistic failure.
+    let optimistic = link(FrontEnd::default_cosim(), 3, -92.0, 3);
+    let realistic = link(
+        FrontEnd::RfCosim {
+            filter_edge_hz: 10e6,
+            analog_osr: 4,
+            noise_workaround: true,
+        },
+        3,
+        -92.0,
+        3,
+    );
+    assert!(
+        optimistic.ber() < realistic.ber() + 1e-12,
+        "optimistic {} vs realistic {}",
+        optimistic.ber(),
+        realistic.ber()
+    );
+    assert!(realistic.ber() > 0.01, "workaround noise too weak");
+}
+
+#[test]
+fn custom_netlist_round_trip() {
+    // Author a netlist variant, elaborate, and process samples.
+    let text = "\
+amp1 amp     rf  a   gain=20 p1db=-10
+hp1  hpf     a   b   fc=200k
+lp1  cheb_lp b   out order=4 ripple=1.0 edge=8M
+";
+    let mut rx = CosimReceiver::from_netlist(text, 80e6, 4, 4).expect("elaborates");
+    assert_eq!(rx.device_names(), vec!["amp1", "hp1", "lp1"]);
+    let x: Vec<wlan_dsp::Complex> = (0..4000)
+        .map(|n| wlan_dsp::Complex::from_polar(1e-3, 0.1 * n as f64))
+        .collect();
+    let y = rx.process(&x);
+    assert_eq!(y.len(), 1000);
+    assert!(y.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn analog_osr_does_not_change_the_answer() {
+    // Finer integration must refine, not change, the result: both OSRs
+    // decode the same packet with similar EVM.
+    let a = link(
+        FrontEnd::RfCosim {
+            filter_edge_hz: 10e6,
+            analog_osr: 2,
+            noise_workaround: false,
+        },
+        1,
+        -50.0,
+        4,
+    );
+    let b = link(
+        FrontEnd::RfCosim {
+            filter_edge_hz: 10e6,
+            analog_osr: 16,
+            noise_workaround: false,
+        },
+        1,
+        -50.0,
+        4,
+    );
+    assert_eq!(a.ber(), 0.0);
+    assert_eq!(b.ber(), 0.0);
+    assert!((a.evm_db.unwrap() - b.evm_db.unwrap()).abs() < 4.0);
+}

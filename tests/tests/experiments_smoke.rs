@@ -1,0 +1,74 @@
+//! Smoke runs of every paper experiment at quick effort: each must
+//! produce a well-formed table and its documented qualitative shape.
+
+use wlan_phy::Rate;
+use wlan_sim::experiments::*;
+
+#[test]
+fn table1_smoke() {
+    let t = table1::run();
+    assert_eq!(t.len(), 4);
+    assert!(!t.to_csv().is_empty());
+}
+
+#[test]
+fn fig4_smoke() {
+    let r = fig4::run(1);
+    assert!((r.adjacent_dbm - r.wanted_dbm - 16.0).abs() < 1.5);
+    assert!(r.table().len() > 10);
+}
+
+#[test]
+fn fig5_smoke() {
+    let r = fig5::run(Effort::quick(), 4, 2);
+    assert_eq!(r.points.len(), 4);
+    assert!(r.points.iter().all(|p| p.ber.is_finite() && p.ber <= 1.0));
+}
+
+#[test]
+fn fig6_smoke() {
+    let r = fig6::run(Effort::quick(), -45.0, -10.0, 3, 3);
+    assert_eq!(r.points.len(), 3);
+    // The adjacent series can never beat the alone series by much.
+    for p in &r.points {
+        assert!(p.ber_adjacent + 0.25 >= p.ber_alone, "{p:?}");
+    }
+}
+
+#[test]
+fn table2_smoke() {
+    let r = table2::run(&[1], 40, 4, 4);
+    assert!(r.rows[0].ratio() > 1.0);
+}
+
+#[test]
+fn ip3_smoke() {
+    let r = ip3::run(Effort::quick(), -35.0, -5.0, 3, 5);
+    assert_eq!(r.points.len(), 3);
+    assert!(r.points[0].ber >= r.points[2].ber);
+}
+
+#[test]
+fn nf_smoke() {
+    let r = noise_figure::run(Effort::quick(), -80.0, 2, 6);
+    assert_eq!(r.points.len(), 2);
+}
+
+#[test]
+fn evm_smoke() {
+    let r = evm::run(Rate::R24, &[20.0, 30.0], 100, 7);
+    assert_eq!(r.points.len(), 2);
+    assert!(r.points[0].evm_db > r.points[1].evm_db);
+}
+
+#[test]
+fn rf_char_smoke() {
+    let r = rf_char::run(8);
+    assert!(r.worst_error() < 1.0);
+}
+
+#[test]
+fn ber_snr_smoke() {
+    let r = ber_snr::run(Effort::quick(), &[10.0, 24.0], 9);
+    assert_eq!(r.points.len(), 16);
+}

@@ -1,0 +1,123 @@
+//! End-to-end link integration: every rate, through channel impairments
+//! and the RF front-end, decoded by the full blind receiver.
+
+use wlan_channel::awgn::Awgn;
+use wlan_dsp::{Complex, Rng};
+use wlan_phy::params::{ALL_RATES, SAMPLE_RATE};
+use wlan_phy::{Receiver, Transmitter};
+use wlan_sim::link::{FrontEnd, LinkConfig, LinkSimulation};
+
+#[test]
+fn all_rates_loop_through_awgn() {
+    let mut rng = Rng::new(100);
+    let rx = Receiver::new();
+    // Per-rate SNR margins (roughly 802.11a sensitivity deltas).
+    let snrs = [8.0, 10.0, 10.0, 13.0, 16.0, 19.0, 23.0, 25.0];
+    for (rate, snr) in ALL_RATES.into_iter().zip(snrs) {
+        let mut psdu = vec![0u8; 300];
+        rng.bytes(&mut psdu);
+        let burst = Transmitter::new(rate).transmit(&psdu);
+        let mut ch = Awgn::new(7 + rate.mbps() as u64);
+        let noisy = ch.add_noise_power(&burst.samples, 10f64.powf(-snr / 10.0));
+        let got = rx
+            .receive(&noisy)
+            .unwrap_or_else(|e| panic!("{rate} at {snr} dB: {e}"));
+        assert_eq!(got.psdu, psdu, "{rate} at {snr} dB");
+        assert_eq!(got.signal.rate, rate);
+    }
+}
+
+#[test]
+fn cfo_multipath_and_level_combined() {
+    // The harshest combination the blind receiver must handle: carrier
+    // offset near the 802.11a ±20 ppm limit (±232 kHz at 5.8 GHz),
+    // two-ray multipath inside the guard interval, 40 dB of level swing.
+    let mut rng = Rng::new(5);
+    let rx = Receiver::new();
+    let mut psdu = vec![0u8; 200];
+    rng.bytes(&mut psdu);
+    let burst = Transmitter::new(wlan_phy::Rate::R12).transmit(&psdu);
+
+    let cfo = 210e3;
+    let w = 2.0 * std::f64::consts::PI * cfo / SAMPLE_RATE;
+    let gain = 0.01; // −40 dB
+    let mut x = vec![Complex::ZERO; burst.samples.len() + 300];
+    for (n, &s) in burst.samples.iter().enumerate() {
+        let v = s * Complex::cis(w * (100 + n) as f64) * gain;
+        x[100 + n] += v;
+        x[100 + n + 6] += v * Complex::from_polar(0.35, 2.0);
+    }
+    let mut ch = Awgn::new(9);
+    let noisy = ch.add_noise_power(&x, (gain * gain) * 1e-2); // 20 dB SNR
+    let got = rx.receive(&noisy).expect("decodes under combined stress");
+    assert_eq!(got.psdu, psdu);
+    assert!((got.cfo_hz - cfo).abs() < 10e3, "cfo estimate {}", got.cfo_hz);
+}
+
+#[test]
+fn back_to_back_packets_both_found() {
+    // Two bursts separated by idle time: the receiver finds the first;
+    // after trimming, it finds the second.
+    let mut rng = Rng::new(6);
+    let rx = Receiver::new();
+    let mut p1 = vec![0u8; 80];
+    let mut p2 = vec![0u8; 120];
+    rng.bytes(&mut p1);
+    rng.bytes(&mut p2);
+    let b1 = Transmitter::new(wlan_phy::Rate::R24).transmit(&p1);
+    let b2 = Transmitter::new(wlan_phy::Rate::R6).transmit(&p2);
+    let mut x = Vec::new();
+    let noise = |rng: &mut Rng, n: usize| -> Vec<Complex> {
+        (0..n).map(|_| rng.complex_gaussian(1e-4)).collect()
+    };
+    x.extend(noise(&mut rng, 300));
+    x.extend_from_slice(&b1.samples);
+    x.extend(noise(&mut rng, 500));
+    let second_start = x.len();
+    x.extend_from_slice(&b2.samples);
+    x.extend(noise(&mut rng, 300));
+
+    let got1 = rx.receive(&x).expect("first packet");
+    assert_eq!(got1.psdu, p1);
+    let got2 = rx.receive(&x[second_start - 100..]).expect("second packet");
+    assert_eq!(got2.psdu, p2);
+}
+
+#[test]
+fn rf_front_end_sensitivity_at_spec_minimum() {
+    // The paper's §2.2 input range bottom: −88 dBm must still decode at
+    // 6 Mbit/s through the full RF chain.
+    let report = LinkSimulation::new(LinkConfig {
+        rate: wlan_phy::Rate::R6,
+        psdu_len: 100,
+        packets: 4,
+        seed: 77,
+        rx_level_dbm: -88.0,
+        front_end: FrontEnd::RfBaseband(wlan_rf::receiver::RfConfig::default()),
+        ..LinkConfig::default()
+    })
+    .run();
+    assert!(
+        report.ber() < 1e-2,
+        "sensitivity failed: BER {} PER {}",
+        report.ber(),
+        report.per()
+    );
+}
+
+#[test]
+fn rf_front_end_maximum_level() {
+    // Top of the input range: −23 dBm must not overload the default
+    // front end into failure.
+    let report = LinkSimulation::new(LinkConfig {
+        rate: wlan_phy::Rate::R24,
+        psdu_len: 100,
+        packets: 3,
+        seed: 78,
+        rx_level_dbm: -23.0,
+        front_end: FrontEnd::RfBaseband(wlan_rf::receiver::RfConfig::default()),
+        ..LinkConfig::default()
+    })
+    .run();
+    assert_eq!(report.ber(), 0.0, "overload at −23 dBm: {}", report.per());
+}

@@ -1,0 +1,111 @@
+//! Passband-representation integration: the 802.11a burst carried on a
+//! real IF carrier, demodulated back, and decoded — the "passband model"
+//! path of the paper's rflib, exercised end to end.
+
+use wlan_dsp::hilbert::Hilbert;
+use wlan_dsp::resample::{Downsampler, Upsampler};
+use wlan_dsp::Complex;
+use wlan_phy::{Rate, Receiver, Transmitter};
+use wlan_rf::passband::{from_passband, to_passband};
+
+/// Upsample ×16 (20 → 320 Msps), modulate onto an 80 MHz IF, demodulate
+/// with a quadrature LO, decimate back, decode.
+#[test]
+fn if_roundtrip_decodes() {
+    let psdu: Vec<u8> = (0..120).map(|i| (i * 7) as u8).collect();
+    let burst = Transmitter::new(Rate::R24).transmit(&psdu);
+
+    let osr = 16;
+    let fs = 20e6 * osr as f64;
+    let f_if = 80e6;
+
+    let mut up = Upsampler::new(osr, 32);
+    let mut padded = burst.samples.clone();
+    padded.extend(std::iter::repeat_n(Complex::ZERO, 64));
+    let hi = up.process(&padded);
+
+    let pb = to_passband(&hi, f_if, fs);
+    let env = from_passband(&pb, f_if, 12e6, fs);
+
+    let mut down = Downsampler::new(osr, 128);
+    let back = down.process(&env);
+
+    let got = Receiver::new().receive(&back).expect("decodes after IF roundtrip");
+    assert_eq!(got.psdu, psdu);
+    assert!(got.evm_db() < -25.0, "EVM {}", got.evm_db());
+}
+
+/// The same IF signal demodulated via the Hilbert (analytic-signal)
+/// route instead of a quadrature LO: analytic signal, then a complex
+/// downshift.
+#[test]
+fn hilbert_demodulation_route() {
+    let psdu: Vec<u8> = (0..80).map(|i| (i * 13) as u8).collect();
+    let burst = Transmitter::new(Rate::R12).transmit(&psdu);
+
+    let osr = 16;
+    let fs = 20e6 * osr as f64;
+    let f_if = 80e6;
+
+    let mut up = Upsampler::new(osr, 32);
+    let mut padded = burst.samples.clone();
+    padded.extend(std::iter::repeat_n(Complex::ZERO, 64));
+    let hi = up.process(&padded);
+    let pb = to_passband(&hi, f_if, fs);
+
+    // Analytic signal, then shift −f_if.
+    let mut hilbert = Hilbert::new(127);
+    let analytic = hilbert.process(&pb);
+    let w = -2.0 * std::f64::consts::PI * f_if / fs;
+    let env: Vec<Complex> = analytic
+        .iter()
+        .enumerate()
+        .map(|(n, &z)| z * Complex::cis(w * n as f64))
+        .collect();
+
+    let mut down = Downsampler::new(osr, 128);
+    let back = down.process(&env);
+
+    let got = Receiver::new()
+        .receive(&back)
+        .expect("decodes via the Hilbert route");
+    assert_eq!(got.psdu, psdu);
+}
+
+/// A real passband mixer stage (IF 80 → 20 MHz) inserted mid-chain:
+/// the image-reject consideration the double-conversion architecture is
+/// designed around, exercised with real multiplication.
+#[test]
+fn real_mixer_if_conversion_decodes() {
+    use wlan_rf::passband::RealMixer;
+
+    let psdu: Vec<u8> = (0..60).map(|i| (i * 29) as u8).collect();
+    let burst = Transmitter::new(Rate::R6).transmit(&psdu);
+
+    let osr = 16;
+    let fs = 20e6 * osr as f64;
+    let f_if1 = 80e6;
+    let f_lo = 60e6; // difference product at 20 MHz
+    let f_if2 = 20e6;
+
+    let mut up = Upsampler::new(osr, 32);
+    let mut padded = burst.samples.clone();
+    padded.extend(std::iter::repeat_n(Complex::ZERO, 64));
+    let hi = up.process(&padded);
+    let pb = to_passband(&hi, f_if1, fs);
+
+    // Real mixing creates the 20 MHz difference and 140 MHz sum; the
+    // quadrature demodulator at 20 MHz with a 12 MHz lowpass selects the
+    // difference product. Gain 2 compensates the cos·cos = ½ loss.
+    let mut mixer = RealMixer::new(f_lo, fs);
+    let mixed: Vec<f64> = mixer.process(&pb).iter().map(|v| 2.0 * v).collect();
+    let env = from_passband(&mixed, f_if2, 12e6, fs);
+
+    let mut down = Downsampler::new(osr, 128);
+    let back = down.process(&env);
+
+    let got = Receiver::new()
+        .receive(&back)
+        .expect("decodes after a real mixer stage");
+    assert_eq!(got.psdu, psdu);
+}

@@ -1,0 +1,102 @@
+//! Property-based cross-crate tests: randomized payloads, rates, seeds
+//! and impairment levels must never break the invariants the testbench
+//! depends on.
+
+use proptest::prelude::*;
+use wlan_channel::level::{power_dbm, set_power_dbm};
+use wlan_dsp::{Complex, Rng};
+use wlan_phy::params::ALL_RATES;
+use wlan_phy::{Receiver, Transmitter};
+
+fn rate_strategy() -> impl Strategy<Value = wlan_phy::Rate> {
+    (0usize..8).prop_map(|i| ALL_RATES[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any payload at any rate loops back bit-exactly over a clean
+    /// channel with blind synchronization.
+    #[test]
+    fn prop_clean_loopback(
+        rate in rate_strategy(),
+        len in 1usize..400,
+        seed in 0u64..10_000,
+        scr_seed in 1u8..0x80,
+    ) {
+        let mut rng = Rng::new(seed);
+        let mut psdu = vec![0u8; len];
+        rng.bytes(&mut psdu);
+        let burst = Transmitter::new(rate)
+            .with_scrambler_seed(scr_seed)
+            .transmit(&psdu);
+        let got = Receiver::new().receive(&burst.samples).expect("decodes");
+        prop_assert_eq!(got.psdu, psdu);
+        prop_assert_eq!(got.signal.rate, rate);
+        prop_assert_eq!(got.signal.length, len);
+    }
+
+    /// Burst length always matches the rate equations.
+    #[test]
+    fn prop_burst_length_formula(rate in rate_strategy(), len in 1usize..2000) {
+        let burst = Transmitter::new(rate).transmit(&vec![0xA5; len]);
+        let expect = 320 + 80 * (1 + rate.data_symbols(len));
+        prop_assert_eq!(burst.samples.len(), expect);
+        prop_assert!((burst.duration() - rate.ppdu_duration(len)).abs() < 1e-12);
+    }
+
+    /// A flat complex channel gain (any magnitude within 60 dB, any
+    /// phase) never breaks decoding.
+    #[test]
+    fn prop_flat_gain_invariance(
+        rate in rate_strategy(),
+        gain_db in -50.0..10.0f64,
+        phase in 0.0..std::f64::consts::TAU,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::new(seed);
+        let mut psdu = vec![0u8; 64];
+        rng.bytes(&mut psdu);
+        let burst = Transmitter::new(rate).transmit(&psdu);
+        let g = Complex::from_polar(10f64.powf(gain_db / 20.0), phase);
+        let x: Vec<Complex> = burst.samples.iter().map(|&s| s * g).collect();
+        let got = Receiver::new().receive(&x).expect("decodes");
+        prop_assert_eq!(got.psdu, psdu);
+    }
+
+    /// Power scaling is exact for any target level and signal.
+    #[test]
+    fn prop_level_setting(target in -100.0..10.0f64, seed in 0u64..1000, n in 16usize..512) {
+        let mut rng = Rng::new(seed);
+        let x: Vec<Complex> = (0..n).map(|_| rng.complex_gaussian(1.0)).collect();
+        let y = set_power_dbm(&x, target);
+        prop_assert!((power_dbm(&y) - target).abs() < 1e-9);
+    }
+
+    /// BER metering is symmetric and bounded.
+    #[test]
+    fn prop_ber_meter_bounds(seed in 0u64..1000, n in 1usize..200) {
+        let mut rng = Rng::new(seed);
+        let mut a = vec![0u8; n];
+        let mut b = vec![0u8; n];
+        rng.bytes(&mut a);
+        rng.bytes(&mut b);
+        let mut m1 = wlan_meas::BerMeter::new();
+        m1.update_bytes(&a, &b);
+        let mut m2 = wlan_meas::BerMeter::new();
+        m2.update_bytes(&b, &a);
+        prop_assert_eq!(m1.errors(), m2.errors());
+        prop_assert!(m1.ber() <= 1.0);
+        let (lo, hi) = m1.confidence_interval();
+        prop_assert!(lo <= m1.ber() + 1e-12 && m1.ber() <= hi + 1e-12);
+    }
+
+    /// Netlist values with engineering suffixes parse consistently.
+    #[test]
+    fn prop_netlist_value_roundtrip(mantissa in 0.001..999.0f64, suffix in 0usize..5) {
+        let (sfx, mult) = [("", 1.0), ("k", 1e3), ("M", 1e6), ("m", 1e-3), ("u", 1e-6)][suffix];
+        let text = format!("{mantissa}{sfx}");
+        let parsed = wlan_ams::netlist::parse_value(&text).expect("parses");
+        prop_assert!((parsed - mantissa * mult).abs() < 1e-9 * mantissa * mult.max(1.0));
+    }
+}

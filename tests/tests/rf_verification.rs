@@ -1,0 +1,142 @@
+//! The paper's design-flow integration: characterize RF models (meas ×
+//! rf), then verify the same models inside the system link (sim), and
+//! check the two views agree.
+
+use wlan_dsp::{Complex, Rng};
+use wlan_meas::compression::measure_p1db;
+use wlan_meas::twotone::measure_iip3;
+use wlan_rf::nonlinearity::{cubic_p1db_from_iip3, Nonlinearity};
+use wlan_rf::receiver::RfConfig;
+use wlan_rf::Amplifier;
+use wlan_sim::link::{FrontEnd, LinkConfig, LinkSimulation};
+
+#[test]
+fn characterized_p1db_predicts_link_failure_point() {
+    // Characterize an LNA's P1dB, then confirm the link breaks when the
+    // composite input level approaches it and survives well below it.
+    let p1_spec = -25.0;
+    let fs = 80e6;
+    let mut lna = Amplifier::new(15.0, 3.0, Nonlinearity::rapp(p1_spec), fs, Rng::new(1));
+    lna.set_noise_enabled(false);
+    let mut dev = |x: &[Complex]| lna.process(x);
+    let m = measure_p1db(&mut dev, 1e6, -55.0, -10.0, 1.0, fs, 4000);
+    let p1_measured = m.p1db_in_dbm.expect("compression found");
+    assert!((p1_measured - p1_spec).abs() < 0.5);
+
+    let ber_at = |rx_level: f64| {
+        let mut rf = RfConfig::default();
+        rf.lna_nonlinearity = Nonlinearity::rapp(p1_spec);
+        LinkSimulation::new(LinkConfig {
+            rate: wlan_phy::Rate::R54,
+            psdu_len: 80,
+            packets: 2,
+            seed: 11,
+            rx_level_dbm: rx_level,
+            front_end: FrontEnd::RfBaseband(rf),
+            ..LinkConfig::default()
+        })
+        .run()
+        .ber()
+    };
+    // 20 dB below P1dB: linear. ~12 dB above (OFDM PAPR bites): broken.
+    assert_eq!(ber_at(p1_measured - 20.0), 0.0);
+    assert!(ber_at(p1_measured + 12.0) > 0.05);
+}
+
+#[test]
+fn cubic_consistency_iip3_vs_p1db() {
+    // The two characterization harnesses must agree with the analytic
+    // 9.6 dB relation on the same cubic device.
+    let iip3 = -12.0;
+    let nl = Nonlinearity::Cubic { iip3_dbm: iip3 };
+    let mut dev = |x: &[Complex]| -> Vec<Complex> {
+        x.iter().map(|&u| nl.apply(u, 2.0)).collect()
+    };
+    let m3 = measure_iip3(&mut dev, 1e6, 1.31e6, iip3 - 30.0, 80e6, 40_000);
+    let mc = measure_p1db(&mut dev, 1e6, -50.0, -10.0, 0.5, 80e6, 4000);
+    let p1 = mc.p1db_in_dbm.expect("found");
+    assert!((m3.iip3_dbm - iip3).abs() < 0.3);
+    assert!((p1 - cubic_p1db_from_iip3(iip3)).abs() < 0.4);
+    assert!((m3.iip3_dbm - p1 - 9.64).abs() < 0.6);
+}
+
+#[test]
+fn front_end_preserves_ofdm_evm_budget() {
+    // The default front end at a comfortable level must keep the link's
+    // EVM within a 64-QAM-capable budget (< −25 dB).
+    let report = LinkSimulation::new(LinkConfig {
+        rate: wlan_phy::Rate::R54,
+        psdu_len: 120,
+        packets: 3,
+        seed: 21,
+        rx_level_dbm: -45.0,
+        front_end: FrontEnd::RfBaseband(RfConfig::default()),
+        ..LinkConfig::default()
+    })
+    .run();
+    assert_eq!(report.ber(), 0.0);
+    let evm = report.evm_db.expect("decoded");
+    assert!(evm < -22.0, "EVM {evm} dB too poor for 64-QAM");
+}
+
+#[test]
+fn iq_imbalance_dominates_evm_when_large() {
+    // Crank the IQ imbalance and watch the EVM floor move accordingly —
+    // the "verification of the RF design in the DSP environment" loop.
+    let evm_with = |gain_imb: f64, phase_imb: f64| {
+        let mut rf = RfConfig::default();
+        rf.noise_enabled = false;
+        rf.mixer2.iq_gain_imbalance_db = gain_imb;
+        rf.mixer2.iq_phase_imbalance_deg = phase_imb;
+        rf.mixer1.lo_linewidth_hz = 0.0;
+        rf.mixer2.lo_linewidth_hz = 0.0;
+        rf.mixer2.flicker_corner_hz = None;
+        LinkSimulation::new(LinkConfig {
+            rate: wlan_phy::Rate::R24,
+            psdu_len: 100,
+            packets: 2,
+            seed: 31,
+            rx_level_dbm: -50.0,
+            front_end: FrontEnd::RfBaseband(rf),
+            ..LinkConfig::default()
+        })
+        .run()
+        .evm_db
+        .expect("decoded")
+    };
+    let clean = evm_with(0.0, 0.0);
+    let dirty = evm_with(1.0, 5.0);
+    assert!(
+        dirty > clean + 6.0,
+        "IQ imbalance not visible: clean {clean}, dirty {dirty}"
+    );
+    // ~1 dB / 5° imbalance → IRR ≈ 21 dB → EVM floor ≈ −21 dB.
+    assert!(dirty > -25.0 && dirty < -14.0, "dirty EVM {dirty}");
+}
+
+#[test]
+fn receiver_spec_budget_is_consistent() {
+    // The Friis budget of the default chain stays under a 10 dB system
+    // noise figure (needed for −88 dBm sensitivity at 6 Mbit/s).
+    use wlan_rf::spec::{cascade_noise_figure_db, StageSpec};
+    let cfg = RfConfig::default();
+    let stages = [
+        StageSpec {
+            name: "lna",
+            gain_db: cfg.lna_gain_db,
+            nf_db: cfg.lna_nf_db,
+        },
+        StageSpec {
+            name: "mixer1",
+            gain_db: cfg.mixer1.gain_db,
+            nf_db: cfg.mixer1.nf_db,
+        },
+        StageSpec {
+            name: "mixer2",
+            gain_db: cfg.mixer2.gain_db,
+            nf_db: cfg.mixer2.nf_db,
+        },
+    ];
+    let nf = cascade_noise_figure_db(&stages);
+    assert!(nf < 10.0, "system NF {nf} dB");
+}
