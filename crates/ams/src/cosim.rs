@@ -104,7 +104,12 @@ impl CosimReceiver {
         analog_osr: usize,
         decimation: usize,
     ) -> Result<Self, NetlistError> {
-        Self::from_netlist(DEFAULT_RECEIVER_NETLIST, sample_rate_hz, analog_osr, decimation)
+        Self::from_netlist(
+            DEFAULT_RECEIVER_NETLIST,
+            sample_rate_hz,
+            analog_osr,
+            decimation,
+        )
     }
 
     /// Analog sub-steps executed so far (the cost driver behind the
@@ -191,8 +196,10 @@ mod tests {
         let fs = 80e6;
         let x = tone_dbm(3e6, fs, -45.0, 40_000);
 
-        let mut cfg = RfConfig::default();
-        cfg.noise_enabled = false;
+        let mut cfg = RfConfig {
+            noise_enabled: false,
+            ..RfConfig::default()
+        };
         cfg.mixer2.iq_gain_imbalance_db = 0.0;
         cfg.mixer2.iq_phase_imbalance_deg = 0.0;
         cfg.mixer1.lo_linewidth_hz = 0.0;
@@ -252,8 +259,10 @@ mod tests {
         use std::time::Instant;
         let fs = 80e6;
         let x = tone_dbm(1e6, fs, -50.0, 40_000);
-        let mut cfg = RfConfig::default();
-        cfg.noise_enabled = false;
+        let cfg = RfConfig {
+            noise_enabled: false,
+            ..RfConfig::default()
+        };
         let mut bb = DoubleConversionReceiver::new(cfg, 1);
         let t0 = Instant::now();
         let _ = bb.process(&x);

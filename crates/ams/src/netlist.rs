@@ -127,7 +127,10 @@ impl std::fmt::Display for NetlistError {
                 instance,
                 param,
                 line,
-            } => write!(f, "line {line}: instance '{instance}' missing parameter '{param}'"),
+            } => write!(
+                f,
+                "line {line}: instance '{instance}' missing parameter '{param}'"
+            ),
             NetlistError::UnknownModel { model, line } => {
                 write!(f, "line {line}: unknown device model '{model}'")
             }
@@ -366,9 +369,17 @@ lpf1  cheb_lp n3  out order=5 ripple=0.5 edge=10M
         assert!(n.set_param("ghost", "x", 1.0).is_err());
         // Text roundtrip preserves the values.
         let reparsed = Netlist::parse(&n.to_text()).expect("rendered text parses");
-        let lpf = reparsed.instances.iter().find(|i| i.name == "lpf1").unwrap();
+        let lpf = reparsed
+            .instances
+            .iter()
+            .find(|i| i.name == "lpf1")
+            .unwrap();
         assert_eq!(lpf.param("edge").unwrap(), 6.5e6);
-        let lna = reparsed.instances.iter().find(|i| i.name == "lna1").unwrap();
+        let lna = reparsed
+            .instances
+            .iter()
+            .find(|i| i.name == "lna1")
+            .unwrap();
         assert_eq!(lna.param("nf").unwrap(), 4.0);
     }
 

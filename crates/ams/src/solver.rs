@@ -105,10 +105,7 @@ impl StateSpaceSection {
                     let (a0, a1) = (self.alpha[0], self.alpha[1]);
                     // I − hA = [[1, −h],[h·a0, 1 + h·a1]]
                     let det = (1.0 + h * a1) + h * h * a0;
-                    let inv = [
-                        [(1.0 + h * a1) / det, h / det],
-                        [-h * a0 / det, 1.0 / det],
-                    ];
+                    let inv = [[(1.0 + h * a1) / det, h / det], [-h * a0 / det, 1.0 / det]];
                     // P = I + hA = [[1, h],[−h·a0, 1 − h·a1]]
                     let p = [[1.0, h], [-h * a0, 1.0 - h * a1]];
                     // m = inv · p
@@ -146,10 +143,7 @@ impl StateSpaceSection {
     #[inline]
     fn derivative(&self, x: [Complex; 2], u: Complex) -> [Complex; 2] {
         if self.order == 2 {
-            [
-                x[1],
-                u - x[0] * self.alpha[0] - x[1] * self.alpha[1],
-            ]
+            [x[1], u - x[0] * self.alpha[0] - x[1] * self.alpha[1]]
         } else {
             [u - x[0] * self.alpha[0], Complex::ZERO]
         }
@@ -171,8 +165,7 @@ impl StateSpaceSection {
         let x4 = [x[0] + k3[0] * dt, x[1] + k3[1] * dt];
         let k4 = self.derivative(x4, u);
         for i in 0..2 {
-            self.state[i] = x[i]
-                + (k1[i] + k2[i] * 2.0 + k3[i] * 2.0 + k4[i]) * (dt / 6.0);
+            self.state[i] = x[i] + (k1[i] + k2[i] * 2.0 + k3[i] * 2.0 + k4[i]) * (dt / 6.0);
         }
         self.output(u)
     }

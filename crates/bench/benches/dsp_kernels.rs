@@ -1,8 +1,8 @@
-//! Criterion benchmarks for the DSP kernels the simulation spends its
+//! Micro-benchmarks for the DSP kernels the simulation spends its
 //! time in: FFT, IIR filtering, resampling, Viterbi decoding.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use wlan_bench::harness::{Harness, Throughput};
 use wlan_dsp::design::{chebyshev1, FilterKind};
 use wlan_dsp::fft::Fft;
 use wlan_dsp::resample::Upsampler;
@@ -15,7 +15,7 @@ fn random_signal(n: usize, seed: u64) -> Vec<Complex> {
     (0..n).map(|_| rng.complex_gaussian(1.0)).collect()
 }
 
-fn bench_fft(c: &mut Criterion) {
+fn bench_fft(c: &mut Harness) {
     let mut g = c.benchmark_group("fft");
     for &n in &[64usize, 1024] {
         let fft = Fft::new(n);
@@ -32,7 +32,7 @@ fn bench_fft(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_iir(c: &mut Criterion) {
+fn bench_iir(c: &mut Harness) {
     let mut g = c.benchmark_group("iir");
     let x = random_signal(8192, 2);
     g.throughput(Throughput::Elements(x.len() as u64));
@@ -43,7 +43,7 @@ fn bench_iir(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_resample(c: &mut Criterion) {
+fn bench_resample(c: &mut Harness) {
     let mut g = c.benchmark_group("resample");
     let x = random_signal(4096, 3);
     g.throughput(Throughput::Elements(x.len() as u64));
@@ -54,7 +54,7 @@ fn bench_resample(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_viterbi(c: &mut Criterion) {
+fn bench_viterbi(c: &mut Harness) {
     let mut g = c.benchmark_group("viterbi");
     let mut rng = Rng::new(4);
     let mut msg = vec![0u8; 1000];
@@ -71,5 +71,10 @@ fn bench_viterbi(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fft, bench_iir, bench_resample, bench_viterbi);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_fft(&mut h);
+    bench_iir(&mut h);
+    bench_resample(&mut h);
+    bench_viterbi(&mut h);
+}

@@ -1,11 +1,11 @@
-//! Criterion benchmarks for the 802.11a transmitter and receiver chains.
+//! Micro-benchmarks for the 802.11a transmitter and receiver chains.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use wlan_bench::harness::{Harness, Throughput};
 use wlan_dsp::Rng;
 use wlan_phy::{Rate, Receiver, Transmitter};
 
-fn bench_transmitter(c: &mut Criterion) {
+fn bench_transmitter(c: &mut Harness) {
     let mut g = c.benchmark_group("transmitter");
     let mut rng = Rng::new(1);
     let mut psdu = vec![0u8; 500];
@@ -20,7 +20,7 @@ fn bench_transmitter(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_receiver(c: &mut Criterion) {
+fn bench_receiver(c: &mut Harness) {
     let mut g = c.benchmark_group("receiver");
     g.sample_size(20);
     let mut rng = Rng::new(2);
@@ -43,5 +43,8 @@ fn bench_receiver(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_transmitter, bench_receiver);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_transmitter(&mut h);
+    bench_receiver(&mut h);
+}

@@ -1,7 +1,7 @@
-//! Criterion benchmarks for the RF front-end models.
+//! Micro-benchmarks for the RF front-end models.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use wlan_bench::harness::{Harness, Throughput};
 use wlan_dsp::{Complex, Rng};
 use wlan_rf::receiver::{DoubleConversionReceiver, RfConfig};
 
@@ -11,7 +11,7 @@ fn scene(n: usize) -> Vec<Complex> {
     (0..n).map(|_| rng.complex_gaussian(a * a)).collect()
 }
 
-fn bench_frontend(c: &mut Criterion) {
+fn bench_frontend(c: &mut Harness) {
     let mut g = c.benchmark_group("rf_frontend");
     let x = scene(8192);
     g.throughput(Throughput::Elements(x.len() as u64));
@@ -19,8 +19,10 @@ fn bench_frontend(c: &mut Criterion) {
         let mut rx = DoubleConversionReceiver::new(RfConfig::default(), 7);
         b.iter(|| rx.process(black_box(&x)))
     });
-    let mut cfg = RfConfig::default();
-    cfg.noise_enabled = false;
+    let cfg = RfConfig {
+        noise_enabled: false,
+        ..RfConfig::default()
+    };
     g.bench_function("double_conversion_noiseless_8192", |b| {
         let mut rx = DoubleConversionReceiver::new(cfg, 7);
         b.iter(|| rx.process(black_box(&x)))
@@ -28,5 +30,7 @@ fn bench_frontend(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_frontend);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_frontend(&mut h);
+}

@@ -1,10 +1,10 @@
-//! The Table 2 experiment as a Criterion benchmark: one packet through
+//! The Table 2 experiment as a micro-benchmark: one packet through
 //! the link at each abstraction level. The ratio between the
 //! `rf_cosim` and `rf_baseband` times is the paper's headline 30–40×
 //! (exact value host-dependent).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use wlan_bench::harness::Harness;
 use wlan_phy::Rate;
 use wlan_rf::receiver::RfConfig;
 use wlan_sim::link::{FrontEnd, LinkConfig, LinkSimulation};
@@ -21,7 +21,7 @@ fn link(front_end: FrontEnd) -> LinkConfig {
     }
 }
 
-fn bench_levels(c: &mut Criterion) {
+fn bench_levels(c: &mut Harness) {
     let mut g = c.benchmark_group("table2_abstraction_levels");
     g.sample_size(10);
 
@@ -30,8 +30,10 @@ fn bench_levels(c: &mut Criterion) {
         b.iter(|| black_box(sim.run()))
     });
 
-    let mut cfg = RfConfig::default();
-    cfg.noise_enabled = false;
+    let cfg = RfConfig {
+        noise_enabled: false,
+        ..RfConfig::default()
+    };
     g.bench_function("rf_baseband", |b| {
         let sim = LinkSimulation::new(link(FrontEnd::RfBaseband(cfg)));
         b.iter(|| black_box(sim.run()))
@@ -49,5 +51,7 @@ fn bench_levels(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_levels);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_levels(&mut h);
+}

@@ -3,7 +3,11 @@ use wlan_sim::experiments::{ber_snr, Effort};
 fn main() {
     let effort = Effort::from_env();
     eprintln!("running ber_snr with {effort:?} ...");
-    let r = ber_snr::run(effort, &[2.0, 5.0, 8.0, 11.0, 14.0, 17.0, 20.0, 23.0, 26.0], 42);
+    let r = ber_snr::run(
+        effort,
+        &[2.0, 5.0, 8.0, 11.0, 14.0, 17.0, 20.0, 23.0, 26.0],
+        42,
+    );
     let t = r.table();
     println!("{t}");
     wlan_bench::save_csv(&t, "ber_snr");

@@ -9,7 +9,10 @@ fn main() {
     let t = r.table();
     println!("{t}");
     if let Some(tol) = r.tolerance_hz(1e-3) {
-        println!("tolerated offset: {:.0} kHz (spec needs 208 kHz)", tol / 1e3);
+        println!(
+            "tolerated offset: {:.0} kHz (spec needs 208 kHz)",
+            tol / 1e3
+        );
     }
     wlan_bench::save_csv(&t, "cfo_sweep");
 }

@@ -22,6 +22,9 @@ fn main() {
         front_end: FrontEnd::RfBaseband(wlan_rf::receiver::RfConfig::default()),
         ..LinkConfig::default()
     });
-    println!("through the RF front end at -70 dBm (EVM {:.1} dB):", rf.evm_db);
+    println!(
+        "through the RF front end at -70 dBm (EVM {:.1} dB):",
+        rf.evm_db
+    );
     println!("{}", rf.plot(41));
 }

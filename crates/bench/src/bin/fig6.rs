@@ -8,7 +8,10 @@ fn main() {
     let t = r.table();
     println!("{t}");
     if let (Some(a), Some(b)) = (r.knee_dbm(false, 0.01), r.knee_dbm(true, 0.01)) {
-        println!("knee without adjacent: {a:.0} dBm | with adjacent: {b:.0} dBm (shift {:.0} dB)", b - a);
+        println!(
+            "knee without adjacent: {a:.0} dBm | with adjacent: {b:.0} dBm (shift {:.0} dB)",
+            b - a
+        );
     }
     wlan_bench::save_csv(&t, "fig6");
 }

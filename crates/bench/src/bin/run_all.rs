@@ -44,7 +44,11 @@ fn main() {
     println!("{}", r.table());
     wlan_bench::save_csv(&r.table(), "rf_char");
 
-    let r = ber_snr::run(effort, &[2.0, 5.0, 8.0, 11.0, 14.0, 17.0, 20.0, 23.0, 26.0], 42);
+    let r = ber_snr::run(
+        effort,
+        &[2.0, 5.0, 8.0, 11.0, 14.0, 17.0, 20.0, 23.0, 26.0],
+        42,
+    );
     println!("{}", r.table());
     wlan_bench::save_csv(&r.table(), "ber_snr");
 

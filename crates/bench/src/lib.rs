@@ -18,9 +18,11 @@
 //!
 //! Effort is controlled by `WLANSIM_PACKETS` / `WLANSIM_PSDU`.
 //!
-//! Criterion benches (`cargo bench`):
+//! Micro-benchmarks (`cargo bench`, no external harness needed):
 //! `dsp_kernels`, `phy_chain`, `rf_frontend`,
-//! `table2_abstraction_levels`.
+//! `table2_abstraction_levels` — timed by the in-crate [`harness`].
+
+pub mod harness;
 
 /// Writes a table's CSV next to the current directory under `results/`.
 pub fn save_csv(table: &wlan_sim::Table, name: &str) {

@@ -49,8 +49,8 @@ impl JakesFader {
         for k in 0..n_sinusoids {
             // Arrival angles spread over a quadrant with random jitter
             // gives the Jakes U-shaped spectrum on average.
-            let alpha = (2.0 * std::f64::consts::PI * (k as f64 + rng.uniform()))
-                / n_sinusoids as f64;
+            let alpha =
+                (2.0 * std::f64::consts::PI * (k as f64 + rng.uniform())) / n_sinusoids as f64;
             omegas.push(wd * alpha.cos());
             phases_i.push(2.0 * std::f64::consts::PI * rng.uniform());
             phases_q.push(2.0 * std::f64::consts::PI * rng.uniform());
@@ -105,7 +105,10 @@ impl TimeVaryingChannel {
     ///
     /// Panics on non-positive `trms_s` or `sample_rate_hz`.
     pub fn new(trms_s: f64, fd_hz: f64, sample_rate_hz: f64, rng: &mut Rng) -> Self {
-        assert!(trms_s > 0.0 && sample_rate_hz > 0.0, "positive parameters required");
+        assert!(
+            trms_s > 0.0 && sample_rate_hz > 0.0,
+            "positive parameters required"
+        );
         let ts = 1.0 / sample_rate_hz;
         let n_taps = ((5.0 * trms_s / ts).ceil() as usize).max(1);
         let mut powers: Vec<f64> = (0..n_taps)

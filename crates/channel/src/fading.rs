@@ -39,7 +39,10 @@ impl MultipathChannel {
     ///
     /// Panics if `trms_s` or `sample_rate_hz` is not positive.
     pub fn rayleigh_exponential(trms_s: f64, sample_rate_hz: f64, rng: &mut Rng) -> Self {
-        assert!(trms_s > 0.0 && sample_rate_hz > 0.0, "positive parameters required");
+        assert!(
+            trms_s > 0.0 && sample_rate_hz > 0.0,
+            "positive parameters required"
+        );
         let ts = 1.0 / sample_rate_hz;
         let n_taps = ((5.0 * trms_s / ts).ceil() as usize).max(1);
         let mut powers: Vec<f64> = (0..n_taps)
@@ -49,10 +52,7 @@ impl MultipathChannel {
         for p in powers.iter_mut() {
             *p /= total;
         }
-        let taps = powers
-            .iter()
-            .map(|&p| rng.complex_gaussian(p))
-            .collect();
+        let taps = powers.iter().map(|&p| rng.complex_gaussian(p)).collect();
         MultipathChannel { taps }
     }
 

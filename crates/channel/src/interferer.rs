@@ -78,7 +78,13 @@ impl Scene {
     /// # Panics
     ///
     /// Panics if the offset exceeds the rendered Nyquist range.
-    pub fn add(mut self, samples: &[Complex], offset_hz: f64, power_dbm: f64, delay: usize) -> Self {
+    pub fn add(
+        mut self,
+        samples: &[Complex],
+        offset_hz: f64,
+        power_dbm: f64,
+        delay: usize,
+    ) -> Self {
         let fs = self.sample_rate();
         assert!(
             offset_hz.abs() < fs / 2.0,

@@ -62,9 +62,7 @@ mod tests {
     #[test]
     fn amplitude_one_tone_is_about_27_dbm() {
         // A = 1 → P = 0.5 W = 26.99 dBm.
-        let x: Vec<Complex> = (0..1024)
-            .map(|n| Complex::cis(0.3 * n as f64))
-            .collect();
+        let x: Vec<Complex> = (0..1024).map(|n| Complex::cis(0.3 * n as f64)).collect();
         assert!((power_dbm(&x) - 26.99).abs() < 0.05);
     }
 

@@ -36,7 +36,10 @@ impl BlockingResult {
     /// Renders both series.
     pub fn table(&self) -> Table {
         let mut t = Table::new(
-            format!("BER vs interferer level ({}): adjacent (+20 MHz) vs alternate (+40 MHz)", self.rate),
+            format!(
+                "BER vs interferer level ({}): adjacent (+20 MHz) vs alternate (+40 MHz)",
+                self.rate
+            ),
             &["rel [dB]", "BER adj", "BER alt", "adj", "alt"],
         );
         for p in &self.points {
@@ -57,7 +60,13 @@ impl BlockingResult {
         self.points
             .iter()
             .rev()
-            .find(|p| (if alternate { p.ber_alternate } else { p.ber_adjacent }) < threshold)
+            .find(|p| {
+                (if alternate {
+                    p.ber_alternate
+                } else {
+                    p.ber_adjacent
+                }) < threshold
+            })
             .map(|p| p.rel_db)
     }
 }
@@ -79,7 +88,14 @@ fn ber_with(offset_hz: f64, rel_db: f64, rate: Rate, effort: Effort, seed: u64) 
 }
 
 /// Runs the rejection sweep at −60 dBm wanted level.
-pub fn run(effort: Effort, rate: Rate, lo_db: f64, hi_db: f64, points: usize, seed: u64) -> BlockingResult {
+pub fn run(
+    effort: Effort,
+    rate: Rate,
+    lo_db: f64,
+    hi_db: f64,
+    points: usize,
+    seed: u64,
+) -> BlockingResult {
     let sweep = Sweep::linspace(lo_db, hi_db, points.max(2));
     let rows = sweep.run(|&rel| {
         let (adj, bits) = ber_with(20e6, rel, rate, effort, seed);
@@ -118,7 +134,10 @@ mod tests {
         );
         // The spec points themselves: +16 adjacent and +32 alternate OK.
         assert!(adj_tol >= 16.0, "adjacent rejection {adj_tol} < spec 16 dB");
-        assert!(alt_tol >= 32.0, "alternate rejection {alt_tol} < spec 32 dB");
+        assert!(
+            alt_tol >= 32.0,
+            "alternate rejection {alt_tol} < spec 32 dB"
+        );
     }
 
     #[test]

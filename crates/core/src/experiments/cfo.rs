@@ -153,7 +153,12 @@ mod tests {
         };
         let r = run(effort, Rate::R24, 200e3, 2, 22);
         for p in &r.points {
-            assert!(p.est_err_hz < 5e3, "CFO {} est err {}", p.cfo_hz, p.est_err_hz);
+            assert!(
+                p.est_err_hz < 5e3,
+                "CFO {} est err {}",
+                p.cfo_hz,
+                p.est_err_hz
+            );
         }
         assert!(r.table().render().contains("frequency offset"));
     }

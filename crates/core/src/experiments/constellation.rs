@@ -52,8 +52,9 @@ pub fn run(cfg: &LinkConfig) -> ConstellationResult {
             x.extend_from_slice(&burst.samples);
             x.extend(std::iter::repeat_n(Complex::ZERO, 200));
             match cfg.snr_db {
-                Some(snr) => Awgn::new(cfg.seed ^ 0xE0F)
-                    .add_noise_power(&x, 10f64.powf(-snr / 10.0)),
+                Some(snr) => {
+                    Awgn::new(cfg.seed ^ 0xE0F).add_noise_power(&x, 10f64.powf(-snr / 10.0))
+                }
                 None => x,
             }
         }

@@ -100,7 +100,10 @@ pub fn build(scene: Vec<Complex>, config: &RfConfig, seed: u64) -> ReceiverSchem
         }))
     };
 
-    let agc = Rc::new(RefCell::new(Agc::new(AgcMode::Ideal, config.agc_target_power)));
+    let agc = Rc::new(RefCell::new(Agc::new(
+        AgcMode::Ideal,
+        config.agc_target_power,
+    )));
     let agc_blk = {
         let a = Rc::clone(&agc);
         g.add(FnBlock::new("bb_amp_agc", move |x: &[Complex]| {
@@ -117,24 +120,31 @@ pub fn build(scene: Vec<Complex>, config: &RfConfig, seed: u64) -> ReceiverSchem
     let dec_blk = {
         let dc = Rc::clone(&dc);
         let phase = Rc::clone(&phase);
-        g.add(FnBlock::new("decimate", move |x: &[Complex]| {
-            let mut out = Vec::with_capacity(x.len() / osr + 1);
-            let mut ph = phase.borrow_mut();
-            let mut blk = dc.borrow_mut();
-            for &s in x {
-                if *ph == 0 {
-                    out.push(blk.push(s));
+        g.add(FnBlock::with_rates(
+            "decimate",
+            osr,
+            1,
+            move |x: &[Complex]| {
+                let mut out = Vec::with_capacity(x.len() / osr + 1);
+                let mut ph = phase.borrow_mut();
+                let mut blk = dc.borrow_mut();
+                for &s in x {
+                    if *ph == 0 {
+                        out.push(blk.push(s));
+                    }
+                    *ph = (*ph + 1) % osr;
                 }
-                *ph = (*ph + 1) % osr;
-            }
-            out
-        }))
+                out
+            },
+        ))
     };
 
     let output = Probe::new();
     let sink = g.add(output.block("baseband_out"));
 
-    let chain = [src, lna_blk, mix1_blk, hpf_blk, mix2_blk, lpf_blk, agc_blk, adc_blk, dec_blk, sink];
+    let chain = [
+        src, lna_blk, mix1_blk, hpf_blk, mix2_blk, lpf_blk, agc_blk, adc_blk, dec_blk, sink,
+    ];
     for w in chain.windows(2) {
         g.connect(w[0], 0, w[1], 0).expect("linear chain wires up");
     }
@@ -199,8 +209,10 @@ mod tests {
     #[test]
     fn schematic_output_decodes() {
         let (scene, psdu) = test_scene(2);
-        let mut cfg = RfConfig::default();
-        cfg.noise_enabled = false;
+        let cfg = RfConfig {
+            noise_enabled: false,
+            ..RfConfig::default()
+        };
         let (dot, out) = run(scene, &cfg, 7);
         assert!(dot.contains("mixer2_iq"));
         let got = Receiver::new().receive(&out).expect("decodes");
@@ -213,8 +225,10 @@ mod tests {
         // closely (the blocks are the same models in the same order; the
         // only difference is the per-frame AGC boundary).
         let (scene, _) = test_scene(3);
-        let mut cfg = RfConfig::default();
-        cfg.noise_enabled = false;
+        let cfg = RfConfig {
+            noise_enabled: false,
+            ..RfConfig::default()
+        };
         let (_, out_graph) = run(scene.clone(), &cfg, 7);
         let mut mono = wlan_rf::receiver::DoubleConversionReceiver::new(cfg, 7);
         let out_mono = mono.process(&scene);

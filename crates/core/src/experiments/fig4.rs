@@ -28,11 +28,7 @@ impl SpectrumResult {
             "Figure 4: OFDM signal and adjacent channel (PSD)",
             &["f [MHz]", "PSD [dBm/Hz]", "plot"],
         );
-        let max_db = self
-            .series
-            .iter()
-            .map(|(_, p)| *p)
-            .fold(f64::MIN, f64::max);
+        let max_db = self.series.iter().map(|(_, p)| *p).fold(f64::MIN, f64::max);
         let min_db = max_db - 60.0;
         // Aggregate into 2 MHz bins for display.
         let mut bin_f = -40e6;
@@ -99,7 +95,11 @@ mod tests {
     fn spectrum_shape_matches_paper() {
         let r = run(1);
         // Wanted channel integrates to ≈ −40 dBm, adjacent to ≈ −24 dBm.
-        assert!((r.wanted_dbm - (-40.0)).abs() < 1.0, "wanted {}", r.wanted_dbm);
+        assert!(
+            (r.wanted_dbm - (-40.0)).abs() < 1.0,
+            "wanted {}",
+            r.wanted_dbm
+        );
         assert!(
             (r.adjacent_dbm - (-24.0)).abs() < 1.0,
             "adjacent {}",
@@ -116,7 +116,10 @@ mod tests {
                 .filter(|(f, _)| (f - f0).abs() < 1e6)
                 .map(|(_, p)| *p)
                 .sum::<f64>()
-                / r.series.iter().filter(|(f, _)| (f - f0).abs() < 1e6).count() as f64
+                / r.series
+                    .iter()
+                    .filter(|(f, _)| (f - f0).abs() < 1e6)
+                    .count() as f64
         };
         let in_band = at(0.0);
         let gap = at(10.4e6);

@@ -64,8 +64,10 @@ impl Fig5Result {
 pub fn run(effort: Effort, points: usize, seed: u64) -> Fig5Result {
     let sweep = Sweep::linspace(3e6, 16e6, points.max(2));
     let rows = sweep.run(|&edge_hz| {
-        let mut rf = RfConfig::default();
-        rf.channel_filter_edge_hz = edge_hz;
+        let rf = RfConfig {
+            channel_filter_edge_hz: edge_hz,
+            ..RfConfig::default()
+        };
         let report = LinkSimulation::new(LinkConfig {
             rate: Rate::R24,
             psdu_len: effort.psdu_len,
@@ -103,13 +105,12 @@ mod tests {
         assert_eq!(r.points.len(), 5);
         let narrow = r.points.first().unwrap().ber;
         let wide = r.points.last().unwrap().ber;
-        let best = r
-            .points
-            .iter()
-            .map(|p| p.ber)
-            .fold(f64::MAX, f64::min);
+        let best = r.points.iter().map(|p| p.ber).fold(f64::MAX, f64::min);
         assert!(narrow > 0.05, "narrow filter should fail: {narrow}");
-        assert!(wide > 0.1, "wide filter should admit the adjacent channel: {wide}");
+        assert!(
+            wide > 0.1,
+            "wide filter should admit the adjacent channel: {wide}"
+        );
         assert!(best < 0.01, "some edge should work: {best}");
         // The best edge covers the signal band without admitting the
         // aliased adjacent channel.

@@ -64,15 +64,21 @@ impl Fig6Result {
         self.points
             .iter()
             .find(|p| {
-                (if adjacent { p.ber_adjacent } else { p.ber_alone }) < threshold
+                (if adjacent {
+                    p.ber_adjacent
+                } else {
+                    p.ber_alone
+                }) < threshold
             })
             .map(|p| p.p1db_dbm)
     }
 }
 
 fn ber_at(p1db: f64, adjacent: bool, effort: Effort, seed: u64) -> (f64, u64) {
-    let mut rf = RfConfig::default();
-    rf.lna_nonlinearity = Nonlinearity::rapp(p1db);
+    let rf = RfConfig {
+        lna_nonlinearity: Nonlinearity::rapp(p1db),
+        ..RfConfig::default()
+    };
     let report = LinkSimulation::new(LinkConfig {
         rate: Rate::R54,
         psdu_len: effort.psdu_len,
@@ -127,10 +133,7 @@ mod tests {
         // The knee with adjacent channel needs a higher compression point.
         let k_alone = r.knee_dbm(false, 0.01).expect("alone series recovers");
         let k_adj = r.knee_dbm(true, 0.01).expect("adjacent series recovers");
-        assert!(
-            k_adj >= k_alone,
-            "adjacent knee {k_adj} vs alone {k_alone}"
-        );
+        assert!(k_adj >= k_alone, "adjacent knee {k_adj} vs alone {k_alone}");
     }
 
     #[test]

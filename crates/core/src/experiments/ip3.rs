@@ -54,8 +54,10 @@ impl Ip3Result {
 pub fn run(effort: Effort, lo_dbm: f64, hi_dbm: f64, points: usize, seed: u64) -> Ip3Result {
     let sweep = Sweep::linspace(lo_dbm, hi_dbm, points.max(2));
     let rows = sweep.run(|&iip3| {
-        let mut rf = RfConfig::default();
-        rf.lna_nonlinearity = Nonlinearity::Cubic { iip3_dbm: iip3 };
+        let rf = RfConfig {
+            lna_nonlinearity: Nonlinearity::Cubic { iip3_dbm: iip3 },
+            ..RfConfig::default()
+        };
         let report = LinkSimulation::new(LinkConfig {
             rate: Rate::R36,
             psdu_len: effort.psdu_len,

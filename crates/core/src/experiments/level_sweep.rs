@@ -33,7 +33,10 @@ impl LevelSweepResult {
     /// Renders the sweep.
     pub fn table(&self) -> Table {
         let mut t = Table::new(
-            format!("BER vs input level ({}), spec range -88..-23 dBm", self.rate),
+            format!(
+                "BER vs input level ({}), spec range -88..-23 dBm",
+                self.rate
+            ),
             &["level [dBm]", "BER", "plot"],
         );
         for p in &self.points {
@@ -57,7 +60,14 @@ impl LevelSweepResult {
 }
 
 /// Runs the sweep from below sensitivity to above the specified maximum.
-pub fn run(effort: Effort, rate: Rate, lo_dbm: f64, hi_dbm: f64, points: usize, seed: u64) -> LevelSweepResult {
+pub fn run(
+    effort: Effort,
+    rate: Rate,
+    lo_dbm: f64,
+    hi_dbm: f64,
+    points: usize,
+    seed: u64,
+) -> LevelSweepResult {
     let sweep = Sweep::linspace(lo_dbm, hi_dbm, points.max(2));
     let rows = sweep.run(|&level| {
         let report = LinkSimulation::new(LinkConfig {

@@ -65,8 +65,10 @@ impl NfResult {
 pub fn run(effort: Effort, rx_level_dbm: f64, points: usize, seed: u64) -> NfResult {
     let sweep = Sweep::linspace(3.0, 27.0, points.max(2));
     let rows = sweep.run(|&nf| {
-        let mut rf = RfConfig::default();
-        rf.lna_nf_db = nf;
+        let rf = RfConfig {
+            lna_nf_db: nf,
+            ..RfConfig::default()
+        };
         let base = LinkSimulation::new(LinkConfig {
             rate: Rate::R12,
             psdu_len: effort.psdu_len,

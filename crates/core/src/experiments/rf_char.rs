@@ -75,7 +75,13 @@ pub fn run(seed: u64) -> RfCharResult {
     let lna_gain = 15.0;
     let lna_p1 = -5.0;
     {
-        let mut lna = Amplifier::new(lna_gain, 3.0, Nonlinearity::rapp(lna_p1), fs, Rng::new(seed));
+        let mut lna = Amplifier::new(
+            lna_gain,
+            3.0,
+            Nonlinearity::rapp(lna_p1),
+            fs,
+            Rng::new(seed),
+        );
         lna.set_noise_enabled(false);
         let mut dev = |x: &[Complex]| lna.process(x);
         let m = measure_p1db(&mut dev, 1e6, -45.0, 5.0, 1.0, fs, 4000);

@@ -7,7 +7,12 @@ use wlan_phy::params::WLAN_STANDARDS;
 pub fn run() -> Table {
     let mut t = Table::new(
         "Table 1: IEEE WLAN standards",
-        &["Standard", "Approval", "Freq. band [GHz]", "Data rates [Mbps]"],
+        &[
+            "Standard",
+            "Approval",
+            "Freq. band [GHz]",
+            "Data rates [Mbps]",
+        ],
     );
     for s in WLAN_STANDARDS {
         let rates = s

@@ -84,8 +84,10 @@ pub fn run(packet_counts: &[usize], psdu_len: usize, analog_osr: usize, seed: u6
     let rows = packet_counts
         .iter()
         .map(|&packets| {
-            let mut cfg = RfConfig::default();
-            cfg.noise_enabled = false; // match the noiseless co-sim
+            let cfg = RfConfig {
+                noise_enabled: false, // match the noiseless co-sim
+                ..RfConfig::default()
+            };
             let baseband = run_mode(FrontEnd::RfBaseband(cfg), packets, psdu_len, seed);
             let cosim = run_mode(
                 FrontEnd::RfCosim {

@@ -223,14 +223,19 @@ mod tests {
     fn broken_design_fails_the_right_step() {
         // An LNA that saturates far below the operating level: the
         // system steps fail while the DSP spec step still passes.
-        let mut rf = RfConfig::default();
-        rf.lna_nonlinearity = Nonlinearity::rapp(-70.0);
+        let rf = RfConfig {
+            lna_nonlinearity: Nonlinearity::rapp(-70.0),
+            ..RfConfig::default()
+        };
         let mut criteria = quick_criteria();
         criteria.rate = Rate::R54;
         criteria.rx_level_dbm = -40.0;
         let report = DesignFlow::new(rf, criteria, 4).run();
         assert!(report.steps[0].passed, "spec step must not involve RF");
-        assert!(!report.steps[2].passed, "system step should catch the bad LNA");
+        assert!(
+            !report.steps[2].passed,
+            "system step should catch the bad LNA"
+        );
         assert!(!report.passed());
     }
 }

@@ -296,12 +296,8 @@ impl LinkSimulation {
         // the end of the processed buffer.
         let mut padded = wanted.to_vec();
         padded.extend(std::iter::repeat_n(Complex::ZERO, 160));
-        let mut scene = Scene::new(SAMPLE_RATE, cfg.osr).add(
-            &padded,
-            0.0,
-            cfg.rx_level_dbm,
-            64 * cfg.osr,
-        );
+        let mut scene =
+            Scene::new(SAMPLE_RATE, cfg.osr).add(&padded, 0.0, cfg.rx_level_dbm, 64 * cfg.osr);
         if let Some(adj) = cfg.adjacent {
             let mut adj_psdu = vec![0u8; cfg.psdu_len];
             rng.bytes(&mut adj_psdu);
@@ -406,7 +402,13 @@ mod tests {
             front_end: FrontEnd::RfBaseband(RfConfig::default()),
             ..LinkConfig::default()
         });
-        assert_eq!(r.ber(), 0.0, "per {} decoded {}", r.per(), r.decoded_packets);
+        assert_eq!(
+            r.ber(),
+            0.0,
+            "per {} decoded {}",
+            r.per(),
+            r.decoded_packets
+        );
     }
 
     #[test]
@@ -430,13 +432,19 @@ mod tests {
             front_end: FrontEnd::RfBaseband(RfConfig::default()),
             ..LinkConfig::default()
         });
-        assert!(r.ber() < 0.02, "adjacent channel broke the link: {}", r.ber());
+        assert!(
+            r.ber() < 0.02,
+            "adjacent channel broke the link: {}",
+            r.ber()
+        );
     }
 
     #[test]
     fn narrow_filter_with_adjacent_fails() {
-        let mut rf = RfConfig::default();
-        rf.channel_filter_edge_hz = 3e6; // destroys the signal band
+        let rf = RfConfig {
+            channel_filter_edge_hz: 3e6, // destroys the signal band
+            ..RfConfig::default()
+        };
         let r = quick(LinkConfig {
             packets: 2,
             rx_level_dbm: -50.0,

@@ -1,0 +1,69 @@
+//! The registry of lintable simulation inputs.
+//!
+//! `wlan-lint` (and CI) walk this list to statically verify every
+//! built-in experiment graph and AMS netlist before any simulation is
+//! run. When an experiment gains a new schematic or netlist, register
+//! it here so the lint covers it.
+
+use crate::experiments::fig3;
+use wlan_ams::elaborate::DEFAULT_RECEIVER_NETLIST;
+use wlan_dataflow::graph::Graph;
+use wlan_dsp::Complex;
+use wlan_rf::receiver::RfConfig;
+
+/// A named AMS netlist plus its chain boundary nodes.
+#[derive(Debug, Clone)]
+pub struct NetlistTarget {
+    /// Registry name (shown in lint reports).
+    pub name: &'static str,
+    /// The netlist source text.
+    pub text: String,
+    /// The stimulus node.
+    pub input: &'static str,
+    /// The observation node.
+    pub output: &'static str,
+}
+
+/// Every built-in dataflow schematic, freshly constructed with default
+/// parameters and a silent scene (the structure is what the lint
+/// checks; sample values are irrelevant).
+pub fn graphs() -> Vec<(&'static str, Graph)> {
+    let config = RfConfig::default();
+    let scene = vec![Complex::ZERO; 4096];
+    let fig3 = fig3::build(scene, &config, 1);
+    vec![("experiments::fig3::receiver_schematic", fig3.graph)]
+}
+
+/// Every built-in AMS netlist.
+pub fn netlists() -> Vec<NetlistTarget> {
+    vec![NetlistTarget {
+        name: "ams::default_receiver_netlist",
+        text: DEFAULT_RECEIVER_NETLIST.to_string(),
+        input: "rf",
+        output: "out",
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_nonempty_and_buildable() {
+        let gs = graphs();
+        assert!(!gs.is_empty());
+        for (name, g) in &gs {
+            assert!(!name.is_empty());
+            assert!(g.schedule().is_ok(), "{name} must schedule");
+        }
+        let ns = netlists();
+        assert!(!ns.is_empty());
+        for n in &ns {
+            assert!(
+                wlan_ams::netlist::Netlist::parse(&n.text).is_ok(),
+                "{} must parse",
+                n.name
+            );
+        }
+    }
+}

@@ -18,7 +18,7 @@ impl Table {
         Table {
             title: title.into(),
             headers: headers.iter().map(|s| s.to_string()).collect(),
-        rows: Vec::new(),
+            rows: Vec::new(),
         }
     }
 
@@ -132,9 +132,11 @@ pub fn format_ber(ber: f64, bits: u64) -> String {
 pub fn scatter(points: &[wlan_dsp::Complex], extent: f64, size: usize) -> String {
     let mut grid = vec![vec![' '; size]; size];
     // Axes.
-    for i in 0..size {
-        grid[size / 2][i] = '-';
-        grid[i][size / 2] = '|';
+    for row in grid.iter_mut() {
+        row[size / 2] = '|';
+    }
+    for cell in grid[size / 2].iter_mut() {
+        *cell = '-';
     }
     grid[size / 2][size / 2] = '+';
     for p in points {

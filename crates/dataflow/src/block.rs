@@ -5,6 +5,37 @@ use wlan_dsp::Complex;
 /// A frame of complex baseband samples flowing along one edge.
 pub type Frame = Vec<Complex>;
 
+/// Static synchronous-dataflow rate signature: samples consumed per
+/// input port and produced per output port on each firing.
+///
+/// The SDF analysis ([`crate::sdf`]) assembles these signatures into the
+/// topology matrix, solves the balance equations for the repetition
+/// vector, proves deadlock freedom and derives static per-edge buffer
+/// bounds — all before a single sample is produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rates {
+    /// Samples consumed per firing, one entry per input port.
+    pub consume: Vec<usize>,
+    /// Samples produced per firing, one entry per output port.
+    pub produce: Vec<usize>,
+}
+
+impl Rates {
+    /// A homogeneous signature: one sample per port per firing — the
+    /// correct default for sample-by-sample blocks.
+    pub fn unit(inputs: usize, outputs: usize) -> Self {
+        Rates {
+            consume: vec![1; inputs],
+            produce: vec![1; outputs],
+        }
+    }
+
+    /// An explicit signature.
+    pub fn new(consume: Vec<usize>, produce: Vec<usize>) -> Self {
+        Rates { consume, produce }
+    }
+}
+
 /// A dataflow block.
 ///
 /// Each scheduler tick, a block consumes exactly one frame per input
@@ -30,4 +61,24 @@ pub trait Block {
 
     /// Resets internal state (filters, counters) for a fresh run.
     fn reset(&mut self) {}
+
+    /// Static per-port rate signature used by the SDF analysis.
+    ///
+    /// The default is homogeneous (one sample in, one sample out per
+    /// firing). Rate-changing blocks (sources, decimators) override
+    /// this; the lengths must match [`Block::inputs`] /
+    /// [`Block::outputs`].
+    fn rates(&self) -> Rates {
+        Rates::unit(self.inputs(), self.outputs())
+    }
+
+    /// Samples available on each of this block's output edges *before*
+    /// its first firing (the initial tokens of SDF delay elements).
+    ///
+    /// Non-zero only for delay-like blocks; a feedback loop is
+    /// deadlock-free exactly when every cycle carries enough initial
+    /// tokens to fire some block on it.
+    fn initial_tokens(&self) -> usize {
+        0
+    }
 }

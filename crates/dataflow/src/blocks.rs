@@ -1,7 +1,7 @@
 //! Stock dataflow blocks: sources, sinks, function adapters and simple
 //! arithmetic.
 
-use crate::block::{Block, Frame};
+use crate::block::{Block, Frame, Rates};
 use wlan_dsp::Complex;
 
 /// Source that plays out a prepared sample vector in fixed-size frames,
@@ -51,23 +51,40 @@ impl Block for SourceBlock {
     fn reset(&mut self) {
         self.pos = 0;
     }
+    fn rates(&self) -> Rates {
+        Rates::new(vec![], vec![self.frame_len])
+    }
 }
 
 /// One-input one-output adapter around a closure.
 pub struct FnBlock<F> {
     name: String,
     f: F,
+    rates: Rates,
 }
 
 impl<F> FnBlock<F>
 where
     F: FnMut(&[Complex]) -> Vec<Complex>,
 {
-    /// Wraps `f` as a block.
+    /// Wraps `f` as a block with a homogeneous (1:1) rate signature.
     pub fn new(name: impl Into<String>, f: F) -> Self {
         FnBlock {
             name: name.into(),
             f,
+            rates: Rates::unit(1, 1),
+        }
+    }
+
+    /// Wraps a rate-changing `f`, declaring that each firing consumes
+    /// `consume` samples and produces `produce` samples (e.g. a
+    /// decimate-by-4 closure is `with_rates(…, 4, 1, f)`), so the SDF
+    /// analysis sees the true rate change.
+    pub fn with_rates(name: impl Into<String>, consume: usize, produce: usize, f: F) -> Self {
+        FnBlock {
+            name: name.into(),
+            f,
+            rates: Rates::new(vec![consume], vec![produce]),
         }
     }
 }
@@ -87,6 +104,9 @@ where
     }
     fn process(&mut self, inputs: &[&[Complex]]) -> Vec<Frame> {
         vec![(self.f)(inputs[0])]
+    }
+    fn rates(&self) -> Rates {
+        self.rates.clone()
     }
 }
 
@@ -324,7 +344,11 @@ impl Block for DelayBlock {
     }
     fn reset(&mut self) {
         self.line.clear();
-        self.line.extend(std::iter::repeat_n(Complex::ZERO, self.delay));
+        self.line
+            .extend(std::iter::repeat_n(Complex::ZERO, self.delay));
+    }
+    fn initial_tokens(&self) -> usize {
+        self.delay
     }
 }
 
@@ -376,6 +400,9 @@ impl Block for DecimateBlock {
     fn reset(&mut self) {
         self.phase = 0;
     }
+    fn rates(&self) -> Rates {
+        Rates::new(vec![self.factor], vec![1])
+    }
 }
 
 /// Shifts the spectrum by a fixed frequency (persistent oscillator
@@ -421,7 +448,12 @@ mod extra_block_tests {
     #[test]
     fn delay_block_shifts_stream() {
         let mut d = DelayBlock::new("z3", 3);
-        let x = [Complex::ONE, Complex::from_re(2.0), Complex::from_re(3.0), Complex::from_re(4.0)];
+        let x = [
+            Complex::ONE,
+            Complex::from_re(2.0),
+            Complex::from_re(3.0),
+            Complex::from_re(4.0),
+        ];
         let y = d.process(&[&x]);
         assert_eq!(y[0][0], Complex::ZERO);
         assert_eq!(y[0][3], Complex::ONE);

@@ -30,8 +30,13 @@ pub enum GraphError {
         /// The input port.
         port: usize,
     },
-    /// The graph contains a cycle (no delays are modeled).
-    Cycle,
+    /// The graph contains a cycle (the static schedule is acyclic; a
+    /// feedback path cannot be ordered).
+    Cycle {
+        /// Names of the blocks on one offending cycle, in edge order
+        /// (the first name is repeated conceptually after the last).
+        nodes: Vec<String>,
+    },
     /// A node id belongs to a different graph.
     UnknownNode,
 }
@@ -48,7 +53,16 @@ impl std::fmt::Display for GraphError {
             GraphError::UnconnectedInput { node, port } => {
                 write!(f, "input {port} of block '{node}' has no driver")
             }
-            GraphError::Cycle => write!(f, "dataflow graph contains a cycle"),
+            GraphError::Cycle { nodes } => {
+                write!(f, "dataflow graph contains a cycle: ")?;
+                for n in nodes {
+                    write!(f, "{n} → ")?;
+                }
+                match nodes.first() {
+                    Some(first) => write!(f, "{first}"),
+                    None => write!(f, "(unlocatable)"),
+                }
+            }
             GraphError::UnknownNode => write!(f, "node id from a different graph"),
         }
     }
@@ -74,7 +88,10 @@ pub struct Graph {
 impl std::fmt::Debug for Graph {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Graph")
-            .field("nodes", &self.nodes.iter().map(|n| n.name()).collect::<Vec<_>>())
+            .field(
+                "nodes",
+                &self.nodes.iter().map(|n| n.name()).collect::<Vec<_>>(),
+            )
             .field("edges", &self.edges)
             .finish()
     }
@@ -193,9 +210,45 @@ impl Graph {
             }
         }
         if order.len() != n {
-            return Err(GraphError::Cycle);
+            return Err(GraphError::Cycle {
+                nodes: self.find_cycle(&indeg),
+            });
         }
         Ok(order)
+    }
+
+    /// Extracts the node names of one concrete cycle among the nodes
+    /// Kahn's algorithm could not order (`indeg[i] > 0`).
+    fn find_cycle(&self, indeg: &[usize]) -> Vec<String> {
+        let start = match (0..self.nodes.len()).find(|&i| indeg[i] > 0) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        // Walk backward: every unordered node keeps at least one
+        // unordered predecessor (otherwise its in-degree would have
+        // reached zero), so the walk must revisit a node — that revisit
+        // closes the cycle.
+        let mut path: Vec<usize> = vec![start];
+        loop {
+            let cur = *path.last().expect("path starts non-empty");
+            let prev = self
+                .edges
+                .iter()
+                .find(|e| e.dst == cur && indeg[e.src] > 0)
+                .map(|e| e.src)
+                .expect("every unordered node keeps an unordered predecessor");
+            if let Some(pos) = path.iter().position(|&i| i == prev) {
+                let mut cycle: Vec<String> = path[pos..]
+                    .iter()
+                    .map(|&i| self.nodes[i].name().to_string())
+                    .collect();
+                // The backward walk recorded the cycle against edge
+                // direction; flip it for src → dst display order.
+                cycle.reverse();
+                return cycle;
+            }
+            path.push(prev);
+        }
     }
 
     /// Resets every block's state.
@@ -208,6 +261,20 @@ impl Graph {
     /// The node names in insertion order.
     pub fn node_names(&self) -> Vec<&str> {
         self.nodes.iter().map(|n| n.name()).collect()
+    }
+
+    /// The blocks in insertion order (read-only, for static analysis).
+    pub fn blocks(&self) -> impl Iterator<Item = &dyn Block> {
+        self.nodes.iter().map(|n| n.as_ref())
+    }
+
+    /// The edges as `(src, src_port, dst, dst_port)` index tuples, in
+    /// connection order (for static analysis and diagnostics).
+    pub fn edge_refs(&self) -> Vec<(usize, usize, usize, usize)> {
+        self.edges
+            .iter()
+            .map(|e| (e.src, e.src_port, e.dst, e.dst_port))
+            .collect()
     }
 }
 
@@ -268,13 +335,46 @@ mod tests {
     }
 
     #[test]
-    fn cycle_detected() {
+    fn cycle_detected_with_node_names() {
         let mut g = Graph::new();
         let a = g.add(FnBlock::new("a", |x: &[Complex]| x.to_vec()));
         let b = g.add(FnBlock::new("b", |x: &[Complex]| x.to_vec()));
         g.connect(a, 0, b, 0).unwrap();
         g.connect(b, 0, a, 0).unwrap();
-        assert_eq!(g.schedule(), Err(GraphError::Cycle));
+        let err = g.schedule().unwrap_err();
+        match &err {
+            GraphError::Cycle { nodes } => {
+                let mut sorted = nodes.clone();
+                sorted.sort();
+                assert_eq!(sorted, vec!["a", "b"]);
+            }
+            other => panic!("expected Cycle, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("a") && msg.contains("b"), "message: {msg}");
+    }
+
+    #[test]
+    fn cycle_report_names_only_cycle_members() {
+        // src → x → y → z → x, with a straight prefix: the reported
+        // cycle must exclude the acyclic prefix.
+        let mut g = Graph::new();
+        let src = g.add(SourceBlock::new("src", vec![Complex::ONE; 4], 2));
+        let x = g.add(FnBlock::new("x", |v: &[Complex]| v.to_vec()));
+        let y = g.add(crate::blocks::AddBlock::new("y"));
+        let z = g.add(FnBlock::new("z", |v: &[Complex]| v.to_vec()));
+        g.connect(src, 0, y, 0).unwrap();
+        g.connect(x, 0, y, 1).unwrap();
+        g.connect(y, 0, z, 0).unwrap();
+        g.connect(z, 0, x, 0).unwrap();
+        match g.schedule().unwrap_err() {
+            GraphError::Cycle { nodes } => {
+                let mut sorted = nodes.clone();
+                sorted.sort();
+                assert_eq!(sorted, vec!["x", "y", "z"]);
+            }
+            other => panic!("expected Cycle, got {other:?}"),
+        }
     }
 
     #[test]

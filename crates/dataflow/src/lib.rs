@@ -43,6 +43,7 @@ pub mod block;
 pub mod blocks;
 pub mod graph;
 pub mod probe;
+pub mod sdf;
 pub mod sim;
 pub mod sweep;
 

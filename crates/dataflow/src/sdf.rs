@@ -1,0 +1,568 @@
+//! Static synchronous-dataflow analysis: balance equations, repetition
+//! vector, deadlock freedom and per-edge buffer bounds.
+//!
+//! SPW-style synchronous dataflow admits compile-time verification (Lee
+//! & Messerschmitt, 1987): from per-port rate signatures alone one can
+//! decide — before producing a single sample — whether a graph can run
+//! forever in bounded memory. This module implements that shift-left
+//! check for [`Graph`]:
+//!
+//! 1. **Topology matrix / balance equations.** Each edge `u.p → v.q`
+//!    contributes the equation `r(u)·produce(u, p) = r(v)·consume(v, q)`.
+//!    The smallest positive integer solution `r` is the *repetition
+//!    vector*; if none exists the graph is **rate-inconsistent** and
+//!    would accumulate (or starve) samples without bound.
+//! 2. **Deadlock freedom.** A symbolic token simulation fires blocks
+//!    until every block has completed its repetitions; if it stalls, the
+//!    graph deadlocks (e.g. a zero-delay feedback loop).
+//! 3. **Buffer bounds.** The maximum tokens observed per edge during the
+//!    symbolic schedule is a static bound the runtime uses to
+//!    preallocate frame storage ([`crate::sim`]).
+
+use crate::block::Rates;
+use crate::graph::Graph;
+
+/// Static-analysis failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SdfError {
+    /// A block's [`Rates`] signature does not match its port counts.
+    BadSignature {
+        /// Offending block name.
+        node: String,
+        /// What is inconsistent.
+        detail: String,
+    },
+    /// A rate signature declares zero samples on a connected port.
+    ZeroRate {
+        /// Offending block name.
+        node: String,
+        /// Port index.
+        port: usize,
+        /// `true` for an input port, `false` for an output port.
+        input: bool,
+    },
+    /// The balance equations have no positive solution: the two named
+    /// ports exchange samples at irreconcilable rates.
+    RateMismatch {
+        /// Producing block name.
+        src: String,
+        /// Producing port.
+        src_port: usize,
+        /// Consuming block name.
+        dst: String,
+        /// Consuming port.
+        dst_port: usize,
+        /// Human-readable imbalance description.
+        detail: String,
+    },
+    /// The graph cannot complete one schedule iteration: every listed
+    /// block still has firings pending but lacks input tokens (e.g. a
+    /// zero-delay feedback loop).
+    Deadlock {
+        /// Names of the blocked blocks.
+        blocked: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for SdfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SdfError::BadSignature { node, detail } => {
+                write!(f, "block '{node}' has an invalid rate signature: {detail}")
+            }
+            SdfError::ZeroRate { node, port, input } => {
+                let dir = if *input { "input" } else { "output" };
+                write!(
+                    f,
+                    "block '{node}' declares a zero rate on {dir} port {port}"
+                )
+            }
+            SdfError::RateMismatch {
+                src,
+                src_port,
+                dst,
+                dst_port,
+                detail,
+            } => write!(
+                f,
+                "rate-inconsistent edge '{src}'.{src_port} → '{dst}'.{dst_port}: {detail}"
+            ),
+            SdfError::Deadlock { blocked } => {
+                write!(f, "dataflow graph deadlocks; blocked blocks: ")?;
+                for (i, b) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "'{b}'")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SdfError {}
+
+/// The result of a successful static analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SdfAnalysis {
+    /// Repetition vector: firings per block per schedule iteration, in
+    /// node insertion order.
+    pub repetitions: Vec<u64>,
+    /// Static per-edge buffer bound in samples, in edge insertion order
+    /// (matching [`Graph::edge_refs`]): no edge ever holds more.
+    pub edge_bounds: Vec<usize>,
+    /// Total block firings per schedule iteration (a static cost
+    /// estimate).
+    pub total_firings: u64,
+}
+
+impl SdfAnalysis {
+    /// The largest single-edge buffer bound, in samples.
+    pub fn max_edge_bound(&self) -> usize {
+        self.edge_bounds.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total buffered samples across all edges in the worst case.
+    pub fn total_buffer_samples(&self) -> usize {
+        self.edge_bounds.iter().sum()
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    a / gcd(a, b) * b
+}
+
+/// A positive rational, kept reduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ratio {
+    num: u64,
+    den: u64,
+}
+
+impl Ratio {
+    fn new(num: u64, den: u64) -> Self {
+        debug_assert!(num > 0 && den > 0);
+        let g = gcd(num, den);
+        Ratio {
+            num: num / g,
+            den: den / g,
+        }
+    }
+
+    fn mul(self, num: u64, den: u64) -> Self {
+        // Cross-reduce before multiplying to keep intermediates small.
+        let g1 = gcd(self.num, den);
+        let g2 = gcd(num, self.den);
+        Ratio::new((self.num / g1) * (num / g2), (self.den / g2) * (den / g1))
+    }
+}
+
+/// Runs the full static analysis on `graph`.
+///
+/// Connectivity (unconnected inputs, double-driven ports) is
+/// [`Graph::schedule`]'s job and is *not* re-checked here; `analyze`
+/// accepts partially wired graphs so lint passes can report both kinds
+/// of findings independently.
+///
+/// # Errors
+///
+/// Returns the first [`SdfError`] found: invalid signatures, zero rates
+/// on connected ports, rate-inconsistent balance equations, or a
+/// deadlocked schedule.
+pub fn analyze(graph: &Graph) -> Result<SdfAnalysis, SdfError> {
+    let blocks: Vec<&dyn crate::block::Block> = graph.blocks().collect();
+    let edges = graph.edge_refs();
+    let n = blocks.len();
+
+    // Collect and validate signatures.
+    let mut rates: Vec<Rates> = Vec::with_capacity(n);
+    for b in &blocks {
+        let r = b.rates();
+        if r.consume.len() != b.inputs() || r.produce.len() != b.outputs() {
+            return Err(SdfError::BadSignature {
+                node: b.name().to_string(),
+                detail: format!(
+                    "signature covers {}→{} ports but the block has {}→{}",
+                    r.consume.len(),
+                    r.produce.len(),
+                    b.inputs(),
+                    b.outputs()
+                ),
+            });
+        }
+        rates.push(r);
+    }
+    for &(src, src_port, dst, dst_port) in &edges {
+        if rates[src].produce[src_port] == 0 {
+            return Err(SdfError::ZeroRate {
+                node: blocks[src].name().to_string(),
+                port: src_port,
+                input: false,
+            });
+        }
+        if rates[dst].consume[dst_port] == 0 {
+            return Err(SdfError::ZeroRate {
+                node: blocks[dst].name().to_string(),
+                port: dst_port,
+                input: true,
+            });
+        }
+    }
+
+    // Solve the balance equations by propagating rational repetition
+    // counts across each connected component (equivalent to finding the
+    // null space of the topology matrix, one column per block).
+    let mut rep: Vec<Option<Ratio>> = vec![None; n];
+    for start in 0..n {
+        if rep[start].is_some() {
+            continue;
+        }
+        rep[start] = Some(Ratio::new(1, 1));
+        let mut stack = vec![start];
+        while let Some(i) = stack.pop() {
+            let ri = rep[i].expect("set before push");
+            for &(src, src_port, dst, dst_port) in &edges {
+                let produce = rates[src].produce[src_port] as u64;
+                let consume = rates[dst].consume[dst_port] as u64;
+                let (j, rj) = if src == i {
+                    // r(dst) = r(src) · produce / consume
+                    (dst, ri.mul(produce, consume))
+                } else if dst == i {
+                    (src, ri.mul(consume, produce))
+                } else {
+                    continue;
+                };
+                match rep[j] {
+                    None => {
+                        rep[j] = Some(rj);
+                        stack.push(j);
+                    }
+                    Some(existing) if existing != rj => {
+                        return Err(SdfError::RateMismatch {
+                            src: blocks[src].name().to_string(),
+                            src_port,
+                            dst: blocks[dst].name().to_string(),
+                            dst_port,
+                            detail: format!(
+                                "balance requires '{}' to fire {}/{}× per iteration, \
+                                 but another path fixes it at {}/{}×",
+                                blocks[j].name(),
+                                rj.num,
+                                rj.den,
+                                existing.num,
+                                existing.den
+                            ),
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+
+    // Scale each component to the smallest positive integer solution.
+    let mut repetitions: Vec<u64> = vec![1; n];
+    let mut component: Vec<Option<usize>> = vec![None; n];
+    let mut n_components = 0usize;
+    // Recover components via union of edge endpoints (iterative BFS).
+    for start in 0..n {
+        if component[start].is_some() {
+            continue;
+        }
+        let id = n_components;
+        n_components += 1;
+        let mut stack = vec![start];
+        component[start] = Some(id);
+        while let Some(i) = stack.pop() {
+            for &(src, _, dst, _) in &edges {
+                let j = if src == i {
+                    dst
+                } else if dst == i {
+                    src
+                } else {
+                    continue;
+                };
+                if component[j].is_none() {
+                    component[j] = Some(id);
+                    stack.push(j);
+                }
+            }
+        }
+    }
+    for c in 0..n_components {
+        let members: Vec<usize> = (0..n).filter(|&i| component[i] == Some(c)).collect();
+        let scale = members
+            .iter()
+            .map(|&i| rep[i].expect("all components solved").den)
+            .fold(1, lcm);
+        let scaled: Vec<u64> = members
+            .iter()
+            .map(|&i| {
+                let r = rep[i].expect("all components solved");
+                r.num * (scale / r.den)
+            })
+            .collect();
+        let g = scaled.iter().copied().fold(0, gcd);
+        for (&i, &q) in members.iter().zip(scaled.iter()) {
+            repetitions[i] = q / g.max(1);
+        }
+    }
+
+    // Deadlock check + buffer bounds: symbolic token simulation. Blocks
+    // are batch-fired to completion where possible (mirroring the
+    // runtime, which processes whole frames per tick), repeated until a
+    // fixed point; leftovers mean deadlock.
+    let mut tokens: Vec<u64> = edges
+        .iter()
+        .map(|&(src, _, _, _)| blocks[src].initial_tokens() as u64)
+        .collect();
+    let mut bounds: Vec<u64> = tokens.clone();
+    let mut remaining: Vec<u64> = repetitions.clone();
+    loop {
+        let mut progressed = false;
+        for i in 0..n {
+            if remaining[i] == 0 {
+                continue;
+            }
+            // Largest batch the available input tokens allow.
+            let mut batch = remaining[i];
+            for (e, &(_, _, dst, dst_port)) in edges.iter().enumerate() {
+                if dst == i {
+                    batch = batch.min(tokens[e] / rates[i].consume[dst_port] as u64);
+                }
+            }
+            if batch == 0 {
+                continue;
+            }
+            for (e, &(src, src_port, dst, dst_port)) in edges.iter().enumerate() {
+                if dst == i {
+                    tokens[e] -= batch * rates[i].consume[dst_port] as u64;
+                }
+                if src == i {
+                    tokens[e] += batch * rates[i].produce[src_port] as u64;
+                    bounds[e] = bounds[e].max(tokens[e]);
+                }
+            }
+            remaining[i] -= batch;
+            progressed = true;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    if remaining.iter().any(|&r| r > 0) {
+        return Err(SdfError::Deadlock {
+            blocked: (0..n)
+                .filter(|&i| remaining[i] > 0)
+                .map(|i| blocks[i].name().to_string())
+                .collect(),
+        });
+    }
+
+    let total_firings = repetitions.iter().sum();
+    Ok(SdfAnalysis {
+        repetitions,
+        edge_bounds: bounds.iter().map(|&b| b as usize).collect(),
+        total_firings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::{
+        AddBlock, DecimateBlock, DelayBlock, FnBlock, ForkBlock, NullSink, SourceBlock,
+    };
+    use wlan_dsp::Complex;
+
+    fn id(name: &str) -> FnBlock<impl FnMut(&[Complex]) -> Vec<Complex>> {
+        FnBlock::new(name, |x: &[Complex]| x.to_vec())
+    }
+
+    #[test]
+    fn consistent_chain_has_expected_repetitions_and_bounds() {
+        // src (32/frame) → id → decimate/4 → sink.
+        let mut g = Graph::new();
+        let src = g.add(SourceBlock::new("src", vec![Complex::ONE; 64], 32));
+        let idb = g.add(id("id"));
+        let dec = g.add(DecimateBlock::new("dec", 4));
+        let sink = g.add(NullSink::new("sink"));
+        g.connect(src, 0, idb, 0).unwrap();
+        g.connect(idb, 0, dec, 0).unwrap();
+        g.connect(dec, 0, sink, 0).unwrap();
+        let a = analyze(&g).expect("consistent");
+        assert_eq!(a.repetitions, vec![1, 32, 8, 8]);
+        // Bound tightness: each edge holds exactly one source frame's
+        // worth of samples (scaled by the rate change).
+        assert_eq!(a.edge_bounds, vec![32, 32, 8]);
+        assert_eq!(a.total_firings, 49);
+        assert_eq!(a.max_edge_bound(), 32);
+        assert_eq!(a.total_buffer_samples(), 72);
+    }
+
+    #[test]
+    fn rate_inconsistent_pair_rejected_with_names() {
+        // fork → (decimate/2, direct) → add: the two add inputs demand
+        // different firing counts — unsolvable balance equations.
+        let mut g = Graph::new();
+        let src = g.add(SourceBlock::new("src", vec![Complex::ONE; 16], 8));
+        let fork = g.add(ForkBlock::new("fork"));
+        let dec = g.add(DecimateBlock::new("dec2", 2));
+        let add = g.add(AddBlock::new("add"));
+        let sink = g.add(NullSink::new("sink"));
+        g.connect(src, 0, fork, 0).unwrap();
+        g.connect(fork, 0, dec, 0).unwrap();
+        g.connect(dec, 0, add, 0).unwrap();
+        g.connect(fork, 1, add, 1).unwrap();
+        g.connect(add, 0, sink, 0).unwrap();
+        let err = analyze(&g).unwrap_err();
+        match &err {
+            SdfError::RateMismatch { detail, .. } => {
+                assert!(!detail.is_empty());
+            }
+            other => panic!("expected RateMismatch, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("rate-inconsistent"), "{msg}");
+    }
+
+    #[test]
+    fn zero_delay_loop_deadlocks() {
+        let mut g = Graph::new();
+        let a = g.add(AddBlock::new("a"));
+        let b = g.add(id("b"));
+        let src = g.add(SourceBlock::new("src", vec![Complex::ONE; 4], 4));
+        g.connect(src, 0, a, 0).unwrap();
+        g.connect(a, 0, b, 0).unwrap();
+        g.connect(b, 0, a, 1).unwrap();
+        match analyze(&g).unwrap_err() {
+            SdfError::Deadlock { blocked } => {
+                assert!(blocked.contains(&"a".to_string()));
+                assert!(blocked.contains(&"b".to_string()));
+                assert!(!blocked.contains(&"src".to_string()));
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delayed_loop_is_deadlock_free() {
+        // The same feedback loop with a 4-sample delay in the path has
+        // enough initial tokens to complete the iteration.
+        let mut g = Graph::new();
+        let a = g.add(AddBlock::new("a"));
+        let d = g.add(DelayBlock::new("z4", 4));
+        let src = g.add(SourceBlock::new("src", vec![Complex::ONE; 4], 4));
+        g.connect(src, 0, a, 0).unwrap();
+        g.connect(a, 0, d, 0).unwrap();
+        g.connect(d, 0, a, 1).unwrap();
+        let analysis = analyze(&g).expect("delay breaks the deadlock");
+        assert_eq!(analysis.repetitions, vec![4, 4, 1]);
+        // The runtime still refuses cyclic schedules (Kahn ordering),
+        // which the lint layer reports separately.
+        assert!(g.schedule().is_err());
+    }
+
+    #[test]
+    fn zero_rate_signature_rejected() {
+        struct ZeroSource;
+        impl crate::block::Block for ZeroSource {
+            fn name(&self) -> &str {
+                "zero"
+            }
+            fn inputs(&self) -> usize {
+                0
+            }
+            fn outputs(&self) -> usize {
+                1
+            }
+            fn process(&mut self, _i: &[&[Complex]]) -> Vec<crate::block::Frame> {
+                vec![Vec::new()]
+            }
+            fn rates(&self) -> crate::block::Rates {
+                crate::block::Rates::new(vec![], vec![0])
+            }
+        }
+        let mut g = Graph::new();
+        let z = g.add(ZeroSource);
+        let sink = g.add(NullSink::new("sink"));
+        g.connect(z, 0, sink, 0).unwrap();
+        assert!(matches!(
+            analyze(&g),
+            Err(SdfError::ZeroRate { input: false, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_signature_rejected() {
+        struct Lying;
+        impl crate::block::Block for Lying {
+            fn name(&self) -> &str {
+                "liar"
+            }
+            fn inputs(&self) -> usize {
+                1
+            }
+            fn outputs(&self) -> usize {
+                1
+            }
+            fn process(&mut self, _i: &[&[Complex]]) -> Vec<crate::block::Frame> {
+                vec![Vec::new()]
+            }
+            fn rates(&self) -> crate::block::Rates {
+                crate::block::Rates::new(vec![1, 1], vec![1])
+            }
+        }
+        let mut g = Graph::new();
+        g.add(Lying);
+        assert!(matches!(analyze(&g), Err(SdfError::BadSignature { .. })));
+    }
+
+    #[test]
+    fn disconnected_components_each_normalized() {
+        let mut g = Graph::new();
+        let s1 = g.add(SourceBlock::new("s1", vec![Complex::ONE; 8], 4));
+        let k1 = g.add(NullSink::new("k1"));
+        let s2 = g.add(SourceBlock::new("s2", vec![Complex::ONE; 8], 2));
+        let k2 = g.add(NullSink::new("k2"));
+        g.connect(s1, 0, k1, 0).unwrap();
+        g.connect(s2, 0, k2, 0).unwrap();
+        let a = analyze(&g).expect("both components consistent");
+        assert_eq!(a.repetitions, vec![1, 4, 1, 2]);
+    }
+
+    #[test]
+    fn rate_changing_fn_block_analyzed() {
+        let mut g = Graph::new();
+        let src = g.add(SourceBlock::new("src", vec![Complex::ONE; 12], 12));
+        let dec = g.add(FnBlock::with_rates("dec3", 3, 1, |x: &[Complex]| {
+            x.iter().step_by(3).copied().collect()
+        }));
+        let sink = g.add(NullSink::new("sink"));
+        g.connect(src, 0, dec, 0).unwrap();
+        g.connect(dec, 0, sink, 0).unwrap();
+        let a = analyze(&g).expect("consistent");
+        assert_eq!(a.repetitions, vec![1, 4, 4]);
+        assert_eq!(a.edge_bounds, vec![12, 4]);
+    }
+
+    #[test]
+    fn empty_graph_analyzes_trivially() {
+        let a = analyze(&Graph::new()).expect("empty ok");
+        assert!(a.repetitions.is_empty());
+        assert_eq!(a.total_firings, 0);
+    }
+}

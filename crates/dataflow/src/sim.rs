@@ -44,8 +44,29 @@ impl Simulation {
     /// Returns a [`GraphError`] if the graph fails validation.
     pub fn run(&self, graph: &mut Graph) -> Result<SimStats, GraphError> {
         let order = graph.schedule()?;
+        // Static SDF analysis: the per-edge buffer bounds size every
+        // scratch frame up front, so the per-tick input gather below is
+        // clear + extend on warm buffers instead of fresh allocations.
+        let analysis = crate::sdf::analyze(graph).ok();
         let started = Instant::now();
         let n = graph.nodes.len();
+
+        // Input-edge table: for each (node, input port), the upstream
+        // (node, port) pair — precomputed so the hot loop never scans
+        // the edge list.
+        let mut input_edges: Vec<Vec<(usize, usize)>> = (0..n)
+            .map(|i| vec![(usize::MAX, usize::MAX); graph.nodes[i].inputs()])
+            .collect();
+        // Scratch input frames, preallocated to the static bounds.
+        let mut scratch: Vec<Vec<Frame>> = (0..n)
+            .map(|i| vec![Frame::new(); graph.nodes[i].inputs()])
+            .collect();
+        for (e, edge) in graph.edges.iter().enumerate() {
+            input_edges[edge.dst][edge.dst_port] = (edge.src, edge.src_port);
+            if let Some(a) = &analysis {
+                scratch[edge.dst][edge.dst_port].reserve_exact(a.edge_bounds[e]);
+            }
+        }
 
         // Output frame storage per (node, port).
         let mut outputs: Vec<Vec<Frame>> = (0..n)
@@ -63,19 +84,14 @@ impl Simulation {
             let mut sources_alive = false;
             let mut any_source = false;
             for &i in &order {
-                // Gather input frames (clones of upstream outputs).
-                let in_frames: Vec<Frame> = (0..graph.nodes[i].inputs())
-                    .map(|p| {
-                        let e = graph
-                            .edges
-                            .iter()
-                            .find(|e| e.dst == i && e.dst_port == p)
-                            .expect("validated by schedule()");
-                        outputs[e.src][e.src_port].clone()
-                    })
-                    .collect();
+                // Gather input frames into the preallocated scratch.
+                for (p, frame) in scratch[i].iter_mut().enumerate() {
+                    let (src, src_port) = input_edges[i][p];
+                    frame.clear();
+                    frame.extend_from_slice(&outputs[src][src_port]);
+                }
                 let in_refs: Vec<&[wlan_dsp::Complex]> =
-                    in_frames.iter().map(|f| f.as_slice()).collect();
+                    scratch[i].iter().map(|f| f.as_slice()).collect();
                 let out = graph.nodes[i].process(&in_refs);
                 debug_assert_eq!(out.len(), graph.nodes[i].outputs());
                 if graph.nodes[i].inputs() == 0 {

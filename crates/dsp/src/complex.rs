@@ -285,7 +285,6 @@ pub fn normalize_power(x: &mut [Complex], target: f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn close(a: Complex, b: Complex, tol: f64) -> bool {
         (a - b).abs() <= tol
@@ -369,31 +368,46 @@ mod tests {
         assert_eq!(total, Complex::new(6.0, 4.0));
     }
 
-    proptest! {
-        #[test]
-        fn prop_mul_commutes(ar in -1e3..1e3f64, ai in -1e3..1e3f64,
-                             br in -1e3..1e3f64, bi in -1e3..1e3f64) {
-            let a = Complex::new(ar, ai);
-            let b = Complex::new(br, bi);
-            prop_assert!(close(a * b, b * a, 1e-6));
-        }
+    // Randomized algebraic-law checks over the workspace's own seeded
+    // generator (deterministic, registry-free).
+    fn rand_complex(rng: &mut crate::rng::Rng, span: f64) -> Complex {
+        Complex::new(
+            rng.uniform_range(-span, span),
+            rng.uniform_range(-span, span),
+        )
+    }
 
-        #[test]
-        fn prop_abs_is_multiplicative(ar in -1e3..1e3f64, ai in -1e3..1e3f64,
-                                      br in -1e3..1e3f64, bi in -1e3..1e3f64) {
-            let a = Complex::new(ar, ai);
-            let b = Complex::new(br, bi);
-            prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-4);
+    #[test]
+    fn prop_mul_commutes() {
+        let mut rng = crate::rng::Rng::new(0xC0FFEE);
+        for _ in 0..256 {
+            let a = rand_complex(&mut rng, 1e3);
+            let b = rand_complex(&mut rng, 1e3);
+            assert!(close(a * b, b * a, 1e-6), "{a} * {b}");
         }
+    }
 
-        #[test]
-        fn prop_distributive(ar in -1e2..1e2f64, ai in -1e2..1e2f64,
-                             br in -1e2..1e2f64, bi in -1e2..1e2f64,
-                             cr in -1e2..1e2f64, ci in -1e2..1e2f64) {
-            let a = Complex::new(ar, ai);
-            let b = Complex::new(br, bi);
-            let c = Complex::new(cr, ci);
-            prop_assert!(close(a * (b + c), a * b + a * c, 1e-6));
+    #[test]
+    fn prop_abs_is_multiplicative() {
+        let mut rng = crate::rng::Rng::new(0xABCD);
+        for _ in 0..256 {
+            let a = rand_complex(&mut rng, 1e3);
+            let b = rand_complex(&mut rng, 1e3);
+            assert!(
+                ((a * b).abs() - a.abs() * b.abs()).abs() < 1e-4,
+                "{a} * {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn prop_distributive() {
+        let mut rng = crate::rng::Rng::new(0xD157);
+        for _ in 0..256 {
+            let a = rand_complex(&mut rng, 1e2);
+            let b = rand_complex(&mut rng, 1e2);
+            let c = rand_complex(&mut rng, 1e2);
+            assert!(close(a * (b + c), a * b + a * c, 1e-6), "{a} {b} {c}");
         }
     }
 }

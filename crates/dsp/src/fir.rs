@@ -22,7 +22,10 @@ use crate::window::Window;
 /// assert!((dc - 1.0).abs() < 1e-9);
 /// ```
 pub fn lowpass(cutoff: f64, taps: usize, window: Window) -> Vec<f64> {
-    assert!(cutoff > 0.0 && cutoff < 0.5, "cutoff must be in (0, 0.5), got {cutoff}");
+    assert!(
+        cutoff > 0.0 && cutoff < 0.5,
+        "cutoff must be in (0, 0.5), got {cutoff}"
+    );
     assert!(taps > 0, "taps must be positive");
     let w = window_symmetric(window, taps);
     let mid = (taps - 1) as f64 / 2.0;
@@ -227,7 +230,9 @@ mod tests {
     #[test]
     fn streaming_equals_batch() {
         let taps = lowpass(0.3, 17, Window::Hann);
-        let x: Vec<Complex> = (0..50).map(|i| Complex::new((i as f64).sin(), (i as f64).cos())).collect();
+        let x: Vec<Complex> = (0..50)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
         let mut f1 = Fir::new(taps.clone());
         let batch = f1.process(&x);
         let mut f2 = Fir::new(taps);

@@ -45,7 +45,9 @@ mod tests {
         let fs = 80e6;
         let f0 = 5e6;
         let x: Vec<Complex> = (0..8000)
-            .map(|n| Complex::from_polar(2.0, 2.0 * std::f64::consts::PI * f0 * n as f64 / fs + 0.7))
+            .map(|n| {
+                Complex::from_polar(2.0, 2.0 * std::f64::consts::PI * f0 * n as f64 / fs + 0.7)
+            })
             .collect();
         let a = tone_amplitude(&x, f0, fs);
         assert!((a.abs() - 2.0).abs() < 1e-6);

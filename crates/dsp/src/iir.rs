@@ -118,7 +118,9 @@ impl Sos {
 
     /// Filters a frame of real samples.
     pub fn process_real(&mut self, x: &[f64]) -> Vec<f64> {
-        x.iter().map(|&v| self.push(Complex::from_re(v)).re).collect()
+        x.iter()
+            .map(|&v| self.push(Complex::from_re(v)).re)
+            .collect()
     }
 
     /// Clears all section states.
@@ -194,7 +196,10 @@ impl DcBlocker {
     ///
     /// Panics if `r` is outside `(0, 1)`.
     pub fn new(r: f64) -> Self {
-        assert!(r > 0.0 && r < 1.0, "DC blocker pole must be in (0,1), got {r}");
+        assert!(
+            r > 0.0 && r < 1.0,
+            "DC blocker pole must be in (0,1), got {r}"
+        );
         DcBlocker {
             r,
             x1: Complex::ZERO,
@@ -303,12 +308,7 @@ mod tests {
 
     #[test]
     fn impulse_response_sums_to_dc_gain() {
-        let mut f = crate::design::butterworth(
-            3,
-            crate::design::FilterKind::Lowpass,
-            1e6,
-            20e6,
-        );
+        let mut f = crate::design::butterworth(3, crate::design::FilterKind::Lowpass, 1e6, 20e6);
         let h = f.impulse_response(4000);
         let sum: f64 = h.iter().sum();
         assert!((sum - 1.0).abs() < 1e-6, "impulse sum {sum}");
@@ -319,13 +319,7 @@ mod tests {
 
     #[test]
     fn group_delay_positive_in_passband() {
-        let f = crate::design::chebyshev1(
-            5,
-            0.5,
-            crate::design::FilterKind::Lowpass,
-            8e6,
-            80e6,
-        );
+        let f = crate::design::chebyshev1(5, 0.5, crate::design::FilterKind::Lowpass, 8e6, 80e6);
         let gd_mid = f.group_delay(2e6 / 80e6);
         let gd_edge = f.group_delay(7.8e6 / 80e6);
         assert!(gd_mid > 0.5, "mid-band delay {gd_mid}");

@@ -125,7 +125,11 @@ impl Downsampler {
         let fir = if factor == 1 {
             Fir::new(vec![1.0])
         } else {
-            Fir::new(lowpass(0.5 / factor as f64 * 0.92, taps, Window::Kaiser(8.0)))
+            Fir::new(lowpass(
+                0.5 / factor as f64 * 0.92,
+                taps,
+                Window::Kaiser(8.0),
+            ))
         };
         Downsampler {
             factor,

@@ -45,9 +45,7 @@ impl Window {
                     Window::Rectangular => 1.0,
                     Window::Hann => 0.5 - 0.5 * two_pi_x.cos(),
                     Window::Hamming => 0.54 - 0.46 * two_pi_x.cos(),
-                    Window::Blackman => {
-                        0.42 - 0.5 * two_pi_x.cos() + 0.08 * (2.0 * two_pi_x).cos()
-                    }
+                    Window::Blackman => 0.42 - 0.5 * two_pi_x.cos() + 0.08 * (2.0 * two_pi_x).cos(),
                     Window::Kaiser(beta) => {
                         // Symmetric Kaiser over [0, n-1].
                         let m = (n - 1) as f64;
@@ -94,7 +92,10 @@ mod tests {
         ] {
             let c = w.coefficients(33);
             assert_eq!(c.len(), 33);
-            assert!(c.iter().all(|&v| (-1e-12..=1.0 + 1e-12).contains(&v)), "{w:?}");
+            assert!(
+                c.iter().all(|&v| (-1e-12..=1.0 + 1e-12).contains(&v)),
+                "{w:?}"
+            );
         }
     }
 

@@ -1,0 +1,105 @@
+//! `wlan-lint` — static verification CLI.
+//!
+//! ```text
+//! wlan-lint [--json] [--input NODE] [--output NODE] [NETLIST.net ...]
+//! ```
+//!
+//! With no file arguments, lints every built-in experiment graph and
+//! AMS netlist registered in [`wlan_sim::lintable`]. With `.net` file
+//! arguments, lints those netlists instead (boundary nodes default to
+//! `rf`/`out`, overridable with `--input`/`--output`).
+//!
+//! Exit status: 0 when no errors were found (warnings allowed), 1 when
+//! any error-severity diagnostic was reported, 2 on usage/IO problems.
+
+use std::process::ExitCode;
+use wlan_lint::{ams, dataflow, Report};
+
+struct Options {
+    json: bool,
+    input: String,
+    output: String,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        input: "rf".to_string(),
+        output: "out".to_string(),
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--input" => {
+                opts.input = args.next().ok_or("--input requires a node name")?;
+            }
+            "--output" => {
+                opts.output = args.next().ok_or("--output requires a node name")?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: wlan-lint [--json] [--input NODE] [--output NODE] [NETLIST.net ...]\n\
+                     \n\
+                     With no files, lints all built-in experiment graphs and netlists."
+                        .to_string(),
+                );
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option '{other}' (try --help)"));
+            }
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut report = Report::new();
+    if opts.files.is_empty() {
+        for (name, graph) in wlan_sim::lintable::graphs() {
+            report.add_target(name, dataflow::lint_graph(name, &graph));
+        }
+        for target in wlan_sim::lintable::netlists() {
+            report.add_target(
+                target.name,
+                ams::lint_netlist(target.name, &target.text, target.input, target.output),
+            );
+        }
+    } else {
+        for path in &opts.files {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("wlan-lint: cannot read '{path}': {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            report.add_target(
+                path.clone(),
+                ams::lint_netlist(path, &text, &opts.input, &opts.output),
+            );
+        }
+    }
+
+    if opts.json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if report.has_errors() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -73,7 +73,11 @@ pub fn occupied_bandwidth(x: &[Complex], sample_rate_hz: f64, fraction: f64) -> 
     let (mut lo, mut hi) = (peak, peak);
     while acc < fraction * total && (lo > 0 || hi < psd.len() - 1) {
         let next_lo = if lo > 0 { psd[lo - 1] } else { f64::MIN };
-        let next_hi = if hi < psd.len() - 1 { psd[hi + 1] } else { f64::MIN };
+        let next_hi = if hi < psd.len() - 1 {
+            psd[hi + 1]
+        } else {
+            f64::MIN
+        };
         if next_lo >= next_hi {
             lo -= 1;
             acc += psd[lo];
@@ -134,10 +138,7 @@ mod tests {
             .add(&x, 0.0, -40.0, 0)
             .render();
         let obw = occupied_bandwidth(&scene[2048..], 80e6, 0.99);
-        assert!(
-            (15e6..19e6).contains(&obw),
-            "occupied bandwidth {obw}"
-        );
+        assert!((15e6..19e6).contains(&obw), "occupied bandwidth {obw}");
     }
 
     #[test]

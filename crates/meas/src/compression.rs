@@ -115,9 +115,8 @@ mod tests {
     #[test]
     fn cubic_p1db_is_9p6_below_iip3() {
         let nl = Nonlinearity::Cubic { iip3_dbm: -5.0 };
-        let mut dev = |x: &[Complex]| -> Vec<Complex> {
-            x.iter().map(|&u| nl.apply(u, 1.0)).collect()
-        };
+        let mut dev =
+            |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| nl.apply(u, 1.0)).collect() };
         let m = measure_p1db(&mut dev, 1e6, -40.0, -5.0, 0.5, 80e6, 4000);
         let got = m.p1db_in_dbm.expect("reached");
         assert!((got - (-14.64)).abs() < 0.3, "got {got}");

@@ -89,8 +89,7 @@ where
     }
     let mut desense = None;
     for w in sweep.windows(2) {
-        if w[0].wanted_gain_db >= clean_gain_db - 1.0 && w[1].wanted_gain_db < clean_gain_db - 1.0
-        {
+        if w[0].wanted_gain_db >= clean_gain_db - 1.0 && w[1].wanted_gain_db < clean_gain_db - 1.0 {
             let t = (clean_gain_db - 1.0 - w[0].wanted_gain_db)
                 / (w[1].wanted_gain_db - w[0].wanted_gain_db);
             desense = Some(w[0].blocker_dbm + t * (w[1].blocker_dbm - w[0].blocker_dbm));
@@ -115,13 +114,14 @@ mod tests {
         // wanted tone sits near the device's own P1dB.
         let p1 = -15.0;
         let nl = Nonlinearity::rapp(p1);
-        let mut dev = |x: &[Complex]| -> Vec<Complex> {
-            x.iter().map(|&u| nl.apply(u, 3.0)).collect()
-        };
-        let m = measure_desense(
-            &mut dev, 1e6, -60.0, 15e6, -35.0, 5.0, 1.0, 80e6, 8000,
+        let mut dev =
+            |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| nl.apply(u, 3.0)).collect() };
+        let m = measure_desense(&mut dev, 1e6, -60.0, 15e6, -35.0, 5.0, 1.0, 80e6, 8000);
+        assert!(
+            (m.clean_gain_db - 9.54).abs() < 0.1,
+            "gain {}",
+            m.clean_gain_db
         );
-        assert!((m.clean_gain_db - 9.54).abs() < 0.1, "gain {}", m.clean_gain_db);
         let d = m.desense_1db_dbm.expect("desense reached");
         assert!(
             (d - p1).abs() < 4.0,
@@ -132,9 +132,7 @@ mod tests {
     #[test]
     fn linear_device_never_desensitizes() {
         let mut dev = |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| u * 2.0).collect() };
-        let m = measure_desense(
-            &mut dev, 1e6, -60.0, 15e6, -30.0, 0.0, 3.0, 80e6, 8000,
-        );
+        let m = measure_desense(&mut dev, 1e6, -60.0, 15e6, -30.0, 0.0, 3.0, 80e6, 8000);
         assert!(m.desense_1db_dbm.is_none());
         for p in &m.sweep {
             assert!((p.wanted_gain_db - m.clean_gain_db).abs() < 0.1);
@@ -144,12 +142,9 @@ mod tests {
     #[test]
     fn gain_monotonically_drops_with_blocker() {
         let nl = Nonlinearity::rapp(-20.0);
-        let mut dev = |x: &[Complex]| -> Vec<Complex> {
-            x.iter().map(|&u| nl.apply(u, 1.0)).collect()
-        };
-        let m = measure_desense(
-            &mut dev, 1e6, -60.0, 10e6, -40.0, 0.0, 4.0, 80e6, 8000,
-        );
+        let mut dev =
+            |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| nl.apply(u, 1.0)).collect() };
+        let m = measure_desense(&mut dev, 1e6, -60.0, 10e6, -40.0, 0.0, 4.0, 80e6, 8000);
         for w in m.sweep.windows(2) {
             assert!(
                 w[1].wanted_gain_db <= w[0].wanted_gain_db + 0.05,

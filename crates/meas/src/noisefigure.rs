@@ -103,8 +103,16 @@ mod tests {
         let mut dev = |x: &[Complex]| -> Vec<Complex> { mix.process(&lna.process(x)) };
         let m = measure_noise_figure(&mut dev, 1e6, -70.0, fs, 400_000, 9);
         let friis = wlan_rf::spec::cascade_noise_figure_db(&[
-            wlan_rf::spec::StageSpec { name: "lna", gain_db: 15.0, nf_db: 3.0 },
-            wlan_rf::spec::StageSpec { name: "mix", gain_db: 6.0, nf_db: 12.0 },
+            wlan_rf::spec::StageSpec {
+                name: "lna",
+                gain_db: 15.0,
+                nf_db: 3.0,
+            },
+            wlan_rf::spec::StageSpec {
+                name: "mix",
+                gain_db: 6.0,
+                nf_db: 12.0,
+            },
         ]);
         assert!(
             (m.nf_db - friis).abs() < 0.5,

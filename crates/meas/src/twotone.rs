@@ -90,9 +90,8 @@ mod tests {
     fn recovers_cubic_iip3() {
         for iip3 in [-15.0, -5.0, 5.0] {
             let nl = Nonlinearity::Cubic { iip3_dbm: iip3 };
-            let mut dev = |x: &[Complex]| -> Vec<Complex> {
-                x.iter().map(|&u| nl.apply(u, 4.0)).collect()
-            };
+            let mut dev =
+                |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| nl.apply(u, 4.0)).collect() };
             let m = measure_iip3(&mut dev, 1e6, 1.3e6, iip3 - 30.0, 80e6, 40_000);
             assert!(
                 (m.iip3_dbm - iip3).abs() < 0.3,
@@ -112,9 +111,8 @@ mod tests {
             p1db_dbm: -10.0,
             smoothness: 1.0,
         };
-        let mut dev = |x: &[Complex]| -> Vec<Complex> {
-            x.iter().map(|&u| nl.apply(u, 1.0)).collect()
-        };
+        let mut dev =
+            |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| nl.apply(u, 1.0)).collect() };
         let m = measure_iip3(&mut dev, 1e6, 1.4e6, -35.0, 80e6, 40_000);
         assert!(
             (m.iip3_dbm - (-1.1)).abs() < 1.5,
@@ -128,9 +126,8 @@ mod tests {
         // Smoothness-2 Rapp has no cubic Taylor term, so the
         // small-signal extrapolated "IIP3" is far above P1dB.
         let nl = Nonlinearity::rapp(-10.0);
-        let mut dev = |x: &[Complex]| -> Vec<Complex> {
-            x.iter().map(|&u| nl.apply(u, 1.0)).collect()
-        };
+        let mut dev =
+            |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| nl.apply(u, 1.0)).collect() };
         let m = measure_iip3(&mut dev, 1e6, 1.4e6, -35.0, 80e6, 40_000);
         assert!(m.iip3_dbm > 5.0, "Rapp(p=2) IIP3 {}", m.iip3_dbm);
     }
@@ -145,9 +142,8 @@ mod tests {
     #[test]
     fn im3_slope_is_three_to_one() {
         let nl = Nonlinearity::Cubic { iip3_dbm: 0.0 };
-        let mut dev = |x: &[Complex]| -> Vec<Complex> {
-            x.iter().map(|&u| nl.apply(u, 1.0)).collect()
-        };
+        let mut dev =
+            |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| nl.apply(u, 1.0)).collect() };
         let m1 = measure_iip3(&mut dev, 1e6, 1.3e6, -40.0, 80e6, 40_000);
         let m2 = measure_iip3(&mut dev, 1e6, 1.3e6, -30.0, 80e6, 40_000);
         let slope = (m2.im3_dbm - m1.im3_dbm) / 10.0;

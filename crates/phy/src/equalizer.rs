@@ -201,7 +201,10 @@ mod tests {
         let mut rng = Rng::new(9);
         let clean = long_training_symbol(&ofdm);
         let noisy = |rng: &mut Rng| -> Vec<Complex> {
-            clean.iter().map(|&x| x + rng.complex_gaussian(0.01)).collect()
+            clean
+                .iter()
+                .map(|&x| x + rng.complex_gaussian(0.01))
+                .collect()
         };
         let b1 = noisy(&mut rng);
         let b2 = noisy(&mut rng);
@@ -227,10 +230,14 @@ mod tests {
             let mut acc = 0.0;
             let trials = 50;
             for _ in 0..trials {
-                let b1: Vec<Complex> =
-                    clean.iter().map(|&x| x + rng.complex_gaussian(nv)).collect();
-                let b2: Vec<Complex> =
-                    clean.iter().map(|&x| x + rng.complex_gaussian(nv)).collect();
+                let b1: Vec<Complex> = clean
+                    .iter()
+                    .map(|&x| x + rng.complex_gaussian(nv))
+                    .collect();
+                let b2: Vec<Complex> = clean
+                    .iter()
+                    .map(|&x| x + rng.complex_gaussian(nv))
+                    .collect();
                 acc += estimate_snr_db(&ofdm, &b1, &b2).expect("estimates");
             }
             let est = acc / trials as f64;

@@ -28,9 +28,16 @@ pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
 ///
 /// Panics if `bits.len()` is not a multiple of 8.
 pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
-    assert!(bits.len().is_multiple_of(8), "bit count must be a byte multiple");
+    assert!(
+        bits.len().is_multiple_of(8),
+        "bit count must be a byte multiple"
+    );
     bits.chunks_exact(8)
-        .map(|c| c.iter().enumerate().fold(0u8, |b, (i, &v)| b | ((v & 1) << i)))
+        .map(|c| {
+            c.iter()
+                .enumerate()
+                .fold(0u8, |b, (i, &v)| b | ((v & 1) << i))
+        })
         .collect()
 }
 
@@ -124,9 +131,9 @@ pub fn extract_psdu(decoded_bits: &[u8], psdu_len: usize) -> Option<Vec<u8>> {
 mod tests {
     use super::*;
     use crate::params::ALL_RATES;
+    use crate::puncture::depuncture;
     use crate::scrambler::DEFAULT_SEED;
     use crate::viterbi::decode_soft;
-    use crate::puncture::depuncture;
     use wlan_dsp::rng::Rng;
 
     #[test]
@@ -178,7 +185,7 @@ mod tests {
     #[test]
     fn pad_bits_fill_last_symbol() {
         let r = Rate::R24; // ndbps 96
-        // 100 bytes → 822 bits → 9 symbols → 864 bits → 42 pad.
+                           // 100 bytes → 822 bits → 9 symbols → 864 bits → 42 pad.
         let field = build_data_field(&[0u8; 100], r, DEFAULT_SEED);
         assert_eq!(field.pad_bits, 42);
     }

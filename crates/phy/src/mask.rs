@@ -10,12 +10,7 @@ use wlan_dsp::Complex;
 /// `f_hz` from the channel center.
 pub fn mask_dbr(f_hz: f64) -> f64 {
     let f = f_hz.abs();
-    const PTS: [(f64, f64); 4] = [
-        (9e6, 0.0),
-        (11e6, -20.0),
-        (20e6, -28.0),
-        (30e6, -40.0),
-    ];
+    const PTS: [(f64, f64); 4] = [(9e6, 0.0), (11e6, -20.0), (20e6, -28.0), (30e6, -40.0)];
     if f <= PTS[0].0 {
         return 0.0;
     }
@@ -128,13 +123,7 @@ mod tests {
         let clip = 0.6 * (wlan_dsp::complex::mean_power(&x)).sqrt();
         let clipped: Vec<Complex> = x
             .iter()
-            .map(|&v| {
-                if v.abs() > clip {
-                    v.signum() * clip
-                } else {
-                    v
-                }
-            })
+            .map(|&v| if v.abs() > clip { v.signum() * clip } else { v })
             .collect();
         let report = check_mask(&clipped[2048..], 80e6);
         assert!(

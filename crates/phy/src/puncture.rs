@@ -138,7 +138,10 @@ mod tests {
             rng.bits(&mut msg[..90]);
             let coded = encode(&msg);
             let tx = puncture(&coded, rate);
-            let llrs: Vec<Llr> = tx.iter().map(|&b| if b == 1 { -1.0 } else { 1.0 }).collect();
+            let llrs: Vec<Llr> = tx
+                .iter()
+                .map(|&b| if b == 1 { -1.0 } else { 1.0 })
+                .collect();
             let full = depuncture(&llrs, rate);
             assert_eq!(full.len(), coded.len());
             assert_eq!(decode_soft(&full), msg, "{rate:?}");

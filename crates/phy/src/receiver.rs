@@ -40,7 +40,10 @@ impl std::fmt::Display for RxError {
             RxError::LtfNotFound => write!(f, "long training field not located"),
             RxError::Signal(e) => write!(f, "signal field: {e}"),
             RxError::Truncated { needed, available } => {
-                write!(f, "burst truncated: need {needed} samples, have {available}")
+                write!(
+                    f,
+                    "burst truncated: need {needed} samples, have {available}"
+                )
             }
             RxError::ScramblerSync => write!(f, "scrambler seed recovery failed"),
         }
@@ -171,12 +174,7 @@ impl Receiver {
         self.decode_from(&corrected, ltf_start, cfo_hz)
     }
 
-    fn decode_from(
-        &self,
-        x: &[Complex],
-        ltf1: usize,
-        cfo_hz: f64,
-    ) -> Result<Received, RxError> {
+    fn decode_from(&self, x: &[Complex], ltf1: usize, cfo_hz: f64) -> Result<Received, RxError> {
         let d = self.timing_backoff;
         if ltf1 < d || ltf1 + 2 * FFT_SIZE + SYMBOL_LEN > x.len() {
             return Err(RxError::Truncated {
@@ -301,7 +299,9 @@ mod tests {
             let mut psdu = vec![0u8; 100];
             rng.bytes(&mut psdu);
             let burst = Transmitter::new(r).transmit(&psdu);
-            let got = rx.receive(&burst.samples).unwrap_or_else(|e| panic!("{r}: {e}"));
+            let got = rx
+                .receive(&burst.samples)
+                .unwrap_or_else(|e| panic!("{r}: {e}"));
             assert_eq!(got.psdu, psdu, "{r}");
             assert_eq!(got.signal.rate, r);
             assert_eq!(got.signal.length, 100);

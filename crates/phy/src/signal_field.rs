@@ -158,10 +158,7 @@ mod tests {
         let mut bits = signal_bits(Rate::R6, 1);
         bits[5] = 0; // length 1 → 0
         bits[17] ^= 1;
-        assert_eq!(
-            parse_signal_bits(&bits),
-            Err(SignalError::InvalidLength(0))
-        );
+        assert_eq!(parse_signal_bits(&bits), Err(SignalError::InvalidLength(0)));
     }
 
     #[test]

@@ -32,8 +32,7 @@ pub fn detect_packet(samples: &[Complex], threshold: f64, run: usize) -> Option<
     // Energy gate: a window must carry a meaningful share of the
     // signal's overall power, or idle DC/quantization residue would look
     // perfectly periodic.
-    let mean_power: f64 =
-        samples.iter().map(|z| z.norm_sqr()).sum::<f64>() / samples.len() as f64;
+    let mean_power: f64 = samples.iter().map(|z| z.norm_sqr()).sum::<f64>() / samples.len() as f64;
     let min_energy = 0.05 * win as f64 * mean_power;
     let mut consecutive = 0usize;
     for n in 0..p.len() {
@@ -184,7 +183,11 @@ mod tests {
         let y = correct_cfo(&x, 100e3);
         // Re-estimate on corrected signal: should be near zero.
         let det = detect_packet(&y, 0.6, 20).expect("detects");
-        assert!(det.coarse_cfo_hz.abs() < 3e3, "residual {}", det.coarse_cfo_hz);
+        assert!(
+            det.coarse_cfo_hz.abs() < 3e3,
+            "residual {}",
+            det.coarse_cfo_hz
+        );
     }
 
     #[test]

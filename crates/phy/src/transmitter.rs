@@ -64,7 +64,10 @@ impl Transmitter {
     ///
     /// Panics if `seed` is zero or wider than 7 bits.
     pub fn with_scrambler_seed(mut self, seed: u8) -> Self {
-        assert!(seed != 0 && seed < 0x80, "seed must be a non-zero 7-bit value");
+        assert!(
+            seed != 0 && seed < 0x80,
+            "seed must be a non-zero 7-bit value"
+        );
         self.scrambler_seed = seed;
         self
     }

@@ -33,7 +33,10 @@ pub type Llr = f64;
 /// assert_eq!(decode_soft(&llrs), msg);
 /// ```
 pub fn decode_soft(llrs: &[Llr]) -> Vec<u8> {
-    assert!(llrs.len().is_multiple_of(2), "need two LLRs per trellis step");
+    assert!(
+        llrs.len().is_multiple_of(2),
+        "need two LLRs per trellis step"
+    );
     let n_steps = llrs.len() / 2;
     if n_steps == 0 {
         return Vec::new();
@@ -58,9 +61,7 @@ pub fn decode_soft(llrs: &[Llr]) -> Vec<u8> {
             }
             for input in 0..2u8 {
                 let (a, b) = branch_output(prev, input);
-                let cost = m
-                    + if a == 1 { la } else { -la }
-                    + if b == 1 { lb } else { -lb };
+                let cost = m + if a == 1 { la } else { -la } + if b == 1 { lb } else { -lb };
                 let ns = (((prev << 1) | input as u32) & 0x3f) as usize;
                 if cost < next[ns] {
                     next[ns] = cost;
@@ -198,11 +199,7 @@ mod tests {
                 })
                 .collect();
             let dec = decode_soft(&llrs);
-            errors += dec
-                .iter()
-                .zip(msg.iter())
-                .filter(|(a, b)| a != b)
-                .count();
+            errors += dec.iter().zip(msg.iter()).filter(|(a, b)| a != b).count();
             total += msg.len();
         }
         let ber = errors as f64 / total as f64;

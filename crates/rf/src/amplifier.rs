@@ -116,12 +116,14 @@ mod tests {
         let mut amp = Amplifier::new(15.0, nf, Nonlinearity::Linear, fs, Rng::new(2));
         let n = 200_000;
         let sig = tone(-70.0, n);
-        let mut src = crate::noise::ThermalNoise::new(crate::noise::source_noise_power(fs), Rng::new(3));
+        let mut src =
+            crate::noise::ThermalNoise::new(crate::noise::source_noise_power(fs), Rng::new(3));
         let x: Vec<Complex> = sig.iter().map(|&s| s + src.next_sample()).collect();
         let y = amp.process(&x);
         // Output noise: run the amp again on noise-only input.
         let mut amp2 = Amplifier::new(15.0, nf, Nonlinearity::Linear, fs, Rng::new(2));
-        let mut src2 = crate::noise::ThermalNoise::new(crate::noise::source_noise_power(fs), Rng::new(3));
+        let mut src2 =
+            crate::noise::ThermalNoise::new(crate::noise::source_noise_power(fs), Rng::new(3));
         let noise_in: Vec<Complex> = (0..n).map(|_| src2.next_sample()).collect();
         let noise_out = amp2.process(&noise_in);
         let snr_in = lin_to_db(mean_power(&sig) / crate::noise::source_noise_power(fs));
@@ -144,17 +146,15 @@ mod tests {
 
     #[test]
     fn compression_reduces_gain_at_high_level() {
-        let mut amp = Amplifier::new(
-            15.0,
-            0.0,
-            Nonlinearity::rapp(-15.0),
-            20e6,
-            Rng::new(5),
-        );
+        let mut amp = Amplifier::new(15.0, 0.0, Nonlinearity::rapp(-15.0), 20e6, Rng::new(5));
         let lo = tone(-60.0, 500);
         let hi = tone(-15.0, 500);
         let g_lo = lin_to_db(mean_power(&amp.process(&lo)) / mean_power(&lo));
         let g_hi = lin_to_db(mean_power(&amp.process(&hi)) / mean_power(&hi));
-        assert!((g_lo - g_hi - 1.0).abs() < 0.1, "compression {}", g_lo - g_hi);
+        assert!(
+            (g_lo - g_hi - 1.0).abs() < 0.1,
+            "compression {}",
+            g_lo - g_hi
+        );
     }
 }

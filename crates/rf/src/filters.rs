@@ -27,7 +27,12 @@ impl ChannelSelectFilter {
     ///
     /// Panics if the edge is not inside `(0, fs/2)`.
     pub fn new(edge_hz: f64, sample_rate_hz: f64) -> Self {
-        Self::with_order(Self::DEFAULT_ORDER, Self::DEFAULT_RIPPLE_DB, edge_hz, sample_rate_hz)
+        Self::with_order(
+            Self::DEFAULT_ORDER,
+            Self::DEFAULT_RIPPLE_DB,
+            edge_hz,
+            sample_rate_hz,
+        )
     }
 
     /// Creates with explicit order and ripple.

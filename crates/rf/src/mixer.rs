@@ -108,7 +108,8 @@ impl Mixer {
     /// Enables or disables all stochastic noise (thermal, flicker, LO).
     pub fn set_noise_enabled(&mut self, enabled: bool) {
         self.noise_enabled = enabled;
-        self.phase_noise.set_enabled(enabled && self.config.lo_linewidth_hz > 0.0);
+        self.phase_noise
+            .set_enabled(enabled && self.config.lo_linewidth_hz > 0.0);
     }
 
     /// Image rejection ratio `|μ|²/|ν|²` in dB implied by the IQ
@@ -242,7 +243,10 @@ mod tests {
             .filter(|(f, _)| (f.abs() - 5e6).abs() < 50e3)
             .map(|(_, p)| *p)
             .sum::<f64>();
-        assert!(lowband > 5.0 * highband, "flicker not visible: {lowband} vs {highband}");
+        assert!(
+            lowband > 5.0 * highband,
+            "flicker not visible: {lowband} vs {highband}"
+        );
     }
 
     #[test]

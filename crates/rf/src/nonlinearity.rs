@@ -95,7 +95,7 @@ pub fn cubic_p1db_from_iip3(iip3_dbm: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wlan_dsp::math::{watts_to_dbm, amp_to_db};
+    use wlan_dsp::math::{amp_to_db, watts_to_dbm};
 
     fn gain_at_power(nl: Nonlinearity, a1: f64, p_dbm: f64) -> f64 {
         let a = (2.0 * dbm_to_watts(p_dbm)).sqrt();

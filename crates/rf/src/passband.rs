@@ -198,7 +198,10 @@ mod tests {
         let mut m2 = RealMixer::new(lo, fs);
         let y_sig = m2.process(&sig);
         let p_sig_only = real_tone_power(&y_sig, 20e6, fs);
-        assert!(p_if > 1.2 * p_sig_only, "image not folded in: {p_if} vs {p_sig_only}");
+        assert!(
+            p_if > 1.2 * p_sig_only,
+            "image not folded in: {p_if} vs {p_sig_only}"
+        );
     }
 
     #[test]

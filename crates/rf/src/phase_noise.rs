@@ -127,6 +127,9 @@ mod tests {
         let dirty = pn.process(&clean);
         let p_clean = tone_power(&clean, f0, fs);
         let p_dirty = tone_power(&dirty, f0, fs);
-        assert!(p_dirty < 0.7 * p_clean, "no broadening: {p_dirty} vs {p_clean}");
+        assert!(
+            p_dirty < 0.7 * p_clean,
+            "no broadening: {p_dirty} vs {p_clean}"
+        );
     }
 }

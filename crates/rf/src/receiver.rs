@@ -372,12 +372,16 @@ mod tests {
 
     #[test]
     fn saturation_with_low_p1db_distorts() {
-        let mut cfg = RfConfig::default();
-        cfg.lna_nonlinearity = Nonlinearity::rapp(-60.0); // absurdly low
-        cfg.noise_enabled = false;
+        let cfg = RfConfig {
+            lna_nonlinearity: Nonlinearity::rapp(-60.0), // absurdly low
+            noise_enabled: false,
+            ..RfConfig::default()
+        };
         let mut rx_bad = DoubleConversionReceiver::new(cfg, 5);
-        let mut cfg_ok = RfConfig::default();
-        cfg_ok.noise_enabled = false;
+        let cfg_ok = RfConfig {
+            noise_enabled: false,
+            ..RfConfig::default()
+        };
         let mut rx_ok = DoubleConversionReceiver::new(cfg_ok, 5);
         let fs = 80e6;
         let n = 40_000;
@@ -399,8 +403,10 @@ mod tests {
 
     #[test]
     fn traced_processing_matches_plain() {
-        let mut cfg = RfConfig::default();
-        cfg.noise_enabled = false;
+        let cfg = RfConfig {
+            noise_enabled: false,
+            ..RfConfig::default()
+        };
         let x = tone_dbm(2e6, 80e6, -50.0, 8000);
         let mut a = DoubleConversionReceiver::new(cfg, 9);
         let mut b = DoubleConversionReceiver::new(cfg, 9);
@@ -421,8 +427,10 @@ mod tests {
 
     #[test]
     fn noise_disabled_is_reproducible() {
-        let mut cfg = RfConfig::default();
-        cfg.noise_enabled = false;
+        let cfg = RfConfig {
+            noise_enabled: false,
+            ..RfConfig::default()
+        };
         let x = tone_dbm(1e6, 80e6, -40.0, 4000);
         let mut a = DoubleConversionReceiver::new(cfg, 10);
         let mut b = DoubleConversionReceiver::new(cfg, 20);
@@ -442,8 +450,10 @@ mod tests {
             .map(|(a, b)| *a + b)
             .collect();
         let mut wide = DoubleConversionReceiver::new(RfConfig::default(), 6);
-        let mut cfg = RfConfig::default();
-        cfg.channel_filter_edge_hz = 4e6;
+        let cfg = RfConfig {
+            channel_filter_edge_hz: 4e6,
+            ..RfConfig::default()
+        };
         let mut narrow = DoubleConversionReceiver::new(cfg, 6);
         let yw = wide.process(&x);
         let yn = narrow.process(&x);

@@ -111,8 +111,16 @@ mod tests {
     #[test]
     fn friis_lna_dominates_with_high_gain() {
         let stages = [
-            StageSpec { name: "lna", gain_db: 20.0, nf_db: 2.0 },
-            StageSpec { name: "mixer", gain_db: 6.0, nf_db: 12.0 },
+            StageSpec {
+                name: "lna",
+                gain_db: 20.0,
+                nf_db: 2.0,
+            },
+            StageSpec {
+                name: "mixer",
+                gain_db: 6.0,
+                nf_db: 12.0,
+            },
         ];
         let nf = cascade_noise_figure_db(&stages);
         // F = 10^0.2 + (10^1.2−1)/100 = 1.734 → 2.39 dB
@@ -123,8 +131,16 @@ mod tests {
     #[test]
     fn friis_no_gain_adds_directly() {
         let stages = [
-            StageSpec { name: "a", gain_db: 0.0, nf_db: 3.0103 },
-            StageSpec { name: "b", gain_db: 0.0, nf_db: 3.0103 },
+            StageSpec {
+                name: "a",
+                gain_db: 0.0,
+                nf_db: 3.0103,
+            },
+            StageSpec {
+                name: "b",
+                gain_db: 0.0,
+                nf_db: 3.0103,
+            },
         ];
         // F = 2 + (2−1)/1 = 3 → 4.77 dB.
         let nf = cascade_noise_figure_db(&stages);

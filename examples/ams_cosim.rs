@@ -33,8 +33,10 @@ fn main() {
         .run()
     };
 
-    let mut rf = RfConfig::default();
-    rf.lna_nf_db = 18.0; // a deliberately poor LNA
+    let rf = RfConfig {
+        lna_nf_db: 18.0, // a deliberately poor LNA
+        ..RfConfig::default()
+    };
     let baseband = mk(FrontEnd::RfBaseband(rf), 5);
     let cosim = mk(
         FrontEnd::RfCosim {

@@ -31,15 +31,17 @@ fn main() {
     padded.extend(std::iter::repeat_n(Complex::ZERO, 64));
     let hi = up.process(&padded);
     let pb = to_passband(&hi, 80e6, fs);
-    println!("real passband signal: {} samples at {:.0} Msps, IF 80 MHz", pb.len(), fs / 1e6);
+    println!(
+        "real passband signal: {} samples at {:.0} Msps, IF 80 MHz",
+        pb.len(),
+        fs / 1e6
+    );
 
     // Real mixing 80 → 20 MHz: both products exist.
     let mut mixer = RealMixer::new(60e6, fs);
     let mixed: Vec<f64> = mixer.process(&pb).iter().map(|v| 2.0 * v).collect();
     // Probe tone illustration with a pilot-ish carrier at band center:
-    println!(
-        "after the real mixer, band power near 20 MHz (difference) and 140 MHz (sum):"
-    );
+    println!("after the real mixer, band power near 20 MHz (difference) and 140 MHz (sum):");
     let probe = &mixed[..mixed.len().min(40_000)];
     println!(
         "  ~20 MHz: {:.1} dBfs   ~140 MHz: {:.1} dBfs",
@@ -54,12 +56,7 @@ fn main() {
     let back = down.process(&env);
     match Receiver::new().receive(&back) {
         Ok(got) => {
-            let errors = got
-                .psdu
-                .iter()
-                .zip(&psdu)
-                .filter(|(a, b)| a != b)
-                .count();
+            let errors = got.psdu.iter().zip(&psdu).filter(|(a, b)| a != b).count();
             println!(
                 "decoded through the IF chain: {} byte errors, EVM {:.1} dB",
                 errors,

@@ -6,8 +6,8 @@
 //! ```
 
 use wlan_phy::Rate;
-use wlan_sim::link::{FrontEnd, LinkConfig, LinkSimulation};
 use wlan_rf::receiver::RfConfig;
+use wlan_sim::link::{FrontEnd, LinkConfig, LinkSimulation};
 
 fn main() {
     println!("wlansim quickstart: one 24 Mbit/s link, three abstraction levels\n");

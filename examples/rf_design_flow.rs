@@ -44,7 +44,10 @@ fn main() {
 
     // Step 3: verify the RF receiver in the system simulation.
     println!("step 3: common verification of RF + DSP (SPW role)");
-    for (label, adjacent) in [("wanted channel only", None), ("with +16 dB adjacent", Some(AdjacentChannel::first()))] {
+    for (label, adjacent) in [
+        ("wanted channel only", None),
+        ("with +16 dB adjacent", Some(AdjacentChannel::first())),
+    ] {
         let report = LinkSimulation::new(LinkConfig {
             rate: Rate::R24,
             psdu_len: 100,

@@ -39,8 +39,10 @@ fn cosim_link_decodes_cleanly() {
 fn abstraction_levels_agree_at_high_snr() {
     // Where noise is irrelevant, both abstraction levels must give the
     // same verdict (error-free) and comparable EVM.
-    let mut rf = RfConfig::default();
-    rf.noise_enabled = false;
+    let mut rf = RfConfig {
+        noise_enabled: false,
+        ..RfConfig::default()
+    };
     rf.mixer2.iq_gain_imbalance_db = 0.0;
     rf.mixer2.iq_phase_imbalance_deg = 0.0;
     rf.mixer1.lo_linewidth_hz = 0.0;

@@ -51,7 +51,11 @@ fn cfo_multipath_and_level_combined() {
     let noisy = ch.add_noise_power(&x, (gain * gain) * 1e-2); // 20 dB SNR
     let got = rx.receive(&noisy).expect("decodes under combined stress");
     assert_eq!(got.psdu, psdu);
-    assert!((got.cfo_hz - cfo).abs() < 10e3, "cfo estimate {}", got.cfo_hz);
+    assert!(
+        (got.cfo_hz - cfo).abs() < 10e3,
+        "cfo estimate {}",
+        got.cfo_hz
+    );
 }
 
 #[test]

@@ -30,7 +30,9 @@ fn if_roundtrip_decodes() {
     let mut down = Downsampler::new(osr, 128);
     let back = down.process(&env);
 
-    let got = Receiver::new().receive(&back).expect("decodes after IF roundtrip");
+    let got = Receiver::new()
+        .receive(&back)
+        .expect("decodes after IF roundtrip");
     assert_eq!(got.psdu, psdu);
     assert!(got.evm_db() < -25.0, "EVM {}", got.evm_db());
 }

@@ -1,82 +1,97 @@
-//! Property-based cross-crate tests: randomized payloads, rates, seeds
+//! Property-style cross-crate tests: randomized payloads, rates, seeds
 //! and impairment levels must never break the invariants the testbench
-//! depends on.
+//! depends on. Cases are drawn from the workspace's own deterministic
+//! generator so the suite needs no external property-testing crate and
+//! stays bit-exactly reproducible offline.
 
-use proptest::prelude::*;
 use wlan_channel::level::{power_dbm, set_power_dbm};
 use wlan_dsp::{Complex, Rng};
 use wlan_phy::params::ALL_RATES;
 use wlan_phy::{Receiver, Transmitter};
 
-fn rate_strategy() -> impl Strategy<Value = wlan_phy::Rate> {
-    (0usize..8).prop_map(|i| ALL_RATES[i])
+const CASES: usize = 24;
+
+fn pick_rate(rng: &mut Rng) -> wlan_phy::Rate {
+    ALL_RATES[rng.below(8) as usize]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any payload at any rate loops back bit-exactly over a clean
-    /// channel with blind synchronization.
-    #[test]
-    fn prop_clean_loopback(
-        rate in rate_strategy(),
-        len in 1usize..400,
-        seed in 0u64..10_000,
-        scr_seed in 1u8..0x80,
-    ) {
-        let mut rng = Rng::new(seed);
+/// Any payload at any rate loops back bit-exactly over a clean channel
+/// with blind synchronization.
+#[test]
+fn prop_clean_loopback() {
+    let mut meta = Rng::new(0x1001);
+    for case in 0..CASES {
+        let rate = pick_rate(&mut meta);
+        let len = 1 + meta.below(399) as usize;
+        let scr_seed = 1 + meta.below(0x7F) as u8;
+        let mut rng = Rng::new(meta.next_u64());
         let mut psdu = vec![0u8; len];
         rng.bytes(&mut psdu);
         let burst = Transmitter::new(rate)
             .with_scrambler_seed(scr_seed)
             .transmit(&psdu);
         let got = Receiver::new().receive(&burst.samples).expect("decodes");
-        prop_assert_eq!(got.psdu, psdu);
-        prop_assert_eq!(got.signal.rate, rate);
-        prop_assert_eq!(got.signal.length, len);
+        assert_eq!(got.psdu, psdu, "case {case}: {rate} len {len}");
+        assert_eq!(got.signal.rate, rate);
+        assert_eq!(got.signal.length, len);
     }
+}
 
-    /// Burst length always matches the rate equations.
-    #[test]
-    fn prop_burst_length_formula(rate in rate_strategy(), len in 1usize..2000) {
+/// Burst length always matches the rate equations.
+#[test]
+fn prop_burst_length_formula() {
+    let mut meta = Rng::new(0x1002);
+    for _ in 0..CASES {
+        let rate = pick_rate(&mut meta);
+        let len = 1 + meta.below(1999) as usize;
         let burst = Transmitter::new(rate).transmit(&vec![0xA5; len]);
         let expect = 320 + 80 * (1 + rate.data_symbols(len));
-        prop_assert_eq!(burst.samples.len(), expect);
-        prop_assert!((burst.duration() - rate.ppdu_duration(len)).abs() < 1e-12);
+        assert_eq!(burst.samples.len(), expect, "{rate} len {len}");
+        assert!((burst.duration() - rate.ppdu_duration(len)).abs() < 1e-12);
     }
+}
 
-    /// A flat complex channel gain (any magnitude within 60 dB, any
-    /// phase) never breaks decoding.
-    #[test]
-    fn prop_flat_gain_invariance(
-        rate in rate_strategy(),
-        gain_db in -50.0..10.0f64,
-        phase in 0.0..std::f64::consts::TAU,
-        seed in 0u64..1000,
-    ) {
-        let mut rng = Rng::new(seed);
+/// A flat complex channel gain (any magnitude within 60 dB, any phase)
+/// never breaks decoding.
+#[test]
+fn prop_flat_gain_invariance() {
+    let mut meta = Rng::new(0x1003);
+    for case in 0..CASES {
+        let rate = pick_rate(&mut meta);
+        let gain_db = meta.uniform_range(-50.0, 10.0);
+        let phase = meta.uniform_range(0.0, std::f64::consts::TAU);
+        let mut rng = Rng::new(meta.next_u64());
         let mut psdu = vec![0u8; 64];
         rng.bytes(&mut psdu);
         let burst = Transmitter::new(rate).transmit(&psdu);
         let g = Complex::from_polar(10f64.powf(gain_db / 20.0), phase);
         let x: Vec<Complex> = burst.samples.iter().map(|&s| s * g).collect();
         let got = Receiver::new().receive(&x).expect("decodes");
-        prop_assert_eq!(got.psdu, psdu);
+        assert_eq!(got.psdu, psdu, "case {case}: {rate} gain {gain_db} dB");
     }
+}
 
-    /// Power scaling is exact for any target level and signal.
-    #[test]
-    fn prop_level_setting(target in -100.0..10.0f64, seed in 0u64..1000, n in 16usize..512) {
-        let mut rng = Rng::new(seed);
+/// Power scaling is exact for any target level and signal.
+#[test]
+fn prop_level_setting() {
+    let mut meta = Rng::new(0x1004);
+    for _ in 0..CASES {
+        let target = meta.uniform_range(-100.0, 10.0);
+        let n = 16 + meta.below(496) as usize;
+        let mut rng = Rng::new(meta.next_u64());
         let x: Vec<Complex> = (0..n).map(|_| rng.complex_gaussian(1.0)).collect();
         let y = set_power_dbm(&x, target);
-        prop_assert!((power_dbm(&y) - target).abs() < 1e-9);
+        assert!((power_dbm(&y) - target).abs() < 1e-9, "target {target}");
     }
+}
 
-    /// BER metering is symmetric and bounded.
-    #[test]
-    fn prop_ber_meter_bounds(seed in 0u64..1000, n in 1usize..200) {
-        let mut rng = Rng::new(seed);
+/// BER metering is symmetric and bounded.
+#[test]
+fn prop_ber_meter_bounds() {
+    let mut meta = Rng::new(0x1005);
+    for _ in 0..CASES {
+        let n = 1 + meta.below(199) as usize;
+        let mut rng = Rng::new(meta.next_u64());
         let mut a = vec![0u8; n];
         let mut b = vec![0u8; n];
         rng.bytes(&mut a);
@@ -85,18 +100,26 @@ proptest! {
         m1.update_bytes(&a, &b);
         let mut m2 = wlan_meas::BerMeter::new();
         m2.update_bytes(&b, &a);
-        prop_assert_eq!(m1.errors(), m2.errors());
-        prop_assert!(m1.ber() <= 1.0);
+        assert_eq!(m1.errors(), m2.errors());
+        assert!(m1.ber() <= 1.0);
         let (lo, hi) = m1.confidence_interval();
-        prop_assert!(lo <= m1.ber() + 1e-12 && m1.ber() <= hi + 1e-12);
+        assert!(lo <= m1.ber() + 1e-12 && m1.ber() <= hi + 1e-12);
     }
+}
 
-    /// Netlist values with engineering suffixes parse consistently.
-    #[test]
-    fn prop_netlist_value_roundtrip(mantissa in 0.001..999.0f64, suffix in 0usize..5) {
-        let (sfx, mult) = [("", 1.0), ("k", 1e3), ("M", 1e6), ("m", 1e-3), ("u", 1e-6)][suffix];
+/// Netlist values with engineering suffixes parse consistently.
+#[test]
+fn prop_netlist_value_roundtrip() {
+    let mut meta = Rng::new(0x1006);
+    for _ in 0..CASES {
+        let mantissa = meta.uniform_range(0.001, 999.0);
+        let (sfx, mult) =
+            [("", 1.0), ("k", 1e3), ("M", 1e6), ("m", 1e-3), ("u", 1e-6)][meta.below(5) as usize];
         let text = format!("{mantissa}{sfx}");
         let parsed = wlan_ams::netlist::parse_value(&text).expect("parses");
-        prop_assert!((parsed - mantissa * mult).abs() < 1e-9 * mantissa * mult.max(1.0));
+        assert!(
+            (parsed - mantissa * mult).abs() < 1e-9 * mantissa * mult.max(1.0),
+            "{text}"
+        );
     }
 }

@@ -24,8 +24,10 @@ fn characterized_p1db_predicts_link_failure_point() {
     assert!((p1_measured - p1_spec).abs() < 0.5);
 
     let ber_at = |rx_level: f64| {
-        let mut rf = RfConfig::default();
-        rf.lna_nonlinearity = Nonlinearity::rapp(p1_spec);
+        let rf = RfConfig {
+            lna_nonlinearity: Nonlinearity::rapp(p1_spec),
+            ..RfConfig::default()
+        };
         LinkSimulation::new(LinkConfig {
             rate: wlan_phy::Rate::R54,
             psdu_len: 80,
@@ -49,9 +51,7 @@ fn cubic_consistency_iip3_vs_p1db() {
     // 9.6 dB relation on the same cubic device.
     let iip3 = -12.0;
     let nl = Nonlinearity::Cubic { iip3_dbm: iip3 };
-    let mut dev = |x: &[Complex]| -> Vec<Complex> {
-        x.iter().map(|&u| nl.apply(u, 2.0)).collect()
-    };
+    let mut dev = |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| nl.apply(u, 2.0)).collect() };
     let m3 = measure_iip3(&mut dev, 1e6, 1.31e6, iip3 - 30.0, 80e6, 40_000);
     let mc = measure_p1db(&mut dev, 1e6, -50.0, -10.0, 0.5, 80e6, 4000);
     let p1 = mc.p1db_in_dbm.expect("found");
@@ -84,8 +84,10 @@ fn iq_imbalance_dominates_evm_when_large() {
     // Crank the IQ imbalance and watch the EVM floor move accordingly —
     // the "verification of the RF design in the DSP environment" loop.
     let evm_with = |gain_imb: f64, phase_imb: f64| {
-        let mut rf = RfConfig::default();
-        rf.noise_enabled = false;
+        let mut rf = RfConfig {
+            noise_enabled: false,
+            ..RfConfig::default()
+        };
         rf.mixer2.iq_gain_imbalance_db = gain_imb;
         rf.mixer2.iq_phase_imbalance_deg = phase_imb;
         rf.mixer1.lo_linewidth_hz = 0.0;
