@@ -1,10 +1,14 @@
 //! §2.2: adjacent (+20 MHz) vs alternate (+40 MHz) channel rejection.
 use wlan_phy::Rate;
-use wlan_sim::experiments::{blocking, Effort};
+use wlan_sim::experiments::{blocking, Effort, Engine};
 fn main() {
     let effort = Effort::from_env();
-    eprintln!("running blocking sweep with {effort:?} ...");
-    let r = blocking::run(effort, Rate::R12, 4.0, 44.0, 11, 42);
+    let engine = Engine::from_env();
+    eprintln!(
+        "running blocking sweep with {effort:?} on {} thread(s) ...",
+        engine.pool.threads()
+    );
+    let r = blocking::run_parallel(effort, Rate::R12, 4.0, 44.0, 11, 42, &engine);
     let t = r.table();
     println!("{t}");
     println!(
@@ -12,5 +16,11 @@ fn main() {
         r.rejection_db(false, 1e-3),
         r.rejection_db(true, 1e-3)
     );
+    let labels: Vec<String> = r
+        .points
+        .iter()
+        .map(|p| format!("{:+.0}", p.rel_db))
+        .collect();
+    wlan_bench::harness::report_sweep_timing("blocking", &labels, &r.point_elapsed);
     wlan_bench::save_csv(&t, "blocking");
 }

@@ -1,10 +1,20 @@
 //! §5.1: BER vs IP3 value of the LNA (adjacent channel present).
-use wlan_sim::experiments::{ip3, Effort};
+use wlan_sim::experiments::{ip3, Effort, Engine};
 fn main() {
     let effort = Effort::from_env();
-    eprintln!("running ip3 sweep with {effort:?} ...");
-    let r = ip3::run(effort, -40.0, 0.0, 9, 42);
+    let engine = Engine::from_env();
+    eprintln!(
+        "running ip3 sweep with {effort:?} on {} thread(s) ...",
+        engine.pool.threads()
+    );
+    let r = ip3::run_parallel(effort, -40.0, 0.0, 9, 42, &engine);
     let t = r.table();
     println!("{t}");
+    let labels: Vec<String> = r
+        .points
+        .iter()
+        .map(|p| format!("{:.0}", p.iip3_dbm))
+        .collect();
+    wlan_bench::harness::report_sweep_timing("ip3_sweep", &labels, &r.point_elapsed);
     wlan_bench::save_csv(&t, "ip3_sweep");
 }

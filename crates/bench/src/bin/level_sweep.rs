@@ -1,16 +1,30 @@
 //! §5.1: BER across the receiver's specified input range (−88…−23 dBm).
 use wlan_phy::Rate;
-use wlan_sim::experiments::{level_sweep, Effort};
+use wlan_sim::experiments::{level_sweep, Effort, Engine};
 fn main() {
     let effort = Effort::from_env();
-    eprintln!("running level sweep with {effort:?} ...");
+    let engine = Engine::from_env();
+    eprintln!(
+        "running level sweep with {effort:?} on {} thread(s) ...",
+        engine.pool.threads()
+    );
     for rate in [Rate::R6, Rate::R24, Rate::R54] {
-        let r = level_sweep::run(effort, rate, -98.0, -23.0, 12, 42);
+        let r = level_sweep::run_parallel(effort, rate, -98.0, -23.0, 12, 42, &engine);
         let t = r.table();
         println!("{t}");
         if let Some(s) = r.sensitivity_dbm(1e-3) {
             println!("measured sensitivity at {rate}: {s:.0} dBm\n");
         }
+        let labels: Vec<String> = r
+            .points
+            .iter()
+            .map(|p| format!("{:.0}", p.rx_level_dbm))
+            .collect();
+        wlan_bench::harness::report_sweep_timing(
+            &format!("level_sweep_{}", rate.mbps()),
+            &labels,
+            &r.point_elapsed,
+        );
         wlan_bench::save_csv(&t, &format!("level_sweep_{}", rate.mbps()));
     }
 }

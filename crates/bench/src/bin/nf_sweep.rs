@@ -1,12 +1,18 @@
 //! §5.1: BER vs noise figure near sensitivity, system-level vs the
 //! noiseless co-simulation (the paper's AMS noise gap).
-use wlan_sim::experiments::{noise_figure, Effort};
+use wlan_sim::experiments::{noise_figure, Effort, Engine};
 fn main() {
     let effort = Effort::from_env();
-    eprintln!("running nf sweep with {effort:?} ...");
-    let r = noise_figure::run(effort, -82.0, 7, 42);
+    let engine = Engine::from_env();
+    eprintln!(
+        "running nf sweep with {effort:?} on {} thread(s) ...",
+        engine.pool.threads()
+    );
+    let r = noise_figure::run_parallel(effort, -82.0, 7, 42, &engine);
     let t = r.table();
     println!("{t}");
     println!("note the co-sim column stays optimistic: no noise functions (paper §5.1).");
+    let labels: Vec<String> = r.points.iter().map(|p| format!("{:.0}", p.nf_db)).collect();
+    wlan_bench::harness::report_sweep_timing("nf_sweep", &labels, &r.point_elapsed);
     wlan_bench::save_csv(&t, "nf_sweep");
 }

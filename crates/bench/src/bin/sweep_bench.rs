@@ -1,0 +1,101 @@
+//! `sweep_bench` — serial vs parallel wall-clock of a multi-point
+//! Monte-Carlo BER sweep, written to `BENCH_sweep.json` so the repo's
+//! perf trajectory has data to chart against the paper's §4.2 runtime
+//! table (hours per sweep on 2003-era SPW).
+//!
+//! The workload is the §5.1 IIP3 sweep (RF baseband front end, adjacent
+//! channel present) run twice with identical seeds: once on a
+//! single-worker engine, once on `WLANSIM_THREADS` workers (default:
+//! available parallelism). The two runs must be bit-identical — the
+//! JSON records that check alongside the timings.
+//!
+//! Environment:
+//! * `WLANSIM_BENCH_SMOKE=1` — few points / few frames (CI smoke mode).
+//! * `WLANSIM_THREADS` — parallel worker count.
+//! * `WLANSIM_PACKETS` / `WLANSIM_PSDU` — frame budget per point.
+
+use std::time::Instant;
+use wlan_exec::ThreadPool;
+use wlan_sim::experiments::{ip3, Effort, Engine};
+
+/// Schema version of `BENCH_sweep.json`.
+const BENCH_JSON_SCHEMA: u32 = 1;
+
+fn main() {
+    let smoke = std::env::var("WLANSIM_BENCH_SMOKE")
+        .map(|v| v != "0")
+        .unwrap_or(false);
+    let (points, effort) = if smoke {
+        (
+            3usize,
+            Effort {
+                packets: 2,
+                psdu_len: 60,
+            },
+        )
+    } else {
+        (8usize, Effort::from_env())
+    };
+    let threads = ThreadPool::from_env().threads();
+    let (lo_dbm, hi_dbm, seed) = (-40.0, 0.0, 42);
+    eprintln!(
+        "sweep_bench: {points} IIP3 points x {} packets, 1 vs {threads} thread(s){}",
+        effort.packets,
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let t0 = Instant::now();
+    let serial = ip3::run_parallel(effort, lo_dbm, hi_dbm, points, seed, &Engine::serial());
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel = ip3::run_parallel(
+        effort,
+        lo_dbm,
+        hi_dbm,
+        points,
+        seed,
+        &Engine::with_threads(threads),
+    );
+    let parallel_s = t1.elapsed().as_secs_f64();
+
+    let identical = serial.points == parallel.points;
+    let speedup = serial_s / parallel_s.max(1e-12);
+
+    let labels: Vec<String> = parallel
+        .points
+        .iter()
+        .map(|p| format!("{:.0}", p.iip3_dbm))
+        .collect();
+    wlan_bench::harness::report_point_timing(
+        "sweep_bench",
+        &labels
+            .iter()
+            .cloned()
+            .zip(parallel.point_elapsed.iter().copied())
+            .collect::<Vec<_>>(),
+    );
+    println!("serial   {serial_s:.3} s");
+    println!("parallel {parallel_s:.3} s ({threads} threads)");
+    println!("speedup  {speedup:.2}x, bit-identical: {identical}");
+    if !identical {
+        eprintln!("ERROR: parallel sweep diverged from the serial reference");
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": {BENCH_JSON_SCHEMA},\n  \"bench\": \"sweep_ber\",\n  \
+         \"smoke\": {smoke},\n  \"threads\": {threads},\n  \"points\": {points},\n  \
+         \"packets_per_point\": {},\n  \"psdu_len\": {},\n  \
+         \"serial_s\": {serial_s:.6},\n  \"parallel_s\": {parallel_s:.6},\n  \
+         \"speedup\": {speedup:.4},\n  \"identical\": {identical}\n}}\n",
+        effort.packets, effort.psdu_len
+    );
+    match std::fs::write("BENCH_sweep.json", &json) {
+        Ok(()) => println!("(BENCH_sweep.json written)"),
+        Err(e) => eprintln!("warning: could not write BENCH_sweep.json: {e}"),
+    }
+
+    if !identical {
+        std::process::exit(1);
+    }
+}

@@ -141,6 +141,36 @@ impl Bencher {
     }
 }
 
+/// Prints a sweep's per-point wall-clock in the harness line format,
+/// followed by a total. This is where `SweepPoint::elapsed` lands
+/// instead of being dropped on the floor.
+///
+/// ```text
+/// ip3_sweep/point[-40]                        1.23 s/point
+/// ip3_sweep/total (9 points)                  9.87 s
+/// ```
+pub fn report_point_timing(group: &str, points: &[(String, Duration)]) {
+    let mut total = Duration::ZERO;
+    for (label, elapsed) in points {
+        let line = format!("{group}/point[{label}]");
+        println!("{line:<42} {:>14}/point", si_time(elapsed.as_secs_f64()));
+        total += *elapsed;
+    }
+    let line = format!("{group}/total ({} points)", points.len());
+    println!("{line:<42} {:>14}", si_time(total.as_secs_f64()));
+}
+
+/// [`report_point_timing`] from a sweep result's parallel vectors: any
+/// displayable parameter value next to its elapsed time.
+pub fn report_sweep_timing<P: std::fmt::Display>(group: &str, params: &[P], elapsed: &[Duration]) {
+    let points: Vec<(String, Duration)> = params
+        .iter()
+        .zip(elapsed.iter())
+        .map(|(p, e)| (format!("{p}"), *e))
+        .collect();
+    report_point_timing(group, &points);
+}
+
 fn si(value: f64, unit: &str) -> String {
     let (scaled, prefix) = if value >= 1e9 {
         (value / 1e9, "G")
@@ -186,6 +216,19 @@ mod tests {
         });
         g.finish();
         assert!(ran > 0);
+    }
+
+    #[test]
+    fn point_timing_totals() {
+        // Smoke: must not panic, and formatting must accept any label.
+        report_point_timing(
+            "selftest",
+            &[
+                ("-40".to_string(), Duration::from_millis(3)),
+                ("0".to_string(), Duration::from_millis(5)),
+            ],
+        );
+        report_sweep_timing("selftest", &[-40.0, 0.0], &[Duration::ZERO, Duration::ZERO]);
     }
 
     #[test]

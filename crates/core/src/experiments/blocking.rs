@@ -3,7 +3,7 @@
 //! level." BER versus the interferer's relative level, for the +20 MHz
 //! adjacent and the +40 MHz alternate channel.
 
-use crate::experiments::Effort;
+use crate::experiments::{Effort, Engine};
 use crate::link::{AdjacentChannel, FrontEnd, LinkConfig, LinkSimulation};
 use crate::report::{bar, format_ber, Table};
 use wlan_dataflow::sweep::Sweep;
@@ -30,6 +30,8 @@ pub struct BlockingResult {
     pub rate: Rate,
     /// Points in ascending relative level.
     pub points: Vec<BlockingPoint>,
+    /// Per-point wall-clock, parallel to `points`.
+    pub point_elapsed: Vec<std::time::Duration>,
 }
 
 impl BlockingResult {
@@ -71,8 +73,8 @@ impl BlockingResult {
     }
 }
 
-fn ber_with(offset_hz: f64, rel_db: f64, rate: Rate, effort: Effort, seed: u64) -> (f64, u64) {
-    let report = LinkSimulation::new(LinkConfig {
+fn point_config(offset_hz: f64, rel_db: f64, rate: Rate, effort: Effort, seed: u64) -> LinkConfig {
+    LinkConfig {
         rate,
         psdu_len: effort.psdu_len,
         packets: effort.packets,
@@ -82,9 +84,31 @@ fn ber_with(offset_hz: f64, rel_db: f64, rate: Rate, effort: Effort, seed: u64) 
         front_end: FrontEnd::RfBaseband(RfConfig::default()),
         osr: 8, // the +40 MHz alternate channel needs ±80 MHz of scene
         ..LinkConfig::default()
-    })
-    .run();
+    }
+}
+
+fn ber_with(offset_hz: f64, rel_db: f64, rate: Rate, effort: Effort, seed: u64) -> (f64, u64) {
+    let report = LinkSimulation::new(point_config(offset_hz, rel_db, rate, effort, seed)).run();
     (report.ber(), report.meter.bits())
+}
+
+fn collect(
+    rate: Rate,
+    rows: Vec<wlan_dataflow::sweep::SweepPoint<f64, (f64, f64, u64)>>,
+) -> BlockingResult {
+    BlockingResult {
+        rate,
+        point_elapsed: rows.iter().map(|p| p.elapsed).collect(),
+        points: rows
+            .into_iter()
+            .map(|p| BlockingPoint {
+                rel_db: p.param,
+                ber_adjacent: p.result.0,
+                ber_alternate: p.result.1,
+                bits: p.result.2,
+            })
+            .collect(),
+    }
 }
 
 /// Runs the rejection sweep at −60 dBm wanted level.
@@ -102,18 +126,30 @@ pub fn run(
         let (alt, _) = ber_with(40e6, rel, rate, effort, seed.wrapping_add(7));
         (adj, alt, bits)
     });
-    BlockingResult {
-        rate,
-        points: rows
-            .into_iter()
-            .map(|p| BlockingPoint {
-                rel_db: p.param,
-                ber_adjacent: p.result.0,
-                ber_alternate: p.result.1,
-                bits: p.result.2,
-            })
-            .collect(),
-    }
+    collect(rate, rows)
+}
+
+/// [`run`] on the parallel engine: each relative-level point (both the
+/// adjacent and alternate series) is one pool task.
+pub fn run_parallel(
+    effort: Effort,
+    rate: Rate,
+    lo_db: f64,
+    hi_db: f64,
+    points: usize,
+    seed: u64,
+    engine: &Engine,
+) -> BlockingResult {
+    let sweep = Sweep::linspace(lo_db, hi_db, points.max(2));
+    let rows = sweep.run_parallel_indexed(&engine.pool, |i, &rel| {
+        let adj = engine.measure(point_config(20e6, rel, rate, effort, seed), i);
+        let alt = engine.measure(
+            point_config(40e6, rel, rate, effort, seed.wrapping_add(7)),
+            i,
+        );
+        (adj.ber(), alt.ber(), adj.meter.bits())
+    });
+    collect(rate, rows)
 }
 
 #[cfg(test)]
@@ -144,5 +180,30 @@ mod tests {
     fn table_renders() {
         let r = run(Effort::quick(), Rate::R12, 10.0, 20.0, 2, 6);
         assert!(r.table().render().contains("interferer"));
+    }
+
+    #[test]
+    fn parallel_sweep_is_thread_invariant() {
+        let serial = run_parallel(
+            Effort::quick(),
+            Rate::R12,
+            10.0,
+            20.0,
+            2,
+            6,
+            &Engine::serial(),
+        );
+        let par = run_parallel(
+            Effort::quick(),
+            Rate::R12,
+            10.0,
+            20.0,
+            2,
+            6,
+            &Engine::with_threads(2),
+        );
+        for (a, b) in serial.points.iter().zip(par.points.iter()) {
+            assert_eq!(a, b);
+        }
     }
 }

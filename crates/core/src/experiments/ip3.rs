@@ -5,7 +5,7 @@
 //! With the adjacent channel present, a low IIP3 lets the interferer's
 //! intermodulation products land in-band.
 
-use crate::experiments::Effort;
+use crate::experiments::{Effort, Engine};
 use crate::link::{AdjacentChannel, FrontEnd, LinkConfig, LinkSimulation};
 use crate::report::{bar, format_ber, Table};
 use wlan_dataflow::sweep::Sweep;
@@ -29,6 +29,9 @@ pub struct Ip3Point {
 pub struct Ip3Result {
     /// Points in ascending IIP3.
     pub points: Vec<Ip3Point>,
+    /// Per-point wall-clock, parallel to `points` (for the bench
+    /// harness timing report).
+    pub point_elapsed: Vec<std::time::Duration>,
 }
 
 impl Ip3Result {
@@ -49,32 +52,40 @@ impl Ip3Result {
     }
 }
 
+fn point_config(effort: Effort, iip3: f64, seed: u64) -> LinkConfig {
+    let rf = RfConfig {
+        lna_nonlinearity: Nonlinearity::Cubic { iip3_dbm: iip3 },
+        ..RfConfig::default()
+    };
+    LinkConfig {
+        rate: Rate::R36,
+        psdu_len: effort.psdu_len,
+        packets: effort.packets,
+        seed,
+        rx_level_dbm: -40.0,
+        adjacent: Some(AdjacentChannel {
+            offset_hz: 20e6,
+            rel_db: 6.0,
+        }),
+        front_end: FrontEnd::RfBaseband(rf),
+        ..LinkConfig::default()
+    }
+}
+
 /// Runs the sweep at −40 dBm wanted level (36 Mbit/s) with a +6 dB
 /// adjacent channel, IIP3 from `lo` to `hi` dBm.
 pub fn run(effort: Effort, lo_dbm: f64, hi_dbm: f64, points: usize, seed: u64) -> Ip3Result {
     let sweep = Sweep::linspace(lo_dbm, hi_dbm, points.max(2));
     let rows = sweep.run(|&iip3| {
-        let rf = RfConfig {
-            lna_nonlinearity: Nonlinearity::Cubic { iip3_dbm: iip3 },
-            ..RfConfig::default()
-        };
-        let report = LinkSimulation::new(LinkConfig {
-            rate: Rate::R36,
-            psdu_len: effort.psdu_len,
-            packets: effort.packets,
-            seed,
-            rx_level_dbm: -40.0,
-            adjacent: Some(AdjacentChannel {
-                offset_hz: 20e6,
-                rel_db: 6.0,
-            }),
-            front_end: FrontEnd::RfBaseband(rf),
-            ..LinkConfig::default()
-        })
-        .run();
+        let report = LinkSimulation::new(point_config(effort, iip3, seed)).run();
         (report.ber(), report.meter.bits())
     });
+    collect(rows)
+}
+
+fn collect(rows: Vec<wlan_dataflow::sweep::SweepPoint<f64, (f64, u64)>>) -> Ip3Result {
     Ip3Result {
+        point_elapsed: rows.iter().map(|p| p.elapsed).collect(),
         points: rows
             .into_iter()
             .map(|p| Ip3Point {
@@ -84,6 +95,26 @@ pub fn run(effort: Effort, lo_dbm: f64, hi_dbm: f64, points: usize, seed: u64) -
             })
             .collect(),
     }
+}
+
+/// [`run`] on the parallel engine: sweep points fan out across the
+/// engine's pool, each point runs its frame budget as a deterministic
+/// sharded schedule (optionally early-stopped). Bit-identical for any
+/// thread count.
+pub fn run_parallel(
+    effort: Effort,
+    lo_dbm: f64,
+    hi_dbm: f64,
+    points: usize,
+    seed: u64,
+    engine: &Engine,
+) -> Ip3Result {
+    let sweep = Sweep::linspace(lo_dbm, hi_dbm, points.max(2));
+    let rows = sweep.run_parallel_indexed(&engine.pool, |i, &iip3| {
+        let report = engine.measure(point_config(effort, iip3, seed), i);
+        (report.ber(), report.meter.bits())
+    });
+    collect(rows)
 }
 
 #[cfg(test)]
@@ -105,5 +136,21 @@ mod tests {
     fn table_renders() {
         let r = run(Effort::quick(), -30.0, -10.0, 2, 8);
         assert!(r.table().render().contains("IIP3"));
+    }
+
+    #[test]
+    fn parallel_sweep_is_thread_invariant() {
+        let serial = run_parallel(Effort::quick(), -30.0, -10.0, 3, 8, &Engine::serial());
+        let par = run_parallel(
+            Effort::quick(),
+            -30.0,
+            -10.0,
+            3,
+            8,
+            &Engine::with_threads(3),
+        );
+        for (a, b) in serial.points.iter().zip(par.points.iter()) {
+            assert_eq!(a, b);
+        }
     }
 }

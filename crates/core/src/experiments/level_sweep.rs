@@ -2,7 +2,7 @@
 //! receiver's specified input range (−88 … −23 dBm, §2.2), verifying
 //! sensitivity at the bottom and overload behavior at the top.
 
-use crate::experiments::Effort;
+use crate::experiments::{Effort, Engine};
 use crate::link::{FrontEnd, LinkConfig, LinkSimulation};
 use crate::report::{bar, format_ber, Table};
 use wlan_dataflow::sweep::Sweep;
@@ -27,6 +27,8 @@ pub struct LevelSweepResult {
     pub rate: Rate,
     /// Points in ascending level.
     pub points: Vec<LevelPoint>,
+    /// Per-point wall-clock, parallel to `points`.
+    pub point_elapsed: Vec<std::time::Duration>,
 }
 
 impl LevelSweepResult {
@@ -59,6 +61,36 @@ impl LevelSweepResult {
     }
 }
 
+fn point_config(effort: Effort, rate: Rate, level: f64, seed: u64) -> LinkConfig {
+    LinkConfig {
+        rate,
+        psdu_len: effort.psdu_len,
+        packets: effort.packets,
+        seed,
+        rx_level_dbm: level,
+        front_end: FrontEnd::RfBaseband(RfConfig::default()),
+        ..LinkConfig::default()
+    }
+}
+
+fn collect(
+    rate: Rate,
+    rows: Vec<wlan_dataflow::sweep::SweepPoint<f64, (f64, u64)>>,
+) -> LevelSweepResult {
+    LevelSweepResult {
+        rate,
+        point_elapsed: rows.iter().map(|p| p.elapsed).collect(),
+        points: rows
+            .into_iter()
+            .map(|p| LevelPoint {
+                rx_level_dbm: p.param,
+                ber: p.result.0,
+                bits: p.result.1,
+            })
+            .collect(),
+    }
+}
+
 /// Runs the sweep from below sensitivity to above the specified maximum.
 pub fn run(
     effort: Effort,
@@ -70,29 +102,29 @@ pub fn run(
 ) -> LevelSweepResult {
     let sweep = Sweep::linspace(lo_dbm, hi_dbm, points.max(2));
     let rows = sweep.run(|&level| {
-        let report = LinkSimulation::new(LinkConfig {
-            rate,
-            psdu_len: effort.psdu_len,
-            packets: effort.packets,
-            seed,
-            rx_level_dbm: level,
-            front_end: FrontEnd::RfBaseband(RfConfig::default()),
-            ..LinkConfig::default()
-        })
-        .run();
+        let report = LinkSimulation::new(point_config(effort, rate, level, seed)).run();
         (report.ber(), report.meter.bits())
     });
-    LevelSweepResult {
-        rate,
-        points: rows
-            .into_iter()
-            .map(|p| LevelPoint {
-                rx_level_dbm: p.param,
-                ber: p.result.0,
-                bits: p.result.1,
-            })
-            .collect(),
-    }
+    collect(rate, rows)
+}
+
+/// [`run`] on the parallel engine: points fan out across the pool with
+/// deterministic per-point seed streams and optional early stopping.
+pub fn run_parallel(
+    effort: Effort,
+    rate: Rate,
+    lo_dbm: f64,
+    hi_dbm: f64,
+    points: usize,
+    seed: u64,
+    engine: &Engine,
+) -> LevelSweepResult {
+    let sweep = Sweep::linspace(lo_dbm, hi_dbm, points.max(2));
+    let rows = sweep.run_parallel_indexed(&engine.pool, |i, &level| {
+        let report = engine.measure(point_config(effort, rate, level, seed), i);
+        (report.ber(), report.meter.bits())
+    });
+    collect(rate, rows)
 }
 
 #[cfg(test)]
@@ -116,5 +148,30 @@ mod tests {
     fn table_renders() {
         let r = run(Effort::quick(), Rate::R24, -60.0, -30.0, 2, 4);
         assert!(r.table().render().contains("input level"));
+    }
+
+    #[test]
+    fn parallel_sweep_is_thread_invariant() {
+        let serial = run_parallel(
+            Effort::quick(),
+            Rate::R24,
+            -60.0,
+            -40.0,
+            3,
+            4,
+            &Engine::serial(),
+        );
+        let par = run_parallel(
+            Effort::quick(),
+            Rate::R24,
+            -60.0,
+            -40.0,
+            3,
+            4,
+            &Engine::with_threads(2),
+        );
+        for (a, b) in serial.points.iter().zip(par.points.iter()) {
+            assert_eq!(a, b);
+        }
     }
 }

@@ -24,6 +24,10 @@
 //! | [`constellation`] | constellation capture (the SigCalc viewer workflow) |
 //! | [`ber_snr`] | §5.1 — BER-vs-SNR baseline for all eight rates |
 
+use crate::link::{LinkConfig, LinkReport, LinkSimulation, McRun};
+use wlan_exec::ThreadPool;
+use wlan_meas::montecarlo::EarlyStop;
+
 pub mod ber_snr;
 pub mod blocking;
 pub mod cfo;
@@ -82,5 +86,79 @@ impl Effort {
             .and_then(|v| v.parse().ok())
             .unwrap_or(d.psdu_len);
         Effort { packets, psdu_len }
+    }
+}
+
+/// Parallel execution engine for the Monte-Carlo sweep experiments.
+///
+/// Sweep points fan out across [`Engine::pool`] (via
+/// [`wlan_dataflow::sweep::Sweep::run_parallel_indexed`]); within each
+/// point the frame budget runs as a deterministic sharded schedule with
+/// optional Wilson-interval early stopping. Results are bit-identical
+/// for any thread count: every shard's RNG stream is a pure function of
+/// `(master_seed, point_index, shard_index)`.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    /// Worker pool the sweep points are distributed over.
+    pub pool: ThreadPool,
+    /// Per-point Monte-Carlo schedule template (`point_index` is
+    /// overwritten with the sweep index of each point).
+    pub mc: McRun,
+}
+
+impl Engine {
+    /// A single-worker engine running the full frame budget — the
+    /// serial reference the parallel paths are compared against.
+    pub fn serial() -> Self {
+        Engine {
+            pool: ThreadPool::serial(),
+            mc: McRun::default(),
+        }
+    }
+
+    /// An engine with `threads` workers and default schedule.
+    pub fn with_threads(threads: usize) -> Self {
+        Engine {
+            pool: ThreadPool::new(threads),
+            mc: McRun::default(),
+        }
+    }
+
+    /// Engine from the environment: thread count from `WLANSIM_THREADS`
+    /// (default: available parallelism), adaptive early stopping on
+    /// unless `WLANSIM_EARLY_STOP=0`.
+    pub fn from_env() -> Self {
+        let early_stop = match std::env::var("WLANSIM_EARLY_STOP").as_deref() {
+            Ok("0") => None,
+            _ => Some(EarlyStop::default()),
+        };
+        Engine {
+            pool: ThreadPool::from_env(),
+            mc: McRun {
+                early_stop,
+                ..McRun::default()
+            },
+        }
+    }
+
+    /// Measures one sweep point: the sharded Monte-Carlo run of `cfg`
+    /// at sweep index `point_index`.
+    ///
+    /// Frames run serially *within* the calling worker — the engine
+    /// parallelizes across sweep points, so nesting stays bounded — but
+    /// the sharded seed schedule makes the outcome identical to a
+    /// frame-parallel run of the same point.
+    pub fn measure(&self, cfg: LinkConfig, point_index: usize) -> LinkReport {
+        let mc = McRun {
+            point_index: point_index as u64,
+            ..self.mc
+        };
+        LinkSimulation::new(cfg).run_parallel(&ThreadPool::serial(), &mc)
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::from_env()
     }
 }

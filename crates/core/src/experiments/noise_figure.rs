@@ -10,7 +10,7 @@
 //! (SPW-style) simulation, and run the same configuration through the
 //! noiseless co-simulation to reproduce the optimistic-BER artifact.
 
-use crate::experiments::Effort;
+use crate::experiments::{Effort, Engine};
 use crate::link::{FrontEnd, LinkConfig, LinkSimulation};
 use crate::report::{bar, format_ber, Table};
 use wlan_dataflow::sweep::Sweep;
@@ -37,6 +37,8 @@ pub struct NfResult {
     pub points: Vec<NfPoint>,
     /// Receive level used (dBm).
     pub rx_level_dbm: f64,
+    /// Per-point wall-clock, parallel to `points`.
+    pub point_elapsed: Vec<std::time::Duration>,
 }
 
 impl NfResult {
@@ -61,43 +63,44 @@ impl NfResult {
     }
 }
 
-/// Runs the sweep near sensitivity.
-pub fn run(effort: Effort, rx_level_dbm: f64, points: usize, seed: u64) -> NfResult {
-    let sweep = Sweep::linspace(3.0, 27.0, points.max(2));
-    let rows = sweep.run(|&nf| {
-        let rf = RfConfig {
-            lna_nf_db: nf,
-            ..RfConfig::default()
-        };
-        let base = LinkSimulation::new(LinkConfig {
-            rate: Rate::R12,
-            psdu_len: effort.psdu_len,
-            packets: effort.packets,
-            seed,
-            rx_level_dbm,
-            front_end: FrontEnd::RfBaseband(rf),
-            ..LinkConfig::default()
-        })
-        .run();
-        // The co-simulation cannot model the noise figure at all — every
-        // NF setting produces the same (noiseless) behavior.
-        let cosim = LinkSimulation::new(LinkConfig {
-            rate: Rate::R12,
-            psdu_len: effort.psdu_len,
-            packets: effort.packets,
-            seed,
-            rx_level_dbm,
-            front_end: FrontEnd::RfCosim {
-                filter_edge_hz: 10e6,
-                analog_osr: 4,
-                noise_workaround: false,
-            },
-            ..LinkConfig::default()
-        })
-        .run();
-        (base.ber(), cosim.ber(), base.meter.bits())
-    });
+fn baseband_config(effort: Effort, nf: f64, rx_level_dbm: f64, seed: u64) -> LinkConfig {
+    let rf = RfConfig {
+        lna_nf_db: nf,
+        ..RfConfig::default()
+    };
+    LinkConfig {
+        rate: Rate::R12,
+        psdu_len: effort.psdu_len,
+        packets: effort.packets,
+        seed,
+        rx_level_dbm,
+        front_end: FrontEnd::RfBaseband(rf),
+        ..LinkConfig::default()
+    }
+}
+
+fn cosim_config(effort: Effort, rx_level_dbm: f64, seed: u64) -> LinkConfig {
+    LinkConfig {
+        rate: Rate::R12,
+        psdu_len: effort.psdu_len,
+        packets: effort.packets,
+        seed,
+        rx_level_dbm,
+        front_end: FrontEnd::RfCosim {
+            filter_edge_hz: 10e6,
+            analog_osr: 4,
+            noise_workaround: false,
+        },
+        ..LinkConfig::default()
+    }
+}
+
+fn collect(
+    rows: Vec<wlan_dataflow::sweep::SweepPoint<f64, (f64, f64, u64)>>,
+    rx_level_dbm: f64,
+) -> NfResult {
     NfResult {
+        point_elapsed: rows.iter().map(|p| p.elapsed).collect(),
         points: rows
             .into_iter()
             .map(|p| NfPoint {
@@ -109,6 +112,38 @@ pub fn run(effort: Effort, rx_level_dbm: f64, points: usize, seed: u64) -> NfRes
             .collect(),
         rx_level_dbm,
     }
+}
+
+/// Runs the sweep near sensitivity.
+pub fn run(effort: Effort, rx_level_dbm: f64, points: usize, seed: u64) -> NfResult {
+    let sweep = Sweep::linspace(3.0, 27.0, points.max(2));
+    let rows = sweep.run(|&nf| {
+        let base = LinkSimulation::new(baseband_config(effort, nf, rx_level_dbm, seed)).run();
+        // The co-simulation cannot model the noise figure at all — every
+        // NF setting produces the same (noiseless) behavior.
+        let cosim = LinkSimulation::new(cosim_config(effort, rx_level_dbm, seed)).run();
+        (base.ber(), cosim.ber(), base.meter.bits())
+    });
+    collect(rows, rx_level_dbm)
+}
+
+/// [`run`] on the parallel engine: each NF point (both the baseband and
+/// the co-simulation series) runs as one pool task with deterministic
+/// seed streams.
+pub fn run_parallel(
+    effort: Effort,
+    rx_level_dbm: f64,
+    points: usize,
+    seed: u64,
+    engine: &Engine,
+) -> NfResult {
+    let sweep = Sweep::linspace(3.0, 27.0, points.max(2));
+    let rows = sweep.run_parallel_indexed(&engine.pool, |i, &nf| {
+        let base = engine.measure(baseband_config(effort, nf, rx_level_dbm, seed), i);
+        let cosim = engine.measure(cosim_config(effort, rx_level_dbm, seed), i);
+        (base.ber(), cosim.ber(), base.meter.bits())
+    });
+    collect(rows, rx_level_dbm)
 }
 
 #[cfg(test)]
@@ -133,6 +168,15 @@ mod tests {
             worst.ber_cosim,
             worst.ber_baseband
         );
+    }
+
+    #[test]
+    fn parallel_sweep_is_thread_invariant() {
+        let serial = run_parallel(Effort::quick(), -80.0, 2, 10, &Engine::serial());
+        let par = run_parallel(Effort::quick(), -80.0, 2, 10, &Engine::with_threads(2));
+        for (a, b) in serial.points.iter().zip(par.points.iter()) {
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -8,6 +8,8 @@ use wlan_channel::awgn::Awgn;
 use wlan_channel::fading::MultipathChannel;
 use wlan_channel::interferer::Scene;
 use wlan_dsp::{Complex, Rng};
+use wlan_exec::{split_seed, ThreadPool};
+use wlan_meas::montecarlo::{run_sharded, EarlyStop, McAccumulator, McPlan};
 use wlan_meas::BerMeter;
 use wlan_phy::params::SAMPLE_RATE;
 use wlan_phy::{Rate, Receiver, Transmitter};
@@ -148,6 +150,81 @@ impl LinkReport {
     }
 }
 
+/// Per-run (or per-shard) front-end and noise state: the filters settle
+/// across consecutive packets of the same stream.
+struct FrontEndState {
+    bb: Option<DoubleConversionReceiver>,
+    cosim: Option<CosimReceiver>,
+    noise: Awgn,
+}
+
+/// What one simulated packet produced.
+enum PacketOutcome {
+    Decoded {
+        tx_psdu: Vec<u8>,
+        rx_psdu: Vec<u8>,
+        evm_db: f64,
+    },
+    Lost,
+}
+
+/// Accumulated result of one Monte-Carlo shard (a batch of frames with
+/// its own seed stream). Merged in shard order by the parallel driver.
+#[derive(Debug, Clone, Default)]
+pub struct ShardReport {
+    /// BER statistics over the shard's frames.
+    pub meter: BerMeter,
+    /// Frames that decoded.
+    pub decoded_packets: usize,
+    /// Sum of per-packet EVM (dB) over decoded frames.
+    pub evm_sum_db: f64,
+    /// Frames simulated.
+    pub packets: usize,
+}
+
+impl McAccumulator for ShardReport {
+    fn meter(&self) -> &BerMeter {
+        &self.meter
+    }
+
+    fn absorb(&mut self, other: Self) {
+        self.meter.merge(&other.meter);
+        self.decoded_packets += other.decoded_packets;
+        self.evm_sum_db += other.evm_sum_db;
+        self.packets += other.packets;
+    }
+}
+
+/// Options for the sharded Monte-Carlo schedule of
+/// [`LinkSimulation::run_parallel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McRun {
+    /// Sweep-point index, the second coordinate of
+    /// [`wlan_exec::split_seed`]; distinct points at the same master
+    /// seed get independent streams.
+    pub point_index: u64,
+    /// Frames per shard. Small shards balance better across workers;
+    /// the shard decomposition (not the thread count) defines the
+    /// result.
+    pub shard_packets: usize,
+    /// Shards per early-stopping wave (see
+    /// [`wlan_meas::montecarlo::McPlan::wave`]).
+    pub wave: usize,
+    /// Optional adaptive stopping rule.
+    pub early_stop: Option<EarlyStop>,
+}
+
+impl Default for McRun {
+    fn default() -> Self {
+        McRun {
+            point_index: 0,
+            shard_packets: 1,
+            wave: 8,
+            early_stop: None,
+        }
+    }
+}
+
 /// The link simulation engine.
 #[derive(Debug, Clone)]
 pub struct LinkSimulation {
@@ -176,93 +253,24 @@ impl LinkSimulation {
         let cfg = &self.config;
         let started = Instant::now();
         let mut rng = Rng::new(cfg.seed);
+        let mut fe = self.front_end_state(cfg.seed);
+        let rx = Receiver::new();
         let mut meter = BerMeter::new();
         let mut evm_acc = 0.0f64;
         let mut decoded = 0usize;
 
-        // Front-end state persists across packets (filters settle).
-        let mut bb_frontend = match &cfg.front_end {
-            FrontEnd::RfBaseband(rf) => {
-                // The front end must run at the scene's oversampled rate.
-                let mut rf = *rf;
-                rf.sample_rate_hz = SAMPLE_RATE * cfg.osr as f64;
-                rf.osr = cfg.osr;
-                Some(DoubleConversionReceiver::new(rf, cfg.seed ^ 0xABCD))
-            }
-            _ => None,
-        };
-        let mut cosim_frontend = match &cfg.front_end {
-            FrontEnd::RfCosim {
-                filter_edge_hz,
-                analog_osr,
-                ..
-            } => Some(
-                CosimReceiver::with_filter_edge(
-                    *filter_edge_hz,
-                    SAMPLE_RATE * cfg.osr as f64,
-                    *analog_osr,
-                    cfg.osr,
-                )
-                .expect("built-in netlist elaborates"),
-            ),
-            _ => None,
-        };
-
-        let tx = Transmitter::new(cfg.rate);
-        let rx = Receiver::new();
-        let mut noise = Awgn::new(cfg.seed ^ 0x5EED);
-
         for pkt in 0..cfg.packets {
-            let mut psdu = vec![0u8; cfg.psdu_len];
-            rng.bytes(&mut psdu);
-            let seed_bits = ((pkt as u8).wrapping_mul(37) % 127) + 1;
-            let burst = Transmitter::new(cfg.rate)
-                .with_scrambler_seed(seed_bits)
-                .transmit(&psdu);
-            let _ = &tx;
-
-            // Optional multipath (one realization per packet).
-            let faded = match cfg.multipath_trms_s {
-                Some(trms) => {
-                    let ch = MultipathChannel::rayleigh_exponential(trms, SAMPLE_RATE, &mut rng);
-                    ch.apply(&burst.samples)
-                }
-                None => burst.samples.clone(),
-            };
-
-            let dsp_input: Vec<Complex> = match &cfg.front_end {
-                FrontEnd::Ideal => {
-                    let mut x = Vec::with_capacity(faded.len() + 400);
-                    x.extend(std::iter::repeat_n(Complex::ZERO, 200));
-                    x.extend_from_slice(&faded);
-                    x.extend(std::iter::repeat_n(Complex::ZERO, 200));
-                    match cfg.snr_db {
-                        Some(snr) => {
-                            // Noise power relative to burst power (≈1).
-                            let np = 10f64.powf(-snr / 10.0);
-                            noise.add_noise_power(&x, np)
-                        }
-                        None => x,
-                    }
-                }
-                FrontEnd::RfBaseband(_) | FrontEnd::RfCosim { .. } => {
-                    let scene = self.build_scene(&faded, cfg, pkt, &mut rng);
-                    let x = self.add_frontend_noise(scene, cfg, &mut noise);
-                    match (&mut bb_frontend, &mut cosim_frontend) {
-                        (Some(fe), _) => fe.process(&x),
-                        (_, Some(fe)) => fe.process(&x),
-                        _ => unreachable!(),
-                    }
-                }
-            };
-
-            match rx.receive(&dsp_input) {
-                Ok(got) if got.psdu.len() == psdu.len() => {
-                    meter.update_bytes(&psdu, &got.psdu);
-                    evm_acc += got.evm_db();
+            match self.sim_packet(pkt, &mut rng, &mut fe, &rx) {
+                PacketOutcome::Decoded {
+                    tx_psdu,
+                    rx_psdu,
+                    evm_db,
+                } => {
+                    meter.update_bytes(&tx_psdu, &rx_psdu);
+                    evm_acc += evm_db;
                     decoded += 1;
                 }
-                _ => {
+                PacketOutcome::Lost => {
                     meter.update_lost_packet(8 * cfg.psdu_len);
                 }
             }
@@ -278,6 +286,184 @@ impl LinkSimulation {
                 None
             },
             elapsed: started.elapsed(),
+        }
+    }
+
+    /// Runs one shard of the Monte-Carlo schedule: `packets` frames with
+    /// global indices `first_packet..first_packet + packets`, with all
+    /// randomness drawn from the shard's own `seed` stream.
+    ///
+    /// Global packet indices keep the scrambler-seed schedule aligned
+    /// with frame identity, so the shard decomposition — not the
+    /// execution order — defines the result.
+    pub fn run_shard(&self, first_packet: usize, packets: usize, seed: u64) -> ShardReport {
+        let cfg = &self.config;
+        let mut rng = Rng::new(seed);
+        let mut fe = self.front_end_state(seed);
+        let rx = Receiver::new();
+        let mut report = ShardReport::default();
+
+        for i in 0..packets {
+            match self.sim_packet(first_packet + i, &mut rng, &mut fe, &rx) {
+                PacketOutcome::Decoded {
+                    tx_psdu,
+                    rx_psdu,
+                    evm_db,
+                } => {
+                    report.meter.update_bytes(&tx_psdu, &rx_psdu);
+                    report.evm_sum_db += evm_db;
+                    report.decoded_packets += 1;
+                }
+                PacketOutcome::Lost => {
+                    report.meter.update_lost_packet(8 * cfg.psdu_len);
+                }
+            }
+            report.packets += 1;
+        }
+        report
+    }
+
+    /// Runs the configured frame budget as a sharded Monte-Carlo
+    /// schedule on the pool.
+    ///
+    /// Every shard derives its RNG stream from
+    /// `split_seed(seed, point_index, shard_index)`, so the result is
+    /// **bit-identical for any thread count** (including a serial
+    /// 1-worker pool) and early stopping — checked at fixed wave
+    /// boundaries — is equally scheduling-invariant. With early
+    /// stopping enabled, [`LinkReport::packets`] records the frames
+    /// actually simulated, which may be fewer than the configured
+    /// budget.
+    ///
+    /// Note this is a *different estimator* from [`LinkSimulation::run`]
+    /// (shards restart the front-end filters and consume independent
+    /// streams), so its BER differs from the legacy serial loop by
+    /// ordinary Monte-Carlo variation — but never between two
+    /// executions of itself.
+    pub fn run_parallel(&self, pool: &ThreadPool, mc: &McRun) -> LinkReport {
+        let cfg = &self.config;
+        let started = Instant::now();
+        let shard_packets = mc.shard_packets.max(1);
+        let shards = cfg.packets.div_ceil(shard_packets);
+        let plan = McPlan {
+            shards,
+            wave: mc.wave,
+            early_stop: mc.early_stop,
+        };
+        let outcome = run_sharded(pool, &plan, |shard| {
+            let first = shard * shard_packets;
+            let n = shard_packets.min(cfg.packets - first);
+            self.run_shard(first, n, split_seed(cfg.seed, mc.point_index, shard as u64))
+        });
+        let acc: ShardReport = outcome.acc;
+        LinkReport {
+            packets: acc.packets,
+            decoded_packets: acc.decoded_packets,
+            meter: acc.meter,
+            evm_db: if acc.decoded_packets > 0 {
+                Some(acc.evm_sum_db / acc.decoded_packets as f64)
+            } else {
+                None
+            },
+            elapsed: started.elapsed(),
+        }
+    }
+
+    /// Builds the per-run front-end state (filters settle across the
+    /// packets of one serial run or one shard).
+    fn front_end_state(&self, seed: u64) -> FrontEndState {
+        let cfg = &self.config;
+        let bb = match &cfg.front_end {
+            FrontEnd::RfBaseband(rf) => {
+                // The front end must run at the scene's oversampled rate.
+                let mut rf = *rf;
+                rf.sample_rate_hz = SAMPLE_RATE * cfg.osr as f64;
+                rf.osr = cfg.osr;
+                Some(DoubleConversionReceiver::new(rf, seed ^ 0xABCD))
+            }
+            _ => None,
+        };
+        let cosim = match &cfg.front_end {
+            FrontEnd::RfCosim {
+                filter_edge_hz,
+                analog_osr,
+                ..
+            } => Some(
+                CosimReceiver::with_filter_edge(
+                    *filter_edge_hz,
+                    SAMPLE_RATE * cfg.osr as f64,
+                    *analog_osr,
+                    cfg.osr,
+                )
+                .expect("built-in netlist elaborates"),
+            ),
+            _ => None,
+        };
+        FrontEndState {
+            bb,
+            cosim,
+            noise: Awgn::new(seed ^ 0x5EED),
+        }
+    }
+
+    /// Simulates one packet: transmit, channel, front end, receive.
+    fn sim_packet(
+        &self,
+        pkt: usize,
+        rng: &mut Rng,
+        fe: &mut FrontEndState,
+        rx: &Receiver,
+    ) -> PacketOutcome {
+        let cfg = &self.config;
+        let mut psdu = vec![0u8; cfg.psdu_len];
+        rng.bytes(&mut psdu);
+        let seed_bits = ((pkt as u8).wrapping_mul(37) % 127) + 1;
+        let burst = Transmitter::new(cfg.rate)
+            .with_scrambler_seed(seed_bits)
+            .transmit(&psdu);
+
+        // Optional multipath (one realization per packet).
+        let faded = match cfg.multipath_trms_s {
+            Some(trms) => {
+                let ch = MultipathChannel::rayleigh_exponential(trms, SAMPLE_RATE, rng);
+                ch.apply(&burst.samples)
+            }
+            None => burst.samples.clone(),
+        };
+
+        let dsp_input: Vec<Complex> = match &cfg.front_end {
+            FrontEnd::Ideal => {
+                let mut x = Vec::with_capacity(faded.len() + 400);
+                x.extend(std::iter::repeat_n(Complex::ZERO, 200));
+                x.extend_from_slice(&faded);
+                x.extend(std::iter::repeat_n(Complex::ZERO, 200));
+                match cfg.snr_db {
+                    Some(snr) => {
+                        // Noise power relative to burst power (≈1).
+                        let np = 10f64.powf(-snr / 10.0);
+                        fe.noise.add_noise_power(&x, np)
+                    }
+                    None => x,
+                }
+            }
+            FrontEnd::RfBaseband(_) | FrontEnd::RfCosim { .. } => {
+                let scene = self.build_scene(&faded, cfg, pkt, rng);
+                let x = self.add_frontend_noise(scene, cfg, &mut fe.noise);
+                match (&mut fe.bb, &mut fe.cosim) {
+                    (Some(fe), _) => fe.process(&x),
+                    (_, Some(fe)) => fe.process(&x),
+                    _ => unreachable!(),
+                }
+            }
+        };
+
+        match rx.receive(&dsp_input) {
+            Ok(got) if got.psdu.len() == psdu.len() => PacketOutcome::Decoded {
+                evm_db: got.evm_db(),
+                tx_psdu: psdu,
+                rx_psdu: got.psdu,
+            },
+            _ => PacketOutcome::Lost,
         }
     }
 
@@ -482,6 +668,51 @@ mod tests {
         });
         // 50 ns delay spread fits comfortably in the 800 ns guard.
         assert!(r.ber() < 0.01, "ber {}", r.ber());
+    }
+
+    #[test]
+    fn run_parallel_is_thread_invariant() {
+        let sim = LinkSimulation::new(LinkConfig {
+            packets: 4,
+            psdu_len: 40,
+            rate: Rate::R36,
+            snr_db: Some(9.0),
+            seed: 21,
+            ..LinkConfig::default()
+        });
+        let mc = McRun::default();
+        let base = sim.run_parallel(&ThreadPool::serial(), &mc);
+        for threads in [2, 4] {
+            let r = sim.run_parallel(&ThreadPool::new(threads), &mc);
+            assert_eq!(r.meter, base.meter, "{threads} threads");
+            assert_eq!(r.decoded_packets, base.decoded_packets);
+            assert_eq!(r.evm_db, base.evm_db);
+            assert_eq!(r.packets, base.packets);
+        }
+    }
+
+    #[test]
+    fn run_parallel_point_index_changes_stream() {
+        let sim = LinkSimulation::new(LinkConfig {
+            packets: 3,
+            psdu_len: 40,
+            snr_db: Some(8.5),
+            seed: 5,
+            ..LinkConfig::default()
+        });
+        let a = sim.run_parallel(&ThreadPool::serial(), &McRun::default());
+        let b = sim.run_parallel(
+            &ThreadPool::serial(),
+            &McRun {
+                point_index: 1,
+                ..McRun::default()
+            },
+        );
+        // Different points must not reuse the same noise realizations.
+        assert!(
+            a.meter != b.meter || a.evm_db != b.evm_db,
+            "point 0 and point 1 produced identical results"
+        );
     }
 
     #[test]

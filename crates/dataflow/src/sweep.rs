@@ -3,6 +3,7 @@
 //! front-end, e.g. IP3 value of the LNA" (§4.1).
 
 use std::time::{Duration, Instant};
+use wlan_exec::ThreadPool;
 
 /// One evaluated sweep point.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,13 +24,18 @@ pub struct Sweep<P> {
 
 impl Sweep<f64> {
     /// Linearly spaced sweep from `start` to `stop` inclusive with
-    /// `count` points.
+    /// `count` points. A single-point sweep sits at `start`.
     ///
     /// # Panics
     ///
-    /// Panics if `count < 2`.
+    /// Panics if `count` is zero.
     pub fn linspace(start: f64, stop: f64, count: usize) -> Self {
-        assert!(count >= 2, "need at least two points");
+        assert!(count >= 1, "need at least one point");
+        if count == 1 {
+            return Sweep {
+                points: vec![start],
+            };
+        }
         let step = (stop - start) / (count - 1) as f64;
         Sweep {
             points: (0..count).map(|i| start + step * i as f64).collect(),
@@ -73,6 +79,50 @@ impl<P: Clone> Sweep<P> {
             })
             .collect()
     }
+
+    /// Evaluates `f` at every point on the pool's workers.
+    ///
+    /// Points fan out across the pool's shared work queue; results come
+    /// back in sweep order with per-point wall-clock timing, exactly as
+    /// [`Sweep::run`] would report them. For a deterministic `f` the
+    /// params and results are identical to the serial path for any
+    /// thread count — only `elapsed` differs.
+    pub fn run_parallel<R>(
+        &self,
+        pool: &ThreadPool,
+        f: impl Fn(&P) -> R + Sync,
+    ) -> Vec<SweepPoint<P, R>>
+    where
+        P: Send + Sync,
+        R: Send,
+    {
+        self.run_parallel_indexed(pool, |_, p| f(p))
+    }
+
+    /// [`Sweep::run_parallel`] with the point index passed to `f`.
+    ///
+    /// The index is what Monte-Carlo callers feed into
+    /// [`wlan_exec::split_seed`] so every sweep point owns an
+    /// independent, scheduling-invariant seed stream.
+    pub fn run_parallel_indexed<R>(
+        &self,
+        pool: &ThreadPool,
+        f: impl Fn(usize, &P) -> R + Sync,
+    ) -> Vec<SweepPoint<P, R>>
+    where
+        P: Send + Sync,
+        R: Send,
+    {
+        pool.par_map(&self.points, |i, p| {
+            let t0 = Instant::now();
+            let result = f(i, p);
+            SweepPoint {
+                param: p.clone(),
+                result,
+                elapsed: t0.elapsed(),
+            }
+        })
+    }
 }
 
 #[cfg(test)]
@@ -103,8 +153,48 @@ mod tests {
     }
 
     #[test]
+    fn single_point_linspace_sits_at_start() {
+        let s = Sweep::linspace(-40.0, 0.0, 1);
+        assert_eq!(s.points(), &[-40.0]);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
     #[should_panic]
-    fn single_point_linspace_panics() {
-        let _ = Sweep::linspace(0.0, 1.0, 1);
+    fn empty_linspace_panics() {
+        let _ = Sweep::linspace(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn run_parallel_matches_run() {
+        let s = Sweep::linspace(0.0, 10.0, 11);
+        let f = |p: &f64| (p * p * 3.0, (*p as u64).wrapping_mul(17));
+        let serial = s.run(f);
+        for threads in [1, 2, 4] {
+            let par = s.run_parallel(&ThreadPool::new(threads), f);
+            assert_eq!(par.len(), serial.len());
+            for (a, b) in par.iter().zip(serial.iter()) {
+                assert_eq!(a.param, b.param, "{threads} threads");
+                assert_eq!(a.result, b.result, "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn run_parallel_indexed_sees_sweep_order() {
+        let s = Sweep::over(vec![10, 20, 30]);
+        let rows = s.run_parallel_indexed(&ThreadPool::new(2), |i, &p| (i, p));
+        assert_eq!(rows[0].result, (0, 10));
+        assert_eq!(rows[1].result, (1, 20));
+        assert_eq!(rows[2].result, (2, 30));
+    }
+
+    #[test]
+    fn run_parallel_records_timing() {
+        let s = Sweep::over(vec![0u32; 3]);
+        let rows = s.run_parallel(&ThreadPool::new(2), |_| {
+            std::thread::sleep(Duration::from_millis(5))
+        });
+        assert!(rows.iter().all(|r| r.elapsed >= Duration::from_millis(4)));
     }
 }

@@ -42,11 +42,14 @@ impl Fft {
             n.is_power_of_two() && n > 0,
             "FFT size must be a power of two, got {n}"
         );
-        let bits = n.trailing_zeros();
-        let rev = (0..n as u32)
-            .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
-            .collect::<Vec<_>>();
-        let rev = if n == 1 { vec![0] } else { rev };
+        let rev = if n == 1 {
+            vec![0]
+        } else {
+            let bits = n.trailing_zeros();
+            (0..n as u32)
+                .map(|i| i.reverse_bits() >> (32 - bits))
+                .collect()
+        };
         let tw = (0..n / 2)
             .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
             .collect();
@@ -291,6 +294,22 @@ mod tests {
     fn fftshift_freqs_axis() {
         let f = fftshift_freqs(4, 8.0);
         assert_eq!(f, vec![-4.0, -2.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn plan_table_sizes_for_small_transforms() {
+        for n in [1usize, 2, 4, 8, 16] {
+            let plan = Fft::new(n);
+            assert_eq!(plan.rev.len(), n, "rev table for n={n}");
+            assert_eq!(plan.tw.len(), n / 2, "twiddle table for n={n}");
+        }
+        // The 1-point plan is the identity: no twiddles, rev = [0].
+        let one = Fft::new(1);
+        assert!(one.tw.is_empty());
+        assert_eq!(one.rev, vec![0]);
+        let mut x = vec![crate::Complex::new(3.0, -2.0)];
+        one.forward(&mut x);
+        assert_eq!(x[0], crate::Complex::new(3.0, -2.0));
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! A scoped-thread worker pool with a shared claim-index work queue.
+//!
+//! The pool is deliberately tiny: tasks are the elements of a slice, the
+//! "queue" is an atomic cursor into it, and workers loop claiming the
+//! next unclaimed index until the slice is exhausted. That gives the
+//! load-balancing property of a work-stealing pool (a worker stuck on a
+//! slow sweep point does not hold up the others) without any unsafe
+//! code or channel machinery, and it keeps results independent of the
+//! thread count: each task's output depends only on its input.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-width worker pool.
+///
+/// Threads are spawned per [`ThreadPool::par_map`] call via
+/// [`std::thread::scope`], so borrowed data can flow into the tasks and
+/// nothing outlives the call.
+///
+/// # Example
+///
+/// ```
+/// use wlan_exec::ThreadPool;
+/// let pool = ThreadPool::new(4);
+/// let squares = pool.par_map(&[1, 2, 3, 4], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]); // input order preserved
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool of `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        ThreadPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-worker pool: `par_map` runs inline on the caller's
+    /// thread with no spawning. Useful as the serial reference.
+    pub fn serial() -> Self {
+        ThreadPool::new(1)
+    }
+
+    /// Reads the worker count from the `WLANSIM_THREADS` environment
+    /// variable, falling back to the machine's available parallelism.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("WLANSIM_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        ThreadPool::new(threads)
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items` on the pool, returning results in input
+    /// order.
+    ///
+    /// `f` receives `(index, &item)`. With one worker (or zero/one
+    /// items) the map runs inline on the calling thread, so a
+    /// single-threaded pool is exactly a serial loop.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let workers = self.threads.min(items.len());
+        let cursor = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    collected
+                        .lock()
+                        .expect("pool worker panicked")
+                        .extend(local);
+                });
+            }
+        });
+        let mut pairs = collected.into_inner().expect("pool worker panicked");
+        pairs.sort_by_key(|(i, _)| *i);
+        debug_assert_eq!(pairs.len(), items.len());
+        pairs.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<usize> = (0..100).collect();
+        let out = pool.par_map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let items: Vec<u64> = (0..37).collect();
+        let f = |_: usize, &x: &u64| x.wrapping_mul(0x9E37_79B9).rotate_left(13);
+        let serial = ThreadPool::serial().par_map(&items, f);
+        for threads in [2, 3, 4, 8] {
+            let par = ThreadPool::new(threads).par_map(&items, f);
+            assert_eq!(par, serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let pool = ThreadPool::new(4);
+        let empty: Vec<i32> = Vec::new();
+        assert!(pool.par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(pool.par_map(&[7], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.par_map(&[1, 2], |_, &x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // One slow task must not serialize the rest: total wall-clock
+        // with 4 workers should be well under the serial sum.
+        let pool = ThreadPool::new(4);
+        let loads = [20u64, 1, 1, 1, 1, 1, 1, 1];
+        let out = pool.par_map(&loads, |_, &ms| {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            ms
+        });
+        assert_eq!(out.iter().sum::<u64>(), 27);
+    }
+}

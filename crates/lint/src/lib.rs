@@ -21,6 +21,11 @@
 pub mod ams;
 pub mod dataflow;
 
+/// Schema version of the JSON report emitted by [`Report::to_json`].
+/// Bump on any structural change so CI consumers can diff artifacts
+/// across runs without sniffing fields.
+pub const JSON_SCHEMA_VERSION: u32 = 1;
+
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
@@ -159,9 +164,10 @@ impl Report {
         out
     }
 
-    /// Renders the machine-readable JSON report.
+    /// Renders the machine-readable JSON report (schema
+    /// [`JSON_SCHEMA_VERSION`]).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"targets\": [");
+        let mut out = format!("{{\n  \"schema\": {JSON_SCHEMA_VERSION},\n  \"targets\": [");
         for (i, t) in self.targets.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
@@ -251,5 +257,6 @@ mod tests {
         assert!(json.contains("\"line\\n1\""), "{json}");
         assert!(json.contains("\"errors\": 1"));
         assert!(json.contains("\"warnings\": 0"));
+        assert!(json.contains(&format!("\"schema\": {JSON_SCHEMA_VERSION}")));
     }
 }

@@ -17,8 +17,10 @@ pub mod ber;
 pub mod compression;
 pub mod desense;
 pub mod evm;
+pub mod montecarlo;
 pub mod noisefigure;
 pub mod twotone;
 
 pub use ber::BerMeter;
 pub use evm::EvmMeter;
+pub use montecarlo::{run_sharded, EarlyStop, McAccumulator, McOutcome, McPlan};

@@ -1,0 +1,276 @@
+//! Sharded Monte-Carlo execution with adaptive BER early-stopping.
+//!
+//! The paper's §4.2 runtime table is dominated by Monte-Carlo BER
+//! points that each simulate a fixed frame budget. This module replaces
+//! the fixed budget with a deterministic sharded schedule:
+//!
+//! * Work is split into **shards** of a few frames each; every shard
+//!   owns an RNG stream derived from its index (the caller seeds it via
+//!   [`wlan_exec::split_seed`]), so a shard's result is a pure function
+//!   of its identity.
+//! * Shards execute in **waves** of fixed size. A wave's shards run
+//!   concurrently on the [`ThreadPool`]; their accumulators merge in
+//!   shard order. Because wave boundaries come from the plan — never
+//!   from the thread count — the merged statistics after each wave, and
+//!   therefore every early-stopping decision, are bit-identical whether
+//!   the pool has 1 worker or 64.
+//! * After each wave an optional [`EarlyStop`] rule inspects the
+//!   accumulated [`BerMeter`]: once the Wilson 95 % interval is tight
+//!   relative to the estimate (or the upper bound has fallen below the
+//!   BER floor anyone cares about), the remaining shards are skipped.
+//!   Deep-waterfall sweep points stop wasting frames, shallow points
+//!   run to a controlled precision.
+
+use crate::BerMeter;
+use wlan_exec::ThreadPool;
+
+/// Adaptive stopping rule evaluated on the accumulated meter at wave
+/// boundaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyStop {
+    /// Never stop before this many compared bits.
+    pub min_bits: u64,
+    /// Stop once the Wilson 95 % half-width is at most this fraction of
+    /// the BER estimate (for a non-zero estimate).
+    pub rel_width: f64,
+    /// Stop once the Wilson upper bound is at or below this floor —
+    /// the point is provably "error-free for our purposes" and more
+    /// frames cannot change the conclusion.
+    pub ber_floor: f64,
+}
+
+impl Default for EarlyStop {
+    /// ±25 % relative precision after at least 16 kbit, 1e-6 floor.
+    fn default() -> Self {
+        EarlyStop {
+            min_bits: 16_000,
+            rel_width: 0.25,
+            ber_floor: 1e-6,
+        }
+    }
+}
+
+impl EarlyStop {
+    /// `true` when the meter satisfies the rule.
+    pub fn should_stop(&self, m: &BerMeter) -> bool {
+        if m.bits() < self.min_bits {
+            return false;
+        }
+        let (lo, hi) = m.confidence_interval();
+        let p = m.ber();
+        if p > 0.0 && (hi - lo) / 2.0 <= self.rel_width * p {
+            return true;
+        }
+        hi <= self.ber_floor
+    }
+}
+
+/// The deterministic shard schedule of one Monte-Carlo point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McPlan {
+    /// Maximum number of shards (the frame budget divided by frames per
+    /// shard).
+    pub shards: usize,
+    /// Shards per wave — the early-stopping check granularity. Part of
+    /// the plan, **not** derived from the thread count, so results are
+    /// scheduling-invariant.
+    pub wave: usize,
+    /// Optional adaptive stopping rule.
+    pub early_stop: Option<EarlyStop>,
+}
+
+impl McPlan {
+    /// A plan that runs every shard unconditionally.
+    pub fn exhaustive(shards: usize) -> Self {
+        McPlan {
+            shards,
+            wave: shards.max(1),
+            early_stop: None,
+        }
+    }
+}
+
+/// Per-shard result that can fold into a running total.
+///
+/// [`BerMeter`] implements this directly; richer simulators (decoded
+/// packet counts, EVM sums) implement it on their own accumulator.
+pub trait McAccumulator: Send {
+    /// The BER statistics the early-stopping rule inspects.
+    fn meter(&self) -> &BerMeter;
+    /// Folds `other` into `self`. Merging is performed in shard order.
+    fn absorb(&mut self, other: Self);
+}
+
+impl McAccumulator for BerMeter {
+    fn meter(&self) -> &BerMeter {
+        self
+    }
+
+    fn absorb(&mut self, other: Self) {
+        self.merge(&other);
+    }
+}
+
+/// Outcome of a sharded run.
+#[derive(Debug, Clone)]
+pub struct McOutcome<A> {
+    /// Merged accumulator over every executed shard.
+    pub acc: A,
+    /// Shards actually executed (`< plan.shards` iff stopped early).
+    pub shards_run: usize,
+    /// Whether the early-stopping rule fired.
+    pub stopped_early: bool,
+}
+
+/// Runs `sim` over the plan's shards on the pool.
+///
+/// `sim` receives the shard index and must derive all randomness from
+/// it. Returns the in-order merge of every executed shard.
+///
+/// # Panics
+///
+/// Panics on a zero-shard plan.
+pub fn run_sharded<A, F>(pool: &ThreadPool, plan: &McPlan, sim: F) -> McOutcome<A>
+where
+    A: McAccumulator,
+    F: Fn(usize) -> A + Sync,
+{
+    assert!(plan.shards > 0, "Monte-Carlo plan needs at least one shard");
+    let wave = plan.wave.max(1);
+    let mut acc: Option<A> = None;
+    let mut shards_run = 0;
+    let mut stopped_early = false;
+    while shards_run < plan.shards {
+        let n = wave.min(plan.shards - shards_run);
+        let indices: Vec<usize> = (shards_run..shards_run + n).collect();
+        let results = pool.par_map(&indices, |_, &shard| sim(shard));
+        for r in results {
+            match &mut acc {
+                Some(a) => a.absorb(r),
+                None => acc = Some(r),
+            }
+        }
+        shards_run += n;
+        if let (Some(rule), Some(a)) = (&plan.early_stop, &acc) {
+            if shards_run < plan.shards && rule.should_stop(a.meter()) {
+                stopped_early = true;
+                break;
+            }
+        }
+    }
+    McOutcome {
+        acc: acc.expect("at least one shard ran"),
+        shards_run,
+        stopped_early,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_exec::split_seed;
+
+    /// Synthetic shard: `bits` bits with a deterministic pseudo-random
+    /// error pattern at roughly `ber` derived from the shard seed.
+    fn shard_meter(master: u64, shard: usize, bits: usize, ber: f64) -> BerMeter {
+        let mut rng = wlan_dsp::Rng::new(split_seed(master, 0, shard as u64));
+        let tx = vec![0u8; bits];
+        let rx: Vec<u8> = (0..bits)
+            .map(|_| if rng.uniform() < ber { 1 } else { 0 })
+            .collect();
+        let mut m = BerMeter::new();
+        m.update_bits(&tx, &rx);
+        m
+    }
+
+    #[test]
+    fn merged_counts_are_thread_invariant() {
+        let plan = McPlan {
+            shards: 24,
+            wave: 4,
+            early_stop: Some(EarlyStop {
+                min_bits: 2_000,
+                rel_width: 0.3,
+                ber_floor: 1e-6,
+            }),
+        };
+        let run = |threads| {
+            run_sharded(&ThreadPool::new(threads), &plan, |s| {
+                shard_meter(99, s, 500, 0.05)
+            })
+        };
+        let base = run(1);
+        for threads in [2, 4] {
+            let out = run(threads);
+            assert_eq!(out.acc, base.acc, "{threads} threads");
+            assert_eq!(out.shards_run, base.shards_run);
+            assert_eq!(out.stopped_early, base.stopped_early);
+        }
+    }
+
+    #[test]
+    fn high_ber_point_stops_early() {
+        let plan = McPlan {
+            shards: 64,
+            wave: 2,
+            early_stop: Some(EarlyStop {
+                min_bits: 1_000,
+                rel_width: 0.5,
+                ber_floor: 1e-9,
+            }),
+        };
+        let out = run_sharded(&ThreadPool::serial(), &plan, |s| {
+            shard_meter(7, s, 1_000, 0.1)
+        });
+        assert!(out.stopped_early);
+        assert!(out.shards_run < 64, "ran {} shards", out.shards_run);
+        // The estimate is still in the right place.
+        let ber = out.acc.ber();
+        assert!((0.05..0.2).contains(&ber), "ber {ber}");
+    }
+
+    #[test]
+    fn clean_point_stops_at_the_floor() {
+        // Zero errors: the Wilson upper bound shrinks with bits; once it
+        // crosses the floor the point stops.
+        let plan = McPlan {
+            shards: 1_000,
+            wave: 10,
+            early_stop: Some(EarlyStop {
+                min_bits: 10_000,
+                rel_width: 0.25,
+                ber_floor: 1e-3,
+            }),
+        };
+        let out = run_sharded(&ThreadPool::serial(), &plan, |s| {
+            shard_meter(7, s, 500, 0.0)
+        });
+        assert!(out.stopped_early);
+        assert!(out.shards_run < 100, "ran {} shards", out.shards_run);
+        assert_eq!(out.acc.errors(), 0);
+    }
+
+    #[test]
+    fn no_rule_runs_every_shard() {
+        let out = run_sharded(&ThreadPool::new(3), &McPlan::exhaustive(17), |s| {
+            shard_meter(1, s, 100, 0.02)
+        });
+        assert_eq!(out.shards_run, 17);
+        assert!(!out.stopped_early);
+        assert_eq!(out.acc.bits(), 1_700);
+    }
+
+    #[test]
+    fn early_stop_respects_min_bits() {
+        let rule = EarlyStop {
+            min_bits: 10_000,
+            rel_width: 10.0, // absurdly loose — only min_bits gates
+            ber_floor: 1.0,
+        };
+        let mut m = BerMeter::new();
+        m.update_bits(&[0; 100], &[1; 100]);
+        assert!(!rule.should_stop(&m));
+        let big = shard_meter(3, 0, 20_000, 0.1);
+        assert!(rule.should_stop(&big));
+    }
+}
