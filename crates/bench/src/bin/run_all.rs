@@ -6,6 +6,23 @@ fn main() {
     let effort = Effort::from_env();
     eprintln!("effort: {effort:?} (override with WLANSIM_PACKETS / WLANSIM_PSDU)\n");
 
+    // Refuse to produce paper numbers from a transmitter that no longer
+    // matches the standard: run the Annex G known-answer tests first.
+    let kat = wlan_conformance::annex_g::run_all();
+    for r in &kat {
+        eprintln!(
+            "annex-g [{}] {}: {}",
+            if r.ok { "ok" } else { "FAIL" },
+            r.stage,
+            r.detail
+        );
+    }
+    assert!(
+        wlan_conformance::annex_g::all_pass(&kat),
+        "Annex G conformance failed — results below would not be 802.11a"
+    );
+    eprintln!();
+
     let t = table1::run();
     println!("{t}");
     wlan_bench::save_csv(&t, "table1");

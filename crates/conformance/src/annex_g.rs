@@ -1,0 +1,332 @@
+//! IEEE 802.11a-1999 Annex G known-answer tests.
+//!
+//! Annex G walks one complete example through the transmitter: a
+//! 100-byte MPDU at 36 Mbit/s (16-QAM, rate 3/4) with scrambler seed
+//! 1011101. Every bit-domain TX stage of `wlan-phy` is checked
+//! bit-exactly against the independent [`crate::refimpl`] restatement
+//! of the standard on this message, plus the constants the standard
+//! prints outright (the all-ones scrambler sequence, the SIGNAL field
+//! bits). IQ-domain stages (constellation mapping, the OFDM time
+//! waveform) are checked with an EVM-style RMS tolerance instead of
+//! bit equality.
+
+use crate::refimpl;
+use wlan_dsp::Complex;
+use wlan_phy::params::{CodeRate, Modulation, Rate};
+use wlan_phy::{
+    convolutional, frame, interleaver::Interleaver, modulation, pilots, puncture,
+    scrambler::Scrambler, signal_field, Transmitter,
+};
+
+/// The Annex G example rate: 36 Mbit/s.
+pub const ANNEX_G_RATE: Rate = Rate::R36;
+
+/// The Annex G scrambler seed (1011101 binary).
+pub const ANNEX_G_SEED: u8 = 0b1011101;
+
+/// The Annex G MPDU: a 24-byte MAC header, 72 bytes of message text
+/// ("Joy, bright spark of divinity…" — including the standard's own
+/// "insired" typo), and the 4-byte FCS, 100 bytes total.
+pub const ANNEX_G_PSDU: [u8; 100] = [
+    // MAC header.
+    0x04, 0x02, 0x00, 0x2E, 0x00, 0x60, 0x08, 0xCD, 0x37, 0xA6, 0x00, 0x20, 0xD6, 0x01, 0x3C, 0xF1,
+    0x00, 0x60, 0x08, 0xAD, 0x3B, 0xAF, 0x00, 0x00, //
+    // "Joy, bright spark of divinity,\n"
+    0x4A, 0x6F, 0x79, 0x2C, 0x20, 0x62, 0x72, 0x69, 0x67, 0x68, 0x74, 0x20, 0x73, 0x70, 0x61, 0x72,
+    0x6B, 0x20, 0x6F, 0x66, 0x20, 0x64, 0x69, 0x76, 0x69, 0x6E, 0x69, 0x74, 0x79, 0x2C,
+    0x0A, //
+    // "Daughter of Elysium,\n"
+    0x44, 0x61, 0x75, 0x67, 0x68, 0x74, 0x65, 0x72, 0x20, 0x6F, 0x66, 0x20, 0x45, 0x6C, 0x79, 0x73,
+    0x69, 0x75, 0x6D, 0x2C, 0x0A, //
+    // "Fire-insired we trea"
+    0x46, 0x69, 0x72, 0x65, 0x2D, 0x69, 0x6E, 0x73, 0x69, 0x72, 0x65, 0x64, 0x20, 0x77, 0x65, 0x20,
+    0x74, 0x72, 0x65, 0x61, //
+    // FCS.
+    0x67, 0x33, 0x21, 0xB6,
+];
+
+/// The 24 SIGNAL bits for the Annex G example (RATE = 1011 for
+/// 36 Mbit/s, LENGTH = 100 LSB-first, even parity, zero tail).
+pub const ANNEX_G_SIGNAL_BITS: [u8; 24] = [
+    1, 0, 1, 1, 0, // RATE + reserved
+    0, 0, 1, 0, 0, 1, 1, 0, 0, 0, 0, 0, // LENGTH = 100
+    0, // parity
+    0, 0, 0, 0, 0, 0, // tail
+];
+
+/// Which comparison discipline a stage uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// Bit-exact equality required.
+    Bit,
+    /// RMS error within an EVM-style tolerance.
+    Iq,
+}
+
+/// Outcome of one known-answer stage.
+#[derive(Debug, Clone)]
+pub struct StageResult {
+    /// Stage name (stable identifier for reports).
+    pub stage: &'static str,
+    /// Comparison discipline.
+    pub domain: Domain,
+    /// Whether the stage agreed.
+    pub ok: bool,
+    /// What was compared and how it went.
+    pub detail: String,
+}
+
+fn bit_stage(stage: &'static str, expected: &[u8], actual: &[u8]) -> StageResult {
+    if expected.len() != actual.len() {
+        return StageResult {
+            stage,
+            domain: Domain::Bit,
+            ok: false,
+            detail: format!(
+                "length mismatch: expected {} bits, got {}",
+                expected.len(),
+                actual.len()
+            ),
+        };
+    }
+    match expected.iter().zip(actual.iter()).position(|(a, b)| a != b) {
+        Some(i) => StageResult {
+            stage,
+            domain: Domain::Bit,
+            ok: false,
+            detail: format!(
+                "first mismatch at bit {i} (expected {}, got {})",
+                expected[i], actual[i]
+            ),
+        },
+        None => StageResult {
+            stage,
+            domain: Domain::Bit,
+            ok: true,
+            detail: format!("{} bits bit-exact", expected.len()),
+        },
+    }
+}
+
+fn iq_stage(
+    stage: &'static str,
+    expected: &[Complex],
+    actual: &[Complex],
+    rms_tol: f64,
+) -> StageResult {
+    if expected.len() != actual.len() {
+        return StageResult {
+            stage,
+            domain: Domain::Iq,
+            ok: false,
+            detail: format!(
+                "length mismatch: expected {} samples, got {}",
+                expected.len(),
+                actual.len()
+            ),
+        };
+    }
+    let mut err = 0.0;
+    let mut reference = 0.0;
+    for (e, a) in expected.iter().zip(actual.iter()) {
+        err += (*a - *e).norm_sqr();
+        reference += e.norm_sqr();
+    }
+    let rms = (err / reference.max(f64::MIN_POSITIVE)).sqrt();
+    StageResult {
+        stage,
+        domain: Domain::Iq,
+        ok: rms <= rms_tol,
+        detail: format!(
+            "{} samples, relative RMS error {rms:.3e} (tolerance {rms_tol:.1e})",
+            expected.len()
+        ),
+    }
+}
+
+/// The DATA-field bit vector before scrambling: SERVICE + PSDU + tail
+/// + pad, all-zero outside the PSDU.
+fn unscrambled_bits() -> Vec<u8> {
+    let n_sym = ANNEX_G_RATE.data_symbols(ANNEX_G_PSDU.len());
+    let mut bits = vec![0u8; 16];
+    bits.extend(frame::bytes_to_bits(&ANNEX_G_PSDU));
+    bits.resize(n_sym * ANNEX_G_RATE.ndbps(), 0);
+    bits
+}
+
+/// Scrambled DATA bits with the tail re-zeroed, computed by `wlan-phy`
+/// when `phy` is set and by the refimpl otherwise.
+fn scrambled_bits(phy: bool) -> Vec<u8> {
+    let mut bits = unscrambled_bits();
+    if phy {
+        Scrambler::new(ANNEX_G_SEED).scramble_in_place(&mut bits);
+    } else {
+        bits = refimpl::scramble(ANNEX_G_SEED, &bits);
+    }
+    let tail_start = 16 + 8 * ANNEX_G_PSDU.len();
+    for b in bits[tail_start..tail_start + 6].iter_mut() {
+        *b = 0;
+    }
+    bits
+}
+
+/// Runs every Annex G known-answer stage.
+pub fn run_all() -> Vec<StageResult> {
+    let mut out = Vec::new();
+
+    // §17.3.5.4: the printed 127-bit all-ones scrambler sequence.
+    let published = refimpl::all_ones_sequence();
+    out.push(bit_stage(
+        "scrambler-all-ones-sequence",
+        &published,
+        &Scrambler::new(0x7F).sequence(),
+    ));
+
+    // The Annex G seed's stream, refimpl vs phy.
+    let n = 16 + 8 * ANNEX_G_PSDU.len() + 6;
+    let mut phy_stream = vec![0u8; n];
+    Scrambler::new(ANNEX_G_SEED).scramble_in_place(&mut phy_stream);
+    out.push(bit_stage(
+        "scrambler-annex-g-seed",
+        &refimpl::scramble_sequence(ANNEX_G_SEED, n),
+        &phy_stream,
+    ));
+
+    // SIGNAL field bits: embedded constant vs refimpl vs phy.
+    out.push(bit_stage(
+        "signal-field-refimpl",
+        &ANNEX_G_SIGNAL_BITS,
+        &refimpl::signal_bits(ANNEX_G_RATE.rate_field(), ANNEX_G_PSDU.len()),
+    ));
+    out.push(bit_stage(
+        "signal-field-phy",
+        &ANNEX_G_SIGNAL_BITS,
+        &signal_field::signal_bits(ANNEX_G_RATE, ANNEX_G_PSDU.len()),
+    ));
+
+    // Scrambling of the actual DATA bits.
+    let ref_scrambled = scrambled_bits(false);
+    out.push(bit_stage(
+        "data-scrambler",
+        &ref_scrambled,
+        &scrambled_bits(true),
+    ));
+
+    // Convolutional coder on the scrambled stream.
+    let ref_coded = refimpl::encode_k7(&ref_scrambled);
+    out.push(bit_stage(
+        "convolutional-coder",
+        &ref_coded,
+        &convolutional::encode(&ref_scrambled),
+    ));
+
+    // Rate-3/4 puncturing.
+    let ref_punctured = refimpl::puncture(&ref_coded, 3, 4);
+    out.push(bit_stage(
+        "puncture-3-4",
+        &ref_punctured,
+        &puncture::puncture(&ref_coded, CodeRate::R34),
+    ));
+
+    // Per-symbol interleaving of the first symbol.
+    let ncbps = ANNEX_G_RATE.ncbps();
+    let il = Interleaver::new(ANNEX_G_RATE);
+    out.push(bit_stage(
+        "interleaver",
+        &refimpl::interleave(ncbps, ANNEX_G_RATE.nbpsc(), &ref_punctured[..ncbps]),
+        &il.interleave(&ref_punctured[..ncbps]),
+    ));
+
+    // The whole DATA-field bit pipeline end to end.
+    let ref_field = refimpl::data_field_symbols(&ANNEX_G_PSDU, ANNEX_G_SEED, 144, 192, 4, 3, 4);
+    let phy_field = frame::build_data_field(&ANNEX_G_PSDU, ANNEX_G_RATE, ANNEX_G_SEED);
+    let ref_flat: Vec<u8> = ref_field.iter().flatten().copied().collect();
+    let phy_flat: Vec<u8> = phy_field.symbol_bits.iter().flatten().copied().collect();
+    out.push(bit_stage("data-field-pipeline", &ref_flat, &phy_flat));
+
+    // Pilot polarity over two full periods.
+    let ref_pol: Vec<u8> = (0..254)
+        .map(|n| (refimpl::pilot_polarity(n) < 0.0) as u8)
+        .collect();
+    let phy_pol: Vec<u8> = (0..254)
+        .map(|n| (pilots::polarity(n) < 0.0) as u8)
+        .collect();
+    out.push(bit_stage("pilot-polarity", &ref_pol, &phy_pol));
+
+    // 16-QAM mapping of the first interleaved symbol (IQ domain; both
+    // sides compute ±n·K_mod so they agree to rounding).
+    let ref_mapped = refimpl::map_bits(4, &ref_field[0]);
+    let phy_mapped = modulation::map_bits(&phy_field.symbol_bits[0], Modulation::Qam16);
+    out.push(iq_stage("qam16-mapping", &ref_mapped, &phy_mapped, 1e-12));
+
+    // Time-domain waveform: SIGNAL + every DATA symbol, naive IDFT vs
+    // the transmitter's FFT. FFT-vs-DFT roundoff is ~1e-13; the 1e-9
+    // band is the EVM-style tolerance for IQ stages.
+    let burst = Transmitter::new(ANNEX_G_RATE).transmit(&ANNEX_G_PSDU);
+    let mut ref_wave = Vec::new();
+    let signal_coded = refimpl::encode_k7(&ANNEX_G_SIGNAL_BITS);
+    let signal_mapped = refimpl::map_bits(1, &refimpl::interleave(48, 1, &signal_coded));
+    ref_wave.extend(refimpl::idft_symbol(&refimpl::assemble_symbol(
+        &signal_mapped,
+        0,
+    )));
+    for (i, sym_bits) in ref_field.iter().enumerate() {
+        let mapped = refimpl::map_bits(4, sym_bits);
+        ref_wave.extend(refimpl::idft_symbol(&refimpl::assemble_symbol(
+            &mapped,
+            i + 1,
+        )));
+    }
+    let tx_wave = &burst.samples[320..320 + ref_wave.len()];
+    out.push(iq_stage("ofdm-waveform", &ref_wave, tx_wave, 1e-9));
+
+    out
+}
+
+/// `true` when every stage agreed.
+pub fn all_pass(results: &[StageResult]) -> bool {
+    results.iter().all(|r| r.ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_is_the_annex_g_text() {
+        let text = std::str::from_utf8(&ANNEX_G_PSDU[24..96]).unwrap();
+        assert!(text.starts_with("Joy, bright spark of divinity,"));
+        assert!(text.contains("Daughter of Elysium,"));
+        assert_eq!(ANNEX_G_PSDU.len(), 100);
+    }
+
+    #[test]
+    fn signal_constant_is_self_consistent() {
+        // RATE bits decode back to 36 Mbit/s and LENGTH to 100.
+        let mut rate = [0u8; 4];
+        rate.copy_from_slice(&ANNEX_G_SIGNAL_BITS[..4]);
+        assert_eq!(Rate::from_rate_field(rate), Some(Rate::R36));
+        let len: usize = (0..12)
+            .map(|i| (ANNEX_G_SIGNAL_BITS[5 + i] as usize) << i)
+            .sum();
+        assert_eq!(len, 100);
+    }
+
+    #[test]
+    fn every_stage_passes() {
+        let results = run_all();
+        assert_eq!(results.len(), 12);
+        for r in &results {
+            assert!(r.ok, "stage '{}' failed: {}", r.stage, r.detail);
+        }
+    }
+
+    #[test]
+    fn bit_stages_are_bit_exact_and_iq_stages_toleranced() {
+        let results = run_all();
+        let bit_stages = results.iter().filter(|r| r.domain == Domain::Bit).count();
+        let iq_stages = results.iter().filter(|r| r.domain == Domain::Iq).count();
+        assert_eq!(bit_stages, 10);
+        assert_eq!(iq_stages, 2);
+    }
+}

@@ -1,0 +1,230 @@
+//! `wlan-conformance` — conformance & golden-baseline CLI.
+//!
+//! ```text
+//! wlan-conformance [--json] [--golden-dir DIR] [--drift-dir DIR] [--skip-golden]
+//! ```
+//!
+//! Runs, in order: the Annex G known-answer tests, the TX EVM limit
+//! checks, the Monte-Carlo-vs-analytic acceptance points, and (unless
+//! `--skip-golden`) the pinned experiment sweeps against the goldens
+//! in `--golden-dir` (default `tests/golden`, i.e. run from the repo
+//! root). With `WLANSIM_BLESS=1` the golden step rewrites the files
+//! instead of comparing. Drift reports are written as JSON into
+//! `--drift-dir` (default `target/golden-drift`).
+//!
+//! Exit status: 0 when everything passed (or was blessed), 1 on any
+//! conformance failure or golden drift, 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use wlan_conformance::golden::{self, GoldenStatus};
+use wlan_conformance::json::Json;
+use wlan_conformance::{annex_g, mc, pinned};
+use wlan_dsp::Rng;
+use wlan_exec::ThreadPool;
+use wlan_phy::params::{Modulation, ALL_RATES};
+use wlan_phy::{Receiver, Transmitter};
+
+struct Options {
+    json: bool,
+    golden_dir: PathBuf,
+    drift_dir: PathBuf,
+    skip_golden: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        golden_dir: PathBuf::from("tests/golden"),
+        drift_dir: PathBuf::from("target/golden-drift"),
+        skip_golden: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--skip-golden" => opts.skip_golden = true,
+            "--golden-dir" => {
+                opts.golden_dir = args.next().ok_or("--golden-dir requires a path")?.into();
+            }
+            "--drift-dir" => {
+                opts.drift_dir = args.next().ok_or("--drift-dir requires a path")?.into();
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: wlan-conformance [--json] [--golden-dir DIR] [--drift-dir DIR] \
+                     [--skip-golden]\n\
+                     \n\
+                     Annex G KATs + analytic BER bands + golden baselines.\n\
+                     WLANSIM_BLESS=1 rewrites the goldens instead of comparing."
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+struct Line {
+    section: &'static str,
+    name: String,
+    ok: bool,
+    detail: String,
+}
+
+/// TX EVM against the §17.3.9.6.3 limits: a clean loopback through the
+/// genie-timed receiver must sit far inside the allowed constellation
+/// error at every rate.
+fn evm_limit_checks() -> Vec<Line> {
+    let rx = Receiver::new();
+    let mut rng = Rng::new(0xEC);
+    ALL_RATES
+        .iter()
+        .map(|&rate| {
+            let mut psdu = vec![0u8; 120];
+            rng.bytes(&mut psdu);
+            let burst = Transmitter::new(rate).transmit(&psdu);
+            let limit = rate.evm_limit_db();
+            match rx.receive_with_timing(&burst.samples, 192, 0.0) {
+                Ok(got) => {
+                    let evm = got.evm_db();
+                    Line {
+                        section: "evm-limit",
+                        name: format!("{rate}"),
+                        ok: evm <= limit && got.psdu == psdu,
+                        detail: format!("TX EVM {evm:.1} dB vs limit {limit:.1} dB"),
+                    }
+                }
+                Err(e) => Line {
+                    section: "evm-limit",
+                    name: format!("{rate}"),
+                    ok: false,
+                    detail: format!("clean loopback failed to decode: {e:?}"),
+                },
+            }
+        })
+        .collect()
+}
+
+/// Fast statistically-valid Monte-Carlo acceptance points, one per
+/// constellation (the same points the tier-1 test runs).
+fn analytic_checks() -> Vec<Line> {
+    let pool = ThreadPool::from_env();
+    [
+        (Modulation::Bpsk, 4.0),
+        (Modulation::Qpsk, 7.0),
+        (Modulation::Qam16, 14.0),
+        (Modulation::Qam64, 20.0),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, &(m, snr))| {
+        let p = mc::uncoded_ber_point(&pool, m, snr, 8, 24_000, 0xA11C, i as u64, 3.29);
+        Line {
+            section: "analytic-band",
+            name: format!("{m:?}"),
+            ok: p.pass,
+            detail: p.describe(),
+        }
+    })
+    .collect()
+}
+
+fn golden_checks(opts: &Options) -> Vec<Line> {
+    pinned::all()
+        .into_iter()
+        .map(
+            |run| match golden::check(&opts.golden_dir, run.name, &run.fields, &run.policy) {
+                Ok(GoldenStatus::Matched) => Line {
+                    section: "golden",
+                    name: run.name.to_string(),
+                    ok: true,
+                    detail: format!("{} fields within tolerance", run.fields.len()),
+                },
+                Ok(GoldenStatus::Blessed) => Line {
+                    section: "golden",
+                    name: run.name.to_string(),
+                    ok: true,
+                    detail: format!("blessed {} fields", run.fields.len()),
+                },
+                Err(rep) => {
+                    let artifact = golden::write_drift_report(&opts.drift_dir, &rep);
+                    let mut detail = rep.render();
+                    if let Some(p) = artifact {
+                        detail.push_str(&format!("\n  drift report: {}", p.display()));
+                    }
+                    Line {
+                        section: "golden",
+                        name: run.name.to_string(),
+                        ok: false,
+                        detail,
+                    }
+                }
+            },
+        )
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut lines: Vec<Line> = annex_g::run_all()
+        .into_iter()
+        .map(|r| Line {
+            section: "annex-g",
+            name: r.stage.to_string(),
+            ok: r.ok,
+            detail: r.detail,
+        })
+        .collect();
+    lines.extend(evm_limit_checks());
+    lines.extend(analytic_checks());
+    if !opts.skip_golden {
+        lines.extend(golden_checks(&opts));
+    }
+
+    let failures = lines.iter().filter(|l| !l.ok).count();
+    if opts.json {
+        let checks = lines
+            .iter()
+            .map(|l| {
+                Json::Obj(vec![
+                    ("section".to_string(), Json::Str(l.section.to_string())),
+                    ("name".to_string(), Json::Str(l.name.clone())),
+                    ("ok".to_string(), Json::Bool(l.ok)),
+                    ("detail".to_string(), Json::Str(l.detail.clone())),
+                ])
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            ("schema".to_string(), Json::Num(1.0)),
+            ("tool".to_string(), Json::Str("wlan-conformance".into())),
+            ("failures".to_string(), Json::Num(failures as f64)),
+            ("checks".to_string(), Json::Arr(checks)),
+        ]);
+        print!("{}", doc.render());
+    } else {
+        for l in &lines {
+            println!(
+                "[{}] {:12} {}: {}",
+                if l.ok { "ok" } else { "FAIL" },
+                l.section,
+                l.name,
+                l.detail
+            );
+        }
+        println!("{} check(s), {} failure(s)", lines.len(), failures);
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

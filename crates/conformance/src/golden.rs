@@ -1,0 +1,565 @@
+//! Tolerance-aware golden-file comparison.
+//!
+//! A golden file pins a flat set of named scalar measurements (a
+//! "snapshot" of an experiment sweep) as schema-versioned JSON under
+//! `tests/golden/`. A check either matches within per-field tolerances,
+//! or produces a [`DriftReport`] naming every drifted field — rendered
+//! human-readably for the panic message and as JSON for CI artifacts.
+//!
+//! Workflow:
+//!
+//! * `cargo test` compares against the committed goldens.
+//! * `WLANSIM_BLESS=1 cargo test` rewrites them from the current code.
+//! * A missing golden fails with the bless instruction rather than
+//!   silently passing.
+//!
+//! Tolerances live in code ([`TolerancePolicy`]), not in the files:
+//! the simulation is fully deterministic on a given platform, so the
+//! bands only need to absorb cross-platform `libm` rounding, and the
+//! policy is part of the reviewed source.
+
+use crate::json::Json;
+use std::path::{Path, PathBuf};
+
+/// On-disk golden schema version.
+pub const GOLDEN_SCHEMA: u32 = 1;
+
+/// Environment variable that switches checks into bless (rewrite) mode.
+pub const BLESS_ENV: &str = "WLANSIM_BLESS";
+
+/// `true` when the current process was asked to re-bless goldens.
+pub fn bless_requested() -> bool {
+    std::env::var(BLESS_ENV).is_ok_and(|v| v == "1")
+}
+
+/// A symmetric acceptance band: a field passes when
+/// `|actual − expected| ≤ abs + rel·|expected|`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Absolute term.
+    pub abs: f64,
+    /// Relative term (fraction of the expected magnitude).
+    pub rel: f64,
+}
+
+impl Tolerance {
+    /// An exact-match requirement (both terms zero).
+    pub const EXACT: Tolerance = Tolerance { abs: 0.0, rel: 0.0 };
+
+    /// Absolute-only band.
+    pub fn abs(abs: f64) -> Tolerance {
+        Tolerance { abs, rel: 0.0 }
+    }
+
+    /// Relative-only band.
+    pub fn rel(rel: f64) -> Tolerance {
+        Tolerance { abs: 0.0, rel }
+    }
+
+    /// The allowed |Δ| for an expected value.
+    pub fn allowed(&self, expected: f64) -> f64 {
+        self.abs + self.rel * expected.abs()
+    }
+}
+
+/// Field-pattern → tolerance rules with a default fallback. Patterns
+/// match the whole field name; `*` matches any run of characters, so
+/// `points[*].ber` can be loose while `points[*].bits` stays exact.
+/// The **last** matching rule wins.
+#[derive(Debug, Clone)]
+pub struct TolerancePolicy {
+    default: Tolerance,
+    rules: Vec<(String, Tolerance)>,
+}
+
+/// Full-string glob with `*` as the only metacharacter.
+fn glob_match(pattern: &[u8], s: &[u8]) -> bool {
+    match pattern.split_first() {
+        None => s.is_empty(),
+        Some((b'*', rest)) => {
+            glob_match(rest, s) || (!s.is_empty() && glob_match(pattern, &s[1..]))
+        }
+        Some((p, rest)) => s
+            .split_first()
+            .is_some_and(|(c, tail)| c == p && glob_match(rest, tail)),
+    }
+}
+
+impl TolerancePolicy {
+    /// A policy where unmatched fields use `default`.
+    pub fn new(default: Tolerance) -> Self {
+        TolerancePolicy {
+            default,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Exact match unless a rule says otherwise.
+    pub fn exact() -> Self {
+        Self::new(Tolerance::EXACT)
+    }
+
+    /// Adds a pattern rule (builder style; later rules override
+    /// earlier ones).
+    pub fn with_rule(mut self, pattern: &str, tol: Tolerance) -> Self {
+        self.rules.push((pattern.to_string(), tol));
+        self
+    }
+
+    /// The tolerance applying to `field`.
+    pub fn for_field(&self, field: &str) -> Tolerance {
+        self.rules
+            .iter()
+            .rev()
+            .find(|(p, _)| glob_match(p.as_bytes(), field.as_bytes()))
+            .map(|(_, t)| *t)
+            .unwrap_or(self.default)
+    }
+}
+
+/// One drifted field. `expected`/`actual` are `None` when the field is
+/// missing on that side (schema drift rather than value drift).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Drift {
+    /// Field path, e.g. `points[02].ber`.
+    pub field: String,
+    /// Committed golden value.
+    pub expected: Option<f64>,
+    /// Freshly measured value.
+    pub actual: Option<f64>,
+    /// The |Δ| the policy would have allowed.
+    pub allowed: f64,
+}
+
+impl Drift {
+    fn describe(&self) -> String {
+        match (self.expected, self.actual) {
+            (Some(e), Some(a)) => format!(
+                "field '{}': expected {e:e}, got {a:e}, |delta| = {:e} > allowed {:e}",
+                self.field,
+                (a - e).abs(),
+                self.allowed
+            ),
+            (Some(e), None) => format!(
+                "field '{}': present in golden (value {e:e}) but not produced by the code",
+                self.field
+            ),
+            (None, Some(a)) => format!(
+                "field '{}': produced by the code (value {a:e}) but absent from the golden",
+                self.field
+            ),
+            (None, None) => unreachable!("a drift names at least one side"),
+        }
+    }
+}
+
+/// Why a golden check failed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReport {
+    /// Golden name (file stem).
+    pub name: String,
+    /// Path of the golden file involved.
+    pub path: PathBuf,
+    /// Non-field problem (missing file, bad schema, parse error).
+    pub problem: Option<String>,
+    /// Per-field drifts, in field order.
+    pub drifts: Vec<Drift>,
+}
+
+impl DriftReport {
+    /// Human-readable multi-line report (the panic message).
+    pub fn render(&self) -> String {
+        let mut out = format!("golden '{}' ({}):\n", self.name, self.path.display());
+        if let Some(p) = &self.problem {
+            out.push_str("  ");
+            out.push_str(p);
+            out.push('\n');
+        }
+        for d in &self.drifts {
+            out.push_str("  ");
+            out.push_str(&d.describe());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "  ({} drifted field(s); run with {BLESS_ENV}=1 to re-bless if the change is intended)",
+            self.drifts.len()
+        ));
+        out
+    }
+
+    /// Machine-readable form for the CI artifact.
+    pub fn to_json(&self) -> Json {
+        let drifts = self
+            .drifts
+            .iter()
+            .map(|d| {
+                Json::Obj(vec![
+                    ("field".to_string(), Json::Str(d.field.clone())),
+                    (
+                        "expected".to_string(),
+                        d.expected.map_or(Json::Null, Json::Num),
+                    ),
+                    ("actual".to_string(), d.actual.map_or(Json::Null, Json::Num)),
+                    ("allowed".to_string(), Json::Num(d.allowed)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".to_string(), Json::Num(GOLDEN_SCHEMA as f64)),
+            ("name".to_string(), Json::Str(self.name.clone())),
+            (
+                "golden_path".to_string(),
+                Json::Str(self.path.display().to_string()),
+            ),
+            (
+                "problem".to_string(),
+                self.problem
+                    .as_ref()
+                    .map_or(Json::Null, |p| Json::Str(p.clone())),
+            ),
+            ("drifts".to_string(), Json::Arr(drifts)),
+        ])
+    }
+}
+
+/// Outcome of a successful check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GoldenStatus {
+    /// All fields within tolerance of the committed golden.
+    Matched,
+    /// Bless mode: the golden file was (re)written.
+    Blessed,
+}
+
+fn golden_json(name: &str, fields: &[(String, f64)]) -> Json {
+    let mut sorted: Vec<(String, f64)> = fields.to_vec();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    Json::Obj(vec![
+        ("schema".to_string(), Json::Num(GOLDEN_SCHEMA as f64)),
+        ("name".to_string(), Json::Str(name.to_string())),
+        (
+            "fields".to_string(),
+            Json::Obj(sorted.into_iter().map(|(k, v)| (k, Json::Num(v))).collect()),
+        ),
+    ])
+}
+
+fn report(name: &str, path: &Path, problem: String) -> DriftReport {
+    DriftReport {
+        name: name.to_string(),
+        path: path.to_path_buf(),
+        problem: Some(problem),
+        drifts: Vec::new(),
+    }
+}
+
+/// Checks `fields` against `<golden_dir>/<name>.json` (or rewrites it
+/// when the process runs with `WLANSIM_BLESS=1`).
+///
+/// Every actual value must be finite — a NaN/∞ measurement is reported
+/// as drift, never blessed into a golden.
+pub fn check(
+    golden_dir: &Path,
+    name: &str,
+    fields: &[(String, f64)],
+    policy: &TolerancePolicy,
+) -> Result<GoldenStatus, DriftReport> {
+    check_with_mode(golden_dir, name, fields, policy, bless_requested())
+}
+
+/// [`check`] with the bless decision injected (so the harness's own
+/// tests behave identically whether or not the suite runs under
+/// `WLANSIM_BLESS=1`).
+pub fn check_with_mode(
+    golden_dir: &Path,
+    name: &str,
+    fields: &[(String, f64)],
+    policy: &TolerancePolicy,
+    bless: bool,
+) -> Result<GoldenStatus, DriftReport> {
+    let path = golden_dir.join(format!("{name}.json"));
+    if let Some((field, value)) = fields.iter().find(|(_, v)| !v.is_finite()) {
+        return Err(report(
+            name,
+            &path,
+            format!(
+                "measured field '{field}' is non-finite ({value}); refusing to compare or bless"
+            ),
+        ));
+    }
+
+    if bless {
+        std::fs::create_dir_all(golden_dir)
+            .map_err(|e| report(name, &path, format!("cannot create golden dir: {e}")))?;
+        let text = golden_json(name, fields).render();
+        std::fs::write(&path, text)
+            .map_err(|e| report(name, &path, format!("cannot write golden: {e}")))?;
+        return Ok(GoldenStatus::Blessed);
+    }
+
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        report(
+            name,
+            &path,
+            format!("missing or unreadable golden ({e}); run with {BLESS_ENV}=1 to create it"),
+        )
+    })?;
+    let doc = Json::parse(&text)
+        .map_err(|e| report(name, &path, format!("golden is not valid JSON: {e}")))?;
+    match doc.get("schema").and_then(Json::as_f64) {
+        Some(s) if s == GOLDEN_SCHEMA as f64 => {}
+        other => {
+            return Err(report(
+                name,
+                &path,
+                format!("golden schema {other:?} != supported {GOLDEN_SCHEMA}"),
+            ))
+        }
+    }
+    let expected: Vec<(String, f64)> = match doc.get("fields") {
+        Some(Json::Obj(pairs)) => {
+            let mut out = Vec::with_capacity(pairs.len());
+            for (k, v) in pairs {
+                match v.as_f64() {
+                    Some(n) => out.push((k.clone(), n)),
+                    None => {
+                        return Err(report(
+                            name,
+                            &path,
+                            format!("golden field '{k}' is not a number"),
+                        ))
+                    }
+                }
+            }
+            out
+        }
+        _ => return Err(report(name, &path, "golden has no 'fields' object".into())),
+    };
+
+    let mut drifts = Vec::new();
+    for (k, e) in &expected {
+        let tol = policy.for_field(k);
+        match fields.iter().find(|(ak, _)| ak == k) {
+            Some((_, a)) => {
+                if (a - e).abs() > tol.allowed(*e) {
+                    drifts.push(Drift {
+                        field: k.clone(),
+                        expected: Some(*e),
+                        actual: Some(*a),
+                        allowed: tol.allowed(*e),
+                    });
+                }
+            }
+            None => drifts.push(Drift {
+                field: k.clone(),
+                expected: Some(*e),
+                actual: None,
+                allowed: tol.allowed(*e),
+            }),
+        }
+    }
+    for (k, a) in fields {
+        if !expected.iter().any(|(ek, _)| ek == k) {
+            drifts.push(Drift {
+                field: k.clone(),
+                expected: None,
+                actual: Some(*a),
+                allowed: policy.for_field(k).allowed(*a),
+            });
+        }
+    }
+
+    if drifts.is_empty() {
+        Ok(GoldenStatus::Matched)
+    } else {
+        Err(DriftReport {
+            name: name.to_string(),
+            path,
+            problem: None,
+            drifts,
+        })
+    }
+}
+
+/// Writes `report` as JSON into `drift_dir` (best effort) and returns
+/// the file path if it was written.
+pub fn write_drift_report(drift_dir: &Path, report: &DriftReport) -> Option<PathBuf> {
+    std::fs::create_dir_all(drift_dir).ok()?;
+    let path = drift_dir.join(format!("{}.json", report.name));
+    std::fs::write(&path, report.to_json().render()).ok()?;
+    Some(path)
+}
+
+/// Test-facing wrapper: checks, writes the drift artifact on failure,
+/// and panics with the rendered report.
+///
+/// # Panics
+///
+/// Panics with the drift report when the check fails.
+pub fn assert_golden(
+    golden_dir: &Path,
+    drift_dir: &Path,
+    name: &str,
+    fields: &[(String, f64)],
+    policy: &TolerancePolicy,
+) -> GoldenStatus {
+    match check(golden_dir, name, fields, policy) {
+        Ok(status) => status,
+        Err(rep) => {
+            let where_ = write_drift_report(drift_dir, &rep)
+                .map(|p| format!("\n  (drift report: {})", p.display()))
+                .unwrap_or_default();
+            panic!("{}{}", rep.render(), where_);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A unique temp dir per test, cleaned up on drop.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let pid = std::process::id();
+            let dir = std::env::temp_dir().join(format!("wlansim-golden-{tag}-{pid}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn write_golden(dir: &Path, name: &str, fields: &[(String, f64)]) {
+        let text = golden_json(name, fields).render();
+        std::fs::write(dir.join(format!("{name}.json")), text).unwrap();
+    }
+
+    fn fields(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn policy_patterns_and_precedence() {
+        let p = TolerancePolicy::exact()
+            .with_rule("points[*].ber*", Tolerance::abs(1.0))
+            .with_rule("points[*].bits", Tolerance::abs(0.5))
+            .with_rule("points[03].bits", Tolerance::EXACT);
+        assert_eq!(p.for_field("points[00].ber").abs, 1.0);
+        assert_eq!(p.for_field("points[00].ber_adjacent").abs, 1.0);
+        // `points[*].ber` alone would not match the suffixed field.
+        let q = TolerancePolicy::exact().with_rule("points[*].ber", Tolerance::abs(1.0));
+        assert_eq!(q.for_field("points[00].ber_adjacent").abs, 0.0);
+        // Last matching rule wins.
+        assert_eq!(p.for_field("points[01].bits").abs, 0.5);
+        assert_eq!(p.for_field("points[03].bits").abs, 0.0);
+        assert_eq!(p.for_field("elsewhere").abs, 0.0);
+    }
+
+    #[test]
+    fn match_within_tolerance() {
+        let t = TempDir::new("match");
+        let f = fields(&[("a", 1.0), ("b", 2.0)]);
+        write_golden(&t.0, "g", &f);
+        let near = fields(&[("a", 1.0 + 1e-9), ("b", 2.0)]);
+        let policy = TolerancePolicy::new(Tolerance::abs(1e-6));
+        assert_eq!(
+            check_with_mode(&t.0, "g", &near, &policy, false),
+            Ok(GoldenStatus::Matched)
+        );
+    }
+
+    #[test]
+    fn drift_names_the_field() {
+        let t = TempDir::new("drift");
+        write_golden(&t.0, "g", &fields(&[("points[02].ber", 0.01), ("n", 4.0)]));
+        let bad = fields(&[("points[02].ber", 0.02), ("n", 4.0)]);
+        let policy = TolerancePolicy::new(Tolerance::abs(1e-3));
+        let rep = check_with_mode(&t.0, "g", &bad, &policy, false).unwrap_err();
+        assert_eq!(rep.drifts.len(), 1);
+        assert_eq!(rep.drifts[0].field, "points[02].ber");
+        assert!(rep.render().contains("points[02].ber"), "{}", rep.render());
+        assert!(rep.render().contains(BLESS_ENV));
+    }
+
+    #[test]
+    fn missing_and_extra_fields_are_drift() {
+        let t = TempDir::new("schema-drift");
+        write_golden(&t.0, "g", &fields(&[("old", 1.0), ("kept", 2.0)]));
+        let now = fields(&[("kept", 2.0), ("new", 3.0)]);
+        let rep = check_with_mode(&t.0, "g", &now, &TolerancePolicy::exact(), false).unwrap_err();
+        let names: Vec<&str> = rep.drifts.iter().map(|d| d.field.as_str()).collect();
+        assert_eq!(names, vec!["old", "new"]);
+        assert!(rep.drifts[0].actual.is_none());
+        assert!(rep.drifts[1].expected.is_none());
+    }
+
+    #[test]
+    fn missing_golden_fails_with_bless_hint() {
+        let t = TempDir::new("missing");
+        let rep = check_with_mode(
+            &t.0,
+            "nope",
+            &fields(&[("a", 1.0)]),
+            &TolerancePolicy::exact(),
+            false,
+        )
+        .unwrap_err();
+        assert!(rep.problem.as_deref().unwrap().contains(BLESS_ENV));
+    }
+
+    #[test]
+    fn non_finite_measurement_is_rejected() {
+        let t = TempDir::new("nan");
+        write_golden(&t.0, "g", &fields(&[("a", 1.0)]));
+        let rep = check_with_mode(
+            &t.0,
+            "g",
+            &fields(&[("a", f64::NAN)]),
+            &TolerancePolicy::new(Tolerance::rel(1e9)),
+            false,
+        )
+        .unwrap_err();
+        assert!(rep.problem.as_deref().unwrap().contains("non-finite"));
+    }
+
+    #[test]
+    fn drift_report_json_shape() {
+        let rep = DriftReport {
+            name: "g".into(),
+            path: PathBuf::from("tests/golden/g.json"),
+            problem: None,
+            drifts: vec![Drift {
+                field: "x".into(),
+                expected: Some(1.0),
+                actual: Some(2.0),
+                allowed: 0.5,
+            }],
+        };
+        let j = rep.to_json();
+        assert_eq!(j.get("name").unwrap().as_str(), Some("g"));
+        match j.get("drifts").unwrap() {
+            Json::Arr(items) => {
+                assert_eq!(items[0].get("field").unwrap().as_str(), Some("x"));
+                assert_eq!(items[0].get("expected").unwrap().as_f64(), Some(1.0));
+            }
+            other => panic!("not an array: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn golden_file_render_is_sorted_and_stable() {
+        let f = fields(&[("zz", 1.5), ("aa", -2.0)]);
+        let text = golden_json("g", &f).render();
+        assert!(text.find("\"aa\"").unwrap() < text.find("\"zz\"").unwrap());
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(doc.render(), text);
+    }
+}

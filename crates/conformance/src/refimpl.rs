@@ -1,0 +1,414 @@
+//! An independent executable restatement of the IEEE 802.11a-1999 TX
+//! equations, written directly from the standard's clause text.
+//!
+//! This module deliberately shares **no code** with `wlan-phy`: the
+//! scrambler keeps its state as an explicit x₁..x₇ register array, the
+//! convolutional coder as a tapped delay line, the interleaver as the
+//! two clause-17.3.5.6 index formulas, the mapper as the literal
+//! Tables 78–82, and the OFDM modulator as a naive O(N²) inverse DFT.
+//! Agreement between the two implementations on the Annex G reference
+//! message is then meaningful evidence that *both* implement the
+//! standard — the same cross-checking argument the paper makes between
+//! the SPW reference design and the AMS co-simulation, and the
+//! symbolic-verification framing of the WiMax paper in PAPERS.md.
+//!
+//! Where the standard publishes the answer outright (the 127-bit
+//! all-ones scrambler sequence of §17.3.5.4), the constant is embedded
+//! so the check is anchored to the document, not to either program.
+
+use wlan_dsp::Complex;
+
+/// §17.3.5.4: the 127-bit output of the scrambler seeded with all
+/// ones, packed MSB-first (the 128th bit of the last byte is padding).
+/// This is the sequence printed in the standard.
+const ALL_ONES_SEQUENCE_PACKED: [u8; 16] = [
+    0x0E, 0xF2, 0xC9, 0x02, 0x26, 0x2E, 0xB6, 0x0C, 0xD4, 0xE7, 0xB4, 0x2A, 0xFA, 0x51, 0xB8, 0xFE,
+];
+
+/// The published all-ones scrambler sequence as 127 individual bits.
+pub fn all_ones_sequence() -> [u8; 127] {
+    let mut out = [0u8; 127];
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = (ALL_ONES_SEQUENCE_PACKED[i / 8] >> (7 - i % 8)) & 1;
+    }
+    out
+}
+
+/// §17.3.5.4 scrambler S(x) = x⁷ + x⁴ + 1, state held as the explicit
+/// register bits x[1..=7] (`x[0]` unused). `seed` bit *i* (LSB-first)
+/// initializes x_{i+1}, matching the convention of
+/// `wlan_phy::scrambler::Scrambler::new`.
+pub fn scramble_sequence(seed: u8, n: usize) -> Vec<u8> {
+    assert!(seed != 0 && seed < 0x80, "7-bit non-zero seed");
+    let mut x = [0u8; 8];
+    for (i, xi) in x.iter_mut().enumerate().skip(1) {
+        *xi = (seed >> (i - 1)) & 1;
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let feedback = x[7] ^ x[4];
+        out.push(feedback);
+        for i in (2..=7).rev() {
+            x[i] = x[i - 1];
+        }
+        x[1] = feedback;
+    }
+    out
+}
+
+/// XORs `bits` with the scrambler stream for `seed`.
+pub fn scramble(seed: u8, bits: &[u8]) -> Vec<u8> {
+    scramble_sequence(seed, bits.len())
+        .iter()
+        .zip(bits.iter())
+        .map(|(s, b)| s ^ b)
+        .collect()
+}
+
+/// §17.3.5.5 rate-1/2 convolutional coder, K = 7, as a tapped delay
+/// line: output A uses generator 133₈ (taps at delays 0, 2, 3, 5, 6),
+/// output B uses 171₈ (taps at delays 0, 1, 2, 3, 6). A is transmitted
+/// first.
+pub fn encode_k7(bits: &[u8]) -> Vec<u8> {
+    let mut d = [0u8; 7]; // d[0] = current input, d[1..] = delay line
+    let mut out = Vec::with_capacity(2 * bits.len());
+    for &b in bits {
+        for i in (1..7).rev() {
+            d[i] = d[i - 1];
+        }
+        d[0] = b & 1;
+        out.push(d[0] ^ d[2] ^ d[3] ^ d[5] ^ d[6]);
+        out.push(d[0] ^ d[1] ^ d[2] ^ d[3] ^ d[6]);
+    }
+    out
+}
+
+/// §17.3.5.6 puncturing: indices *kept* within one puncturing period of
+/// the A₀B₀A₁B₁… stream. Rate 2/3 steals B₁ from every 4 coded bits;
+/// rate 3/4 steals B₁ and A₂ from every 6.
+fn kept_indices(num: usize, den: usize) -> (usize, &'static [usize]) {
+    match (num, den) {
+        (1, 2) => (2, &[0, 1]),
+        (2, 3) => (4, &[0, 1, 2]),
+        (3, 4) => (6, &[0, 1, 2, 5]),
+        _ => panic!("no 802.11a puncturing pattern for rate {num}/{den}"),
+    }
+}
+
+/// Punctures a coded stream to rate `num/den`.
+pub fn puncture(coded: &[u8], num: usize, den: usize) -> Vec<u8> {
+    let (period, kept) = kept_indices(num, den);
+    assert!(
+        coded.len().is_multiple_of(period),
+        "coded length {} not a multiple of the period {period}",
+        coded.len()
+    );
+    let mut out = Vec::with_capacity(coded.len() / period * kept.len());
+    for block in coded.chunks_exact(period) {
+        for &k in kept {
+            out.push(block[k]);
+        }
+    }
+    out
+}
+
+/// §17.3.5.6 interleaver: transmit position of input bit `k` within an
+/// `ncbps`-bit block, straight from the two published formulas
+/// (i = (N/16)(k mod 16) + ⌊k/16⌋, then
+/// j = s⌊i/s⌋ + (i + N − ⌊16i/N⌋) mod s with s = max(nbpsc/2, 1)).
+pub fn interleave_position(ncbps: usize, nbpsc: usize, k: usize) -> usize {
+    let s = (nbpsc / 2).max(1);
+    let i = (ncbps / 16) * (k % 16) + k / 16;
+    s * (i / s) + (i + ncbps - 16 * i / ncbps) % s
+}
+
+/// Interleaves one `ncbps`-bit block.
+pub fn interleave(ncbps: usize, nbpsc: usize, bits: &[u8]) -> Vec<u8> {
+    assert_eq!(bits.len(), ncbps);
+    let mut out = vec![0u8; ncbps];
+    for (k, &b) in bits.iter().enumerate() {
+        out[interleave_position(ncbps, nbpsc, k)] = b;
+    }
+    out
+}
+
+/// Tables 78–82 (§17.3.5.7): one axis value for a per-axis Gray bit
+/// group, *before* K_mod normalization.
+fn table_level(bits: &[u8]) -> f64 {
+    let val = match bits {
+        // Table 78/79: BPSK & one QPSK axis.
+        [0] => -1,
+        [1] => 1,
+        // Table 81: 16-QAM axis.
+        [0, 0] => -3,
+        [0, 1] => -1,
+        [1, 1] => 1,
+        [1, 0] => 3,
+        // Table 82: 64-QAM axis.
+        [0, 0, 0] => -7,
+        [0, 0, 1] => -5,
+        [0, 1, 1] => -3,
+        [0, 1, 0] => -1,
+        [1, 1, 0] => 1,
+        [1, 1, 1] => 3,
+        [1, 0, 1] => 5,
+        [1, 0, 0] => 7,
+        other => panic!("no table row for bit group {other:?}"),
+    };
+    val as f64
+}
+
+/// §17.3.5.7 K_mod for a constellation of `nbpsc` bits per carrier.
+pub fn kmod(nbpsc: usize) -> f64 {
+    match nbpsc {
+        1 => 1.0,
+        2 => 1.0 / 2f64.sqrt(),
+        4 => 1.0 / 10f64.sqrt(),
+        6 => 1.0 / 42f64.sqrt(),
+        n => panic!("no 802.11a constellation carries {n} bits"),
+    }
+}
+
+/// Maps interleaved coded bits to constellation points per Tables
+/// 78–82: the first half of each group drives I, the second half Q
+/// (BPSK leaves Q at zero).
+pub fn map_bits(nbpsc: usize, bits: &[u8]) -> Vec<Complex> {
+    assert!(bits.len().is_multiple_of(nbpsc));
+    let norm = kmod(nbpsc);
+    bits.chunks_exact(nbpsc)
+        .map(|g| {
+            if nbpsc == 1 {
+                Complex::new(table_level(g) * norm, 0.0)
+            } else {
+                Complex::new(
+                    table_level(&g[..nbpsc / 2]) * norm,
+                    table_level(&g[nbpsc / 2..]) * norm,
+                )
+            }
+        })
+        .collect()
+}
+
+/// §17.3.5.9: pilot polarity p_n for OFDM symbol n — the all-ones
+/// scrambler sequence cycled with period 127, 0 → +1 and 1 → −1,
+/// read from the *embedded published sequence*, not computed.
+pub fn pilot_polarity(n: usize) -> f64 {
+    if all_ones_sequence()[n % 127] == 0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// §17.3.4: the 24 SIGNAL field bits for a RATE field (R1..R4, as
+/// transmitted) and a 12-bit LENGTH, built literally: RATE, reserved
+/// zero, LENGTH LSB-first, even parity over bits 0..17, six zero tail
+/// bits. The SIGNAL field is *not* scrambled.
+pub fn signal_bits(rate_field: [u8; 4], length: usize) -> [u8; 24] {
+    assert!(length <= 0xFFF);
+    let mut bits = [0u8; 24];
+    bits[..4].copy_from_slice(&rate_field);
+    // bits[4] is the reserved bit, zero.
+    for i in 0..12 {
+        bits[5 + i] = ((length >> i) & 1) as u8;
+    }
+    let parity = bits[..17].iter().fold(0u8, |acc, b| acc ^ b);
+    bits[17] = parity;
+    // bits[18..24] are the zero SIGNAL tail.
+    bits
+}
+
+/// §17.3.5.9 subcarrier layout: logical index k ∈ −26..26 → FFT bin.
+fn bin_of(k: i32) -> usize {
+    if k >= 0 {
+        k as usize
+    } else {
+        (64 + k) as usize
+    }
+}
+
+/// Assembles the 64 frequency bins for 48 data values plus the pilots
+/// of OFDM symbol `symbol_index`: data on −26..26 skipping 0 and the
+/// pilots at ∓21, ∓7; pilots carry (1, 1, 1, −1)·p_n.
+pub fn assemble_symbol(data: &[Complex], symbol_index: usize) -> [Complex; 64] {
+    assert_eq!(data.len(), 48);
+    let mut freq = [Complex::ZERO; 64];
+    let p = pilot_polarity(symbol_index);
+    let mut next = 0;
+    for k in -26..=26i32 {
+        if k == 0 {
+            continue;
+        }
+        match k {
+            -21 | -7 | 7 => freq[bin_of(k)] = Complex::from_re(p),
+            21 => freq[bin_of(k)] = Complex::from_re(-p),
+            _ => {
+                freq[bin_of(k)] = data[next];
+                next += 1;
+            }
+        }
+    }
+    assert_eq!(next, 48);
+    freq
+}
+
+/// Naive O(N²) unitary inverse DFT of the 64 bins, scaled by √(64/52)
+/// to the workspace's unit-mean-power convention (see
+/// `wlan_phy::ofdm`), returning the 80-sample symbol with its
+/// 16-sample cyclic prefix.
+pub fn idft_symbol(freq: &[Complex; 64]) -> Vec<Complex> {
+    let scale = (64f64 / 52.0).sqrt() / 64f64.sqrt();
+    let mut body = [Complex::ZERO; 64];
+    for (n, b) in body.iter_mut().enumerate() {
+        let mut acc = Complex::ZERO;
+        for (k, x) in freq.iter().enumerate() {
+            acc += *x * Complex::cis(2.0 * std::f64::consts::PI * (k * n) as f64 / 64.0);
+        }
+        *b = acc * scale;
+    }
+    let mut out = Vec::with_capacity(80);
+    out.extend_from_slice(&body[48..]);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Bytes → bits, LSB of each byte first (§17.3.5.1's bit ordering).
+pub fn bytes_to_bits_lsb_first(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 * bytes.len());
+    for &byte in bytes {
+        for i in 0..8 {
+            out.push((byte >> i) & 1);
+        }
+    }
+    out
+}
+
+/// The full §17.3.5 DATA-field bit pipeline for one PSDU: SERVICE +
+/// PSDU + 6 tail + pad (all zero), scrambled; tail re-zeroed; coded;
+/// punctured; interleaved per symbol. Returns one interleaved
+/// `ncbps`-bit block per OFDM symbol.
+#[allow(clippy::too_many_arguments)]
+pub fn data_field_symbols(
+    psdu: &[u8],
+    seed: u8,
+    ndbps: usize,
+    ncbps: usize,
+    nbpsc: usize,
+    code_num: usize,
+    code_den: usize,
+) -> Vec<Vec<u8>> {
+    let payload = 16 + 8 * psdu.len() + 6;
+    let n_sym = payload.div_ceil(ndbps);
+    let mut bits = vec![0u8; 16];
+    bits.extend(bytes_to_bits_lsb_first(psdu));
+    bits.resize(n_sym * ndbps, 0);
+    let mut scrambled = scramble(seed, &bits);
+    let tail_start = 16 + 8 * psdu.len();
+    for b in scrambled[tail_start..tail_start + 6].iter_mut() {
+        *b = 0;
+    }
+    let punctured = puncture(&encode_k7(&scrambled), code_num, code_den);
+    assert_eq!(punctured.len(), n_sym * ncbps);
+    punctured
+        .chunks_exact(ncbps)
+        .map(|blk| interleave(ncbps, nbpsc, blk))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ones_sequence_is_a_balanced_m_sequence() {
+        let seq = all_ones_sequence();
+        // A 127-bit m-sequence has 64 ones and 63 zeros.
+        assert_eq!(seq.iter().map(|&b| b as usize).sum::<usize>(), 64);
+        // And the generator reproduces it from the all-ones seed.
+        assert_eq!(scramble_sequence(0x7F, 127), seq.to_vec());
+    }
+
+    #[test]
+    fn scrambler_period_is_127() {
+        let first = scramble_sequence(0b1011101, 127);
+        let twice = scramble_sequence(0b1011101, 254);
+        assert_eq!(&twice[127..], first.as_slice());
+    }
+
+    #[test]
+    fn coder_impulse_response_is_the_generators() {
+        // A single 1 followed by zeros reads the generator taps back
+        // out on each arm: A = 1011011 (133₈), B = 1111001 (171₈).
+        let out = encode_k7(&[1, 0, 0, 0, 0, 0, 0]);
+        let a: Vec<u8> = out.iter().step_by(2).copied().collect();
+        let b: Vec<u8> = out.iter().skip(1).step_by(2).copied().collect();
+        assert_eq!(a, vec![1, 0, 1, 1, 0, 1, 1]);
+        assert_eq!(b, vec![1, 1, 1, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn puncture_patterns() {
+        let coded: Vec<u8> = (0..12).map(|i| (i % 2) as u8).collect();
+        assert_eq!(puncture(&coded, 1, 2).len(), 12);
+        assert_eq!(puncture(&coded, 2, 3).len(), 9);
+        assert_eq!(puncture(&coded, 3, 4).len(), 8);
+        // Rate 3/4 keeps A0 B0 A1 B2 of each period.
+        let idx: Vec<u8> = (0..6).collect();
+        assert_eq!(puncture(&idx, 3, 4), vec![0, 1, 2, 5]);
+    }
+
+    #[test]
+    fn interleaver_is_a_permutation() {
+        for (ncbps, nbpsc) in [(48, 1), (96, 2), (192, 4), (288, 6)] {
+            let mut seen = vec![false; ncbps];
+            for k in 0..ncbps {
+                let j = interleave_position(ncbps, nbpsc, k);
+                assert!(!seen[j], "collision at {j}");
+                seen[j] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn signal_parity_is_even() {
+        let bits = signal_bits([1, 0, 1, 1], 100);
+        let ones: u8 = bits[..18].iter().sum();
+        assert_eq!(ones % 2, 0);
+        assert_eq!(&bits[18..], &[0; 6]);
+    }
+
+    #[test]
+    fn mapper_unit_power() {
+        for nbpsc in [1usize, 2, 4, 6] {
+            // Average power over all bit patterns must be 1.
+            let mut total = 0.0;
+            let patterns = 1usize << nbpsc;
+            for p in 0..patterns {
+                let bits: Vec<u8> = (0..nbpsc).map(|i| ((p >> i) & 1) as u8).collect();
+                total += map_bits(nbpsc, &bits)[0].norm_sqr();
+            }
+            assert!(
+                (total / patterns as f64 - 1.0).abs() < 1e-12,
+                "nbpsc {nbpsc}"
+            );
+        }
+    }
+
+    #[test]
+    fn idft_of_single_bin_is_a_tone() {
+        let mut freq = [Complex::ZERO; 64];
+        freq[1] = Complex::ONE;
+        let sym = idft_symbol(&freq);
+        assert_eq!(sym.len(), 80);
+        // CP is a copy of the last 16 body samples.
+        for i in 0..16 {
+            let d = sym[i] - sym[64 + i];
+            assert!(d.abs() < 1e-12);
+        }
+        // Constant modulus tone.
+        let expect = (64f64 / 52.0).sqrt() / 8.0;
+        for s in &sym[16..] {
+            assert!((s.abs() - expect).abs() < 1e-12);
+        }
+    }
+}

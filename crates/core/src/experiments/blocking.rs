@@ -35,6 +35,22 @@ pub struct BlockingResult {
 }
 
 impl BlockingResult {
+    /// Flattens the sweep into named scalar fields for the golden-file
+    /// harness (`wlan-conformance`).
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        let mut out = vec![
+            ("n_points".to_string(), self.points.len() as f64),
+            ("rate_mbps".to_string(), self.rate.mbps() as f64),
+        ];
+        for (i, p) in self.points.iter().enumerate() {
+            out.push((format!("points[{i:02}].rel_db"), p.rel_db));
+            out.push((format!("points[{i:02}].ber_adjacent"), p.ber_adjacent));
+            out.push((format!("points[{i:02}].ber_alternate"), p.ber_alternate));
+            out.push((format!("points[{i:02}].bits"), p.bits as f64));
+        }
+        out
+    }
+
     /// Renders both series.
     pub fn table(&self) -> Table {
         let mut t = Table::new(

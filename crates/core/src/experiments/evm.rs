@@ -33,6 +33,25 @@ pub struct EvmResult {
 }
 
 impl EvmResult {
+    /// Flattens the sweep into named scalar fields for the golden-file
+    /// harness (`wlan-conformance`).
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        let mut out = vec![
+            ("n_points".to_string(), self.points.len() as f64),
+            ("rate_mbps".to_string(), self.rate.mbps() as f64),
+        ];
+        for (i, p) in self.points.iter().enumerate() {
+            out.push((format!("points[{i:02}].snr_db"), p.snr_db));
+            out.push((format!("points[{i:02}].evm_db"), p.evm_db));
+            out.push((format!("points[{i:02}].theory_db"), p.theory_db));
+            out.push((
+                format!("points[{i:02}].error_free"),
+                if p.error_free { 1.0 } else { 0.0 },
+            ));
+        }
+        out
+    }
+
     /// Renders the sweep.
     pub fn table(&self) -> Table {
         let mut t = Table::new(

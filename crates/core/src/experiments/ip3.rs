@@ -35,6 +35,18 @@ pub struct Ip3Result {
 }
 
 impl Ip3Result {
+    /// Flattens the sweep into named scalar fields for the golden-file
+    /// harness (`wlan-conformance`).
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        let mut out = vec![("n_points".to_string(), self.points.len() as f64)];
+        for (i, p) in self.points.iter().enumerate() {
+            out.push((format!("points[{i:02}].iip3_dbm"), p.iip3_dbm));
+            out.push((format!("points[{i:02}].ber"), p.ber));
+            out.push((format!("points[{i:02}].bits"), p.bits as f64));
+        }
+        out
+    }
+
     /// Renders the sweep.
     pub fn table(&self) -> Table {
         let mut t = Table::new(

@@ -42,6 +42,22 @@ pub struct NfResult {
 }
 
 impl NfResult {
+    /// Flattens the sweep into named scalar fields for the golden-file
+    /// harness (`wlan-conformance`).
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        let mut out = vec![
+            ("n_points".to_string(), self.points.len() as f64),
+            ("rx_level_dbm".to_string(), self.rx_level_dbm),
+        ];
+        for (i, p) in self.points.iter().enumerate() {
+            out.push((format!("points[{i:02}].nf_db"), p.nf_db));
+            out.push((format!("points[{i:02}].ber_baseband"), p.ber_baseband));
+            out.push((format!("points[{i:02}].ber_cosim"), p.ber_cosim));
+            out.push((format!("points[{i:02}].bits"), p.bits as f64));
+        }
+        out
+    }
+
     /// Renders both series.
     pub fn table(&self) -> Table {
         let mut t = Table::new(

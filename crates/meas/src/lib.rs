@@ -11,8 +11,13 @@
 //!   models to verify that they meet their specs before system
 //!   simulation ("verify the RF system separately using RF simulation
 //!   techniques").
+//!
+//! Plus [`analytic`]: exact closed-form AWGN BER curves and Wilson
+//! acceptance bands, the ground truth the conformance suite holds the
+//! Monte-Carlo sweeps against.
 
 pub mod acpr;
+pub mod analytic;
 pub mod ber;
 pub mod compression;
 pub mod desense;

@@ -199,6 +199,21 @@ impl Rate {
         samples as f64 / SAMPLE_RATE
     }
 
+    /// Maximum allowed transmit RMS constellation error (EVM) per IEEE
+    /// 802.11a-1999 §17.3.9.6.3, in dB relative to full scale.
+    pub fn evm_limit_db(self) -> f64 {
+        match self {
+            Rate::R6 => -5.0,
+            Rate::R9 => -8.0,
+            Rate::R12 => -10.0,
+            Rate::R18 => -13.0,
+            Rate::R24 => -16.0,
+            Rate::R36 => -19.0,
+            Rate::R48 => -22.0,
+            Rate::R54 => -25.0,
+        }
+    }
+
     /// Minimum receiver sensitivity required by IEEE 802.11a-1999
     /// Table 91, in dBm.
     pub fn sensitivity_dbm(self) -> f64 {
@@ -371,6 +386,24 @@ mod tests {
         }
         assert_eq!(Rate::R6.sensitivity_dbm(), -82.0);
         assert_eq!(Rate::R54.sensitivity_dbm(), -65.0);
+    }
+
+    #[test]
+    fn evm_limits_match_standard_and_tighten_with_rate() {
+        // §17.3.9.6.3: −5 dB at 6 Mbit/s down to −25 dB at 54 Mbit/s,
+        // strictly tighter as the constellation densifies.
+        assert_eq!(Rate::R6.evm_limit_db(), -5.0);
+        assert_eq!(Rate::R12.evm_limit_db(), -10.0);
+        assert_eq!(Rate::R24.evm_limit_db(), -16.0);
+        assert_eq!(Rate::R54.evm_limit_db(), -25.0);
+        for w in ALL_RATES.windows(2) {
+            assert!(
+                w[1].evm_limit_db() < w[0].evm_limit_db(),
+                "{} {}",
+                w[0],
+                w[1]
+            );
+        }
     }
 
     #[test]

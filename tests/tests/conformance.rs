@@ -1,0 +1,175 @@
+//! Conformance gates: the Annex G known-answer tests, analytic-vs-
+//! Monte-Carlo BER acceptance bands, and the §17.3.9.6.3 transmit EVM
+//! limits. These are the `cargo test` twins of the `wlan-conformance`
+//! CLI checks.
+//!
+//! The fast subset here is tier-1; `WLANSIM_SLOW_TESTS=1` additionally
+//! runs a denser BER grid with ~10× the bits per point.
+
+use wlan_conformance::mc::uncoded_ber_point;
+use wlan_conformance::{annex_g, mc};
+use wlan_dsp::Rng;
+use wlan_exec::ThreadPool;
+use wlan_meas::analytic;
+use wlan_meas::evm::EvmMeter;
+use wlan_phy::modulation::nearest_point;
+use wlan_phy::params::{Modulation, ALL_RATES};
+use wlan_phy::{Receiver, Transmitter};
+
+/// 99.9% two-sided quantile: a correct simulator fails a point about
+/// once per thousand runs, and seeds are fixed anyway.
+const Z: f64 = 3.29;
+
+/// Every stage of the 802.11a Annex G reference message — bit-exact for
+/// bit-domain stages, toleranced for IQ stages.
+#[test]
+fn annex_g_known_answers() {
+    let results = annex_g::run_all();
+    let report: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "[{}] {}: {}",
+                if r.ok { "ok" } else { "FAIL" },
+                r.stage,
+                r.detail
+            )
+        })
+        .collect();
+    assert!(
+        annex_g::all_pass(&results),
+        "Annex G stage failures:\n{}",
+        report.join("\n")
+    );
+    assert_eq!(results.len(), 12, "stage list changed unexpectedly");
+}
+
+/// Simulated AWGN BER sits inside the Wilson band around the exact
+/// closed-form curve for all four constellations (fast tier-1 points,
+/// chosen where BER ≈ 1e-2 so a few hundred kbits give tight bands).
+#[test]
+fn analytic_ber_bands_fast() {
+    let pool = ThreadPool::from_env();
+    let points = [
+        (Modulation::Bpsk, 4.0),
+        (Modulation::Qpsk, 7.0),
+        (Modulation::Qam16, 14.0),
+        (Modulation::Qam64, 20.0),
+    ];
+    for (i, &(m, snr)) in points.iter().enumerate() {
+        let p = uncoded_ber_point(&pool, m, snr, 8, 24_000, 0xA11C, i as u64, Z);
+        assert!(p.pass, "{}", p.describe());
+    }
+}
+
+/// Denser, slower BER grid — opt in with `WLANSIM_SLOW_TESTS=1`.
+#[test]
+fn analytic_ber_bands_extended() {
+    if std::env::var("WLANSIM_SLOW_TESTS").as_deref() != Ok("1") {
+        return;
+    }
+    let pool = ThreadPool::from_env();
+    let grid = [
+        (Modulation::Bpsk, [3.0, 5.0, 7.0]),
+        (Modulation::Qpsk, [6.0, 8.0, 10.0]),
+        (Modulation::Qam16, [12.0, 14.0, 16.0]),
+        (Modulation::Qam64, [18.0, 20.0, 22.0]),
+    ];
+    let mut index = 100;
+    for (m, snrs) in grid {
+        for snr in snrs {
+            let p = uncoded_ber_point(&pool, m, snr, 16, 120_000, 0xA11C, index, Z);
+            assert!(p.pass, "{}", p.describe());
+            index += 1;
+        }
+    }
+}
+
+/// The analytic module's own consistency: at any SNR the curves order
+/// by constellation density, and the Wilson band tightens with trials.
+#[test]
+fn analytic_curves_are_ordered() {
+    for snr in [0.0, 5.0, 10.0, 15.0, 20.0] {
+        let b = analytic::ber_bpsk(snr);
+        let q = analytic::ber_qpsk(snr);
+        let q16 = analytic::ber_qam16(snr);
+        let q64 = analytic::ber_qam64(snr);
+        assert!(b <= q + 1e-15 && q <= q16 && q16 <= q64, "snr {snr}");
+    }
+    let wide = analytic::wilson_interval(10, 1_000, 1.96);
+    let tight = analytic::wilson_interval(100, 10_000, 1.96);
+    assert!(tight.1 - tight.0 < wide.1 - wide.0);
+}
+
+/// §17.3.9.6.3: transmit EVM at every rate must beat the standard's
+/// per-rate limit. A clean loopback through the genie-timed receiver
+/// measures the transmitter's own constellation error, which for this
+/// float implementation sits far below the mask.
+#[test]
+fn tx_evm_within_standard_limits() {
+    let rx = Receiver::new();
+    let mut rng = Rng::new(0xE7);
+    for rate in ALL_RATES {
+        let mut psdu = vec![0u8; 120];
+        rng.bytes(&mut psdu);
+        let burst = Transmitter::new(rate).transmit(&psdu);
+        let got = rx
+            .receive_with_timing(&burst.samples, 192, 0.0)
+            .unwrap_or_else(|e| panic!("{rate}: clean loopback failed: {e}"));
+        assert_eq!(got.psdu, psdu, "{rate}");
+        // Independent EVM measurement through wlan_meas over the
+        // equalized constellation.
+        let mut meter = EvmMeter::new();
+        let m = rate.modulation();
+        for &y in &got.equalized {
+            meter.update(y, nearest_point(y, m));
+        }
+        let evm_db = meter.rms_db();
+        let limit = rate.evm_limit_db();
+        assert!(
+            evm_db <= limit,
+            "{rate}: TX EVM {evm_db:.1} dB exceeds limit {limit:.1} dB"
+        );
+        // And the receiver's built-in figure agrees with the meter.
+        assert!((evm_db - got.evm_db()).abs() < 0.5, "{rate}");
+    }
+}
+
+/// Negative control: the EVM checker actually rejects a transmitter
+/// degraded past the mask (noise at EVM ≈ −14 dB fails every rate
+/// beyond QPSK and must fail R54's −25 dB limit).
+#[test]
+fn evm_check_rejects_degraded_tx() {
+    let rx = Receiver::new();
+    let mut rng = Rng::new(0xE8);
+    let rate = wlan_phy::Rate::R54;
+    let mut psdu = vec![0u8; 120];
+    rng.bytes(&mut psdu);
+    let burst = Transmitter::new(rate).transmit(&psdu);
+    let nv = 10f64.powf(-14.0 / 10.0);
+    let noisy: Vec<_> = burst
+        .samples
+        .iter()
+        .map(|&s| s + rng.complex_gaussian(nv))
+        .collect();
+    if let Ok(got) = rx.receive_with_timing(&noisy, 192, 0.0) {
+        assert!(
+            got.evm_db() > rate.evm_limit_db(),
+            "degraded burst unexpectedly passed: {:.1} dB",
+            got.evm_db()
+        );
+    }
+    // (A decode failure is an equally valid rejection.)
+}
+
+/// Sharded Monte-Carlo acceptance points are thread-count invariant, so
+/// CI parallelism can never change a verdict.
+#[test]
+fn ber_points_thread_invariant() {
+    let serial = ThreadPool::serial();
+    let threads = ThreadPool::new(4);
+    let a = mc::uncoded_ber_point(&serial, Modulation::Qpsk, 7.0, 6, 12_000, 0x5EED, 0, Z);
+    let b = mc::uncoded_ber_point(&threads, Modulation::Qpsk, 7.0, 6, 12_000, 0x5EED, 0, Z);
+    assert_eq!(a.errors, b.errors);
+    assert_eq!(a.bits, b.bits);
+}

@@ -1,0 +1,66 @@
+//! Golden-baseline regression gate: every pinned experiment sweep must
+//! reproduce the snapshot committed under `tests/golden/`, field by
+//! field, within its tolerance policy.
+//!
+//! On drift the failure message names each offending field and a JSON
+//! drift report lands in `target/golden-drift/` for CI to upload. If
+//! the change is intended, re-bless with:
+//!
+//! ```text
+//! WLANSIM_BLESS=1 cargo test -p wlan-tests --test golden
+//! ```
+
+use std::path::Path;
+use wlan_conformance::{assert_golden, pinned, GoldenStatus};
+
+fn golden_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/golden"))
+}
+
+fn drift_dir() -> &'static Path {
+    Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../target/golden-drift"
+    ))
+}
+
+fn run(golden: wlan_conformance::pinned::PinnedGolden) {
+    let status = assert_golden(
+        golden_dir(),
+        drift_dir(),
+        golden.name,
+        &golden.fields,
+        &golden.policy,
+    );
+    // Either outcome is a pass; Blessed only happens under
+    // WLANSIM_BLESS=1.
+    assert!(matches!(
+        status,
+        GoldenStatus::Matched | GoldenStatus::Blessed
+    ));
+}
+
+#[test]
+fn golden_ip3_sweep() {
+    run(pinned::ip3_sweep());
+}
+
+#[test]
+fn golden_level_sweep() {
+    run(pinned::level_sweep());
+}
+
+#[test]
+fn golden_nf_sweep() {
+    run(pinned::nf_sweep());
+}
+
+#[test]
+fn golden_blocking_sweep() {
+    run(pinned::blocking_sweep());
+}
+
+#[test]
+fn golden_evm_sweep() {
+    run(pinned::evm_sweep());
+}

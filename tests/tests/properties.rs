@@ -107,6 +107,98 @@ fn prop_ber_meter_bounds() {
     }
 }
 
+/// PSDU lengths straddling a symbol-fill boundary for `rate`: the
+/// largest length that still fits `n` symbols plus the one that spills
+/// into `n + 1`, i.e. the extremes of tail/pad handling.
+fn edge_lengths(rate: wlan_phy::Rate) -> Vec<usize> {
+    let mut out = vec![1];
+    let mut len = 40;
+    let base = rate.data_symbols(len);
+    while rate.data_symbols(len + 1) == base {
+        len += 1;
+    }
+    out.push(len); // maximum padding in the last symbol
+    out.push(len + 1); // spills into a fresh symbol
+    out
+}
+
+/// Puncture → erasure-insert → Viterbi round-trips a full data field at
+/// every rate, including PSDU lengths that maximize tail/pad handling.
+#[test]
+fn prop_puncture_depuncture_roundtrip_all_rates() {
+    use wlan_phy::puncture::{depuncture, expansion, puncture};
+    use wlan_phy::viterbi::Llr;
+
+    let mut meta = Rng::new(0x1007);
+    for rate in ALL_RATES {
+        for len in edge_lengths(rate) {
+            let n_sym = rate.data_symbols(len);
+            let n_info = n_sym * rate.ndbps();
+            let mut msg = vec![0u8; n_info];
+            let mut rng = Rng::new(meta.next_u64());
+            rng.bits(&mut msg[..n_info - 6]); // keep the 6 zero tail bits
+            let coded = wlan_phy::convolutional::encode(&msg);
+            let tx = puncture(&coded, rate.code_rate());
+            assert_eq!(tx.len(), n_sym * rate.ncbps(), "{rate} len {len}");
+            let (kept, period) = expansion(rate.code_rate());
+            assert_eq!(tx.len() * period, coded.len() * kept);
+            let llrs: Vec<Llr> = tx
+                .iter()
+                .map(|&b| if b == 1 { -1.0 } else { 1.0 })
+                .collect();
+            let full = depuncture(&llrs, rate.code_rate());
+            assert_eq!(full.len(), coded.len(), "{rate} len {len}");
+            // Surviving positions carry the coded bits; stolen positions
+            // come back as erasures.
+            let mut survivors = 0usize;
+            for (&llr, &bit) in full.iter().zip(coded.iter()) {
+                if llr != 0.0 {
+                    assert_eq!(u8::from(llr < 0.0), bit, "{rate} len {len}");
+                    survivors += 1;
+                }
+            }
+            assert_eq!(survivors, tx.len());
+            assert_eq!(
+                wlan_phy::viterbi::decode_soft(&full),
+                msg,
+                "{rate} len {len}"
+            );
+        }
+    }
+}
+
+/// Interleaving is a self-inverse pair for whole data fields at every
+/// rate, for both hard bits and LLRs, at tail/pad edge lengths.
+#[test]
+fn prop_interleaver_roundtrip_all_rates() {
+    use wlan_phy::interleaver::Interleaver;
+
+    let mut meta = Rng::new(0x1008);
+    for rate in ALL_RATES {
+        let il = Interleaver::new(rate);
+        assert_eq!(il.block_len(), rate.ncbps(), "{rate}");
+        for len in edge_lengths(rate) {
+            let n_sym = rate.data_symbols(len);
+            let mut rng = Rng::new(meta.next_u64());
+            for sym in 0..n_sym {
+                let mut bits = vec![0u8; rate.ncbps()];
+                rng.bits(&mut bits);
+                let tx = il.interleave(&bits);
+                assert_eq!(il.deinterleave_bits(&tx), bits, "{rate} sym {sym}");
+                // The LLR path must apply the same inverse permutation.
+                let llrs: Vec<f64> = tx
+                    .iter()
+                    .map(|&b| if b == 1 { -1.0 } else { 1.0 })
+                    .collect();
+                let back = il.deinterleave(&llrs);
+                for (k, &l) in back.iter().enumerate() {
+                    assert_eq!(u8::from(l < 0.0), bits[k], "{rate} sym {sym} bit {k}");
+                }
+            }
+        }
+    }
+}
+
 /// Netlist values with engineering suffixes parse consistently.
 #[test]
 fn prop_netlist_value_roundtrip() {
