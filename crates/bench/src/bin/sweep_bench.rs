@@ -9,39 +9,55 @@
 //! available parallelism). The two runs must be bit-identical — the
 //! JSON records that check alongside the timings.
 //!
-//! Environment:
-//! * `WLANSIM_BENCH_SMOKE=1` — few points / few frames (CI smoke mode).
-//! * `WLANSIM_THREADS` — parallel worker count.
-//! * `WLANSIM_PACKETS` / `WLANSIM_PSDU` — frame budget per point.
+//! Three workload tiers, recorded per run in the JSON `runs` array
+//! (schema 2):
+//! * `WLANSIM_BENCH_SMOKE=1` — the 3-point smoke only (CI mode). Its
+//!   speedup mostly measures engine startup; it exists to gate
+//!   bit-identity cheaply.
+//! * `WLANSIM_BENCH_FULL=1` — the smoke run *plus* a calibrated sweep
+//!   (8 points × 40 packets of 200-byte PSDUs) long enough that the
+//!   parallel speedup measures the sweep, not the startup. Both runs
+//!   land in the JSON so the trajectory can compare like with like.
+//! * neither — a single default-effort run (`WLANSIM_PACKETS` /
+//!   `WLANSIM_PSDU` override the per-point budget).
+//!
+//! Exit status is non-zero if any recorded run diverges between the
+//! serial and parallel engines.
 
 use std::time::Instant;
 use wlan_exec::ThreadPool;
 use wlan_sim::experiments::{ip3, Effort, Engine};
 
 /// Schema version of `BENCH_sweep.json`.
-const BENCH_JSON_SCHEMA: u32 = 1;
+const BENCH_JSON_SCHEMA: u32 = 2;
 
-fn main() {
-    let smoke = std::env::var("WLANSIM_BENCH_SMOKE")
-        .map(|v| v != "0")
-        .unwrap_or(false);
-    let (points, effort) = if smoke {
-        (
-            3usize,
-            Effort {
-                packets: 2,
-                psdu_len: 60,
-            },
-        )
-    } else {
-        (8usize, Effort::from_env())
-    };
-    let threads = ThreadPool::from_env().threads();
+/// One workload tier: a labeled sweep size.
+struct Tier {
+    mode: &'static str,
+    points: usize,
+    effort: Effort,
+}
+
+/// Timing record of one serial-vs-parallel comparison.
+struct RunRecord {
+    tier: Tier,
+    threads: usize,
+    serial_s: f64,
+    parallel_s: f64,
+    speedup: f64,
+    identical: bool,
+}
+
+fn run_tier(tier: Tier, threads: usize) -> RunRecord {
     let (lo_dbm, hi_dbm, seed) = (-40.0, 0.0, 42);
+    let Tier {
+        points,
+        effort,
+        mode,
+    } = tier;
     eprintln!(
-        "sweep_bench: {points} IIP3 points x {} packets, 1 vs {threads} thread(s){}",
-        effort.packets,
-        if smoke { " [smoke]" } else { "" }
+        "sweep_bench[{mode}]: {points} IIP3 points x {} packets, 1 vs {threads} thread(s)",
+        effort.packets
     );
 
     let t0 = Instant::now();
@@ -62,19 +78,13 @@ fn main() {
     let identical = serial.points == parallel.points;
     let speedup = serial_s / parallel_s.max(1e-12);
 
-    let labels: Vec<String> = parallel
+    let labels: Vec<(String, std::time::Duration)> = parallel
         .points
         .iter()
         .map(|p| format!("{:.0}", p.iip3_dbm))
+        .zip(parallel.point_elapsed.iter().copied())
         .collect();
-    wlan_bench::harness::report_point_timing(
-        "sweep_bench",
-        &labels
-            .iter()
-            .cloned()
-            .zip(parallel.point_elapsed.iter().copied())
-            .collect::<Vec<_>>(),
-    );
+    wlan_bench::harness::report_point_timing(&format!("sweep_bench[{mode}]"), &labels);
     println!("serial   {serial_s:.3} s");
     println!("parallel {parallel_s:.3} s ({threads} threads)");
     println!("speedup  {speedup:.2}x, bit-identical: {identical}");
@@ -82,20 +92,87 @@ fn main() {
         eprintln!("ERROR: parallel sweep diverged from the serial reference");
     }
 
+    RunRecord {
+        tier: Tier {
+            mode,
+            points,
+            effort,
+        },
+        threads,
+        serial_s,
+        parallel_s,
+        speedup,
+        identical,
+    }
+}
+
+fn json_run(r: &RunRecord) -> String {
+    format!(
+        "    {{\n      \"mode\": \"{}\",\n      \"threads\": {},\n      \
+         \"points\": {},\n      \"packets_per_point\": {},\n      \
+         \"psdu_len\": {},\n      \"serial_s\": {:.6},\n      \
+         \"parallel_s\": {:.6},\n      \"speedup\": {:.4},\n      \
+         \"identical\": {}\n    }}",
+        r.tier.mode,
+        r.threads,
+        r.tier.points,
+        r.tier.effort.packets,
+        r.tier.effort.psdu_len,
+        r.serial_s,
+        r.parallel_s,
+        r.speedup,
+        r.identical
+    )
+}
+
+fn main() {
+    let env_flag = |name: &str| std::env::var(name).map(|v| v != "0").unwrap_or(false);
+    let smoke_tier = || Tier {
+        mode: "smoke",
+        points: 3,
+        effort: Effort {
+            packets: 2,
+            psdu_len: 60,
+        },
+    };
+    let tiers: Vec<Tier> = if env_flag("WLANSIM_BENCH_SMOKE") {
+        vec![smoke_tier()]
+    } else if env_flag("WLANSIM_BENCH_FULL") {
+        vec![
+            smoke_tier(),
+            Tier {
+                mode: "full",
+                points: 8,
+                effort: Effort {
+                    packets: 40,
+                    psdu_len: 200,
+                },
+            },
+        ]
+    } else {
+        vec![Tier {
+            mode: "default",
+            points: 8,
+            effort: Effort::from_env(),
+        }]
+    };
+
+    let threads = ThreadPool::from_env().threads();
+    let records: Vec<RunRecord> = tiers.into_iter().map(|t| run_tier(t, threads)).collect();
+    let all_identical = records.iter().all(|r| r.identical);
+
+    let runs: Vec<String> = records.iter().map(json_run).collect();
     let json = format!(
         "{{\n  \"schema\": {BENCH_JSON_SCHEMA},\n  \"bench\": \"sweep_ber\",\n  \
-         \"smoke\": {smoke},\n  \"threads\": {threads},\n  \"points\": {points},\n  \
-         \"packets_per_point\": {},\n  \"psdu_len\": {},\n  \
-         \"serial_s\": {serial_s:.6},\n  \"parallel_s\": {parallel_s:.6},\n  \
-         \"speedup\": {speedup:.4},\n  \"identical\": {identical}\n}}\n",
-        effort.packets, effort.psdu_len
+         \"identical\": {all_identical},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        runs.join(",\n")
     );
     match std::fs::write("BENCH_sweep.json", &json) {
         Ok(()) => println!("(BENCH_sweep.json written)"),
         Err(e) => eprintln!("warning: could not write BENCH_sweep.json: {e}"),
     }
 
-    if !identical {
+    if !all_identical {
         std::process::exit(1);
     }
 }

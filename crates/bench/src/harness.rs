@@ -81,8 +81,14 @@ impl BenchmarkGroup {
         self.sample_size = n.max(1);
     }
 
-    /// Runs one benchmark and prints its timing line.
-    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+    /// Runs one benchmark, prints its timing line, and returns the
+    /// median per-iteration time in seconds (so binaries like
+    /// `kernel_bench` can also record it in JSON).
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> f64 {
         let mut b = Bencher {
             sample_size: self.sample_size,
             median_s: 0.0,
@@ -99,6 +105,7 @@ impl BenchmarkGroup {
             _ => String::new(),
         };
         println!("{label:<42} {:>14}/iter {rate}", si_time(b.median_s));
+        b.median_s
     }
 
     /// Ends the group (kept for Criterion API parity).

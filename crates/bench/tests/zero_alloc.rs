@@ -1,0 +1,83 @@
+//! Proof that the per-packet link loop is allocation-free in steady
+//! state: a counting global allocator observes two otherwise identical
+//! runs, and the longer run must not allocate a single time more than
+//! the short one. Everything the extra packets need — transmit
+//! waveform, channel scene, receive scratch — already lives in the
+//! [`PacketScratch`] arena grown during the first packet.
+//!
+//! The test binary holds exactly one `#[test]` so no sibling test can
+//! allocate on another thread while the counter is armed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use wlan_phy::Rate;
+use wlan_sim::link::{FrontEnd, LinkConfig, LinkSimulation};
+
+struct CountingAllocator;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn link_config(packets: usize) -> LinkConfig {
+    LinkConfig {
+        rate: Rate::R36,
+        psdu_len: 120,
+        packets,
+        seed: 77,
+        snr_db: Some(18.0),
+        front_end: FrontEnd::Ideal,
+        ..LinkConfig::default()
+    }
+}
+
+/// Heap allocations (alloc + realloc calls) during one full run.
+fn allocs_for(packets: usize) -> u64 {
+    let sim = LinkSimulation::new(link_config(packets));
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let report = sim.run();
+    ARMED.store(false, Ordering::SeqCst);
+    assert_eq!(report.packets, packets);
+    assert_eq!(report.decoded_packets, packets, "workload must decode");
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn steady_state_link_loop_is_allocation_free() {
+    // Warm-up run so lazy process-wide state (if any) is initialized
+    // before counting starts.
+    let _ = allocs_for(1);
+    let short = allocs_for(2);
+    let long = allocs_for(12);
+    assert_eq!(
+        short,
+        long,
+        "packets 3..=12 allocated {} extra time(s); the per-packet loop \
+         must reuse the PacketScratch arena",
+        long.saturating_sub(short)
+    );
+}

@@ -20,9 +20,18 @@ impl Awgn {
     /// Adds complex Gaussian noise of total power `noise_power`
     /// (`E[|n|²]`, the `mean(|x|²)` convention) to each sample.
     pub fn add_noise_power(&mut self, x: &[Complex], noise_power: f64) -> Vec<Complex> {
-        x.iter()
-            .map(|&v| v + self.rng.complex_gaussian(noise_power))
-            .collect()
+        let mut out = x.to_vec();
+        self.add_noise_power_in_place(&mut out, noise_power);
+        out
+    }
+
+    /// [`Awgn::add_noise_power`] mutating the frame in place (same RNG
+    /// draw order), so the per-packet link loop needs no noise-output
+    /// buffer.
+    pub fn add_noise_power_in_place(&mut self, x: &mut [Complex], noise_power: f64) {
+        for v in x.iter_mut() {
+            *v += self.rng.complex_gaussian(noise_power);
+        }
     }
 
     /// Adds noise at a target SNR in dB, measured against the *actual*

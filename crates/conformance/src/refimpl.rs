@@ -315,6 +315,87 @@ pub fn data_field_symbols(
         .collect()
 }
 
+/// Straightforward full-search soft-decision Viterbi decoder for the
+/// (133, 171) K=7 code: per-call `Vec` state, an explicit `1e300`
+/// sentinel for unreachable states, and an ascending scan over every
+/// `(predecessor, input)` pair. This is the pre-optimization kernel kept
+/// verbatim as the bit-identity reference for the butterfly-form
+/// `wlan_phy::viterbi::ViterbiDecoder` (`kernel_bench` asserts the two
+/// agree bit-for-bit on random LLR streams).
+///
+/// LLR convention: positive favors bit 0; traceback starts at the
+/// maximum-likelihood end state.
+///
+/// # Panics
+///
+/// Panics if `llrs.len()` is odd.
+pub fn viterbi_reference(llrs: &[f64]) -> Vec<u8> {
+    assert!(
+        llrs.len().is_multiple_of(2),
+        "need two LLRs per trellis step"
+    );
+    let n_steps = llrs.len() / 2;
+    if n_steps == 0 {
+        return Vec::new();
+    }
+    const N_STATES: usize = 64;
+    const INF: f64 = 1e300;
+    // Generator polynomials 133/171 (octal), bit-reversed so the newest
+    // input sits at bit 0 of the shift register.
+    const G0_REV: u32 = 0b110_1101;
+    const G1_REV: u32 = 0b100_1111;
+    let parity = |v: u32| (v.count_ones() & 1) as u8;
+
+    let mut metric = vec![INF; N_STATES];
+    metric[0] = 0.0;
+    let mut next = vec![INF; N_STATES];
+    let mut decisions = vec![0u64; n_steps];
+
+    for (t, pair) in llrs.chunks_exact(2).enumerate() {
+        let (la, lb) = (pair[0], pair[1]);
+        next.fill(INF);
+        let mut dec: u64 = 0;
+        for prev in 0..N_STATES as u32 {
+            let m = metric[prev as usize];
+            if m >= INF {
+                continue;
+            }
+            for input in 0..2u32 {
+                let sr = (prev << 1) | input;
+                let a = parity(sr & G0_REV);
+                let b = parity(sr & G1_REV);
+                let cost = m + if a == 1 { la } else { -la } + if b == 1 { lb } else { -lb };
+                let ns = (sr & 0x3f) as usize;
+                if cost < next[ns] {
+                    next[ns] = cost;
+                    let evicted = (prev >> 5) & 1;
+                    if evicted == 1 {
+                        dec |= 1 << ns;
+                    } else {
+                        dec &= !(1u64 << ns);
+                    }
+                }
+            }
+        }
+        decisions[t] = dec;
+        std::mem::swap(&mut metric, &mut next);
+    }
+
+    let mut state = metric
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(s, _)| s)
+        .unwrap_or(0);
+    let mut bits = vec![0u8; n_steps];
+    for t in (0..n_steps).rev() {
+        bits[t] = (state & 1) as u8;
+        let evicted = (decisions[t] >> state) & 1;
+        state = (state >> 1) | ((evicted as usize) << 5);
+    }
+    bits
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

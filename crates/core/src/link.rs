@@ -12,8 +12,10 @@ use wlan_exec::{split_seed, ThreadPool};
 use wlan_meas::montecarlo::{run_sharded, EarlyStop, McAccumulator, McPlan};
 use wlan_meas::BerMeter;
 use wlan_phy::params::SAMPLE_RATE;
+use wlan_phy::receiver::RxScratch;
+use wlan_phy::transmitter::TxScratch;
 use wlan_phy::{Rate, Receiver, Transmitter};
-use wlan_rf::receiver::{DoubleConversionReceiver, RfConfig};
+use wlan_rf::receiver::{DoubleConversionReceiver, RfConfig, RfScratch};
 
 /// Adjacent-channel interferer description (paper §4.1: a duplicated
 /// transmitter shifted by 20 MHz).
@@ -151,20 +153,60 @@ impl LinkReport {
 }
 
 /// Per-run (or per-shard) front-end and noise state: the filters settle
-/// across consecutive packets of the same stream.
+/// across consecutive packets of the same stream, and all per-packet
+/// working buffers live in the [`PacketScratch`] arena.
 struct FrontEndState {
     bb: Option<DoubleConversionReceiver>,
     cosim: Option<CosimReceiver>,
     noise: Awgn,
+    scratch: PacketScratch,
 }
 
-/// What one simulated packet produced.
+/// Per-packet buffer arena: every transmit/channel/receive intermediate
+/// of the hot loop. Buffers retain capacity between packets, so
+/// steady-state simulation of the [`FrontEnd::Ideal`] path performs zero
+/// heap allocation (the RF paths still allocate in the oversampled scene
+/// renderer and the multipath channel).
+struct PacketScratch {
+    /// Transmitted PSDU of the current packet.
+    psdu: Vec<u8>,
+    /// Long-lived transmitter, re-seeded per packet.
+    tx: Transmitter,
+    txs: TxScratch,
+    /// Burst samples (multipath replaces them in place).
+    burst: Vec<Complex>,
+    /// Padded + noisy channel output ([`FrontEnd::Ideal`]).
+    chan: Vec<Complex>,
+    /// Receiver working buffers; holds the decoded PSDU after a success.
+    rx: RxScratch,
+    rf: RfScratch,
+    /// Decimated front-end output (RF modes).
+    rf_out: Vec<Complex>,
+    /// Adjacent-channel interferer payload.
+    adj_psdu: Vec<u8>,
+}
+
+impl PacketScratch {
+    fn new(rate: Rate) -> Self {
+        PacketScratch {
+            psdu: Vec::new(),
+            tx: Transmitter::new(rate),
+            txs: TxScratch::default(),
+            burst: Vec::new(),
+            chan: Vec::new(),
+            rx: RxScratch::default(),
+            rf: RfScratch::default(),
+            rf_out: Vec::new(),
+            adj_psdu: Vec::new(),
+        }
+    }
+}
+
+/// What one simulated packet produced. The payload bytes stay in the
+/// [`PacketScratch`]: `scratch.psdu` (transmitted) and `scratch.rx.psdu`
+/// (decoded).
 enum PacketOutcome {
-    Decoded {
-        tx_psdu: Vec<u8>,
-        rx_psdu: Vec<u8>,
-        evm_db: f64,
-    },
+    Decoded { evm_db: f64 },
     Lost,
 }
 
@@ -261,12 +303,8 @@ impl LinkSimulation {
 
         for pkt in 0..cfg.packets {
             match self.sim_packet(pkt, &mut rng, &mut fe, &rx) {
-                PacketOutcome::Decoded {
-                    tx_psdu,
-                    rx_psdu,
-                    evm_db,
-                } => {
-                    meter.update_bytes(&tx_psdu, &rx_psdu);
+                PacketOutcome::Decoded { evm_db } => {
+                    meter.update_bytes(&fe.scratch.psdu, &fe.scratch.rx.psdu);
                     evm_acc += evm_db;
                     decoded += 1;
                 }
@@ -305,12 +343,10 @@ impl LinkSimulation {
 
         for i in 0..packets {
             match self.sim_packet(first_packet + i, &mut rng, &mut fe, &rx) {
-                PacketOutcome::Decoded {
-                    tx_psdu,
-                    rx_psdu,
-                    evm_db,
-                } => {
-                    report.meter.update_bytes(&tx_psdu, &rx_psdu);
+                PacketOutcome::Decoded { evm_db } => {
+                    report
+                        .meter
+                        .update_bytes(&fe.scratch.psdu, &fe.scratch.rx.psdu);
                     report.evm_sum_db += evm_db;
                     report.decoded_packets += 1;
                 }
@@ -403,10 +439,12 @@ impl LinkSimulation {
             bb,
             cosim,
             noise: Awgn::new(seed ^ 0x5EED),
+            scratch: PacketScratch::new(cfg.rate),
         }
     }
 
-    /// Simulates one packet: transmit, channel, front end, receive.
+    /// Simulates one packet: transmit, channel, front end, receive. All
+    /// buffers come from the [`PacketScratch`] arena in `fe`.
     fn sim_packet(
         &self,
         pkt: usize,
@@ -415,53 +453,66 @@ impl LinkSimulation {
         rx: &Receiver,
     ) -> PacketOutcome {
         let cfg = &self.config;
-        let mut psdu = vec![0u8; cfg.psdu_len];
-        rng.bytes(&mut psdu);
+        let FrontEndState {
+            bb,
+            cosim,
+            noise,
+            scratch,
+        } = fe;
+        let PacketScratch {
+            psdu,
+            tx,
+            txs,
+            burst,
+            chan,
+            rx: rxs,
+            rf,
+            rf_out,
+            adj_psdu,
+        } = scratch;
+
+        psdu.clear();
+        psdu.resize(cfg.psdu_len, 0);
+        rng.bytes(psdu);
         let seed_bits = ((pkt as u8).wrapping_mul(37) % 127) + 1;
-        let burst = Transmitter::new(cfg.rate)
-            .with_scrambler_seed(seed_bits)
-            .transmit(&psdu);
+        tx.set_scrambler_seed(seed_bits);
+        tx.transmit_into(psdu, txs, burst);
 
         // Optional multipath (one realization per packet).
-        let faded = match cfg.multipath_trms_s {
-            Some(trms) => {
-                let ch = MultipathChannel::rayleigh_exponential(trms, SAMPLE_RATE, rng);
-                ch.apply(&burst.samples)
-            }
-            None => burst.samples.clone(),
-        };
+        if let Some(trms) = cfg.multipath_trms_s {
+            let ch = MultipathChannel::rayleigh_exponential(trms, SAMPLE_RATE, rng);
+            *burst = ch.apply(burst);
+        }
 
-        let dsp_input: Vec<Complex> = match &cfg.front_end {
+        let dsp_input: &[Complex] = match &cfg.front_end {
             FrontEnd::Ideal => {
-                let mut x = Vec::with_capacity(faded.len() + 400);
-                x.extend(std::iter::repeat_n(Complex::ZERO, 200));
-                x.extend_from_slice(&faded);
-                x.extend(std::iter::repeat_n(Complex::ZERO, 200));
-                match cfg.snr_db {
-                    Some(snr) => {
-                        // Noise power relative to burst power (≈1).
-                        let np = 10f64.powf(-snr / 10.0);
-                        fe.noise.add_noise_power(&x, np)
-                    }
-                    None => x,
+                chan.clear();
+                chan.reserve(burst.len() + 400);
+                chan.extend(std::iter::repeat_n(Complex::ZERO, 200));
+                chan.extend_from_slice(burst);
+                chan.extend(std::iter::repeat_n(Complex::ZERO, 200));
+                if let Some(snr) = cfg.snr_db {
+                    // Noise power relative to burst power (≈1).
+                    let np = 10f64.powf(-snr / 10.0);
+                    noise.add_noise_power_in_place(chan, np);
                 }
+                chan
             }
             FrontEnd::RfBaseband(_) | FrontEnd::RfCosim { .. } => {
-                let scene = self.build_scene(&faded, cfg, pkt, rng);
-                let x = self.add_frontend_noise(scene, cfg, &mut fe.noise);
-                match (&mut fe.bb, &mut fe.cosim) {
-                    (Some(fe), _) => fe.process(&x),
-                    (_, Some(fe)) => fe.process(&x),
+                let mut x = self.build_scene(burst, cfg, pkt, rng, adj_psdu);
+                self.add_frontend_noise(&mut x, cfg, noise);
+                match (bb, cosim) {
+                    (Some(fe), _) => fe.process_into(&x, rf, rf_out),
+                    (_, Some(fe)) => *rf_out = fe.process(&x),
                     _ => unreachable!(),
                 }
+                rf_out
             }
         };
 
-        match rx.receive(&dsp_input) {
-            Ok(got) if got.psdu.len() == psdu.len() => PacketOutcome::Decoded {
-                evm_db: got.evm_db(),
-                tx_psdu: psdu,
-                rx_psdu: got.psdu,
+        match rx.receive_into(dsp_input, rxs) {
+            Ok(sum) if rxs.psdu.len() == psdu.len() => PacketOutcome::Decoded {
+                evm_db: sum.evm_db(),
             },
             _ => PacketOutcome::Lost,
         }
@@ -476,6 +527,7 @@ impl LinkSimulation {
         cfg: &LinkConfig,
         pkt: usize,
         rng: &mut Rng,
+        adj_psdu: &mut Vec<u8>,
     ) -> Vec<Complex> {
         // Trailing pad: the front-end filters delay the burst by tens of
         // samples; without tail room the last OFDM symbols would fall off
@@ -485,12 +537,13 @@ impl LinkSimulation {
         let mut scene =
             Scene::new(SAMPLE_RATE, cfg.osr).add(&padded, 0.0, cfg.rx_level_dbm, 64 * cfg.osr);
         if let Some(adj) = cfg.adjacent {
-            let mut adj_psdu = vec![0u8; cfg.psdu_len];
-            rng.bytes(&mut adj_psdu);
+            adj_psdu.clear();
+            adj_psdu.resize(cfg.psdu_len, 0);
+            rng.bytes(adj_psdu);
             let adj_seed = ((pkt as u8).wrapping_mul(53) % 127) + 1;
             let adj_burst = Transmitter::new(cfg.rate)
                 .with_scrambler_seed(adj_seed)
-                .transmit(&adj_psdu);
+                .transmit(adj_psdu);
             scene = scene.add(
                 &adj_burst.samples,
                 adj.offset_hz,
@@ -501,32 +554,25 @@ impl LinkSimulation {
         scene.render()
     }
 
-    /// Adds the antenna thermal floor. The paper's co-simulation could
-    /// not generate noise in the analog part; the `noise_workaround`
-    /// flag reproduces the suggested fix of adding it in the
-    /// discrete-time part.
-    fn add_frontend_noise(
-        &self,
-        scene: Vec<Complex>,
-        cfg: &LinkConfig,
-        noise: &mut Awgn,
-    ) -> Vec<Complex> {
+    /// Adds the antenna thermal floor in place. The paper's co-simulation
+    /// could not generate noise in the analog part; the
+    /// `noise_workaround` flag reproduces the suggested fix of adding it
+    /// in the discrete-time part.
+    fn add_frontend_noise(&self, scene: &mut [Complex], cfg: &LinkConfig, noise: &mut Awgn) {
         let fs = SAMPLE_RATE * cfg.osr as f64;
         let floor = wlan_rf::noise::source_noise_power(fs);
         match &cfg.front_end {
-            FrontEnd::RfBaseband(_) => noise.add_noise_power(&scene, floor),
+            FrontEnd::RfBaseband(_) => noise.add_noise_power_in_place(scene, floor),
             FrontEnd::RfCosim {
                 noise_workaround, ..
             } => {
                 if *noise_workaround {
                     // Approximate the whole cascade's input-referred noise
                     // (floor × system noise figure budget ≈ +6 dB).
-                    noise.add_noise_power(&scene, floor * 4.0)
-                } else {
-                    scene
+                    noise.add_noise_power_in_place(scene, floor * 4.0);
                 }
             }
-            FrontEnd::Ideal => scene,
+            FrontEnd::Ideal => {}
         }
     }
 }

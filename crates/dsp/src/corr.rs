@@ -8,21 +8,29 @@ use crate::complex::Complex;
 /// Output length is `x.len() - ref_seq.len() + 1`; returns an empty vector
 /// if the signal is shorter than the reference.
 pub fn cross_correlate(x: &[Complex], ref_seq: &[Complex]) -> Vec<Complex> {
+    let mut out = Vec::new();
+    cross_correlate_into(x, ref_seq, &mut out);
+    out
+}
+
+/// [`cross_correlate`] writing into a caller-owned buffer (cleared
+/// first), so repeated synchronization runs reuse one allocation.
+pub fn cross_correlate_into(x: &[Complex], ref_seq: &[Complex], out: &mut Vec<Complex>) {
+    out.clear();
     if x.len() < ref_seq.len() || ref_seq.is_empty() {
-        return Vec::new();
+        return;
     }
     let energy: f64 = ref_seq.iter().map(|r| r.norm_sqr()).sum();
     let norm = if energy > 0.0 { 1.0 / energy } else { 1.0 };
-    (0..=x.len() - ref_seq.len())
-        .map(|i| {
-            ref_seq
-                .iter()
-                .enumerate()
-                .map(|(k, &r)| x[i + k] * r.conj())
-                .sum::<Complex>()
-                * norm
-        })
-        .collect()
+    out.reserve(x.len() - ref_seq.len() + 1);
+    out.extend((0..=x.len() - ref_seq.len()).map(|i| {
+        ref_seq
+            .iter()
+            .enumerate()
+            .map(|(k, &r)| x[i + k] * r.conj())
+            .sum::<Complex>()
+            * norm
+    }));
 }
 
 /// Delay-and-correlate metric (Schmidl–Cox style) used for detecting
@@ -30,12 +38,29 @@ pub fn cross_correlate(x: &[Complex], ref_seq: &[Complex]) -> Vec<Complex> {
 /// `P[n] = Σ_{k<win} x[n+k]·conj(x[n+k+lag])` and the energy
 /// `R[n] = Σ_{k<win} |x[n+k+lag]|²`, returning `(P, R)`.
 pub fn delay_correlate(x: &[Complex], lag: usize, win: usize) -> (Vec<Complex>, Vec<f64>) {
+    let mut p = Vec::new();
+    let mut r = Vec::new();
+    delay_correlate_into(x, lag, win, &mut p, &mut r);
+    (p, r)
+}
+
+/// [`delay_correlate`] writing into caller-owned buffers (cleared first),
+/// so per-packet detection reuses its metric allocations.
+pub fn delay_correlate_into(
+    x: &[Complex],
+    lag: usize,
+    win: usize,
+    p: &mut Vec<Complex>,
+    r: &mut Vec<f64>,
+) {
+    p.clear();
+    r.clear();
     if x.len() < lag + win {
-        return (Vec::new(), Vec::new());
+        return;
     }
     let n_out = x.len() - lag - win + 1;
-    let mut p = Vec::with_capacity(n_out);
-    let mut r = Vec::with_capacity(n_out);
+    p.reserve(n_out);
+    r.reserve(n_out);
     // Running sums for O(n) evaluation.
     let mut acc_p = Complex::ZERO;
     let mut acc_r = 0.0f64;
@@ -53,7 +78,6 @@ pub fn delay_correlate(x: &[Complex], lag: usize, win: usize) -> (Vec<Complex>, 
         p.push(acc_p);
         r.push(acc_r);
     }
-    (p, r)
 }
 
 /// Index of the element with the largest magnitude, or `None` for empty

@@ -29,7 +29,53 @@ pub struct Fft {
     rev: Vec<u32>,
     /// Twiddles for the forward transform: `e^{-j2πk/N}`, k in 0..N/2.
     tw: Vec<Complex>,
+    /// Specialized tables for the 64-point OFDM hot path.
+    fast64: Option<Box<Tables64>>,
 }
+
+/// Per-stage twiddle layout for the specialized 64-point path: stages
+/// `len = 2, 4, …, 64` flattened in order, `half = len/2` entries each
+/// (63 total), with a pre-conjugated copy so the inverse transform pays
+/// no per-butterfly branch. Every entry equals the corresponding
+/// `tw[k·step]` of the generic path, so outputs compare equal.
+#[derive(Debug, Clone)]
+struct Tables64 {
+    fwd: [Complex; 63],
+    inv: [Complex; 63],
+}
+
+/// Bit-reversal permutation of 0..64 as its 28 transposition pairs
+/// (`i < j`), saving the fixed-point scan of the generic path.
+const BITREV64_SWAPS: [(u8, u8); 28] = [
+    (1, 32),
+    (2, 16),
+    (3, 48),
+    (4, 8),
+    (5, 40),
+    (6, 24),
+    (7, 56),
+    (9, 36),
+    (10, 20),
+    (11, 52),
+    (13, 44),
+    (14, 28),
+    (15, 60),
+    (17, 34),
+    (19, 50),
+    (21, 42),
+    (22, 26),
+    (23, 58),
+    (25, 38),
+    (27, 54),
+    (29, 46),
+    (31, 62),
+    (35, 49),
+    (37, 41),
+    (39, 57),
+    (43, 53),
+    (47, 61),
+    (55, 59),
+];
 
 impl Fft {
     /// Creates a plan for an `n`-point transform.
@@ -50,10 +96,27 @@ impl Fft {
                 .map(|i| i.reverse_bits() >> (32 - bits))
                 .collect()
         };
-        let tw = (0..n / 2)
+        let tw: Vec<Complex> = (0..n / 2)
             .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
             .collect();
-        Fft { n, rev, tw }
+        let fast64 = (n == 64).then(|| {
+            let mut fwd = [Complex::ZERO; 63];
+            let mut inv = [Complex::ZERO; 63];
+            let mut off = 0;
+            let mut len = 2;
+            while len <= 64 {
+                let half = len / 2;
+                let step = 64 / len;
+                for k in 0..half {
+                    fwd[off + k] = tw[k * step];
+                    inv[off + k] = tw[k * step].conj();
+                }
+                off += half;
+                len *= 2;
+            }
+            Box::new(Tables64 { fwd, inv })
+        });
+        Fft { n, rev, tw, fast64 }
     }
 
     /// Transform size.
@@ -61,12 +124,23 @@ impl Fft {
         self.n
     }
 
-    /// `true` when the plan size is... never; plans are at least 1 point.
+    /// Always `false`: a plan covers at least one point ([`Fft::new`]
+    /// rejects zero sizes). Present only to satisfy the `len`/`is_empty`
+    /// API convention clippy expects alongside [`Fft::len`].
     pub fn is_empty(&self) -> bool {
         false
     }
 
     fn dit(&self, x: &mut [Complex], inverse: bool) {
+        if let Some(t) = &self.fast64 {
+            let tw = if inverse { &t.inv } else { &t.fwd };
+            dit64(x, tw);
+            return;
+        }
+        self.dit_generic(x, inverse);
+    }
+
+    fn dit_generic(&self, x: &mut [Complex], inverse: bool) {
         let n = self.n;
         debug_assert_eq!(x.len(), n);
         if n == 1 {
@@ -109,6 +183,29 @@ impl Fft {
         self.dit(x, false);
     }
 
+    /// In-place forward DFT through the generic radix-2 loop even for
+    /// sizes with a specialized path. The specialized 64-point kernel
+    /// must produce values equal to this — `kernel_bench` and the
+    /// conformance tests assert it; ordinary callers use
+    /// [`Fft::forward`].
+    #[doc(hidden)]
+    pub fn forward_radix2(&self, x: &mut [Complex]) {
+        assert_eq!(x.len(), self.n, "buffer length must match FFT size");
+        self.dit_generic(x, false);
+    }
+
+    /// Generic-loop counterpart of [`Fft::forward_radix2`] for the
+    /// inverse transform (including the `1/N` scaling).
+    #[doc(hidden)]
+    pub fn inverse_radix2(&self, x: &mut [Complex]) {
+        assert_eq!(x.len(), self.n, "buffer length must match FFT size");
+        self.dit_generic(x, true);
+        let k = 1.0 / self.n as f64;
+        for v in x.iter_mut() {
+            *v = v.scale(k);
+        }
+    }
+
     /// In-place inverse DFT, scaled by `1/N`.
     ///
     /// # Panics
@@ -140,6 +237,47 @@ impl Fft {
         for v in x.iter_mut() {
             *v = v.scale(k);
         }
+    }
+}
+
+/// The specialized 64-point decimation-in-time kernel: precomputed
+/// transposition pairs instead of the reversal-table scan, contiguous
+/// per-stage twiddles with the inverse conjugation folded into the
+/// table, and the `k = 0` butterflies (unit twiddle) reduced to
+/// add/sub. Apart from skipping those exact-identity multiplies, the
+/// arithmetic is operation-for-operation the generic radix-2 loop, so
+/// every output compares equal to [`Fft::forward_radix2`].
+fn dit64(x: &mut [Complex], tw: &[Complex; 63]) {
+    assert!(x.len() == 64);
+    for &(i, j) in BITREV64_SWAPS.iter() {
+        x.swap(i as usize, j as usize);
+    }
+    // Stage len = 2: every twiddle is unity.
+    for p in (0..64).step_by(2) {
+        let a = x[p];
+        let b = x[p + 1];
+        x[p] = a + b;
+        x[p + 1] = a - b;
+    }
+    let mut len = 4;
+    let mut off = 1;
+    while len <= 64 {
+        let half = len / 2;
+        for start in (0..64).step_by(len) {
+            let a = x[start];
+            let b = x[start + half];
+            x[start] = a + b;
+            x[start + half] = a - b;
+            for k in 1..half {
+                let w = tw[off + k];
+                let a = x[start + k];
+                let b = x[start + k + half] * w;
+                x[start + k] = a + b;
+                x[start + k + half] = a - b;
+            }
+        }
+        off += half;
+        len *= 2;
     }
 }
 
@@ -310,6 +448,34 @@ mod tests {
         let mut x = vec![crate::Complex::new(3.0, -2.0)];
         one.forward(&mut x);
         assert_eq!(x[0], crate::Complex::new(3.0, -2.0));
+    }
+
+    #[test]
+    fn fast64_equals_generic_radix2() {
+        // The specialized path must compare equal (not merely close) to
+        // the generic loop — goldens and LinkReport pinning depend on it.
+        let fft = Fft::new(64);
+        for seed in 0..64u64 {
+            let x = rand_signal(64, seed);
+            let mut fast = x.clone();
+            let mut generic = x.clone();
+            fft.forward(&mut fast);
+            fft.forward_radix2(&mut generic);
+            assert_eq!(fast, generic, "forward seed {seed}");
+            fft.inverse(&mut fast);
+            fft.inverse_radix2(&mut generic);
+            assert_eq!(fast, generic, "inverse seed {seed}");
+        }
+        // Structured inputs with exact zeros (null carriers) as well.
+        let mut x = vec![Complex::ZERO; 64];
+        for (i, v) in x.iter_mut().enumerate().take(27) {
+            *v = Complex::new(1.0, -(i as f64));
+        }
+        let mut fast = x.clone();
+        let mut generic = x;
+        fft.inverse(&mut fast);
+        fft.inverse_radix2(&mut generic);
+        assert_eq!(fast, generic);
     }
 
     #[test]

@@ -26,31 +26,93 @@ use crate::window::Window;
 /// assert!((freqs[peak_idx] - 0.25).abs() < 0.01);
 /// ```
 pub fn welch_psd(x: &[Complex], nfft: usize, sample_rate_hz: f64) -> (Vec<f64>, Vec<f64>) {
-    assert!(nfft.is_power_of_two(), "nfft must be a power of two");
-    assert!(
-        x.len() >= nfft,
-        "signal ({}) shorter than nfft ({nfft})",
-        x.len()
-    );
-    let fft = Fft::new(nfft);
-    let win = Window::Hann.coefficients(nfft);
-    let win_power: f64 = win.iter().map(|w| w * w).sum();
-    let hop = nfft / 2;
-    let mut acc = vec![0.0f64; nfft];
-    let mut segments = 0usize;
-    let mut start = 0;
-    while start + nfft <= x.len() {
-        let mut buf: Vec<Complex> = (0..nfft).map(|i| x[start + i] * win[i]).collect();
-        fft.forward(&mut buf);
-        for (a, b) in acc.iter_mut().zip(buf.iter()) {
-            *a += b.norm_sqr();
-        }
-        segments += 1;
-        start += hop;
+    // Sweeps call this repeatedly at a handful of sizes; cache the
+    // derived plans per thread instead of re-deriving twiddles and
+    // window coefficients every invocation.
+    thread_local! {
+        static PLANS: std::cell::RefCell<Vec<WelchPlan>> = const { std::cell::RefCell::new(Vec::new()) };
     }
-    let scale = 1.0 / (segments as f64 * win_power * sample_rate_hz);
-    let psd: Vec<f64> = acc.iter().map(|&p| p * scale).collect();
-    (fftshift_freqs(nfft, sample_rate_hz), fftshift(&psd))
+    PLANS.with(|plans| {
+        let mut plans = plans.borrow_mut();
+        if let Some(p) = plans.iter().find(|p| p.nfft() == nfft) {
+            return p.psd(x, sample_rate_hz);
+        }
+        let plan = WelchPlan::new(nfft);
+        let out = plan.psd(x, sample_rate_hz);
+        plans.push(plan);
+        out
+    })
+}
+
+/// A reusable Welch estimator: the FFT plan (twiddle/reversal tables)
+/// and window coefficients are derived once at construction instead of
+/// on every [`welch_psd`] call, and the per-segment FFT buffer is
+/// reused across segments.
+///
+/// Repeated estimation at a fixed `nfft` (sweeps measuring ACPR per
+/// point, the RF characterization benches) should hold one of these.
+#[derive(Debug, Clone)]
+pub struct WelchPlan {
+    fft: Fft,
+    win: Vec<f64>,
+    win_power: f64,
+}
+
+impl WelchPlan {
+    /// Builds the plan (Hann window, 50 % overlap) for `nfft`-point
+    /// segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nfft` is not a power of two.
+    pub fn new(nfft: usize) -> Self {
+        assert!(nfft.is_power_of_two(), "nfft must be a power of two");
+        let win = Window::Hann.coefficients(nfft);
+        let win_power: f64 = win.iter().map(|w| w * w).sum();
+        WelchPlan {
+            fft: Fft::new(nfft),
+            win,
+            win_power,
+        }
+    }
+
+    /// Segment size.
+    pub fn nfft(&self) -> usize {
+        self.fft.len()
+    }
+
+    /// Welch PSD estimate of `x`; see [`welch_psd`] for conventions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` is shorter than the plan's `nfft`.
+    pub fn psd(&self, x: &[Complex], sample_rate_hz: f64) -> (Vec<f64>, Vec<f64>) {
+        let nfft = self.fft.len();
+        assert!(
+            x.len() >= nfft,
+            "signal ({}) shorter than nfft ({nfft})",
+            x.len()
+        );
+        let hop = nfft / 2;
+        let mut acc = vec![0.0f64; nfft];
+        let mut buf = vec![Complex::ZERO; nfft];
+        let mut segments = 0usize;
+        let mut start = 0;
+        while start + nfft <= x.len() {
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = x[start + i] * self.win[i];
+            }
+            self.fft.forward(&mut buf);
+            for (a, b) in acc.iter_mut().zip(buf.iter()) {
+                *a += b.norm_sqr();
+            }
+            segments += 1;
+            start += hop;
+        }
+        let scale = 1.0 / (segments as f64 * self.win_power * sample_rate_hz);
+        let psd: Vec<f64> = acc.iter().map(|&p| p * scale).collect();
+        (fftshift_freqs(nfft, sample_rate_hz), fftshift(&psd))
+    }
 }
 
 /// Integrated power (watts under the 1 Ω `mean(|x|²)` convention) of a PSD

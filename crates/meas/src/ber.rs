@@ -90,6 +90,11 @@ impl BerMeter {
         self.packets
     }
 
+    /// Packets containing at least one bit error (or lost outright).
+    pub fn packet_errors(&self) -> u64 {
+        self.packet_errors
+    }
+
     /// Bit error rate (0 for an empty meter).
     pub fn ber(&self) -> f64 {
         if self.bits == 0 {

@@ -29,14 +29,22 @@ fn parity(x: u32) -> u8 {
 /// assert_eq!(encode(&[0, 0, 0, 0]), vec![0; 8]);
 /// ```
 pub fn encode(bits: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(bits.len() * 2);
+    let mut out = Vec::new();
+    encode_into(bits, &mut out);
+    out
+}
+
+/// [`encode`] writing into a caller-owned buffer (cleared first), so the
+/// per-packet transmit path reuses one allocation.
+pub fn encode_into(bits: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(bits.len() * 2);
     let mut sr: u32 = 0; // bit 0 = newest input, bit 6 = oldest
     for &b in bits {
         sr = ((sr << 1) | (b as u32 & 1)) & 0x7f;
         out.push(parity(sr & G0_REV));
         out.push(parity(sr & G1_REV));
     }
-    out
 }
 
 /// Output pair `(a, b)` for trellis `state` (6 bits of history, bit 0 =

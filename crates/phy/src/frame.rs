@@ -14,12 +14,19 @@ use wlan_dsp::Complex;
 /// transmission order).
 pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
     let mut bits = Vec::with_capacity(bytes.len() * 8);
+    bytes_to_bits_append(bytes, &mut bits);
+    bits
+}
+
+/// [`bytes_to_bits`] appending to a caller-owned buffer, so the transmit
+/// path can assemble SERVICE + PSDU + tail bits without intermediates.
+pub fn bytes_to_bits_append(bytes: &[u8], bits: &mut Vec<u8>) {
+    bits.reserve(bytes.len() * 8);
     for &b in bytes {
         for i in 0..8 {
             bits.push((b >> i) & 1);
         }
     }
-    bits
 }
 
 /// Packs bits (LSB first) back into bytes.
@@ -117,14 +124,39 @@ pub fn map_data_field(field: &DataField, rate: Rate) -> Vec<Vec<Complex>> {
 ///
 /// Returns `None` if the seed cannot be recovered (SERVICE bits damaged).
 pub fn extract_psdu(decoded_bits: &[u8], psdu_len: usize) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    extract_psdu_into(decoded_bits, psdu_len, &mut out).then_some(out)
+}
+
+/// [`extract_psdu`] writing the PSDU bytes into a caller-owned buffer
+/// (cleared first); returns `false` where the allocating variant returns
+/// `None`.
+///
+/// Instead of materializing a descrambled bit vector, the scrambler
+/// keystream is advanced past the SERVICE bits and XORed bit-by-bit while
+/// packing bytes — same output, no intermediate buffer.
+pub fn extract_psdu_into(decoded_bits: &[u8], psdu_len: usize, out: &mut Vec<u8>) -> bool {
     let needed = SERVICE_BITS + 8 * psdu_len;
     if decoded_bits.len() < needed {
-        return None;
+        return false;
     }
-    let seed = crate::scrambler::recover_seed(&decoded_bits[..7])?;
+    let Some(seed) = crate::scrambler::recover_seed(&decoded_bits[..7]) else {
+        return false;
+    };
     let mut scr = Scrambler::new(seed);
-    let descrambled = scr.scramble(&decoded_bits[..needed]);
-    Some(bits_to_bytes(&descrambled[SERVICE_BITS..needed]))
+    for _ in 0..SERVICE_BITS {
+        let _ = scr.next_bit();
+    }
+    out.clear();
+    out.reserve(psdu_len);
+    for chunk in decoded_bits[SERVICE_BITS..needed].chunks_exact(8) {
+        let mut b = 0u8;
+        for (i, &bit) in chunk.iter().enumerate() {
+            b |= ((bit ^ scr.next_bit()) & 1) << i;
+        }
+        out.push(b);
+    }
+    true
 }
 
 #[cfg(test)]

@@ -60,12 +60,25 @@ impl Interleaver {
     ///
     /// Panics if `bits.len()` differs from the block size.
     pub fn interleave(&self, bits: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.interleave_into(bits, &mut out);
+        out
+    }
+
+    /// [`Interleaver::interleave`] writing into a caller-owned buffer
+    /// (cleared first), so the per-symbol transmit loop reuses one block
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` differs from the block size.
+    pub fn interleave_into(&self, bits: &[u8], out: &mut Vec<u8>) {
         assert_eq!(bits.len(), self.perm.len(), "block size mismatch");
-        let mut out = vec![0u8; bits.len()];
+        out.clear();
+        out.resize(bits.len(), 0);
         for (k, &b) in bits.iter().enumerate() {
             out[self.perm[k]] = b;
         }
-        out
     }
 
     /// De-interleaves one block of received LLRs.
@@ -74,12 +87,25 @@ impl Interleaver {
     ///
     /// Panics if `llrs.len()` differs from the block size.
     pub fn deinterleave(&self, llrs: &[Llr]) -> Vec<Llr> {
-        assert_eq!(llrs.len(), self.inv.len(), "block size mismatch");
-        let mut out = vec![0.0; llrs.len()];
-        for (j, &l) in llrs.iter().enumerate() {
-            out[self.inv[j]] = l;
-        }
+        let mut out = Vec::new();
+        self.deinterleave_append(llrs, &mut out);
         out
+    }
+
+    /// De-interleaves one block of LLRs, *appending* the permuted block
+    /// to `out` — the receiver accumulates all symbols' LLRs into one
+    /// buffer without a per-symbol intermediate vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs.len()` differs from the block size.
+    pub fn deinterleave_append(&self, llrs: &[Llr], out: &mut Vec<Llr>) {
+        assert_eq!(llrs.len(), self.inv.len(), "block size mismatch");
+        let base = out.len();
+        out.resize(base + llrs.len(), 0.0);
+        for (j, &l) in llrs.iter().enumerate() {
+            out[base + self.inv[j]] = l;
+        }
     }
 
     /// De-interleaves one block of hard bits.

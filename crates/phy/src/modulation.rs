@@ -115,6 +115,18 @@ fn axis_llrs(y: f64, bits_per_axis: usize, weight: f64, out: &mut Vec<Llr>) {
 /// assert_eq!(syms[1].re, -1.0);
 /// ```
 pub fn map_bits(bits: &[u8], modulation: Modulation) -> Vec<Complex> {
+    let mut out = Vec::new();
+    map_bits_into(bits, modulation, &mut out);
+    out
+}
+
+/// [`map_bits`] writing into a caller-owned buffer (cleared first), so
+/// per-symbol mapping in the transmitter reuses one allocation.
+///
+/// # Panics
+///
+/// Panics if `bits.len()` is not a multiple of the bits-per-symbol count.
+pub fn map_bits_into(bits: &[u8], modulation: Modulation, out: &mut Vec<Complex>) {
     let bps = modulation.bits_per_carrier();
     assert!(
         bits.len().is_multiple_of(bps),
@@ -122,18 +134,18 @@ pub fn map_bits(bits: &[u8], modulation: Modulation) -> Vec<Complex> {
         bits.len()
     );
     let kmod = modulation.kmod();
-    bits.chunks_exact(bps)
-        .map(|group| {
-            if bps == 1 {
-                Complex::new(axis_level(group) * kmod, 0.0)
-            } else {
-                let half = bps / 2;
-                let i = axis_level(&group[..half]);
-                let q = axis_level(&group[half..]);
-                Complex::new(i * kmod, q * kmod)
-            }
-        })
-        .collect()
+    out.clear();
+    out.reserve(bits.len() / bps);
+    out.extend(bits.chunks_exact(bps).map(|group| {
+        if bps == 1 {
+            Complex::new(axis_level(group) * kmod, 0.0)
+        } else {
+            let half = bps / 2;
+            let i = axis_level(&group[..half]);
+            let q = axis_level(&group[half..]);
+            Complex::new(i * kmod, q * kmod)
+        }
+    }));
 }
 
 /// Hard-demaps symbols back to bits.
@@ -163,23 +175,40 @@ pub fn demap_hard(symbols: &[Complex], modulation: Modulation) -> Vec<u8> {
 ///
 /// Panics if `csi` is provided with a different length than `symbols`.
 pub fn demap_soft(symbols: &[Complex], modulation: Modulation, csi: Option<&[f64]>) -> Vec<Llr> {
+    let mut out = Vec::new();
+    demap_soft_into(symbols, modulation, csi, &mut out);
+    out
+}
+
+/// [`demap_soft`] writing into a caller-owned buffer (cleared first), so
+/// the per-symbol receiver loop reuses one LLR allocation.
+///
+/// # Panics
+///
+/// Panics if `csi` is provided with a different length than `symbols`.
+pub fn demap_soft_into(
+    symbols: &[Complex],
+    modulation: Modulation,
+    csi: Option<&[f64]>,
+    out: &mut Vec<Llr>,
+) {
     if let Some(w) = csi {
         assert_eq!(w.len(), symbols.len(), "CSI length mismatch");
     }
     let bps = modulation.bits_per_carrier();
     let inv_kmod = 1.0 / modulation.kmod();
-    let mut out = Vec::with_capacity(symbols.len() * bps);
+    out.clear();
+    out.reserve(symbols.len() * bps);
     for (n, s) in symbols.iter().enumerate() {
         let w = csi.map_or(1.0, |c| c[n]);
         if bps == 1 {
-            axis_llrs(s.re * inv_kmod, 1, w, &mut out);
+            axis_llrs(s.re * inv_kmod, 1, w, out);
         } else {
             let half = bps / 2;
-            axis_llrs(s.re * inv_kmod, half, w, &mut out);
-            axis_llrs(s.im * inv_kmod, half, w, &mut out);
+            axis_llrs(s.re * inv_kmod, half, w, out);
+            axis_llrs(s.im * inv_kmod, half, w, out);
         }
     }
-    out
 }
 
 /// The ideal constellation points of a modulation (for EVM references).
@@ -194,10 +223,42 @@ pub fn constellation(modulation: Modulation) -> Vec<Complex> {
         .collect()
 }
 
+/// Nearest Gray level for one axis (un-normalized domain); ties snap to
+/// the lower level, matching [`demap_hard`]'s first-minimum scan.
+fn axis_nearest(y: f64, bits_per_axis: usize) -> f64 {
+    match bits_per_axis {
+        1 => {
+            if y >= 0.0 {
+                1.0
+            } else {
+                -1.0
+            }
+        }
+        2 => nearest(&[-3.0, -1.0, 1.0, 3.0], y),
+        3 => nearest(&[-7.0, -5.0, -3.0, -1.0, 1.0, 3.0, 5.0, 7.0], y),
+        n => panic!("unsupported bits per axis: {n}"),
+    }
+}
+
 /// Nearest ideal constellation point to `y` (for EVM measurement).
+///
+/// Allocation-free: snaps each axis directly to its nearest Gray level
+/// (identical result to hard-demapping and re-mapping, which the EVM
+/// loop used to do through two transient vectors per point).
 pub fn nearest_point(y: Complex, modulation: Modulation) -> Complex {
-    let bits = demap_hard(&[y], modulation);
-    map_bits(&bits, modulation)[0]
+    let bps = modulation.bits_per_carrier();
+    let kmod = modulation.kmod();
+    let inv_kmod = 1.0 / kmod;
+    if bps == 1 {
+        // BPSK hard decision: y.re >= 0 → +1, else −1 (bit 1 / bit 0).
+        Complex::new(axis_nearest(y.re * inv_kmod, 1) * kmod, 0.0)
+    } else {
+        let half = bps / 2;
+        Complex::new(
+            axis_nearest(y.re * inv_kmod, half) * kmod,
+            axis_nearest(y.im * inv_kmod, half) * kmod,
+        )
+    }
 }
 
 #[cfg(test)]

@@ -58,18 +58,33 @@ impl Ofdm {
     /// Modulates 48 data values into one 80-sample OFDM symbol
     /// (16-sample cyclic prefix + 64-sample body).
     pub fn modulate(&self, data: &[Complex], symbol_index: usize) -> Vec<Complex> {
+        let mut out = Vec::with_capacity(CP_LEN + FFT_SIZE);
+        self.modulate_append(data, symbol_index, &mut out);
+        out
+    }
+
+    /// [`Ofdm::modulate`] appending the 80-sample symbol to `out`, so the
+    /// transmitter builds the whole burst into one buffer.
+    pub fn modulate_append(&self, data: &[Complex], symbol_index: usize, out: &mut Vec<Complex>) {
         let freq = self.assemble(data, symbol_index);
-        self.modulate_freq(&freq)
+        self.modulate_freq_append(&freq, out);
     }
 
     /// Modulates an arbitrary 64-bin frequency symbol (used for the
     /// preamble) into an 80-sample symbol with cyclic prefix.
     pub fn modulate_freq(&self, freq: &[Complex; FFT_SIZE]) -> Vec<Complex> {
-        let body = self.time_symbol(freq);
         let mut out = Vec::with_capacity(CP_LEN + FFT_SIZE);
+        self.modulate_freq_append(freq, &mut out);
+        out
+    }
+
+    /// [`Ofdm::modulate_freq`] appending the 80 samples to `out`; the
+    /// time-domain body stays on the stack.
+    pub fn modulate_freq_append(&self, freq: &[Complex; FFT_SIZE], out: &mut Vec<Complex>) {
+        let body = self.time_symbol(freq);
+        out.reserve(CP_LEN + FFT_SIZE);
         out.extend_from_slice(&body[FFT_SIZE - CP_LEN..]);
         out.extend_from_slice(&body);
-        out
     }
 
     /// The 64-sample time-domain body (no cyclic prefix) of a frequency

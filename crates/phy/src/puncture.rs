@@ -25,6 +25,18 @@ fn mask(rate: CodeRate) -> &'static [bool] {
 ///
 /// Panics if `coded.len()` is not a multiple of the puncturing period.
 pub fn puncture(coded: &[u8], rate: CodeRate) -> Vec<u8> {
+    let mut out = Vec::new();
+    puncture_into(coded, rate, &mut out);
+    out
+}
+
+/// [`puncture`] writing into a caller-owned buffer (cleared first), so
+/// the per-packet transmit path reuses one allocation.
+///
+/// # Panics
+///
+/// Panics if `coded.len()` is not a multiple of the puncturing period.
+pub fn puncture_into(coded: &[u8], rate: CodeRate, out: &mut Vec<u8>) {
     let m = mask(rate);
     assert!(
         coded.len().is_multiple_of(m.len()),
@@ -32,12 +44,16 @@ pub fn puncture(coded: &[u8], rate: CodeRate) -> Vec<u8> {
         coded.len(),
         m.len()
     );
-    coded
-        .iter()
-        .zip(m.iter().cycle())
-        .filter(|(_, &keep)| keep)
-        .map(|(&b, _)| b)
-        .collect()
+    out.clear();
+    let (kept, period) = expansion(rate);
+    out.reserve(coded.len() / period * kept);
+    out.extend(
+        coded
+            .iter()
+            .zip(m.iter().cycle())
+            .filter(|(_, &keep)| keep)
+            .map(|(&b, _)| b),
+    );
 }
 
 /// Re-inserts erasures (zero LLRs) at the punctured positions so the
@@ -48,6 +64,19 @@ pub fn puncture(coded: &[u8], rate: CodeRate) -> Vec<u8> {
 /// Panics if `llrs.len()` is not a multiple of the kept-bits-per-period
 /// count.
 pub fn depuncture(llrs: &[Llr], rate: CodeRate) -> Vec<Llr> {
+    let mut out = Vec::new();
+    depuncture_into(llrs, rate, &mut out);
+    out
+}
+
+/// [`depuncture`] writing into a caller-owned buffer (cleared first), so
+/// the per-packet receive path reuses one allocation.
+///
+/// # Panics
+///
+/// Panics if `llrs.len()` is not a multiple of the kept-bits-per-period
+/// count.
+pub fn depuncture_into(llrs: &[Llr], rate: CodeRate, out: &mut Vec<Llr>) {
     let m = mask(rate);
     let kept = m.iter().filter(|&&k| k).count();
     assert!(
@@ -56,7 +85,8 @@ pub fn depuncture(llrs: &[Llr], rate: CodeRate) -> Vec<Llr> {
         llrs.len()
     );
     let periods = llrs.len() / kept;
-    let mut out = Vec::with_capacity(periods * m.len());
+    out.clear();
+    out.reserve(periods * m.len());
     let mut it = llrs.iter();
     for _ in 0..periods {
         for &keep in m {
@@ -67,7 +97,6 @@ pub fn depuncture(llrs: &[Llr], rate: CodeRate) -> Vec<Llr> {
             }
         }
     }
-    out
 }
 
 /// Number of transmitted bits per period / coded bits per period.

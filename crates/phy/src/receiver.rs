@@ -2,15 +2,16 @@
 //! extraction.
 
 use crate::equalizer::{equalize_symbol, estimate_snr_db, ChannelEstimate};
-use crate::frame::extract_psdu;
+use crate::frame::extract_psdu_into;
 use crate::interleaver::Interleaver;
-use crate::modulation::{demap_soft, nearest_point};
+use crate::modulation::{demap_soft_into, nearest_point};
 use crate::ofdm::Ofdm;
 use crate::params::{Rate, FFT_SIZE, SYMBOL_LEN};
-use crate::puncture::depuncture;
-use crate::signal_field::{decode_signal, SignalError, SignalField};
-use crate::sync::{correct_cfo, detect_packet, fine_cfo, locate_ltf};
-use crate::viterbi::decode_soft;
+use crate::preamble::long_training_symbol;
+use crate::puncture::depuncture_into;
+use crate::signal_field::{SignalDecoder, SignalError, SignalField};
+use crate::sync::{correct_cfo_into, detect_packet_with, fine_cfo, locate_ltf_with};
+use crate::viterbi::{Llr, ViterbiDecoder};
 use wlan_dsp::Complex;
 
 /// Receive failure modes.
@@ -89,6 +90,63 @@ impl Received {
     }
 }
 
+/// Scalar results of an allocation-free receive; the PSDU bytes and
+/// equalized constellation stay in the [`RxScratch`] buffers.
+#[derive(Debug, Clone, Copy)]
+pub struct RxSummary {
+    /// Decoded SIGNAL field (rate and length).
+    pub signal: SignalField,
+    /// Total carrier frequency offset that was removed (Hz).
+    pub cfo_hz: f64,
+    /// RMS error vector magnitude (linear); see [`Received::evm_rms`].
+    pub evm_rms: f64,
+    /// SNR estimated from the long training field (dB), when measurable.
+    pub snr_est_db: Option<f64>,
+}
+
+impl RxSummary {
+    /// EVM in dB (`20·log10(evm_rms)`).
+    pub fn evm_db(&self) -> f64 {
+        20.0 * self.evm_rms.log10()
+    }
+}
+
+/// Reusable receive-side working buffers for [`Receiver::receive_into`].
+///
+/// After a successful call, [`RxScratch::psdu`] holds the decoded bytes
+/// and [`RxScratch::equalized`] the equalized data subcarriers (both
+/// valid until the next call). All buffers retain capacity between
+/// packets, so steady-state reception performs no heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct RxScratch {
+    /// Delay-correlation metric P (detection).
+    p: Vec<Complex>,
+    /// Delay-correlation energy R (detection).
+    r: Vec<f64>,
+    /// LTF cross-correlation values.
+    xcorr: Vec<Complex>,
+    /// Coarse-CFO-corrected samples (timing/fine-CFO estimation).
+    coarse: Vec<Complex>,
+    /// Total-CFO-corrected samples (decoding input).
+    corrected: Vec<Complex>,
+    /// Accumulated de-interleaved LLRs for the whole DATA field.
+    llrs: Vec<Llr>,
+    /// Per-symbol demapped LLRs.
+    sym_llrs: Vec<Llr>,
+    /// Depunctured full-rate LLR stream.
+    full: Vec<Llr>,
+    viterbi: ViterbiDecoder,
+    /// Viterbi output bits.
+    decoded: Vec<u8>,
+    signal: SignalDecoder,
+    /// Data interleaver cached per rate.
+    il: Option<(Rate, Interleaver)>,
+    /// Decoded PSDU bytes of the last successful receive.
+    pub psdu: Vec<u8>,
+    /// Equalized data subcarriers of the last successful receive.
+    pub equalized: Vec<Complex>,
+}
+
 /// Full 802.11a receiver.
 ///
 /// The default configuration performs blind detection, coarse + fine CFO
@@ -97,6 +155,9 @@ impl Received {
 #[derive(Debug, Clone)]
 pub struct Receiver {
     ofdm: Ofdm,
+    /// LTF time-domain template, cached so timing search does not rebuild
+    /// it (an IFFT) per packet.
+    ltf: [Complex; FFT_SIZE],
     detection_threshold: f64,
     detection_run: usize,
     /// FFT window backoff into the cyclic prefix (samples).
@@ -112,8 +173,11 @@ impl Default for Receiver {
 impl Receiver {
     /// Creates a receiver with default synchronization parameters.
     pub fn new() -> Self {
+        let ofdm = Ofdm::new();
+        let ltf = long_training_symbol(&ofdm);
         Receiver {
-            ofdm: Ofdm::new(),
+            ofdm,
+            ltf,
             detection_threshold: 0.55,
             detection_run: 16,
             timing_backoff: 3,
@@ -132,24 +196,49 @@ impl Receiver {
     ///
     /// Returns an [`RxError`] describing the first failing stage.
     pub fn receive(&self, samples: &[Complex]) -> Result<Received, RxError> {
-        let det = detect_packet(samples, self.detection_threshold, self.detection_run)
-            .ok_or(RxError::NotDetected)?;
-        let coarse = correct_cfo(samples, det.coarse_cfo_hz);
+        let mut scratch = RxScratch::default();
+        let sum = self.receive_into(samples, &mut scratch)?;
+        Ok(received_from(sum, &mut scratch))
+    }
+
+    /// [`Receiver::receive`] reusing caller-owned working buffers: the
+    /// decoded PSDU lands in `scratch.psdu` and the equalized
+    /// constellation in `scratch.equalized`. Steady-state calls perform
+    /// no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`RxError`] describing the first failing stage.
+    pub fn receive_into(
+        &self,
+        samples: &[Complex],
+        scratch: &mut RxScratch,
+    ) -> Result<RxSummary, RxError> {
+        let det = detect_packet_with(
+            samples,
+            self.detection_threshold,
+            self.detection_run,
+            &mut scratch.p,
+            &mut scratch.r,
+        )
+        .ok_or(RxError::NotDetected)?;
+        correct_cfo_into(samples, det.coarse_cfo_hz, &mut scratch.coarse);
 
         // The LTF body 1 nominally sits 192 samples after the STF start;
         // search a generous window around it.
-        let w_lo = (det.start + 150).min(coarse.len());
-        let w_hi = (det.start + 280).min(coarse.len());
+        let w_lo = (det.start + 150).min(scratch.coarse.len());
+        let w_hi = (det.start + 280).min(scratch.coarse.len());
         if w_lo >= w_hi {
             return Err(RxError::LtfNotFound);
         }
-        let ltf1 = locate_ltf(&coarse, &self.ofdm, w_lo..w_hi).ok_or(RxError::LtfNotFound)?;
+        let ltf1 = locate_ltf_with(&scratch.coarse, &self.ltf, w_lo..w_hi, &mut scratch.xcorr)
+            .ok_or(RxError::LtfNotFound)?;
 
-        let fine = fine_cfo(&coarse, ltf1).ok_or(RxError::LtfNotFound)?;
+        let fine = fine_cfo(&scratch.coarse, ltf1).ok_or(RxError::LtfNotFound)?;
         let total_cfo = det.coarse_cfo_hz + fine;
-        let corrected = correct_cfo(samples, total_cfo);
+        correct_cfo_into(samples, total_cfo, &mut scratch.corrected);
 
-        self.decode_from(&corrected, ltf1, total_cfo)
+        self.decode_from_into(ltf1, total_cfo, scratch)
     }
 
     /// Receives with genie timing: `ltf_start` is the known index of the
@@ -166,15 +255,55 @@ impl Receiver {
         ltf_start: usize,
         cfo_hz: f64,
     ) -> Result<Received, RxError> {
-        let corrected = if cfo_hz == 0.0 {
-            samples.to_vec()
-        } else {
-            correct_cfo(samples, cfo_hz)
-        };
-        self.decode_from(&corrected, ltf_start, cfo_hz)
+        let mut scratch = RxScratch::default();
+        let sum = self.receive_with_timing_into(samples, ltf_start, cfo_hz, &mut scratch)?;
+        Ok(received_from(sum, &mut scratch))
     }
 
-    fn decode_from(&self, x: &[Complex], ltf1: usize, cfo_hz: f64) -> Result<Received, RxError> {
+    /// [`Receiver::receive_with_timing`] reusing caller-owned working
+    /// buffers; see [`Receiver::receive_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`RxError`] if decoding fails.
+    pub fn receive_with_timing_into(
+        &self,
+        samples: &[Complex],
+        ltf_start: usize,
+        cfo_hz: f64,
+        scratch: &mut RxScratch,
+    ) -> Result<RxSummary, RxError> {
+        if cfo_hz == 0.0 {
+            scratch.corrected.clear();
+            scratch.corrected.extend_from_slice(samples);
+        } else {
+            correct_cfo_into(samples, cfo_hz, &mut scratch.corrected);
+        }
+        self.decode_from_into(ltf_start, cfo_hz, scratch)
+    }
+
+    /// Decodes from `scratch.corrected` (CFO already removed); fills
+    /// `scratch.psdu` / `scratch.equalized`.
+    fn decode_from_into(
+        &self,
+        ltf1: usize,
+        cfo_hz: f64,
+        scratch: &mut RxScratch,
+    ) -> Result<RxSummary, RxError> {
+        let RxScratch {
+            corrected,
+            llrs,
+            sym_llrs,
+            full,
+            viterbi,
+            decoded,
+            signal: signal_dec,
+            il,
+            psdu,
+            equalized,
+            ..
+        } = scratch;
+        let x: &[Complex] = corrected;
         let d = self.timing_backoff;
         if ltf1 < d || ltf1 + 2 * FFT_SIZE + SYMBOL_LEN > x.len() {
             return Err(RxError::Truncated {
@@ -203,7 +332,7 @@ impl Receiver {
             .ofdm
             .demodulate_body(&x[sig_body_start..sig_body_start + FFT_SIZE]);
         let sig_eq = equalize_symbol(&sig_freq, &channel, 0);
-        let signal = decode_signal(&sig_eq.data, Some(&sig_eq.csi))?;
+        let signal = signal_dec.decode(&sig_eq.data, Some(&sig_eq.csi))?;
 
         let rate: Rate = signal.rate;
         let n_sym = rate.data_symbols(signal.length);
@@ -217,17 +346,22 @@ impl Receiver {
         }
 
         // Demodulate, equalize and soft-demap each DATA symbol.
-        let il = Interleaver::new(rate);
-        let mut llrs = Vec::with_capacity(n_sym * rate.ncbps());
-        let mut equalized = Vec::with_capacity(n_sym * 48);
+        if il.as_ref().map(|(r, _)| *r) != Some(rate) {
+            *il = Some((rate, Interleaver::new(rate)));
+        }
+        let il = &il.as_ref().expect("interleaver cached above").1;
+        llrs.clear();
+        llrs.reserve(n_sym * rate.ncbps());
+        equalized.clear();
+        equalized.reserve(n_sym * 48);
         let mut ev_acc = 0.0f64;
         let mut ev_n = 0usize;
         for m in 0..n_sym {
             let body = data_start + m * SYMBOL_LEN + crate::params::CP_LEN - d;
             let freq = self.ofdm.demodulate_body(&x[body..body + FFT_SIZE]);
             let eq = equalize_symbol(&freq, &channel, m + 1);
-            let sym_llrs = demap_soft(&eq.data, rate.modulation(), Some(&eq.csi));
-            llrs.extend(il.deinterleave(&sym_llrs));
+            demap_soft_into(&eq.data, rate.modulation(), Some(&eq.csi), sym_llrs);
+            il.deinterleave_append(sym_llrs, llrs);
             for &v in eq.data.iter() {
                 let ideal = nearest_point(v, rate.modulation());
                 ev_acc += (v - ideal).norm_sqr();
@@ -238,18 +372,31 @@ impl Receiver {
         let evm_rms = (ev_acc / ev_n as f64).sqrt();
 
         // Decode.
-        let full = depuncture(&llrs, rate.code_rate());
-        let decoded = decode_soft(&full);
-        let psdu = extract_psdu(&decoded, signal.length).ok_or(RxError::ScramblerSync)?;
+        depuncture_into(llrs, rate.code_rate(), full);
+        viterbi.decode_soft_into(full, decoded);
+        if !extract_psdu_into(decoded, signal.length, psdu) {
+            return Err(RxError::ScramblerSync);
+        }
 
-        Ok(Received {
-            psdu,
+        Ok(RxSummary {
             signal,
             cfo_hz,
-            equalized,
             evm_rms,
             snr_est_db,
         })
+    }
+}
+
+/// Moves the buffers of a successful [`Receiver::receive_into`] out of
+/// the scratch into an owned [`Received`].
+fn received_from(sum: RxSummary, scratch: &mut RxScratch) -> Received {
+    Received {
+        psdu: std::mem::take(&mut scratch.psdu),
+        signal: sum.signal,
+        cfo_hz: sum.cfo_hz,
+        equalized: std::mem::take(&mut scratch.equalized),
+        evm_rms: sum.evm_rms,
+        snr_est_db: sum.snr_est_db,
     }
 }
 

@@ -7,10 +7,10 @@
 
 use crate::convolutional::encode;
 use crate::interleaver::Interleaver;
-use crate::modulation::{demap_soft, map_bits};
+use crate::modulation::{demap_soft_into, map_bits};
 use crate::ofdm::Ofdm;
 use crate::params::{Modulation, Rate, MAX_PSDU_LEN};
-use crate::viterbi::{decode_soft, Llr};
+use crate::viterbi::{Llr, ViterbiDecoder};
 use wlan_dsp::Complex;
 
 /// Decoded SIGNAL field contents.
@@ -111,13 +111,56 @@ pub fn decode_signal(
     equalized: &[Complex; 48],
     csi: Option<&[f64]>,
 ) -> Result<SignalField, SignalError> {
-    let llrs: Vec<Llr> = demap_soft(equalized, Modulation::Bpsk, csi);
-    let il = Interleaver::with_params(48, 1);
-    let deint = il.deinterleave(&llrs);
-    let decoded = decode_soft(&deint);
-    let mut bits = [0u8; 24];
-    bits.copy_from_slice(&decoded[..24]);
-    parse_signal_bits(&bits)
+    SignalDecoder::new().decode(equalized, csi)
+}
+
+/// A reusable SIGNAL decoder: the BPSK interleaver, Viterbi decoder and
+/// working buffers are built once and reused across packets.
+#[derive(Debug, Clone)]
+pub struct SignalDecoder {
+    il: Interleaver,
+    vit: ViterbiDecoder,
+    llrs: Vec<Llr>,
+    deint: Vec<Llr>,
+    bits: Vec<u8>,
+}
+
+impl Default for SignalDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SignalDecoder {
+    /// Builds the decoder (48-bit BPSK interleaver plus Viterbi state).
+    pub fn new() -> Self {
+        SignalDecoder {
+            il: Interleaver::with_params(48, 1),
+            vit: ViterbiDecoder::new(),
+            llrs: Vec::new(),
+            deint: Vec::new(),
+            bits: Vec::new(),
+        }
+    }
+
+    /// Allocation-free [`decode_signal`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError`] when the decoded bits fail validation.
+    pub fn decode(
+        &mut self,
+        equalized: &[Complex; 48],
+        csi: Option<&[f64]>,
+    ) -> Result<SignalField, SignalError> {
+        demap_soft_into(equalized, Modulation::Bpsk, csi, &mut self.llrs);
+        self.deint.clear();
+        self.il.deinterleave_append(&self.llrs, &mut self.deint);
+        self.vit.decode_soft_into(&self.deint, &mut self.bits);
+        let mut bits = [0u8; 24];
+        bits.copy_from_slice(&self.bits[..24]);
+        parse_signal_bits(&bits)
+    }
 }
 
 #[cfg(test)]

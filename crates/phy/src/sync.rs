@@ -4,7 +4,7 @@
 use crate::ofdm::Ofdm;
 use crate::params::{FFT_SIZE, SAMPLE_RATE};
 use crate::preamble::{long_training_symbol, STF_PERIOD};
-use wlan_dsp::corr::{cross_correlate, delay_correlate};
+use wlan_dsp::corr::{cross_correlate_into, delay_correlate_into};
 use wlan_dsp::Complex;
 
 /// Result of short-training-field detection.
@@ -24,8 +24,22 @@ pub struct Detection {
 ///
 /// Returns `None` when no plateau is found.
 pub fn detect_packet(samples: &[Complex], threshold: f64, run: usize) -> Option<Detection> {
+    let mut p = Vec::new();
+    let mut r = Vec::new();
+    detect_packet_with(samples, threshold, run, &mut p, &mut r)
+}
+
+/// [`detect_packet`] reusing caller-owned correlation buffers, so
+/// per-packet detection performs no heap allocation in steady state.
+pub fn detect_packet_with(
+    samples: &[Complex],
+    threshold: f64,
+    run: usize,
+    p: &mut Vec<Complex>,
+    r: &mut Vec<f64>,
+) -> Option<Detection> {
     let win = 2 * STF_PERIOD;
-    let (p, r) = delay_correlate(samples, STF_PERIOD, win);
+    delay_correlate_into(samples, STF_PERIOD, win, p, r);
     if p.is_empty() {
         return None;
     }
@@ -65,12 +79,23 @@ pub fn detect_packet(samples: &[Complex], threshold: f64, run: usize) -> Option<
 /// Removes a carrier frequency offset of `cfo_hz` from `samples`
 /// (derotation by `e^{-j2π·cfo·n/fs}`).
 pub fn correct_cfo(samples: &[Complex], cfo_hz: f64) -> Vec<Complex> {
+    let mut out = Vec::new();
+    correct_cfo_into(samples, cfo_hz, &mut out);
+    out
+}
+
+/// [`correct_cfo`] writing into a caller-owned buffer (cleared first), so
+/// the coarse and fine correction passes reuse their allocations.
+pub fn correct_cfo_into(samples: &[Complex], cfo_hz: f64, out: &mut Vec<Complex>) {
     let w = -2.0 * std::f64::consts::PI * cfo_hz / SAMPLE_RATE;
-    samples
-        .iter()
-        .enumerate()
-        .map(|(n, &x)| x * Complex::cis(w * n as f64))
-        .collect()
+    out.clear();
+    out.reserve(samples.len());
+    out.extend(
+        samples
+            .iter()
+            .enumerate()
+            .map(|(n, &x)| x * Complex::cis(w * n as f64)),
+    );
 }
 
 /// Locates the first long-training symbol body by cross-correlating with
@@ -86,16 +111,29 @@ pub fn locate_ltf(
     window: std::ops::Range<usize>,
 ) -> Option<usize> {
     let ltf = long_training_symbol(ofdm);
+    let mut xcorr = Vec::new();
+    locate_ltf_with(samples, &ltf, window, &mut xcorr)
+}
+
+/// [`locate_ltf`] taking a precomputed LTF template and reusing a
+/// caller-owned correlation buffer — the receiver caches the template
+/// once instead of rebuilding it (an IFFT) on every packet.
+pub fn locate_ltf_with(
+    samples: &[Complex],
+    ltf: &[Complex; FFT_SIZE],
+    window: std::ops::Range<usize>,
+    xcorr: &mut Vec<Complex>,
+) -> Option<usize> {
     let need = window.end + 2 * FFT_SIZE;
     if need > samples.len() || window.is_empty() {
         return None;
     }
     let region = &samples[window.start..window.end + 2 * FFT_SIZE];
-    let c = cross_correlate(region, &ltf);
+    cross_correlate_into(region, ltf, xcorr);
     let span = window.end - window.start;
     let mut best = (0usize, f64::MIN);
-    for i in 0..span.min(c.len().saturating_sub(FFT_SIZE)) {
-        let score = c[i].abs() + c[i + FFT_SIZE].abs();
+    for i in 0..span.min(xcorr.len().saturating_sub(FFT_SIZE)) {
+        let score = xcorr[i].abs() + xcorr[i + FFT_SIZE].abs();
         if score > best.1 {
             best = (i, score);
         }

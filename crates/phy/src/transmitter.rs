@@ -1,10 +1,14 @@
 //! The complete 802.11a transmitter: PSDU in, complex-baseband burst out.
 
-use crate::frame::{build_data_field, bytes_to_bits, map_data_field};
+use crate::convolutional::encode_into;
+use crate::frame::{bytes_to_bits, bytes_to_bits_append};
+use crate::interleaver::Interleaver;
+use crate::modulation::map_bits_into;
 use crate::ofdm::Ofdm;
-use crate::params::{Rate, SAMPLE_RATE, SYMBOL_LEN};
+use crate::params::{Rate, MAX_PSDU_LEN, SAMPLE_RATE, SERVICE_BITS, SYMBOL_LEN, TAIL_BITS};
 use crate::preamble::{preamble, PREAMBLE_LEN};
-use crate::scrambler::DEFAULT_SEED;
+use crate::puncture::puncture_into;
+use crate::scrambler::{Scrambler, DEFAULT_SEED};
 use crate::signal_field::modulate_signal;
 use wlan_dsp::Complex;
 
@@ -64,12 +68,22 @@ impl Transmitter {
     ///
     /// Panics if `seed` is zero or wider than 7 bits.
     pub fn with_scrambler_seed(mut self, seed: u8) -> Self {
+        self.set_scrambler_seed(seed);
+        self
+    }
+
+    /// In-place variant of [`Transmitter::with_scrambler_seed`], letting
+    /// the link layer re-seed a long-lived transmitter per packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` is zero or wider than 7 bits.
+    pub fn set_scrambler_seed(&mut self, seed: u8) {
         assert!(
             seed != 0 && seed < 0x80,
             "seed must be a non-zero 7-bit value"
         );
         self.scrambler_seed = seed;
-        self
     }
 
     /// The configured data rate.
@@ -83,18 +97,9 @@ impl Transmitter {
     ///
     /// Panics if `psdu` is empty or longer than 4095 bytes.
     pub fn transmit(&self, psdu: &[u8]) -> Burst {
-        let field = build_data_field(psdu, self.rate, self.scrambler_seed);
-        let data_syms = map_data_field(&field, self.rate);
-        let n_sym = data_syms.len();
-
-        let mut samples = Vec::with_capacity(PREAMBLE_LEN + SYMBOL_LEN * (1 + n_sym));
-        samples.extend(preamble(&self.ofdm));
-        samples.extend(modulate_signal(&self.ofdm, self.rate, psdu.len()));
-        for (i, sym) in data_syms.iter().enumerate() {
-            // Pilot polarity index: SIGNAL is 0, data symbols start at 1.
-            samples.extend(self.ofdm.modulate(sym, i + 1));
-        }
-
+        let mut scratch = TxScratch::default();
+        let mut samples = Vec::new();
+        let n_sym = self.transmit_into(psdu, &mut scratch, &mut samples);
         Burst {
             samples,
             psdu: psdu.to_vec(),
@@ -103,6 +108,111 @@ impl Transmitter {
             data_symbols: n_sym,
         }
     }
+
+    /// [`Transmitter::transmit`] writing the burst samples into a
+    /// caller-owned buffer (cleared first), reusing `scratch` for every
+    /// intermediate bit/symbol stage. Returns the number of DATA OFDM
+    /// symbols. Steady-state calls (same rate and PSDU length) perform no
+    /// heap allocation.
+    ///
+    /// The bit pipeline here is the flat equivalent of
+    /// [`build_data_field`](crate::frame::build_data_field) +
+    /// [`map_data_field`](crate::frame::map_data_field): interleaving,
+    /// mapping and OFDM modulation are fused into one per-symbol loop
+    /// (each stage is pure per block, so the samples are bit-identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `psdu` is empty or longer than 4095 bytes.
+    pub fn transmit_into(
+        &self,
+        psdu: &[u8],
+        scratch: &mut TxScratch,
+        samples: &mut Vec<Complex>,
+    ) -> usize {
+        assert!(!psdu.is_empty(), "PSDU must not be empty");
+        assert!(psdu.len() <= MAX_PSDU_LEN, "PSDU too long");
+        let ndbps = self.rate.ndbps();
+        let n_sym = self.rate.data_symbols(psdu.len());
+        let payload_bits = SERVICE_BITS + 8 * psdu.len() + TAIL_BITS;
+        let total_bits = n_sym * ndbps;
+        let pad_bits = total_bits - payload_bits;
+
+        let TxScratch {
+            bits,
+            coded,
+            punctured,
+            sym_bits,
+            mapped,
+            il,
+            preamble: pre,
+            signal_sym,
+            signal_key,
+        } = scratch;
+
+        // SERVICE (16 zero bits) + PSDU + tail + pad.
+        bits.clear();
+        bits.reserve(total_bits);
+        bits.extend(std::iter::repeat_n(0u8, SERVICE_BITS));
+        bytes_to_bits_append(psdu, bits);
+        bits.extend(std::iter::repeat_n(0u8, TAIL_BITS + pad_bits));
+        debug_assert_eq!(bits.len(), total_bits);
+
+        // Scramble everything, then zero the tail positions so the
+        // encoder terminates (§17.3.5.2).
+        let mut scr = Scrambler::new(self.scrambler_seed);
+        scr.scramble_in_place(bits);
+        let tail_start = SERVICE_BITS + 8 * psdu.len();
+        for b in bits[tail_start..tail_start + TAIL_BITS].iter_mut() {
+            *b = 0;
+        }
+
+        encode_into(bits, coded);
+        puncture_into(coded, self.rate.code_rate(), punctured);
+        debug_assert_eq!(punctured.len(), n_sym * self.rate.ncbps());
+
+        // Cached deterministic sub-waveforms: the preamble depends only
+        // on the (fixed) OFDM plan; the SIGNAL symbol on (rate, length).
+        if pre.is_empty() {
+            *pre = preamble(&self.ofdm);
+        }
+        if *signal_key != Some((self.rate, psdu.len())) {
+            *signal_sym = modulate_signal(&self.ofdm, self.rate, psdu.len());
+            *signal_key = Some((self.rate, psdu.len()));
+        }
+        if il.as_ref().map(|(r, _)| *r) != Some(self.rate) {
+            *il = Some((self.rate, Interleaver::new(self.rate)));
+        }
+        let il = &il.as_ref().expect("interleaver cached above").1;
+
+        samples.clear();
+        samples.reserve(PREAMBLE_LEN + SYMBOL_LEN * (1 + n_sym));
+        samples.extend_from_slice(pre);
+        samples.extend_from_slice(signal_sym);
+        let modulation = self.rate.modulation();
+        for (i, blk) in punctured.chunks_exact(self.rate.ncbps()).enumerate() {
+            il.interleave_into(blk, sym_bits);
+            map_bits_into(sym_bits, modulation, mapped);
+            // Pilot polarity index: SIGNAL is 0, data symbols start at 1.
+            self.ofdm.modulate_append(mapped, i + 1, samples);
+        }
+        n_sym
+    }
+}
+
+/// Reusable transmit-side working buffers and cached sub-waveforms for
+/// [`Transmitter::transmit_into`].
+#[derive(Debug, Clone, Default)]
+pub struct TxScratch {
+    bits: Vec<u8>,
+    coded: Vec<u8>,
+    punctured: Vec<u8>,
+    sym_bits: Vec<u8>,
+    mapped: Vec<Complex>,
+    il: Option<(Rate, Interleaver)>,
+    preamble: Vec<Complex>,
+    signal_sym: Vec<Complex>,
+    signal_key: Option<(Rate, usize)>,
 }
 
 #[cfg(test)]

@@ -60,25 +60,34 @@ impl Agc {
     /// Ideal mode measures the frame power and applies one exact scale
     /// factor; feedback mode runs the loop sample by sample.
     pub fn process(&mut self, x: &[Complex]) -> Vec<Complex> {
+        let mut out = x.to_vec();
+        self.process_in_place(&mut out);
+        out
+    }
+
+    /// [`Agc::process`] mutating the frame in place, so the front-end hot
+    /// path needs no separate output buffer.
+    pub fn process_in_place(&mut self, x: &mut [Complex]) {
         match self.mode {
             AgcMode::Ideal => {
                 let p = wlan_dsp::complex::mean_power(x);
                 if p > 0.0 {
                     self.gain = (self.target_power / p).sqrt();
                 }
-                x.iter().map(|&v| v * self.gain).collect()
+                for v in x.iter_mut() {
+                    *v *= self.gain;
+                }
             }
-            AgcMode::Feedback { rate } => x
-                .iter()
-                .map(|&v| {
-                    let y = v * self.gain;
+            AgcMode::Feedback { rate } => {
+                for v in x.iter_mut() {
+                    let y = *v * self.gain;
                     // One-pole power estimate and log-domain update.
                     self.power_est = 0.999 * self.power_est + 0.001 * y.norm_sqr();
                     let err = (self.target_power / self.power_est.max(1e-300)).ln();
                     self.gain *= (rate * err).exp();
-                    y
-                })
-                .collect(),
+                    *v = y;
+                }
+            }
         }
     }
 

@@ -177,6 +177,50 @@ impl DoubleConversionReceiver {
     /// Processes an oversampled RF-input frame, returning the decimated
     /// baseband output for the DSP receiver.
     pub fn process(&mut self, x: &[Complex]) -> Vec<Complex> {
+        let mut scratch = RfScratch::default();
+        let mut out = Vec::new();
+        self.process_into(x, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`DoubleConversionReceiver::process`] fused into two passes over
+    /// one reusable mid-chain buffer: every stage up to the channel
+    /// filter is applied per sample (all are per-sample state machines,
+    /// so the output is bit-identical to the staged chain), the AGC runs
+    /// in place (Ideal mode needs the whole frame), and ADC conversion
+    /// happens only on decimation-picked samples (the ADC is stateless).
+    /// Steady-state calls at a fixed frame length perform no heap
+    /// allocation.
+    pub fn process_into(&mut self, x: &[Complex], scratch: &mut RfScratch, out: &mut Vec<Complex>) {
+        let mid = &mut scratch.mid;
+        mid.clear();
+        mid.reserve(x.len());
+        for &s in x {
+            let v = self.lna.push(s);
+            let v = self.mixer1.push(v);
+            let v = self.hpf.push(v);
+            let v = self.mixer2.push(v);
+            mid.push(self.channel_filter.push(v));
+        }
+        self.agc.process_in_place(mid);
+        // Plain sample picking: channel selectivity is entirely the
+        // Chebyshev filter's job (the Fig. 5 subject), so the decimator
+        // must not add its own anti-alias filtering.
+        out.clear();
+        out.reserve(mid.len() / self.config.osr + 1);
+        for &s in mid.iter() {
+            if self.decim_phase == 0 {
+                out.push(self.dc_correction.push(self.adc.convert(s)));
+            }
+            self.decim_phase = (self.decim_phase + 1) % self.config.osr;
+        }
+    }
+
+    /// The original stage-by-stage (one allocation per stage) chain,
+    /// kept as the serial reference the kernel benchmark compares
+    /// [`DoubleConversionReceiver::process_into`] against.
+    #[doc(hidden)]
+    pub fn process_staged(&mut self, x: &[Complex]) -> Vec<Complex> {
         let v = self.lna.process(x);
         let v = self.mixer1.process(&v);
         let v = self.hpf.process(&v);
@@ -184,9 +228,6 @@ impl DoubleConversionReceiver {
         let v = self.channel_filter.process(&v);
         let v = self.agc.process(&v);
         let v = self.adc.process(&v);
-        // Plain sample picking: channel selectivity is entirely the
-        // Chebyshev filter's job (the Fig. 5 subject), so the decimator
-        // must not add its own anti-alias filtering.
         let mut out = Vec::with_capacity(v.len() / self.config.osr + 1);
         for &s in &v {
             if self.decim_phase == 0 {
@@ -240,6 +281,15 @@ impl DoubleConversionReceiver {
         let v = self.agc.process(&v);
         self.adc.process(&v)
     }
+}
+
+/// Reusable mid-chain buffer for
+/// [`DoubleConversionReceiver::process_into`].
+#[derive(Debug, Clone, Default)]
+pub struct RfScratch {
+    /// Channel-filter output at the oversampled rate (AGC runs on it in
+    /// place).
+    mid: Vec<Complex>,
 }
 
 /// Every inter-stage signal of one traced frame (all at the oversampled
@@ -423,6 +473,30 @@ mod tests {
         assert!((db(1, 2) - 8.0).abs() < 0.5, "mixer1 gain {}", db(1, 2));
         // AGC levels to ~1.0.
         assert!((plan[6].1 - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn fused_chain_matches_staged_bit_exact() {
+        // Noise ON: identical seeds must give byte-identical outputs, so
+        // the fused per-sample chain draws RNGs in exactly the staged
+        // order. Split the input in two to also cover carried state
+        // (filters, decimator phase) across frames.
+        let x = tone_dbm(2e6, 80e6, -45.0, 8001);
+        let mut fused = DoubleConversionReceiver::new(RfConfig::default(), 42);
+        let mut staged = DoubleConversionReceiver::new(RfConfig::default(), 42);
+        let mut scratch = RfScratch::default();
+        let mut y_fused = Vec::new();
+        let mut got = Vec::new();
+        for part in [&x[..3000], &x[3000..]] {
+            fused.process_into(part, &mut scratch, &mut y_fused);
+            got.extend_from_slice(&y_fused);
+        }
+        let mut want = staged.process_staged(&x[..3000]);
+        want.extend(staged.process_staged(&x[3000..]));
+        assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(want.iter()) {
+            assert!(a.re == b.re && a.im == b.im, "{a:?} != {b:?}");
+        }
     }
 
     #[test]

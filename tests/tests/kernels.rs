@@ -1,0 +1,130 @@
+//! Bit-identity gates for the allocation-free hot-path kernels.
+//!
+//! The `_into` refactor (reusable Viterbi trellis, specialized 64-point
+//! FFT, scratch-arena RF chain and link loop) is only legal because it
+//! is *bit-identical* to the code it replaced. The `LinkReport`
+//! literals below were measured on the pre-refactor tree; every field
+//! is compared with exact `==` — including the `f64` EVM — so any
+//! reordered floating-point operation, skipped RNG draw, or altered
+//! buffer lifetime in the hot path fails loudly here.
+
+use wlan_dsp::Rng;
+use wlan_phy::viterbi::{decode_soft, Llr, ViterbiDecoder};
+use wlan_phy::Rate;
+use wlan_rf::receiver::RfConfig;
+use wlan_sim::link::{AdjacentChannel, FrontEnd, LinkConfig, LinkSimulation};
+
+/// Ideal-front-end link at 11.5 dB SNR: enough errors (568 of 11520
+/// bits) that the whole soft-decision path — demap, deinterleave,
+/// depuncture, Viterbi, descramble — is exercised on non-trivial LLRs.
+#[test]
+fn link_report_pins_ideal_seed_behavior() {
+    let report = LinkSimulation::new(LinkConfig {
+        rate: Rate::R36,
+        psdu_len: 120,
+        packets: 12,
+        seed: 77,
+        snr_db: Some(11.5),
+        front_end: FrontEnd::Ideal,
+        ..LinkConfig::default()
+    })
+    .run();
+
+    assert_eq!(report.meter.errors(), 568);
+    assert_eq!(report.meter.bits(), 11520);
+    assert_eq!(report.meter.packets(), 12);
+    assert_eq!(report.meter.packet_errors(), 10);
+    assert_eq!(report.decoded_packets, 12);
+    // Exact f64 equality on purpose: the kernels must be bit-identical,
+    // not merely close.
+    assert_eq!(report.evm_db, Some(-11.193553718128795));
+}
+
+/// RF-baseband link near sensitivity with an adjacent-channel
+/// interferer: pins the fused front-end chain (LNA → mixers → filters →
+/// AGC → ADC → decimation) plus the scene builder's RNG draw order.
+#[test]
+fn link_report_pins_rf_baseband_seed_behavior() {
+    let report = LinkSimulation::new(LinkConfig {
+        rate: Rate::R48,
+        psdu_len: 80,
+        packets: 4,
+        seed: 33,
+        rx_level_dbm: -86.0,
+        adjacent: Some(AdjacentChannel::first()),
+        front_end: FrontEnd::RfBaseband(RfConfig::default()),
+        ..LinkConfig::default()
+    })
+    .run();
+
+    assert_eq!(report.meter.errors(), 1322);
+    assert_eq!(report.meter.bits(), 2560);
+    assert_eq!(report.meter.packets(), 4);
+    assert_eq!(report.meter.packet_errors(), 4);
+    assert_eq!(report.decoded_packets, 4);
+    assert_eq!(report.evm_db, Some(-7.230632560856826));
+}
+
+/// Noisy LLRs for a random terminated codeword.
+fn noisy_llrs(message_bits: usize, noise: f64, rng: &mut Rng) -> Vec<Llr> {
+    let mut bits: Vec<u8> = (0..message_bits)
+        .map(|_| (rng.next_u64() & 1) as u8)
+        .collect();
+    bits.extend_from_slice(&[0; 6]);
+    wlan_phy::convolutional::encode(&bits)
+        .iter()
+        .map(|&b| (1.0 - 2.0 * b as f64) + noise * rng.gaussian())
+        .collect()
+}
+
+/// Property: a reused `ViterbiDecoder` matches the allocating
+/// `decode_soft` on random LLR streams of many lengths and noise
+/// levels, with no state leaking between consecutive decodes.
+#[test]
+fn reused_decoder_matches_decode_soft_on_random_streams() {
+    let mut rng = Rng::new(2026);
+    let mut dec = ViterbiDecoder::new();
+    let mut got = Vec::new();
+    for trial in 0..40 {
+        let message_bits = 1 + (rng.next_u64() % 600) as usize;
+        let noise = [0.0, 0.3, 0.8, 1.5][trial % 4];
+        let llrs = noisy_llrs(message_bits, noise, &mut rng);
+        dec.decode_soft_into(&llrs, &mut got);
+        let want = decode_soft(&llrs);
+        assert_eq!(
+            got, want,
+            "trial {trial}: {message_bits} bits, noise {noise}"
+        );
+    }
+}
+
+/// Property: both soft decoders agree with the conformance reference
+/// trellis, so the production kernel is anchored to an independent
+/// implementation, not merely to itself.
+#[test]
+fn soft_decoders_match_conformance_reference() {
+    let mut rng = Rng::new(31);
+    let mut dec = ViterbiDecoder::new();
+    let mut got = Vec::new();
+    for trial in 0..10 {
+        let llrs = noisy_llrs(120 + 40 * trial, 0.6, &mut rng);
+        dec.decode_soft_into(&llrs, &mut got);
+        let reference = wlan_conformance::refimpl::viterbi_reference(&llrs);
+        assert_eq!(got, reference, "trial {trial}");
+    }
+}
+
+/// Pure noise (no codeword structure) must still decode identically —
+/// the traceback tie-breaking rules are part of the bit contract.
+#[test]
+fn decoders_agree_on_pure_noise() {
+    let mut rng = Rng::new(97);
+    let mut dec = ViterbiDecoder::new();
+    let mut got = Vec::new();
+    for _ in 0..10 {
+        let llrs: Vec<Llr> = (0..480).map(|_| 2.0 * rng.gaussian()).collect();
+        dec.decode_soft_into(&llrs, &mut got);
+        assert_eq!(got, decode_soft(&llrs));
+        assert_eq!(got, wlan_conformance::refimpl::viterbi_reference(&llrs));
+    }
+}
