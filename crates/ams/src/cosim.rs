@@ -28,6 +28,9 @@ pub struct CosimReceiver {
     decimation: usize,
     decim_phase: usize,
     steps_taken: u64,
+    /// Analog-rate working buffer reused across frames (DESIGN §10
+    /// scratch-arena discipline: capacity survives between packets).
+    analog: Vec<Complex>,
 }
 
 impl std::fmt::Debug for CosimReceiver {
@@ -73,6 +76,7 @@ impl CosimReceiver {
             decimation,
             decim_phase: 0,
             steps_taken: 0,
+            analog: Vec::new(),
         })
     }
 
@@ -126,7 +130,20 @@ impl CosimReceiver {
     /// Processes an oversampled-rate frame, returning the decimated
     /// DSP-rate output.
     pub fn process(&mut self, x: &[Complex]) -> Vec<Complex> {
-        let mut analog_out = Vec::with_capacity(x.len());
+        let mut out = Vec::new();
+        self.process_into(x, &mut out);
+        out
+    }
+
+    /// [`CosimReceiver::process`] into a caller-owned buffer. The only
+    /// per-call heap traffic is capacity growth on first use: the
+    /// analog-rate intermediate lives in a member scratch buffer, the
+    /// AGC levels it in place, and the ADC quantizes only the samples
+    /// the decimator keeps (it is stateless per sample, so skipping
+    /// dropped samples is bit-identical to converting the whole frame).
+    pub fn process_into(&mut self, x: &[Complex], out: &mut Vec<Complex>) {
+        self.analog.clear();
+        self.analog.reserve(x.len());
         for &u in x {
             let mut y = Complex::ZERO;
             for _ in 0..self.analog_osr {
@@ -137,20 +154,19 @@ impl CosimReceiver {
                 y = v;
                 self.steps_taken += 1;
             }
-            analog_out.push(y);
+            self.analog.push(y);
         }
-        let leveled = self.agc.process(&analog_out);
-        let quantized = self.adc.process(&leveled);
+        self.agc.process_in_place(&mut self.analog);
         // Plain sample picking + digital DC correction, matching the
         // baseband front end.
-        let mut out = Vec::with_capacity(quantized.len() / self.decimation + 1);
-        for &s in &quantized {
+        out.clear();
+        out.reserve(self.analog.len() / self.decimation + 1);
+        for &s in &self.analog {
             if self.decim_phase == 0 {
-                out.push(self.dc_correction.push(s));
+                out.push(self.dc_correction.push(self.adc.convert(s)));
             }
             self.decim_phase = (self.decim_phase + 1) % self.decimation;
         }
-        out
     }
 }
 
@@ -247,6 +263,22 @@ mod tests {
         let fn_ = 2.0 * tone_power(&yn[4000..], 7e6, 20e6) / mean_power(&yn[4000..]);
         assert!(fw > 0.5, "wide {fw}");
         assert!(fn_ < fw, "narrow {fn_} !< wide {fw}");
+    }
+
+    #[test]
+    fn process_into_bit_identical_to_process() {
+        let x = tone_dbm(2e6, 80e6, -50.0, 8_000);
+        let mut a = CosimReceiver::new(80e6, 4, 4).unwrap();
+        let mut b = CosimReceiver::new(80e6, 4, 4).unwrap();
+        let mut out = Vec::new();
+        // Two frames, so filter/AGC/decimator state carries across the
+        // buffer-reusing path exactly like the allocating one.
+        for chunk in x.chunks(3_000) {
+            let ya = a.process(chunk);
+            b.process_into(chunk, &mut out);
+            assert_eq!(ya, out);
+        }
+        assert_eq!(a.steps_taken(), b.steps_taken());
     }
 
     #[test]

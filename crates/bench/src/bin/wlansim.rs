@@ -1,0 +1,261 @@
+//! `wlansim` — the registry-driven experiment runner.
+//!
+//! One CLI replaces the former one-binary-per-experiment layout:
+//!
+//! ```text
+//! wlansim list                      # every registered experiment
+//! wlansim run <name> [flags]        # one experiment
+//! wlansim all [flags]               # the full paper evaluation
+//! wlansim check-manifest [path]     # validate a run manifest
+//! ```
+//!
+//! Flags for `run` / `all`:
+//!
+//! * `--packets N` / `--psdu N` — Monte-Carlo effort (same semantics
+//!   as `WLANSIM_PACKETS` / `WLANSIM_PSDU`, which remain the defaults)
+//! * `--seed S` — master seed (default 42)
+//! * `--threads T` — engine worker count (default `WLANSIM_THREADS`
+//!   or available parallelism)
+//! * `--serial` — the legacy serial estimator (the bit-reproducible
+//!   reference path the pinned goldens use; implies one worker)
+//! * `--json` — print the run manifest to stdout as well
+//! * `--manifest PATH` — manifest location (default
+//!   `RUN_MANIFEST.json` in the working directory)
+//!
+//! Every `run`/`all` invocation writes the schema-versioned run
+//! manifest next to the `BENCH_*.json` files; `check-manifest` gates
+//! it in CI via `wlan_conformance::manifest`.
+
+use std::process::ExitCode;
+use wlan_exec::ThreadPool;
+use wlan_sim::experiments::{self, execute, Experiment, RunContext};
+use wlan_sim::manifest::{RunManifest, MANIFEST_DEFAULT_PATH};
+
+const USAGE: &str = "usage:
+  wlansim list
+  wlansim run <name> [--packets N] [--psdu N] [--seed S] [--threads T] [--serial] [--json] [--manifest PATH]
+  wlansim all [same flags]
+  wlansim check-manifest [PATH]
+
+run `wlansim list` for the experiment names.";
+
+/// Parsed `run`/`all` flags.
+#[derive(Debug, Default)]
+struct Flags {
+    packets: Option<usize>,
+    psdu: Option<usize>,
+    seed: Option<u64>,
+    threads: Option<usize>,
+    serial: bool,
+    json: bool,
+    manifest: Option<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--packets" => f.packets = Some(parse_num(&value("--packets")?)?),
+            "--psdu" => f.psdu = Some(parse_num(&value("--psdu")?)?),
+            "--seed" => f.seed = Some(parse_num(&value("--seed")?)?),
+            "--threads" => f.threads = Some(parse_num(&value("--threads")?)?),
+            "--serial" => f.serial = true,
+            "--json" => f.json = true,
+            "--manifest" => f.manifest = Some(value("--manifest")?),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(f)
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str) -> Result<T, String> {
+    text.parse().map_err(|_| format!("invalid number '{text}'"))
+}
+
+/// Builds the run context: environment defaults, then flag overrides.
+fn context(f: &Flags) -> RunContext {
+    let mut ctx = RunContext::from_env();
+    if let Some(p) = f.packets {
+        ctx.effort.packets = p.max(1);
+    }
+    if let Some(p) = f.psdu {
+        ctx.effort.psdu_len = p.max(1);
+    }
+    if let Some(s) = f.seed {
+        ctx.seed = s;
+    }
+    if let Some(t) = f.threads {
+        ctx.engine.pool = ThreadPool::new(t);
+    }
+    if f.serial {
+        ctx.serial = true;
+        ctx.engine = wlan_sim::experiments::Engine::serial();
+    }
+    ctx
+}
+
+/// Runs one experiment under `ctx`: prints its tables and notes, saves
+/// CSVs and artifacts under `results/`, and reports per-point timing
+/// in the bench-harness line format when the experiment measured it.
+fn run_one(exp: &dyn Experiment, ctx: &mut RunContext) {
+    eprintln!(
+        "wlansim: {} ({}) with {:?}, seed {}, {} thread(s){}",
+        exp.name(),
+        exp.paper_ref(),
+        ctx.effort,
+        ctx.seed,
+        ctx.engine.pool.threads(),
+        if ctx.serial { ", serial estimator" } else { "" }
+    );
+    let out = execute(exp, ctx);
+    for (i, t) in out.tables.iter().enumerate() {
+        println!("{t}");
+        let stem = if i == 0 {
+            exp.name().to_string()
+        } else {
+            format!("{}_{}", exp.name(), i + 1)
+        };
+        wlan_bench::save_csv(t, &stem);
+    }
+    let timed: Vec<(String, std::time::Duration)> = out
+        .points
+        .iter()
+        .filter_map(|p| p.elapsed.map(|e| (p.label.clone(), e)))
+        .collect();
+    if !timed.is_empty() {
+        wlan_bench::harness::report_point_timing(exp.name(), &timed);
+    }
+    for note in &out.notes {
+        println!("{note}");
+    }
+    for (name, content) in &out.artifacts {
+        let dir = std::path::Path::new("results");
+        if std::fs::create_dir_all(dir).is_ok() {
+            let path = dir.join(name);
+            match std::fs::write(&path, content) {
+                Ok(()) => println!("(artifact written to {})", path.display()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            }
+        }
+    }
+    println!();
+}
+
+/// Writes (and optionally prints) the manifest collected in `ctx`.
+fn finish(ctx: &RunContext, flags: &Flags) -> ExitCode {
+    let manifest = RunManifest::from_sink(&ctx.telemetry);
+    let path = flags.manifest.as_deref().unwrap_or(MANIFEST_DEFAULT_PATH);
+    if flags.json {
+        print!("{}", manifest.render());
+    }
+    match manifest.write(path) {
+        Ok(()) => {
+            eprintln!("wlansim: manifest written to {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("wlansim: could not write manifest {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The Annex G gate `run_all` used to apply: refuse to produce paper
+/// numbers from a transmitter that no longer matches the standard.
+fn annex_g_gate() -> bool {
+    let kat = wlan_conformance::annex_g::run_all();
+    for r in &kat {
+        eprintln!(
+            "annex-g [{}] {}: {}",
+            if r.ok { "ok" } else { "FAIL" },
+            r.stage,
+            r.detail
+        );
+    }
+    let ok = wlan_conformance::annex_g::all_pass(&kat);
+    if !ok {
+        eprintln!("wlansim: Annex G conformance failed — results would not be 802.11a");
+    }
+    eprintln!();
+    ok
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("{}", experiments::registry_table());
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let Some(name) = args.get(1) else {
+                eprintln!("wlansim run: missing experiment name\n{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            let Some(exp) = experiments::find(name) else {
+                eprintln!("wlansim: unknown experiment '{name}' — try `wlansim list`");
+                return ExitCode::FAILURE;
+            };
+            let flags = match parse_flags(&args[2..]) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("wlansim run: {e}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut ctx = context(&flags);
+            run_one(exp, &mut ctx);
+            finish(&ctx, &flags)
+        }
+        Some("all") => {
+            let flags = match parse_flags(&args[1..]) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("wlansim all: {e}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if !annex_g_gate() {
+                return ExitCode::FAILURE;
+            }
+            let mut ctx = context(&flags);
+            for exp in experiments::registry() {
+                run_one(*exp, &mut ctx);
+            }
+            finish(&ctx, &flags)
+        }
+        Some("check-manifest") => {
+            let path = args
+                .get(1)
+                .map(String::as_str)
+                .unwrap_or(MANIFEST_DEFAULT_PATH);
+            match wlan_conformance::manifest::validate_file(std::path::Path::new(path)) {
+                Ok(()) => {
+                    println!("{path}: manifest conforms to schema");
+                    ExitCode::SUCCESS
+                }
+                Err(errs) => {
+                    eprintln!("{path}: {} violation(s)", errs.len());
+                    for e in &errs {
+                        eprintln!("  - {e}");
+                    }
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("wlansim: unknown command '{other}'\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

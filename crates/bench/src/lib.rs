@@ -2,21 +2,18 @@
 //!
 //! Binaries (`cargo run -p wlan-bench --release --bin <name>`):
 //!
-//! | binary | regenerates |
+//! | binary | purpose |
 //! |---|---|
-//! | `table1` | Table 1 — IEEE WLAN standards |
-//! | `fig4` | Fig. 4 — OFDM + adjacent channel spectrum |
-//! | `fig5` | Fig. 5 — BER vs channel-filter bandwidth |
-//! | `fig6` | Fig. 6 — BER vs LNA compression point |
-//! | `table2` | Table 2 — simulation time comparison |
-//! | `ip3_sweep` | §5.1 BER vs LNA IIP3 |
-//! | `nf_sweep` | §5.1 BER vs noise figure + co-sim gap |
-//! | `evm` | §5.2 EVM vs SNR (ideal receiver) |
-//! | `rf_char` | §4.2 RF model characterization |
-//! | `ber_snr` | BER vs SNR baseline, all rates |
-//! | `run_all` | everything above, CSV dump included |
+//! | `wlansim` | the registry-driven experiment runner: `wlansim list`, `wlansim run <name>`, `wlansim all`, `wlansim check-manifest` |
+//! | `kernel_bench` | hot-kernel timings → `BENCH_kernels.json` |
+//! | `sweep_bench` | serial-vs-parallel sweep wall-clock → `BENCH_sweep.json` |
 //!
-//! Effort is controlled by `WLANSIM_PACKETS` / `WLANSIM_PSDU`.
+//! Every experiment of the paper is registered in
+//! `wlan_sim::experiments::registry()` and runnable by name; each
+//! `wlansim run`/`all` writes the schema-versioned run manifest
+//! (`RUN_MANIFEST.json`) next to the `BENCH_*.json` files. Effort is
+//! controlled by `WLANSIM_PACKETS` / `WLANSIM_PSDU` (or `--packets` /
+//! `--psdu`).
 //!
 //! Micro-benchmarks (`cargo bench`, no external harness needed):
 //! `dsp_kernels`, `phy_chain`, `rf_frontend`,

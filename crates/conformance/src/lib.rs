@@ -18,6 +18,8 @@
 //!   re-bless mode, drift reports for CI artifacts).
 //! * [`pinned`] — the pinned experiment sweeps (ip3 / level / nf /
 //!   blocking / EVM) whose snapshots the goldens freeze.
+//! * [`manifest`] — schema validation for the `wlansim` run manifest
+//!   (`RUN_MANIFEST.json`; the writer lives in `wlan_sim::manifest`).
 //!
 //! The `wlan-conformance` CLI runs the whole suite and exits non-zero
 //! on any failure; `tests/tests/conformance.rs` and
@@ -26,6 +28,7 @@
 pub mod annex_g;
 pub mod golden;
 pub mod json;
+pub mod manifest;
 pub mod mc;
 pub mod pinned;
 pub mod refimpl;

@@ -1,0 +1,255 @@
+//! Schema validation for the `wlansim` run manifest
+//! (`RUN_MANIFEST.json`, written by `wlan_sim::manifest`).
+//!
+//! The writer lives in `wlan-sim` (hand-rendered JSON, like the
+//! `BENCH_*.json` files); the *checker* lives here because this crate
+//! owns the in-tree JSON parser. CI runs `wlansim check-manifest` after
+//! the smoke run and fails the build on any violation listed by
+//! [`validate`].
+
+use crate::json::Json;
+
+/// Convenience: read and validate a manifest file.
+///
+/// # Errors
+///
+/// Returns the I/O error message or the list of schema violations.
+pub fn validate_file(path: &std::path::Path) -> Result<(), Vec<String>> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| vec![format!("cannot read {}: {e}", path.display())])?;
+    let errs = validate(&text);
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+/// The manifest schema version this validator understands. Must match
+/// `wlan_sim::manifest::MANIFEST_SCHEMA`.
+pub const SUPPORTED_SCHEMA: f64 = 1.0;
+
+/// Validates a manifest document. Returns every violation found (an
+/// empty list means the manifest conforms).
+///
+/// The contract checked here is the one `wlan_sim::manifest` documents:
+/// a schema/tool header plus one record per executed experiment, each
+/// with effort, seed, threads, estimator flags, wall time, and a
+/// per-point telemetry array.
+pub fn validate(text: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    let doc = match Json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return vec![format!("manifest is not valid JSON: {e}")],
+    };
+
+    match doc.get("schema").and_then(Json::as_f64) {
+        Some(s) if s == SUPPORTED_SCHEMA => {}
+        Some(s) => errs.push(format!(
+            "unsupported schema {s} (validator understands {SUPPORTED_SCHEMA})"
+        )),
+        None => errs.push("missing numeric \"schema\" field".to_string()),
+    }
+    match doc.get("tool").and_then(Json::as_str) {
+        Some("wlansim") => {}
+        Some(other) => errs.push(format!("unexpected tool \"{other}\"")),
+        None => errs.push("missing string \"tool\" field".to_string()),
+    }
+
+    let experiments = match doc.get("experiments") {
+        Some(Json::Arr(items)) => items,
+        Some(_) => {
+            errs.push("\"experiments\" must be an array".to_string());
+            return errs;
+        }
+        None => {
+            errs.push("missing \"experiments\" array".to_string());
+            return errs;
+        }
+    };
+
+    for (i, rec) in experiments.iter().enumerate() {
+        validate_record(i, rec, &mut errs);
+    }
+    errs
+}
+
+fn validate_record(i: usize, rec: &Json, errs: &mut Vec<String>) {
+    let at = |field: &str| format!("experiments[{i}].{field}");
+    if !matches!(rec, Json::Obj(_)) {
+        errs.push(format!("experiments[{i}] must be an object"));
+        return;
+    }
+
+    match rec.get("name").and_then(Json::as_str) {
+        Some(n) if !n.is_empty() => {}
+        Some(_) => errs.push(format!("{} must be non-empty", at("name"))),
+        None => errs.push(format!("{} missing (string)", at("name"))),
+    }
+    if rec.get("paper_ref").and_then(Json::as_str).is_none() {
+        errs.push(format!("{} missing (string)", at("paper_ref")));
+    }
+
+    match rec.get("effort") {
+        Some(effort) => {
+            for key in ["packets", "psdu_len"] {
+                match effort.get(key).and_then(Json::as_f64) {
+                    Some(v) if v >= 1.0 && v.fract() == 0.0 => {}
+                    Some(v) => errs.push(format!(
+                        "{} must be a positive integer, got {v}",
+                        at(&format!("effort.{key}"))
+                    )),
+                    None => errs.push(format!("{} missing (number)", at(&format!("effort.{key}")))),
+                }
+            }
+        }
+        None => errs.push(format!("{} missing (object)", at("effort"))),
+    }
+
+    match rec.get("seed").and_then(Json::as_f64) {
+        Some(v) if v >= 0.0 && v.fract() == 0.0 => {}
+        _ => errs.push(format!("{} missing or not an integer", at("seed"))),
+    }
+    match rec.get("threads").and_then(Json::as_f64) {
+        Some(v) if v >= 1.0 && v.fract() == 0.0 => {}
+        _ => errs.push(format!(
+            "{} missing or not a positive integer",
+            at("threads")
+        )),
+    }
+    for key in ["serial", "early_stop"] {
+        if !matches!(rec.get(key), Some(Json::Bool(_))) {
+            errs.push(format!("{} missing (bool)", at(key)));
+        }
+    }
+    match rec.get("wall_s").and_then(Json::as_f64) {
+        Some(v) if v >= 0.0 => {}
+        _ => errs.push(format!("{} missing or negative", at("wall_s"))),
+    }
+
+    match rec.get("points") {
+        Some(Json::Arr(points)) => {
+            for (j, p) in points.iter().enumerate() {
+                validate_point(i, j, p, errs);
+            }
+        }
+        _ => errs.push(format!("{} missing (array)", at("points"))),
+    }
+}
+
+fn validate_point(i: usize, j: usize, p: &Json, errs: &mut Vec<String>) {
+    let at = |field: &str| format!("experiments[{i}].points[{j}].{field}");
+    if !matches!(p, Json::Obj(_)) {
+        errs.push(format!("experiments[{i}].points[{j}] must be an object"));
+        return;
+    }
+    if p.get("label").and_then(Json::as_str).is_none() {
+        errs.push(format!("{} missing (string)", at("label")));
+    }
+    // Optional fields must have the right type when present.
+    if let Some(v) = p.get("elapsed_s") {
+        match v.as_f64() {
+            Some(e) if e >= 0.0 => {}
+            _ => errs.push(format!("{} must be a non-negative number", at("elapsed_s"))),
+        }
+    }
+    for key in ["bits", "packets"] {
+        if let Some(v) = p.get(key) {
+            match v.as_f64() {
+                Some(n) if n >= 0.0 && n.fract() == 0.0 => {}
+                _ => errs.push(format!("{} must be a non-negative integer", at(key))),
+            }
+        }
+    }
+    if let Some(v) = p.get("early_stopped") {
+        if !matches!(v, Json::Bool(_)) {
+            errs.push(format!("{} must be a bool", at("early_stopped")));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{
+  "schema": 1,
+  "tool": "wlansim",
+  "experiments": [
+    {
+      "name": "ip3",
+      "paper_ref": "s5.1",
+      "effort": {"packets": 2, "psdu_len": 60},
+      "seed": 7,
+      "threads": 1,
+      "serial": true,
+      "early_stop": false,
+      "wall_s": 0.512,
+      "points": [
+        {"label": "-40", "elapsed_s": 0.25, "bits": 960, "packets": 2, "early_stopped": false},
+        {"label": "0"}
+      ]
+    }
+  ]
+}"#;
+
+    #[test]
+    fn accepts_a_conforming_manifest() {
+        assert_eq!(validate(GOOD), Vec::<String>::new());
+    }
+
+    #[test]
+    fn accepts_an_empty_run() {
+        let text = r#"{"schema": 1, "tool": "wlansim", "experiments": []}"#;
+        assert!(validate(text).is_empty());
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_tool() {
+        let text = r#"{"schema": 99, "tool": "other", "experiments": []}"#;
+        let errs = validate(text);
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(errs[0].contains("unsupported schema"));
+        assert!(errs[1].contains("unexpected tool"));
+    }
+
+    #[test]
+    fn rejects_missing_record_fields() {
+        let text = r#"{
+  "schema": 1,
+  "tool": "wlansim",
+  "experiments": [{"name": "x"}]
+}"#;
+        let errs = validate(text);
+        assert!(errs.iter().any(|e| e.contains("effort")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("wall_s")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("points")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_bad_point_types() {
+        let text = r#"{
+  "schema": 1,
+  "tool": "wlansim",
+  "experiments": [
+    {
+      "name": "x", "paper_ref": "y",
+      "effort": {"packets": 1, "psdu_len": 60},
+      "seed": 0, "threads": 1, "serial": false, "early_stop": true,
+      "wall_s": 0.1,
+      "points": [{"label": "a", "elapsed_s": -1, "bits": 1.5}]
+    }
+  ]
+}"#;
+        let errs = validate(text);
+        assert!(errs.iter().any(|e| e.contains("elapsed_s")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("bits")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_non_json() {
+        let errs = validate("not json");
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("not valid JSON"));
+    }
+}

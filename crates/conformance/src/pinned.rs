@@ -4,13 +4,18 @@
 //! Both the integration test (`tests/tests/golden.rs`) and the
 //! `wlan-conformance` CLI run exactly these configurations, so a CI
 //! drift failure reproduces locally with `cargo test` and re-blesses
-//! with `WLANSIM_BLESS=1`. All runs are serial and fully seeded — on a
-//! given platform the snapshot is bit-reproducible; the tolerance
-//! policy only absorbs cross-platform `libm` rounding.
+//! with `WLANSIM_BLESS=1`. Every pinned run goes through the
+//! [`Experiment`] registry surface (`execute` under a
+//! [`RunContext::serial_reference`]), so the goldens also pin the
+//! trait plumbing: all runs are serial and fully seeded — on a given
+//! platform the snapshot is bit-reproducible; the tolerance policy
+//! only absorbs cross-platform `libm` rounding.
 
 use crate::golden::{Tolerance, TolerancePolicy};
 use wlan_phy::Rate;
-use wlan_sim::experiments::{blocking, evm, ip3, level_sweep, noise_figure, Effort};
+use wlan_sim::experiments::{
+    blocking, evm, execute, ip3, level_sweep, noise_figure, Effort, Experiment, RunContext,
+};
 
 /// One pinned run: a golden name, its measured snapshot, and the
 /// tolerance policy it is judged with.
@@ -21,6 +26,13 @@ pub struct PinnedGolden {
     pub fields: Vec<(String, f64)>,
     /// Acceptance bands.
     pub policy: TolerancePolicy,
+}
+
+/// Runs a pinned experiment instance under the bit-reproducible serial
+/// reference context and returns its snapshot.
+fn pinned_snapshot(exp: &dyn Experiment, seed: u64) -> Vec<(String, f64)> {
+    let mut ctx = RunContext::serial_reference(Effort::quick(), seed);
+    execute(exp, &mut ctx).snapshot
 }
 
 /// Policy for BER-carrying sweeps: sweep parameters and counters are
@@ -56,45 +68,72 @@ fn evm_policy() -> TolerancePolicy {
 
 /// §5.1 IP3 sweep at quick effort.
 pub fn ip3_sweep() -> PinnedGolden {
+    const EXP: ip3::Ip3Sweep = ip3::Ip3Sweep {
+        lo_dbm: -40.0,
+        hi_dbm: 0.0,
+        points: 4,
+    };
     PinnedGolden {
         name: "ip3_sweep",
-        fields: ip3::run(Effort::quick(), -40.0, 0.0, 4, 7).snapshot(),
+        fields: pinned_snapshot(&EXP, 7),
         policy: ber_sweep_policy(),
     }
 }
 
 /// §5.1 input-level sweep at quick effort.
 pub fn level_sweep() -> PinnedGolden {
+    const EXP: level_sweep::LevelSweep = level_sweep::LevelSweep {
+        rate: Rate::R12,
+        lo_dbm: -100.0,
+        hi_dbm: -25.0,
+        points: 6,
+    };
     PinnedGolden {
         name: "level_sweep",
-        fields: level_sweep::run(Effort::quick(), Rate::R12, -100.0, -25.0, 6, 3).snapshot(),
+        fields: pinned_snapshot(&EXP, 3),
         policy: ber_sweep_policy(),
     }
 }
 
 /// §5.1 noise-figure sweep (baseband vs noiseless co-sim).
 pub fn nf_sweep() -> PinnedGolden {
+    const EXP: noise_figure::NfSweep = noise_figure::NfSweep {
+        rx_level_dbm: -82.0,
+        points: 3,
+    };
     PinnedGolden {
         name: "nf_sweep",
-        fields: noise_figure::run(Effort::quick(), -82.0, 3, 9).snapshot(),
+        fields: pinned_snapshot(&EXP, 9),
         policy: ber_sweep_policy(),
     }
 }
 
 /// §2.2 adjacent/alternate blocking sweep.
 pub fn blocking_sweep() -> PinnedGolden {
+    const EXP: blocking::BlockingSweep = blocking::BlockingSweep {
+        rate: Rate::R12,
+        lo_db: 8.0,
+        hi_db: 40.0,
+        points: 5,
+    };
     PinnedGolden {
         name: "blocking_sweep",
-        fields: blocking::run(Effort::quick(), Rate::R12, 8.0, 40.0, 5, 5).snapshot(),
+        fields: pinned_snapshot(&EXP, 5),
         policy: ber_sweep_policy(),
     }
 }
 
-/// §5.2 EVM-vs-SNR measurement on the ideal receiver.
+/// §5.2 EVM-vs-SNR measurement on the ideal receiver. A single-rate
+/// [`evm::EvmSweep`] keeps the legacy un-prefixed snapshot keys.
 pub fn evm_sweep() -> PinnedGolden {
+    const EXP: evm::EvmSweep = evm::EvmSweep {
+        rates: &[Rate::R36],
+        snrs_db: &[15.0, 25.0, 35.0],
+        psdu_len: 100,
+    };
     PinnedGolden {
         name: "evm_sweep",
-        fields: evm::run(Rate::R36, &[15.0, 25.0, 35.0], 100, 1).snapshot(),
+        fields: pinned_snapshot(&EXP, 1),
         policy: evm_policy(),
     }
 }
@@ -136,5 +175,14 @@ mod tests {
                 assert!(v.is_finite(), "{}.{k} = {v}", r.name);
             }
         }
+    }
+
+    #[test]
+    fn registry_path_matches_legacy_run() {
+        // The trait impl must delegate to the exact legacy estimator:
+        // same function, same arguments, same seed.
+        let via_trait = ip3_sweep().fields;
+        let legacy = ip3::run(Effort::quick(), -40.0, 0.0, 4, 7).snapshot();
+        assert_eq!(via_trait, legacy);
     }
 }

@@ -2,7 +2,7 @@
 //! the "executable specification" sanity curves every later experiment
 //! builds on.
 
-use crate::experiments::Effort;
+use crate::experiments::{Effort, Experiment, PointStat, RunContext, RunOutput};
 use crate::link::{FrontEnd, LinkConfig, LinkSimulation};
 use crate::report::{format_ber, Table};
 use wlan_phy::params::ALL_RATES;
@@ -59,6 +59,65 @@ impl BerSnrResult {
             t.push_row(row);
         }
         t
+    }
+}
+
+/// Registry entry: the baseline AWGN BER-vs-SNR grid over all rates.
+#[derive(Debug, Clone, Copy)]
+pub struct BerSnrGrid {
+    /// SNR axis (dB).
+    pub snrs_db: &'static [f64],
+}
+
+impl BerSnrGrid {
+    /// The default grid: 2…26 dB in 3 dB steps.
+    pub const DEFAULT: BerSnrGrid = BerSnrGrid {
+        snrs_db: &[2.0, 5.0, 8.0, 11.0, 14.0, 17.0, 20.0, 23.0, 26.0],
+    };
+}
+
+impl Default for BerSnrGrid {
+    fn default() -> Self {
+        BerSnrGrid::DEFAULT
+    }
+}
+
+impl Experiment for BerSnrGrid {
+    fn name(&self) -> &'static str {
+        "ber_snr"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§5.1 (baseline)"
+    }
+
+    fn describe(&self) -> &'static str {
+        "BER vs SNR over AWGN for all eight 802.11a rates"
+    }
+
+    fn run(&self, ctx: &RunContext) -> RunOutput {
+        let r = run(ctx.effort, self.snrs_db, ctx.seed);
+        let mut snapshot = vec![("n_points".to_string(), r.points.len() as f64)];
+        for p in &r.points {
+            snapshot.push((
+                format!("r{}.snr{:02.0}.ber", p.rate.mbps(), p.snr_db),
+                p.ber,
+            ));
+        }
+        RunOutput {
+            tables: vec![r.table()],
+            snapshot,
+            points: r
+                .points
+                .iter()
+                .map(|p| PointStat {
+                    label: format!("{} snr={:.0}", p.rate, p.snr_db),
+                    elapsed: None,
+                    bits: Some(p.bits),
+                })
+                .collect(),
+            ..RunOutput::default()
+        }
     }
 }
 

@@ -4,7 +4,7 @@
 //! `±fs/(2·16) = ±625 kHz`, so the link must hold to ±208 kHz with
 //! margin and collapse past the estimator range.
 
-use crate::experiments::Effort;
+use crate::experiments::{Effort, Experiment, PointStat, RunContext, RunOutput};
 use crate::report::{bar, format_ber, Table};
 use wlan_channel::awgn::Awgn;
 use wlan_dataflow::sweep::Sweep;
@@ -63,6 +63,80 @@ impl CfoResult {
             .rev()
             .find(|p| p.ber < threshold)
             .map(|p| p.cfo_hz)
+    }
+}
+
+/// Registry entry: the CFO-tolerance sweep for the blind receiver.
+#[derive(Debug, Clone, Copy)]
+pub struct CfoSweep {
+    /// Data rate.
+    pub rate: Rate,
+    /// Largest offset applied (Hz).
+    pub max_hz: f64,
+    /// Point count.
+    pub points: usize,
+}
+
+impl CfoSweep {
+    /// The default sweep: 24 Mbit/s, 0…800 kHz, 9 points.
+    pub const DEFAULT: CfoSweep = CfoSweep {
+        rate: Rate::R24,
+        max_hz: 800e3,
+        points: 9,
+    };
+}
+
+impl Default for CfoSweep {
+    fn default() -> Self {
+        CfoSweep::DEFAULT
+    }
+}
+
+impl Experiment for CfoSweep {
+    fn name(&self) -> &'static str {
+        "cfo"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§4 (receiver sync)"
+    }
+
+    fn describe(&self) -> &'static str {
+        "BER vs carrier frequency offset; spec is +/-208 kHz"
+    }
+
+    fn run(&self, ctx: &RunContext) -> RunOutput {
+        let r = run(ctx.effort, self.rate, self.max_hz, self.points, ctx.seed);
+        let mut snapshot = vec![
+            ("n_points".to_string(), r.points.len() as f64),
+            ("rate_mbps".to_string(), r.rate.mbps() as f64),
+        ];
+        for (i, p) in r.points.iter().enumerate() {
+            snapshot.push((format!("points[{i:02}].cfo_khz"), p.cfo_hz / 1e3));
+            snapshot.push((format!("points[{i:02}].ber"), p.ber));
+            snapshot.push((format!("points[{i:02}].bits"), p.bits as f64));
+        }
+        let mut out = RunOutput {
+            tables: vec![r.table()],
+            snapshot,
+            points: r
+                .points
+                .iter()
+                .map(|p| PointStat {
+                    label: format!("{:.0}kHz", p.cfo_hz / 1e3),
+                    elapsed: None,
+                    bits: Some(p.bits),
+                })
+                .collect(),
+            ..RunOutput::default()
+        };
+        if let Some(tol) = r.tolerance_hz(0.01) {
+            out.notes.push(format!(
+                "tolerated offset at BER<1e-2: {:.0} kHz",
+                tol / 1e3
+            ));
+        }
+        out
     }
 }
 

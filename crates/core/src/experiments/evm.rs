@@ -5,6 +5,7 @@
 //! isolates the channel/impairment, and sweep the SNR; theory predicts
 //! `EVM(dB) ≈ −SNR(dB)`.
 
+use crate::experiments::{Experiment, PointStat, RunContext, RunOutput};
 use crate::report::Table;
 use wlan_dsp::{Complex, Rng};
 use wlan_meas::evm::evm_from_snr_db;
@@ -67,6 +68,75 @@ impl EvmResult {
             ]);
         }
         t
+    }
+}
+
+/// Registry entry: EVM vs SNR at one or more rates (genie-timed
+/// receiver; §5.2). The EVM measurement is deterministic per seed and
+/// cheap, so it ignores the effort's packet budget and uses its own
+/// PSDU length.
+#[derive(Debug, Clone, Copy)]
+pub struct EvmSweep {
+    /// Rates to measure.
+    pub rates: &'static [Rate],
+    /// SNR grid (dB).
+    pub snrs_db: &'static [f64],
+    /// PSDU length in bytes.
+    pub psdu_len: usize,
+}
+
+impl EvmSweep {
+    /// The default sweep: 12 and 54 Mbit/s over 10…35 dB.
+    pub const DEFAULT: EvmSweep = EvmSweep {
+        rates: &[Rate::R12, Rate::R54],
+        snrs_db: &[10.0, 15.0, 20.0, 25.0, 30.0, 35.0],
+        psdu_len: 300,
+    };
+}
+
+impl Default for EvmSweep {
+    fn default() -> Self {
+        EvmSweep::DEFAULT
+    }
+}
+
+impl Experiment for EvmSweep {
+    fn name(&self) -> &'static str {
+        "evm"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§5.2"
+    }
+
+    fn describe(&self) -> &'static str {
+        "EVM vs SNR with the ideal (genie-timed) receiver"
+    }
+
+    fn run(&self, ctx: &RunContext) -> RunOutput {
+        let mut out = RunOutput::default();
+        let multi = self.rates.len() > 1;
+        for &rate in self.rates {
+            let r = run(rate, self.snrs_db, self.psdu_len, ctx.seed);
+            // Single-rate instances keep the legacy plain snapshot keys
+            // (the pinned goldens depend on them); multi-rate runs
+            // prefix each key with the rate so keys stay unique.
+            for (key, v) in r.snapshot() {
+                let key = if multi {
+                    format!("r{}.{key}", rate.mbps())
+                } else {
+                    key
+                };
+                out.snapshot.push((key, v));
+            }
+            out.points.extend(r.points.iter().map(|p| PointStat {
+                label: format!("{} snr={:.0}", rate, p.snr_db),
+                elapsed: None,
+                bits: None,
+            }));
+            out.tables.push(r.table());
+        }
+        out
     }
 }
 

@@ -5,7 +5,7 @@
 //! wanted OFDM band (±8.3 MHz), a too-wide filter lets the +16 dB
 //! adjacent channel through.
 
-use crate::experiments::Effort;
+use crate::experiments::{Effort, Experiment, PointStat, RunContext, RunOutput};
 use crate::link::{AdjacentChannel, FrontEnd, LinkConfig, LinkSimulation};
 use crate::report::{bar, format_ber, Table};
 use wlan_dataflow::sweep::Sweep;
@@ -56,6 +56,63 @@ impl Fig5Result {
             .min_by(|a, b| a.ber.partial_cmp(&b.ber).unwrap())
             .map(|p| p.edge_hz)
             .unwrap_or(0.0)
+    }
+}
+
+/// Registry entry: the Fig. 5 filter-bandwidth bathtub.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Sweep {
+    /// Point count across the 3…16 MHz edge range.
+    pub points: usize,
+}
+
+impl Fig5Sweep {
+    /// The default sweep: 12 points.
+    pub const DEFAULT: Fig5Sweep = Fig5Sweep { points: 12 };
+}
+
+impl Default for Fig5Sweep {
+    fn default() -> Self {
+        Fig5Sweep::DEFAULT
+    }
+}
+
+impl Experiment for Fig5Sweep {
+    fn name(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 5"
+    }
+
+    fn describe(&self) -> &'static str {
+        "BER vs channel-filter bandwidth, adjacent channel present"
+    }
+
+    fn run(&self, ctx: &RunContext) -> RunOutput {
+        let r = run(ctx.effort, self.points, ctx.seed);
+        let mut snapshot = vec![("n_points".to_string(), r.points.len() as f64)];
+        for (i, p) in r.points.iter().enumerate() {
+            snapshot.push((format!("points[{i:02}].edge_mhz"), p.edge_hz / 1e6));
+            snapshot.push((format!("points[{i:02}].ber"), p.ber));
+            snapshot.push((format!("points[{i:02}].bits"), p.bits as f64));
+        }
+        RunOutput {
+            tables: vec![r.table()],
+            snapshot,
+            points: r
+                .points
+                .iter()
+                .map(|p| PointStat {
+                    label: format!("{:.1}MHz", p.edge_hz / 1e6),
+                    elapsed: None,
+                    bits: Some(p.bits),
+                })
+                .collect(),
+            ..RunOutput::default()
+        }
+        .with_note(format!("best edge: {:.2} MHz", r.best_edge_hz() / 1e6))
     }
 }
 

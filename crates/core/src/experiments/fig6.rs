@@ -11,7 +11,7 @@
 //! scales with rate (+16 dB applies to 6 Mbit/s; at 54 Mbit/s it is
 //! −1 dB, so +6 dB is already a stress case the filter must handle).
 
-use crate::experiments::Effort;
+use crate::experiments::{Effort, Experiment, PointStat, RunContext, RunOutput};
 use crate::link::{AdjacentChannel, FrontEnd, LinkConfig, LinkSimulation};
 use crate::report::{bar, format_ber, Table};
 use wlan_dataflow::sweep::Sweep;
@@ -71,6 +71,78 @@ impl Fig6Result {
                 }) < threshold
             })
             .map(|p| p.p1db_dbm)
+    }
+}
+
+/// Registry entry: the Fig. 6 compression-point sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Sweep {
+    /// Sweep start: LNA input P1dB (dBm).
+    pub lo_dbm: f64,
+    /// Sweep end (dBm).
+    pub hi_dbm: f64,
+    /// Point count.
+    pub points: usize,
+}
+
+impl Fig6Sweep {
+    /// The default sweep: −50…−5 dBm, 10 points.
+    pub const DEFAULT: Fig6Sweep = Fig6Sweep {
+        lo_dbm: -50.0,
+        hi_dbm: -5.0,
+        points: 10,
+    };
+}
+
+impl Default for Fig6Sweep {
+    fn default() -> Self {
+        Fig6Sweep::DEFAULT
+    }
+}
+
+impl Experiment for Fig6Sweep {
+    fn name(&self) -> &'static str {
+        "fig6"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 6"
+    }
+
+    fn describe(&self) -> &'static str {
+        "BER vs LNA compression point, with/without adjacent channel"
+    }
+
+    fn run(&self, ctx: &RunContext) -> RunOutput {
+        let r = run(ctx.effort, self.lo_dbm, self.hi_dbm, self.points, ctx.seed);
+        let mut snapshot = vec![("n_points".to_string(), r.points.len() as f64)];
+        for (i, p) in r.points.iter().enumerate() {
+            snapshot.push((format!("points[{i:02}].p1db_dbm"), p.p1db_dbm));
+            snapshot.push((format!("points[{i:02}].ber_alone"), p.ber_alone));
+            snapshot.push((format!("points[{i:02}].ber_adjacent"), p.ber_adjacent));
+            snapshot.push((format!("points[{i:02}].bits"), p.bits as f64));
+        }
+        let mut out = RunOutput {
+            tables: vec![r.table()],
+            snapshot,
+            points: r
+                .points
+                .iter()
+                .map(|p| PointStat {
+                    label: format!("{:.0}", p.p1db_dbm),
+                    elapsed: None,
+                    bits: Some(p.bits),
+                })
+                .collect(),
+            ..RunOutput::default()
+        };
+        if let (Some(a), Some(b)) = (r.knee_dbm(false, 0.01), r.knee_dbm(true, 0.01)) {
+            out.notes.push(format!(
+                "knee without adjacent: {a:.0} dBm | with adjacent: {b:.0} dBm (shift {:.0} dB)",
+                b - a
+            ));
+        }
+        out
     }
 }
 

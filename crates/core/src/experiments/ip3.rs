@@ -5,7 +5,7 @@
 //! With the adjacent channel present, a low IIP3 lets the interferer's
 //! intermodulation products land in-band.
 
-use crate::experiments::{Effort, Engine};
+use crate::experiments::{Effort, Engine, Experiment, PointStat, RunContext, RunOutput};
 use crate::link::{AdjacentChannel, FrontEnd, LinkConfig, LinkSimulation};
 use crate::report::{bar, format_ber, Table};
 use wlan_dataflow::sweep::Sweep;
@@ -61,6 +61,77 @@ impl Ip3Result {
             ]);
         }
         t
+    }
+}
+
+/// Registry entry: the §5.1 IIP3 sweep, parameterized so pinned runs
+/// can shrink the point count.
+#[derive(Debug, Clone, Copy)]
+pub struct Ip3Sweep {
+    /// Sweep start (dBm).
+    pub lo_dbm: f64,
+    /// Sweep end (dBm).
+    pub hi_dbm: f64,
+    /// Point count.
+    pub points: usize,
+}
+
+impl Ip3Sweep {
+    /// The paper-default sweep (−40…0 dBm, 9 points).
+    pub const DEFAULT: Ip3Sweep = Ip3Sweep {
+        lo_dbm: -40.0,
+        hi_dbm: 0.0,
+        points: 9,
+    };
+}
+
+impl Default for Ip3Sweep {
+    fn default() -> Self {
+        Ip3Sweep::DEFAULT
+    }
+}
+
+impl Experiment for Ip3Sweep {
+    fn name(&self) -> &'static str {
+        "ip3"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§5.1"
+    }
+
+    fn describe(&self) -> &'static str {
+        "BER vs LNA IIP3, adjacent channel present"
+    }
+
+    fn run(&self, ctx: &RunContext) -> RunOutput {
+        let r = if ctx.serial {
+            run(ctx.effort, self.lo_dbm, self.hi_dbm, self.points, ctx.seed)
+        } else {
+            run_parallel(
+                ctx.effort,
+                self.lo_dbm,
+                self.hi_dbm,
+                self.points,
+                ctx.seed,
+                &ctx.engine,
+            )
+        };
+        RunOutput {
+            tables: vec![r.table()],
+            snapshot: r.snapshot(),
+            points: r
+                .points
+                .iter()
+                .zip(&r.point_elapsed)
+                .map(|(p, e)| PointStat {
+                    label: format!("{:.0}", p.iip3_dbm),
+                    elapsed: Some(*e),
+                    bits: Some(p.bits),
+                })
+                .collect(),
+            ..RunOutput::default()
+        }
     }
 }
 

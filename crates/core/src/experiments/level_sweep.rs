@@ -2,7 +2,7 @@
 //! receiver's specified input range (−88 … −23 dBm, §2.2), verifying
 //! sensitivity at the bottom and overload behavior at the top.
 
-use crate::experiments::{Effort, Engine};
+use crate::experiments::{Effort, Engine, Experiment, PointStat, RunContext, RunOutput};
 use crate::link::{FrontEnd, LinkConfig, LinkSimulation};
 use crate::report::{bar, format_ber, Table};
 use wlan_dataflow::sweep::Sweep;
@@ -73,6 +73,92 @@ impl LevelSweepResult {
             .iter()
             .find(|p| p.ber < threshold)
             .map(|p| p.rx_level_dbm)
+    }
+}
+
+/// Registry entry: the §5.1 input-level sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct LevelSweep {
+    /// Data rate.
+    pub rate: Rate,
+    /// Sweep start (dBm).
+    pub lo_dbm: f64,
+    /// Sweep end (dBm).
+    pub hi_dbm: f64,
+    /// Point count.
+    pub points: usize,
+}
+
+impl LevelSweep {
+    /// The default sweep: 24 Mbit/s across −98…−23 dBm, 12 points.
+    pub const DEFAULT: LevelSweep = LevelSweep {
+        rate: Rate::R24,
+        lo_dbm: -98.0,
+        hi_dbm: -23.0,
+        points: 12,
+    };
+}
+
+impl Default for LevelSweep {
+    fn default() -> Self {
+        LevelSweep::DEFAULT
+    }
+}
+
+impl Experiment for LevelSweep {
+    fn name(&self) -> &'static str {
+        "level_sweep"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§5.1"
+    }
+
+    fn describe(&self) -> &'static str {
+        "BER across the specified -88..-23 dBm input range"
+    }
+
+    fn run(&self, ctx: &RunContext) -> RunOutput {
+        let r = if ctx.serial {
+            run(
+                ctx.effort,
+                self.rate,
+                self.lo_dbm,
+                self.hi_dbm,
+                self.points,
+                ctx.seed,
+            )
+        } else {
+            run_parallel(
+                ctx.effort,
+                self.rate,
+                self.lo_dbm,
+                self.hi_dbm,
+                self.points,
+                ctx.seed,
+                &ctx.engine,
+            )
+        };
+        let mut out = RunOutput {
+            tables: vec![r.table()],
+            snapshot: r.snapshot(),
+            points: r
+                .points
+                .iter()
+                .zip(&r.point_elapsed)
+                .map(|(p, e)| PointStat {
+                    label: format!("{:.0}", p.rx_level_dbm),
+                    elapsed: Some(*e),
+                    bits: Some(p.bits),
+                })
+                .collect(),
+            ..RunOutput::default()
+        };
+        if let Some(s) = r.sensitivity_dbm(1e-3) {
+            out.notes
+                .push(format!("measured sensitivity at {}: {s:.0} dBm", r.rate));
+        }
+        out
     }
 }
 

@@ -2,8 +2,11 @@
 //!
 //! Every table and figure of the DATE 2003 paper maps to one module
 //! here; each `run` function returns a structured result that formats
-//! itself as a [`crate::Table`] (and CSV). The `wlan-bench` crate has
-//! one binary per experiment.
+//! itself as a [`crate::Table`] (and CSV). On top of those free
+//! functions, every module implements the [`Experiment`] trait and is
+//! listed in the static [`registry`], so the whole suite is drivable
+//! through one surface: the `wlansim` CLI in the `wlan-bench` crate
+//! (`wlansim list` / `wlansim run <name>` / `wlansim all`).
 //!
 //! | Module | Paper item |
 //! |---|---|
@@ -25,6 +28,8 @@
 //! | [`ber_snr`] | §5.1 — BER-vs-SNR baseline for all eight rates |
 
 use crate::link::{LinkConfig, LinkReport, LinkSimulation, McRun};
+use crate::report::Table;
+use std::time::{Duration, Instant};
 use wlan_exec::ThreadPool;
 use wlan_meas::montecarlo::EarlyStop;
 
@@ -160,5 +165,336 @@ impl Engine {
 impl Default for Engine {
     fn default() -> Self {
         Engine::from_env()
+    }
+}
+
+/// Everything a scenario needs to run, rolled into one context: the
+/// Monte-Carlo effort, the master seed, the parallel [`Engine`], the
+/// serial-vs-sharded estimator choice, and the [`TelemetrySink`] the
+/// run manifest is assembled from.
+///
+/// `serial: true` selects the legacy per-experiment serial estimator
+/// (`LinkSimulation::run`) — the path the pinned goldens and the
+/// pre-refactor `run()` functions use — while `serial: false` fans the
+/// sweep points out across the engine's pool with the sharded,
+/// thread-invariant schedule.
+#[derive(Debug, Default)]
+pub struct RunContext {
+    /// Packets / PSDU length per sweep point.
+    pub effort: Effort,
+    /// Master seed; every experiment derives its streams from it.
+    pub seed: u64,
+    /// Parallel execution engine (pool + Monte-Carlo schedule).
+    pub engine: Engine,
+    /// Use the legacy serial estimator instead of the sharded schedule.
+    pub serial: bool,
+    /// Accumulates one [`ExperimentTelemetry`] record per executed
+    /// experiment (see [`execute`]).
+    pub telemetry: TelemetrySink,
+}
+
+impl RunContext {
+    /// The bit-reproducible reference context: quick or given effort,
+    /// serial estimator, single-worker engine, no early stopping. This
+    /// is what the pinned goldens run under.
+    pub fn serial_reference(effort: Effort, seed: u64) -> Self {
+        RunContext {
+            effort,
+            seed,
+            engine: Engine::serial(),
+            serial: true,
+            telemetry: TelemetrySink::default(),
+        }
+    }
+
+    /// Context from the environment: `WLANSIM_PACKETS` / `WLANSIM_PSDU`
+    /// effort, `WLANSIM_THREADS` workers, adaptive early stopping
+    /// unless `WLANSIM_EARLY_STOP=0`, seed 42.
+    pub fn from_env() -> Self {
+        RunContext {
+            effort: Effort::from_env(),
+            seed: 42,
+            engine: Engine::from_env(),
+            serial: false,
+            telemetry: TelemetrySink::default(),
+        }
+    }
+
+    /// Replaces the seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether the engine's Monte-Carlo schedule has early stopping on.
+    pub fn early_stop_enabled(&self) -> bool {
+        self.engine.mc.early_stop.is_some()
+    }
+}
+
+/// Per-sweep-point statistics an experiment reports back through
+/// [`RunOutput::points`]; everything is optional because not every
+/// experiment is a timed Monte-Carlo sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PointStat {
+    /// Display label of the sweep parameter (e.g. `"-40"` dBm).
+    pub label: String,
+    /// Wall-clock time of the point, when measured.
+    pub elapsed: Option<Duration>,
+    /// Bits counted at the point, when the experiment meters BER.
+    pub bits: Option<u64>,
+}
+
+impl PointStat {
+    /// A label-only point (no timing, no counters).
+    pub fn labeled(label: impl Into<String>) -> Self {
+        PointStat {
+            label: label.into(),
+            ..PointStat::default()
+        }
+    }
+}
+
+/// The unified result surface every experiment renders into: one or
+/// more tables (CSV-able), the flattened snapshot the golden-file
+/// harness compares, per-point statistics for the run manifest, free
+/// artifacts (DOT text, ASCII plots) and human notes.
+#[derive(Debug, Clone, Default)]
+pub struct RunOutput {
+    /// Rendered tables, in display order (most experiments have one).
+    pub tables: Vec<Table>,
+    /// Flattened `(field, value)` pairs for golden comparisons. Keys
+    /// must be unique within one experiment.
+    pub snapshot: Vec<(String, f64)>,
+    /// Per-point statistics, parallel to the primary sweep.
+    pub points: Vec<PointStat>,
+    /// Named free-form artifacts, e.g. `("fig3.dot", …)`.
+    pub artifacts: Vec<(String, String)>,
+    /// Human-readable summary lines (the old binaries' trailing
+    /// `println!`s).
+    pub notes: Vec<String>,
+}
+
+impl RunOutput {
+    /// Output consisting of a single table.
+    pub fn from_table(table: Table) -> Self {
+        RunOutput {
+            tables: vec![table],
+            ..RunOutput::default()
+        }
+    }
+
+    /// The primary table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the experiment produced no table (none do).
+    pub fn table(&self) -> &Table {
+        self.tables.first().expect("experiment produced a table")
+    }
+
+    /// Appends a note line (builder style).
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+/// A paper scenario runnable through the registry: every module in the
+/// paper-mapping table above implements this, so adding a scenario is
+/// one trait impl (plus a registry line) instead of a module + binary +
+/// snapshot + CLI quadruple.
+pub trait Experiment: Sync {
+    /// Registry name (the `wlansim run <name>` argument); by
+    /// convention the module name.
+    fn name(&self) -> &'static str;
+    /// The paper item this reproduces (e.g. `"Fig. 6"`, `"§5.1"`).
+    fn paper_ref(&self) -> &'static str;
+    /// One-line description for `wlansim list`.
+    fn describe(&self) -> &'static str;
+    /// Runs the scenario under the given context.
+    fn run(&self, ctx: &RunContext) -> RunOutput;
+}
+
+/// Telemetry of one executed experiment, recorded by [`execute`].
+#[derive(Debug, Clone)]
+pub struct ExperimentTelemetry {
+    /// Registry name.
+    pub name: &'static str,
+    /// Paper item.
+    pub paper_ref: &'static str,
+    /// Effort the run used.
+    pub effort: Effort,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads of the engine.
+    pub threads: usize,
+    /// Whether the legacy serial estimator ran.
+    pub serial: bool,
+    /// Whether adaptive early stopping was enabled.
+    pub early_stop: bool,
+    /// Wall-clock time of the whole experiment.
+    pub wall: Duration,
+    /// Per-point records.
+    pub points: Vec<PointTelemetry>,
+}
+
+/// One sweep point in the run manifest.
+#[derive(Debug, Clone)]
+pub struct PointTelemetry {
+    /// Sweep-parameter label.
+    pub label: String,
+    /// Wall-clock seconds, when the experiment timed its points.
+    pub elapsed_s: Option<f64>,
+    /// Bits counted, when the experiment meters BER.
+    pub bits: Option<u64>,
+    /// Packets simulated, derived from the bit count and PSDU length.
+    pub packets: Option<u64>,
+    /// Whether the point stopped before its configured frame budget
+    /// (only meaningful when early stopping was enabled).
+    pub early_stopped: Option<bool>,
+}
+
+/// Collects [`ExperimentTelemetry`] records across [`execute`] calls;
+/// `wlansim` turns the sink into the JSON run manifest
+/// (see [`crate::manifest`]).
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySink {
+    /// Records in execution order.
+    pub records: Vec<ExperimentTelemetry>,
+}
+
+/// Runs `exp` under `ctx`, recording wall time and per-point telemetry
+/// into `ctx.telemetry`. This is the only entry point `wlansim` (and
+/// the pinned-golden harness) uses, so every run leaves a manifest
+/// trail.
+pub fn execute(exp: &dyn Experiment, ctx: &mut RunContext) -> RunOutput {
+    let started = Instant::now();
+    let out = exp.run(ctx);
+    let wall = started.elapsed();
+    let psdu_bits = 8 * ctx.effort.psdu_len as u64;
+    let budget = ctx.effort.packets as u64;
+    let early_stop = ctx.early_stop_enabled();
+    let points = out
+        .points
+        .iter()
+        .map(|p| {
+            let packets = p.bits.map(|b| b / psdu_bits.max(1));
+            PointTelemetry {
+                label: p.label.clone(),
+                elapsed_s: p.elapsed.map(|e| e.as_secs_f64()),
+                bits: p.bits,
+                packets,
+                early_stopped: if early_stop {
+                    packets.map(|n| n < budget)
+                } else {
+                    None
+                },
+            }
+        })
+        .collect();
+    ctx.telemetry.records.push(ExperimentTelemetry {
+        name: exp.name(),
+        paper_ref: exp.paper_ref(),
+        effort: ctx.effort,
+        seed: ctx.seed,
+        threads: ctx.engine.pool.threads(),
+        serial: ctx.serial,
+        early_stop,
+        wall,
+        points,
+    });
+    out
+}
+
+/// The static experiment registry, in the order of the paper-mapping
+/// table at the top of this module (plus the §4 design flow).
+pub fn registry() -> &'static [&'static dyn Experiment] {
+    static REGISTRY: &[&dyn Experiment] = &[
+        &table1::Table1,
+        &fading::FadingSweep::DEFAULT,
+        &fig3::Fig3Schematic,
+        &fig4::Fig4Spectrum,
+        &fig5::Fig5Sweep::DEFAULT,
+        &fig6::Fig6Sweep::DEFAULT,
+        &table2::Table2Timing::DEFAULT,
+        &ip3::Ip3Sweep::DEFAULT,
+        &noise_figure::NfSweep::DEFAULT,
+        &evm::EvmSweep::DEFAULT,
+        &rf_char::RfChar,
+        &level_sweep::LevelSweep::DEFAULT,
+        &blocking::BlockingSweep::DEFAULT,
+        &cfo::CfoSweep::DEFAULT,
+        &constellation::ConstellationCapture,
+        &ber_snr::BerSnrGrid::DEFAULT,
+        &crate::flow::DesignFlowRun::DEFAULT,
+    ];
+    REGISTRY
+}
+
+/// Looks an experiment up by registry name.
+pub fn find(name: &str) -> Option<&'static dyn Experiment> {
+    registry().iter().copied().find(|e| e.name() == name)
+}
+
+/// The `wlansim list` table: every registered experiment with its
+/// paper reference and description.
+pub fn registry_table() -> Table {
+    let mut t = Table::new(
+        "Registered experiments (wlansim run <name>)",
+        &["name", "paper", "description"],
+    );
+    for e in registry() {
+        t.push_row(vec![
+            e.name().to_string(),
+            e.paper_ref().to_string(),
+            e.describe().to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_unique_and_findable() {
+        let mut names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
+        assert!(!names.is_empty());
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), registry().len(), "duplicate registry name");
+        for e in registry() {
+            assert!(find(e.name()).is_some());
+            assert!(!e.describe().is_empty());
+            assert!(!e.paper_ref().is_empty());
+        }
+        assert!(find("no_such_experiment").is_none());
+    }
+
+    #[test]
+    fn registry_table_lists_every_experiment() {
+        let t = registry_table();
+        assert_eq!(t.len(), registry().len());
+        let text = t.render();
+        for e in registry() {
+            assert!(text.contains(e.name()), "{} missing from list", e.name());
+        }
+    }
+
+    #[test]
+    fn execute_records_telemetry() {
+        let mut ctx = RunContext::serial_reference(Effort::quick(), 3);
+        let out = execute(find("table1").unwrap(), &mut ctx);
+        assert_eq!(out.tables.len(), 1);
+        assert_eq!(ctx.telemetry.records.len(), 1);
+        let rec = &ctx.telemetry.records[0];
+        assert_eq!(rec.name, "table1");
+        assert_eq!(rec.threads, 1);
+        assert!(rec.serial);
+        assert!(!rec.early_stop);
     }
 }

@@ -10,7 +10,7 @@
 //! (SPW-style) simulation, and run the same configuration through the
 //! noiseless co-simulation to reproduce the optimistic-BER artifact.
 
-use crate::experiments::{Effort, Engine};
+use crate::experiments::{Effort, Engine, Experiment, PointStat, RunContext, RunOutput};
 use crate::link::{FrontEnd, LinkConfig, LinkSimulation};
 use crate::report::{bar, format_ber, Table};
 use wlan_dataflow::sweep::Sweep;
@@ -76,6 +76,73 @@ impl NfResult {
             ]);
         }
         t
+    }
+}
+
+/// Registry entry: the §5.1 noise-figure sweep with the co-sim gap.
+#[derive(Debug, Clone, Copy)]
+pub struct NfSweep {
+    /// Receive level (dBm), near sensitivity.
+    pub rx_level_dbm: f64,
+    /// Point count.
+    pub points: usize,
+}
+
+impl NfSweep {
+    /// The default sweep: −82 dBm, 7 NF points.
+    pub const DEFAULT: NfSweep = NfSweep {
+        rx_level_dbm: -82.0,
+        points: 7,
+    };
+}
+
+impl Default for NfSweep {
+    fn default() -> Self {
+        NfSweep::DEFAULT
+    }
+}
+
+impl Experiment for NfSweep {
+    fn name(&self) -> &'static str {
+        "noise_figure"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§5.1"
+    }
+
+    fn describe(&self) -> &'static str {
+        "BER vs LNA noise figure and the co-sim noise gap"
+    }
+
+    fn run(&self, ctx: &RunContext) -> RunOutput {
+        let r = if ctx.serial {
+            run(ctx.effort, self.rx_level_dbm, self.points, ctx.seed)
+        } else {
+            run_parallel(
+                ctx.effort,
+                self.rx_level_dbm,
+                self.points,
+                ctx.seed,
+                &ctx.engine,
+            )
+        };
+        RunOutput {
+            tables: vec![r.table()],
+            snapshot: r.snapshot(),
+            points: r
+                .points
+                .iter()
+                .zip(&r.point_elapsed)
+                .map(|(p, e)| PointStat {
+                    label: format!("{:.0}", p.nf_db),
+                    elapsed: Some(*e),
+                    bits: Some(p.bits),
+                })
+                .collect(),
+            ..RunOutput::default()
+        }
+        .with_note("the co-sim column stays optimistic: no noise functions (paper §5.1)")
     }
 }
 

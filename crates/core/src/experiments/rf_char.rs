@@ -4,6 +4,7 @@
 //! using RF simulation techniques. … Calibration of the behavioral
 //! models.").
 
+use crate::experiments::{Experiment, PointStat, RunContext, RunOutput};
 use crate::report::Table;
 use wlan_dsp::{Complex, Rng};
 use wlan_meas::compression::measure_p1db;
@@ -62,6 +63,45 @@ impl RfCharResult {
     /// Largest spec error across all rows.
     pub fn worst_error(&self) -> f64 {
         self.rows.iter().map(CharRow::error).fold(0.0, f64::max)
+    }
+}
+
+/// Registry entry: the §4.2 spec-vs-measured characterization.
+#[derive(Debug, Clone, Copy)]
+pub struct RfChar;
+
+impl Experiment for RfChar {
+    fn name(&self) -> &'static str {
+        "rf_char"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§4.2"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Characterize the behavioral RF blocks against their specs"
+    }
+
+    fn run(&self, ctx: &RunContext) -> RunOutput {
+        let r = run(ctx.seed);
+        let mut snapshot = Vec::new();
+        for row in &r.rows {
+            let key = row.quantity.replace(' ', "_");
+            snapshot.push((format!("{key}.spec"), row.spec));
+            snapshot.push((format!("{key}.measured"), row.measured));
+        }
+        snapshot.push(("worst_error".to_string(), r.worst_error()));
+        RunOutput {
+            tables: vec![r.table()],
+            snapshot,
+            points: r
+                .rows
+                .iter()
+                .map(|row| PointStat::labeled(row.quantity.clone()))
+                .collect(),
+            ..RunOutput::default()
+        }
     }
 }
 

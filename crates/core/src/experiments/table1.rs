@@ -1,7 +1,30 @@
 //! Table 1 — IEEE WLAN standards.
 
+use crate::experiments::{Experiment, RunContext, RunOutput};
 use crate::report::Table;
 use wlan_phy::params::WLAN_STANDARDS;
+
+/// Registry entry: the static standards table.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1;
+
+impl Experiment for Table1 {
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Table 1"
+    }
+
+    fn describe(&self) -> &'static str {
+        "IEEE WLAN standards (static data)"
+    }
+
+    fn run(&self, _ctx: &RunContext) -> RunOutput {
+        RunOutput::from_table(run())
+    }
+}
 
 /// Renders the standards table (static data from `wlan_phy::params`).
 pub fn run() -> Table {

@@ -7,6 +7,7 @@
 //! every filter state at `analog_osr` sub-steps per RF sample), so the
 //! ratio is far above 1 on any machine.
 
+use crate::experiments::{Experiment, PointStat, RunContext, RunOutput};
 use crate::link::{FrontEnd, LinkConfig, LinkSimulation};
 use crate::report::Table;
 use std::time::Duration;
@@ -59,6 +60,78 @@ impl Table2Result {
             ]);
         }
         t
+    }
+}
+
+/// Registry entry: the Table 2 timing comparison. Wall-clock numbers
+/// are host-dependent, so the snapshot only records the structural
+/// quantities (packet counts and osr), not the timings.
+#[derive(Debug, Clone, Copy)]
+pub struct Table2Timing {
+    /// Packet counts to time.
+    pub packet_counts: &'static [usize],
+    /// PSDU length (bytes).
+    pub psdu_len: usize,
+    /// Analog sub-steps per RF sample (`WLANSIM_ANALOG_OSR` overrides).
+    pub analog_osr: usize,
+}
+
+impl Table2Timing {
+    /// The default comparison: 1/5/10 packets, 100-byte PSDUs, osr 64.
+    pub const DEFAULT: Table2Timing = Table2Timing {
+        packet_counts: &[1, 5, 10],
+        psdu_len: 100,
+        analog_osr: 64,
+    };
+}
+
+impl Default for Table2Timing {
+    fn default() -> Self {
+        Table2Timing::DEFAULT
+    }
+}
+
+impl Experiment for Table2Timing {
+    fn name(&self) -> &'static str {
+        "table2"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Table 2"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Simulation time: system-level vs mixed-signal co-simulation"
+    }
+
+    fn run(&self, ctx: &RunContext) -> RunOutput {
+        let osr = std::env::var("WLANSIM_ANALOG_OSR")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.analog_osr);
+        let r = run(self.packet_counts, self.psdu_len, osr, ctx.seed);
+        let mut snapshot = vec![
+            ("n_rows".to_string(), r.rows.len() as f64),
+            ("analog_osr".to_string(), r.analog_osr as f64),
+        ];
+        for (i, row) in r.rows.iter().enumerate() {
+            snapshot.push((format!("rows[{i:02}].packets"), row.packets as f64));
+        }
+        RunOutput {
+            tables: vec![r.table()],
+            snapshot,
+            points: r
+                .rows
+                .iter()
+                .map(|row| PointStat {
+                    label: format!("{}pkt", row.packets),
+                    elapsed: Some(row.baseband + row.cosim),
+                    bits: None,
+                })
+                .collect(),
+            ..RunOutput::default()
+        }
+        .with_note("paper reports 30-40x; the exact ratio is host-dependent")
     }
 }
 

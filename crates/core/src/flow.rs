@@ -10,7 +10,7 @@
 //! configuration and reports pass/fail per step — the regression harness
 //! an RF system designer would run after every change to the front end.
 
-use crate::experiments::rf_char;
+use crate::experiments::{rf_char, Experiment, PointStat, RunContext, RunOutput};
 use crate::link::{AdjacentChannel, FrontEnd, LinkConfig, LinkSimulation};
 use crate::report::Table;
 use std::time::Duration;
@@ -192,6 +192,70 @@ impl DesignFlow {
         });
 
         FlowReport { steps }
+    }
+}
+
+/// Registry entry: run the §4 design flow against a default RF
+/// configuration and report pass/fail per step.
+#[derive(Debug, Clone, Copy)]
+pub struct DesignFlowRun;
+
+impl DesignFlowRun {
+    /// The default registry instance.
+    pub const DEFAULT: DesignFlowRun = DesignFlowRun;
+}
+
+impl Experiment for DesignFlowRun {
+    fn name(&self) -> &'static str {
+        "design_flow"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§4"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Execute the paper's five-step RF verification flow end-to-end"
+    }
+
+    fn run(&self, ctx: &RunContext) -> RunOutput {
+        let flow = DesignFlow::new(
+            RfConfig::default(),
+            FlowCriteria {
+                packets: ctx.effort.packets,
+                ..FlowCriteria::default()
+            },
+            ctx.seed,
+        );
+        let report = flow.run();
+        let mut snapshot = vec![(
+            "passed".to_string(),
+            if report.passed() { 1.0 } else { 0.0 },
+        )];
+        for (i, s) in report.steps.iter().enumerate() {
+            snapshot.push((
+                format!("steps[{i}].passed"),
+                if s.passed { 1.0 } else { 0.0 },
+            ));
+        }
+        RunOutput {
+            tables: vec![report.table()],
+            snapshot,
+            points: report
+                .steps
+                .iter()
+                .map(|s| PointStat {
+                    label: s.name.to_string(),
+                    elapsed: Some(s.elapsed),
+                    bits: None,
+                })
+                .collect(),
+            ..RunOutput::default()
+        }
+        .with_note(format!(
+            "overall: {}",
+            if report.passed() { "PASS" } else { "FAIL" }
+        ))
     }
 }
 

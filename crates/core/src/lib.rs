@@ -39,6 +39,7 @@ pub mod experiments;
 pub mod flow;
 pub mod link;
 pub mod lintable;
+pub mod manifest;
 pub mod report;
 
 pub use flow::{DesignFlow, FlowCriteria, FlowReport};

@@ -503,7 +503,7 @@ impl LinkSimulation {
                 self.add_frontend_noise(&mut x, cfg, noise);
                 match (bb, cosim) {
                     (Some(fe), _) => fe.process_into(&x, rf, rf_out),
-                    (_, Some(fe)) => *rf_out = fe.process(&x),
+                    (_, Some(fe)) => fe.process_into(&x, rf_out),
                     _ => unreachable!(),
                 }
                 rf_out
