@@ -216,10 +216,10 @@ mod tests {
             noise_enabled: false,
             ..RfConfig::default()
         };
-        cfg.mixer2.iq_gain_imbalance_db = 0.0;
+        cfg.mixer2.iq_gain_imbalance_db = wlan_units::Db(0.0);
         cfg.mixer2.iq_phase_imbalance_deg = 0.0;
-        cfg.mixer1.lo_linewidth_hz = 0.0;
-        cfg.mixer2.lo_linewidth_hz = 0.0;
+        cfg.mixer1.lo_linewidth_hz = wlan_units::Hz(0.0);
+        cfg.mixer2.lo_linewidth_hz = wlan_units::Hz(0.0);
         let mut bb = DoubleConversionReceiver::new(cfg, 1);
         let yb = bb.process(&x);
 

@@ -8,9 +8,9 @@
 
 use crate::solver::StateSpaceFilter;
 use wlan_dsp::design::{AnalogFilter, FilterKind};
-use wlan_dsp::math::{db_to_amp, dbm_to_watts};
 use wlan_dsp::Complex;
 use wlan_rf::nonlinearity::Nonlinearity;
+use wlan_units::{Db, Dbm, Hz};
 
 /// A continuous-time behavioral device.
 pub trait AnalogDevice {
@@ -34,11 +34,11 @@ pub struct AnalogAmplifier {
 }
 
 impl AnalogAmplifier {
-    /// Creates an amplifier with `gain_db` and a nonlinearity.
-    pub fn new(name: impl Into<String>, gain_db: f64, nonlinearity: Nonlinearity) -> Self {
+    /// Creates an amplifier with gain `gain_db` and a nonlinearity.
+    pub fn new(name: impl Into<String>, gain_db: Db, nonlinearity: Nonlinearity) -> Self {
         AnalogAmplifier {
             name: name.into(),
-            a1: db_to_amp(gain_db),
+            a1: gain_db.to_amplitude_ratio(),
             nonlinearity,
         }
     }
@@ -63,14 +63,14 @@ pub struct AnalogMixer {
 }
 
 impl AnalogMixer {
-    /// Creates a mixer with `gain_db` and optional output DC offset in
-    /// dBm.
-    pub fn new(name: impl Into<String>, gain_db: f64, dc_offset_dbm: Option<f64>) -> Self {
+    /// Creates a mixer with gain `gain_db` and optional output DC
+    /// offset.
+    pub fn new(name: impl Into<String>, gain_db: Db, dc_offset_dbm: Option<Dbm>) -> Self {
         AnalogMixer {
             name: name.into(),
-            a1: db_to_amp(gain_db),
+            a1: gain_db.to_amplitude_ratio(),
             dc: dc_offset_dbm
-                .map(|dbm| Complex::from_re((2.0 * dbm_to_watts(dbm)).sqrt()))
+                .map(|dbm| Complex::from_re(dbm.to_amplitude().0))
                 .unwrap_or(Complex::ZERO),
         }
     }
@@ -98,10 +98,10 @@ impl AnalogFilterDevice {
     pub fn chebyshev_lowpass(
         name: impl Into<String>,
         order: usize,
-        ripple_db: f64,
-        edge_hz: f64,
+        ripple_db: Db,
+        edge_hz: Hz,
     ) -> Self {
-        let af = AnalogFilter::chebyshev1(order, ripple_db, FilterKind::Lowpass, edge_hz);
+        let af = AnalogFilter::chebyshev1(order, ripple_db.0, FilterKind::Lowpass, edge_hz.0);
         AnalogFilterDevice {
             name: name.into(),
             filter: StateSpaceFilter::from_analog(&af),
@@ -109,8 +109,8 @@ impl AnalogFilterDevice {
     }
 
     /// Butterworth highpass (the inter-stage DC block).
-    pub fn butterworth_highpass(name: impl Into<String>, order: usize, cutoff_hz: f64) -> Self {
-        let af = AnalogFilter::butterworth(order, FilterKind::Highpass, cutoff_hz);
+    pub fn butterworth_highpass(name: impl Into<String>, order: usize, cutoff_hz: Hz) -> Self {
+        let af = AnalogFilter::butterworth(order, FilterKind::Highpass, cutoff_hz.0);
         AnalogFilterDevice {
             name: name.into(),
             filter: StateSpaceFilter::from_analog(&af),
@@ -141,7 +141,7 @@ mod tests {
 
     #[test]
     fn amplifier_gain() {
-        let mut a = AnalogAmplifier::new("a", 20.0, Nonlinearity::Linear);
+        let mut a = AnalogAmplifier::new("a", Db(20.0), Nonlinearity::Linear);
         let y = a.step(Complex::ONE, 1e-9);
         assert!((y.re - 10.0).abs() < 1e-12);
         assert_eq!(a.name(), "a");
@@ -149,7 +149,7 @@ mod tests {
 
     #[test]
     fn amplifier_compresses() {
-        let mut a = AnalogAmplifier::new("a", 0.0, Nonlinearity::rapp(-10.0));
+        let mut a = AnalogAmplifier::new("a", Db(0.0), Nonlinearity::rapp(Dbm(-10.0)));
         let small = a.step(Complex::from_re(1e-4), 1e-9).abs() / 1e-4;
         let large = a.step(Complex::from_re(1.0), 1e-9).abs() / 1.0;
         assert!(large < small * 0.5);
@@ -157,15 +157,15 @@ mod tests {
 
     #[test]
     fn mixer_dc_offset() {
-        let mut m = AnalogMixer::new("m", 6.0, Some(-30.0));
+        let mut m = AnalogMixer::new("m", Db(6.0), Some(Dbm(-30.0)));
         let y = m.step(Complex::ZERO, 1e-9);
-        let expect = (2.0 * dbm_to_watts(-30.0)).sqrt();
+        let expect = Dbm(-30.0).to_amplitude().0;
         assert!((y.re - expect).abs() < 1e-12);
     }
 
     #[test]
     fn filter_device_smooths() {
-        let mut f = AnalogFilterDevice::chebyshev_lowpass("lpf", 5, 0.5, 10e6);
+        let mut f = AnalogFilterDevice::chebyshev_lowpass("lpf", 5, Db(0.5), Hz(10e6));
         assert_eq!(f.state_count(), 5);
         let dt = 1.0 / 320e6;
         let mut y = Complex::ZERO;
@@ -179,7 +179,7 @@ mod tests {
 
     #[test]
     fn highpass_device_blocks_dc() {
-        let mut f = AnalogFilterDevice::butterworth_highpass("hpf", 2, 150e3);
+        let mut f = AnalogFilterDevice::butterworth_highpass("hpf", 2, Hz(150e3));
         let dt = 1.0 / 320e6;
         let mut y = Complex::ONE;
         for _ in 0..2_000_000 {

@@ -3,6 +3,7 @@
 use crate::devices::{AnalogAgc, AnalogAmplifier, AnalogDevice, AnalogFilterDevice, AnalogMixer};
 use crate::netlist::{Netlist, NetlistError};
 use wlan_rf::nonlinearity::Nonlinearity;
+use wlan_units::{Db, Dbm, Hz};
 
 /// The default double-conversion receiver netlist (paper Fig. 2),
 /// parameterizable in tests/experiments by generating variants of this
@@ -43,23 +44,25 @@ pub fn elaborate(
     for inst in chain {
         let dev: Box<dyn AnalogDevice> = match inst.model.as_str() {
             "lna" | "amp" => {
-                let gain = inst.param("gain")?;
+                // Netlist text is the plain-number wire format; wrap the
+                // parameters into dimension-safe types right here.
+                let gain = Db(inst.param("gain")?);
                 let nl = if let Some(&p1) = inst.params.get("p1db") {
-                    Nonlinearity::rapp(p1)
+                    Nonlinearity::rapp(Dbm(p1))
                 } else if let Some(&ip3) = inst.params.get("iip3") {
-                    Nonlinearity::Cubic { iip3_dbm: ip3 }
+                    Nonlinearity::Cubic { iip3_dbm: Dbm(ip3) }
                 } else {
                     Nonlinearity::Linear
                 };
                 Box::new(AnalogAmplifier::new(inst.name.clone(), gain, nl))
             }
             "mixer" => {
-                let gain = inst.param("gain")?;
-                let dc = inst.params.get("dc").copied();
+                let gain = Db(inst.param("gain")?);
+                let dc = inst.params.get("dc").copied().map(Dbm);
                 Box::new(AnalogMixer::new(inst.name.clone(), gain, dc))
             }
             "hpf" => {
-                let fc = inst.param("fc")?;
+                let fc = Hz(inst.param("fc")?);
                 let order = inst.param_or("order", 2.0) as usize;
                 Box::new(AnalogFilterDevice::butterworth_highpass(
                     inst.name.clone(),
@@ -68,9 +71,9 @@ pub fn elaborate(
                 ))
             }
             "cheb_lp" => {
-                let edge = inst.param("edge")?;
+                let edge = Hz(inst.param("edge")?);
                 let order = inst.param_or("order", 5.0) as usize;
-                let ripple = inst.param_or("ripple", 0.5);
+                let ripple = Db(inst.param_or("ripple", 0.5));
                 Box::new(AnalogFilterDevice::chebyshev_lowpass(
                     inst.name.clone(),
                     order,

@@ -18,6 +18,10 @@
 //!   or available parallelism)
 //! * `--serial` — the legacy serial estimator (the bit-reproducible
 //!   reference path the pinned goldens use; implies one worker)
+//! * `--lo X` / `--hi X` / `--points N` (`run` only) — sweep-bounds
+//!   overrides, parsed into the unit newtype the sweep's config
+//!   carries (dBm for ip3/level_sweep/fig6 and the noise_figure
+//!   receive level, dB for blocking, Hz for the cfo maximum offset)
 //! * `--json` — print the run manifest to stdout as well
 //! * `--manifest PATH` — manifest location (default
 //!   `RUN_MANIFEST.json` in the working directory)
@@ -28,13 +32,14 @@
 
 use std::process::ExitCode;
 use wlan_exec::ThreadPool;
-use wlan_sim::experiments::{self, execute, Experiment, RunContext};
+use wlan_sim::experiments::{self, execute, Experiment, RunContext, SweepBounds};
 use wlan_sim::manifest::{RunManifest, MANIFEST_DEFAULT_PATH};
 
 const USAGE: &str = "usage:
   wlansim list
   wlansim run <name> [--packets N] [--psdu N] [--seed S] [--threads T] [--serial] [--json] [--manifest PATH]
-  wlansim all [same flags]
+                     [--lo X] [--hi X] [--points N]
+  wlansim all [same flags except --lo/--hi/--points]
   wlansim check-manifest [PATH]
 
 run `wlansim list` for the experiment names.";
@@ -49,6 +54,7 @@ struct Flags {
     serial: bool,
     json: bool,
     manifest: Option<String>,
+    bounds: SweepBounds,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -68,6 +74,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--serial" => f.serial = true,
             "--json" => f.json = true,
             "--manifest" => f.manifest = Some(value("--manifest")?),
+            "--lo" => f.bounds.lo = Some(parse_num(&value("--lo")?)?),
+            "--hi" => f.bounds.hi = Some(parse_num(&value("--hi")?)?),
+            "--points" => f.bounds.points = Some(parse_num(&value("--points")?)?),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -198,16 +207,36 @@ fn main() -> ExitCode {
                 eprintln!("wlansim run: missing experiment name\n{USAGE}");
                 return ExitCode::FAILURE;
             };
-            let Some(exp) = experiments::find(name) else {
-                eprintln!("wlansim: unknown experiment '{name}' — try `wlansim list`");
-                return ExitCode::FAILURE;
-            };
             let flags = match parse_flags(&args[2..]) {
                 Ok(f) => f,
                 Err(e) => {
                     eprintln!("wlansim run: {e}\n{USAGE}");
                     return ExitCode::FAILURE;
                 }
+            };
+            // With bounds overrides, an owned sweep instance replaces
+            // the static registry entry (the override numbers are
+            // parsed into the sweep's unit newtypes).
+            let owned: Option<Box<dyn Experiment>> = if flags.bounds.is_empty() {
+                None
+            } else {
+                match experiments::find_with_bounds(name, flags.bounds) {
+                    Ok(exp) => Some(exp),
+                    Err(e) => {
+                        eprintln!("wlansim run: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+            let exp: &dyn Experiment = match &owned {
+                Some(b) => &**b,
+                None => match experiments::find(name) {
+                    Some(e) => e,
+                    None => {
+                        eprintln!("wlansim: unknown experiment '{name}' — try `wlansim list`");
+                        return ExitCode::FAILURE;
+                    }
+                },
             };
             let mut ctx = context(&flags);
             run_one(exp, &mut ctx);
@@ -221,6 +250,10 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            if !flags.bounds.is_empty() {
+                eprintln!("wlansim all: --lo/--hi/--points only apply to `wlansim run <name>`");
+                return ExitCode::FAILURE;
+            }
             if !annex_g_gate() {
                 return ExitCode::FAILURE;
             }

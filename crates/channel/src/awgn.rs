@@ -2,6 +2,7 @@
 
 use wlan_dsp::complex::mean_power;
 use wlan_dsp::{Complex, Rng};
+use wlan_units::Db;
 
 /// AWGN generator with a deterministic stream.
 #[derive(Debug, Clone)]
@@ -43,7 +44,7 @@ impl Awgn {
     pub fn add_snr(&mut self, x: &[Complex], snr_db: f64) -> Vec<Complex> {
         let p = mean_power(x);
         assert!(p > 0.0, "cannot set SNR on a zero-power signal");
-        let noise = p / 10f64.powf(snr_db / 10.0);
+        let noise = p / Db(snr_db).to_linear();
         self.add_noise_power(x, noise)
     }
 

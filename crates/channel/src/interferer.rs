@@ -4,16 +4,17 @@
 //! signal was shifted by 20 MHz in the frequency domain; the baseband
 //! signal was over-sampled to fulfill the sampling theorem").
 
-use crate::level::set_power_dbm;
+use crate::level::set_power;
 use wlan_dsp::resample::{FrequencyShifter, Upsampler};
 use wlan_dsp::Complex;
+use wlan_units::{Dbm, Hz};
 
 /// One signal in the scene.
 #[derive(Debug, Clone)]
 struct Emitter {
     samples: Vec<Complex>,
-    offset_hz: f64,
-    power_dbm: f64,
+    offset: Hz,
+    power: Dbm,
     /// Delay at the oversampled rate before the burst begins.
     delay: usize,
 }
@@ -78,23 +79,27 @@ impl Scene {
     /// # Panics
     ///
     /// Panics if the offset exceeds the rendered Nyquist range.
-    pub fn add(
-        mut self,
-        samples: &[Complex],
-        offset_hz: f64,
-        power_dbm: f64,
-        delay: usize,
-    ) -> Self {
+    pub fn add(self, samples: &[Complex], offset_hz: f64, power_dbm: f64, delay: usize) -> Self {
+        self.add_emitter(samples, Hz(offset_hz), Dbm(power_dbm), delay)
+    }
+
+    /// [`Scene::add`] with dimension-safe offset and level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset exceeds the rendered Nyquist range.
+    pub fn add_emitter(mut self, samples: &[Complex], offset: Hz, power: Dbm, delay: usize) -> Self {
         let fs = self.sample_rate();
         assert!(
-            offset_hz.abs() < fs / 2.0,
-            "offset {offset_hz} Hz outside ±{} Hz",
+            offset.0.abs() < fs / 2.0,
+            "offset {} outside ±{} Hz",
+            offset,
             fs / 2.0
         );
         self.emitters.push(Emitter {
             samples: samples.to_vec(),
-            offset_hz,
-            power_dbm,
+            offset,
+            power,
             delay,
         });
         self
@@ -109,8 +114,8 @@ impl Scene {
             // Upsample, scale to absolute power, then shift.
             let mut up = Upsampler::new(self.osr, self.interp_taps);
             let hi = up.process(&e.samples);
-            let scaled = set_power_dbm(&hi, e.power_dbm);
-            let mut shifter = FrequencyShifter::new(e.offset_hz, self.sample_rate());
+            let scaled = set_power(&hi, e.power);
+            let mut shifter = FrequencyShifter::new(e.offset.0, self.sample_rate());
             let shifted = shifter.process(&scaled);
             total_len = total_len.max(e.delay + shifted.len());
             parts.push((e.delay, shifted));
@@ -158,7 +163,7 @@ mod tests {
         let (freqs, psd) = welch_psd(&scene[2048..], 1024, fs);
         let main = band_power(&freqs, &psd, -9e6, 9e6);
         let adj = band_power(&freqs, &psd, 11e6, 29e6);
-        let ratio_db = 10.0 * (adj / main).log10();
+        let ratio_db = wlan_dsp::math::lin_to_db(adj / main);
         assert!((ratio_db - 16.0).abs() < 1.0, "adj/main {ratio_db} dB");
     }
 

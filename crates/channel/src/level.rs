@@ -2,42 +2,71 @@
 //! workspace 1 Ω, `P = mean(|x|²)/2` convention.
 
 use wlan_dsp::complex::mean_power;
-use wlan_dsp::math::{dbm_to_watts, watts_to_dbm};
 use wlan_dsp::Complex;
+use wlan_units::{Db, Dbm, PowerW};
 
-/// Measures the mean power of `x` in dBm.
+/// Measures the mean power of `x`.
 ///
 /// Returns `-inf` dBm for zero-power signals.
-pub fn power_dbm(x: &[Complex]) -> f64 {
-    watts_to_dbm(mean_power(x) / 2.0)
+pub fn power_level(x: &[Complex]) -> Dbm {
+    PowerW(mean_power(x) / 2.0).to_dbm()
 }
 
-/// Scales `x` so its mean power equals `target_dbm`.
+/// Measures the mean power of `x` in dBm (plain-`f64` boundary wrapper
+/// over [`power_level`]).
+pub fn power_dbm(x: &[Complex]) -> f64 {
+    power_level(x).0
+}
+
+/// Scales `x` so its mean power equals `target`.
+///
+/// # Panics
+///
+/// Panics if `x` has zero power.
+pub fn set_power(x: &[Complex], target: Dbm) -> Vec<Complex> {
+    let p = mean_power(x) / 2.0;
+    assert!(p > 0.0, "cannot scale a zero-power signal");
+    let k = (target.to_watts().0 / p).sqrt();
+    x.iter().map(|&v| v * k).collect()
+}
+
+/// [`set_power`] with a plain-`f64` dBm target.
 ///
 /// # Panics
 ///
 /// Panics if `x` has zero power.
 pub fn set_power_dbm(x: &[Complex], target_dbm: f64) -> Vec<Complex> {
-    let p = mean_power(x) / 2.0;
-    assert!(p > 0.0, "cannot scale a zero-power signal");
-    let k = (dbm_to_watts(target_dbm) / p).sqrt();
+    set_power(x, Dbm(target_dbm))
+}
+
+/// Applies a gain.
+pub fn apply_gain(x: &[Complex], gain: Db) -> Vec<Complex> {
+    let k = gain.to_amplitude_ratio();
     x.iter().map(|&v| v * k).collect()
 }
 
-/// Applies a gain in dB.
+/// [`apply_gain`] with a plain-`f64` dB gain.
 pub fn apply_gain_db(x: &[Complex], gain_db: f64) -> Vec<Complex> {
-    let k = 10f64.powf(gain_db / 20.0);
-    x.iter().map(|&v| v * k).collect()
+    apply_gain(x, Db(gain_db))
 }
 
 /// The paper's receiver input range for the wanted channel (§2.2).
-pub const RX_LEVEL_MIN_DBM: f64 = -88.0;
+pub const RX_LEVEL_MIN: Dbm = Dbm(-88.0);
 /// Upper end of the wanted-channel input range.
-pub const RX_LEVEL_MAX_DBM: f64 = -23.0;
+pub const RX_LEVEL_MAX: Dbm = Dbm(-23.0);
 /// The first adjacent channel may exceed the wanted level by this much.
-pub const ADJACENT_CHANNEL_REL_DB: f64 = 16.0;
+pub const ADJACENT_CHANNEL_REL: Db = Db(16.0);
 /// The second (non-adjacent) channel may exceed the wanted level by this.
-pub const ALTERNATE_CHANNEL_REL_DB: f64 = 32.0;
+pub const ALTERNATE_CHANNEL_REL: Db = Db(32.0);
+
+/// Plain-`f64` view of [`RX_LEVEL_MIN`] for boundary code.
+pub const RX_LEVEL_MIN_DBM: f64 = RX_LEVEL_MIN.0;
+/// Plain-`f64` view of [`RX_LEVEL_MAX`] for boundary code.
+pub const RX_LEVEL_MAX_DBM: f64 = RX_LEVEL_MAX.0;
+/// Plain-`f64` view of [`ADJACENT_CHANNEL_REL`] for boundary code.
+pub const ADJACENT_CHANNEL_REL_DB: f64 = ADJACENT_CHANNEL_REL.0;
+/// Plain-`f64` view of [`ALTERNATE_CHANNEL_REL`] for boundary code.
+pub const ALTERNATE_CHANNEL_REL_DB: f64 = ALTERNATE_CHANNEL_REL.0;
 
 #[cfg(test)]
 mod tests {
@@ -70,6 +99,15 @@ mod tests {
     fn spec_constants() {
         assert_eq!(ADJACENT_CHANNEL_REL_DB, 16.0);
         assert_eq!(ALTERNATE_CHANNEL_REL_DB, 32.0);
+        assert_eq!(RX_LEVEL_MAX - RX_LEVEL_MIN, Db(65.0));
+    }
+
+    #[test]
+    fn typed_and_f64_apis_agree_bitwise() {
+        let x = vec![Complex::new(0.3, -0.4); 64];
+        assert_eq!(set_power(&x, Dbm(-40.0)), set_power_dbm(&x, -40.0));
+        assert_eq!(apply_gain(&x, Db(7.5)), apply_gain_db(&x, 7.5));
+        assert_eq!(power_level(&x).0, power_dbm(&x));
     }
 
     #[test]

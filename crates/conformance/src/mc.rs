@@ -76,7 +76,7 @@ fn shard_meter(modulation: Modulation, snr_db: f64, bits: usize, seed: u64) -> B
     let n_bits = bits - bits % bps;
     let mut rng = Rng::new(seed);
     let tx: Vec<u8> = (0..n_bits).map(|_| u8::from(rng.bit())).collect();
-    let nv = 10f64.powf(-snr_db / 10.0);
+    let nv = wlan_dsp::math::db_to_lin(-snr_db);
     let noisy: Vec<_> = map_bits(&tx, modulation)
         .into_iter()
         .map(|s| s + rng.complex_gaussian(nv))

@@ -69,8 +69,8 @@ fn evm_policy() -> TolerancePolicy {
 /// §5.1 IP3 sweep at quick effort.
 pub fn ip3_sweep() -> PinnedGolden {
     const EXP: ip3::Ip3Sweep = ip3::Ip3Sweep {
-        lo_dbm: -40.0,
-        hi_dbm: 0.0,
+        lo_dbm: wlan_units::Dbm(-40.0),
+        hi_dbm: wlan_units::Dbm(0.0),
         points: 4,
     };
     PinnedGolden {
@@ -84,8 +84,8 @@ pub fn ip3_sweep() -> PinnedGolden {
 pub fn level_sweep() -> PinnedGolden {
     const EXP: level_sweep::LevelSweep = level_sweep::LevelSweep {
         rate: Rate::R12,
-        lo_dbm: -100.0,
-        hi_dbm: -25.0,
+        lo_dbm: wlan_units::Dbm(-100.0),
+        hi_dbm: wlan_units::Dbm(-25.0),
         points: 6,
     };
     PinnedGolden {
@@ -98,7 +98,7 @@ pub fn level_sweep() -> PinnedGolden {
 /// §5.1 noise-figure sweep (baseband vs noiseless co-sim).
 pub fn nf_sweep() -> PinnedGolden {
     const EXP: noise_figure::NfSweep = noise_figure::NfSweep {
-        rx_level_dbm: -82.0,
+        rx_level_dbm: wlan_units::Dbm(-82.0),
         points: 3,
     };
     PinnedGolden {
@@ -112,8 +112,8 @@ pub fn nf_sweep() -> PinnedGolden {
 pub fn blocking_sweep() -> PinnedGolden {
     const EXP: blocking::BlockingSweep = blocking::BlockingSweep {
         rate: Rate::R12,
-        lo_db: 8.0,
-        hi_db: 40.0,
+        lo_db: wlan_units::Db(8.0),
+        hi_db: wlan_units::Db(40.0),
         points: 5,
     };
     PinnedGolden {

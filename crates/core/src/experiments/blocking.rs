@@ -94,10 +94,10 @@ impl BlockingResult {
 pub struct BlockingSweep {
     /// Data rate.
     pub rate: Rate,
-    /// Sweep start: interferer level relative to wanted (dB).
-    pub lo_db: f64,
-    /// Sweep end (dB).
-    pub hi_db: f64,
+    /// Sweep start: interferer level relative to wanted.
+    pub lo_db: wlan_units::Db,
+    /// Sweep end.
+    pub hi_db: wlan_units::Db,
     /// Point count.
     pub points: usize,
 }
@@ -106,8 +106,8 @@ impl BlockingSweep {
     /// The default sweep: 12 Mbit/s, +4…+44 dB, 11 points.
     pub const DEFAULT: BlockingSweep = BlockingSweep {
         rate: Rate::R12,
-        lo_db: 4.0,
-        hi_db: 44.0,
+        lo_db: wlan_units::Db(4.0),
+        hi_db: wlan_units::Db(44.0),
         points: 11,
     };
 }
@@ -136,8 +136,8 @@ impl Experiment for BlockingSweep {
             run(
                 ctx.effort,
                 self.rate,
-                self.lo_db,
-                self.hi_db,
+                self.lo_db.0,
+                self.hi_db.0,
                 self.points,
                 ctx.seed,
             )
@@ -145,8 +145,8 @@ impl Experiment for BlockingSweep {
             run_parallel(
                 ctx.effort,
                 self.rate,
-                self.lo_db,
-                self.hi_db,
+                self.lo_db.0,
+                self.hi_db.0,
                 self.points,
                 ctx.seed,
                 &ctx.engine,

@@ -4,7 +4,7 @@
 //! `±fs/(2·16) = ±625 kHz`, so the link must hold to ±208 kHz with
 //! margin and collapse past the estimator range.
 
-use crate::experiments::{Effort, Experiment, PointStat, RunContext, RunOutput};
+use crate::experiments::{Effort, Engine, Experiment, PointStat, RunContext, RunOutput};
 use crate::report::{bar, format_ber, Table};
 use wlan_channel::awgn::Awgn;
 use wlan_dataflow::sweep::Sweep;
@@ -71,8 +71,8 @@ impl CfoResult {
 pub struct CfoSweep {
     /// Data rate.
     pub rate: Rate,
-    /// Largest offset applied (Hz).
-    pub max_hz: f64,
+    /// Largest offset applied.
+    pub max_hz: wlan_units::Hz,
     /// Point count.
     pub points: usize,
 }
@@ -81,7 +81,7 @@ impl CfoSweep {
     /// The default sweep: 24 Mbit/s, 0…800 kHz, 9 points.
     pub const DEFAULT: CfoSweep = CfoSweep {
         rate: Rate::R24,
-        max_hz: 800e3,
+        max_hz: wlan_units::Hz(800e3),
         points: 9,
     };
 }
@@ -106,7 +106,18 @@ impl Experiment for CfoSweep {
     }
 
     fn run(&self, ctx: &RunContext) -> RunOutput {
-        let r = run(ctx.effort, self.rate, self.max_hz, self.points, ctx.seed);
+        let r = if ctx.serial {
+            run(ctx.effort, self.rate, self.max_hz.0, self.points, ctx.seed)
+        } else {
+            run_parallel(
+                ctx.effort,
+                self.rate,
+                self.max_hz.0,
+                self.points,
+                ctx.seed,
+                &ctx.engine,
+            )
+        };
         let mut snapshot = vec![
             ("n_points".to_string(), r.points.len() as f64),
             ("rate_mbps".to_string(), r.rate.mbps() as f64),
@@ -140,47 +151,79 @@ impl Experiment for CfoSweep {
     }
 }
 
+/// Measures one offset: the point computation is a pure function of
+/// `(effort, rate, cfo, seed)` — every RNG stream is seeded inside —
+/// so both the serial and the parallel sweep share it unchanged.
+fn measure_point(effort: Effort, rate: Rate, rx: &Receiver, cfo: f64, seed: u64) -> (f64, f64, u64) {
+    let mut rng = Rng::new(seed);
+    let mut noise = Awgn::new(seed ^ 0xC0FE);
+    let mut meter = BerMeter::new();
+    let mut err_acc = 0.0;
+    let mut decoded = 0usize;
+    for _ in 0..effort.packets {
+        let mut psdu = vec![0u8; effort.psdu_len];
+        rng.bytes(&mut psdu);
+        let burst = Transmitter::new(rate).transmit(&psdu);
+        let w = 2.0 * std::f64::consts::PI * cfo / SAMPLE_RATE;
+        let shifted: Vec<Complex> = burst
+            .samples
+            .iter()
+            .enumerate()
+            .map(|(n, &s)| s * Complex::cis(w * n as f64))
+            .collect();
+        let noisy = noise.add_noise_power(&shifted, 0.01);
+        match rx.receive(&noisy) {
+            Ok(got) if got.psdu.len() == psdu.len() => {
+                meter.update_bytes(&psdu, &got.psdu);
+                err_acc += (got.cfo_hz - cfo).abs();
+                decoded += 1;
+            }
+            _ => meter.update_lost_packet(8 * effort.psdu_len),
+        }
+    }
+    (
+        meter.ber(),
+        if decoded > 0 {
+            err_acc / decoded as f64
+        } else {
+            f64::NAN
+        },
+        meter.bits(),
+    )
+}
+
 /// Runs the sweep at 20 dB SNR with offsets from 0 to `max_hz`.
 pub fn run(effort: Effort, rate: Rate, max_hz: f64, points: usize, seed: u64) -> CfoResult {
     let rx = Receiver::new();
     let sweep = Sweep::linspace(0.0, max_hz, points.max(2));
-    let rows = sweep.run(|&cfo| {
-        let mut rng = Rng::new(seed);
-        let mut noise = Awgn::new(seed ^ 0xC0FE);
-        let mut meter = BerMeter::new();
-        let mut err_acc = 0.0;
-        let mut decoded = 0usize;
-        for _ in 0..effort.packets {
-            let mut psdu = vec![0u8; effort.psdu_len];
-            rng.bytes(&mut psdu);
-            let burst = Transmitter::new(rate).transmit(&psdu);
-            let w = 2.0 * std::f64::consts::PI * cfo / SAMPLE_RATE;
-            let shifted: Vec<Complex> = burst
-                .samples
-                .iter()
-                .enumerate()
-                .map(|(n, &s)| s * Complex::cis(w * n as f64))
-                .collect();
-            let noisy = noise.add_noise_power(&shifted, 0.01);
-            match rx.receive(&noisy) {
-                Ok(got) if got.psdu.len() == psdu.len() => {
-                    meter.update_bytes(&psdu, &got.psdu);
-                    err_acc += (got.cfo_hz - cfo).abs();
-                    decoded += 1;
-                }
-                _ => meter.update_lost_packet(8 * effort.psdu_len),
-            }
-        }
-        (
-            meter.ber(),
-            if decoded > 0 {
-                err_acc / decoded as f64
-            } else {
-                f64::NAN
-            },
-            meter.bits(),
-        )
-    });
+    let rows = sweep.run(|&cfo| measure_point(effort, rate, &rx, cfo, seed));
+    collect(rate, rows)
+}
+
+/// [`run`] with the offsets fanned out across the engine's pool. Each
+/// point seeds its own RNG streams, so the result is bit-identical to
+/// [`run`] for any thread count.
+pub fn run_parallel(
+    effort: Effort,
+    rate: Rate,
+    max_hz: f64,
+    points: usize,
+    seed: u64,
+    engine: &Engine,
+) -> CfoResult {
+    let rx = Receiver::new();
+    let sweep = Sweep::linspace(0.0, max_hz, points.max(2));
+    let rows = sweep
+        .run_parallel_indexed(&engine.pool, |_i, &cfo| {
+            measure_point(effort, rate, &rx, cfo, seed)
+        });
+    collect(rate, rows)
+}
+
+fn collect(
+    rate: Rate,
+    rows: Vec<wlan_dataflow::sweep::SweepPoint<f64, (f64, f64, u64)>>,
+) -> CfoResult {
     CfoResult {
         rate,
         points: rows
@@ -235,5 +278,25 @@ mod tests {
             );
         }
         assert!(r.table().render().contains("frequency offset"));
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_and_is_thread_invariant() {
+        let effort = Effort {
+            packets: 2,
+            psdu_len: 60,
+        };
+        let serial = run(effort, Rate::R12, 400e3, 3, 23);
+        for threads in [1, 2, 4] {
+            let par = run_parallel(
+                effort,
+                Rate::R12,
+                400e3,
+                3,
+                23,
+                &Engine::with_threads(threads),
+            );
+            assert_eq!(serial.points, par.points, "{threads} threads");
+        }
     }
 }

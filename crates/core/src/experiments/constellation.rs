@@ -110,14 +110,14 @@ pub fn run(cfg: &LinkConfig) -> ConstellationResult {
             x.extend(std::iter::repeat_n(Complex::ZERO, 200));
             match cfg.snr_db {
                 Some(snr) => {
-                    Awgn::new(cfg.seed ^ 0xE0F).add_noise_power(&x, 10f64.powf(-snr / 10.0))
+                    Awgn::new(cfg.seed ^ 0xE0F).add_noise_power(&x, wlan_dsp::math::db_to_lin(-snr))
                 }
                 None => x,
             }
         }
         FrontEnd::RfBaseband(rf) => {
             let mut rf = *rf;
-            rf.sample_rate_hz = SAMPLE_RATE * cfg.osr as f64;
+            rf.sample_rate_hz = wlan_units::Hz(SAMPLE_RATE * cfg.osr as f64);
             rf.osr = cfg.osr;
             let mut padded = burst.samples.clone();
             padded.extend(std::iter::repeat_n(Complex::ZERO, 160));

@@ -5,7 +5,8 @@
 //! isolates the channel/impairment, and sweep the SNR; theory predicts
 //! `EVM(dB) ≈ −SNR(dB)`.
 
-use crate::experiments::{Experiment, PointStat, RunContext, RunOutput};
+use crate::experiments::{Engine, Experiment, PointStat, RunContext, RunOutput};
+use wlan_dataflow::sweep::Sweep;
 use crate::report::Table;
 use wlan_dsp::{Complex, Rng};
 use wlan_meas::evm::evm_from_snr_db;
@@ -117,7 +118,11 @@ impl Experiment for EvmSweep {
         let mut out = RunOutput::default();
         let multi = self.rates.len() > 1;
         for &rate in self.rates {
-            let r = run(rate, self.snrs_db, self.psdu_len, ctx.seed);
+            let r = if ctx.serial {
+                run(rate, self.snrs_db, self.psdu_len, ctx.seed)
+            } else {
+                run_parallel(rate, self.snrs_db, self.psdu_len, ctx.seed, &ctx.engine)
+            };
             // Single-rate instances keep the legacy plain snapshot keys
             // (the pinned goldens depend on them); multi-rate runs
             // prefix each key with the rate so keys stay unique.
@@ -140,6 +145,35 @@ impl Experiment for EvmSweep {
     }
 }
 
+/// Measures one SNR point with the RNG stream handed in: the serial
+/// sweep threads a single stream across all points (the pinned-golden
+/// ordering), the parallel sweep derives one stream per point.
+fn measure_point(rate: Rate, rx: &Receiver, snr: f64, psdu_len: usize, rng: &mut Rng) -> EvmPoint {
+    let mut psdu = vec![0u8; psdu_len];
+    rng.bytes(&mut psdu);
+    let burst = Transmitter::new(rate).transmit(&psdu);
+    let nv = wlan_dsp::math::db_to_lin(-snr);
+    let noisy: Vec<Complex> = burst
+        .samples
+        .iter()
+        .map(|&s| s + rng.complex_gaussian(nv))
+        .collect();
+    match rx.receive_with_timing(&noisy, 192, 0.0) {
+        Ok(got) => EvmPoint {
+            snr_db: snr,
+            evm_db: got.evm_db(),
+            theory_db: wlan_dsp::math::amp_to_db(evm_from_snr_db(snr)),
+            error_free: got.psdu == psdu,
+        },
+        Err(_) => EvmPoint {
+            snr_db: snr,
+            evm_db: 0.0,
+            theory_db: wlan_dsp::math::amp_to_db(evm_from_snr_db(snr)),
+            error_free: false,
+        },
+    }
+}
+
 /// Measures EVM at each SNR with known timing (LTF at index 192 of the
 /// un-padded burst) and no frequency offset.
 pub fn run(rate: Rate, snrs_db: &[f64], psdu_len: usize, seed: u64) -> EvmResult {
@@ -147,33 +181,32 @@ pub fn run(rate: Rate, snrs_db: &[f64], psdu_len: usize, seed: u64) -> EvmResult
     let rx = Receiver::new();
     let points = snrs_db
         .iter()
-        .map(|&snr| {
-            let mut psdu = vec![0u8; psdu_len];
-            rng.bytes(&mut psdu);
-            let burst = Transmitter::new(rate).transmit(&psdu);
-            let nv = 10f64.powf(-snr / 10.0);
-            let noisy: Vec<Complex> = burst
-                .samples
-                .iter()
-                .map(|&s| s + rng.complex_gaussian(nv))
-                .collect();
-            match rx.receive_with_timing(&noisy, 192, 0.0) {
-                Ok(got) => EvmPoint {
-                    snr_db: snr,
-                    evm_db: got.evm_db(),
-                    theory_db: 20.0 * evm_from_snr_db(snr).log10(),
-                    error_free: got.psdu == psdu,
-                },
-                Err(_) => EvmPoint {
-                    snr_db: snr,
-                    evm_db: 0.0,
-                    theory_db: 20.0 * evm_from_snr_db(snr).log10(),
-                    error_free: false,
-                },
-            }
-        })
+        .map(|&snr| measure_point(rate, &rx, snr, psdu_len, &mut rng))
         .collect();
     EvmResult { rate, points }
+}
+
+/// [`run`] with the SNR points fanned out across the engine's pool.
+/// Each point derives its own RNG stream from `(seed, point_index)`,
+/// so the result is bit-identical for any thread count (it differs
+/// from the serial [`run`], which threads one stream across points).
+pub fn run_parallel(
+    rate: Rate,
+    snrs_db: &[f64],
+    psdu_len: usize,
+    seed: u64,
+    engine: &Engine,
+) -> EvmResult {
+    let rx = Receiver::new();
+    let sweep = Sweep::over(snrs_db.to_vec());
+    let rows = sweep.run_parallel_indexed(&engine.pool, |i, &snr| {
+        let mut rng = Rng::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        measure_point(rate, &rx, snr, psdu_len, &mut rng)
+    });
+    EvmResult {
+        rate,
+        points: rows.into_iter().map(|p| p.result).collect(),
+    }
 }
 
 #[cfg(test)]
@@ -202,5 +235,19 @@ mod tests {
         let r = run(Rate::R24, &[30.0], 100, 2);
         assert!(r.points[0].error_free);
         assert!(r.table().render().contains("EVM"));
+    }
+
+    #[test]
+    fn parallel_sweep_is_thread_invariant() {
+        let snrs = &[15.0, 30.0];
+        let serial = run_parallel(Rate::R12, snrs, 80, 5, &Engine::serial());
+        for threads in [2, 4] {
+            let par = run_parallel(Rate::R12, snrs, 80, 5, &Engine::with_threads(threads));
+            assert_eq!(serial.points, par.points, "{threads} threads");
+        }
+        // The parallel estimator is still a valid EVM measurement.
+        for p in &serial.points {
+            assert!((p.evm_db - p.theory_db).abs() < 2.5, "{p:?}");
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! dispersion while the (5·τ_rms) excess delay stays inside the 800 ns
 //! guard interval, then collapses from inter-symbol interference.
 
-use crate::experiments::{Effort, Experiment, PointStat, RunContext, RunOutput};
+use crate::experiments::{Effort, Engine, Experiment, PointStat, RunContext, RunOutput};
 use crate::link::{FrontEnd, LinkConfig, LinkSimulation};
 use crate::report::{bar, format_ber, Table};
 use wlan_dataflow::sweep::Sweep;
@@ -63,8 +63,8 @@ impl FadingResult {
 pub struct FadingSweep {
     /// Data rate.
     pub rate: Rate,
-    /// SNR (dB).
-    pub snr_db: f64,
+    /// SNR.
+    pub snr_db: wlan_units::Db,
     /// RMS delay spreads to sweep (seconds).
     pub trms_list: &'static [f64],
 }
@@ -73,7 +73,7 @@ impl FadingSweep {
     /// The default sweep: 12 Mbit/s at 30 dB over 25 ns … 1 µs.
     pub const DEFAULT: FadingSweep = FadingSweep {
         rate: Rate::R12,
-        snr_db: 30.0,
+        snr_db: wlan_units::Db(30.0),
         trms_list: &[25e-9, 50e-9, 100e-9, 150e-9, 250e-9, 400e-9, 600e-9, 1e-6],
     };
 }
@@ -98,7 +98,18 @@ impl Experiment for FadingSweep {
     }
 
     fn run(&self, ctx: &RunContext) -> RunOutput {
-        let r = run(ctx.effort, self.rate, self.snr_db, self.trms_list, ctx.seed);
+        let r = if ctx.serial {
+            run(ctx.effort, self.rate, self.snr_db.0, self.trms_list, ctx.seed)
+        } else {
+            run_parallel(
+                ctx.effort,
+                self.rate,
+                self.snr_db.0,
+                self.trms_list,
+                ctx.seed,
+                &ctx.engine,
+            )
+        };
         let mut snapshot = vec![
             ("n_points".to_string(), r.points.len() as f64),
             ("rate_mbps".to_string(), r.rate.mbps() as f64),
@@ -128,23 +139,53 @@ impl Experiment for FadingSweep {
     }
 }
 
+fn point_config(effort: Effort, rate: Rate, snr_db: f64, trms: f64, seed: u64) -> LinkConfig {
+    LinkConfig {
+        rate,
+        psdu_len: effort.psdu_len,
+        packets: effort.packets,
+        seed,
+        snr_db: Some(snr_db),
+        multipath_trms_s: Some(trms),
+        front_end: FrontEnd::Ideal,
+        ..LinkConfig::default()
+    }
+}
+
 /// Runs the sweep across delay spreads (seconds).
 pub fn run(effort: Effort, rate: Rate, snr_db: f64, trms_list: &[f64], seed: u64) -> FadingResult {
     let sweep = Sweep::over(trms_list.to_vec());
     let rows = sweep.run(|&trms| {
-        let report = LinkSimulation::new(LinkConfig {
-            rate,
-            psdu_len: effort.psdu_len,
-            packets: effort.packets,
-            seed,
-            snr_db: Some(snr_db),
-            multipath_trms_s: Some(trms),
-            front_end: FrontEnd::Ideal,
-            ..LinkConfig::default()
-        })
-        .run();
+        let report = LinkSimulation::new(point_config(effort, rate, snr_db, trms, seed)).run();
         (report.ber(), report.per(), report.meter.bits())
     });
+    collect(rate, snr_db, rows)
+}
+
+/// [`run`] on the parallel engine: delay-spread points fan out across
+/// the engine's pool, each as a deterministic sharded schedule.
+/// Bit-identical for any thread count.
+pub fn run_parallel(
+    effort: Effort,
+    rate: Rate,
+    snr_db: f64,
+    trms_list: &[f64],
+    seed: u64,
+    engine: &Engine,
+) -> FadingResult {
+    let sweep = Sweep::over(trms_list.to_vec());
+    let rows = sweep.run_parallel_indexed(&engine.pool, |i, &trms| {
+        let report = engine.measure(point_config(effort, rate, snr_db, trms, seed), i);
+        (report.ber(), report.per(), report.meter.bits())
+    });
+    collect(rate, snr_db, rows)
+}
+
+fn collect(
+    rate: Rate,
+    snr_db: f64,
+    rows: Vec<wlan_dataflow::sweep::SweepPoint<f64, (f64, f64, u64)>>,
+) -> FadingResult {
     FadingResult {
         rate,
         snr_db,
@@ -184,5 +225,26 @@ mod tests {
     fn table_renders() {
         let r = run(Effort::quick(), Rate::R6, 25.0, &[100e-9], 12);
         assert!(r.table().render().contains("delay spread"));
+    }
+
+    #[test]
+    fn parallel_sweep_is_thread_invariant() {
+        let effort = Effort {
+            packets: 4,
+            psdu_len: 60,
+        };
+        let trms = &[50e-9, 400e-9];
+        let serial = run_parallel(effort, Rate::R12, 30.0, trms, 13, &Engine::serial());
+        for threads in [2, 4] {
+            let par = run_parallel(
+                effort,
+                Rate::R12,
+                30.0,
+                trms,
+                13,
+                &Engine::with_threads(threads),
+            );
+            assert_eq!(serial.points, par.points, "{threads} threads");
+        }
     }
 }

@@ -116,7 +116,7 @@ impl Experiment for Fig3Schematic {
 /// Builds the Fig. 3 schematic for an input `scene` at the oversampled
 /// rate, using `config` for every stage parameter.
 pub fn build(scene: Vec<Complex>, config: &RfConfig, seed: u64) -> ReceiverSchematic {
-    let fs = config.sample_rate_hz;
+    let fs = config.sample_rate_hz.0;
     let mut rng = Rng::new(seed);
     let mut g = Graph::new();
 
@@ -146,7 +146,7 @@ pub fn build(scene: Vec<Complex>, config: &RfConfig, seed: u64) -> ReceiverSchem
         }))
     };
 
-    let hpf = Rc::new(RefCell::new(DcBlockFilter::new(config.hpf_cutoff_hz, fs)));
+    let hpf = Rc::new(RefCell::new(DcBlockFilter::new(config.hpf_cutoff_hz.0, fs)));
     let hpf_blk = {
         let f = Rc::clone(&hpf);
         g.add(FnBlock::new("hpf", move |x: &[Complex]| {
@@ -165,8 +165,8 @@ pub fn build(scene: Vec<Complex>, config: &RfConfig, seed: u64) -> ReceiverSchem
 
     let lpf = Rc::new(RefCell::new(ChannelSelectFilter::with_order(
         config.channel_filter_order,
-        config.channel_filter_ripple_db,
-        config.channel_filter_edge_hz,
+        config.channel_filter_ripple_db.0,
+        config.channel_filter_edge_hz.0,
         fs,
     )));
     let lpf_blk = {

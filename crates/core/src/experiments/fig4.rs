@@ -114,10 +114,10 @@ pub fn run(seed: u64) -> SpectrumResult {
     let series: Vec<(f64, f64)> = freqs
         .iter()
         .zip(psd.iter())
-        .map(|(f, p)| (*f, 10.0 * (p / 2.0 / 1e-3).log10()))
+        .map(|(f, p)| (*f, wlan_dsp::math::watts_to_dbm(p / 2.0)))
         .collect();
-    let wanted_dbm = 10.0 * (band_power(&freqs, &psd, -9e6, 9e6) / 2.0 / 1e-3).log10();
-    let adjacent_dbm = 10.0 * (band_power(&freqs, &psd, 11e6, 29e6) / 2.0 / 1e-3).log10();
+    let wanted_dbm = wlan_dsp::math::watts_to_dbm(band_power(&freqs, &psd, -9e6, 9e6) / 2.0);
+    let adjacent_dbm = wlan_dsp::math::watts_to_dbm(band_power(&freqs, &psd, 11e6, 29e6) / 2.0);
     SpectrumResult {
         series,
         wanted_dbm,

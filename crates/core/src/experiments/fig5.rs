@@ -122,7 +122,7 @@ pub fn run(effort: Effort, points: usize, seed: u64) -> Fig5Result {
     let sweep = Sweep::linspace(3e6, 16e6, points.max(2));
     let rows = sweep.run(|&edge_hz| {
         let rf = RfConfig {
-            channel_filter_edge_hz: edge_hz,
+            channel_filter_edge_hz: wlan_units::Hz(edge_hz),
             ..RfConfig::default()
         };
         let report = LinkSimulation::new(LinkConfig {

@@ -77,10 +77,10 @@ impl Fig6Result {
 /// Registry entry: the Fig. 6 compression-point sweep.
 #[derive(Debug, Clone, Copy)]
 pub struct Fig6Sweep {
-    /// Sweep start: LNA input P1dB (dBm).
-    pub lo_dbm: f64,
-    /// Sweep end (dBm).
-    pub hi_dbm: f64,
+    /// Sweep start: LNA input P1dB.
+    pub lo_dbm: wlan_units::Dbm,
+    /// Sweep end.
+    pub hi_dbm: wlan_units::Dbm,
     /// Point count.
     pub points: usize,
 }
@@ -88,8 +88,8 @@ pub struct Fig6Sweep {
 impl Fig6Sweep {
     /// The default sweep: −50…−5 dBm, 10 points.
     pub const DEFAULT: Fig6Sweep = Fig6Sweep {
-        lo_dbm: -50.0,
-        hi_dbm: -5.0,
+        lo_dbm: wlan_units::Dbm(-50.0),
+        hi_dbm: wlan_units::Dbm(-5.0),
         points: 10,
     };
 }
@@ -114,7 +114,7 @@ impl Experiment for Fig6Sweep {
     }
 
     fn run(&self, ctx: &RunContext) -> RunOutput {
-        let r = run(ctx.effort, self.lo_dbm, self.hi_dbm, self.points, ctx.seed);
+        let r = run(ctx.effort, self.lo_dbm.0, self.hi_dbm.0, self.points, ctx.seed);
         let mut snapshot = vec![("n_points".to_string(), r.points.len() as f64)];
         for (i, p) in r.points.iter().enumerate() {
             snapshot.push((format!("points[{i:02}].p1db_dbm"), p.p1db_dbm));
@@ -148,7 +148,7 @@ impl Experiment for Fig6Sweep {
 
 fn ber_at(p1db: f64, adjacent: bool, effort: Effort, seed: u64) -> (f64, u64) {
     let rf = RfConfig {
-        lna_nonlinearity: Nonlinearity::rapp(p1db),
+        lna_nonlinearity: Nonlinearity::rapp(wlan_units::Dbm(p1db)),
         ..RfConfig::default()
     };
     let report = LinkSimulation::new(LinkConfig {

@@ -68,10 +68,10 @@ impl Ip3Result {
 /// can shrink the point count.
 #[derive(Debug, Clone, Copy)]
 pub struct Ip3Sweep {
-    /// Sweep start (dBm).
-    pub lo_dbm: f64,
-    /// Sweep end (dBm).
-    pub hi_dbm: f64,
+    /// Sweep start.
+    pub lo_dbm: wlan_units::Dbm,
+    /// Sweep end.
+    pub hi_dbm: wlan_units::Dbm,
     /// Point count.
     pub points: usize,
 }
@@ -79,8 +79,8 @@ pub struct Ip3Sweep {
 impl Ip3Sweep {
     /// The paper-default sweep (−40…0 dBm, 9 points).
     pub const DEFAULT: Ip3Sweep = Ip3Sweep {
-        lo_dbm: -40.0,
-        hi_dbm: 0.0,
+        lo_dbm: wlan_units::Dbm(-40.0),
+        hi_dbm: wlan_units::Dbm(0.0),
         points: 9,
     };
 }
@@ -106,12 +106,12 @@ impl Experiment for Ip3Sweep {
 
     fn run(&self, ctx: &RunContext) -> RunOutput {
         let r = if ctx.serial {
-            run(ctx.effort, self.lo_dbm, self.hi_dbm, self.points, ctx.seed)
+            run(ctx.effort, self.lo_dbm.0, self.hi_dbm.0, self.points, ctx.seed)
         } else {
             run_parallel(
                 ctx.effort,
-                self.lo_dbm,
-                self.hi_dbm,
+                self.lo_dbm.0,
+                self.hi_dbm.0,
                 self.points,
                 ctx.seed,
                 &ctx.engine,
@@ -137,7 +137,9 @@ impl Experiment for Ip3Sweep {
 
 fn point_config(effort: Effort, iip3: f64, seed: u64) -> LinkConfig {
     let rf = RfConfig {
-        lna_nonlinearity: Nonlinearity::Cubic { iip3_dbm: iip3 },
+        lna_nonlinearity: Nonlinearity::Cubic {
+            iip3_dbm: wlan_units::Dbm(iip3),
+        },
         ..RfConfig::default()
     };
     LinkConfig {

@@ -81,10 +81,10 @@ impl LevelSweepResult {
 pub struct LevelSweep {
     /// Data rate.
     pub rate: Rate,
-    /// Sweep start (dBm).
-    pub lo_dbm: f64,
-    /// Sweep end (dBm).
-    pub hi_dbm: f64,
+    /// Sweep start.
+    pub lo_dbm: wlan_units::Dbm,
+    /// Sweep end.
+    pub hi_dbm: wlan_units::Dbm,
     /// Point count.
     pub points: usize,
 }
@@ -93,8 +93,8 @@ impl LevelSweep {
     /// The default sweep: 24 Mbit/s across −98…−23 dBm, 12 points.
     pub const DEFAULT: LevelSweep = LevelSweep {
         rate: Rate::R24,
-        lo_dbm: -98.0,
-        hi_dbm: -23.0,
+        lo_dbm: wlan_units::Dbm(-98.0),
+        hi_dbm: wlan_units::Dbm(-23.0),
         points: 12,
     };
 }
@@ -123,8 +123,8 @@ impl Experiment for LevelSweep {
             run(
                 ctx.effort,
                 self.rate,
-                self.lo_dbm,
-                self.hi_dbm,
+                self.lo_dbm.0,
+                self.hi_dbm.0,
                 self.points,
                 ctx.seed,
             )
@@ -132,8 +132,8 @@ impl Experiment for LevelSweep {
             run_parallel(
                 ctx.effort,
                 self.rate,
-                self.lo_dbm,
-                self.hi_dbm,
+                self.lo_dbm.0,
+                self.hi_dbm.0,
                 self.points,
                 ctx.seed,
                 &ctx.engine,

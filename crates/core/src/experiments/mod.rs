@@ -439,6 +439,136 @@ pub fn find(name: &str) -> Option<&'static dyn Experiment> {
     registry().iter().copied().find(|e| e.name() == name)
 }
 
+/// Sweep-bounds overrides from `wlansim run --lo/--hi/--points`. The
+/// raw CLI numbers are wrapped into each experiment's unit newtype
+/// (dBm, dB or Hz) at construction, so an override enters the typed
+/// sweep config exactly the way the defaults do.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SweepBounds {
+    /// Sweep start override (`--lo`).
+    pub lo: Option<f64>,
+    /// Sweep end override (`--hi`).
+    pub hi: Option<f64>,
+    /// Point-count override (`--points`).
+    pub points: Option<usize>,
+}
+
+impl SweepBounds {
+    /// True when no override was given.
+    pub fn is_empty(&self) -> bool {
+        self.lo.is_none() && self.hi.is_none() && self.points.is_none()
+    }
+}
+
+/// [`find`] plus bounds overrides: builds an owned instance of the
+/// named sweep with `--lo` / `--hi` / `--points` applied, parsing the
+/// raw numbers into the unit newtypes the sweep's fields carry (dBm
+/// for the level-style sweeps, dB for blocking, Hz for cfo).
+///
+/// # Errors
+///
+/// A message naming the unsupported flag when the experiment has no
+/// matching bound (e.g. `--lo` for the cfo sweep, which starts at 0),
+/// or stating the experiment / its sweep bounds do not exist.
+pub fn find_with_bounds(name: &str, b: SweepBounds) -> Result<Box<dyn Experiment>, String> {
+    use wlan_units::{Db, Dbm, Hz};
+    let unsupported = |flag: &str| Err(format!("experiment '{name}' does not support {flag}"));
+    match name {
+        "ip3" => {
+            let mut s = ip3::Ip3Sweep::DEFAULT;
+            if let Some(lo) = b.lo {
+                s.lo_dbm = Dbm(lo);
+            }
+            if let Some(hi) = b.hi {
+                s.hi_dbm = Dbm(hi);
+            }
+            if let Some(p) = b.points {
+                s.points = p;
+            }
+            Ok(Box::new(s))
+        }
+        "level_sweep" => {
+            let mut s = level_sweep::LevelSweep::DEFAULT;
+            if let Some(lo) = b.lo {
+                s.lo_dbm = Dbm(lo);
+            }
+            if let Some(hi) = b.hi {
+                s.hi_dbm = Dbm(hi);
+            }
+            if let Some(p) = b.points {
+                s.points = p;
+            }
+            Ok(Box::new(s))
+        }
+        "fig6" => {
+            let mut s = fig6::Fig6Sweep::DEFAULT;
+            if let Some(lo) = b.lo {
+                s.lo_dbm = Dbm(lo);
+            }
+            if let Some(hi) = b.hi {
+                s.hi_dbm = Dbm(hi);
+            }
+            if let Some(p) = b.points {
+                s.points = p;
+            }
+            Ok(Box::new(s))
+        }
+        "blocking" => {
+            let mut s = blocking::BlockingSweep::DEFAULT;
+            if let Some(lo) = b.lo {
+                s.lo_db = Db(lo);
+            }
+            if let Some(hi) = b.hi {
+                s.hi_db = Db(hi);
+            }
+            if let Some(p) = b.points {
+                s.points = p;
+            }
+            Ok(Box::new(s))
+        }
+        "noise_figure" => {
+            let mut s = noise_figure::NfSweep::DEFAULT;
+            if let Some(lo) = b.lo {
+                s.rx_level_dbm = Dbm(lo);
+            }
+            if b.hi.is_some() {
+                return unsupported("--hi (only --lo, the receive level, and --points)");
+            }
+            if let Some(p) = b.points {
+                s.points = p;
+            }
+            Ok(Box::new(s))
+        }
+        "cfo" => {
+            let mut s = cfo::CfoSweep::DEFAULT;
+            if b.lo.is_some() {
+                return unsupported("--lo (the sweep always starts at 0 Hz; use --hi)");
+            }
+            if let Some(hi) = b.hi {
+                s.max_hz = Hz(hi);
+            }
+            if let Some(p) = b.points {
+                s.points = p;
+            }
+            Ok(Box::new(s))
+        }
+        "fig5" => {
+            let mut s = fig5::Fig5Sweep::DEFAULT;
+            if b.lo.is_some() || b.hi.is_some() {
+                return unsupported("--lo/--hi (the 3-16 MHz edge range is fixed; use --points)");
+            }
+            if let Some(p) = b.points {
+                s.points = p;
+            }
+            Ok(Box::new(s))
+        }
+        _ if find(name).is_some() => {
+            Err(format!("experiment '{name}' has no sweep bounds (--lo/--hi/--points)"))
+        }
+        _ => Err(format!("unknown experiment '{name}'")),
+    }
+}
+
 /// The `wlansim list` table: every registered experiment with its
 /// paper reference and description.
 pub fn registry_table() -> Table {
@@ -483,6 +613,40 @@ mod tests {
         for e in registry() {
             assert!(text.contains(e.name()), "{} missing from list", e.name());
         }
+    }
+
+    #[test]
+    fn bounds_overrides_land_in_unit_newtypes() {
+        let b = SweepBounds {
+            lo: Some(-30.0),
+            hi: Some(-10.0),
+            points: Some(3),
+        };
+        assert!(!b.is_empty());
+        assert!(SweepBounds::default().is_empty());
+        // Overridden sweeps run and change the point count.
+        let exp = find_with_bounds("ip3", b).unwrap();
+        assert_eq!(exp.name(), "ip3");
+        for name in ["level_sweep", "fig6", "blocking"] {
+            assert!(find_with_bounds(name, b).is_ok(), "{name}");
+        }
+        // cfo: --hi is the max offset, --lo is rejected.
+        assert!(find_with_bounds(
+            "cfo",
+            SweepBounds {
+                hi: Some(500e3),
+                points: Some(4),
+                ..SweepBounds::default()
+            }
+        )
+        .is_ok());
+        assert!(find_with_bounds("cfo", b).is_err());
+        // Bounds on a boundless experiment / unknown name.
+        assert!(find_with_bounds("table1", b)
+            .err()
+            .unwrap()
+            .contains("no sweep bounds"));
+        assert!(find_with_bounds("nope", b).err().unwrap().contains("unknown"));
     }
 
     #[test]

@@ -82,8 +82,8 @@ impl NfResult {
 /// Registry entry: the §5.1 noise-figure sweep with the co-sim gap.
 #[derive(Debug, Clone, Copy)]
 pub struct NfSweep {
-    /// Receive level (dBm), near sensitivity.
-    pub rx_level_dbm: f64,
+    /// Receive level, near sensitivity.
+    pub rx_level_dbm: wlan_units::Dbm,
     /// Point count.
     pub points: usize,
 }
@@ -91,7 +91,7 @@ pub struct NfSweep {
 impl NfSweep {
     /// The default sweep: −82 dBm, 7 NF points.
     pub const DEFAULT: NfSweep = NfSweep {
-        rx_level_dbm: -82.0,
+        rx_level_dbm: wlan_units::Dbm(-82.0),
         points: 7,
     };
 }
@@ -117,11 +117,11 @@ impl Experiment for NfSweep {
 
     fn run(&self, ctx: &RunContext) -> RunOutput {
         let r = if ctx.serial {
-            run(ctx.effort, self.rx_level_dbm, self.points, ctx.seed)
+            run(ctx.effort, self.rx_level_dbm.0, self.points, ctx.seed)
         } else {
             run_parallel(
                 ctx.effort,
-                self.rx_level_dbm,
+                self.rx_level_dbm.0,
                 self.points,
                 ctx.seed,
                 &ctx.engine,
@@ -148,7 +148,7 @@ impl Experiment for NfSweep {
 
 fn baseband_config(effort: Effort, nf: f64, rx_level_dbm: f64, seed: u64) -> LinkConfig {
     let rf = RfConfig {
-        lna_nf_db: nf,
+        lna_nf_db: wlan_units::Db(nf),
         ..RfConfig::default()
     };
     LinkConfig {

@@ -13,6 +13,7 @@ use wlan_meas::twotone::measure_iip3;
 use wlan_rf::nonlinearity::Nonlinearity;
 use wlan_rf::spec::{cascade_noise_figure_db, StageSpec};
 use wlan_rf::Amplifier;
+use wlan_units::{Db, Dbm};
 
 /// One spec-vs-measured row.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,25 +117,25 @@ pub fn run(seed: u64) -> RfCharResult {
     let lna_p1 = -5.0;
     {
         let mut lna = Amplifier::new(
-            lna_gain,
-            3.0,
-            Nonlinearity::rapp(lna_p1),
+            Db(lna_gain),
+            Db(3.0),
+            Nonlinearity::rapp(Dbm(lna_p1)),
             fs,
             Rng::new(seed),
         );
         lna.set_noise_enabled(false);
         let mut dev = |x: &[Complex]| lna.process(x);
-        let m = measure_p1db(&mut dev, 1e6, -45.0, 5.0, 1.0, fs, 4000);
+        let m = measure_p1db(&mut dev, 1e6, Dbm(-45.0), Dbm(5.0), Db(1.0), fs, 4000);
         rows.push(CharRow {
             quantity: "LNA gain".into(),
             spec: lna_gain,
-            measured: m.small_signal_gain_db,
+            measured: m.small_signal_gain_db.0,
             unit: "dB",
         });
         rows.push(CharRow {
             quantity: "LNA P1dB (in)".into(),
             spec: lna_p1,
-            measured: m.p1db_in_dbm.unwrap_or(f64::NAN),
+            measured: m.p1db_in_dbm.map_or(f64::NAN, |p| p.0),
             unit: "dBm",
         });
     }
@@ -143,19 +144,19 @@ pub fn run(seed: u64) -> RfCharResult {
     {
         let iip3 = -8.0;
         let mut lna = Amplifier::new(
-            lna_gain,
-            3.0,
-            Nonlinearity::Cubic { iip3_dbm: iip3 },
+            Db(lna_gain),
+            Db(3.0),
+            Nonlinearity::Cubic { iip3_dbm: Dbm(iip3) },
             fs,
             Rng::new(seed + 1),
         );
         lna.set_noise_enabled(false);
         let mut dev = |x: &[Complex]| lna.process(x);
-        let m = measure_iip3(&mut dev, 1e6, 1.37e6, iip3 - 30.0, fs, 40_000);
+        let m = measure_iip3(&mut dev, 1e6, 1.37e6, Dbm(iip3 - 30.0), fs, 40_000);
         rows.push(CharRow {
             quantity: "LNA IIP3".into(),
             spec: iip3,
-            measured: m.iip3_dbm,
+            measured: m.iip3_dbm.0,
             unit: "dBm",
         });
     }
@@ -163,13 +164,19 @@ pub fn run(seed: u64) -> RfCharResult {
     // LNA noise figure.
     {
         let nf = 3.0;
-        let mut lna = Amplifier::new(lna_gain, nf, Nonlinearity::Linear, fs, Rng::new(seed + 2));
+        let mut lna = Amplifier::new(
+            Db(lna_gain),
+            Db(nf),
+            Nonlinearity::Linear,
+            fs,
+            Rng::new(seed + 2),
+        );
         let mut dev = |x: &[Complex]| lna.process(x);
-        let m = measure_noise_figure(&mut dev, 1e6, -65.0, fs, 300_000, seed + 3);
+        let m = measure_noise_figure(&mut dev, 1e6, Dbm(-65.0), fs, 300_000, seed + 3);
         rows.push(CharRow {
             quantity: "LNA NF".into(),
             spec: nf,
-            measured: m.nf_db,
+            measured: m.nf_db.0,
             unit: "dB",
         });
     }
@@ -179,24 +186,24 @@ pub fn run(seed: u64) -> RfCharResult {
         let stages = [
             StageSpec {
                 name: "lna",
-                gain_db: 15.0,
-                nf_db: 3.0,
+                gain_db: Db(15.0),
+                nf_db: Db(3.0),
             },
             StageSpec {
                 name: "mixer1",
-                gain_db: 8.0,
-                nf_db: 9.0,
+                gain_db: Db(8.0),
+                nf_db: Db(9.0),
             },
         ];
         let friis = cascade_noise_figure_db(&stages);
-        let mut lna = Amplifier::new(15.0, 3.0, Nonlinearity::Linear, fs, Rng::new(seed + 4));
-        let mut mix = Amplifier::new(8.0, 9.0, Nonlinearity::Linear, fs, Rng::new(seed + 5));
+        let mut lna = Amplifier::new(Db(15.0), Db(3.0), Nonlinearity::Linear, fs, Rng::new(seed + 4));
+        let mut mix = Amplifier::new(Db(8.0), Db(9.0), Nonlinearity::Linear, fs, Rng::new(seed + 5));
         let mut dev = |x: &[Complex]| mix.process(&lna.process(x));
-        let m = measure_noise_figure(&mut dev, 1e6, -65.0, fs, 300_000, seed + 6);
+        let m = measure_noise_figure(&mut dev, 1e6, Dbm(-65.0), fs, 300_000, seed + 6);
         rows.push(CharRow {
             quantity: "cascade NF (Friis)".into(),
-            spec: friis,
-            measured: m.nf_db,
+            spec: friis.0,
+            measured: m.nf_db.0,
             unit: "dB",
         });
     }

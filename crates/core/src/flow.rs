@@ -172,7 +172,7 @@ impl DesignFlow {
         let t0 = std::time::Instant::now();
         let cosim = LinkSimulation::new(self.link(
             FrontEnd::RfCosim {
-                filter_edge_hz: self.rf.channel_filter_edge_hz,
+                filter_edge_hz: self.rf.channel_filter_edge_hz.0,
                 analog_osr: 8,
                 noise_workaround: false,
             },
@@ -288,7 +288,7 @@ mod tests {
         // An LNA that saturates far below the operating level: the
         // system steps fail while the DSP spec step still passes.
         let rf = RfConfig {
-            lna_nonlinearity: Nonlinearity::rapp(-70.0),
+            lna_nonlinearity: Nonlinearity::rapp(wlan_units::Dbm(-70.0)),
             ..RfConfig::default()
         };
         let mut criteria = quick_criteria();

@@ -188,13 +188,18 @@ struct PacketScratch {
 
 impl PacketScratch {
     fn new(rate: Rate) -> Self {
+        // Worst-case SIGNAL LENGTH capacity up front: a rare decode
+        // candidate with a large (or corrupted) LENGTH field must not
+        // grow the receive scratch past the warm-up high-water mark.
+        let mut rx = RxScratch::default();
+        rx.reserve_worst_case();
         PacketScratch {
             psdu: Vec::new(),
             tx: Transmitter::new(rate),
             txs: TxScratch::default(),
             burst: Vec::new(),
             chan: Vec::new(),
-            rx: RxScratch::default(),
+            rx,
             rf: RfScratch::default(),
             rf_out: Vec::new(),
             adj_psdu: Vec::new(),
@@ -413,7 +418,7 @@ impl LinkSimulation {
             FrontEnd::RfBaseband(rf) => {
                 // The front end must run at the scene's oversampled rate.
                 let mut rf = *rf;
-                rf.sample_rate_hz = SAMPLE_RATE * cfg.osr as f64;
+                rf.sample_rate_hz = wlan_units::Hz(SAMPLE_RATE * cfg.osr as f64);
                 rf.osr = cfg.osr;
                 Some(DoubleConversionReceiver::new(rf, seed ^ 0xABCD))
             }
@@ -493,7 +498,7 @@ impl LinkSimulation {
                 chan.extend(std::iter::repeat_n(Complex::ZERO, 200));
                 if let Some(snr) = cfg.snr_db {
                     // Noise power relative to burst power (≈1).
-                    let np = 10f64.powf(-snr / 10.0);
+                    let np = wlan_dsp::math::db_to_lin(-snr);
                     noise.add_noise_power_in_place(chan, np);
                 }
                 chan
@@ -674,7 +679,7 @@ mod tests {
     #[test]
     fn narrow_filter_with_adjacent_fails() {
         let rf = RfConfig {
-            channel_filter_edge_hz: 3e6, // destroys the signal band
+            channel_filter_edge_hz: wlan_units::Hz(3e6), // destroys the signal band
             ..RfConfig::default()
         };
         let r = quick(LinkConfig {

@@ -30,7 +30,7 @@ fn butterworth_poles(order: usize) -> Vec<Complex> {
 /// Left-half-plane Chebyshev type-I poles for a normalized prototype with
 /// `ripple_db` passband ripple.
 fn chebyshev1_poles(order: usize, ripple_db: f64) -> Vec<Complex> {
-    let eps = (10f64.powf(ripple_db / 10.0) - 1.0).sqrt();
+    let eps = (crate::math::db_to_lin(ripple_db) - 1.0).sqrt();
     let mu = (1.0 / eps).asinh() / order as f64;
     (0..order)
         .map(|k| {
@@ -206,7 +206,7 @@ impl AnalogFilter {
             "invalid chebyshev parameters"
         );
         let ref_gain = if order.is_multiple_of(2) {
-            10f64.powf(-ripple_db / 20.0)
+            crate::math::db_to_amp(-ripple_db)
         } else {
             1.0
         };
@@ -298,7 +298,7 @@ impl AnalogFilter {
 
     /// Magnitude response in dB at `f_hz`.
     pub fn response_db(&self, f_hz: f64) -> f64 {
-        20.0 * self.response(f_hz).abs().log10()
+        crate::math::amp_to_db(self.response(f_hz).abs())
     }
 
     /// Discretizes via the prewarped bilinear transform at `sample_rate_hz`
@@ -401,7 +401,7 @@ pub fn chebyshev1(
     // Even-order Chebyshev I has its DC (LP) / Nyquist (HP) gain at the
     // bottom of the ripple corridor.
     let ref_gain = if order.is_multiple_of(2) {
-        10f64.powf(-ripple_db / 20.0)
+        crate::math::db_to_amp(-ripple_db)
     } else {
         1.0
     };

@@ -141,7 +141,7 @@ impl Sos {
 
     /// Magnitude response in dB at normalized frequency `f`.
     pub fn response_db(&self, f: f64) -> f64 {
-        20.0 * self.response(f).abs().log10()
+        crate::math::amp_to_db(self.response(f).abs())
     }
 
     /// `true` when every section is stable.
@@ -370,7 +370,7 @@ mod tests {
             }
         }
         let p = sum / (n / 2 - 1) as f64;
-        let att_db = -10.0 * p.log10();
+        let att_db = -crate::math::lin_to_db(p);
         assert!(att_db > 1.0 && att_db < 5.0, "attenuation {att_db} dB");
     }
 }

@@ -3,6 +3,12 @@
 //! All power quantities in the workspace use the 1 Ω convention documented
 //! in `DESIGN.md`: a complex envelope tone of amplitude `A` carries
 //! `A²/2` watts.
+//!
+//! The dB↔linear conversions are thin `f64` wrappers over the blessed
+//! implementations in [`wlan_units`] — the single home of the raw
+//! `10^(x/10)`-style expressions gated by the `wlan-lint units` pass.
+
+use wlan_units::{Db, Dbm, PowerW};
 
 /// Boltzmann constant in J/K.
 pub const BOLTZMANN: f64 = 1.380_649e-23;
@@ -18,13 +24,13 @@ pub const T0_KELVIN: f64 = 290.0;
 /// ```
 #[inline]
 pub fn lin_to_db(ratio: f64) -> f64 {
-    10.0 * ratio.log10()
+    Db::from_linear(ratio).0
 }
 
 /// Converts decibels to a power ratio: `10^(db/10)`.
 #[inline]
 pub fn db_to_lin(db: f64) -> f64 {
-    10f64.powf(db / 10.0)
+    Db(db).to_linear()
 }
 
 /// Converts watts to dBm.
@@ -36,25 +42,25 @@ pub fn db_to_lin(db: f64) -> f64 {
 /// ```
 #[inline]
 pub fn watts_to_dbm(watts: f64) -> f64 {
-    10.0 * (watts / 1e-3).log10()
+    Dbm::from_watts(PowerW(watts)).0
 }
 
 /// Converts dBm to watts.
 #[inline]
 pub fn dbm_to_watts(dbm: f64) -> f64 {
-    1e-3 * 10f64.powf(dbm / 10.0)
+    Dbm(dbm).to_watts().0
 }
 
 /// Converts a voltage (amplitude) ratio to decibels: `20·log10(ratio)`.
 #[inline]
 pub fn amp_to_db(ratio: f64) -> f64 {
-    20.0 * ratio.log10()
+    Db::from_amplitude_ratio(ratio).0
 }
 
 /// Converts decibels to a voltage (amplitude) ratio: `10^(db/20)`.
 #[inline]
 pub fn db_to_amp(db: f64) -> f64 {
-    10f64.powf(db / 20.0)
+    Db(db).to_amplitude_ratio()
 }
 
 /// Normalized sinc function `sin(πx)/(πx)` with `sinc(0) = 1`.

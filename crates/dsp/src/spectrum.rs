@@ -137,7 +137,7 @@ pub fn band_power(freqs: &[f64], psd: &[f64], f_lo: f64, f_hi: f64) -> f64 {
 pub fn acpr_db(freqs: &[f64], psd: &[f64], offset_hz: f64, bw_hz: f64) -> f64 {
     let main = band_power(freqs, psd, -bw_hz / 2.0, bw_hz / 2.0);
     let adj = band_power(freqs, psd, offset_hz - bw_hz / 2.0, offset_hz + bw_hz / 2.0);
-    10.0 * (adj / main).log10()
+    crate::math::lin_to_db(adj / main)
 }
 
 #[cfg(test)]

@@ -1,0 +1,33 @@
+//! Known-bad fixture for the `wlan-lint units` pass. Every block below
+//! must keep tripping a rule; CI asserts this file is rejected with
+//! exit code 1. Not compiled into any crate — directory walks skip
+//! `fixtures/`, the file is only linted when listed explicitly.
+
+/// UN003: raw unit-suffixed public fields that should be newtypes.
+pub struct RawFrontEnd {
+    pub gain_db: f64,
+    pub p1db_dbm: Option<f64>,
+    pub lo_freq_hz: f64,
+}
+
+impl RawFrontEnd {
+    /// UN001: raw dB→linear conversions.
+    pub fn linear_gain(&self) -> f64 {
+        10f64.powf(self.gain_db / 10.0)
+    }
+
+    /// UN001 (amplitude flavor).
+    pub fn amplitude_gain(&self) -> f64 {
+        10f64.powf(self.gain_db / 20.0)
+    }
+
+    /// UN002: raw linear→dB conversions.
+    pub fn gain_from_ratio(ratio: f64) -> f64 {
+        10.0 * ratio.log10()
+    }
+
+    /// UN002 (amplitude flavor).
+    pub fn gain_from_amplitude(ratio: f64) -> f64 {
+        20.0 * ratio.log10()
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! wlan-lint [--json] [--input NODE] [--output NODE] [NETLIST.net ...]
+//! wlan-lint units [--json] [--allowlist FILE] [PATH ...]
 //! ```
 //!
 //! With no file arguments, lints every built-in experiment graph and
@@ -9,11 +10,116 @@
 //! arguments, lints those netlists instead (boundary nodes default to
 //! `rf`/`out`, overridable with `--input`/`--output`).
 //!
+//! The `units` mode scans Rust sources for raw dB math outside the
+//! blessed `wlan-units` crate (paths default to `crates`, `tests` and
+//! `examples`; the allowlist defaults to
+//! `crates/lint/units_allowlist.txt` when present). Directories are
+//! walked with `fixtures/` and `target/` skipped; explicitly listed
+//! files are always scanned.
+//!
 //! Exit status: 0 when no errors were found (warnings allowed), 1 when
 //! any error-severity diagnostic was reported, 2 on usage/IO problems.
 
 use std::process::ExitCode;
-use wlan_lint::{ams, dataflow, Report};
+use wlan_lint::{ams, dataflow, units, Report};
+
+/// Default allowlist location relative to the invocation directory
+/// (the repository root in CI).
+const DEFAULT_ALLOWLIST: &str = "crates/lint/units_allowlist.txt";
+
+struct UnitsOptions {
+    json: bool,
+    allowlist: Option<String>,
+    paths: Vec<String>,
+}
+
+fn parse_units_args(args: impl Iterator<Item = String>) -> Result<UnitsOptions, String> {
+    let mut opts = UnitsOptions {
+        json: false,
+        allowlist: None,
+        paths: Vec::new(),
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--allowlist" => {
+                opts.allowlist = Some(args.next().ok_or("--allowlist requires a file path")?);
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: wlan-lint units [--json] [--allowlist FILE] [PATH ...]
+                     
+                     Scans Rust sources for raw dB math and raw unit-suffixed f64
+                     fields outside the wlan-units crate. Defaults: paths crates
+                     tests examples, allowlist crates/lint/units_allowlist.txt."
+                        .to_string(),
+                );
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option '{other}' (try --help)"));
+            }
+            path => opts.paths.push(path.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+fn run_units(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut opts = match parse_units_args(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let allow = {
+        let (path, required) = match &opts.allowlist {
+            Some(p) => (p.clone(), true),
+            None => (DEFAULT_ALLOWLIST.to_string(), false),
+        };
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let (allow, bad) = units::Allowlist::parse(&text);
+                if !bad.is_empty() {
+                    for (line, text) in &bad {
+                        eprintln!("wlan-lint: {path}:{line}: bad allowlist entry: {text}");
+                    }
+                    return ExitCode::from(2);
+                }
+                allow
+            }
+            Err(e) if required => {
+                eprintln!("wlan-lint: cannot read allowlist '{path}': {e}");
+                return ExitCode::from(2);
+            }
+            Err(_) => units::Allowlist::default(),
+        }
+    };
+    if opts.paths.is_empty() {
+        opts.paths = ["crates", "tests", "examples"]
+            .iter()
+            .filter(|p| std::path::Path::new(p).exists())
+            .map(|p| p.to_string())
+            .collect();
+    }
+    let (report, io_errors) = units::lint_paths(&opts.paths, &allow);
+    for (path, e) in &io_errors {
+        eprintln!("wlan-lint: cannot read '{path}': {e}");
+    }
+    if opts.json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if !io_errors.is_empty() {
+        ExitCode::from(2)
+    } else if report.has_errors() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
 
 struct Options {
     json: bool,
@@ -57,6 +163,11 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("units") {
+        argv.next();
+        return run_units(argv);
+    }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(msg) => {

@@ -12,6 +12,10 @@
 //!   behavioral netlists: floating/dangling nodes, double-driven nodes,
 //!   feedback loops, unknown models, missing or non-physical
 //!   parameters, and structural singularity (no input→output path).
+//! * [`units::lint_paths`] — the dimension-safety ratchet: raw
+//!   `10^(x/10)`-style dB math and unit-suffixed raw `f64` public
+//!   fields are only legal inside `crates/units` or on allowlisted
+//!   serialization boundaries.
 //!
 //! Findings are [`Diagnostic`]s collected into a [`Report`] that
 //! renders as human-readable text or machine-readable JSON, and the
@@ -20,6 +24,7 @@
 
 pub mod ams;
 pub mod dataflow;
+pub mod units;
 
 /// Schema version of the JSON report emitted by [`Report::to_json`].
 /// Bump on any structural change so CI consumers can diff artifacts
@@ -51,7 +56,7 @@ pub struct Diagnostic {
     /// Severity level.
     pub severity: Severity,
     /// Stable machine-readable code (`DF0xx` dataflow, `AMS0xx` netlist
-    /// errors, `AMS1xx` netlist warnings).
+    /// errors, `AMS1xx` netlist warnings, `UN0xx` units).
     pub code: &'static str,
     /// The graph or netlist the finding belongs to.
     pub target: String,

@@ -46,8 +46,8 @@ pub fn measure_acpr(
         main_w: main,
         lower_w: lower,
         upper_w: upper,
-        lower_db: 10.0 * (lower / main).log10(),
-        upper_db: 10.0 * (upper / main).log10(),
+        lower_db: wlan_dsp::math::lin_to_db(lower / main),
+        upper_db: wlan_dsp::math::lin_to_db(upper / main),
     }
 }
 
@@ -119,7 +119,7 @@ mod tests {
             .add(&x, 0.0, -20.0, 0)
             .render();
         let clean = measure_acpr(&scene[2048..], 80e6, 20e6, 16.6e6);
-        let nl = Nonlinearity::rapp(-25.0); // deep compression
+        let nl = Nonlinearity::rapp(wlan_units::Dbm(-25.0)); // deep compression
         let dirty_sig: Vec<Complex> = scene.iter().map(|&u| nl.apply(u, 1.0)).collect();
         let dirty = measure_acpr(&dirty_sig[2048..], 80e6, 20e6, 16.6e6);
         assert!(

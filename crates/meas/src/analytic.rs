@@ -102,7 +102,7 @@ fn pam_gray_ber(levels: &[PamLevel], scale: f64, sigma: f64) -> f64 {
 
 fn per_axis_sigma(snr_db: f64) -> f64 {
     // Total complex noise power nv splits evenly between I and Q.
-    (10f64.powf(-snr_db / 10.0) / 2.0).sqrt()
+    (wlan_dsp::math::db_to_lin(-snr_db) / 2.0).sqrt()
 }
 
 /// Exact BPSK bit error rate over AWGN (equals `Q(√(2·SNR))`).
@@ -168,7 +168,7 @@ mod tests {
     #[test]
     fn bpsk_matches_textbook_form() {
         for snr_db in [-2.0, 0.0, 4.0, 8.0, 10.0] {
-            let snr = 10f64.powf(snr_db / 10.0);
+            let snr = wlan_dsp::math::db_to_lin(snr_db);
             let expect = q_function((2.0 * snr).sqrt());
             let got = ber_bpsk(snr_db);
             assert!((got - expect).abs() < 1e-12, "{snr_db} dB: {got} {expect}");
@@ -178,7 +178,7 @@ mod tests {
     #[test]
     fn qpsk_matches_textbook_form() {
         for snr_db in [0.0, 5.0, 10.0] {
-            let snr = 10f64.powf(snr_db / 10.0);
+            let snr = wlan_dsp::math::db_to_lin(snr_db);
             let expect = q_function(snr.sqrt());
             let got = ber_qpsk(snr_db);
             assert!((got - expect).abs() < 1e-12, "{snr_db} dB: {got} {expect}");
@@ -189,7 +189,7 @@ mod tests {
     fn qam16_matches_exact_gray_expression() {
         // Exact Gray 16-QAM: Pb = (3Q₁ + 2Q₃ − Q₅)/4, Qₙ = Q(n·√(SNR/5)).
         for snr_db in [5.0, 10.0, 15.0, 20.0] {
-            let snr = 10f64.powf(snr_db / 10.0);
+            let snr = wlan_dsp::math::db_to_lin(snr_db);
             let q = |n: f64| q_function(n * (snr / 5.0).sqrt());
             let expect = (3.0 * q(1.0) + 2.0 * q(3.0) - q(5.0)) / 4.0;
             let got = ber_qam16(snr_db);
@@ -202,7 +202,7 @@ mod tests {
         // At high SNR only nearest-neighbor errors survive:
         // Pb → (7/12)·Q(√(SNR/21)).
         let snr_db = 26.0;
-        let snr = 10f64.powf(snr_db / 10.0);
+        let snr = wlan_dsp::math::db_to_lin(snr_db);
         let asym = 7.0 / 12.0 * q_function((snr / 21.0).sqrt());
         let got = ber_qam64(snr_db);
         assert!((got - asym).abs() / asym < 1e-3, "{got} vs {asym}");

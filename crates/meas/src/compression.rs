@@ -2,30 +2,30 @@
 //! point of a behavioral block.
 
 use wlan_dsp::goertzel::tone_power_dbm;
-use wlan_dsp::math::dbm_to_watts;
 use wlan_dsp::Complex;
+use wlan_units::{Db, Dbm};
 
 /// One point of a compression sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompressionPoint {
-    /// Input power (dBm).
-    pub input_dbm: f64,
-    /// Output power at the fundamental (dBm).
-    pub output_dbm: f64,
-    /// Gain (dB).
-    pub gain_db: f64,
+    /// Input power.
+    pub input_dbm: Dbm,
+    /// Output power at the fundamental.
+    pub output_dbm: Dbm,
+    /// Gain.
+    pub gain_db: Db,
 }
 
 /// Result of a compression measurement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompressionMeasurement {
-    /// Small-signal gain (dB).
-    pub small_signal_gain_db: f64,
-    /// Input-referred 1 dB compression point (dBm), if reached within
-    /// the swept range.
-    pub p1db_in_dbm: Option<f64>,
-    /// Output-referred 1 dB compression point (dBm).
-    pub p1db_out_dbm: Option<f64>,
+    /// Small-signal gain.
+    pub small_signal_gain_db: Db,
+    /// Input-referred 1 dB compression point, if reached within the
+    /// swept range.
+    pub p1db_in_dbm: Option<Dbm>,
+    /// Output-referred 1 dB compression point.
+    pub p1db_out_dbm: Option<Dbm>,
     /// The raw sweep.
     pub sweep: Vec<CompressionPoint>,
 }
@@ -39,20 +39,20 @@ pub struct CompressionMeasurement {
 pub fn measure_p1db<F>(
     device: &mut F,
     tone_hz: f64,
-    start_dbm: f64,
-    stop_dbm: f64,
-    step_db: f64,
+    start_dbm: Dbm,
+    stop_dbm: Dbm,
+    step_db: Db,
     sample_rate_hz: f64,
     samples_per_point: usize,
 ) -> CompressionMeasurement
 where
     F: FnMut(&[Complex]) -> Vec<Complex>,
 {
-    assert!(stop_dbm > start_dbm && step_db > 0.0, "bad sweep range");
+    assert!(stop_dbm > start_dbm && step_db > Db::ZERO, "bad sweep range");
     let mut sweep = Vec::new();
     let mut p = start_dbm;
-    while p <= stop_dbm + 1e-9 {
-        let a = (2.0 * dbm_to_watts(p)).sqrt();
+    while p.0 <= stop_dbm.0 + 1e-9 {
+        let a = p.to_amplitude().0;
         let x: Vec<Complex> = (0..samples_per_point)
             .map(|n| {
                 Complex::from_polar(
@@ -62,7 +62,7 @@ where
             })
             .collect();
         let y = device(&x);
-        let out = tone_power_dbm(&y[y.len() / 4..], tone_hz, sample_rate_hz);
+        let out = Dbm(tone_power_dbm(&y[y.len() / 4..], tone_hz, sample_rate_hz));
         sweep.push(CompressionPoint {
             input_dbm: p,
             output_dbm: out,
@@ -72,19 +72,20 @@ where
     }
     let g0 = sweep[0].gain_db;
     // Find the crossing of gain = g0 − 1 dB.
+    let threshold = g0 - Db(1.0);
     let mut p1 = None;
     for w in sweep.windows(2) {
         let (a, b) = (w[0], w[1]);
-        if a.gain_db >= g0 - 1.0 && b.gain_db < g0 - 1.0 {
-            let t = (g0 - 1.0 - a.gain_db) / (b.gain_db - a.gain_db);
-            p1 = Some(a.input_dbm + t * (b.input_dbm - a.input_dbm));
+        if a.gain_db >= threshold && b.gain_db < threshold {
+            let t = (threshold - a.gain_db).0 / (b.gain_db - a.gain_db).0;
+            p1 = Some(Dbm(a.input_dbm.0 + t * (b.input_dbm - a.input_dbm).0));
             break;
         }
     }
     CompressionMeasurement {
         small_signal_gain_db: g0,
         p1db_in_dbm: p1,
-        p1db_out_dbm: p1.map(|pin| pin + g0 - 1.0),
+        p1db_out_dbm: p1.map(|pin| pin + g0 - Db(1.0)),
         sweep,
     }
 }
@@ -95,7 +96,7 @@ mod tests {
     use wlan_rf::nonlinearity::Nonlinearity;
 
     fn rapp_device(p1db: f64, gain: f64) -> impl FnMut(&[Complex]) -> Vec<Complex> {
-        let nl = Nonlinearity::rapp(p1db);
+        let nl = Nonlinearity::rapp(Dbm(p1db));
         move |x: &[Complex]| x.iter().map(|&u| nl.apply(u, gain)).collect()
     }
 
@@ -103,40 +104,48 @@ mod tests {
     fn finds_rapp_p1db() {
         for p1 in [-25.0, -10.0, 0.0] {
             let mut dev = rapp_device(p1, 5.0);
-            let m = measure_p1db(&mut dev, 1e6, p1 - 30.0, p1 + 10.0, 1.0, 80e6, 4000);
+            let m = measure_p1db(
+                &mut dev,
+                1e6,
+                Dbm(p1 - 30.0),
+                Dbm(p1 + 10.0),
+                Db(1.0),
+                80e6,
+                4000,
+            );
             let got = m.p1db_in_dbm.expect("compression reached");
-            assert!((got - p1).abs() < 0.25, "set {p1}, got {got}");
-            assert!((m.small_signal_gain_db - 13.98).abs() < 0.1);
+            assert!((got.0 - p1).abs() < 0.25, "set {p1}, got {got}");
+            assert!((m.small_signal_gain_db.0 - 13.98).abs() < 0.1);
             let out = m.p1db_out_dbm.unwrap();
-            assert!((out - (p1 + 13.98 - 1.0)).abs() < 0.4, "out {out}");
+            assert!((out.0 - (p1 + 13.98 - 1.0)).abs() < 0.4, "out {out}");
         }
     }
 
     #[test]
     fn cubic_p1db_is_9p6_below_iip3() {
-        let nl = Nonlinearity::Cubic { iip3_dbm: -5.0 };
+        let nl = Nonlinearity::Cubic { iip3_dbm: Dbm(-5.0) };
         let mut dev =
             |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| nl.apply(u, 1.0)).collect() };
-        let m = measure_p1db(&mut dev, 1e6, -40.0, -5.0, 0.5, 80e6, 4000);
+        let m = measure_p1db(&mut dev, 1e6, Dbm(-40.0), Dbm(-5.0), Db(0.5), 80e6, 4000);
         let got = m.p1db_in_dbm.expect("reached");
-        assert!((got - (-14.64)).abs() < 0.3, "got {got}");
+        assert!((got.0 - (-14.64)).abs() < 0.3, "got {got}");
     }
 
     #[test]
     fn linear_device_never_compresses() {
         let mut dev = |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| u * 3.0).collect() };
-        let m = measure_p1db(&mut dev, 1e6, -40.0, 0.0, 2.0, 80e6, 2000);
+        let m = measure_p1db(&mut dev, 1e6, Dbm(-40.0), Dbm(0.0), Db(2.0), 80e6, 2000);
         assert!(m.p1db_in_dbm.is_none());
-        assert!((m.small_signal_gain_db - 9.54).abs() < 0.05);
+        assert!((m.small_signal_gain_db.0 - 9.54).abs() < 0.05);
     }
 
     #[test]
     fn sweep_is_monotone_in_input() {
         let mut dev = rapp_device(-10.0, 1.0);
-        let m = measure_p1db(&mut dev, 1e6, -40.0, 10.0, 2.0, 80e6, 2000);
+        let m = measure_p1db(&mut dev, 1e6, Dbm(-40.0), Dbm(10.0), Db(2.0), 80e6, 2000);
         for w in m.sweep.windows(2) {
             assert!(w[1].input_dbm > w[0].input_dbm);
-            assert!(w[1].output_dbm >= w[0].output_dbm - 0.01);
+            assert!(w[1].output_dbm.0 >= w[0].output_dbm.0 - 0.01);
         }
     }
 
@@ -144,6 +153,6 @@ mod tests {
     #[should_panic]
     fn degenerate_sweep_panics() {
         let mut dev = |x: &[Complex]| -> Vec<Complex> { x.to_vec() };
-        let _ = measure_p1db(&mut dev, 1e6, 0.0, -10.0, 1.0, 80e6, 100);
+        let _ = measure_p1db(&mut dev, 1e6, Dbm(0.0), Dbm(-10.0), Db(1.0), 80e6, 100);
     }
 }

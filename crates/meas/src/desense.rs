@@ -4,26 +4,26 @@
 //! requirement, measured the way an RF lab would.
 
 use wlan_dsp::goertzel::tone_power_dbm;
-use wlan_dsp::math::dbm_to_watts;
 use wlan_dsp::Complex;
+use wlan_units::{Db, Dbm};
 
 /// One desensitization sweep point.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DesensePoint {
-    /// Blocker power (dBm).
-    pub blocker_dbm: f64,
-    /// Gain seen by the wanted tone (dB).
-    pub wanted_gain_db: f64,
+    /// Blocker power.
+    pub blocker_dbm: Dbm,
+    /// Gain seen by the wanted tone.
+    pub wanted_gain_db: Db,
 }
 
 /// Result of a desensitization measurement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DesenseMeasurement {
-    /// Gain with no blocker (dB).
-    pub clean_gain_db: f64,
-    /// Blocker level causing 1 dB of gain loss on the wanted signal
-    /// (dBm), if reached.
-    pub desense_1db_dbm: Option<f64>,
+    /// Gain with no blocker.
+    pub clean_gain_db: Db,
+    /// Blocker level causing 1 dB of gain loss on the wanted signal,
+    /// if reached.
+    pub desense_1db_dbm: Option<Dbm>,
     /// The sweep.
     pub sweep: Vec<DesensePoint>,
 }
@@ -39,30 +39,30 @@ pub struct DesenseMeasurement {
 pub fn measure_desense<F>(
     device: &mut F,
     f_wanted: f64,
-    wanted_dbm: f64,
+    wanted_dbm: Dbm,
     f_blocker: f64,
-    start_dbm: f64,
-    stop_dbm: f64,
-    step_db: f64,
+    start_dbm: Dbm,
+    stop_dbm: Dbm,
+    step_db: Db,
     sample_rate_hz: f64,
     samples_per_point: usize,
 ) -> DesenseMeasurement
 where
     F: FnMut(&[Complex]) -> Vec<Complex>,
 {
-    assert!(stop_dbm > start_dbm && step_db > 0.0, "bad sweep");
+    assert!(stop_dbm > start_dbm && step_db > Db::ZERO, "bad sweep");
     assert!(
         f_wanted.abs() < sample_rate_hz / 2.0 && f_blocker.abs() < sample_rate_hz / 2.0,
         "tones beyond Nyquist"
     );
-    let a_w = (2.0 * dbm_to_watts(wanted_dbm)).sqrt();
+    let a_w = wanted_dbm.to_amplitude().0;
     let tail_len = samples_per_point - samples_per_point / 4;
     let grid = sample_rate_hz / tail_len as f64;
     let fw = (f_wanted / grid).round() * grid;
     let fb = (f_blocker / grid).round() * grid;
 
-    let run_point = |device: &mut F, blocker_dbm: Option<f64>| -> f64 {
-        let a_b = blocker_dbm.map(|p| (2.0 * dbm_to_watts(p)).sqrt());
+    let run_point = |device: &mut F, blocker_dbm: Option<Dbm>| -> Db {
+        let a_b = blocker_dbm.map(|p| p.to_amplitude().0);
         let x: Vec<Complex> = (0..samples_per_point)
             .map(|n| {
                 let t = n as f64 / sample_rate_hz;
@@ -74,13 +74,13 @@ where
             })
             .collect();
         let y = device(&x);
-        tone_power_dbm(&y[y.len() - tail_len..], fw, sample_rate_hz) - wanted_dbm
+        Dbm(tone_power_dbm(&y[y.len() - tail_len..], fw, sample_rate_hz)) - wanted_dbm
     };
 
     let clean_gain_db = run_point(device, None);
     let mut sweep = Vec::new();
     let mut p = start_dbm;
-    while p <= stop_dbm + 1e-9 {
+    while p.0 <= stop_dbm.0 + 1e-9 {
         sweep.push(DesensePoint {
             blocker_dbm: p,
             wanted_gain_db: run_point(device, Some(p)),
@@ -88,11 +88,14 @@ where
         p += step_db;
     }
     let mut desense = None;
+    let threshold = clean_gain_db - Db(1.0);
     for w in sweep.windows(2) {
-        if w[0].wanted_gain_db >= clean_gain_db - 1.0 && w[1].wanted_gain_db < clean_gain_db - 1.0 {
-            let t = (clean_gain_db - 1.0 - w[0].wanted_gain_db)
-                / (w[1].wanted_gain_db - w[0].wanted_gain_db);
-            desense = Some(w[0].blocker_dbm + t * (w[1].blocker_dbm - w[0].blocker_dbm));
+        if w[0].wanted_gain_db >= threshold && w[1].wanted_gain_db < threshold {
+            let t = (threshold - w[0].wanted_gain_db).0
+                / (w[1].wanted_gain_db - w[0].wanted_gain_db).0;
+            desense = Some(Dbm(
+                w[0].blocker_dbm.0 + t * (w[1].blocker_dbm - w[0].blocker_dbm).0
+            ));
             break;
         }
     }
@@ -113,41 +116,71 @@ mod tests {
         // For a limiter, the blocker causing 1 dB desense on a weak
         // wanted tone sits near the device's own P1dB.
         let p1 = -15.0;
-        let nl = Nonlinearity::rapp(p1);
+        let nl = Nonlinearity::rapp(Dbm(p1));
         let mut dev =
             |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| nl.apply(u, 3.0)).collect() };
-        let m = measure_desense(&mut dev, 1e6, -60.0, 15e6, -35.0, 5.0, 1.0, 80e6, 8000);
+        let m = measure_desense(
+            &mut dev,
+            1e6,
+            Dbm(-60.0),
+            15e6,
+            Dbm(-35.0),
+            Dbm(5.0),
+            Db(1.0),
+            80e6,
+            8000,
+        );
         assert!(
-            (m.clean_gain_db - 9.54).abs() < 0.1,
+            (m.clean_gain_db.0 - 9.54).abs() < 0.1,
             "gain {}",
             m.clean_gain_db
         );
         let d = m.desense_1db_dbm.expect("desense reached");
         assert!(
-            (d - p1).abs() < 4.0,
-            "1 dB desense at {d} dBm vs P1dB {p1} dBm"
+            (d.0 - p1).abs() < 4.0,
+            "1 dB desense at {d} vs P1dB {p1} dBm"
         );
     }
 
     #[test]
     fn linear_device_never_desensitizes() {
         let mut dev = |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| u * 2.0).collect() };
-        let m = measure_desense(&mut dev, 1e6, -60.0, 15e6, -30.0, 0.0, 3.0, 80e6, 8000);
+        let m = measure_desense(
+            &mut dev,
+            1e6,
+            Dbm(-60.0),
+            15e6,
+            Dbm(-30.0),
+            Dbm(0.0),
+            Db(3.0),
+            80e6,
+            8000,
+        );
         assert!(m.desense_1db_dbm.is_none());
         for p in &m.sweep {
-            assert!((p.wanted_gain_db - m.clean_gain_db).abs() < 0.1);
+            assert!((p.wanted_gain_db - m.clean_gain_db).0.abs() < 0.1);
         }
     }
 
     #[test]
     fn gain_monotonically_drops_with_blocker() {
-        let nl = Nonlinearity::rapp(-20.0);
+        let nl = Nonlinearity::rapp(Dbm(-20.0));
         let mut dev =
             |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| nl.apply(u, 1.0)).collect() };
-        let m = measure_desense(&mut dev, 1e6, -60.0, 10e6, -40.0, 0.0, 4.0, 80e6, 8000);
+        let m = measure_desense(
+            &mut dev,
+            1e6,
+            Dbm(-60.0),
+            10e6,
+            Dbm(-40.0),
+            Dbm(0.0),
+            Db(4.0),
+            80e6,
+            8000,
+        );
         for w in m.sweep.windows(2) {
             assert!(
-                w[1].wanted_gain_db <= w[0].wanted_gain_db + 0.05,
+                w[1].wanted_gain_db <= w[0].wanted_gain_db + Db(0.05),
                 "{:?} -> {:?}",
                 w[0],
                 w[1]
@@ -159,6 +192,16 @@ mod tests {
     #[should_panic]
     fn bad_sweep_panics() {
         let mut dev = |x: &[Complex]| -> Vec<Complex> { x.to_vec() };
-        let _ = measure_desense(&mut dev, 1e6, -60.0, 10e6, 0.0, -10.0, 1.0, 80e6, 100);
+        let _ = measure_desense(
+            &mut dev,
+            1e6,
+            Dbm(-60.0),
+            10e6,
+            Dbm(0.0),
+            Dbm(-10.0),
+            Db(1.0),
+            80e6,
+            100,
+        );
     }
 }

@@ -62,7 +62,7 @@ impl EvmMeter {
 
     /// RMS EVM in dB.
     pub fn rms_db(&self) -> f64 {
-        20.0 * self.rms().log10()
+        wlan_dsp::math::amp_to_db(self.rms())
     }
 
     /// Peak symbol error magnitude relative to the RMS reference.
@@ -77,7 +77,7 @@ impl EvmMeter {
 
 /// EVM expected from pure AWGN at a given SNR: `EVM = 10^(−SNR/20)`.
 pub fn evm_from_snr_db(snr_db: f64) -> f64 {
-    10f64.powf(-snr_db / 20.0)
+    wlan_dsp::math::db_to_amp(-snr_db)
 }
 
 #[cfg(test)]
@@ -111,7 +111,7 @@ mod tests {
     fn awgn_evm_matches_snr() {
         let mut rng = Rng::new(1);
         let snr_db = 25.0;
-        let nv = 10f64.powf(-snr_db / 10.0);
+        let nv = wlan_dsp::math::db_to_lin(-snr_db);
         let mut m = EvmMeter::new();
         for _ in 0..100_000 {
             let r = Complex::ONE + rng.complex_gaussian(nv);

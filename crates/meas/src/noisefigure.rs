@@ -3,21 +3,21 @@
 
 use wlan_dsp::complex::mean_power;
 use wlan_dsp::goertzel::tone_power;
-use wlan_dsp::math::{dbm_to_watts, lin_to_db};
 use wlan_dsp::{Complex, Rng};
 use wlan_rf::noise::source_noise_power;
+use wlan_units::{Db, Dbm};
 
 /// Result of a noise-figure measurement.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoiseFigureMeasurement {
-    /// Input SNR (dB) of the probe tone over the source floor.
-    pub snr_in_db: f64,
-    /// Output SNR (dB).
-    pub snr_out_db: f64,
-    /// Noise figure (dB): `SNR_in − SNR_out`.
-    pub nf_db: f64,
-    /// Measured device gain (dB).
-    pub gain_db: f64,
+    /// Input SNR of the probe tone over the source floor.
+    pub snr_in_db: Db,
+    /// Output SNR.
+    pub snr_out_db: Db,
+    /// Noise figure: `SNR_in − SNR_out`.
+    pub nf_db: Db,
+    /// Measured device gain.
+    pub gain_db: Db,
 }
 
 /// Measures the noise figure of `device` by driving it with a probe tone
@@ -29,7 +29,7 @@ pub struct NoiseFigureMeasurement {
 pub fn measure_noise_figure<F>(
     device: &mut F,
     tone_hz: f64,
-    tone_dbm: f64,
+    tone_dbm: Dbm,
     sample_rate_hz: f64,
     samples: usize,
     seed: u64,
@@ -39,7 +39,7 @@ where
 {
     let mut rng = Rng::new(seed);
     let floor = source_noise_power(sample_rate_hz);
-    let a = (2.0 * dbm_to_watts(tone_dbm)).sqrt();
+    let a = tone_dbm.to_amplitude().0;
     let x: Vec<Complex> = (0..samples)
         .map(|n| {
             Complex::from_polar(
@@ -55,9 +55,10 @@ where
     let p_total_out = mean_power(tail);
     let p_noise_out = (p_total_out - p_tone_out).max(1e-300);
 
-    let snr_in_db = lin_to_db(2.0 * dbm_to_watts(tone_dbm) / floor);
-    let snr_out_db = lin_to_db(p_tone_out / p_noise_out);
-    let gain_db = lin_to_db(p_tone_out / (2.0 * dbm_to_watts(tone_dbm)));
+    let p_tone_in = 2.0 * tone_dbm.to_watts().0;
+    let snr_in_db = Db::from_linear(p_tone_in / floor);
+    let snr_out_db = Db::from_linear(p_tone_out / p_noise_out);
+    let gain_db = Db::from_linear(p_tone_out / p_tone_in);
     NoiseFigureMeasurement {
         snr_in_db,
         snr_out_db,
@@ -77,11 +78,11 @@ mod tests {
     fn measures_amplifier_nf() {
         let fs = 20e6;
         for nf in [2.0, 6.0, 12.0] {
-            let mut amp = Amplifier::new(15.0, nf, Nonlinearity::Linear, fs, Rng::new(3));
+            let mut amp = Amplifier::new(Db(15.0), Db(nf), Nonlinearity::Linear, fs, Rng::new(3));
             let mut dev = |x: &[Complex]| amp.process(x);
-            let m = measure_noise_figure(&mut dev, 1e6, -70.0, fs, 400_000, 7);
-            assert!((m.nf_db - nf).abs() < 0.4, "set {nf}, got {}", m.nf_db);
-            assert!((m.gain_db - 15.0).abs() < 0.2, "gain {}", m.gain_db);
+            let m = measure_noise_figure(&mut dev, 1e6, Dbm(-70.0), fs, 400_000, 7);
+            assert!((m.nf_db.0 - nf).abs() < 0.4, "set {nf}, got {}", m.nf_db);
+            assert!((m.gain_db.0 - 15.0).abs() < 0.2, "gain {}", m.gain_db);
         }
     }
 
@@ -89,33 +90,33 @@ mod tests {
     fn noiseless_device_measures_near_zero_nf() {
         let fs = 20e6;
         let mut dev = |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| u * 10.0).collect() };
-        let m = measure_noise_figure(&mut dev, 1e6, -70.0, fs, 200_000, 8);
-        assert!(m.nf_db.abs() < 0.3, "nf {}", m.nf_db);
-        assert!((m.gain_db - 20.0).abs() < 0.2);
+        let m = measure_noise_figure(&mut dev, 1e6, Dbm(-70.0), fs, 200_000, 8);
+        assert!(m.nf_db.0.abs() < 0.3, "nf {}", m.nf_db);
+        assert!((m.gain_db.0 - 20.0).abs() < 0.2);
     }
 
     #[test]
     fn cascade_follows_friis() {
         let fs = 20e6;
         // LNA 15 dB / NF 3, then lossy mixer NF 12 / gain 6.
-        let mut lna = Amplifier::new(15.0, 3.0, Nonlinearity::Linear, fs, Rng::new(4));
-        let mut mix = Amplifier::new(6.0, 12.0, Nonlinearity::Linear, fs, Rng::new(5));
+        let mut lna = Amplifier::new(Db(15.0), Db(3.0), Nonlinearity::Linear, fs, Rng::new(4));
+        let mut mix = Amplifier::new(Db(6.0), Db(12.0), Nonlinearity::Linear, fs, Rng::new(5));
         let mut dev = |x: &[Complex]| -> Vec<Complex> { mix.process(&lna.process(x)) };
-        let m = measure_noise_figure(&mut dev, 1e6, -70.0, fs, 400_000, 9);
+        let m = measure_noise_figure(&mut dev, 1e6, Dbm(-70.0), fs, 400_000, 9);
         let friis = wlan_rf::spec::cascade_noise_figure_db(&[
             wlan_rf::spec::StageSpec {
                 name: "lna",
-                gain_db: 15.0,
-                nf_db: 3.0,
+                gain_db: Db(15.0),
+                nf_db: Db(3.0),
             },
             wlan_rf::spec::StageSpec {
                 name: "mix",
-                gain_db: 6.0,
-                nf_db: 12.0,
+                gain_db: Db(6.0),
+                nf_db: Db(12.0),
             },
         ]);
         assert!(
-            (m.nf_db - friis).abs() < 0.5,
+            (m.nf_db - friis).0.abs() < 0.5,
             "measured {} vs Friis {friis}",
             m.nf_db
         );

@@ -3,24 +3,24 @@
 //! measurements of RF specific parameters", §4.2).
 
 use wlan_dsp::goertzel::tone_power_dbm;
-use wlan_dsp::math::dbm_to_watts;
 use wlan_dsp::Complex;
+use wlan_units::{Db, Dbm};
 
 /// Result of a two-tone IM3 measurement.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Iip3Measurement {
-    /// Input power per tone used for the measurement (dBm).
-    pub input_dbm: f64,
-    /// Output fundamental power (dBm).
-    pub fundamental_dbm: f64,
-    /// Output IM3 product power (dBm).
-    pub im3_dbm: f64,
-    /// Extrapolated input-referred IP3 (dBm).
-    pub iip3_dbm: f64,
-    /// Extrapolated output-referred IP3 (dBm).
-    pub oip3_dbm: f64,
-    /// Measured gain (dB).
-    pub gain_db: f64,
+    /// Input power per tone used for the measurement.
+    pub input_dbm: Dbm,
+    /// Output fundamental power.
+    pub fundamental_dbm: Dbm,
+    /// Output IM3 product power.
+    pub im3_dbm: Dbm,
+    /// Extrapolated input-referred IP3.
+    pub iip3_dbm: Dbm,
+    /// Extrapolated output-referred IP3.
+    pub oip3_dbm: Dbm,
+    /// Measured gain.
+    pub gain_db: Db,
 }
 
 /// Drives a device with two tones at `f1`/`f2` (each at `input_dbm`) and
@@ -37,7 +37,7 @@ pub fn measure_iip3<F>(
     device: &mut F,
     f1_hz: f64,
     f2_hz: f64,
-    input_dbm: f64,
+    input_dbm: Dbm,
     sample_rate_hz: f64,
     samples: usize,
 ) -> Iip3Measurement
@@ -55,7 +55,7 @@ where
     let grid = sample_rate_hz / tail_len as f64;
     let f1 = (f1_hz / grid).round() * grid;
     let f2 = (f2_hz / grid).round() * grid;
-    let a = (2.0 * dbm_to_watts(input_dbm)).sqrt();
+    let a = input_dbm.to_amplitude().0;
     let x: Vec<Complex> = (0..samples)
         .map(|n| {
             let t = n as f64 / sample_rate_hz;
@@ -66,8 +66,8 @@ where
     let y = device(&x);
     // Skip transients.
     let tail = &y[y.len() - tail_len..];
-    let fundamental_dbm = tone_power_dbm(tail, f1, sample_rate_hz);
-    let im3_dbm = tone_power_dbm(tail, 2.0 * f1 - f2, sample_rate_hz);
+    let fundamental_dbm = Dbm(tone_power_dbm(tail, f1, sample_rate_hz));
+    let im3_dbm = Dbm(tone_power_dbm(tail, 2.0 * f1 - f2, sample_rate_hz));
     let gain_db = fundamental_dbm - input_dbm;
     // IIP3 = Pin + ΔIM3/2 where ΔIM3 = fundamental − IM3 (dBc).
     let iip3_dbm = input_dbm + (fundamental_dbm - im3_dbm) / 2.0;
@@ -89,17 +89,17 @@ mod tests {
     #[test]
     fn recovers_cubic_iip3() {
         for iip3 in [-15.0, -5.0, 5.0] {
-            let nl = Nonlinearity::Cubic { iip3_dbm: iip3 };
+            let nl = Nonlinearity::Cubic { iip3_dbm: Dbm(iip3) };
             let mut dev =
                 |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| nl.apply(u, 4.0)).collect() };
-            let m = measure_iip3(&mut dev, 1e6, 1.3e6, iip3 - 30.0, 80e6, 40_000);
+            let m = measure_iip3(&mut dev, 1e6, 1.3e6, Dbm(iip3 - 30.0), 80e6, 40_000);
             assert!(
-                (m.iip3_dbm - iip3).abs() < 0.3,
+                (m.iip3_dbm.0 - iip3).abs() < 0.3,
                 "set {iip3}, measured {}",
                 m.iip3_dbm
             );
-            assert!((m.gain_db - 12.04).abs() < 0.1, "gain {}", m.gain_db);
-            assert!((m.oip3_dbm - (m.iip3_dbm + m.gain_db)).abs() < 1e-9);
+            assert!((m.gain_db.0 - 12.04).abs() < 0.1, "gain {}", m.gain_db);
+            assert!((m.oip3_dbm - (m.iip3_dbm + m.gain_db)).0.abs() < 1e-9);
         }
     }
 
@@ -108,14 +108,14 @@ mod tests {
         // A smoothness-1 Rapp has a true cubic term: its small-signal
         // IIP3 sits ≈8.9 dB above P1dB (v_sat² derivation in the docs).
         let nl = Nonlinearity::Rapp {
-            p1db_dbm: -10.0,
+            p1db_dbm: Dbm(-10.0),
             smoothness: 1.0,
         };
         let mut dev =
             |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| nl.apply(u, 1.0)).collect() };
-        let m = measure_iip3(&mut dev, 1e6, 1.4e6, -35.0, 80e6, 40_000);
+        let m = measure_iip3(&mut dev, 1e6, 1.4e6, Dbm(-35.0), 80e6, 40_000);
         assert!(
-            (m.iip3_dbm - (-1.1)).abs() < 1.5,
+            (m.iip3_dbm.0 - (-1.1)).abs() < 1.5,
             "Rapp(p=1) IIP3 {} vs expected ≈ −1.1 dBm",
             m.iip3_dbm
         );
@@ -125,28 +125,28 @@ mod tests {
     fn high_smoothness_rapp_has_weak_im3() {
         // Smoothness-2 Rapp has no cubic Taylor term, so the
         // small-signal extrapolated "IIP3" is far above P1dB.
-        let nl = Nonlinearity::rapp(-10.0);
+        let nl = Nonlinearity::rapp(Dbm(-10.0));
         let mut dev =
             |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| nl.apply(u, 1.0)).collect() };
-        let m = measure_iip3(&mut dev, 1e6, 1.4e6, -35.0, 80e6, 40_000);
-        assert!(m.iip3_dbm > 5.0, "Rapp(p=2) IIP3 {}", m.iip3_dbm);
+        let m = measure_iip3(&mut dev, 1e6, 1.4e6, Dbm(-35.0), 80e6, 40_000);
+        assert!(m.iip3_dbm.0 > 5.0, "Rapp(p=2) IIP3 {}", m.iip3_dbm);
     }
 
     #[test]
     fn linear_device_has_huge_iip3() {
         let mut dev = |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| u * 2.0).collect() };
-        let m = measure_iip3(&mut dev, 1e6, 1.3e6, -40.0, 80e6, 20_000);
-        assert!(m.iip3_dbm > 50.0, "linear IIP3 {}", m.iip3_dbm);
+        let m = measure_iip3(&mut dev, 1e6, 1.3e6, Dbm(-40.0), 80e6, 20_000);
+        assert!(m.iip3_dbm.0 > 50.0, "linear IIP3 {}", m.iip3_dbm);
     }
 
     #[test]
     fn im3_slope_is_three_to_one() {
-        let nl = Nonlinearity::Cubic { iip3_dbm: 0.0 };
+        let nl = Nonlinearity::Cubic { iip3_dbm: Dbm(0.0) };
         let mut dev =
             |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| nl.apply(u, 1.0)).collect() };
-        let m1 = measure_iip3(&mut dev, 1e6, 1.3e6, -40.0, 80e6, 40_000);
-        let m2 = measure_iip3(&mut dev, 1e6, 1.3e6, -30.0, 80e6, 40_000);
-        let slope = (m2.im3_dbm - m1.im3_dbm) / 10.0;
+        let m1 = measure_iip3(&mut dev, 1e6, 1.3e6, Dbm(-40.0), 80e6, 40_000);
+        let m2 = measure_iip3(&mut dev, 1e6, 1.3e6, Dbm(-30.0), 80e6, 40_000);
+        let slope = (m2.im3_dbm - m1.im3_dbm).0 / 10.0;
         assert!((slope - 3.0).abs() < 0.05, "IM3 slope {slope}");
     }
 
@@ -154,6 +154,6 @@ mod tests {
     #[should_panic]
     fn tone_outside_nyquist_panics() {
         let mut dev = |x: &[Complex]| -> Vec<Complex> { x.to_vec() };
-        let _ = measure_iip3(&mut dev, 50e6, 1e6, -30.0, 80e6, 1000);
+        let _ = measure_iip3(&mut dev, 50e6, 1e6, Dbm(-30.0), 80e6, 1000);
     }
 }

@@ -100,7 +100,7 @@ pub fn estimate_snr_db(ofdm: &Ofdm, body1: &[Complex], body2: &[Complex]) -> Opt
     // Per carrier: E[|sum|²] = S + N/2 and E[|diff|²] = N/2, so
     // S = sig − noise and N = 2·noise.
     let snr = (sig - noise).max(1e-12) / (2.0 * noise);
-    Some(10.0 * snr.log10())
+    Some(wlan_dsp::math::lin_to_db(snr))
 }
 
 /// One equalized OFDM data symbol.
@@ -224,7 +224,7 @@ mod tests {
         let ofdm = Ofdm::new();
         let clean = long_training_symbol(&ofdm);
         for snr_db in [10.0, 20.0, 30.0] {
-            let nv = 10f64.powf(-snr_db / 10.0);
+            let nv = wlan_dsp::math::db_to_lin(-snr_db);
             // Average over realizations (only 52 carriers per estimate).
             let mut rng = Rng::new(42 + snr_db as u64);
             let mut acc = 0.0;

@@ -65,7 +65,7 @@ pub fn check_mask(x: &[Complex], sample_rate_hz: f64) -> MaskReport {
         if f.abs() < 9e6 || f.abs() > sample_rate_hz / 2.0 * 0.95 {
             continue;
         }
-        let level_dbr = 10.0 * (p / ref_density).log10();
+        let level_dbr = wlan_dsp::math::lin_to_db(p / ref_density);
         let margin = mask_dbr(*f) - level_dbr;
         if margin < worst {
             worst = margin;

@@ -81,7 +81,7 @@ pub struct Received {
 impl Received {
     /// EVM in dB (`20·log10(evm_rms)`).
     pub fn evm_db(&self) -> f64 {
-        20.0 * self.evm_rms.log10()
+        wlan_dsp::math::amp_to_db(self.evm_rms)
     }
 
     /// The PSDU as LSB-first bits (for BER counting).
@@ -107,7 +107,7 @@ pub struct RxSummary {
 impl RxSummary {
     /// EVM in dB (`20·log10(evm_rms)`).
     pub fn evm_db(&self) -> f64 {
-        20.0 * self.evm_rms.log10()
+        wlan_dsp::math::amp_to_db(self.evm_rms)
     }
 }
 
@@ -145,6 +145,40 @@ pub struct RxScratch {
     pub psdu: Vec<u8>,
     /// Equalized data subcarriers of the last successful receive.
     pub equalized: Vec<Complex>,
+}
+
+impl RxScratch {
+    /// Pre-reserves every LENGTH-dependent decode buffer for the worst
+    /// case a SIGNAL field can request: a [`MAX_PSDU_LEN`]-byte PSDU at
+    /// whichever rate maximizes each buffer. Without this, a rare decode
+    /// candidate whose (possibly corrupted) LENGTH exceeds everything
+    /// seen during warm-up grows the scratch mid-run. Sync-stage buffers
+    /// (`p`, `r`, `xcorr`, `coarse`, `corrected`) scale with the input
+    /// waveform length and are sized by the first call instead.
+    ///
+    /// [`MAX_PSDU_LEN`]: crate::params::MAX_PSDU_LEN
+    pub fn reserve_worst_case(&mut self) {
+        use crate::params::{ALL_RATES, MAX_PSDU_LEN, N_DATA_CARRIERS};
+        let mut llrs_cap = 0usize;
+        let mut full_cap = 0usize;
+        let mut sym_cap = 0usize;
+        let mut eq_cap = 0usize;
+        for rate in ALL_RATES {
+            let n_sym = rate.data_symbols(MAX_PSDU_LEN);
+            llrs_cap = llrs_cap.max(n_sym * rate.ncbps());
+            // Depunctured full-rate stream: two LLRs per information bit.
+            full_cap = full_cap.max(2 * n_sym * rate.ndbps());
+            sym_cap = sym_cap.max(rate.ncbps());
+            eq_cap = eq_cap.max(n_sym * N_DATA_CARRIERS);
+        }
+        self.llrs.reserve(llrs_cap);
+        self.sym_llrs.reserve(sym_cap);
+        self.full.reserve(full_cap);
+        self.viterbi.reserve_steps(full_cap / 2);
+        self.decoded.reserve(full_cap / 2);
+        self.psdu.reserve(MAX_PSDU_LEN);
+        self.equalized.reserve(eq_cap);
+    }
 }
 
 /// Full 802.11a receiver.
@@ -428,7 +462,7 @@ mod tests {
         seed: u64,
     ) -> Vec<Complex> {
         let mut rng = Rng::new(seed);
-        let nv = 10f64.powf(-snr_db / 10.0);
+        let nv = wlan_dsp::math::db_to_lin(-snr_db);
         let w = 2.0 * std::f64::consts::PI * cfo_hz / SAMPLE_RATE;
         let mut out: Vec<Complex> = (0..pad).map(|_| rng.complex_gaussian(nv)).collect();
         for (n, &s) in burst.iter().enumerate() {

@@ -166,7 +166,7 @@ mod tests {
     fn burst_with_noise(pad: usize, cfo_hz: f64, snr_db: f64, seed: u64) -> (Vec<Complex>, usize) {
         let burst = Transmitter::new(Rate::R12).transmit(&[0xA7; 60]);
         let mut rng = Rng::new(seed);
-        let noise_var = 10f64.powf(-snr_db / 10.0);
+        let noise_var = wlan_dsp::math::db_to_lin(-snr_db);
         let mut out: Vec<Complex> = (0..pad).map(|_| rng.complex_gaussian(noise_var)).collect();
         let w = 2.0 * std::f64::consts::PI * cfo_hz / SAMPLE_RATE;
         for (n, &s) in burst.samples.iter().enumerate() {

@@ -96,6 +96,13 @@ impl ViterbiDecoder {
         }
     }
 
+    /// Pre-reserves trellis storage for decoding up to `n_steps`
+    /// trellis steps (information bits) without reallocating.
+    pub fn reserve_steps(&mut self, n_steps: usize) {
+        self.decisions.reserve(n_steps);
+        self.hard_llrs.reserve(2 * n_steps);
+    }
+
     /// Decodes a tail-terminated message from soft inputs into `bits`
     /// (cleared and refilled with `llrs.len() / 2` decoded bits).
     ///
@@ -318,7 +325,7 @@ mod tests {
         let mut rng = Rng::new(5);
         let ebn0_db: f64 = 4.0;
         // Rate 1/2: Es/N0 = Eb/N0 − 3 dB per coded bit.
-        let esn0 = 10f64.powf((ebn0_db - 3.01) / 10.0);
+        let esn0 = wlan_dsp::math::db_to_lin(ebn0_db - 3.01);
         let sigma = (1.0 / (2.0 * esn0)).sqrt();
         let mut errors = 0usize;
         let mut total = 0usize;

@@ -4,8 +4,8 @@
 
 use crate::noise::ThermalNoise;
 use crate::nonlinearity::Nonlinearity;
-use wlan_dsp::math::db_to_amp;
 use wlan_dsp::{Complex, Rng};
+use wlan_units::Db;
 
 /// Behavioral amplifier model.
 ///
@@ -15,8 +15,8 @@ use wlan_dsp::{Complex, Rng};
 #[derive(Debug, Clone)]
 pub struct Amplifier {
     a1: f64,
-    gain_db: f64,
-    nf_db: f64,
+    gain_db: Db,
+    nf_db: Db,
     nonlinearity: Nonlinearity,
     noise: ThermalNoise,
     noise_enabled: bool,
@@ -25,20 +25,20 @@ pub struct Amplifier {
 impl Amplifier {
     /// Creates an amplifier.
     ///
-    /// * `gain_db` — linear power gain in dB
-    /// * `nf_db` — noise figure in dB (input-referred added noise)
+    /// * `gain_db` — linear power gain
+    /// * `nf_db` — noise figure (input-referred added noise)
     /// * `nonlinearity` — compression model
     /// * `sample_rate_hz` — envelope sample rate (sets the noise bandwidth)
     /// * `rng` — dedicated noise stream
     pub fn new(
-        gain_db: f64,
-        nf_db: f64,
+        gain_db: Db,
+        nf_db: Db,
         nonlinearity: Nonlinearity,
         sample_rate_hz: f64,
         rng: Rng,
     ) -> Self {
         Amplifier {
-            a1: db_to_amp(gain_db),
+            a1: gain_db.to_amplitude_ratio(),
             gain_db,
             nf_db,
             nonlinearity,
@@ -47,13 +47,13 @@ impl Amplifier {
         }
     }
 
-    /// Linear gain in dB.
-    pub fn gain_db(&self) -> f64 {
+    /// Linear gain.
+    pub fn gain_db(&self) -> Db {
         self.gain_db
     }
 
-    /// Noise figure in dB.
-    pub fn nf_db(&self) -> f64 {
+    /// Noise figure.
+    pub fn nf_db(&self) -> Db {
         self.nf_db
     }
 
@@ -100,7 +100,7 @@ mod tests {
 
     #[test]
     fn linear_gain_applied() {
-        let mut amp = Amplifier::new(20.0, 0.0, Nonlinearity::Linear, 20e6, Rng::new(1));
+        let mut amp = Amplifier::new(Db(20.0), Db(0.0), Nonlinearity::Linear, 20e6, Rng::new(1));
         let x = tone(-40.0, 1000);
         let y = amp.process(&x);
         let g = lin_to_db(mean_power(&y) / mean_power(&x));
@@ -113,7 +113,7 @@ mod tests {
         // should be input SNR − NF.
         let fs = 20e6;
         let nf = 6.0;
-        let mut amp = Amplifier::new(15.0, nf, Nonlinearity::Linear, fs, Rng::new(2));
+        let mut amp = Amplifier::new(Db(15.0), Db(nf), Nonlinearity::Linear, fs, Rng::new(2));
         let n = 200_000;
         let sig = tone(-70.0, n);
         let mut src =
@@ -121,7 +121,7 @@ mod tests {
         let x: Vec<Complex> = sig.iter().map(|&s| s + src.next_sample()).collect();
         let y = amp.process(&x);
         // Output noise: run the amp again on noise-only input.
-        let mut amp2 = Amplifier::new(15.0, nf, Nonlinearity::Linear, fs, Rng::new(2));
+        let mut amp2 = Amplifier::new(Db(15.0), Db(nf), Nonlinearity::Linear, fs, Rng::new(2));
         let mut src2 =
             crate::noise::ThermalNoise::new(crate::noise::source_noise_power(fs), Rng::new(3));
         let noise_in: Vec<Complex> = (0..n).map(|_| src2.next_sample()).collect();
@@ -134,11 +134,11 @@ mod tests {
 
     #[test]
     fn noise_disable_makes_it_deterministic() {
-        let mut amp = Amplifier::new(10.0, 8.0, Nonlinearity::Linear, 20e6, Rng::new(4));
+        let mut amp = Amplifier::new(Db(10.0), Db(8.0), Nonlinearity::Linear, 20e6, Rng::new(4));
         amp.set_noise_enabled(false);
         let x = tone(-50.0, 100);
         let y1 = amp.process(&x);
-        let mut amp2 = Amplifier::new(10.0, 8.0, Nonlinearity::Linear, 20e6, Rng::new(99));
+        let mut amp2 = Amplifier::new(Db(10.0), Db(8.0), Nonlinearity::Linear, 20e6, Rng::new(99));
         amp2.set_noise_enabled(false);
         let y2 = amp2.process(&x);
         assert_eq!(y1, y2);
@@ -146,7 +146,7 @@ mod tests {
 
     #[test]
     fn compression_reduces_gain_at_high_level() {
-        let mut amp = Amplifier::new(15.0, 0.0, Nonlinearity::rapp(-15.0), 20e6, Rng::new(5));
+        let mut amp = Amplifier::new(Db(15.0), Db(0.0), Nonlinearity::rapp(wlan_units::Dbm(-15.0)), 20e6, Rng::new(5));
         let lo = tone(-60.0, 500);
         let hi = tone(-15.0, 500);
         let g_lo = lin_to_db(mean_power(&amp.process(&lo)) / mean_power(&lo));

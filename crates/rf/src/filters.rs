@@ -144,7 +144,7 @@ mod tests {
             .map(|i| Complex::cis(2.0 * std::f64::consts::PI * f * i as f64 / fs))
             .collect();
         let y = filter.process(&x);
-        10.0 * mean_power(&y[n / 2..]).log10()
+        wlan_dsp::math::lin_to_db(mean_power(&y[n / 2..]))
     }
 
     #[test]

@@ -10,40 +10,40 @@
 
 use crate::noise::{FlickerNoise, ThermalNoise};
 use crate::phase_noise::PhaseNoise;
-use wlan_dsp::math::{db_to_amp, dbm_to_watts};
 use wlan_dsp::{Complex, Rng};
+use wlan_units::{Db, Dbm, Hz};
 
 /// Mixer configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MixerConfig {
-    /// Conversion gain in dB.
-    pub gain_db: f64,
-    /// Noise figure in dB.
-    pub nf_db: f64,
-    /// Output-referred DC offset from LO self-mixing, in dBm
+    /// Conversion gain.
+    pub gain_db: Db,
+    /// Noise figure.
+    pub nf_db: Db,
+    /// Output-referred DC offset from LO self-mixing
     /// (`None` = no DC offset).
-    pub dc_offset_dbm: Option<f64>,
-    /// Amplitude imbalance between I and Q in dB (0 = balanced).
-    pub iq_gain_imbalance_db: f64,
+    pub dc_offset_dbm: Option<Dbm>,
+    /// Amplitude imbalance between I and Q (0 dB = balanced).
+    pub iq_gain_imbalance_db: Db,
     /// Phase imbalance between I and Q in degrees (0 = perfect
     /// quadrature).
     pub iq_phase_imbalance_deg: f64,
-    /// Flicker-noise corner frequency in Hz (`None` = no 1/f noise).
-    pub flicker_corner_hz: Option<f64>,
-    /// LO phase-noise linewidth in Hz (0 = ideal LO).
-    pub lo_linewidth_hz: f64,
+    /// Flicker-noise corner frequency (`None` = no 1/f noise).
+    pub flicker_corner_hz: Option<Hz>,
+    /// LO phase-noise linewidth (0 Hz = ideal LO).
+    pub lo_linewidth_hz: Hz,
 }
 
 impl Default for MixerConfig {
     fn default() -> Self {
         MixerConfig {
-            gain_db: 6.0,
-            nf_db: 10.0,
+            gain_db: Db(6.0),
+            nf_db: Db(10.0),
             dc_offset_dbm: None,
-            iq_gain_imbalance_db: 0.0,
+            iq_gain_imbalance_db: Db(0.0),
             iq_phase_imbalance_deg: 0.0,
             flicker_corner_hz: None,
-            lo_linewidth_hz: 0.0,
+            lo_linewidth_hz: Hz(0.0),
         }
     }
 }
@@ -66,8 +66,8 @@ pub struct Mixer {
 impl Mixer {
     /// Creates a mixer at envelope rate `sample_rate_hz`.
     pub fn new(config: MixerConfig, sample_rate_hz: f64, mut rng: Rng) -> Self {
-        let a1 = db_to_amp(config.gain_db);
-        let g = db_to_amp(config.iq_gain_imbalance_db);
+        let a1 = config.gain_db.to_amplitude_ratio();
+        let g = config.iq_gain_imbalance_db.to_amplitude_ratio();
         let phi = config.iq_phase_imbalance_deg.to_radians();
         // Standard IQ imbalance decomposition.
         let ge = Complex::from_polar(g, phi);
@@ -75,18 +75,18 @@ impl Mixer {
         let nu = (Complex::ONE - ge.conj()) * 0.5;
         let dc = config
             .dc_offset_dbm
-            .map(|dbm| Complex::from_re((2.0 * dbm_to_watts(dbm)).sqrt()))
+            .map(|dbm| Complex::from_re(dbm.to_amplitude().0))
             .unwrap_or(Complex::ZERO);
         let thermal = ThermalNoise::from_noise_figure(config.nf_db, sample_rate_hz, rng.fork());
         let flicker = config.flicker_corner_hz.map(|corner| {
             FlickerNoise::new(
                 crate::noise::added_noise_power(config.nf_db, sample_rate_hz).max(1e-30),
-                corner,
+                corner.0,
                 sample_rate_hz,
                 rng.fork(),
             )
         });
-        let phase_noise = PhaseNoise::new(config.lo_linewidth_hz, sample_rate_hz, rng.fork());
+        let phase_noise = PhaseNoise::new(config.lo_linewidth_hz.0, sample_rate_hz, rng.fork());
         Mixer {
             config,
             a1,
@@ -109,13 +109,13 @@ impl Mixer {
     pub fn set_noise_enabled(&mut self, enabled: bool) {
         self.noise_enabled = enabled;
         self.phase_noise
-            .set_enabled(enabled && self.config.lo_linewidth_hz > 0.0);
+            .set_enabled(enabled && self.config.lo_linewidth_hz.0 > 0.0);
     }
 
-    /// Image rejection ratio `|μ|²/|ν|²` in dB implied by the IQ
-    /// imbalance (infinite for a balanced mixer).
-    pub fn image_rejection_db(&self) -> f64 {
-        10.0 * (self.mu.norm_sqr() / self.nu.norm_sqr()).log10()
+    /// Image rejection ratio `|μ|²/|ν|²` implied by the IQ imbalance
+    /// (infinite for a balanced mixer).
+    pub fn image_rejection_db(&self) -> Db {
+        Db::from_linear(self.mu.norm_sqr() / self.nu.norm_sqr())
     }
 
     /// Processes one sample.
@@ -159,8 +159,8 @@ mod tests {
     #[test]
     fn ideal_mixer_is_pure_gain() {
         let cfg = MixerConfig {
-            gain_db: 6.0,
-            nf_db: 0.0,
+            gain_db: Db(6.0),
+            nf_db: Db(0.0),
             ..Default::default()
         };
         let mut m = Mixer::new(cfg, 80e6, Rng::new(1));
@@ -174,9 +174,9 @@ mod tests {
     #[test]
     fn dc_offset_appears_at_output() {
         let cfg = MixerConfig {
-            gain_db: 0.0,
-            nf_db: 0.0,
-            dc_offset_dbm: Some(-40.0),
+            gain_db: Db(0.0),
+            nf_db: Db(0.0),
+            dc_offset_dbm: Some(Dbm(-40.0)),
             ..Default::default()
         };
         let mut m = Mixer::new(cfg, 80e6, Rng::new(2));
@@ -189,9 +189,9 @@ mod tests {
     #[test]
     fn iq_imbalance_creates_image() {
         let cfg = MixerConfig {
-            gain_db: 0.0,
-            nf_db: 0.0,
-            iq_gain_imbalance_db: 1.0,
+            gain_db: Db(0.0),
+            nf_db: Db(0.0),
+            iq_gain_imbalance_db: Db(1.0),
             iq_phase_imbalance_deg: 2.0,
             ..Default::default()
         };
@@ -205,7 +205,7 @@ mod tests {
         let img = tone_power_dbm(&y, -f0, fs);
         let irr = sig - img;
         assert!(
-            (irr - m.image_rejection_db()).abs() < 0.5,
+            (irr - m.image_rejection_db().0).abs() < 0.5,
             "measured IRR {irr}, model {}",
             m.image_rejection_db()
         );
@@ -216,15 +216,15 @@ mod tests {
     #[test]
     fn balanced_mixer_has_no_image() {
         let m = Mixer::new(MixerConfig::default(), 80e6, Rng::new(4));
-        assert!(m.image_rejection_db() > 200.0);
+        assert!(m.image_rejection_db().0 > 200.0);
     }
 
     #[test]
     fn flicker_noise_concentrates_at_dc() {
         let cfg = MixerConfig {
-            gain_db: 0.0,
-            nf_db: 10.0,
-            flicker_corner_hz: Some(200e3),
+            gain_db: Db(0.0),
+            nf_db: Db(10.0),
+            flicker_corner_hz: Some(Hz(200e3)),
             ..Default::default()
         };
         let fs = 20e6;
@@ -252,8 +252,8 @@ mod tests {
     #[test]
     fn noise_disabled_is_deterministic() {
         let cfg = MixerConfig {
-            flicker_corner_hz: Some(100e3),
-            lo_linewidth_hz: 1e3,
+            flicker_corner_hz: Some(Hz(100e3)),
+            lo_linewidth_hz: Hz(1e3),
             ..Default::default()
         };
         let mut m1 = Mixer::new(cfg, 80e6, Rng::new(6));

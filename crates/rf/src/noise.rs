@@ -1,14 +1,15 @@
 //! Noise sources: thermal (white) noise from a noise figure, and flicker
 //! (1/f) noise for the direct-conversion second mixer stage.
 
-use wlan_dsp::math::{db_to_lin, BOLTZMANN, T0_KELVIN};
+use wlan_dsp::math::{BOLTZMANN, T0_KELVIN};
 use wlan_dsp::{Complex, Rng};
+use wlan_units::Db;
 
 /// Input-referred added thermal noise of a stage with noise figure
 /// `nf_db` at sample rate `fs` (full complex-envelope bandwidth), in the
 /// `mean(|x|²)` convention: `2·kT₀·fs·(F − 1)`.
-pub fn added_noise_power(nf_db: f64, sample_rate_hz: f64) -> f64 {
-    2.0 * BOLTZMANN * T0_KELVIN * sample_rate_hz * (db_to_lin(nf_db) - 1.0)
+pub fn added_noise_power(nf_db: Db, sample_rate_hz: f64) -> f64 {
+    2.0 * BOLTZMANN * T0_KELVIN * sample_rate_hz * (nf_db.to_linear() - 1.0)
 }
 
 /// Source (antenna) noise floor `2·kT₀·fs`.
@@ -31,7 +32,7 @@ impl ThermalNoise {
     }
 
     /// Creates the input-referred noise of a stage with `nf_db` at `fs`.
-    pub fn from_noise_figure(nf_db: f64, sample_rate_hz: f64, rng: Rng) -> Self {
+    pub fn from_noise_figure(nf_db: Db, sample_rate_hz: f64, rng: Rng) -> Self {
         ThermalNoise::new(added_noise_power(nf_db, sample_rate_hz), rng)
     }
 
@@ -126,11 +127,11 @@ mod tests {
     fn added_noise_matches_nf_definition() {
         // NF 3 dB → F = 2 → added = source floor.
         let fs = 20e6;
-        let added = added_noise_power(3.0103, fs);
+        let added = added_noise_power(Db(3.0103), fs);
         let source = source_noise_power(fs);
         assert!((added / source - 1.0).abs() < 1e-3);
         // NF 0 dB → no added noise.
-        assert!(added_noise_power(0.0, fs).abs() < 1e-30);
+        assert!(added_noise_power(Db(0.0), fs).abs() < 1e-30);
     }
 
     #[test]

@@ -20,8 +20,8 @@
 //! the requested input-referred 1 dB compression point. Smoothness `p`
 //! defaults to 2 (typical solid-state PA fit).
 
-use wlan_dsp::math::dbm_to_watts;
 use wlan_dsp::Complex;
+use wlan_units::{Db, Dbm};
 
 /// Nonlinearity selection for an amplifier stage.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,13 +30,13 @@ pub enum Nonlinearity {
     Linear,
     /// Cubic soft nonlinearity with the given input-referred IIP3 (dBm).
     Cubic {
-        /// Input-referred third-order intercept point in dBm.
-        iip3_dbm: f64,
+        /// Input-referred third-order intercept point.
+        iip3_dbm: Dbm,
     },
     /// Rapp saturation with the given input-referred P1dB (dBm).
     Rapp {
-        /// Input-referred 1 dB compression point in dBm.
-        p1db_dbm: f64,
+        /// Input-referred 1 dB compression point.
+        p1db_dbm: Dbm,
         /// Knee smoothness (higher = harder clipping); typical 1–3.
         smoothness: f64,
     },
@@ -44,7 +44,7 @@ pub enum Nonlinearity {
 
 impl Nonlinearity {
     /// Convenience constructor for the default-smoothness Rapp model.
-    pub fn rapp(p1db_dbm: f64) -> Self {
+    pub fn rapp(p1db_dbm: Dbm) -> Self {
         Nonlinearity::Rapp {
             p1db_dbm,
             smoothness: 2.0,
@@ -58,7 +58,7 @@ impl Nonlinearity {
         match self {
             Nonlinearity::Linear => u * a1,
             Nonlinearity::Cubic { iip3_dbm } => {
-                let p_ip3 = dbm_to_watts(iip3_dbm);
+                let p_ip3 = iip3_dbm.to_watts().0;
                 let u2 = u.norm_sqr();
                 // The cubic is non-monotonic beyond |u|² = 2·P_IP3/3;
                 // clamp there so overdrive saturates instead of folding.
@@ -76,8 +76,8 @@ impl Nonlinearity {
                 smoothness,
             } => {
                 let p = smoothness;
-                let a1db = (2.0 * dbm_to_watts(p1db_dbm)).sqrt();
-                let vsat = a1 * a1db / (10f64.powf(p / 10.0) - 1.0).powf(1.0 / (2.0 * p));
+                let a1db = p1db_dbm.to_amplitude().0;
+                let vsat = a1 * a1db / (Db(p).to_linear() - 1.0).powf(1.0 / (2.0 * p));
                 let v = u * a1;
                 let r = v.abs() / vsat;
                 v * (1.0 + r.powf(2.0 * p)).powf(-1.0 / (2.0 * p))
@@ -88,8 +88,8 @@ impl Nonlinearity {
 
 /// The cubic model's theoretical 1 dB compression point, 9.6 dB below
 /// IIP3 (for spec cross-checks).
-pub fn cubic_p1db_from_iip3(iip3_dbm: f64) -> f64 {
-    iip3_dbm - 9.636
+pub fn cubic_p1db_from_iip3(iip3_dbm: Dbm) -> Dbm {
+    iip3_dbm - Db(9.636)
 }
 
 #[cfg(test)]
@@ -98,7 +98,7 @@ mod tests {
     use wlan_dsp::math::{amp_to_db, watts_to_dbm};
 
     fn gain_at_power(nl: Nonlinearity, a1: f64, p_dbm: f64) -> f64 {
-        let a = (2.0 * dbm_to_watts(p_dbm)).sqrt();
+        let a = Dbm(p_dbm).to_amplitude().0;
         let y = nl.apply(Complex::from_re(a), a1);
         amp_to_db(y.abs() / a)
     }
@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn cubic_small_signal_gain() {
-        let nl = Nonlinearity::Cubic { iip3_dbm: -10.0 };
+        let nl = Nonlinearity::Cubic { iip3_dbm: Dbm(-10.0) };
         // At −60 dBm the compression is negligible.
         let g = gain_at_power(nl, 10.0, -60.0);
         assert!((g - 20.0).abs() < 0.01, "gain {g}");
@@ -120,10 +120,10 @@ mod tests {
 
     #[test]
     fn cubic_compression_point_is_9p6_below_iip3() {
-        let iip3 = -10.0;
+        let iip3 = Dbm(-10.0);
         let nl = Nonlinearity::Cubic { iip3_dbm: iip3 };
         let p1 = cubic_p1db_from_iip3(iip3);
-        let g = gain_at_power(nl, 1.0, p1);
+        let g = gain_at_power(nl, 1.0, p1.0);
         assert!((g + 1.0).abs() < 0.02, "compression at P1dB: {g} dB");
     }
 
@@ -131,11 +131,11 @@ mod tests {
     fn cubic_im3_follows_3to1_slope() {
         // Two-tone test: IM3 dBc = 2(Pin − IIP3).
         let iip3 = 0.0;
-        let nl = Nonlinearity::Cubic { iip3_dbm: iip3 };
+        let nl = Nonlinearity::Cubic { iip3_dbm: Dbm(iip3) };
         let fs = 1000.0;
         let (f1, f2) = (100.0, 110.0);
         for pin in [-40.0, -30.0, -20.0] {
-            let a = (2.0 * dbm_to_watts(pin)).sqrt();
+            let a = Dbm(pin).to_amplitude().0;
             let x: Vec<Complex> = (0..20_000)
                 .map(|n| {
                     let t = n as f64 / fs;
@@ -157,7 +157,7 @@ mod tests {
 
     #[test]
     fn cubic_clamps_overdrive() {
-        let nl = Nonlinearity::Cubic { iip3_dbm: -20.0 };
+        let nl = Nonlinearity::Cubic { iip3_dbm: Dbm(-20.0) };
         // Far beyond the fold-over point the output must stay saturated,
         // not invert.
         let big = Complex::from_re(1.0);
@@ -169,7 +169,7 @@ mod tests {
 
     #[test]
     fn rapp_small_signal_gain() {
-        let nl = Nonlinearity::rapp(-10.0);
+        let nl = Nonlinearity::rapp(Dbm(-10.0));
         let g = gain_at_power(nl, 10.0, -55.0);
         assert!((g - 20.0).abs() < 0.01, "gain {g}");
     }
@@ -179,7 +179,7 @@ mod tests {
         for p1 in [-20.0, -10.0, 0.0] {
             for smooth in [1.0, 2.0, 3.0] {
                 let nl = Nonlinearity::Rapp {
-                    p1db_dbm: p1,
+                    p1db_dbm: Dbm(p1),
                     smoothness: smooth,
                 };
                 let g = gain_at_power(nl, 5.0, p1);
@@ -195,7 +195,7 @@ mod tests {
 
     #[test]
     fn rapp_hard_saturation() {
-        let nl = Nonlinearity::rapp(-10.0);
+        let nl = Nonlinearity::rapp(Dbm(-10.0));
         let y1 = nl.apply(Complex::from_re(1.0), 1.0).abs();
         let y2 = nl.apply(Complex::from_re(100.0), 1.0).abs();
         // Deep saturation: 40 dB more input produces < 1 dB more output.
@@ -208,7 +208,7 @@ mod tests {
 
     #[test]
     fn rapp_preserves_phase() {
-        let nl = Nonlinearity::rapp(-10.0);
+        let nl = Nonlinearity::rapp(Dbm(-10.0));
         let u = Complex::from_polar(0.5, 1.23);
         let y = nl.apply(u, 3.0);
         assert!((y.arg() - 1.23).abs() < 1e-12);

@@ -19,33 +19,34 @@ use crate::mixer::{Mixer, MixerConfig};
 use crate::nonlinearity::Nonlinearity;
 use wlan_dsp::iir::DcBlocker;
 use wlan_dsp::{Complex, Rng};
+use wlan_units::{Db, Dbm, Hz};
 
 /// Complete front-end configuration with paper-flavored defaults.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RfConfig {
-    /// Input (oversampled) rate in Hz.
-    pub sample_rate_hz: f64,
+    /// Input (oversampled) rate.
+    pub sample_rate_hz: Hz,
     /// Output decimation factor (to the 20 Msps DSP rate).
     pub osr: usize,
-    /// LNA gain (dB).
-    pub lna_gain_db: f64,
-    /// LNA noise figure (dB).
-    pub lna_nf_db: f64,
+    /// LNA gain.
+    pub lna_gain_db: Db,
+    /// LNA noise figure.
+    pub lna_nf_db: Db,
     /// LNA nonlinearity (the Fig. 6 sweep subject).
     pub lna_nonlinearity: Nonlinearity,
     /// First mixer configuration.
     pub mixer1: MixerConfig,
-    /// Inter-stage highpass cutoff (Hz).
-    pub hpf_cutoff_hz: f64,
+    /// Inter-stage highpass cutoff.
+    pub hpf_cutoff_hz: Hz,
     /// Second (quadrature) mixer configuration.
     pub mixer2: MixerConfig,
-    /// Channel-select lowpass passband edge (Hz) — the Fig. 5 sweep
+    /// Channel-select lowpass passband edge — the Fig. 5 sweep
     /// subject.
-    pub channel_filter_edge_hz: f64,
+    pub channel_filter_edge_hz: Hz,
     /// Channel-select filter order.
     pub channel_filter_order: usize,
-    /// Channel-select passband ripple (dB).
-    pub channel_filter_ripple_db: f64,
+    /// Channel-select passband ripple.
+    pub channel_filter_ripple_db: Db,
     /// AGC mode.
     pub agc: AgcMode,
     /// AGC output target power (`mean(|x|²)`).
@@ -62,33 +63,33 @@ pub struct RfConfig {
 impl Default for RfConfig {
     fn default() -> Self {
         RfConfig {
-            sample_rate_hz: 80e6,
+            sample_rate_hz: Hz(80e6),
             osr: 4,
-            lna_gain_db: 15.0,
-            lna_nf_db: 3.0,
-            lna_nonlinearity: Nonlinearity::rapp(-5.0),
+            lna_gain_db: Db(15.0),
+            lna_nf_db: Db(3.0),
+            lna_nonlinearity: Nonlinearity::rapp(Dbm(-5.0)),
             mixer1: MixerConfig {
-                gain_db: 8.0,
-                nf_db: 9.0,
+                gain_db: Db(8.0),
+                nf_db: Db(9.0),
                 dc_offset_dbm: None,
-                iq_gain_imbalance_db: 0.0,
+                iq_gain_imbalance_db: Db(0.0),
                 iq_phase_imbalance_deg: 0.0,
                 flicker_corner_hz: None,
-                lo_linewidth_hz: 200.0,
+                lo_linewidth_hz: Hz(200.0),
             },
-            hpf_cutoff_hz: 150e3,
+            hpf_cutoff_hz: Hz(150e3),
             mixer2: MixerConfig {
-                gain_db: 6.0,
-                nf_db: 11.0,
-                dc_offset_dbm: Some(-45.0),
-                iq_gain_imbalance_db: 0.15,
+                gain_db: Db(6.0),
+                nf_db: Db(11.0),
+                dc_offset_dbm: Some(Dbm(-45.0)),
+                iq_gain_imbalance_db: Db(0.15),
                 iq_phase_imbalance_deg: 1.0,
-                flicker_corner_hz: Some(100e3),
-                lo_linewidth_hz: 200.0,
+                flicker_corner_hz: Some(Hz(100e3)),
+                lo_linewidth_hz: Hz(200.0),
             },
-            channel_filter_edge_hz: 10e6,
+            channel_filter_edge_hz: Hz(10e6),
             channel_filter_order: ChannelSelectFilter::DEFAULT_ORDER,
-            channel_filter_ripple_db: ChannelSelectFilter::DEFAULT_RIPPLE_DB,
+            channel_filter_ripple_db: Db(ChannelSelectFilter::DEFAULT_RIPPLE_DB),
             agc: AgcMode::Ideal,
             agc_target_power: 1.0,
             adc_bits: 10,
@@ -124,7 +125,7 @@ impl DoubleConversionReceiver {
     /// Panics if filter edges exceed Nyquist or `osr` is zero.
     pub fn new(config: RfConfig, seed: u64) -> Self {
         assert!(config.osr >= 1, "osr must be >= 1");
-        let fs = config.sample_rate_hz;
+        let fs = config.sample_rate_hz.0;
         let mut rng = Rng::new(seed);
         let mut lna = Amplifier::new(
             config.lna_gain_db,
@@ -141,12 +142,12 @@ impl DoubleConversionReceiver {
         DoubleConversionReceiver {
             lna,
             mixer1,
-            hpf: DcBlockFilter::new(config.hpf_cutoff_hz, fs),
+            hpf: DcBlockFilter::new(config.hpf_cutoff_hz.0, fs),
             mixer2,
             channel_filter: ChannelSelectFilter::with_order(
                 config.channel_filter_order,
-                config.channel_filter_ripple_db,
-                config.channel_filter_edge_hz,
+                config.channel_filter_ripple_db.0,
+                config.channel_filter_edge_hz.0,
                 fs,
             ),
             agc: Agc::new(config.agc, config.agc_target_power),
@@ -163,7 +164,7 @@ impl DoubleConversionReceiver {
     }
 
     /// Output sample rate (`fs / osr`).
-    pub fn output_rate_hz(&self) -> f64 {
+    pub fn output_rate_hz(&self) -> Hz {
         self.config.sample_rate_hz / self.config.osr as f64
     }
 
@@ -352,7 +353,7 @@ mod tests {
     #[test]
     fn output_rate_and_length() {
         let mut rx = DoubleConversionReceiver::new(RfConfig::default(), 1);
-        assert_eq!(rx.output_rate_hz(), 20e6);
+        assert_eq!(rx.output_rate_hz(), Hz(20e6));
         let x = tone_dbm(1e6, 80e6, -50.0, 8000);
         let y = rx.process(&x);
         assert_eq!(y.len(), 2000);
@@ -406,7 +407,7 @@ mod tests {
     #[test]
     fn dc_offset_blocked_by_hpf_and_filtering() {
         let mut cfg = RfConfig::default();
-        cfg.mixer2.dc_offset_dbm = Some(-30.0);
+        cfg.mixer2.dc_offset_dbm = Some(Dbm(-30.0));
         cfg.noise_enabled = false;
         let mut rx = DoubleConversionReceiver::new(cfg, 4);
         let x = tone_dbm(3e6, 80e6, -50.0, 40_000);
@@ -423,7 +424,7 @@ mod tests {
     #[test]
     fn saturation_with_low_p1db_distorts() {
         let cfg = RfConfig {
-            lna_nonlinearity: Nonlinearity::rapp(-60.0), // absurdly low
+            lna_nonlinearity: Nonlinearity::rapp(Dbm(-60.0)), // absurdly low
             noise_enabled: false,
             ..RfConfig::default()
         };
@@ -468,7 +469,7 @@ mod tests {
         }
         // The level plan walks the gains: LNA +15 dB, mixer1 +8 dB.
         let plan = trace.level_plan();
-        let db = |i: usize, j: usize| 10.0 * (plan[j].1 / plan[i].1).log10();
+        let db = |i: usize, j: usize| wlan_dsp::math::lin_to_db(plan[j].1 / plan[i].1);
         assert!((db(0, 1) - 15.0).abs() < 0.5, "LNA gain {}", db(0, 1));
         assert!((db(1, 2) - 8.0).abs() < 0.5, "mixer1 gain {}", db(1, 2));
         // AGC levels to ~1.0.
@@ -525,7 +526,7 @@ mod tests {
             .collect();
         let mut wide = DoubleConversionReceiver::new(RfConfig::default(), 6);
         let cfg = RfConfig {
-            channel_filter_edge_hz: 4e6,
+            channel_filter_edge_hz: Hz(4e6),
             ..RfConfig::default()
         };
         let mut narrow = DoubleConversionReceiver::new(cfg, 6);

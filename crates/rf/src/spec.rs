@@ -1,33 +1,33 @@
 //! The receiver requirements from the paper (§2.2) and budget checks.
 
-use wlan_dsp::math::db_to_lin;
+use wlan_units::{Db, Dbm, Hz};
 
 /// Receiver RF requirements (paper §2.2).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RfRequirements {
-    /// Minimum wanted-channel input level (sensitivity), dBm.
-    pub input_min_dbm: f64,
-    /// Maximum wanted-channel input level, dBm.
-    pub input_max_dbm: f64,
-    /// Adjacent channel relative level, dB above wanted.
-    pub adjacent_rel_db: f64,
-    /// Second adjacent (alternate) channel relative level, dB.
-    pub alternate_rel_db: f64,
-    /// Carrier frequency, Hz.
-    pub carrier_hz: f64,
-    /// Channel spacing, Hz.
-    pub channel_spacing_hz: f64,
+    /// Minimum wanted-channel input level (sensitivity).
+    pub input_min_dbm: Dbm,
+    /// Maximum wanted-channel input level.
+    pub input_max_dbm: Dbm,
+    /// Adjacent channel relative level above wanted.
+    pub adjacent_rel_db: Db,
+    /// Second adjacent (alternate) channel relative level.
+    pub alternate_rel_db: Db,
+    /// Carrier frequency.
+    pub carrier_hz: Hz,
+    /// Channel spacing.
+    pub channel_spacing_hz: Hz,
 }
 
 impl Default for RfRequirements {
     fn default() -> Self {
         RfRequirements {
-            input_min_dbm: -88.0,
-            input_max_dbm: -23.0,
-            adjacent_rel_db: 16.0,
-            alternate_rel_db: 32.0,
-            carrier_hz: 5.2e9,
-            channel_spacing_hz: 20e6,
+            input_min_dbm: Dbm(-88.0),
+            input_max_dbm: Dbm(-23.0),
+            adjacent_rel_db: Db(16.0),
+            alternate_rel_db: Db(32.0),
+            carrier_hz: Hz(5.2e9),
+            channel_spacing_hz: Hz(20e6),
         }
     }
 }
@@ -35,12 +35,12 @@ impl Default for RfRequirements {
 impl RfRequirements {
     /// Worst-case adjacent channel absolute level at the given wanted
     /// level.
-    pub fn adjacent_level_dbm(&self, wanted_dbm: f64) -> f64 {
-        wanted_dbm + self.adjacent_rel_db
+    pub fn adjacent_level_dbm(&self, wanted: Dbm) -> Dbm {
+        wanted + self.adjacent_rel_db
     }
 
-    /// Dynamic range in dB.
-    pub fn dynamic_range_db(&self) -> f64 {
+    /// Dynamic range.
+    pub fn dynamic_range_db(&self) -> Db {
         self.input_max_dbm - self.input_min_dbm
     }
 }
@@ -50,10 +50,10 @@ impl RfRequirements {
 pub struct StageSpec {
     /// Stage label.
     pub name: &'static str,
-    /// Power gain in dB.
-    pub gain_db: f64,
-    /// Noise figure in dB.
-    pub nf_db: f64,
+    /// Power gain.
+    pub gain_db: Db,
+    /// Noise figure.
+    pub nf_db: Db,
 }
 
 /// Friis cascade noise figure in dB.
@@ -61,20 +61,20 @@ pub struct StageSpec {
 /// # Panics
 ///
 /// Panics on an empty cascade.
-pub fn cascade_noise_figure_db(stages: &[StageSpec]) -> f64 {
+pub fn cascade_noise_figure_db(stages: &[StageSpec]) -> Db {
     assert!(!stages.is_empty(), "empty cascade");
-    let mut f_total = db_to_lin(stages[0].nf_db);
-    let mut gain = db_to_lin(stages[0].gain_db);
+    let mut f_total = stages[0].nf_db.to_linear();
+    let mut gain = stages[0].gain_db.to_linear();
     for s in &stages[1..] {
-        f_total += (db_to_lin(s.nf_db) - 1.0) / gain;
-        gain *= db_to_lin(s.gain_db);
+        f_total += (s.nf_db.to_linear() - 1.0) / gain;
+        gain *= s.gain_db.to_linear();
     }
-    10.0 * f_total.log10()
+    Db::from_linear(f_total)
 }
 
-/// Total cascade gain in dB.
-pub fn cascade_gain_db(stages: &[StageSpec]) -> f64 {
-    stages.iter().map(|s| s.gain_db).sum()
+/// Total cascade gain.
+pub fn cascade_gain_db(stages: &[StageSpec]) -> Db {
+    stages.iter().fold(Db::ZERO, |acc, s| acc + s.gain_db)
 }
 
 #[cfg(test)]
@@ -84,28 +84,28 @@ mod tests {
     #[test]
     fn defaults_match_paper() {
         let r = RfRequirements::default();
-        assert_eq!(r.input_min_dbm, -88.0);
-        assert_eq!(r.input_max_dbm, -23.0);
-        assert_eq!(r.adjacent_rel_db, 16.0);
-        assert_eq!(r.alternate_rel_db, 32.0);
-        assert_eq!(r.carrier_hz, 5.2e9);
-        assert_eq!(r.dynamic_range_db(), 65.0);
+        assert_eq!(r.input_min_dbm, Dbm(-88.0));
+        assert_eq!(r.input_max_dbm, Dbm(-23.0));
+        assert_eq!(r.adjacent_rel_db, Db(16.0));
+        assert_eq!(r.alternate_rel_db, Db(32.0));
+        assert_eq!(r.carrier_hz, Hz(5.2e9));
+        assert_eq!(r.dynamic_range_db(), Db(65.0));
     }
 
     #[test]
     fn adjacent_level() {
         let r = RfRequirements::default();
-        assert_eq!(r.adjacent_level_dbm(-40.0), -24.0);
+        assert_eq!(r.adjacent_level_dbm(Dbm(-40.0)), Dbm(-24.0));
     }
 
     #[test]
     fn friis_single_stage() {
         let nf = cascade_noise_figure_db(&[StageSpec {
             name: "lna",
-            gain_db: 15.0,
-            nf_db: 3.0,
+            gain_db: Db(15.0),
+            nf_db: Db(3.0),
         }]);
-        assert!((nf - 3.0).abs() < 1e-12);
+        assert!((nf.0 - 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -113,19 +113,19 @@ mod tests {
         let stages = [
             StageSpec {
                 name: "lna",
-                gain_db: 20.0,
-                nf_db: 2.0,
+                gain_db: Db(20.0),
+                nf_db: Db(2.0),
             },
             StageSpec {
                 name: "mixer",
-                gain_db: 6.0,
-                nf_db: 12.0,
+                gain_db: Db(6.0),
+                nf_db: Db(12.0),
             },
         ];
         let nf = cascade_noise_figure_db(&stages);
         // F = 10^0.2 + (10^1.2−1)/100 = 1.734 → 2.39 dB
-        assert!((nf - 2.39).abs() < 0.05, "nf {nf}");
-        assert_eq!(cascade_gain_db(&stages), 26.0);
+        assert!((nf.0 - 2.39).abs() < 0.05, "nf {nf}");
+        assert_eq!(cascade_gain_db(&stages), Db(26.0));
     }
 
     #[test]
@@ -133,18 +133,18 @@ mod tests {
         let stages = [
             StageSpec {
                 name: "a",
-                gain_db: 0.0,
-                nf_db: 3.0103,
+                gain_db: Db(0.0),
+                nf_db: Db(3.0103),
             },
             StageSpec {
                 name: "b",
-                gain_db: 0.0,
-                nf_db: 3.0103,
+                gain_db: Db(0.0),
+                nf_db: Db(3.0103),
             },
         ];
         // F = 2 + (2−1)/1 = 3 → 4.77 dB.
         let nf = cascade_noise_figure_db(&stages);
-        assert!((nf - 4.77).abs() < 0.02);
+        assert!((nf.0 - 4.77).abs() < 0.02);
     }
 
     #[test]

@@ -34,7 +34,7 @@ fn main() {
     };
 
     let rf = RfConfig {
-        lna_nf_db: 18.0, // a deliberately poor LNA
+        lna_nf_db: wlan_units::Db(18.0), // a deliberately poor LNA
         ..RfConfig::default()
     };
     let baseband = mk(FrontEnd::RfBaseband(rf), 5);

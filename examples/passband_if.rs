@@ -45,8 +45,8 @@ fn main() {
     let probe = &mixed[..mixed.len().min(40_000)];
     println!(
         "  ~20 MHz: {:.1} dBfs   ~140 MHz: {:.1} dBfs",
-        10.0 * real_tone_power(probe, 20e6, fs).log10(),
-        10.0 * real_tone_power(probe, 140e6, fs).log10()
+        wlan_dsp::math::lin_to_db(real_tone_power(probe, 20e6, fs)),
+        wlan_dsp::math::lin_to_db(real_tone_power(probe, 140e6, fs))
     );
 
     // Quadrature demodulation at the 20 MHz IF selects the difference

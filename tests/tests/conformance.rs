@@ -146,7 +146,7 @@ fn evm_check_rejects_degraded_tx() {
     let mut psdu = vec![0u8; 120];
     rng.bytes(&mut psdu);
     let burst = Transmitter::new(rate).transmit(&psdu);
-    let nv = 10f64.powf(-14.0 / 10.0);
+    let nv = wlan_dsp::math::db_to_lin(-14.0);
     let noisy: Vec<_> = burst
         .samples
         .iter()

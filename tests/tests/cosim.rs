@@ -43,10 +43,10 @@ fn abstraction_levels_agree_at_high_snr() {
         noise_enabled: false,
         ..RfConfig::default()
     };
-    rf.mixer2.iq_gain_imbalance_db = 0.0;
+    rf.mixer2.iq_gain_imbalance_db = wlan_units::Db(0.0);
     rf.mixer2.iq_phase_imbalance_deg = 0.0;
-    rf.mixer1.lo_linewidth_hz = 0.0;
-    rf.mixer2.lo_linewidth_hz = 0.0;
+    rf.mixer1.lo_linewidth_hz = wlan_units::Hz(0.0);
+    rf.mixer2.lo_linewidth_hz = wlan_units::Hz(0.0);
     rf.mixer2.flicker_corner_hz = None;
     let bb = link(FrontEnd::RfBaseband(rf), 2, -45.0, 2);
     let cs = link(

@@ -18,7 +18,7 @@ fn all_rates_loop_through_awgn() {
         rng.bytes(&mut psdu);
         let burst = Transmitter::new(rate).transmit(&psdu);
         let mut ch = Awgn::new(7 + rate.mbps() as u64);
-        let noisy = ch.add_noise_power(&burst.samples, 10f64.powf(-snr / 10.0));
+        let noisy = ch.add_noise_power(&burst.samples, wlan_dsp::math::db_to_lin(-snr));
         let got = rx
             .receive(&noisy)
             .unwrap_or_else(|e| panic!("{rate} at {snr} dB: {e}"));

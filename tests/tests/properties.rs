@@ -64,7 +64,7 @@ fn prop_flat_gain_invariance() {
         let mut psdu = vec![0u8; 64];
         rng.bytes(&mut psdu);
         let burst = Transmitter::new(rate).transmit(&psdu);
-        let g = Complex::from_polar(10f64.powf(gain_db / 20.0), phase);
+        let g = Complex::from_polar(wlan_dsp::math::db_to_amp(gain_db), phase);
         let x: Vec<Complex> = burst.samples.iter().map(|&s| s * g).collect();
         let got = Receiver::new().receive(&x).expect("decodes");
         assert_eq!(got.psdu, psdu, "case {case}: {rate} gain {gain_db} dB");

@@ -75,22 +75,22 @@ fn cheap_instances() -> Vec<Box<dyn Experiment>> {
         Box::new(table1::Table1),
         Box::new(fading::FadingSweep {
             rate: Rate::R12,
-            snr_db: 30.0,
+            snr_db: wlan_units::Db(30.0),
             trms_list: &[50e-9, 100e-9],
         }),
         Box::new(fig4::Fig4Spectrum),
         Box::new(fig6::Fig6Sweep {
-            lo_dbm: -45.0,
-            hi_dbm: -10.0,
+            lo_dbm: wlan_units::Dbm(-45.0),
+            hi_dbm: wlan_units::Dbm(-10.0),
             points: 2,
         }),
         Box::new(ip3::Ip3Sweep {
-            lo_dbm: -35.0,
-            hi_dbm: -5.0,
+            lo_dbm: wlan_units::Dbm(-35.0),
+            hi_dbm: wlan_units::Dbm(-5.0),
             points: 2,
         }),
         Box::new(noise_figure::NfSweep {
-            rx_level_dbm: -80.0,
+            rx_level_dbm: wlan_units::Dbm(-80.0),
             points: 2,
         }),
         Box::new(evm::EvmSweep {
@@ -101,19 +101,19 @@ fn cheap_instances() -> Vec<Box<dyn Experiment>> {
         Box::new(rf_char::RfChar),
         Box::new(level_sweep::LevelSweep {
             rate: Rate::R12,
-            lo_dbm: -90.0,
-            hi_dbm: -40.0,
+            lo_dbm: wlan_units::Dbm(-90.0),
+            hi_dbm: wlan_units::Dbm(-40.0),
             points: 2,
         }),
         Box::new(blocking::BlockingSweep {
             rate: Rate::R12,
-            lo_db: 10.0,
-            hi_db: 30.0,
+            lo_db: wlan_units::Db(10.0),
+            hi_db: wlan_units::Db(30.0),
             points: 2,
         }),
         Box::new(cfo::CfoSweep {
             rate: Rate::R24,
-            max_hz: 400e3,
+            max_hz: wlan_units::Hz(400e3),
             points: 3,
         }),
         Box::new(ber_snr::BerSnrGrid {
@@ -152,8 +152,8 @@ fn snapshot_keys_unique_and_finite_shape() {
 fn trait_run_bit_identical_to_legacy_level_sweep() {
     const EXP: level_sweep::LevelSweep = level_sweep::LevelSweep {
         rate: Rate::R12,
-        lo_dbm: -90.0,
-        hi_dbm: -40.0,
+        lo_dbm: wlan_units::Dbm(-90.0),
+        hi_dbm: wlan_units::Dbm(-40.0),
         points: 3,
     };
     let mut ctx = RunContext::serial_reference(Effort::quick(), 3);
@@ -182,8 +182,8 @@ fn trait_run_bit_identical_to_legacy_evm() {
 fn trait_run_bit_identical_to_legacy_blocking() {
     const EXP: blocking::BlockingSweep = blocking::BlockingSweep {
         rate: Rate::R12,
-        lo_db: 10.0,
-        hi_db: 30.0,
+        lo_db: wlan_units::Db(10.0),
+        hi_db: wlan_units::Db(30.0),
         points: 2,
     };
     let mut ctx = RunContext::serial_reference(Effort::quick(), 5);
@@ -195,8 +195,8 @@ fn trait_run_bit_identical_to_legacy_blocking() {
 #[test]
 fn execute_records_manifest_ready_telemetry() {
     const EXP: ip3::Ip3Sweep = ip3::Ip3Sweep {
-        lo_dbm: -35.0,
-        hi_dbm: -5.0,
+        lo_dbm: wlan_units::Dbm(-35.0),
+        hi_dbm: wlan_units::Dbm(-5.0),
         points: 2,
     };
     let mut ctx = RunContext::serial_reference(Effort::quick(), 7);

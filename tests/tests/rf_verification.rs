@@ -9,6 +9,7 @@ use wlan_rf::nonlinearity::{cubic_p1db_from_iip3, Nonlinearity};
 use wlan_rf::receiver::RfConfig;
 use wlan_rf::Amplifier;
 use wlan_sim::link::{FrontEnd, LinkConfig, LinkSimulation};
+use wlan_units::{Db, Dbm};
 
 #[test]
 fn characterized_p1db_predicts_link_failure_point() {
@@ -16,16 +17,22 @@ fn characterized_p1db_predicts_link_failure_point() {
     // composite input level approaches it and survives well below it.
     let p1_spec = -25.0;
     let fs = 80e6;
-    let mut lna = Amplifier::new(15.0, 3.0, Nonlinearity::rapp(p1_spec), fs, Rng::new(1));
+    let mut lna = Amplifier::new(
+        Db(15.0),
+        Db(3.0),
+        Nonlinearity::rapp(Dbm(p1_spec)),
+        fs,
+        Rng::new(1),
+    );
     lna.set_noise_enabled(false);
     let mut dev = |x: &[Complex]| lna.process(x);
-    let m = measure_p1db(&mut dev, 1e6, -55.0, -10.0, 1.0, fs, 4000);
+    let m = measure_p1db(&mut dev, 1e6, Dbm(-55.0), Dbm(-10.0), Db(1.0), fs, 4000);
     let p1_measured = m.p1db_in_dbm.expect("compression found");
-    assert!((p1_measured - p1_spec).abs() < 0.5);
+    assert!((p1_measured.0 - p1_spec).abs() < 0.5);
 
     let ber_at = |rx_level: f64| {
         let rf = RfConfig {
-            lna_nonlinearity: Nonlinearity::rapp(p1_spec),
+            lna_nonlinearity: Nonlinearity::rapp(Dbm(p1_spec)),
             ..RfConfig::default()
         };
         LinkSimulation::new(LinkConfig {
@@ -41,8 +48,8 @@ fn characterized_p1db_predicts_link_failure_point() {
         .ber()
     };
     // 20 dB below P1dB: linear. ~12 dB above (OFDM PAPR bites): broken.
-    assert_eq!(ber_at(p1_measured - 20.0), 0.0);
-    assert!(ber_at(p1_measured + 12.0) > 0.05);
+    assert_eq!(ber_at(p1_measured.0 - 20.0), 0.0);
+    assert!(ber_at(p1_measured.0 + 12.0) > 0.05);
 }
 
 #[test]
@@ -50,14 +57,14 @@ fn cubic_consistency_iip3_vs_p1db() {
     // The two characterization harnesses must agree with the analytic
     // 9.6 dB relation on the same cubic device.
     let iip3 = -12.0;
-    let nl = Nonlinearity::Cubic { iip3_dbm: iip3 };
+    let nl = Nonlinearity::Cubic { iip3_dbm: Dbm(iip3) };
     let mut dev = |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| nl.apply(u, 2.0)).collect() };
-    let m3 = measure_iip3(&mut dev, 1e6, 1.31e6, iip3 - 30.0, 80e6, 40_000);
-    let mc = measure_p1db(&mut dev, 1e6, -50.0, -10.0, 0.5, 80e6, 4000);
+    let m3 = measure_iip3(&mut dev, 1e6, 1.31e6, Dbm(iip3 - 30.0), 80e6, 40_000);
+    let mc = measure_p1db(&mut dev, 1e6, Dbm(-50.0), Dbm(-10.0), Db(0.5), 80e6, 4000);
     let p1 = mc.p1db_in_dbm.expect("found");
-    assert!((m3.iip3_dbm - iip3).abs() < 0.3);
-    assert!((p1 - cubic_p1db_from_iip3(iip3)).abs() < 0.4);
-    assert!((m3.iip3_dbm - p1 - 9.64).abs() < 0.6);
+    assert!((m3.iip3_dbm.0 - iip3).abs() < 0.3);
+    assert!((p1 - cubic_p1db_from_iip3(Dbm(iip3))).0.abs() < 0.4);
+    assert!(((m3.iip3_dbm - p1).0 - 9.64).abs() < 0.6);
 }
 
 #[test]
@@ -88,10 +95,10 @@ fn iq_imbalance_dominates_evm_when_large() {
             noise_enabled: false,
             ..RfConfig::default()
         };
-        rf.mixer2.iq_gain_imbalance_db = gain_imb;
+        rf.mixer2.iq_gain_imbalance_db = Db(gain_imb);
         rf.mixer2.iq_phase_imbalance_deg = phase_imb;
-        rf.mixer1.lo_linewidth_hz = 0.0;
-        rf.mixer2.lo_linewidth_hz = 0.0;
+        rf.mixer1.lo_linewidth_hz = wlan_units::Hz(0.0);
+        rf.mixer2.lo_linewidth_hz = wlan_units::Hz(0.0);
         rf.mixer2.flicker_corner_hz = None;
         LinkSimulation::new(LinkConfig {
             rate: wlan_phy::Rate::R24,
@@ -140,5 +147,5 @@ fn receiver_spec_budget_is_consistent() {
         },
     ];
     let nf = cascade_noise_figure_db(&stages);
-    assert!(nf < 10.0, "system NF {nf} dB");
+    assert!(nf < Db(10.0), "system NF {nf}");
 }

@@ -9,6 +9,7 @@ use wlan_dataflow::probe::Probe;
 use wlan_dataflow::sdf;
 use wlan_dataflow::sim::Simulation;
 use wlan_dsp::Complex;
+use wlan_lint::units::{self, Allowlist};
 use wlan_lint::{ams, dataflow, Report, Severity};
 
 #[test]
@@ -29,6 +30,44 @@ fn all_builtin_targets_lint_clean() {
         "built-in targets must lint clean:\n{}",
         report.render()
     );
+}
+
+/// The units pass over the whole workspace: zero raw-dB-math sites
+/// outside `wlan-units` and the committed allowlist, and the known-bad
+/// fixture keeps tripping every rule. This is the same gate CI runs
+/// via `wlan-lint units`.
+#[test]
+fn units_pass_clean_on_workspace_and_rejects_fixture() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/..");
+    let allow_text =
+        std::fs::read_to_string(format!("{root}/crates/lint/units_allowlist.txt")).unwrap();
+    let (allow, bad) = Allowlist::parse(&allow_text);
+    assert!(bad.is_empty(), "malformed allowlist entries: {bad:?}");
+
+    let targets: Vec<String> = ["crates", "tests", "examples"]
+        .iter()
+        .map(|p| format!("{root}/{p}"))
+        .collect();
+    let (report, io_errors) = units::lint_paths(&targets, &allow);
+    assert!(io_errors.is_empty(), "{io_errors:?}");
+    assert!(
+        report.diagnostics.is_empty(),
+        "raw dB math outside wlan-units + allowlist:\n{}",
+        report.render()
+    );
+
+    // The fixture is only reachable by explicit listing (walks skip
+    // `fixtures/`) and must trip all three rules.
+    let fixture = format!("{root}/crates/lint/fixtures/units_raw_db_math.rs");
+    let (report, io_errors) = units::lint_paths(&[fixture], &allow);
+    assert!(io_errors.is_empty(), "{io_errors:?}");
+    for code in ["UN001", "UN002", "UN003"] {
+        assert!(
+            report.diagnostics.iter().any(|d| d.code == code),
+            "fixture must trip {code}:\n{}",
+            report.render()
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,163 @@
+//! Property tests for the `wlan-units` dimension layer: the newtypes
+//! must be zero-cost (same layout as `f64`), the blessed db↔linear
+//! conversions must round-trip, and the unit arithmetic must reproduce
+//! the pre-refactor raw-`f64` formulas bit for bit — the refactor is a
+//! type-level change only, every numeric path is unchanged.
+
+use std::mem::{align_of, size_of};
+use wlan_dsp::Rng;
+use wlan_rf::spec::{cascade_gain_db, cascade_noise_figure_db, StageSpec};
+use wlan_units::{Amplitude, Db, Dbm, DbmPerHz, Hz, PowerW};
+
+const TRIALS: usize = 2000;
+
+/// A dB-ish value in a realistic RF range (−120 … +120 dB).
+fn rand_db(rng: &mut Rng) -> f64 {
+    240.0 * (rng.uniform() - 0.5)
+}
+
+#[test]
+fn newtypes_are_layout_transparent() {
+    assert_eq!(size_of::<Db>(), size_of::<f64>());
+    assert_eq!(size_of::<Dbm>(), size_of::<f64>());
+    assert_eq!(size_of::<DbmPerHz>(), size_of::<f64>());
+    assert_eq!(size_of::<Hz>(), size_of::<f64>());
+    assert_eq!(size_of::<PowerW>(), size_of::<f64>());
+    assert_eq!(size_of::<Amplitude>(), size_of::<f64>());
+    assert_eq!(align_of::<Dbm>(), align_of::<f64>());
+    assert_eq!(size_of::<Option<Dbm>>(), size_of::<Option<f64>>());
+    // A slice of newtypes is a slice of f64s: no padding, no tag.
+    assert_eq!(size_of::<[Dbm; 16]>(), 16 * size_of::<f64>());
+}
+
+#[test]
+fn prop_db_linear_roundtrip() {
+    let mut rng = Rng::new(0x2001);
+    for _ in 0..TRIALS {
+        let db = rand_db(&mut rng);
+        let back = Db::from_linear(Db(db).to_linear()).0;
+        // log10(10^(x/10))·10 is exact to ~1 ulp of the exponent range.
+        assert!((back - db).abs() < 1e-9, "{db} -> {back}");
+        let amp = Db::from_amplitude_ratio(Db(db).to_amplitude_ratio()).0;
+        assert!((amp - db).abs() < 1e-9, "{db} -> {amp} (amplitude)");
+    }
+}
+
+#[test]
+fn prop_dbm_watts_amplitude_roundtrip() {
+    let mut rng = Rng::new(0x2002);
+    for _ in 0..TRIALS {
+        let dbm = rand_db(&mut rng);
+        let via_w = Dbm::from_watts(Dbm(dbm).to_watts()).0;
+        assert!((via_w - dbm).abs() < 1e-9, "{dbm} -> {via_w} (watts)");
+        let via_a = Dbm::from_amplitude(Dbm(dbm).to_amplitude()).0;
+        assert!((via_a - dbm).abs() < 1e-9, "{dbm} -> {via_a} (amplitude)");
+    }
+}
+
+#[test]
+fn prop_blessed_helpers_match_raw_formulas_exactly() {
+    let mut rng = Rng::new(0x2003);
+    for _ in 0..TRIALS {
+        let x = rand_db(&mut rng);
+        // The blessed conversions are required to be the literal
+        // pre-refactor expressions — bit-identical, not just close.
+        assert_eq!(Db(x).to_linear().to_bits(), 10f64.powf(x / 10.0).to_bits());
+        assert_eq!(
+            Db(x).to_amplitude_ratio().to_bits(),
+            10f64.powf(x / 20.0).to_bits()
+        );
+        let lin = Db(x).to_linear();
+        assert_eq!(
+            Db::from_linear(lin).0.to_bits(),
+            (10.0 * lin.log10()).to_bits()
+        );
+        assert_eq!(
+            Db::from_amplitude_ratio(lin).0.to_bits(),
+            (20.0 * lin.log10()).to_bits()
+        );
+        assert_eq!(
+            Dbm(x).to_watts().0.to_bits(),
+            (1e-3 * 10f64.powf(x / 10.0)).to_bits()
+        );
+        let w = Dbm(x).to_watts().0;
+        assert_eq!(
+            PowerW(w).to_dbm().0.to_bits(),
+            (10.0 * (w / 1e-3).log10()).to_bits()
+        );
+    }
+}
+
+#[test]
+fn prop_db_arithmetic_is_plain_f64_arithmetic() {
+    let mut rng = Rng::new(0x2004);
+    for _ in 0..TRIALS {
+        let (a, b) = (rand_db(&mut rng), rand_db(&mut rng));
+        assert_eq!((Db(a) + Db(b)).0.to_bits(), (a + b).to_bits());
+        assert_eq!((Db(a) - Db(b)).0.to_bits(), (a - b).to_bits());
+        assert_eq!((Dbm(a) + Db(b)).0.to_bits(), (a + b).to_bits());
+        assert_eq!((Dbm(a) - Dbm(b)).0.to_bits(), (a - b).to_bits());
+        assert_eq!((Db(a) * 2.0).0.to_bits(), (a * 2.0).to_bits());
+        assert_eq!((Db(a) / 2.0).0.to_bits(), (a / 2.0).to_bits());
+        assert_eq!((-Db(a)).0.to_bits(), (-a).to_bits());
+        assert_eq!(Db(a) > Db(b), a > b);
+    }
+    assert_eq!(Db::ZERO.0, 0.0);
+}
+
+/// The Friis cascade through `Db` newtypes reproduces the pre-refactor
+/// raw-`f64` loop bit for bit.
+#[test]
+fn prop_cascaded_nf_matches_raw_f64_formula() {
+    let mut rng = Rng::new(0x2005);
+    for _ in 0..500 {
+        let stages: Vec<StageSpec> = (0..4)
+            .map(|i| StageSpec {
+                name: ["lna", "mixer", "filter", "bb"][i],
+                gain_db: Db(30.0 * (rng.uniform() - 0.3)),
+                nf_db: Db(12.0 * rng.uniform()),
+            })
+            .collect();
+
+        // The exact expression the pre-refactor implementation used.
+        let mut f_total = 10f64.powf(stages[0].nf_db.0 / 10.0);
+        let mut gain = 10f64.powf(stages[0].gain_db.0 / 10.0);
+        for s in &stages[1..] {
+            f_total += (10f64.powf(s.nf_db.0 / 10.0) - 1.0) / gain;
+            gain *= 10f64.powf(s.gain_db.0 / 10.0);
+        }
+        let raw_nf = 10.0 * f_total.log10();
+
+        assert_eq!(cascade_noise_figure_db(&stages).0.to_bits(), raw_nf.to_bits());
+        let raw_gain: f64 = stages.iter().fold(0.0, |acc, s| acc + s.gain_db.0);
+        assert_eq!(cascade_gain_db(&stages).0.to_bits(), raw_gain.to_bits());
+    }
+}
+
+/// The cubic-nonlinearity IP3 identities through unit arithmetic
+/// reproduce the raw-`f64` literals exactly.
+#[test]
+fn prop_ip3_identities_match_raw_f64() {
+    let mut rng = Rng::new(0x2006);
+    for _ in 0..TRIALS {
+        let iip3 = rand_db(&mut rng);
+        // P1dB = IIP3 − 9.636 dB for a pure cubic.
+        assert_eq!(
+            wlan_rf::nonlinearity::cubic_p1db_from_iip3(Dbm(iip3)).0.to_bits(),
+            (iip3 - 9.636).to_bits()
+        );
+        // IIP3 = Pin + ΔIM3/2 as unit algebra (Dbm + Db/2).
+        let (pin, fund, im3) = (rand_db(&mut rng), rand_db(&mut rng), rand_db(&mut rng));
+        let typed = (Dbm(pin) + (Dbm(fund) - Dbm(im3)) / 2.0).0;
+        assert_eq!(typed.to_bits(), (pin + (fund - im3) / 2.0).to_bits());
+    }
+}
+
+#[test]
+fn noise_density_integrates_to_level() {
+    // −174 dBm/Hz over 20 MHz is the classic −101 dBm thermal floor.
+    let floor = DbmPerHz(-174.0).integrate(Hz(20e6));
+    assert!((floor.0 - (-174.0 + 73.01029995663981)).abs() < 1e-9, "{floor}");
+    let back = DbmPerHz::from_level(floor, Hz(20e6));
+    assert!((back.0 - -174.0).abs() < 1e-9, "{back}");
+}
