@@ -31,7 +31,16 @@ pub struct CosimReceiver {
     /// Analog-rate working buffer reused across frames (DESIGN §10
     /// scratch-arena discipline: capacity survives between packets).
     analog: Vec<Complex>,
+    /// ZOH-expanded sub-step buffer for the chunked device-major path
+    /// (bounded at `COSIM_CHUNK · analog_osr` samples).
+    expanded: Vec<Complex>,
 }
+
+/// System samples per device-major chunk: large enough that the per-chunk
+/// dyn dispatch (one per device instead of one per sub-step) vanishes,
+/// small enough that the `chunk · analog_osr` expanded buffer stays
+/// cache-resident even at Table 2's `analog_osr = 64`.
+const COSIM_CHUNK: usize = 1024;
 
 impl std::fmt::Debug for CosimReceiver {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -77,6 +86,7 @@ impl CosimReceiver {
             decim_phase: 0,
             steps_taken: 0,
             analog: Vec::new(),
+            expanded: Vec::new(),
         })
     }
 
@@ -141,7 +151,59 @@ impl CosimReceiver {
     /// AGC levels it in place, and the ADC quantizes only the samples
     /// the decimator keeps (it is stateless per sample, so skipping
     /// dropped samples is bit-identical to converting the whole frame).
+    ///
+    /// The analog engine runs *device-major over chunks*: a chunk of
+    /// system samples is ZOH-expanded to the sub-step rate once, then
+    /// each device advances over the whole expanded block with a single
+    /// virtual call ([`AnalogDevice::step_block`]). Every device is a
+    /// per-sample state machine seeing the same input sequence either
+    /// way, so this is bit-identical to the sample-by-sample reference
+    /// loop ([`CosimReceiver::process_into_sample_by_sample`], pinned by
+    /// the block-vs-sample differential tests).
     pub fn process_into(&mut self, x: &[Complex], out: &mut Vec<Complex>) {
+        let osr = self.analog_osr;
+        self.analog.clear();
+        self.analog.reserve(x.len());
+        let mut expanded = std::mem::take(&mut self.expanded);
+        for chunk in x.chunks(COSIM_CHUNK) {
+            // ZOH: each system sample held over its `osr` sub-steps.
+            expanded.clear();
+            expanded.reserve(chunk.len() * osr);
+            for &u in chunk {
+                for _ in 0..osr {
+                    expanded.push(u);
+                }
+            }
+            for d in self.devices.iter_mut() {
+                d.step_block(&mut expanded, self.dt);
+            }
+            self.steps_taken += (chunk.len() * osr) as u64;
+            // The chain output is sampled once per system sample: the
+            // last sub-step of each hold interval.
+            for i in 0..chunk.len() {
+                self.analog.push(expanded[(i + 1) * osr - 1]);
+            }
+        }
+        self.expanded = expanded;
+        self.agc.process_in_place(&mut self.analog);
+        // Plain sample picking + digital DC correction, matching the
+        // baseband front end.
+        out.clear();
+        out.reserve(self.analog.len() / self.decimation + 1);
+        for &s in &self.analog {
+            if self.decim_phase == 0 {
+                out.push(self.dc_correction.push(self.adc.convert(s)));
+            }
+            self.decim_phase = (self.decim_phase + 1) % self.decimation;
+        }
+    }
+
+    /// The original sample-by-sample analog loop: one ZOH input per
+    /// sub-step, one dyn dispatch per device per sub-step. Kept as the
+    /// bit-identity reference for the chunked device-major path above —
+    /// not used by the simulation itself.
+    #[doc(hidden)]
+    pub fn process_into_sample_by_sample(&mut self, x: &[Complex], out: &mut Vec<Complex>) {
         self.analog.clear();
         self.analog.reserve(x.len());
         for &u in x {
@@ -157,8 +219,6 @@ impl CosimReceiver {
             self.analog.push(y);
         }
         self.agc.process_in_place(&mut self.analog);
-        // Plain sample picking + digital DC correction, matching the
-        // baseband front end.
         out.clear();
         out.reserve(self.analog.len() / self.decimation + 1);
         for &s in &self.analog {
@@ -277,6 +337,26 @@ mod tests {
             let ya = a.process(chunk);
             b.process_into(chunk, &mut out);
             assert_eq!(ya, out);
+        }
+        assert_eq!(a.steps_taken(), b.steps_taken());
+    }
+
+    #[test]
+    fn chunked_path_bit_identical_to_sample_by_sample() {
+        // Frames straddle COSIM_CHUNK (ragged last chunk) and carry
+        // filter/AGC/decimator state across calls.
+        let x = tone_dbm(2e6, 80e6, -45.0, 5_000);
+        let mut a = CosimReceiver::new(80e6, 4, 4).unwrap();
+        let mut b = CosimReceiver::new(80e6, 4, 4).unwrap();
+        let (mut ya, mut yb) = (Vec::new(), Vec::new());
+        for chunk in x.chunks(1_500) {
+            a.process_into(chunk, &mut ya);
+            b.process_into_sample_by_sample(chunk, &mut yb);
+            assert_eq!(ya.len(), yb.len());
+            for (s, t) in ya.iter().zip(&yb) {
+                assert_eq!(s.re.to_bits(), t.re.to_bits());
+                assert_eq!(s.im.to_bits(), t.im.to_bits());
+            }
         }
         assert_eq!(a.steps_taken(), b.steps_taken());
     }

@@ -21,6 +21,18 @@ pub trait AnalogDevice {
     /// output.
     fn step(&mut self, u: Complex, dt: f64) -> Complex;
 
+    /// Advances over a block of samples in place: `buf[i]` is replaced by
+    /// the output of the `i`-th step. One virtual dispatch per block
+    /// instead of per sample; implementations may hoist per-step
+    /// constants, but must produce outputs bit-identical to calling
+    /// [`AnalogDevice::step`] on each sample in order (the block-vs-
+    /// sample differential tests pin this).
+    fn step_block(&mut self, buf: &mut [Complex], dt: f64) {
+        for v in buf.iter_mut() {
+            *v = self.step(*v, dt);
+        }
+    }
+
     /// Resets internal state.
     fn reset(&mut self);
 }
@@ -50,6 +62,14 @@ impl AnalogDevice for AnalogAmplifier {
     }
     fn step(&mut self, u: Complex, _dt: f64) -> Complex {
         self.nonlinearity.apply(u, self.a1)
+    }
+    fn step_block(&mut self, buf: &mut [Complex], _dt: f64) {
+        // Memoryless: hoist the nonlinearity constants once per block
+        // (`prepare` is bit-identical to per-sample `apply`).
+        let nl = self.nonlinearity.prepare(self.a1);
+        for v in buf.iter_mut() {
+            *v = nl.apply(*v);
+        }
     }
     fn reset(&mut self) {}
 }
@@ -82,6 +102,13 @@ impl AnalogDevice for AnalogMixer {
     }
     fn step(&mut self, u: Complex, _dt: f64) -> Complex {
         u * self.a1 + self.dc
+    }
+    fn step_block(&mut self, buf: &mut [Complex], _dt: f64) {
+        // Memoryless and branch-free: a pure autovectorizable pass.
+        let (a1, dc) = (self.a1, self.dc);
+        for v in buf.iter_mut() {
+            *v = *v * a1 + dc;
+        }
     }
     fn reset(&mut self) {}
 }

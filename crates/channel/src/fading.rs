@@ -56,6 +56,39 @@ impl MultipathChannel {
         MultipathChannel { taps }
     }
 
+    /// [`MultipathChannel::rayleigh_exponential`] in place: redraws this
+    /// channel's taps, reusing the tap buffer (allocation-free once the
+    /// capacity for the profile's tap count exists). Draw order and tap
+    /// powers are bit-identical to the allocating constructor, so both
+    /// consume the `rng` stream the same way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trms_s` or `sample_rate_hz` is not positive.
+    pub fn regenerate_rayleigh_exponential(
+        &mut self,
+        trms_s: f64,
+        sample_rate_hz: f64,
+        rng: &mut Rng,
+    ) {
+        assert!(
+            trms_s > 0.0 && sample_rate_hz > 0.0,
+            "positive parameters required"
+        );
+        let ts = 1.0 / sample_rate_hz;
+        let n_taps = ((5.0 * trms_s / ts).ceil() as usize).max(1);
+        let mut total = 0.0;
+        for k in 0..n_taps {
+            total += (-(k as f64) * ts / trms_s).exp();
+        }
+        self.taps.clear();
+        self.taps.reserve(n_taps);
+        for k in 0..n_taps {
+            let p = (-(k as f64) * ts / trms_s).exp() / total;
+            self.taps.push(rng.complex_gaussian(p));
+        }
+    }
+
     /// The tap gains.
     pub fn taps(&self) -> &[Complex] {
         &self.taps
@@ -78,16 +111,24 @@ impl MultipathChannel {
 
     /// Convolves the channel with `x` ("same"-length output plus tail).
     pub fn apply(&self, x: &[Complex]) -> Vec<Complex> {
+        let mut y = Vec::new();
+        self.apply_into(x, &mut y);
+        y
+    }
+
+    /// [`MultipathChannel::apply`] into a caller-owned buffer (cleared
+    /// first); the only heap traffic is capacity growth.
+    pub fn apply_into(&self, x: &[Complex], y: &mut Vec<Complex>) {
+        y.clear();
         if x.is_empty() {
-            return Vec::new();
+            return;
         }
-        let mut y = vec![Complex::ZERO; x.len() + self.taps.len() - 1];
+        y.resize(x.len() + self.taps.len() - 1, Complex::ZERO);
         for (i, &xi) in x.iter().enumerate() {
             for (k, &h) in self.taps.iter().enumerate() {
                 y[i + k] += xi * h;
             }
         }
-        y
     }
 }
 
@@ -161,6 +202,34 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(MultipathChannel::identity().apply(&[]).is_empty());
+        let mut y = vec![Complex::ONE; 3];
+        MultipathChannel::identity().apply_into(&[], &mut y);
+        assert!(y.is_empty());
+    }
+
+    #[test]
+    fn regenerate_matches_constructor_bit_exact() {
+        // Same seed, same draw schedule: the in-place redraw must equal
+        // the allocating constructor tap for tap, across realizations.
+        let mut ra = Rng::new(17);
+        let mut rb = Rng::new(17);
+        let mut ch = MultipathChannel::identity();
+        for trms in [25e-9, 50e-9, 200e-9] {
+            let want = MultipathChannel::rayleigh_exponential(trms, 20e6, &mut ra);
+            ch.regenerate_rayleigh_exponential(trms, 20e6, &mut rb);
+            assert_eq!(ch.taps(), want.taps(), "trms {trms}");
+        }
+    }
+
+    #[test]
+    fn apply_into_matches_apply_bit_exact() {
+        let mut rng = Rng::new(18);
+        let ch = MultipathChannel::rayleigh_exponential(150e-9, 20e6, &mut rng);
+        let x: Vec<Complex> = (0..500).map(|_| rng.complex_gaussian(1.0)).collect();
+        let want = ch.apply(&x);
+        let mut got = vec![Complex::ONE; 7]; // stale contents must not leak
+        ch.apply_into(&x, &mut got);
+        assert_eq!(got, want);
     }
 
     #[test]

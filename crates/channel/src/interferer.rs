@@ -4,7 +4,7 @@
 //! signal was shifted by 20 MHz in the frequency domain; the baseband
 //! signal was over-sampled to fulfill the sampling theorem").
 
-use crate::level::set_power;
+use crate::level::{set_power, set_power_in_place};
 use wlan_dsp::resample::{FrequencyShifter, Upsampler};
 use wlan_dsp::Complex;
 use wlan_units::{Dbm, Hz};
@@ -88,7 +88,13 @@ impl Scene {
     /// # Panics
     ///
     /// Panics if the offset exceeds the rendered Nyquist range.
-    pub fn add_emitter(mut self, samples: &[Complex], offset: Hz, power: Dbm, delay: usize) -> Self {
+    pub fn add_emitter(
+        mut self,
+        samples: &[Complex],
+        offset: Hz,
+        power: Dbm,
+        delay: usize,
+    ) -> Self {
         let fs = self.sample_rate();
         assert!(
             offset.0.abs() < fs / 2.0,
@@ -127,6 +133,94 @@ impl Scene {
             }
         }
         out
+    }
+}
+
+/// Streaming, arena-backed counterpart of [`Scene`] for hot loops:
+/// emitters are rendered straight into a caller-owned accumulator, the
+/// interpolator and intermediate buffer are reused across emitters and
+/// packets (DESIGN §10 scratch-arena discipline), and sample slices are
+/// borrowed instead of copied. Per-emitter processing — fresh-state
+/// upsample, absolute power scale, frequency shift, delayed
+/// superposition — is bit-identical to [`Scene::render`] with the same
+/// emitters in the same order.
+#[derive(Debug, Clone)]
+pub struct SceneRenderer {
+    base_rate_hz: f64,
+    osr: usize,
+    up: Upsampler,
+    /// Oversampled per-emitter intermediate, reused across emitters.
+    hi: Vec<Complex>,
+}
+
+impl SceneRenderer {
+    /// Creates a renderer at base rate `base_rate_hz` with oversampling
+    /// ratio `osr` (same interpolator length as [`Scene`]: 32 taps per
+    /// polyphase branch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `osr` is zero or the rate is not positive.
+    pub fn new(base_rate_hz: f64, osr: usize) -> Self {
+        assert!(osr >= 1, "oversampling ratio must be >= 1");
+        assert!(base_rate_hz > 0.0, "sample rate must be positive");
+        SceneRenderer {
+            base_rate_hz,
+            osr,
+            up: Upsampler::new(osr, 32),
+            hi: Vec::new(),
+        }
+    }
+
+    /// Oversampled rate of the rendered scene.
+    pub fn sample_rate(&self) -> f64 {
+        self.base_rate_hz * self.osr as f64
+    }
+
+    /// Oversampling ratio.
+    pub fn osr(&self) -> usize {
+        self.osr
+    }
+
+    /// Renders one emitter and adds it into `out` (which accumulates the
+    /// composite scene; clear it before the first emitter of a packet).
+    /// `out` grows with zero fill to `delay + osr·samples.len()` when
+    /// the emitter extends past the current scene end — it is never
+    /// truncated, so emitter insertion order matches [`Scene::render`]'s
+    /// superposition exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset exceeds the rendered Nyquist range.
+    pub fn add_into(
+        &mut self,
+        samples: &[Complex],
+        offset: Hz,
+        power: Dbm,
+        delay: usize,
+        out: &mut Vec<Complex>,
+    ) {
+        let fs = self.sample_rate();
+        assert!(
+            offset.0.abs() < fs / 2.0,
+            "offset {} outside ±{} Hz",
+            offset,
+            fs / 2.0
+        );
+        // Fresh interpolator/oscillator state per emitter, like
+        // `Scene::render` constructing them anew.
+        self.up.reset();
+        self.up.process_into(samples, &mut self.hi);
+        set_power_in_place(&mut self.hi, power);
+        let mut shifter = FrequencyShifter::new(offset.0, fs);
+        shifter.process_in_place(&mut self.hi);
+        let end = delay + self.hi.len();
+        if out.len() < end {
+            out.resize(end, Complex::ZERO);
+        }
+        for (o, &v) in out[delay..end].iter_mut().zip(self.hi.iter()) {
+            *o += v;
+        }
     }
 }
 
@@ -193,5 +287,40 @@ mod tests {
     fn offset_beyond_nyquist_panics() {
         let b = noise_burst(64, 5);
         let _ = Scene::new(20e6, 1).add(&b, 20e6, -30.0, 0);
+    }
+
+    #[test]
+    fn renderer_matches_scene_bit_exact() {
+        // Two emitters with distinct offsets, powers and delays; the
+        // reused renderer must reproduce the allocating builder bit for
+        // bit, including across repeated renders (state reset check).
+        let a = noise_burst(700, 6);
+        let b = noise_burst(300, 7);
+        let want = Scene::new(20e6, 4)
+            .add(&a, 0.0, -40.0, 256)
+            .add(&b, 20e6, -24.0, 0)
+            .render();
+        let mut r = SceneRenderer::new(20e6, 4);
+        assert_eq!(r.osr(), 4);
+        assert_eq!(r.sample_rate(), 80e6);
+        let mut out = Vec::new();
+        for _ in 0..2 {
+            out.clear();
+            r.add_into(&a, Hz(0.0), Dbm(-40.0), 256, &mut out);
+            r.add_into(&b, Hz(20e6), Dbm(-24.0), 0, &mut out);
+            assert_eq!(out.len(), want.len());
+            for (g, w) in out.iter().zip(want.iter()) {
+                assert_eq!(g.re.to_bits(), w.re.to_bits());
+                assert_eq!(g.im.to_bits(), w.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn renderer_offset_beyond_nyquist_panics() {
+        let b = noise_burst(64, 8);
+        let mut out = Vec::new();
+        SceneRenderer::new(20e6, 1).add_into(&b, Hz(20e6), Dbm(-30.0), 0, &mut out);
     }
 }

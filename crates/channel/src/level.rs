@@ -30,6 +30,20 @@ pub fn set_power(x: &[Complex], target: Dbm) -> Vec<Complex> {
     x.iter().map(|&v| v * k).collect()
 }
 
+/// [`set_power`] in place (allocation-free; bit-identical scale factor).
+///
+/// # Panics
+///
+/// Panics if `x` has zero power.
+pub fn set_power_in_place(x: &mut [Complex], target: Dbm) {
+    let p = mean_power(x) / 2.0;
+    assert!(p > 0.0, "cannot scale a zero-power signal");
+    let k = (target.to_watts().0 / p).sqrt();
+    for v in x.iter_mut() {
+        *v *= k;
+    }
+}
+
 /// [`set_power`] with a plain-`f64` dBm target.
 ///
 /// # Panics
@@ -100,6 +114,17 @@ mod tests {
         assert_eq!(ADJACENT_CHANNEL_REL_DB, 16.0);
         assert_eq!(ALTERNATE_CHANNEL_REL_DB, 32.0);
         assert_eq!(RX_LEVEL_MAX - RX_LEVEL_MIN, Db(65.0));
+    }
+
+    #[test]
+    fn in_place_matches_allocating_bitwise() {
+        let x: Vec<Complex> = (0..256)
+            .map(|n| Complex::from_polar(0.7, 0.13 * n as f64))
+            .collect();
+        let want = set_power(&x, Dbm(-37.5));
+        let mut got = x.clone();
+        set_power_in_place(&mut got, Dbm(-37.5));
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -23,4 +23,4 @@ pub mod level;
 
 pub use awgn::Awgn;
 pub use fading::MultipathChannel;
-pub use interferer::Scene;
+pub use interferer::{Scene, SceneRenderer};

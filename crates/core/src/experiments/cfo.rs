@@ -154,7 +154,13 @@ impl Experiment for CfoSweep {
 /// Measures one offset: the point computation is a pure function of
 /// `(effort, rate, cfo, seed)` — every RNG stream is seeded inside —
 /// so both the serial and the parallel sweep share it unchanged.
-fn measure_point(effort: Effort, rate: Rate, rx: &Receiver, cfo: f64, seed: u64) -> (f64, f64, u64) {
+fn measure_point(
+    effort: Effort,
+    rate: Rate,
+    rx: &Receiver,
+    cfo: f64,
+    seed: u64,
+) -> (f64, f64, u64) {
     let mut rng = Rng::new(seed);
     let mut noise = Awgn::new(seed ^ 0xC0FE);
     let mut meter = BerMeter::new();
@@ -213,10 +219,9 @@ pub fn run_parallel(
 ) -> CfoResult {
     let rx = Receiver::new();
     let sweep = Sweep::linspace(0.0, max_hz, points.max(2));
-    let rows = sweep
-        .run_parallel_indexed(&engine.pool, |_i, &cfo| {
-            measure_point(effort, rate, &rx, cfo, seed)
-        });
+    let rows = sweep.run_parallel_indexed(&engine.pool, |_i, &cfo| {
+        measure_point(effort, rate, &rx, cfo, seed)
+    });
     collect(rate, rows)
 }
 

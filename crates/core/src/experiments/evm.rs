@@ -6,8 +6,8 @@
 //! `EVM(dB) ≈ −SNR(dB)`.
 
 use crate::experiments::{Engine, Experiment, PointStat, RunContext, RunOutput};
-use wlan_dataflow::sweep::Sweep;
 use crate::report::Table;
+use wlan_dataflow::sweep::Sweep;
 use wlan_dsp::{Complex, Rng};
 use wlan_meas::evm::evm_from_snr_db;
 use wlan_phy::{Rate, Receiver, Transmitter};

@@ -99,7 +99,13 @@ impl Experiment for FadingSweep {
 
     fn run(&self, ctx: &RunContext) -> RunOutput {
         let r = if ctx.serial {
-            run(ctx.effort, self.rate, self.snr_db.0, self.trms_list, ctx.seed)
+            run(
+                ctx.effort,
+                self.rate,
+                self.snr_db.0,
+                self.trms_list,
+                ctx.seed,
+            )
         } else {
             run_parallel(
                 ctx.effort,

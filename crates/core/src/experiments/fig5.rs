@@ -5,7 +5,7 @@
 //! wanted OFDM band (±8.3 MHz), a too-wide filter lets the +16 dB
 //! adjacent channel through.
 
-use crate::experiments::{Effort, Experiment, PointStat, RunContext, RunOutput};
+use crate::experiments::{Effort, Engine, Experiment, PointStat, RunContext, RunOutput};
 use crate::link::{AdjacentChannel, FrontEnd, LinkConfig, LinkSimulation};
 use crate::report::{bar, format_ber, Table};
 use wlan_dataflow::sweep::Sweep;
@@ -91,7 +91,11 @@ impl Experiment for Fig5Sweep {
     }
 
     fn run(&self, ctx: &RunContext) -> RunOutput {
-        let r = run(ctx.effort, self.points, ctx.seed);
+        let r = if ctx.serial {
+            run(ctx.effort, self.points, ctx.seed)
+        } else {
+            run_parallel(ctx.effort, self.points, ctx.seed, &ctx.engine)
+        };
         let mut snapshot = vec![("n_points".to_string(), r.points.len() as f64)];
         for (i, p) in r.points.iter().enumerate() {
             snapshot.push((format!("points[{i:02}].edge_mhz"), p.edge_hz / 1e6));
@@ -116,28 +120,24 @@ impl Experiment for Fig5Sweep {
     }
 }
 
-/// Runs the sweep: 24 Mbit/s link at −55 dBm with the +16 dB adjacent
-/// channel, Chebyshev edge from 3 to 16 MHz.
-pub fn run(effort: Effort, points: usize, seed: u64) -> Fig5Result {
-    let sweep = Sweep::linspace(3e6, 16e6, points.max(2));
-    let rows = sweep.run(|&edge_hz| {
-        let rf = RfConfig {
-            channel_filter_edge_hz: wlan_units::Hz(edge_hz),
-            ..RfConfig::default()
-        };
-        let report = LinkSimulation::new(LinkConfig {
-            rate: Rate::R24,
-            psdu_len: effort.psdu_len,
-            packets: effort.packets,
-            seed,
-            rx_level_dbm: -55.0,
-            adjacent: Some(AdjacentChannel::first()),
-            front_end: FrontEnd::RfBaseband(rf),
-            ..LinkConfig::default()
-        })
-        .run();
-        (report.ber(), report.meter.bits())
-    });
+fn point_config(effort: Effort, edge_hz: f64, seed: u64) -> LinkConfig {
+    let rf = RfConfig {
+        channel_filter_edge_hz: wlan_units::Hz(edge_hz),
+        ..RfConfig::default()
+    };
+    LinkConfig {
+        rate: Rate::R24,
+        psdu_len: effort.psdu_len,
+        packets: effort.packets,
+        seed,
+        rx_level_dbm: -55.0,
+        adjacent: Some(AdjacentChannel::first()),
+        front_end: FrontEnd::RfBaseband(rf),
+        ..LinkConfig::default()
+    }
+}
+
+fn collect(rows: Vec<wlan_dataflow::sweep::SweepPoint<f64, (f64, u64)>>) -> Fig5Result {
     Fig5Result {
         points: rows
             .into_iter()
@@ -148,6 +148,29 @@ pub fn run(effort: Effort, points: usize, seed: u64) -> Fig5Result {
             })
             .collect(),
     }
+}
+
+/// Runs the sweep: 24 Mbit/s link at −55 dBm with the +16 dB adjacent
+/// channel, Chebyshev edge from 3 to 16 MHz.
+pub fn run(effort: Effort, points: usize, seed: u64) -> Fig5Result {
+    let sweep = Sweep::linspace(3e6, 16e6, points.max(2));
+    let rows = sweep.run(|&edge_hz| {
+        let report = LinkSimulation::new(point_config(effort, edge_hz, seed)).run();
+        (report.ber(), report.meter.bits())
+    });
+    collect(rows)
+}
+
+/// [`run`] on the parallel engine: sweep points fan out across the
+/// engine's pool, each point runs its frame budget as a deterministic
+/// sharded schedule. Bit-identical for any thread count.
+pub fn run_parallel(effort: Effort, points: usize, seed: u64, engine: &Engine) -> Fig5Result {
+    let sweep = Sweep::linspace(3e6, 16e6, points.max(2));
+    let rows = sweep.run_parallel_indexed(&engine.pool, |i, &edge_hz| {
+        let report = engine.measure(point_config(effort, edge_hz, seed), i);
+        (report.ber(), report.meter.bits())
+    });
+    collect(rows)
 }
 
 #[cfg(test)]
@@ -181,5 +204,16 @@ mod tests {
         let t = r.table();
         assert_eq!(t.len(), 3);
         assert!(t.render().contains("Figure 5"));
+    }
+
+    #[test]
+    fn parallel_sweep_is_thread_invariant() {
+        let serial = run_parallel(Effort::quick(), 3, 8, &Engine::serial());
+        for threads in [2, 4] {
+            let par = run_parallel(Effort::quick(), 3, 8, &Engine::with_threads(threads));
+            for (a, b) in serial.points.iter().zip(par.points.iter()) {
+                assert_eq!(a, b, "{threads} threads");
+            }
+        }
     }
 }

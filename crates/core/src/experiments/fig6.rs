@@ -11,7 +11,7 @@
 //! scales with rate (+16 dB applies to 6 Mbit/s; at 54 Mbit/s it is
 //! −1 dB, so +6 dB is already a stress case the filter must handle).
 
-use crate::experiments::{Effort, Experiment, PointStat, RunContext, RunOutput};
+use crate::experiments::{Effort, Engine, Experiment, PointStat, RunContext, RunOutput};
 use crate::link::{AdjacentChannel, FrontEnd, LinkConfig, LinkSimulation};
 use crate::report::{bar, format_ber, Table};
 use wlan_dataflow::sweep::Sweep;
@@ -114,7 +114,24 @@ impl Experiment for Fig6Sweep {
     }
 
     fn run(&self, ctx: &RunContext) -> RunOutput {
-        let r = run(ctx.effort, self.lo_dbm.0, self.hi_dbm.0, self.points, ctx.seed);
+        let r = if ctx.serial {
+            run(
+                ctx.effort,
+                self.lo_dbm.0,
+                self.hi_dbm.0,
+                self.points,
+                ctx.seed,
+            )
+        } else {
+            run_parallel(
+                ctx.effort,
+                self.lo_dbm.0,
+                self.hi_dbm.0,
+                self.points,
+                ctx.seed,
+                &ctx.engine,
+            )
+        };
         let mut snapshot = vec![("n_points".to_string(), r.points.len() as f64)];
         for (i, p) in r.points.iter().enumerate() {
             snapshot.push((format!("points[{i:02}].p1db_dbm"), p.p1db_dbm));
@@ -146,12 +163,12 @@ impl Experiment for Fig6Sweep {
     }
 }
 
-fn ber_at(p1db: f64, adjacent: bool, effort: Effort, seed: u64) -> (f64, u64) {
+fn point_config(p1db: f64, adjacent: bool, effort: Effort, seed: u64) -> LinkConfig {
     let rf = RfConfig {
         lna_nonlinearity: Nonlinearity::rapp(wlan_units::Dbm(p1db)),
         ..RfConfig::default()
     };
-    let report = LinkSimulation::new(LinkConfig {
+    LinkConfig {
         rate: Rate::R54,
         psdu_len: effort.psdu_len,
         packets: effort.packets,
@@ -163,19 +180,15 @@ fn ber_at(p1db: f64, adjacent: bool, effort: Effort, seed: u64) -> (f64, u64) {
         }),
         front_end: FrontEnd::RfBaseband(rf),
         ..LinkConfig::default()
-    })
-    .run();
+    }
+}
+
+fn ber_at(p1db: f64, adjacent: bool, effort: Effort, seed: u64) -> (f64, u64) {
+    let report = LinkSimulation::new(point_config(p1db, adjacent, effort, seed)).run();
     (report.ber(), report.meter.bits())
 }
 
-/// Runs the sweep: 54 Mbit/s at −40 dBm, LNA P1dB from `lo` to `hi` dBm.
-pub fn run(effort: Effort, lo_dbm: f64, hi_dbm: f64, points: usize, seed: u64) -> Fig6Result {
-    let sweep = Sweep::linspace(lo_dbm, hi_dbm, points.max(2));
-    let rows = sweep.run(|&p1| {
-        let (alone, bits) = ber_at(p1, false, effort, seed);
-        let (adj, _) = ber_at(p1, true, effort, seed.wrapping_add(1));
-        (alone, adj, bits)
-    });
+fn collect(rows: Vec<wlan_dataflow::sweep::SweepPoint<f64, (f64, f64, u64)>>) -> Fig6Result {
     Fig6Result {
         points: rows
             .into_iter()
@@ -187,6 +200,39 @@ pub fn run(effort: Effort, lo_dbm: f64, hi_dbm: f64, points: usize, seed: u64) -
             })
             .collect(),
     }
+}
+
+/// Runs the sweep: 54 Mbit/s at −40 dBm, LNA P1dB from `lo` to `hi` dBm.
+pub fn run(effort: Effort, lo_dbm: f64, hi_dbm: f64, points: usize, seed: u64) -> Fig6Result {
+    let sweep = Sweep::linspace(lo_dbm, hi_dbm, points.max(2));
+    let rows = sweep.run(|&p1| {
+        let (alone, bits) = ber_at(p1, false, effort, seed);
+        let (adj, _) = ber_at(p1, true, effort, seed.wrapping_add(1));
+        (alone, adj, bits)
+    });
+    collect(rows)
+}
+
+/// [`run`] on the parallel engine: sweep points fan out across the
+/// engine's pool; both series of a point run inside the same worker,
+/// the no-adjacent series on the master seed and the adjacent series on
+/// `seed + 1`, matching the serial pairing. Bit-identical for any
+/// thread count.
+pub fn run_parallel(
+    effort: Effort,
+    lo_dbm: f64,
+    hi_dbm: f64,
+    points: usize,
+    seed: u64,
+    engine: &Engine,
+) -> Fig6Result {
+    let sweep = Sweep::linspace(lo_dbm, hi_dbm, points.max(2));
+    let rows = sweep.run_parallel_indexed(&engine.pool, |i, &p1| {
+        let alone = engine.measure(point_config(p1, false, effort, seed), i);
+        let adj = engine.measure(point_config(p1, true, effort, seed.wrapping_add(1)), i);
+        (alone.ber(), adj.ber(), alone.meter.bits())
+    });
+    collect(rows)
 }
 
 #[cfg(test)]
@@ -213,5 +259,23 @@ mod tests {
         let r = run(Effort::quick(), -40.0, -10.0, 3, 6);
         assert_eq!(r.points.len(), 3);
         assert!(r.table().render().contains("Figure 6"));
+    }
+
+    #[test]
+    fn parallel_sweep_is_thread_invariant() {
+        let serial = run_parallel(Effort::quick(), -40.0, -10.0, 3, 6, &Engine::serial());
+        for threads in [2, 4] {
+            let par = run_parallel(
+                Effort::quick(),
+                -40.0,
+                -10.0,
+                3,
+                6,
+                &Engine::with_threads(threads),
+            );
+            for (a, b) in serial.points.iter().zip(par.points.iter()) {
+                assert_eq!(a, b, "{threads} threads");
+            }
+        }
     }
 }

@@ -106,7 +106,13 @@ impl Experiment for Ip3Sweep {
 
     fn run(&self, ctx: &RunContext) -> RunOutput {
         let r = if ctx.serial {
-            run(ctx.effort, self.lo_dbm.0, self.hi_dbm.0, self.points, ctx.seed)
+            run(
+                ctx.effort,
+                self.lo_dbm.0,
+                self.hi_dbm.0,
+                self.points,
+                ctx.seed,
+            )
         } else {
             run_parallel(
                 ctx.effort,

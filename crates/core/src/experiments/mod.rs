@@ -562,9 +562,9 @@ pub fn find_with_bounds(name: &str, b: SweepBounds) -> Result<Box<dyn Experiment
             }
             Ok(Box::new(s))
         }
-        _ if find(name).is_some() => {
-            Err(format!("experiment '{name}' has no sweep bounds (--lo/--hi/--points)"))
-        }
+        _ if find(name).is_some() => Err(format!(
+            "experiment '{name}' has no sweep bounds (--lo/--hi/--points)"
+        )),
         _ => Err(format!("unknown experiment '{name}'")),
     }
 }
@@ -646,7 +646,10 @@ mod tests {
             .err()
             .unwrap()
             .contains("no sweep bounds"));
-        assert!(find_with_bounds("nope", b).err().unwrap().contains("unknown"));
+        assert!(find_with_bounds("nope", b)
+            .err()
+            .unwrap()
+            .contains("unknown"));
     }
 
     #[test]

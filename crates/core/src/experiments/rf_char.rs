@@ -146,7 +146,9 @@ pub fn run(seed: u64) -> RfCharResult {
         let mut lna = Amplifier::new(
             Db(lna_gain),
             Db(3.0),
-            Nonlinearity::Cubic { iip3_dbm: Dbm(iip3) },
+            Nonlinearity::Cubic {
+                iip3_dbm: Dbm(iip3),
+            },
             fs,
             Rng::new(seed + 1),
         );
@@ -196,8 +198,20 @@ pub fn run(seed: u64) -> RfCharResult {
             },
         ];
         let friis = cascade_noise_figure_db(&stages);
-        let mut lna = Amplifier::new(Db(15.0), Db(3.0), Nonlinearity::Linear, fs, Rng::new(seed + 4));
-        let mut mix = Amplifier::new(Db(8.0), Db(9.0), Nonlinearity::Linear, fs, Rng::new(seed + 5));
+        let mut lna = Amplifier::new(
+            Db(15.0),
+            Db(3.0),
+            Nonlinearity::Linear,
+            fs,
+            Rng::new(seed + 4),
+        );
+        let mut mix = Amplifier::new(
+            Db(8.0),
+            Db(9.0),
+            Nonlinearity::Linear,
+            fs,
+            Rng::new(seed + 5),
+        );
         let mut dev = |x: &[Complex]| mix.process(&lna.process(x));
         let m = measure_noise_figure(&mut dev, 1e6, Dbm(-65.0), fs, 300_000, seed + 6);
         rows.push(CharRow {

@@ -7,8 +7,8 @@
 //! every filter state at `analog_osr` sub-steps per RF sample), so the
 //! ratio is far above 1 on any machine.
 
-use crate::experiments::{Experiment, PointStat, RunContext, RunOutput};
-use crate::link::{FrontEnd, LinkConfig, LinkSimulation};
+use crate::experiments::{Engine, Experiment, PointStat, RunContext, RunOutput};
+use crate::link::{FrontEnd, LinkConfig, LinkReport, LinkSimulation, McRun};
 use crate::report::Table;
 use std::time::Duration;
 use wlan_phy::Rate;
@@ -109,7 +109,17 @@ impl Experiment for Table2Timing {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(self.analog_osr);
-        let r = run(self.packet_counts, self.psdu_len, osr, ctx.seed);
+        let r = if ctx.serial {
+            run(self.packet_counts, self.psdu_len, osr, ctx.seed)
+        } else {
+            run_parallel(
+                self.packet_counts,
+                self.psdu_len,
+                osr,
+                ctx.seed,
+                &ctx.engine,
+            )
+        };
         let mut snapshot = vec![
             ("n_rows".to_string(), r.rows.len() as f64),
             ("analog_osr".to_string(), r.analog_osr as f64),
@@ -135,8 +145,8 @@ impl Experiment for Table2Timing {
     }
 }
 
-fn run_mode(front_end: FrontEnd, packets: usize, psdu_len: usize, seed: u64) -> Duration {
-    let report = LinkSimulation::new(LinkConfig {
+fn mode_config(front_end: FrontEnd, packets: usize, psdu_len: usize, seed: u64) -> LinkConfig {
+    LinkConfig {
         rate: Rate::R24,
         psdu_len,
         packets,
@@ -144,9 +154,31 @@ fn run_mode(front_end: FrontEnd, packets: usize, psdu_len: usize, seed: u64) -> 
         rx_level_dbm: -50.0,
         front_end,
         ..LinkConfig::default()
-    })
-    .run();
-    report.elapsed
+    }
+}
+
+fn run_mode(front_end: FrontEnd, packets: usize, psdu_len: usize, seed: u64) -> Duration {
+    LinkSimulation::new(mode_config(front_end, packets, psdu_len, seed))
+        .run()
+        .elapsed
+}
+
+/// [`run_mode`] on the engine pool: the packet budget runs as the
+/// sharded, thread-invariant Monte-Carlo schedule. Timings shrink with
+/// the worker count; the meters do not change.
+fn run_mode_parallel(
+    front_end: FrontEnd,
+    packets: usize,
+    psdu_len: usize,
+    seed: u64,
+    engine: &Engine,
+) -> LinkReport {
+    let mc = McRun {
+        point_index: 0,
+        ..engine.mc
+    };
+    LinkSimulation::new(mode_config(front_end, packets, psdu_len, seed))
+        .run_parallel(&engine.pool, &mc)
 }
 
 /// Runs the comparison for the given packet counts.
@@ -182,6 +214,48 @@ pub fn run(packet_counts: &[usize], psdu_len: usize, analog_osr: usize, seed: u6
     Table2Result { rows, analog_osr }
 }
 
+/// [`run`] with the frame budget of every timed run sharded across the
+/// engine's pool. The wall-clock ratios stay structural (both modes
+/// parallelize the same way); only absolute times shrink.
+pub fn run_parallel(
+    packet_counts: &[usize],
+    psdu_len: usize,
+    analog_osr: usize,
+    seed: u64,
+    engine: &Engine,
+) -> Table2Result {
+    let rows = packet_counts
+        .iter()
+        .map(|&packets| {
+            let cfg = RfConfig {
+                noise_enabled: false, // match the noiseless co-sim
+                ..RfConfig::default()
+            };
+            let baseband =
+                run_mode_parallel(FrontEnd::RfBaseband(cfg), packets, psdu_len, seed, engine)
+                    .elapsed;
+            let cosim = run_mode_parallel(
+                FrontEnd::RfCosim {
+                    filter_edge_hz: 10e6,
+                    analog_osr,
+                    noise_workaround: false,
+                },
+                packets,
+                psdu_len,
+                seed,
+                engine,
+            )
+            .elapsed;
+            TimingRow {
+                packets,
+                baseband,
+                cosim,
+            }
+        })
+        .collect();
+    Table2Result { rows, analog_osr }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,5 +273,40 @@ mod tests {
         let r = run(&[1, 3], 60, 4, 2);
         assert!(r.rows[1].cosim > r.rows[0].cosim);
         assert!(r.table().render().contains("Table 2"));
+    }
+
+    #[test]
+    fn parallel_meters_are_thread_invariant() {
+        // Timings are host-dependent; the invariant the parallel path
+        // must hold is that the metered link outcome of every timed run
+        // is identical for any worker count.
+        let cfg = RfConfig {
+            noise_enabled: false,
+            ..RfConfig::default()
+        };
+        let base = run_mode_parallel(FrontEnd::RfBaseband(cfg), 4, 60, 9, &Engine::serial());
+        for threads in [2, 4] {
+            let r = run_mode_parallel(
+                FrontEnd::RfBaseband(cfg),
+                4,
+                60,
+                9,
+                &Engine::with_threads(threads),
+            );
+            assert_eq!(r.meter, base.meter, "{threads} threads");
+            assert_eq!(r.decoded_packets, base.decoded_packets);
+            assert_eq!(r.evm_db, base.evm_db);
+            assert_eq!(r.packets, base.packets);
+        }
+    }
+
+    #[test]
+    fn parallel_rows_match_structure() {
+        let r = run_parallel(&[1, 2], 60, 4, 2, &Engine::with_threads(2));
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.analog_osr, 4);
+        assert_eq!(r.rows[0].packets, 1);
+        assert_eq!(r.rows[1].packets, 2);
+        assert!(r.rows.iter().all(|row| row.ratio() > 1.0));
     }
 }

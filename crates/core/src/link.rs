@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 use wlan_ams::CosimReceiver;
 use wlan_channel::awgn::Awgn;
 use wlan_channel::fading::MultipathChannel;
-use wlan_channel::interferer::Scene;
+use wlan_channel::interferer::SceneRenderer;
 use wlan_dsp::{Complex, Rng};
 use wlan_exec::{split_seed, ThreadPool};
 use wlan_meas::montecarlo::{run_sharded, EarlyStop, McAccumulator, McPlan};
@@ -164,9 +164,9 @@ struct FrontEndState {
 
 /// Per-packet buffer arena: every transmit/channel/receive intermediate
 /// of the hot loop. Buffers retain capacity between packets, so
-/// steady-state simulation of the [`FrontEnd::Ideal`] path performs zero
-/// heap allocation (the RF paths still allocate in the oversampled scene
-/// renderer and the multipath channel).
+/// steady-state simulation of every front-end level — including the
+/// oversampled scene renderer and the multipath channel of the RF
+/// paths — performs zero heap allocation.
 struct PacketScratch {
     /// Transmitted PSDU of the current packet.
     psdu: Vec<u8>,
@@ -184,10 +184,24 @@ struct PacketScratch {
     rf_out: Vec<Complex>,
     /// Adjacent-channel interferer payload.
     adj_psdu: Vec<u8>,
+    /// Wanted burst plus the 160-sample trailing pad for the scene.
+    padded: Vec<Complex>,
+    /// Multipath convolution output (swapped back into `burst`).
+    faded: Vec<Complex>,
+    /// Per-run multipath realization, taps redrawn in place per packet.
+    chan_model: MultipathChannel,
+    /// Reused oversampled scene renderer (RF modes).
+    renderer: SceneRenderer,
+    /// Long-lived adjacent-channel transmitter, re-seeded per packet.
+    adj_tx: Transmitter,
+    /// Adjacent-channel burst samples.
+    adj_burst: Vec<Complex>,
+    /// Composite oversampled scene (RF modes).
+    scene: Vec<Complex>,
 }
 
 impl PacketScratch {
-    fn new(rate: Rate) -> Self {
+    fn new(rate: Rate, osr: usize) -> Self {
         // Worst-case SIGNAL LENGTH capacity up front: a rare decode
         // candidate with a large (or corrupted) LENGTH field must not
         // grow the receive scratch past the warm-up high-water mark.
@@ -203,8 +217,36 @@ impl PacketScratch {
             rf: RfScratch::default(),
             rf_out: Vec::new(),
             adj_psdu: Vec::new(),
+            padded: Vec::new(),
+            faded: Vec::new(),
+            chan_model: MultipathChannel::identity(),
+            renderer: SceneRenderer::new(SAMPLE_RATE, osr),
+            adj_tx: Transmitter::new(rate),
+            adj_burst: Vec::new(),
+            scene: Vec::new(),
         }
     }
+}
+
+/// Batch-plane arena of [`LinkSimulation::run_batched`]: the
+/// concatenated per-packet front-end inputs (`plane` + `segments`), the
+/// matching DSP-rate outputs (`out_plane` + `out_segments`) and the
+/// transmitted payloads of the in-flight batch. Capacity survives
+/// between batches, so the batch driver is steady-state
+/// allocation-free.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    /// Front-end input samples of every packet in the batch,
+    /// concatenated in packet order (the SoA sample plane).
+    plane: Vec<Complex>,
+    /// Per-packet lengths inside `plane`.
+    segments: Vec<usize>,
+    /// DSP-rate front-end outputs, concatenated in packet order.
+    out_plane: Vec<Complex>,
+    /// Per-packet lengths inside `out_plane`.
+    out_segments: Vec<usize>,
+    /// Transmitted PSDUs, `psdu_len` bytes per packet.
+    psdus: Vec<u8>,
 }
 
 /// What one simulated packet produced. The payload bytes stay in the
@@ -332,6 +374,190 @@ impl LinkSimulation {
         }
     }
 
+    /// Runs all packets through the batch plane: per batch of
+    /// `batch_packets` frames, the shared-stream stages (payload draw,
+    /// transmit, multipath, scene, front-end noise) run packet-major in
+    /// exactly the serial order, the per-packet front-end inputs are
+    /// concatenated into one contiguous sample plane, and the RF chain
+    /// then runs *stage-major across the whole plane*
+    /// ([`DoubleConversionReceiver::process_batch_into`]) before the DSP
+    /// receiver decodes each segment.
+    ///
+    /// Every stage state machine and every private noise stream sees the
+    /// same input sequence as in [`LinkSimulation::run`], so the report
+    /// is **bit-identical to the serial loop for any batch size** —
+    /// `run` stays the reference the differential tests compare against.
+    /// [`FrontEnd::Ideal`] and [`FrontEnd::RfCosim`] have no cross-packet
+    /// plane kernel; their segments fall back to per-packet processing
+    /// in packet order (which preserves the identity trivially).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_packets` is zero.
+    pub fn run_batched(&self, batch_packets: usize) -> LinkReport {
+        assert!(batch_packets >= 1, "batch must hold at least one packet");
+        let cfg = &self.config;
+        let started = Instant::now();
+        let mut rng = Rng::new(cfg.seed);
+        let mut fe = self.front_end_state(cfg.seed);
+        let rx = Receiver::new();
+        let mut meter = BerMeter::new();
+        let mut evm_acc = 0.0f64;
+        let mut decoded = 0usize;
+        let mut batch = BatchScratch::default();
+
+        let mut first = 0;
+        while first < cfg.packets {
+            let n = batch_packets.min(cfg.packets - first);
+            self.run_batch(first, n, &mut rng, &mut fe, &mut batch);
+            // Per-packet bookkeeping in packet order, exactly like the
+            // serial loop.
+            let mut start = 0;
+            for (i, &len) in batch.out_segments.iter().enumerate() {
+                let seg = &batch.out_plane[start..start + len];
+                let sent = &batch.psdus[i * cfg.psdu_len..(i + 1) * cfg.psdu_len];
+                match rx.receive_into(seg, &mut fe.scratch.rx) {
+                    Ok(sum) if fe.scratch.rx.psdu.len() == sent.len() => {
+                        meter.update_bytes(sent, &fe.scratch.rx.psdu);
+                        evm_acc += sum.evm_db();
+                        decoded += 1;
+                    }
+                    _ => meter.update_lost_packet(8 * cfg.psdu_len),
+                }
+                start += len;
+            }
+            first += n;
+        }
+
+        LinkReport {
+            packets: cfg.packets,
+            decoded_packets: decoded,
+            meter,
+            evm_db: if decoded > 0 {
+                Some(evm_acc / decoded as f64)
+            } else {
+                None
+            },
+            elapsed: started.elapsed(),
+        }
+    }
+
+    /// One batch of the batch plane: stages A (packet-major shared-rng
+    /// transmit/channel into the concatenated plane) and B (front end
+    /// over the plane), leaving the per-packet DSP inputs in
+    /// `batch.out_plane`/`batch.out_segments` and the transmitted
+    /// payloads in `batch.psdus`.
+    fn run_batch(
+        &self,
+        first: usize,
+        n: usize,
+        rng: &mut Rng,
+        fe: &mut FrontEndState,
+        batch: &mut BatchScratch,
+    ) {
+        let cfg = &self.config;
+        let FrontEndState {
+            bb,
+            cosim,
+            noise,
+            scratch,
+        } = fe;
+        let PacketScratch {
+            psdu,
+            tx,
+            txs,
+            burst,
+            chan: _,
+            rx: _,
+            rf,
+            rf_out,
+            adj_psdu,
+            padded,
+            faded,
+            chan_model,
+            renderer,
+            adj_tx,
+            adj_burst,
+            scene,
+        } = scratch;
+
+        batch.plane.clear();
+        batch.segments.clear();
+        batch.psdus.clear();
+        for i in 0..n {
+            let pkt = first + i;
+            psdu.clear();
+            psdu.resize(cfg.psdu_len, 0);
+            rng.bytes(psdu);
+            batch.psdus.extend_from_slice(psdu);
+            let seed_bits = ((pkt as u8).wrapping_mul(37) % 127) + 1;
+            tx.set_scrambler_seed(seed_bits);
+            tx.transmit_into(psdu, txs, burst);
+
+            if let Some(trms) = cfg.multipath_trms_s {
+                chan_model.regenerate_rayleigh_exponential(trms, SAMPLE_RATE, rng);
+                chan_model.apply_into(burst, faded);
+                std::mem::swap(burst, faded);
+            }
+
+            let seg_start = batch.plane.len();
+            match &cfg.front_end {
+                FrontEnd::Ideal => {
+                    batch.plane.reserve(burst.len() + 400);
+                    batch.plane.extend(std::iter::repeat_n(Complex::ZERO, 200));
+                    batch.plane.extend_from_slice(burst);
+                    batch.plane.extend(std::iter::repeat_n(Complex::ZERO, 200));
+                    if let Some(snr) = cfg.snr_db {
+                        let np = wlan_dsp::math::db_to_lin(-snr);
+                        noise.add_noise_power_in_place(&mut batch.plane[seg_start..], np);
+                    }
+                }
+                FrontEnd::RfBaseband(_) | FrontEnd::RfCosim { .. } => {
+                    Self::build_scene_into(
+                        cfg, pkt, rng, burst, padded, renderer, adj_tx, txs, adj_psdu, adj_burst,
+                        scene,
+                    );
+                    self.add_frontend_noise(scene, cfg, noise);
+                    batch.plane.extend_from_slice(scene);
+                }
+            }
+            batch.segments.push(batch.plane.len() - seg_start);
+        }
+
+        match &cfg.front_end {
+            FrontEnd::Ideal => {
+                // No front end: the plane segments are the DSP inputs.
+                std::mem::swap(&mut batch.plane, &mut batch.out_plane);
+                std::mem::swap(&mut batch.segments, &mut batch.out_segments);
+            }
+            FrontEnd::RfBaseband(_) => {
+                let bb = bb.as_mut().expect("baseband front end");
+                bb.process_batch_into(
+                    &batch.plane,
+                    &batch.segments,
+                    rf,
+                    &mut batch.out_plane,
+                    &mut batch.out_segments,
+                );
+            }
+            FrontEnd::RfCosim { .. } => {
+                // The analog engine already runs device-major over
+                // chunks; batch the packets by processing the segments
+                // in packet order (state carries exactly as serially).
+                let cs = cosim.as_mut().expect("cosim front end");
+                batch.out_plane.clear();
+                batch.out_segments.clear();
+                let mut start = 0;
+                for &len in &batch.segments {
+                    cs.process_into(&batch.plane[start..start + len], rf_out);
+                    batch.out_plane.extend_from_slice(rf_out);
+                    batch.out_segments.push(rf_out.len());
+                    start += len;
+                }
+            }
+        }
+    }
+
     /// Runs one shard of the Monte-Carlo schedule: `packets` frames with
     /// global indices `first_packet..first_packet + packets`, with all
     /// randomness drawn from the shard's own `seed` stream.
@@ -444,7 +670,7 @@ impl LinkSimulation {
             bb,
             cosim,
             noise: Awgn::new(seed ^ 0x5EED),
-            scratch: PacketScratch::new(cfg.rate),
+            scratch: PacketScratch::new(cfg.rate, cfg.osr),
         }
     }
 
@@ -474,6 +700,13 @@ impl LinkSimulation {
             rf,
             rf_out,
             adj_psdu,
+            padded,
+            faded,
+            chan_model,
+            renderer,
+            adj_tx,
+            adj_burst,
+            scene,
         } = scratch;
 
         psdu.clear();
@@ -483,10 +716,12 @@ impl LinkSimulation {
         tx.set_scrambler_seed(seed_bits);
         tx.transmit_into(psdu, txs, burst);
 
-        // Optional multipath (one realization per packet).
+        // Optional multipath (one realization per packet, taps redrawn
+        // into the arena-held channel).
         if let Some(trms) = cfg.multipath_trms_s {
-            let ch = MultipathChannel::rayleigh_exponential(trms, SAMPLE_RATE, rng);
-            *burst = ch.apply(burst);
+            chan_model.regenerate_rayleigh_exponential(trms, SAMPLE_RATE, rng);
+            chan_model.apply_into(burst, faded);
+            std::mem::swap(burst, faded);
         }
 
         let dsp_input: &[Complex] = match &cfg.front_end {
@@ -504,11 +739,13 @@ impl LinkSimulation {
                 chan
             }
             FrontEnd::RfBaseband(_) | FrontEnd::RfCosim { .. } => {
-                let mut x = self.build_scene(burst, cfg, pkt, rng, adj_psdu);
-                self.add_frontend_noise(&mut x, cfg, noise);
+                Self::build_scene_into(
+                    cfg, pkt, rng, burst, padded, renderer, adj_tx, txs, adj_psdu, adj_burst, scene,
+                );
+                self.add_frontend_noise(scene, cfg, noise);
                 match (bb, cosim) {
-                    (Some(fe), _) => fe.process_into(&x, rf, rf_out),
-                    (_, Some(fe)) => fe.process_into(&x, rf_out),
+                    (Some(fe), _) => fe.process_into(scene, rf, rf_out),
+                    (_, Some(fe)) => fe.process_into(scene, rf_out),
                     _ => unreachable!(),
                 }
                 rf_out
@@ -523,40 +760,55 @@ impl LinkSimulation {
         }
     }
 
-    /// Builds the oversampled scene: wanted channel at the configured
-    /// level plus the optional adjacent channel (a duplicated transmitter
-    /// with independent payload).
-    fn build_scene(
-        &self,
-        wanted: &[Complex],
+    /// Builds the oversampled scene into the arena: wanted channel at the
+    /// configured level plus the optional adjacent channel (a duplicated
+    /// transmitter with independent payload). Allocation-free in steady
+    /// state; bit-identical to rendering the same emitters through the
+    /// allocating [`wlan_channel::interferer::Scene`] builder.
+    #[allow(clippy::too_many_arguments)] // borrow-split arena fields
+    fn build_scene_into(
         cfg: &LinkConfig,
         pkt: usize,
         rng: &mut Rng,
+        wanted: &[Complex],
+        padded: &mut Vec<Complex>,
+        renderer: &mut SceneRenderer,
+        adj_tx: &mut Transmitter,
+        txs: &mut TxScratch,
         adj_psdu: &mut Vec<u8>,
-    ) -> Vec<Complex> {
+        adj_burst: &mut Vec<Complex>,
+        out: &mut Vec<Complex>,
+    ) {
         // Trailing pad: the front-end filters delay the burst by tens of
         // samples; without tail room the last OFDM symbols would fall off
         // the end of the processed buffer.
-        let mut padded = wanted.to_vec();
+        padded.clear();
+        padded.reserve(wanted.len() + 160);
+        padded.extend_from_slice(wanted);
         padded.extend(std::iter::repeat_n(Complex::ZERO, 160));
-        let mut scene =
-            Scene::new(SAMPLE_RATE, cfg.osr).add(&padded, 0.0, cfg.rx_level_dbm, 64 * cfg.osr);
+        out.clear();
+        renderer.add_into(
+            padded,
+            wlan_units::Hz(0.0),
+            wlan_units::Dbm(cfg.rx_level_dbm),
+            64 * cfg.osr,
+            out,
+        );
         if let Some(adj) = cfg.adjacent {
             adj_psdu.clear();
             adj_psdu.resize(cfg.psdu_len, 0);
             rng.bytes(adj_psdu);
             let adj_seed = ((pkt as u8).wrapping_mul(53) % 127) + 1;
-            let adj_burst = Transmitter::new(cfg.rate)
-                .with_scrambler_seed(adj_seed)
-                .transmit(adj_psdu);
-            scene = scene.add(
-                &adj_burst.samples,
-                adj.offset_hz,
-                cfg.rx_level_dbm + adj.rel_db,
+            adj_tx.set_scrambler_seed(adj_seed);
+            adj_tx.transmit_into(adj_psdu, txs, adj_burst);
+            renderer.add_into(
+                adj_burst,
+                wlan_units::Hz(adj.offset_hz),
+                wlan_units::Dbm(cfg.rx_level_dbm + adj.rel_db),
                 0,
+                out,
             );
         }
-        scene.render()
     }
 
     /// Adds the antenna thermal floor in place. The paper's co-simulation
@@ -719,6 +971,69 @@ mod tests {
         });
         // 50 ns delay spread fits comfortably in the 800 ns guard.
         assert!(r.ber() < 0.01, "ber {}", r.ber());
+    }
+
+    #[test]
+    fn run_batched_matches_run_bit_identical() {
+        // Every front-end level; batch sizes 1, 3 (ragged last batch)
+        // and one larger than the packet budget. The batch driver must
+        // reproduce the serial reference exactly: same meter, same
+        // decode count, same EVM sum to the last bit.
+        let cases = vec![
+            LinkConfig {
+                packets: 5,
+                psdu_len: 60,
+                rate: Rate::R36,
+                snr_db: Some(12.0),
+                multipath_trms_s: Some(50e-9),
+                seed: 13,
+                ..LinkConfig::default()
+            },
+            LinkConfig {
+                packets: 4,
+                psdu_len: 48,
+                rate: Rate::R24,
+                rx_level_dbm: -50.0,
+                adjacent: Some(AdjacentChannel::first()),
+                front_end: FrontEnd::RfBaseband(RfConfig::default()),
+                seed: 14,
+                ..LinkConfig::default()
+            },
+            LinkConfig {
+                packets: 2,
+                psdu_len: 40,
+                rx_level_dbm: -50.0,
+                front_end: FrontEnd::RfCosim {
+                    filter_edge_hz: 10e6,
+                    analog_osr: 2,
+                    noise_workaround: true,
+                },
+                seed: 15,
+                ..LinkConfig::default()
+            },
+        ];
+        for cfg in cases {
+            let label = format!("{:?}", cfg.front_end);
+            let sim = LinkSimulation::new(cfg);
+            let want = sim.run();
+            for batch in [1usize, 3, 16] {
+                let got = sim.run_batched(batch);
+                assert_eq!(got.meter, want.meter, "{label} batch {batch}");
+                assert_eq!(got.decoded_packets, want.decoded_packets, "{label}");
+                assert_eq!(got.evm_db, want.evm_db, "{label} batch {batch}");
+                assert_eq!(got.packets, want.packets);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_batch_panics() {
+        let sim = LinkSimulation::new(LinkConfig {
+            packets: 1,
+            ..LinkConfig::default()
+        });
+        let _ = sim.run_batched(0);
     }
 
     #[test]

@@ -41,6 +41,24 @@ impl Biquad {
         y
     }
 
+    /// Runs the recurrence over a frame in place with coefficients and
+    /// state in registers; the same arithmetic as [`Biquad::push`] per
+    /// sample, so bit-identical.
+    pub fn process_in_place(&mut self, x: &mut [Complex]) {
+        let [b0, b1, b2] = self.b;
+        let [a0, a1] = self.a;
+        let (mut s1, mut s2) = (self.s1, self.s2);
+        for v in x.iter_mut() {
+            let xs = *v;
+            let y = xs * b0 + s1;
+            s1 = xs * b1 - y * a0 + s2;
+            s2 = xs * b2 - y * a1;
+            *v = y;
+        }
+        self.s1 = s1;
+        self.s2 = s2;
+    }
+
     /// Clears the filter state.
     pub fn reset(&mut self) {
         self.s1 = Complex::ZERO;
@@ -114,6 +132,19 @@ impl Sos {
     /// Filters a frame.
     pub fn process(&mut self, x: &[Complex]) -> Vec<Complex> {
         x.iter().map(|&v| self.push(v)).collect()
+    }
+
+    /// Filters a frame in place, section-major: the gain pass and then
+    /// each biquad run over the whole frame. Each section is an LTI state
+    /// machine fed the previous section's full output sequence, exactly
+    /// as in per-sample [`Sos::push`], so the result is bit-identical.
+    pub fn process_in_place(&mut self, x: &mut [Complex]) {
+        for v in x.iter_mut() {
+            *v *= self.gain;
+        }
+        for s in self.sections.iter_mut() {
+            s.process_in_place(x);
+        }
     }
 
     /// Filters a frame of real samples.

@@ -83,11 +83,21 @@ impl Upsampler {
 
     /// Converts a frame of input samples to `factor·len` output samples.
     pub fn process(&mut self, x: &[Complex]) -> Vec<Complex> {
+        let mut out = Vec::with_capacity(x.len() * self.factor);
+        self.process_into(x, &mut out);
+        out
+    }
+
+    /// [`Upsampler::process`] into a caller-owned buffer (cleared first);
+    /// the only heap traffic is capacity growth.
+    pub fn process_into(&mut self, x: &[Complex], out: &mut Vec<Complex>) {
+        out.clear();
         if self.factor == 1 {
-            return x.to_vec();
+            out.extend_from_slice(x);
+            return;
         }
         let tb = self.history.len();
-        let mut out = Vec::with_capacity(x.len() * self.factor);
+        out.reserve(x.len() * self.factor);
         for &v in x {
             self.history[self.pos] = v;
             for branch in &self.branches {
@@ -101,7 +111,6 @@ impl Upsampler {
             }
             self.pos = (self.pos + 1) % tb;
         }
-        out
     }
 }
 
@@ -194,6 +203,13 @@ impl FrequencyShifter {
     /// Shifts a frame.
     pub fn process(&mut self, x: &[Complex]) -> Vec<Complex> {
         x.iter().map(|&v| self.push(v)).collect()
+    }
+
+    /// Shifts a frame in place.
+    pub fn process_in_place(&mut self, x: &mut [Complex]) {
+        for v in x.iter_mut() {
+            *v = self.push(*v);
+        }
     }
 
     /// Resets the oscillator phase.

@@ -322,10 +322,7 @@ mod tests {
 
     #[test]
     fn fixture_is_rejected_when_listed_explicitly() {
-        let fixture = concat!(
-            env!("CARGO_MANIFEST_DIR"),
-            "/fixtures/units_raw_db_math.rs"
-        );
+        let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/units_raw_db_math.rs");
         let (report, io) = lint_paths(&[fixture.to_string()], &no_allow());
         assert!(io.is_empty(), "fixture must be readable: {io:?}");
         assert!(report.has_errors(), "fixture must trip the pass");

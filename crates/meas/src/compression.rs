@@ -48,7 +48,10 @@ pub fn measure_p1db<F>(
 where
     F: FnMut(&[Complex]) -> Vec<Complex>,
 {
-    assert!(stop_dbm > start_dbm && step_db > Db::ZERO, "bad sweep range");
+    assert!(
+        stop_dbm > start_dbm && step_db > Db::ZERO,
+        "bad sweep range"
+    );
     let mut sweep = Vec::new();
     let mut p = start_dbm;
     while p.0 <= stop_dbm.0 + 1e-9 {
@@ -123,7 +126,9 @@ mod tests {
 
     #[test]
     fn cubic_p1db_is_9p6_below_iip3() {
-        let nl = Nonlinearity::Cubic { iip3_dbm: Dbm(-5.0) };
+        let nl = Nonlinearity::Cubic {
+            iip3_dbm: Dbm(-5.0),
+        };
         let mut dev =
             |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| nl.apply(u, 1.0)).collect() };
         let m = measure_p1db(&mut dev, 1e6, Dbm(-40.0), Dbm(-5.0), Db(0.5), 80e6, 4000);

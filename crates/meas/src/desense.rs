@@ -91,8 +91,8 @@ where
     let threshold = clean_gain_db - Db(1.0);
     for w in sweep.windows(2) {
         if w[0].wanted_gain_db >= threshold && w[1].wanted_gain_db < threshold {
-            let t = (threshold - w[0].wanted_gain_db).0
-                / (w[1].wanted_gain_db - w[0].wanted_gain_db).0;
+            let t =
+                (threshold - w[0].wanted_gain_db).0 / (w[1].wanted_gain_db - w[0].wanted_gain_db).0;
             desense = Some(Dbm(
                 w[0].blocker_dbm.0 + t * (w[1].blocker_dbm - w[0].blocker_dbm).0
             ));

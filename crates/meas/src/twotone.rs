@@ -89,7 +89,9 @@ mod tests {
     #[test]
     fn recovers_cubic_iip3() {
         for iip3 in [-15.0, -5.0, 5.0] {
-            let nl = Nonlinearity::Cubic { iip3_dbm: Dbm(iip3) };
+            let nl = Nonlinearity::Cubic {
+                iip3_dbm: Dbm(iip3),
+            };
             let mut dev =
                 |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| nl.apply(u, 4.0)).collect() };
             let m = measure_iip3(&mut dev, 1e6, 1.3e6, Dbm(iip3 - 30.0), 80e6, 40_000);

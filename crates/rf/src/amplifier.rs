@@ -83,6 +83,22 @@ impl Amplifier {
     pub fn process(&mut self, x: &[Complex]) -> Vec<Complex> {
         x.iter().map(|&v| self.push(v)).collect()
     }
+
+    /// Processes a frame in place, stage-major: one thermal-noise pass,
+    /// then one nonlinearity pass with the sample-invariant constants
+    /// hoisted ([`crate::nonlinearity::PreparedNonlinearity`]). The noise
+    /// source owns its RNG stream and the nonlinearity is memoryless, so
+    /// reordering the work per stage instead of per sample is
+    /// bit-identical to calling [`Amplifier::push`] on each sample.
+    pub fn process_in_place(&mut self, x: &mut [Complex]) {
+        if self.noise_enabled {
+            self.noise.add_to(x);
+        }
+        let nl = self.nonlinearity.prepare(self.a1);
+        for v in x.iter_mut() {
+            *v = nl.apply(*v);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -146,7 +162,13 @@ mod tests {
 
     #[test]
     fn compression_reduces_gain_at_high_level() {
-        let mut amp = Amplifier::new(Db(15.0), Db(0.0), Nonlinearity::rapp(wlan_units::Dbm(-15.0)), 20e6, Rng::new(5));
+        let mut amp = Amplifier::new(
+            Db(15.0),
+            Db(0.0),
+            Nonlinearity::rapp(wlan_units::Dbm(-15.0)),
+            20e6,
+            Rng::new(5),
+        );
         let lo = tone(-60.0, 500);
         let hi = tone(-15.0, 500);
         let g_lo = lin_to_db(mean_power(&amp.process(&lo)) / mean_power(&lo));

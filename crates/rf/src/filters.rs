@@ -70,6 +70,11 @@ impl ChannelSelectFilter {
         self.digital.process(x)
     }
 
+    /// Filters a frame in place (bit-identical to per-sample `push`).
+    pub fn process_in_place(&mut self, x: &mut [Complex]) {
+        self.digital.process_in_place(x);
+    }
+
     /// Processes one sample.
     pub fn push(&mut self, x: Complex) -> Complex {
         self.digital.push(x)
@@ -120,6 +125,11 @@ impl DcBlockFilter {
     /// Filters a frame.
     pub fn process(&mut self, x: &[Complex]) -> Vec<Complex> {
         self.digital.process(x)
+    }
+
+    /// Filters a frame in place (bit-identical to per-sample `push`).
+    pub fn process_in_place(&mut self, x: &mut [Complex]) {
+        self.digital.process_in_place(x);
     }
 
     /// Processes one sample.

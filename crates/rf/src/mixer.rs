@@ -141,6 +141,28 @@ impl Mixer {
     pub fn process(&mut self, x: &[Complex]) -> Vec<Complex> {
         x.iter().map(|&v| self.push(v)).collect()
     }
+
+    /// Processes a frame in place, stage-major: thermal pass, LO
+    /// phase-noise pass, a pure (autovectorizable) IQ/gain/DC pass, then
+    /// the flicker pass. Every noise process owns its RNG stream, so each
+    /// stream sees the same draw order as per-sample [`Mixer::push`] and
+    /// the output is bit-identical.
+    pub fn process_in_place(&mut self, x: &mut [Complex]) {
+        if self.noise_enabled {
+            self.thermal.add_to(x);
+        }
+        self.phase_noise.process_in_place(x);
+        let (mu, nu, a1, dc) = (self.mu, self.nu, self.a1, self.dc);
+        for v in x.iter_mut() {
+            let bal = mu * *v + nu * v.conj();
+            *v = bal * a1 + dc;
+        }
+        if self.noise_enabled {
+            if let Some(f) = self.flicker.as_mut() {
+                f.add_scaled_to(x, a1);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

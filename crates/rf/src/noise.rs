@@ -50,6 +50,24 @@ impl ThermalNoise {
             self.rng.complex_gaussian(self.power)
         }
     }
+
+    /// Adds one noise sample to every element of `buf` — the stage-major
+    /// form of calling [`ThermalNoise::next_sample`] per sample. The
+    /// per-dimension sigma is hoisted out of the loop; it is the same
+    /// value `Rng::complex_gaussian` recomputes on every call and the
+    /// Gaussian deviates are drawn in the same order, so the result is
+    /// bit-identical.
+    pub fn add_to(&mut self, buf: &mut [Complex]) {
+        if self.power <= 0.0 {
+            return;
+        }
+        let sigma = (self.power / 2.0).sqrt();
+        for v in buf.iter_mut() {
+            let re = sigma * self.rng.gaussian();
+            let im = sigma * self.rng.gaussian();
+            *v += Complex::new(re, im);
+        }
+    }
 }
 
 /// Flicker (1/f) noise approximated by a sum of first-order lowpass
@@ -114,6 +132,25 @@ impl FlickerNoise {
             acc += new_state;
         }
         acc * self.white_gain
+    }
+
+    /// Adds `next_sample() * scale` to every element of `buf`, with the
+    /// per-section loop tightened for the frame-sized path: the white
+    /// drive is `complex_gaussian(2.0)`, whose sigma is exactly 1.0, so
+    /// the deviates are used directly (IEEE multiplication by 1.0 is the
+    /// identity), and the sections are walked in place instead of by
+    /// index. Draw order and arithmetic match `next_sample`, so the
+    /// result is bit-identical.
+    pub fn add_scaled_to(&mut self, buf: &mut [Complex], scale: f64) {
+        for v in buf.iter_mut() {
+            let mut acc = Complex::ZERO;
+            for s in self.sections.iter_mut() {
+                let w = Complex::new(self.rng.gaussian(), self.rng.gaussian());
+                s.0 = s.0 * s.1 + w * s.2;
+                acc += s.0;
+            }
+            *v += (acc * self.white_gain) * scale;
+        }
     }
 }
 

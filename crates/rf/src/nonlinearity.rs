@@ -51,6 +51,44 @@ impl Nonlinearity {
         }
     }
 
+    /// Folds the gain `a1` and every sample-invariant sub-expression of
+    /// [`Nonlinearity::apply`] into a [`PreparedNonlinearity`], so a
+    /// frame-sized loop pays only the per-sample arithmetic. The hoisted
+    /// constants are computed by the exact same expressions `apply` uses,
+    /// so [`PreparedNonlinearity::apply`] is bit-identical to
+    /// `Nonlinearity::apply(u, a1)`.
+    pub fn prepare(self, a1: f64) -> PreparedNonlinearity {
+        match self {
+            Nonlinearity::Linear => PreparedNonlinearity::Linear { a1 },
+            Nonlinearity::Cubic { iip3_dbm } => {
+                let p_ip3 = iip3_dbm.to_watts().0;
+                let lim = 2.0 * p_ip3 / 3.0;
+                let a_max = lim.sqrt();
+                let y_max = a1 * a_max * (1.0 - lim / (2.0 * p_ip3));
+                PreparedNonlinearity::Cubic {
+                    a1,
+                    two_p_ip3: 2.0 * p_ip3,
+                    lim,
+                    y_max,
+                }
+            }
+            Nonlinearity::Rapp {
+                p1db_dbm,
+                smoothness,
+            } => {
+                let p = smoothness;
+                let a1db = p1db_dbm.to_amplitude().0;
+                let vsat = a1 * a1db / (Db(p).to_linear() - 1.0).powf(1.0 / (2.0 * p));
+                PreparedNonlinearity::Rapp {
+                    a1,
+                    vsat,
+                    two_p: 2.0 * p,
+                    neg_inv_two_p: -1.0 / (2.0 * p),
+                }
+            }
+        }
+    }
+
     /// Applies the nonlinearity (including linear gain `a1`) to one
     /// envelope sample.
     #[inline]
@@ -86,6 +124,76 @@ impl Nonlinearity {
     }
 }
 
+/// A [`Nonlinearity`] with its gain and all sample-invariant constants
+/// hoisted out of the per-sample path (built by
+/// [`Nonlinearity::prepare`]). The dominant win is the Rapp model: the
+/// saturation voltage costs three `powf`-class evaluations that
+/// `Nonlinearity::apply` repeats per sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PreparedNonlinearity {
+    /// `y = a1·u`.
+    Linear {
+        /// Linear amplitude gain.
+        a1: f64,
+    },
+    /// Cubic with hoisted intercept constants.
+    Cubic {
+        /// Linear amplitude gain.
+        a1: f64,
+        /// `2·P_IP3` (the denominator of the compression term).
+        two_p_ip3: f64,
+        /// Fold-over clamp threshold on `|u|²`.
+        lim: f64,
+        /// Saturated output amplitude past the clamp.
+        y_max: f64,
+    },
+    /// Rapp with the saturation voltage precomputed.
+    Rapp {
+        /// Linear amplitude gain.
+        a1: f64,
+        /// Saturation voltage derived from the 1 dB compression point.
+        vsat: f64,
+        /// `2p` exponent.
+        two_p: f64,
+        /// `−1/(2p)` exponent.
+        neg_inv_two_p: f64,
+    },
+}
+
+impl PreparedNonlinearity {
+    /// Applies the prepared nonlinearity to one envelope sample;
+    /// bit-identical to `Nonlinearity::apply(u, a1)`.
+    #[inline]
+    pub fn apply(self, u: Complex) -> Complex {
+        match self {
+            PreparedNonlinearity::Linear { a1 } => u * a1,
+            PreparedNonlinearity::Cubic {
+                a1,
+                two_p_ip3,
+                lim,
+                y_max,
+            } => {
+                let u2 = u.norm_sqr();
+                if u2 <= lim {
+                    u * (a1 * (1.0 - u2 / two_p_ip3))
+                } else {
+                    u.signum() * y_max
+                }
+            }
+            PreparedNonlinearity::Rapp {
+                a1,
+                vsat,
+                two_p,
+                neg_inv_two_p,
+            } => {
+                let v = u * a1;
+                let r = v.abs() / vsat;
+                v * (1.0 + r.powf(two_p)).powf(neg_inv_two_p)
+            }
+        }
+    }
+}
+
 /// The cubic model's theoretical 1 dB compression point, 9.6 dB below
 /// IIP3 (for spec cross-checks).
 pub fn cubic_p1db_from_iip3(iip3_dbm: Dbm) -> Dbm {
@@ -112,7 +220,9 @@ mod tests {
 
     #[test]
     fn cubic_small_signal_gain() {
-        let nl = Nonlinearity::Cubic { iip3_dbm: Dbm(-10.0) };
+        let nl = Nonlinearity::Cubic {
+            iip3_dbm: Dbm(-10.0),
+        };
         // At −60 dBm the compression is negligible.
         let g = gain_at_power(nl, 10.0, -60.0);
         assert!((g - 20.0).abs() < 0.01, "gain {g}");
@@ -131,7 +241,9 @@ mod tests {
     fn cubic_im3_follows_3to1_slope() {
         // Two-tone test: IM3 dBc = 2(Pin − IIP3).
         let iip3 = 0.0;
-        let nl = Nonlinearity::Cubic { iip3_dbm: Dbm(iip3) };
+        let nl = Nonlinearity::Cubic {
+            iip3_dbm: Dbm(iip3),
+        };
         let fs = 1000.0;
         let (f1, f2) = (100.0, 110.0);
         for pin in [-40.0, -30.0, -20.0] {
@@ -157,7 +269,9 @@ mod tests {
 
     #[test]
     fn cubic_clamps_overdrive() {
-        let nl = Nonlinearity::Cubic { iip3_dbm: Dbm(-20.0) };
+        let nl = Nonlinearity::Cubic {
+            iip3_dbm: Dbm(-20.0),
+        };
         // Far beyond the fold-over point the output must stay saturated,
         // not invert.
         let big = Complex::from_re(1.0);
@@ -204,6 +318,43 @@ mod tests {
         // above the P1dB output level.
         let p_out_sat = watts_to_dbm(y2 * y2 / 2.0);
         assert!(p_out_sat > -11.0 && p_out_sat < 0.0, "sat {p_out_sat} dBm");
+    }
+
+    #[test]
+    fn prepared_matches_plain_bit_exact() {
+        use wlan_dsp::Rng;
+        let models = [
+            Nonlinearity::Linear,
+            Nonlinearity::Cubic {
+                iip3_dbm: Dbm(-12.0),
+            },
+            Nonlinearity::rapp(Dbm(-5.0)),
+            Nonlinearity::Rapp {
+                p1db_dbm: Dbm(-20.0),
+                smoothness: 1.0,
+            },
+        ];
+        let mut rng = Rng::new(808);
+        for nl in models {
+            for a1 in [1.0, 5.623_413_251_903_491] {
+                let prep = nl.prepare(a1);
+                for _ in 0..2000 {
+                    // Span tiny to deep-saturation amplitudes.
+                    let amp = 10f64.powf(rng.uniform_range(-6.0, 1.0));
+                    let u = Complex::from_polar(
+                        amp,
+                        rng.uniform_range(-std::f64::consts::PI, std::f64::consts::PI),
+                    );
+                    let want = nl.apply(u, a1);
+                    let got = prep.apply(u);
+                    assert!(
+                        want.re.to_bits() == got.re.to_bits()
+                            && want.im.to_bits() == got.im.to_bits(),
+                        "{nl:?} a1 {a1}: {want:?} != {got:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

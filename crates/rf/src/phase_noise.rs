@@ -65,6 +65,19 @@ impl PhaseNoise {
         x.iter().map(|&v| self.push(v)).collect()
     }
 
+    /// Applies the oscillator to a frame in place — one enabled check for
+    /// the whole frame instead of per sample; otherwise the exact
+    /// per-sample recurrence of [`PhaseNoise::push`], so bit-identical.
+    pub fn process_in_place(&mut self, x: &mut [Complex]) {
+        if !self.enabled {
+            return;
+        }
+        for v in x.iter_mut() {
+            *v *= Complex::cis(self.phase);
+            self.phase += self.sigma * self.rng.gaussian();
+        }
+    }
+
     /// Current accumulated phase (radians).
     pub fn phase(&self) -> f64 {
         self.phase

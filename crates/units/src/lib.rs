@@ -520,7 +520,10 @@ mod tests {
             assert_eq!(Dbm(x).to_watts().0, 1e-3 * 10f64.powf(x / 10.0));
         }
         assert_eq!(Db::from_linear(100.0).0, 10.0 * 100f64.log10());
-        assert_eq!(Dbm::from_watts(PowerW(0.5)).0, 10.0 * (0.5f64 / 1e-3).log10());
+        assert_eq!(
+            Dbm::from_watts(PowerW(0.5)).0,
+            10.0 * (0.5f64 / 1e-3).log10()
+        );
     }
 
     #[test]

@@ -1,0 +1,286 @@
+//! Differential test layer for the batch plane: every `_batch` kernel
+//! must be **bit-identical** to its scalar `_into` counterpart — and,
+//! where one exists, to the conformance reference implementation —
+//! across randomized rates, payload lengths (tail/pad edges), RF
+//! configurations and batch sizes (1, N, and a ragged last batch).
+//!
+//! Exact `==` on decoded bits and `f64::to_bits` on samples throughout:
+//! the batch plane exists so the goldens, the pinned sweeps and the
+//! Annex G gates never need re-blessing, so "close" is failure here.
+
+use wlan_ams::CosimReceiver;
+use wlan_dsp::fft::Fft;
+use wlan_dsp::{Complex, Rng};
+use wlan_phy::viterbi::{Llr, ViterbiDecoder};
+use wlan_phy::Rate;
+use wlan_rf::nonlinearity::Nonlinearity;
+use wlan_rf::receiver::{DoubleConversionReceiver, RfConfig, RfScratch};
+use wlan_sim::link::{AdjacentChannel, FrontEnd, LinkConfig, LinkSimulation};
+
+fn assert_bits_eq(got: &[Complex], want: &[Complex], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert_eq!(
+            g.re.to_bits(),
+            w.re.to_bits(),
+            "{what}: re diverges at sample {i}: {} vs {}",
+            g.re,
+            w.re
+        );
+        assert_eq!(
+            g.im.to_bits(),
+            w.im.to_bits(),
+            "{what}: im diverges at sample {i}: {} vs {}",
+            g.im,
+            w.im
+        );
+    }
+}
+
+fn noise_burst(rng: &mut Rng, n: usize, power: f64) -> Vec<Complex> {
+    (0..n).map(|_| rng.complex_gaussian(power)).collect()
+}
+
+/// RF chain: `process_batch_into` over a multi-segment plane equals the
+/// per-frame fused kernel equals the staged reference pipeline, for
+/// several front-end configs and segment layouts (single segment,
+/// equal segments, ragged lengths).
+#[test]
+fn rf_chain_batch_matches_scalar_and_staged() {
+    let configs = vec![
+        ("default", RfConfig::default()),
+        (
+            "noiseless",
+            RfConfig {
+                noise_enabled: false,
+                ..RfConfig::default()
+            },
+        ),
+        (
+            "narrow-filter-rapp-lna",
+            RfConfig {
+                channel_filter_edge_hz: wlan_units::Hz(6e6),
+                lna_nonlinearity: Nonlinearity::rapp(wlan_units::Dbm(-25.0)),
+                ..RfConfig::default()
+            },
+        ),
+    ];
+    let layouts: Vec<Vec<usize>> = vec![
+        vec![1600],               // batch of one
+        vec![1200, 1200, 1200],   // equal segments
+        vec![2000, 640, 1333, 4], // ragged, incl. a tiny tail
+    ];
+    let mut rng = Rng::new(0x5eed);
+    for (name, cfg) in &configs {
+        for (li, layout) in layouts.iter().enumerate() {
+            let mut plane = Vec::new();
+            let mut segments = Vec::new();
+            for &len in layout {
+                plane.extend(noise_burst(&mut rng, len, 1e-7));
+                segments.push(len);
+            }
+            let seed = 0xabc + li as u64;
+            let mut batch_rx = DoubleConversionReceiver::new(*cfg, seed);
+            let mut frame_rx = DoubleConversionReceiver::new(*cfg, seed);
+            let mut staged_rx = DoubleConversionReceiver::new(*cfg, seed);
+            let mut scratch = RfScratch::default();
+            let mut out_plane = Vec::new();
+            let mut out_segments = Vec::new();
+            batch_rx.process_batch_into(
+                &plane,
+                &segments,
+                &mut scratch,
+                &mut out_plane,
+                &mut out_segments,
+            );
+            assert_eq!(out_segments.len(), segments.len(), "{name}/{li}");
+            assert_eq!(
+                out_segments.iter().sum::<usize>(),
+                out_plane.len(),
+                "{name}/{li}: segment sum"
+            );
+            // Reference 1: the per-frame fused kernel, frame by frame.
+            let mut frame_plane = Vec::new();
+            let mut y = Vec::new();
+            let mut start = 0;
+            for &len in &segments {
+                frame_rx.process_into(&plane[start..start + len], &mut scratch, &mut y);
+                frame_plane.extend_from_slice(&y);
+                start += len;
+            }
+            assert_bits_eq(
+                &out_plane,
+                &frame_plane,
+                &format!("{name}/{li} vs process_into"),
+            );
+            // Reference 2: the staged Vec-pipeline reference.
+            let mut staged_plane = Vec::new();
+            let mut start = 0;
+            for &len in &segments {
+                staged_plane.extend(staged_rx.process_staged(&plane[start..start + len]));
+                start += len;
+            }
+            assert_bits_eq(
+                &out_plane,
+                &staged_plane,
+                &format!("{name}/{li} vs process_staged"),
+            );
+        }
+    }
+}
+
+/// 64-point FFT: `forward64_batch`/`inverse64_batch` over a lane-major
+/// plane equal the scalar specialized kernel per lane, for batch sizes
+/// 1, a small odd count, and a wide plane.
+#[test]
+fn fft64_batch_matches_scalar_per_lane() {
+    let fft = Fft::new(64);
+    let mut rng = Rng::new(0xfff);
+    for &lanes in &[1usize, 3, 16] {
+        let lane_inputs: Vec<Vec<Complex>> =
+            (0..lanes).map(|_| noise_burst(&mut rng, 64, 1.0)).collect();
+        let mut plane = vec![Complex::ZERO; 64 * lanes];
+        for (l, lane) in lane_inputs.iter().enumerate() {
+            for (k, &v) in lane.iter().enumerate() {
+                plane[k * lanes + l] = v;
+            }
+        }
+        fft.forward64_batch(&mut plane, lanes);
+        for (l, lane) in lane_inputs.iter().enumerate() {
+            let mut s = lane.clone();
+            fft.forward(&mut s);
+            let got: Vec<Complex> = (0..64).map(|k| plane[k * lanes + l]).collect();
+            assert_bits_eq(&got, &s, &format!("forward64_batch lanes={lanes} lane={l}"));
+        }
+        fft.inverse64_batch(&mut plane, lanes);
+        for (l, lane) in lane_inputs.iter().enumerate() {
+            let mut s = lane.clone();
+            fft.forward(&mut s);
+            fft.inverse(&mut s);
+            let got: Vec<Complex> = (0..64).map(|k| plane[k * lanes + l]).collect();
+            assert_bits_eq(&got, &s, &format!("inverse64_batch lanes={lanes} lane={l}"));
+        }
+    }
+}
+
+/// Viterbi: `decode_soft_batch` over a step-major LLR plane equals
+/// `decode_soft_into` per lane equals the conformance reference, for
+/// message lengths hitting the tail/warm-up edges and batch sizes
+/// 1, 2 and 5.
+#[test]
+fn viterbi_batch_matches_scalar_and_reference() {
+    let mut rng = Rng::new(0xdec0de);
+    let mut dec = ViterbiDecoder::new();
+    // 1 and 5 information bits sit inside the 6-step warm-up; the rest
+    // cover typical OFDM symbol payloads.
+    for &message_bits in &[1usize, 5, 48, 97, 240] {
+        for &lanes in &[1usize, 2, 5] {
+            let lane_llrs: Vec<Vec<Llr>> = (0..lanes)
+                .map(|_| {
+                    let mut bits: Vec<u8> = (0..message_bits)
+                        .map(|_| rng.next_u64() as u8 & 1)
+                        .collect();
+                    bits.extend_from_slice(&[0; 6]);
+                    wlan_phy::convolutional::encode(&bits)
+                        .iter()
+                        .map(|&b| (1.0 - 2.0 * b as f64) + 0.7 * rng.gaussian())
+                        .collect()
+                })
+                .collect();
+            let n_steps = lane_llrs[0].len() / 2;
+            let mut plane = vec![0.0f64; 2 * n_steps * lanes];
+            for t in 0..n_steps {
+                for (l, lane) in lane_llrs.iter().enumerate() {
+                    plane[t * 2 * lanes + l] = lane[2 * t];
+                    plane[t * 2 * lanes + lanes + l] = lane[2 * t + 1];
+                }
+            }
+            let mut batch_bits = Vec::new();
+            dec.decode_soft_batch(&plane, lanes, &mut batch_bits);
+            assert_eq!(batch_bits.len(), n_steps * lanes);
+            let mut scalar_bits = Vec::new();
+            for (l, lane) in lane_llrs.iter().enumerate() {
+                dec.decode_soft_into(lane, &mut scalar_bits);
+                let got = &batch_bits[l * n_steps..(l + 1) * n_steps];
+                assert_eq!(
+                    got,
+                    &scalar_bits[..],
+                    "decode_soft_batch bits={message_bits} lanes={lanes} lane={l} vs scalar"
+                );
+                let reference = wlan_conformance::refimpl::viterbi_reference(lane);
+                assert_eq!(
+                    got,
+                    &reference[..],
+                    "decode_soft_batch bits={message_bits} lanes={lanes} lane={l} vs refimpl"
+                );
+            }
+        }
+    }
+}
+
+/// Mixed-signal co-simulation: the chunked device-major block path
+/// equals the sample-by-sample loop bit for bit across device configs
+/// (default netlist, narrowed filter edge, analog osr down to 1) and an
+/// input length that straddles chunk boundaries.
+#[test]
+fn cosim_block_path_matches_sample_by_sample() {
+    let mut rng = Rng::new(0xc0);
+    // 2500 samples: spans two 1024-sample chunks plus a ragged tail.
+    let x = noise_burst(&mut rng, 2500, 1e-6);
+    type Builder = Box<dyn Fn() -> CosimReceiver>;
+    let builders: Vec<(&str, Builder)> = vec![
+        (
+            "default osr=2",
+            Box::new(|| CosimReceiver::new(80e6, 2, 4).unwrap()),
+        ),
+        (
+            "default osr=1",
+            Box::new(|| CosimReceiver::new(80e6, 1, 4).unwrap()),
+        ),
+        (
+            "narrow filter osr=3",
+            Box::new(|| CosimReceiver::with_filter_edge(6e6, 80e6, 3, 4).unwrap()),
+        ),
+    ];
+    for (name, build) in &builders {
+        let mut block = build();
+        let mut serial = build();
+        let mut got = Vec::new();
+        let mut want = Vec::new();
+        // Two passes so carried state (decimation phase, DC blocker,
+        // device internals) stays aligned across calls too.
+        for pass in 0..2 {
+            block.process_into(&x, &mut got);
+            serial.process_into_sample_by_sample(&x, &mut want);
+            assert_bits_eq(&got, &want, &format!("{name} pass {pass}"));
+            assert_eq!(block.steps_taken(), serial.steps_taken(), "{name} steps");
+        }
+    }
+}
+
+/// The batch link driver against the serial per-packet reference,
+/// cross-crate: one RF-baseband config with the adjacent channel and a
+/// ragged final batch. (The per-front-end matrix lives in wlan-sim's
+/// unit tests; this pins the public surface.)
+#[test]
+fn link_run_batched_matches_serial_run() {
+    let cfg = LinkConfig {
+        rate: Rate::R24,
+        psdu_len: 52,
+        packets: 5,
+        seed: 0xba7c4,
+        rx_level_dbm: -52.0,
+        adjacent: Some(AdjacentChannel::first()),
+        front_end: FrontEnd::RfBaseband(RfConfig::default()),
+        ..LinkConfig::default()
+    };
+    let sim = LinkSimulation::new(cfg);
+    let want = sim.run();
+    for batch in [1usize, 2, 8] {
+        let got = sim.run_batched(batch);
+        assert_eq!(got.meter, want.meter, "batch {batch}");
+        assert_eq!(got.decoded_packets, want.decoded_packets, "batch {batch}");
+        assert_eq!(got.evm_db, want.evm_db, "batch {batch}");
+        assert_eq!(got.packets, want.packets, "batch {batch}");
+    }
+}

@@ -57,7 +57,9 @@ fn cubic_consistency_iip3_vs_p1db() {
     // The two characterization harnesses must agree with the analytic
     // 9.6 dB relation on the same cubic device.
     let iip3 = -12.0;
-    let nl = Nonlinearity::Cubic { iip3_dbm: Dbm(iip3) };
+    let nl = Nonlinearity::Cubic {
+        iip3_dbm: Dbm(iip3),
+    };
     let mut dev = |x: &[Complex]| -> Vec<Complex> { x.iter().map(|&u| nl.apply(u, 2.0)).collect() };
     let m3 = measure_iip3(&mut dev, 1e6, 1.31e6, Dbm(iip3 - 30.0), 80e6, 40_000);
     let mc = measure_p1db(&mut dev, 1e6, Dbm(-50.0), Dbm(-10.0), Db(0.5), 80e6, 4000);

@@ -128,7 +128,10 @@ fn prop_cascaded_nf_matches_raw_f64_formula() {
         }
         let raw_nf = 10.0 * f_total.log10();
 
-        assert_eq!(cascade_noise_figure_db(&stages).0.to_bits(), raw_nf.to_bits());
+        assert_eq!(
+            cascade_noise_figure_db(&stages).0.to_bits(),
+            raw_nf.to_bits()
+        );
         let raw_gain: f64 = stages.iter().fold(0.0, |acc, s| acc + s.gain_db.0);
         assert_eq!(cascade_gain_db(&stages).0.to_bits(), raw_gain.to_bits());
     }
@@ -143,7 +146,9 @@ fn prop_ip3_identities_match_raw_f64() {
         let iip3 = rand_db(&mut rng);
         // P1dB = IIP3 − 9.636 dB for a pure cubic.
         assert_eq!(
-            wlan_rf::nonlinearity::cubic_p1db_from_iip3(Dbm(iip3)).0.to_bits(),
+            wlan_rf::nonlinearity::cubic_p1db_from_iip3(Dbm(iip3))
+                .0
+                .to_bits(),
             (iip3 - 9.636).to_bits()
         );
         // IIP3 = Pin + ΔIM3/2 as unit algebra (Dbm + Db/2).
@@ -157,7 +162,10 @@ fn prop_ip3_identities_match_raw_f64() {
 fn noise_density_integrates_to_level() {
     // −174 dBm/Hz over 20 MHz is the classic −101 dBm thermal floor.
     let floor = DbmPerHz(-174.0).integrate(Hz(20e6));
-    assert!((floor.0 - (-174.0 + 73.01029995663981)).abs() < 1e-9, "{floor}");
+    assert!(
+        (floor.0 - (-174.0 + 73.01029995663981)).abs() < 1e-9,
+        "{floor}"
+    );
     let back = DbmPerHz::from_level(floor, Hz(20e6));
     assert!((back.0 - -174.0).abs() < 1e-9, "{back}");
 }
