@@ -13,7 +13,11 @@ use wlan_rf::nonlinearity::Nonlinearity;
 use wlan_units::{Db, Dbm, Hz};
 
 /// A continuous-time behavioral device.
-pub trait AnalogDevice {
+///
+/// `Send` is a supertrait so elaborated device chains (and the
+/// receivers holding them) can migrate between the session engine's
+/// worker threads; every in-tree device is plain state.
+pub trait AnalogDevice: Send {
     /// Device instance name.
     fn name(&self) -> &str;
 

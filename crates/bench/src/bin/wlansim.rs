@@ -6,6 +6,7 @@
 //! wlansim list                      # every registered experiment
 //! wlansim run <name> [flags]        # one experiment
 //! wlansim all [flags]               # the full paper evaluation
+//! wlansim serve [flags]             # streaming session engine
 //! wlansim check-manifest [path]     # validate a run manifest
 //! ```
 //!
@@ -28,19 +29,35 @@
 //!
 //! Every `run`/`all` invocation writes the schema-versioned run
 //! manifest next to the `BENCH_*.json` files; `check-manifest` gates
-//! it in CI via `wlan_conformance::manifest`.
+//! it in CI via `wlan_conformance::manifest`. With `--baseline` it
+//! additionally diffs the manifest's per-point elapsed-per-packet
+//! against a committed baseline manifest and exits non-zero when any
+//! shared point regresses beyond `--tolerance` (default +50%).
+//!
+//! `wlansim serve` runs the streaming session engine
+//! (`wlan_sim::serve`): it admits `--sessions` concurrent quick-effort
+//! links, feeds each `--packets` packets through its preallocated ring,
+//! and drives them on `--workers` pool workers, printing sessions/s,
+//! aggregate packets/s and the p50/p99 chunk service latency. With
+//! `--verify`, every session's report is compared bit-for-bit against
+//! a serial [`LinkSimulation::run`] over the same traffic.
 
 use std::process::ExitCode;
-use wlan_exec::ThreadPool;
+use wlan_exec::{split_seed, ThreadPool};
+use wlan_phy::Rate;
 use wlan_sim::experiments::{self, execute, Experiment, RunContext, SweepBounds};
+use wlan_sim::link::{FrontEnd, LinkConfig, LinkSimulation};
 use wlan_sim::manifest::{RunManifest, MANIFEST_DEFAULT_PATH};
+use wlan_sim::serve::{ServeConfig, SessionEngine};
 
 const USAGE: &str = "usage:
   wlansim list
   wlansim run <name> [--packets N] [--psdu N] [--seed S] [--threads T] [--serial] [--json] [--manifest PATH]
                      [--lo X] [--hi X] [--points N]
   wlansim all [same flags except --lo/--hi/--points]
-  wlansim check-manifest [PATH]
+  wlansim serve [--sessions N] [--workers T] [--chunk N] [--ring N] [--packets N] [--psdu N]
+                [--seed S] [--verify]
+  wlansim check-manifest [PATH] [--baseline BASE] [--tolerance FRAC]
 
 run `wlansim list` for the experiment names.";
 
@@ -175,6 +192,160 @@ fn finish(ctx: &RunContext, flags: &Flags) -> ExitCode {
     }
 }
 
+/// Parsed `serve` flags.
+#[derive(Debug)]
+struct ServeFlags {
+    sessions: usize,
+    workers: usize,
+    chunk: usize,
+    ring: usize,
+    packets: usize,
+    psdu: usize,
+    seed: u64,
+    verify: bool,
+}
+
+impl Default for ServeFlags {
+    fn default() -> Self {
+        ServeFlags {
+            sessions: 16,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            chunk: 4,
+            ring: 4,
+            packets: 16,
+            psdu: 60,
+            seed: 2003,
+            verify: false,
+        }
+    }
+}
+
+fn parse_serve_flags(args: &[String]) -> Result<ServeFlags, String> {
+    let mut f = ServeFlags::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--sessions" => f.sessions = parse_num(&value("--sessions")?)?,
+            "--workers" => f.workers = parse_num(&value("--workers")?)?,
+            "--chunk" => f.chunk = parse_num(&value("--chunk")?)?,
+            "--ring" => f.ring = parse_num(&value("--ring")?)?,
+            "--packets" => f.packets = parse_num(&value("--packets")?)?,
+            "--psdu" => f.psdu = parse_num(&value("--psdu")?)?,
+            "--seed" => f.seed = parse_num(&value("--seed")?)?,
+            "--verify" => f.verify = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    for (name, v) in [
+        ("--sessions", f.sessions),
+        ("--chunk", f.chunk),
+        ("--ring", f.ring),
+        ("--packets", f.packets),
+        ("--psdu", f.psdu),
+    ] {
+        if v == 0 {
+            return Err(format!("{name} must be at least 1"));
+        }
+    }
+    Ok(f)
+}
+
+/// The session mix `wlansim serve` admits: rate and SNR vary with the
+/// session index (same recipe as `serve_bench`, so the CLI exercises
+/// the exact workload the committed `BENCH_serve.json` measures).
+fn serve_link(f: &ServeFlags, session: usize) -> LinkConfig {
+    let rate = match session % 3 {
+        0 => Rate::R24,
+        1 => Rate::R36,
+        _ => Rate::R48,
+    };
+    LinkConfig {
+        rate,
+        psdu_len: f.psdu,
+        packets: f.packets,
+        seed: split_seed(f.seed, session as u64, 0),
+        snr_db: Some(16.0 + (session % 4) as f64),
+        front_end: FrontEnd::Ideal,
+        ..LinkConfig::default()
+    }
+}
+
+/// `wlansim serve`: admit, drive, report — optionally verifying every
+/// session bit-for-bit against the serial reference.
+fn cmd_serve(f: &ServeFlags) -> ExitCode {
+    let cfg = ServeConfig {
+        max_sessions: f.sessions,
+        chunk_packets: f.chunk,
+        ring_chunks: f.ring,
+    };
+    let mut eng = SessionEngine::new(cfg);
+    for s in 0..f.sessions {
+        if let Err(e) = eng.admit(serve_link(f, s), f.packets) {
+            eprintln!("wlansim serve: admission of session {s} failed: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let pool = ThreadPool::new(f.workers);
+    eprintln!(
+        "wlansim serve: {} sessions × {} packets ({}-byte PSDUs), {} worker(s), \
+         chunk {}, ring {}",
+        f.sessions,
+        f.packets,
+        f.psdu,
+        pool.threads(),
+        f.chunk,
+        f.ring
+    );
+    let stats = eng.drive(&pool);
+    println!(
+        "serve    {} sessions in {:.3} s — {:.1} sessions/s, {:.1} packets/s",
+        stats.sessions,
+        stats.wall.as_secs_f64(),
+        stats.sessions_per_s(),
+        stats.packets_per_s()
+    );
+    println!(
+        "latency  chunk service p50 {:.1} µs, p99 {:.1} µs ({} chunks, {} backpressure parks)",
+        stats.service_p50.as_secs_f64() * 1e6,
+        stats.service_p99.as_secs_f64() * 1e6,
+        stats.chunks,
+        stats.parks
+    );
+    if !f.verify {
+        return ExitCode::SUCCESS;
+    }
+    let mut diverged = 0usize;
+    for s in 0..f.sessions {
+        let got = eng.report(s);
+        let want = LinkSimulation::new(serve_link(f, s)).run();
+        let same = got.meter == want.meter
+            && got.decoded_packets == want.decoded_packets
+            && got.packets == want.packets
+            && got.evm_db.map(f64::to_bits) == want.evm_db.map(f64::to_bits);
+        if !same {
+            eprintln!("wlansim serve: session {s} diverged from the serial reference");
+            diverged += 1;
+        }
+    }
+    if diverged == 0 {
+        println!(
+            "identity serve == serial run() for all {} sessions",
+            f.sessions
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("wlansim serve: {diverged} session(s) diverged");
+        ExitCode::FAILURE
+    }
+}
+
 /// The Annex G gate `run_all` used to apply: refuse to produce paper
 /// numbers from a transmitter that no longer matches the standard.
 fn annex_g_gate() -> bool {
@@ -193,6 +364,82 @@ fn annex_g_gate() -> bool {
     }
     eprintln!();
     ok
+}
+
+/// `wlansim check-manifest [PATH] [--baseline BASE] [--tolerance T]`:
+/// schema validation, plus the per-point elapsed-per-packet regression
+/// diff when a baseline manifest is given.
+fn cmd_check_manifest(args: &[String]) -> ExitCode {
+    let mut path: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut tolerance = wlan_conformance::manifest::BASELINE_DEFAULT_TOLERANCE;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let step = match arg.as_str() {
+            "--baseline" => value("--baseline").map(|v| baseline = Some(v)),
+            "--tolerance" => value("--tolerance")
+                .and_then(|v| parse_num(&v))
+                .map(|v| tolerance = v),
+            other if other.starts_with('-') => Err(format!("unknown flag '{other}'")),
+            other if path.is_none() => {
+                path = Some(other.to_string());
+                Ok(())
+            }
+            other => Err(format!("unexpected argument '{other}'")),
+        };
+        if let Err(e) = step {
+            eprintln!("wlansim check-manifest: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if tolerance < 0.0 {
+        eprintln!("wlansim check-manifest: --tolerance must be non-negative");
+        return ExitCode::FAILURE;
+    }
+    let path = path.unwrap_or_else(|| MANIFEST_DEFAULT_PATH.to_string());
+    let fresh = std::path::Path::new(&path);
+    if let Err(errs) = wlan_conformance::manifest::validate_file(fresh) {
+        eprintln!("{path}: {} violation(s)", errs.len());
+        for e in &errs {
+            eprintln!("  - {e}");
+        }
+        return ExitCode::FAILURE;
+    }
+    println!("{path}: manifest conforms to schema");
+    let Some(base) = baseline else {
+        return ExitCode::SUCCESS;
+    };
+    match wlan_conformance::manifest::compare_files(fresh, std::path::Path::new(&base), tolerance) {
+        Ok((regressions, compared)) if regressions.is_empty() => {
+            println!(
+                "{path}: {compared} point(s) within +{:.0}% of baseline {base}",
+                tolerance * 100.0
+            );
+            ExitCode::SUCCESS
+        }
+        Ok((regressions, compared)) => {
+            eprintln!(
+                "{path}: {} of {compared} point(s) regressed vs baseline {base}",
+                regressions.len()
+            );
+            for r in &regressions {
+                eprintln!("  - {r}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(errs) => {
+            eprintln!("{path}: baseline diff failed");
+            for e in &errs {
+                eprintln!("  - {e}");
+            }
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -263,25 +510,14 @@ fn main() -> ExitCode {
             }
             finish(&ctx, &flags)
         }
-        Some("check-manifest") => {
-            let path = args
-                .get(1)
-                .map(String::as_str)
-                .unwrap_or(MANIFEST_DEFAULT_PATH);
-            match wlan_conformance::manifest::validate_file(std::path::Path::new(path)) {
-                Ok(()) => {
-                    println!("{path}: manifest conforms to schema");
-                    ExitCode::SUCCESS
-                }
-                Err(errs) => {
-                    eprintln!("{path}: {} violation(s)", errs.len());
-                    for e in &errs {
-                        eprintln!("  - {e}");
-                    }
-                    ExitCode::FAILURE
-                }
+        Some("serve") => match parse_serve_flags(&args[1..]) {
+            Ok(f) => cmd_serve(&f),
+            Err(e) => {
+                eprintln!("wlansim serve: {e}\n{USAGE}");
+                ExitCode::FAILURE
             }
-        }
+        },
+        Some("check-manifest") => cmd_check_manifest(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             println!("{USAGE}");
             ExitCode::SUCCESS

@@ -13,9 +13,11 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
+use wlan_exec::ThreadPool;
 use wlan_phy::Rate;
 use wlan_rf::receiver::RfConfig;
 use wlan_sim::link::{AdjacentChannel, FrontEnd, LinkConfig, LinkReport, LinkSimulation};
+use wlan_sim::serve::{ServeConfig, SessionEngine};
 
 struct CountingAllocator;
 
@@ -193,4 +195,47 @@ fn steady_state_link_loop_is_allocation_free() {
         allocs_for_batched(rf_config(8), 4),
         allocs_for_batched(rf_config(16), 4),
     );
+    // Streaming session engine: after admission (which preallocates the
+    // arenas, rings, queues and latency log) and one warm drive, a
+    // feed + drive round must allocate exactly zero times.
+    assert_eq!(
+        min_allocs(serve_round()),
+        0,
+        "serve: steady-state feed + drive must not allocate"
+    );
+}
+
+/// Builds a warmed serial session engine and returns a measurement
+/// closure: each call feeds every session another burst and counts the
+/// allocations of the (inline) drive that serves it.
+///
+/// Warm-up covers two chunks per session so the batch plane's double
+/// buffering reaches its high-water mark, and the admission budget
+/// covers the three measured rounds `min_allocs` takes.
+fn serve_round() -> impl FnMut() -> u64 {
+    const WARM: usize = 4;
+    const STEADY: usize = 4;
+    let mut eng = SessionEngine::new(ServeConfig {
+        max_sessions: 3,
+        chunk_packets: 2,
+        ring_chunks: 2,
+    });
+    for s in 0..3u64 {
+        let link = LinkConfig {
+            seed: 700 + s,
+            ..ideal_config(WARM)
+        };
+        eng.admit(link, WARM + 3 * STEADY).unwrap();
+    }
+    let pool = ThreadPool::serial();
+    eng.drive(&pool);
+    move || {
+        eng.feed_all(STEADY).unwrap();
+        ALLOCS.store(0, Ordering::SeqCst);
+        ARMED.store(true, Ordering::SeqCst);
+        let stats = eng.drive(&pool);
+        ARMED.store(false, Ordering::SeqCst);
+        assert_eq!(stats.sessions, 3);
+        ALLOCS.load(Ordering::SeqCst)
+    }
 }

@@ -168,6 +168,121 @@ fn validate_point(i: usize, j: usize, p: &Json, errs: &mut Vec<String>) {
     }
 }
 
+/// Default relative tolerance of the baseline diff: a point regresses
+/// when its elapsed-per-packet exceeds the baseline's by more than
+/// this fraction (0.5 = +50%, generous enough for shared CI runners).
+pub const BASELINE_DEFAULT_TOLERANCE: f64 = 0.5;
+
+/// Per-point performance index of a manifest: elapsed-per-packet
+/// keyed by `(experiment name, point label)`, for every point that
+/// recorded both `elapsed_s` and a non-zero `packets` count.
+///
+/// # Errors
+///
+/// Returns the schema violations of [`validate`] — a manifest must
+/// conform before it can serve as a performance baseline.
+pub fn per_packet_index(text: &str) -> Result<Vec<(String, String, f64)>, Vec<String>> {
+    let errs = validate(text);
+    if !errs.is_empty() {
+        return Err(errs);
+    }
+    let doc = Json::parse(text).expect("validate parsed it");
+    let mut index = Vec::new();
+    if let Some(Json::Arr(experiments)) = doc.get("experiments") {
+        for rec in experiments {
+            let Some(name) = rec.get("name").and_then(Json::as_str) else {
+                continue;
+            };
+            let Some(Json::Arr(points)) = rec.get("points") else {
+                continue;
+            };
+            for p in points {
+                let Some(label) = p.get("label").and_then(Json::as_str) else {
+                    continue;
+                };
+                let elapsed = p.get("elapsed_s").and_then(Json::as_f64);
+                let packets = p.get("packets").and_then(Json::as_f64);
+                if let (Some(e), Some(n)) = (elapsed, packets) {
+                    if n >= 1.0 {
+                        index.push((name.to_string(), label.to_string(), e / n));
+                    }
+                }
+            }
+        }
+    }
+    Ok(index)
+}
+
+/// Diffs a fresh manifest against a committed baseline: every
+/// `(experiment, point)` present in both with timing data must not
+/// regress its elapsed-per-packet beyond `1 + tolerance`. Returns the
+/// list of regressions (empty = pass) together with the number of
+/// points compared.
+///
+/// Points only one side recorded are skipped (sweep bounds change
+/// between runs); a diff that finds *no* comparable point is an error,
+/// because a gate that compares nothing would always pass.
+///
+/// # Errors
+///
+/// Schema violations in either manifest (prefixed with which side),
+/// or no comparable points.
+pub fn compare_per_packet(
+    fresh: &str,
+    baseline: &str,
+    tolerance: f64,
+) -> Result<(Vec<String>, usize), Vec<String>> {
+    let fresh_idx = per_packet_index(fresh).map_err(|e| prefix_errors("fresh manifest", e))?;
+    let base_idx = per_packet_index(baseline).map_err(|e| prefix_errors("baseline manifest", e))?;
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for (name, label, fresh_pp) in &fresh_idx {
+        let Some((_, _, base_pp)) = base_idx.iter().find(|(n, l, _)| n == name && l == label)
+        else {
+            continue;
+        };
+        compared += 1;
+        if *fresh_pp > base_pp * (1.0 + tolerance) {
+            regressions.push(format!(
+                "{name} @ {label}: {:.3} ms/packet vs baseline {:.3} ms/packet \
+                 (+{:.0}% > +{:.0}% tolerance)",
+                fresh_pp * 1e3,
+                base_pp * 1e3,
+                (fresh_pp / base_pp - 1.0) * 100.0,
+                tolerance * 100.0,
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err(vec![
+            "no comparable points: the manifests share no (experiment, label) \
+             pair with elapsed and packet counts"
+                .to_string(),
+        ]);
+    }
+    Ok((regressions, compared))
+}
+
+/// [`compare_per_packet`] over files.
+///
+/// # Errors
+///
+/// I/O errors, schema violations, or no comparable points.
+pub fn compare_files(
+    fresh: &std::path::Path,
+    baseline: &std::path::Path,
+    tolerance: f64,
+) -> Result<(Vec<String>, usize), Vec<String>> {
+    let read = |p: &std::path::Path| {
+        std::fs::read_to_string(p).map_err(|e| vec![format!("cannot read {}: {e}", p.display())])
+    };
+    compare_per_packet(&read(fresh)?, &read(baseline)?, tolerance)
+}
+
+fn prefix_errors(side: &str, errs: Vec<String>) -> Vec<String> {
+    errs.into_iter().map(|e| format!("{side}: {e}")).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,5 +366,76 @@ mod tests {
         let errs = validate("not json");
         assert_eq!(errs.len(), 1);
         assert!(errs[0].contains("not valid JSON"));
+    }
+
+    /// Builds a minimal conforming manifest with one experiment whose
+    /// single point took `elapsed_s` over 2 packets.
+    fn timed(name: &str, label: &str, elapsed_s: f64) -> String {
+        format!(
+            r#"{{
+  "schema": 1,
+  "tool": "wlansim",
+  "experiments": [
+    {{
+      "name": "{name}",
+      "paper_ref": "s5.1",
+      "effort": {{"packets": 2, "psdu_len": 60}},
+      "seed": 7,
+      "threads": 1,
+      "serial": true,
+      "early_stop": false,
+      "wall_s": {elapsed_s},
+      "points": [
+        {{"label": "{label}", "elapsed_s": {elapsed_s}, "packets": 2}}
+      ]
+    }}
+  ]
+}}"#
+        )
+    }
+
+    #[test]
+    fn indexes_only_points_with_timing_data() {
+        let idx = per_packet_index(GOOD).expect("GOOD conforms");
+        // Point "0" has no elapsed/packets and must be skipped.
+        assert_eq!(idx, vec![("ip3".to_string(), "-40".to_string(), 0.125)]);
+    }
+
+    #[test]
+    fn baseline_diff_passes_within_tolerance() {
+        let base = timed("ip3", "-40", 0.20);
+        let fresh = timed("ip3", "-40", 0.25); // +25% < +50%
+        let (regressions, compared) =
+            compare_per_packet(&fresh, &base, BASELINE_DEFAULT_TOLERANCE).expect("comparable");
+        assert_eq!(compared, 1);
+        assert!(regressions.is_empty(), "{regressions:?}");
+    }
+
+    #[test]
+    fn baseline_diff_flags_a_regression() {
+        let base = timed("ip3", "-40", 0.20);
+        let fresh = timed("ip3", "-40", 0.50); // +150% > +50%
+        let (regressions, compared) =
+            compare_per_packet(&fresh, &base, BASELINE_DEFAULT_TOLERANCE).expect("comparable");
+        assert_eq!(compared, 1);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].contains("ip3 @ -40"), "{regressions:?}");
+    }
+
+    #[test]
+    fn baseline_diff_skips_unshared_points_but_needs_one() {
+        let base = timed("ip3", "-40", 0.20);
+        let fresh = timed("evm", "16-QAM", 0.20);
+        let err = compare_per_packet(&fresh, &base, 0.5).unwrap_err();
+        assert!(err[0].contains("no comparable points"), "{err:?}");
+    }
+
+    #[test]
+    fn baseline_diff_rejects_invalid_sides() {
+        let good = timed("ip3", "-40", 0.20);
+        let err = compare_per_packet("not json", &good, 0.5).unwrap_err();
+        assert!(err[0].starts_with("fresh manifest:"), "{err:?}");
+        let err = compare_per_packet(&good, "not json", 0.5).unwrap_err();
+        assert!(err[0].starts_with("baseline manifest:"), "{err:?}");
     }
 }

@@ -41,7 +41,9 @@ pub mod link;
 pub mod lintable;
 pub mod manifest;
 pub mod report;
+pub mod serve;
 
 pub use flow::{DesignFlow, FlowCriteria, FlowReport};
 pub use link::{FrontEnd, LinkConfig, LinkReport, LinkSimulation};
 pub use report::Table;
+pub use serve::{DriveStats, ServeConfig, SessionEngine};

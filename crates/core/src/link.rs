@@ -155,11 +155,11 @@ impl LinkReport {
 /// Per-run (or per-shard) front-end and noise state: the filters settle
 /// across consecutive packets of the same stream, and all per-packet
 /// working buffers live in the [`PacketScratch`] arena.
-struct FrontEndState {
+pub(crate) struct FrontEndState {
     bb: Option<DoubleConversionReceiver>,
     cosim: Option<CosimReceiver>,
     noise: Awgn,
-    scratch: PacketScratch,
+    pub(crate) scratch: PacketScratch,
 }
 
 /// Per-packet buffer arena: every transmit/channel/receive intermediate
@@ -167,7 +167,7 @@ struct FrontEndState {
 /// steady-state simulation of every front-end level — including the
 /// oversampled scene renderer and the multipath channel of the RF
 /// paths — performs zero heap allocation.
-struct PacketScratch {
+pub(crate) struct PacketScratch {
     /// Transmitted PSDU of the current packet.
     psdu: Vec<u8>,
     /// Long-lived transmitter, re-seeded per packet.
@@ -178,7 +178,7 @@ struct PacketScratch {
     /// Padded + noisy channel output ([`FrontEnd::Ideal`]).
     chan: Vec<Complex>,
     /// Receiver working buffers; holds the decoded PSDU after a success.
-    rx: RxScratch,
+    pub(crate) rx: RxScratch,
     rf: RfScratch,
     /// Decimated front-end output (RF modes).
     rf_out: Vec<Complex>,
@@ -235,18 +235,18 @@ impl PacketScratch {
 /// between batches, so the batch driver is steady-state
 /// allocation-free.
 #[derive(Debug, Default)]
-struct BatchScratch {
+pub(crate) struct BatchScratch {
     /// Front-end input samples of every packet in the batch,
     /// concatenated in packet order (the SoA sample plane).
     plane: Vec<Complex>,
     /// Per-packet lengths inside `plane`.
     segments: Vec<usize>,
     /// DSP-rate front-end outputs, concatenated in packet order.
-    out_plane: Vec<Complex>,
+    pub(crate) out_plane: Vec<Complex>,
     /// Per-packet lengths inside `out_plane`.
-    out_segments: Vec<usize>,
+    pub(crate) out_segments: Vec<usize>,
     /// Transmitted PSDUs, `psdu_len` bytes per packet.
-    psdus: Vec<u8>,
+    pub(crate) psdus: Vec<u8>,
 }
 
 /// What one simulated packet produced. The payload bytes stay in the
@@ -447,7 +447,7 @@ impl LinkSimulation {
     /// over the plane), leaving the per-packet DSP inputs in
     /// `batch.out_plane`/`batch.out_segments` and the transmitted
     /// payloads in `batch.psdus`.
-    fn run_batch(
+    pub(crate) fn run_batch(
         &self,
         first: usize,
         n: usize,
@@ -638,7 +638,7 @@ impl LinkSimulation {
 
     /// Builds the per-run front-end state (filters settle across the
     /// packets of one serial run or one shard).
-    fn front_end_state(&self, seed: u64) -> FrontEndState {
+    pub(crate) fn front_end_state(&self, seed: u64) -> FrontEndState {
         let cfg = &self.config;
         let bb = match &cfg.front_end {
             FrontEnd::RfBaseband(rf) => {

@@ -298,37 +298,51 @@ impl Fft {
 /// add/sub. Apart from skipping those exact-identity multiplies, the
 /// arithmetic is operation-for-operation the generic radix-2 loop, so
 /// every output compares equal to [`Fft::forward_radix2`].
+///
+/// The six stages are unrolled through a const-generic helper whose
+/// butterflies run over borrow-split halves zipped with the exact
+/// twiddle subslice: no index arithmetic, no bounds checks, and the
+/// top/bottom aliasing is resolved at the type level, so the compiler
+/// is free to overlap independent butterflies.
 fn dit64(x: &mut [Complex], tw: &[Complex; 63]) {
-    assert!(x.len() == 64);
+    let x: &mut [Complex; 64] = x.try_into().expect("64-point kernel needs 64 samples");
     for &(i, j) in BITREV64_SWAPS.iter() {
         x.swap(i as usize, j as usize);
     }
     // Stage len = 2: every twiddle is unity.
-    for p in (0..64).step_by(2) {
-        let a = x[p];
-        let b = x[p + 1];
-        x[p] = a + b;
-        x[p + 1] = a - b;
+    for pair in x.chunks_exact_mut(2) {
+        let (a, b) = (pair[0], pair[1]);
+        pair[0] = a + b;
+        pair[1] = a - b;
     }
-    let mut len = 4;
-    let mut off = 1;
-    while len <= 64 {
-        let half = len / 2;
-        for start in (0..64).step_by(len) {
-            let a = x[start];
-            let b = x[start + half];
-            x[start] = a + b;
-            x[start + half] = a - b;
-            for k in 1..half {
-                let w = tw[off + k];
-                let a = x[start + k];
-                let b = x[start + k + half] * w;
-                x[start + k] = a + b;
-                x[start + k + half] = a - b;
-            }
+    // Each stage's table segment starts with its (unit) k = 0 entry;
+    // the helper takes only the non-unit tail.
+    stage64::<4>(x, &tw[2..3]);
+    stage64::<8>(x, &tw[4..7]);
+    stage64::<16>(x, &tw[8..15]);
+    stage64::<32>(x, &tw[16..31]);
+    stage64::<64>(x, &tw[32..63]);
+}
+
+/// One block-length-`LEN` stage of [`dit64`]. `tw` carries the stage's
+/// `LEN/2 - 1` non-unit twiddles (butterflies `k = 1..half`); the
+/// `k = 0` butterfly is the unit-twiddle add/sub. Per element the
+/// floating-point operation order matches the generic loop exactly.
+#[inline(always)]
+fn stage64<const LEN: usize>(x: &mut [Complex; 64], tw: &[Complex]) {
+    let half = LEN / 2;
+    debug_assert_eq!(tw.len(), half - 1);
+    for block in x.chunks_exact_mut(LEN) {
+        let (top, bot) = block.split_at_mut(half);
+        let (a, b) = (top[0], bot[0]);
+        top[0] = a + b;
+        bot[0] = a - b;
+        for ((t, u), &w) in top[1..].iter_mut().zip(bot[1..].iter_mut()).zip(tw) {
+            let a = *t;
+            let b = *u * w;
+            *t = a + b;
+            *u = a - b;
         }
-        off += half;
-        len *= 2;
     }
 }
 

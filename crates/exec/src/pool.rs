@@ -63,6 +63,31 @@ impl ThreadPool {
         self.threads
     }
 
+    /// Runs `f(worker_index)` once per worker on scoped threads and
+    /// waits for all of them.
+    ///
+    /// This is the long-running counterpart of [`ThreadPool::par_map`]:
+    /// instead of a finite task slice, each worker owns a loop (e.g. a
+    /// session-engine drain loop) that decides for itself when to
+    /// return. With one worker the closure runs inline on the calling
+    /// thread, so a serial pool spawns nothing — which keeps the
+    /// single-threaded path measurable by the counting-allocator tests.
+    pub fn run_workers<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.threads == 1 {
+            f(0);
+            return;
+        }
+        std::thread::scope(|s| {
+            for w in 0..self.threads {
+                let f = &f;
+                s.spawn(move || f(w));
+            }
+        });
+    }
+
     /// Maps `f` over `items` on the pool, returning results in input
     /// order.
     ///
@@ -151,6 +176,27 @@ mod tests {
         let pool = ThreadPool::new(0);
         assert_eq!(pool.threads(), 1);
         assert_eq!(pool.par_map(&[1, 2], |_, &x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn run_workers_runs_each_index_once() {
+        use std::sync::atomic::AtomicU64;
+        let pool = ThreadPool::new(4);
+        let mask = AtomicU64::new(0);
+        pool.run_workers(|w| {
+            mask.fetch_or(1 << w, Ordering::SeqCst);
+        });
+        assert_eq!(mask.load(Ordering::SeqCst), 0b1111);
+    }
+
+    #[test]
+    fn run_workers_serial_runs_inline() {
+        let pool = ThreadPool::serial();
+        let caller = std::thread::current().id();
+        pool.run_workers(|w| {
+            assert_eq!(w, 0);
+            assert_eq!(std::thread::current().id(), caller);
+        });
     }
 
     #[test]
