@@ -23,9 +23,13 @@ use wlan_phy::Rate;
 use wlan_rf::receiver::{DoubleConversionReceiver, RfConfig, RfScratch};
 use wlan_sim::link::{FrontEnd, LinkConfig, LinkSimulation};
 
-/// Schema version of `BENCH_kernels.json`. Schema 2 adds the batch-plane
-/// kernel entries (`*_batch_*`) and the `link.batched_identical` flag.
-const KERNEL_JSON_SCHEMA: u32 = 2;
+/// Schema version of `BENCH_kernels.json`. Schema 2 added the
+/// batch-plane kernel entries (`*_batch_*`) and the
+/// `link.batched_identical` flag; schema 3 adds the per-profile link
+/// throughput map (`link.profiles`, packets/s per OFDM numerology —
+/// the `packets_per_s` key remains the 802.11a figure the baseline
+/// gate compares).
+const KERNEL_JSON_SCHEMA: u32 = 3;
 
 /// Single-thread link throughput of the pre-optimization tree
 /// (commit `6c17661`), measured with the exact workload of
@@ -36,8 +40,9 @@ const BASELINE_PACKETS_PER_S: f64 = 458.1;
 
 /// The end-to-end workload: ideal front end so the run time is
 /// dominated by the PHY kernels rather than the RF oversampled scene.
-fn link_workload(packets: usize) -> LinkConfig {
+fn link_workload(packets: usize, profile: &'static wlan_phy::OfdmProfile) -> LinkConfig {
     LinkConfig {
+        profile,
         rate: Rate::R36,
         psdu_len: 300,
         packets,
@@ -337,7 +342,7 @@ fn main() {
     g.finish();
 
     // --- End-to-end link throughput (single thread). ---
-    let sim = LinkSimulation::new(link_workload(link_packets));
+    let sim = LinkSimulation::new(link_workload(link_packets, &wlan_phy::IEEE_802_11A));
     let first = sim.run();
     let second = sim.run();
     let link_ok = first.meter == second.meter
@@ -360,6 +365,26 @@ fn main() {
     }
     let packets_per_s = link_packets as f64 / best_s;
     let link_speedup = packets_per_s / BASELINE_PACKETS_PER_S;
+
+    // --- Per-profile link throughput (schema 3). The 802.11a entry
+    // reuses the gated figure above; the other numerologies get the
+    // same workload on their own grid.
+    let mut profile_pps: Vec<(&str, f64)> = vec![(wlan_phy::IEEE_802_11A.name, packets_per_s)];
+    for profile in wlan_phy::ALL_PROFILES {
+        if std::ptr::eq(profile, &wlan_phy::IEEE_802_11A) {
+            continue;
+        }
+        let sim = LinkSimulation::new(link_workload(link_packets, profile));
+        let mut best = f64::INFINITY;
+        for _ in 0..link_runs {
+            let t0 = Instant::now();
+            let report = sim.run();
+            let dt = t0.elapsed().as_secs_f64();
+            assert_eq!(report.packets, link_packets);
+            best = best.min(dt);
+        }
+        profile_pps.push((profile.name, link_packets as f64 / best));
+    }
 
     let vit_speedup = vit_ref_s / vit_opt_s.max(1e-12);
     let fft_speedup = fft_ref_s / fft_opt_s.max(1e-12);
@@ -387,10 +412,18 @@ fn main() {
          {BASELINE_PACKETS_PER_S} packets/s), reproducible: {link_ok}, \
          batched driver identical: {link_batched_ok}"
     );
+    for (name, pps) in &profile_pps {
+        println!("profile  {name}: {pps:.1} packets/s");
+    }
     if !identical {
         eprintln!("ERROR: an optimized kernel diverged from its reference");
     }
 
+    let profiles_json = profile_pps
+        .iter()
+        .map(|(name, pps)| format!("\"{name}\": {pps:.1}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
         "{{\n  \"schema\": {KERNEL_JSON_SCHEMA},\n  \"bench\": \"kernels\",\n  \
          \"smoke\": {smoke},\n  \"kernels\": {{\n    \
@@ -416,7 +449,8 @@ fn main() {
          \"packets_per_s\": {packets_per_s:.1},\n    \
          \"baseline_packets_per_s\": {BASELINE_PACKETS_PER_S},\n    \
          \"speedup\": {link_speedup:.4},\n    \
-         \"batched_identical\": {link_batched_ok}\n  }},\n  \
+         \"batched_identical\": {link_batched_ok},\n    \
+         \"profiles\": {{{profiles_json}}}\n  }},\n  \
          \"identical\": {identical}\n}}\n",
         vit_opt_s * 1e9,
         vit_ref_s * 1e9,

@@ -61,7 +61,15 @@ fn run_tier(tier: Tier, threads: usize) -> RunRecord {
     );
 
     let t0 = Instant::now();
-    let serial = ip3::run_parallel(effort, lo_dbm, hi_dbm, points, seed, &Engine::serial());
+    let serial = ip3::run_parallel(
+        effort,
+        lo_dbm,
+        hi_dbm,
+        points,
+        seed,
+        &wlan_phy::IEEE_802_11A,
+        &Engine::serial(),
+    );
     let serial_s = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
@@ -71,6 +79,7 @@ fn run_tier(tier: Tier, threads: usize) -> RunRecord {
         hi_dbm,
         points,
         seed,
+        &wlan_phy::IEEE_802_11A,
         &Engine::with_threads(threads),
     );
     let parallel_s = t1.elapsed().as_secs_f64();

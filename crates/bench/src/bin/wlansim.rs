@@ -19,6 +19,9 @@
 //!   or available parallelism)
 //! * `--serial` — the legacy serial estimator (the bit-reproducible
 //!   reference path the pinned goldens use; implies one worker)
+//! * `--profile P` — OFDM numerology for the profile-aware
+//!   experiments (`ber_snr`, `ip3`, `blocking`); `wlansim list` names
+//!   the choices (default `ieee-802-11a`)
 //! * `--lo X` / `--hi X` / `--points N` (`run` only) — sweep-bounds
 //!   overrides, parsed into the unit newtype the sweep's config
 //!   carries (dBm for ip3/level_sweep/fig6 and the noise_figure
@@ -53,7 +56,7 @@ use wlan_sim::serve::{ServeConfig, SessionEngine};
 const USAGE: &str = "usage:
   wlansim list
   wlansim run <name> [--packets N] [--psdu N] [--seed S] [--threads T] [--serial] [--json] [--manifest PATH]
-                     [--lo X] [--hi X] [--points N]
+                     [--profile P] [--lo X] [--hi X] [--points N]
   wlansim all [same flags except --lo/--hi/--points]
   wlansim serve [--sessions N] [--workers T] [--chunk N] [--ring N] [--packets N] [--psdu N]
                 [--seed S] [--verify]
@@ -71,6 +74,7 @@ struct Flags {
     serial: bool,
     json: bool,
     manifest: Option<String>,
+    profile: Option<String>,
     bounds: SweepBounds,
 }
 
@@ -91,6 +95,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--serial" => f.serial = true,
             "--json" => f.json = true,
             "--manifest" => f.manifest = Some(value("--manifest")?),
+            "--profile" => f.profile = Some(value("--profile")?),
             "--lo" => f.bounds.lo = Some(parse_num(&value("--lo")?)?),
             "--hi" => f.bounds.hi = Some(parse_num(&value("--hi")?)?),
             "--points" => f.bounds.points = Some(parse_num(&value("--points")?)?),
@@ -105,8 +110,14 @@ fn parse_num<T: std::str::FromStr>(text: &str) -> Result<T, String> {
 }
 
 /// Builds the run context: environment defaults, then flag overrides.
-fn context(f: &Flags) -> RunContext {
+fn context(f: &Flags) -> Result<RunContext, String> {
     let mut ctx = RunContext::from_env();
+    if let Some(name) = &f.profile {
+        ctx.profile = wlan_phy::find_profile(name).ok_or_else(|| {
+            let known: Vec<&str> = wlan_phy::ALL_PROFILES.iter().map(|p| p.name).collect();
+            format!("unknown profile '{name}' (known: {})", known.join(", "))
+        })?;
+    }
     if let Some(p) = f.packets {
         ctx.effort.packets = p.max(1);
     }
@@ -123,7 +134,7 @@ fn context(f: &Flags) -> RunContext {
         ctx.serial = true;
         ctx.engine = wlan_sim::experiments::Engine::serial();
     }
-    ctx
+    Ok(ctx)
 }
 
 /// Runs one experiment under `ctx`: prints its tables and notes, saves
@@ -131,10 +142,11 @@ fn context(f: &Flags) -> RunContext {
 /// in the bench-harness line format when the experiment measured it.
 fn run_one(exp: &dyn Experiment, ctx: &mut RunContext) {
     eprintln!(
-        "wlansim: {} ({}) with {:?}, seed {}, {} thread(s){}",
+        "wlansim: {} ({}) with {:?}, profile {}, seed {}, {} thread(s){}",
         exp.name(),
         exp.paper_ref(),
         ctx.effort,
+        ctx.profile.name,
         ctx.seed,
         ctx.engine.pool.threads(),
         if ctx.serial { ", serial estimator" } else { "" }
@@ -447,6 +459,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("list") => {
             println!("{}", experiments::registry_table());
+            println!("{}", experiments::profiles_table());
             ExitCode::SUCCESS
         }
         Some("run") => {
@@ -485,7 +498,13 @@ fn main() -> ExitCode {
                     }
                 },
             };
-            let mut ctx = context(&flags);
+            let mut ctx = match context(&flags) {
+                Ok(ctx) => ctx,
+                Err(e) => {
+                    eprintln!("wlansim run: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             run_one(exp, &mut ctx);
             finish(&ctx, &flags)
         }
@@ -504,7 +523,13 @@ fn main() -> ExitCode {
             if !annex_g_gate() {
                 return ExitCode::FAILURE;
             }
-            let mut ctx = context(&flags);
+            let mut ctx = match context(&flags) {
+                Ok(ctx) => ctx,
+                Err(e) => {
+                    eprintln!("wlansim all: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             for exp in experiments::registry() {
                 run_one(*exp, &mut ctx);
             }

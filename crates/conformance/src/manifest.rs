@@ -25,9 +25,11 @@ pub fn validate_file(path: &std::path::Path) -> Result<(), Vec<String>> {
     }
 }
 
-/// The manifest schema version this validator understands. Must match
-/// `wlan_sim::manifest::MANIFEST_SCHEMA`.
-pub const SUPPORTED_SCHEMA: f64 = 1.0;
+/// The manifest schema versions this validator understands. The newest
+/// must match `wlan_sim::manifest::MANIFEST_SCHEMA`; version 1 (no
+/// per-record `profile` field) stays accepted so old baselines remain
+/// comparable.
+pub const SUPPORTED_SCHEMAS: [f64; 2] = [1.0, 2.0];
 
 /// Validates a manifest document. Returns every violation found (an
 /// empty list means the manifest conforms).
@@ -43,10 +45,11 @@ pub fn validate(text: &str) -> Vec<String> {
         Err(e) => return vec![format!("manifest is not valid JSON: {e}")],
     };
 
-    match doc.get("schema").and_then(Json::as_f64) {
-        Some(s) if s == SUPPORTED_SCHEMA => {}
+    let schema = doc.get("schema").and_then(Json::as_f64);
+    match schema {
+        Some(s) if SUPPORTED_SCHEMAS.contains(&s) => {}
         Some(s) => errs.push(format!(
-            "unsupported schema {s} (validator understands {SUPPORTED_SCHEMA})"
+            "unsupported schema {s} (validator understands {SUPPORTED_SCHEMAS:?})"
         )),
         None => errs.push("missing numeric \"schema\" field".to_string()),
     }
@@ -69,12 +72,12 @@ pub fn validate(text: &str) -> Vec<String> {
     };
 
     for (i, rec) in experiments.iter().enumerate() {
-        validate_record(i, rec, &mut errs);
+        validate_record(i, rec, schema, &mut errs);
     }
     errs
 }
 
-fn validate_record(i: usize, rec: &Json, errs: &mut Vec<String>) {
+fn validate_record(i: usize, rec: &Json, schema: Option<f64>, errs: &mut Vec<String>) {
     let at = |field: &str| format!("experiments[{i}].{field}");
     if !matches!(rec, Json::Obj(_)) {
         errs.push(format!("experiments[{i}] must be an object"));
@@ -88,6 +91,14 @@ fn validate_record(i: usize, rec: &Json, errs: &mut Vec<String>) {
     }
     if rec.get("paper_ref").and_then(Json::as_str).is_none() {
         errs.push(format!("{} missing (string)", at("paper_ref")));
+    }
+    // Schema 2 added the OFDM profile name.
+    if schema == Some(2.0) {
+        match rec.get("profile").and_then(Json::as_str) {
+            Some(p) if !p.is_empty() => {}
+            Some(_) => errs.push(format!("{} must be non-empty", at("profile"))),
+            None => errs.push(format!("{} missing (string)", at("profile"))),
+        }
     }
 
     match rec.get("effort") {
@@ -311,6 +322,17 @@ mod tests {
     #[test]
     fn accepts_a_conforming_manifest() {
         assert_eq!(validate(GOOD), Vec::<String>::new());
+    }
+
+    #[test]
+    fn schema_2_requires_a_profile() {
+        let v2 = GOOD
+            .replace("\"schema\": 1", "\"schema\": 2")
+            .replace("\"seed\": 7", "\"profile\": \"wide-40\", \"seed\": 7");
+        assert_eq!(validate(&v2), Vec::<String>::new());
+        let missing = GOOD.replace("\"schema\": 1", "\"schema\": 2");
+        let errs = validate(&missing);
+        assert!(errs.iter().any(|e| e.contains("profile")), "{errs:?}");
     }
 
     #[test]

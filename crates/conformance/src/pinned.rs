@@ -182,7 +182,8 @@ mod tests {
         // The trait impl must delegate to the exact legacy estimator:
         // same function, same arguments, same seed.
         let via_trait = ip3_sweep().fields;
-        let legacy = ip3::run(Effort::quick(), -40.0, 0.0, 4, 7).snapshot();
+        let legacy =
+            ip3::run(Effort::quick(), -40.0, 0.0, 4, 7, &wlan_phy::IEEE_802_11A).snapshot();
         assert_eq!(via_trait, legacy);
     }
 }

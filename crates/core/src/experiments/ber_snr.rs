@@ -6,7 +6,7 @@ use crate::experiments::{Effort, Experiment, PointStat, RunContext, RunOutput};
 use crate::link::{FrontEnd, LinkConfig, LinkSimulation};
 use crate::report::{format_ber, Table};
 use wlan_phy::params::ALL_RATES;
-use wlan_phy::Rate;
+use wlan_phy::{OfdmProfile, Rate};
 
 /// One (rate, SNR) cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -96,7 +96,7 @@ impl Experiment for BerSnrGrid {
     }
 
     fn run(&self, ctx: &RunContext) -> RunOutput {
-        let r = run(ctx.effort, self.snrs_db, ctx.seed);
+        let r = run(ctx.effort, self.snrs_db, ctx.seed, ctx.profile);
         let mut snapshot = vec![("n_points".to_string(), r.points.len() as f64)];
         for p in &r.points {
             snapshot.push((
@@ -121,12 +121,18 @@ impl Experiment for BerSnrGrid {
     }
 }
 
-/// Runs the grid for all rates at the given SNRs.
-pub fn run(effort: Effort, snrs_db: &[f64], seed: u64) -> BerSnrResult {
+/// Runs the grid for all rates at the given SNRs under `profile`.
+pub fn run(
+    effort: Effort,
+    snrs_db: &[f64],
+    seed: u64,
+    profile: &'static OfdmProfile,
+) -> BerSnrResult {
     let mut points = Vec::new();
     for rate in ALL_RATES {
         for &snr in snrs_db {
             let report = LinkSimulation::new(LinkConfig {
+                profile,
                 rate,
                 psdu_len: effort.psdu_len,
                 packets: effort.packets,
@@ -154,10 +160,12 @@ pub fn run(effort: Effort, snrs_db: &[f64], seed: u64) -> BerSnrResult {
 mod tests {
     use super::*;
 
+    use wlan_phy::IEEE_802_11A;
+
     #[test]
     fn rate_robustness_ordering() {
         // At a mid SNR, 6 Mbit/s must beat 54 Mbit/s.
-        let r = run(Effort::quick(), &[8.0, 26.0], 3);
+        let r = run(Effort::quick(), &[8.0, 26.0], 3, &IEEE_802_11A);
         let b6 = r.ber(Rate::R6, 8.0).unwrap();
         let b54 = r.ber(Rate::R54, 8.0).unwrap();
         assert!(b6 < b54, "6 Mbps {b6} vs 54 Mbps {b54} at 8 dB");
@@ -169,12 +177,22 @@ mod tests {
 
     #[test]
     fn ber_decreases_with_snr() {
-        let r = run(Effort::quick(), &[4.0, 30.0], 4);
+        let r = run(Effort::quick(), &[4.0, 30.0], 4, &IEEE_802_11A);
         for rate in [Rate::R24, Rate::R54] {
             let low = r.ber(rate, 4.0).unwrap();
             let high = r.ber(rate, 30.0).unwrap();
             assert!(low >= high, "{rate}: {low} < {high}");
         }
         assert!(r.table().render().contains("BER vs SNR"));
+    }
+
+    #[test]
+    fn every_profile_is_clean_at_high_snr() {
+        for profile in wlan_phy::ALL_PROFILES {
+            let r = run(Effort::quick(), &[26.0], 5, profile);
+            for rate in ALL_RATES {
+                assert_eq!(r.ber(rate, 26.0).unwrap(), 0.0, "{} {rate}", profile.name);
+            }
+        }
     }
 }

@@ -7,7 +7,7 @@ use crate::experiments::{Effort, Engine, Experiment, PointStat, RunContext, RunO
 use crate::link::{AdjacentChannel, FrontEnd, LinkConfig, LinkSimulation};
 use crate::report::{bar, format_ber, Table};
 use wlan_dataflow::sweep::Sweep;
-use wlan_phy::Rate;
+use wlan_phy::{OfdmProfile, Rate};
 use wlan_rf::receiver::RfConfig;
 
 /// One sweep row.
@@ -140,6 +140,7 @@ impl Experiment for BlockingSweep {
                 self.hi_db.0,
                 self.points,
                 ctx.seed,
+                ctx.profile,
             )
         } else {
             run_parallel(
@@ -149,6 +150,7 @@ impl Experiment for BlockingSweep {
                 self.hi_db.0,
                 self.points,
                 ctx.seed,
+                ctx.profile,
                 &ctx.engine,
             )
         };
@@ -176,8 +178,16 @@ impl Experiment for BlockingSweep {
     }
 }
 
-fn point_config(offset_hz: f64, rel_db: f64, rate: Rate, effort: Effort, seed: u64) -> LinkConfig {
+fn point_config(
+    offset_hz: f64,
+    rel_db: f64,
+    rate: Rate,
+    effort: Effort,
+    seed: u64,
+    profile: &'static OfdmProfile,
+) -> LinkConfig {
     LinkConfig {
+        profile,
         rate,
         psdu_len: effort.psdu_len,
         packets: effort.packets,
@@ -190,8 +200,16 @@ fn point_config(offset_hz: f64, rel_db: f64, rate: Rate, effort: Effort, seed: u
     }
 }
 
-fn ber_with(offset_hz: f64, rel_db: f64, rate: Rate, effort: Effort, seed: u64) -> (f64, u64) {
-    let report = LinkSimulation::new(point_config(offset_hz, rel_db, rate, effort, seed)).run();
+fn ber_with(
+    offset_hz: f64,
+    rel_db: f64,
+    rate: Rate,
+    effort: Effort,
+    seed: u64,
+    profile: &'static OfdmProfile,
+) -> (f64, u64) {
+    let report =
+        LinkSimulation::new(point_config(offset_hz, rel_db, rate, effort, seed, profile)).run();
     (report.ber(), report.meter.bits())
 }
 
@@ -214,7 +232,10 @@ fn collect(
     }
 }
 
-/// Runs the rejection sweep at −60 dBm wanted level.
+/// Runs the rejection sweep at −60 dBm wanted level. The interferer
+/// sits one (adjacent) and two (alternate) channel spacings up, where
+/// one spacing is the profile's sampling bandwidth — 20 MHz for
+/// 802.11a, scaled accordingly for the other numerologies.
 pub fn run(
     effort: Effort,
     rate: Rate,
@@ -222,11 +243,20 @@ pub fn run(
     hi_db: f64,
     points: usize,
     seed: u64,
+    profile: &'static OfdmProfile,
 ) -> BlockingResult {
+    let spacing = profile.sample_rate;
     let sweep = Sweep::linspace(lo_db, hi_db, points.max(2));
     let rows = sweep.run(|&rel| {
-        let (adj, bits) = ber_with(20e6, rel, rate, effort, seed);
-        let (alt, _) = ber_with(40e6, rel, rate, effort, seed.wrapping_add(7));
+        let (adj, bits) = ber_with(spacing, rel, rate, effort, seed, profile);
+        let (alt, _) = ber_with(
+            2.0 * spacing,
+            rel,
+            rate,
+            effort,
+            seed.wrapping_add(7),
+            profile,
+        );
         (adj, alt, bits)
     });
     collect(rate, rows)
@@ -234,6 +264,7 @@ pub fn run(
 
 /// [`run`] on the parallel engine: each relative-level point (both the
 /// adjacent and alternate series) is one pool task.
+#[allow(clippy::too_many_arguments)]
 pub fn run_parallel(
     effort: Effort,
     rate: Rate,
@@ -241,13 +272,22 @@ pub fn run_parallel(
     hi_db: f64,
     points: usize,
     seed: u64,
+    profile: &'static OfdmProfile,
     engine: &Engine,
 ) -> BlockingResult {
+    let spacing = profile.sample_rate;
     let sweep = Sweep::linspace(lo_db, hi_db, points.max(2));
     let rows = sweep.run_parallel_indexed(&engine.pool, |i, &rel| {
-        let adj = engine.measure(point_config(20e6, rel, rate, effort, seed), i);
+        let adj = engine.measure(point_config(spacing, rel, rate, effort, seed, profile), i);
         let alt = engine.measure(
-            point_config(40e6, rel, rate, effort, seed.wrapping_add(7)),
+            point_config(
+                2.0 * spacing,
+                rel,
+                rate,
+                effort,
+                seed.wrapping_add(7),
+                profile,
+            ),
             i,
         );
         (adj.ber(), alt.ber(), adj.meter.bits())
@@ -258,13 +298,14 @@ pub fn run_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wlan_phy::IEEE_802_11A;
 
     #[test]
     fn alternate_channel_tolerated_better_than_adjacent() {
         // The alternate channel is a whole channel further out, so the
         // Chebyshev filter rejects it far more: the paper's spec allows
         // it 16 dB hotter (+32 vs +16).
-        let r = run(Effort::quick(), Rate::R12, 8.0, 40.0, 5, 5);
+        let r = run(Effort::quick(), Rate::R12, 8.0, 40.0, 5, 5, &IEEE_802_11A);
         let adj_tol = r.rejection_db(false, 0.01).unwrap_or(f64::MIN);
         let alt_tol = r.rejection_db(true, 0.01).unwrap_or(f64::MIN);
         assert!(
@@ -281,7 +322,7 @@ mod tests {
 
     #[test]
     fn table_renders() {
-        let r = run(Effort::quick(), Rate::R12, 10.0, 20.0, 2, 6);
+        let r = run(Effort::quick(), Rate::R12, 10.0, 20.0, 2, 6, &IEEE_802_11A);
         assert!(r.table().render().contains("interferer"));
     }
 
@@ -294,6 +335,7 @@ mod tests {
             20.0,
             2,
             6,
+            &IEEE_802_11A,
             &Engine::serial(),
         );
         let par = run_parallel(
@@ -303,6 +345,7 @@ mod tests {
             20.0,
             2,
             6,
+            &IEEE_802_11A,
             &Engine::with_threads(2),
         );
         for (a, b) in serial.points.iter().zip(par.points.iter()) {

@@ -9,7 +9,7 @@ use crate::experiments::{Effort, Engine, Experiment, PointStat, RunContext, RunO
 use crate::link::{AdjacentChannel, FrontEnd, LinkConfig, LinkSimulation};
 use crate::report::{bar, format_ber, Table};
 use wlan_dataflow::sweep::Sweep;
-use wlan_phy::Rate;
+use wlan_phy::{OfdmProfile, Rate};
 use wlan_rf::nonlinearity::Nonlinearity;
 use wlan_rf::receiver::RfConfig;
 
@@ -112,6 +112,7 @@ impl Experiment for Ip3Sweep {
                 self.hi_dbm.0,
                 self.points,
                 ctx.seed,
+                ctx.profile,
             )
         } else {
             run_parallel(
@@ -120,6 +121,7 @@ impl Experiment for Ip3Sweep {
                 self.hi_dbm.0,
                 self.points,
                 ctx.seed,
+                ctx.profile,
                 &ctx.engine,
             )
         };
@@ -141,7 +143,7 @@ impl Experiment for Ip3Sweep {
     }
 }
 
-fn point_config(effort: Effort, iip3: f64, seed: u64) -> LinkConfig {
+fn point_config(effort: Effort, iip3: f64, seed: u64, profile: &'static OfdmProfile) -> LinkConfig {
     let rf = RfConfig {
         lna_nonlinearity: Nonlinearity::Cubic {
             iip3_dbm: wlan_units::Dbm(iip3),
@@ -149,6 +151,7 @@ fn point_config(effort: Effort, iip3: f64, seed: u64) -> LinkConfig {
         ..RfConfig::default()
     };
     LinkConfig {
+        profile,
         rate: Rate::R36,
         psdu_len: effort.psdu_len,
         packets: effort.packets,
@@ -165,10 +168,17 @@ fn point_config(effort: Effort, iip3: f64, seed: u64) -> LinkConfig {
 
 /// Runs the sweep at −40 dBm wanted level (36 Mbit/s) with a +6 dB
 /// adjacent channel, IIP3 from `lo` to `hi` dBm.
-pub fn run(effort: Effort, lo_dbm: f64, hi_dbm: f64, points: usize, seed: u64) -> Ip3Result {
+pub fn run(
+    effort: Effort,
+    lo_dbm: f64,
+    hi_dbm: f64,
+    points: usize,
+    seed: u64,
+    profile: &'static OfdmProfile,
+) -> Ip3Result {
     let sweep = Sweep::linspace(lo_dbm, hi_dbm, points.max(2));
     let rows = sweep.run(|&iip3| {
-        let report = LinkSimulation::new(point_config(effort, iip3, seed)).run();
+        let report = LinkSimulation::new(point_config(effort, iip3, seed, profile)).run();
         (report.ber(), report.meter.bits())
     });
     collect(rows)
@@ -198,11 +208,12 @@ pub fn run_parallel(
     hi_dbm: f64,
     points: usize,
     seed: u64,
+    profile: &'static OfdmProfile,
     engine: &Engine,
 ) -> Ip3Result {
     let sweep = Sweep::linspace(lo_dbm, hi_dbm, points.max(2));
     let rows = sweep.run_parallel_indexed(&engine.pool, |i, &iip3| {
-        let report = engine.measure(point_config(effort, iip3, seed), i);
+        let report = engine.measure(point_config(effort, iip3, seed, profile), i);
         (report.ber(), report.meter.bits())
     });
     collect(rows)
@@ -211,10 +222,11 @@ pub fn run_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wlan_phy::IEEE_802_11A;
 
     #[test]
     fn low_iip3_breaks_link_high_iip3_fixes_it() {
-        let r = run(Effort::quick(), -40.0, 0.0, 4, 7);
+        let r = run(Effort::quick(), -40.0, 0.0, 4, 7, &IEEE_802_11A);
         let worst = r.points.first().unwrap().ber;
         let best = r.points.last().unwrap().ber;
         assert!(worst > 0.05, "low IIP3 should fail: {worst}");
@@ -225,19 +237,28 @@ mod tests {
 
     #[test]
     fn table_renders() {
-        let r = run(Effort::quick(), -30.0, -10.0, 2, 8);
+        let r = run(Effort::quick(), -30.0, -10.0, 2, 8, &IEEE_802_11A);
         assert!(r.table().render().contains("IIP3"));
     }
 
     #[test]
     fn parallel_sweep_is_thread_invariant() {
-        let serial = run_parallel(Effort::quick(), -30.0, -10.0, 3, 8, &Engine::serial());
+        let serial = run_parallel(
+            Effort::quick(),
+            -30.0,
+            -10.0,
+            3,
+            8,
+            &IEEE_802_11A,
+            &Engine::serial(),
+        );
         let par = run_parallel(
             Effort::quick(),
             -30.0,
             -10.0,
             3,
             8,
+            &IEEE_802_11A,
             &Engine::with_threads(3),
         );
         for (a, b) in serial.points.iter().zip(par.points.iter()) {

@@ -32,6 +32,7 @@ use crate::report::Table;
 use std::time::{Duration, Instant};
 use wlan_exec::ThreadPool;
 use wlan_meas::montecarlo::EarlyStop;
+use wlan_phy::{OfdmProfile, IEEE_802_11A};
 
 pub mod ber_snr;
 pub mod blocking;
@@ -178,12 +179,16 @@ impl Default for Engine {
 /// pre-refactor `run()` functions use — while `serial: false` fans the
 /// sweep points out across the engine's pool with the sharded,
 /// thread-invariant schedule.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RunContext {
     /// Packets / PSDU length per sweep point.
     pub effort: Effort,
     /// Master seed; every experiment derives its streams from it.
     pub seed: u64,
+    /// OFDM numerology the profile-aware experiments (`ber_snr`, `ip3`,
+    /// `blocking`) simulate under; the RF-characterization scenarios
+    /// pinned to the paper's 20 MHz setup ignore it.
+    pub profile: &'static OfdmProfile,
     /// Parallel execution engine (pool + Monte-Carlo schedule).
     pub engine: Engine,
     /// Use the legacy serial estimator instead of the sharded schedule.
@@ -191,6 +196,19 @@ pub struct RunContext {
     /// Accumulates one [`ExperimentTelemetry`] record per executed
     /// experiment (see [`execute`]).
     pub telemetry: TelemetrySink,
+}
+
+impl Default for RunContext {
+    fn default() -> Self {
+        RunContext {
+            effort: Effort::default(),
+            seed: 0,
+            profile: &IEEE_802_11A,
+            engine: Engine::default(),
+            serial: false,
+            telemetry: TelemetrySink::default(),
+        }
+    }
 }
 
 impl RunContext {
@@ -203,7 +221,7 @@ impl RunContext {
             seed,
             engine: Engine::serial(),
             serial: true,
-            telemetry: TelemetrySink::default(),
+            ..RunContext::default()
         }
     }
 
@@ -216,7 +234,7 @@ impl RunContext {
             seed: 42,
             engine: Engine::from_env(),
             serial: false,
-            telemetry: TelemetrySink::default(),
+            ..RunContext::default()
         }
     }
 
@@ -224,6 +242,13 @@ impl RunContext {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Replaces the OFDM profile (builder style).
+    #[must_use]
+    pub fn with_profile(mut self, profile: &'static OfdmProfile) -> Self {
+        self.profile = profile;
         self
     }
 
@@ -327,6 +352,8 @@ pub struct ExperimentTelemetry {
     pub paper_ref: &'static str,
     /// Effort the run used.
     pub effort: Effort,
+    /// OFDM profile name the context carried.
+    pub profile: &'static str,
     /// Master seed.
     pub seed: u64,
     /// Worker threads of the engine.
@@ -399,6 +426,7 @@ pub fn execute(exp: &dyn Experiment, ctx: &mut RunContext) -> RunOutput {
         name: exp.name(),
         paper_ref: exp.paper_ref(),
         effort: ctx.effort,
+        profile: ctx.profile.name,
         seed: ctx.seed,
         threads: ctx.engine.pool.threads(),
         serial: ctx.serial,
@@ -567,6 +595,25 @@ pub fn find_with_bounds(name: &str, b: SweepBounds) -> Result<Box<dyn Experiment
         )),
         _ => Err(format!("unknown experiment '{name}'")),
     }
+}
+
+/// The `wlansim list` profile table: every OFDM numerology the
+/// profile-aware experiments accept via `--profile`.
+pub fn profiles_table() -> Table {
+    let mut t = Table::new(
+        "OFDM profiles (wlansim run <name> --profile <profile>)",
+        &["profile", "fft", "cp", "rate [Msps]", "symbol [us]"],
+    );
+    for p in wlan_phy::ALL_PROFILES {
+        t.push_row(vec![
+            p.name.to_string(),
+            p.fft_size.to_string(),
+            p.cp_len.to_string(),
+            format!("{:.0}", p.sample_rate / 1e6),
+            format!("{:.1}", p.symbol_duration() * 1e6),
+        ]);
+    }
+    t
 }
 
 /// The `wlansim list` table: every registered experiment with its

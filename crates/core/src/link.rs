@@ -11,10 +11,9 @@ use wlan_dsp::{Complex, Rng};
 use wlan_exec::{split_seed, ThreadPool};
 use wlan_meas::montecarlo::{run_sharded, EarlyStop, McAccumulator, McPlan};
 use wlan_meas::BerMeter;
-use wlan_phy::params::SAMPLE_RATE;
 use wlan_phy::receiver::RxScratch;
 use wlan_phy::transmitter::TxScratch;
-use wlan_phy::{Rate, Receiver, Transmitter};
+use wlan_phy::{OfdmProfile, Rate, Receiver, Transmitter, IEEE_802_11A};
 use wlan_rf::receiver::{DoubleConversionReceiver, RfConfig, RfScratch};
 
 /// Adjacent-channel interferer description (paper §4.1: a duplicated
@@ -83,6 +82,9 @@ impl FrontEnd {
 /// Link simulation configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinkConfig {
+    /// OFDM numerology profile (802.11a by default); sets the FFT grid
+    /// and the DSP-side sample rate of the whole link.
+    pub profile: &'static OfdmProfile,
     /// 802.11a data rate.
     pub rate: Rate,
     /// PSDU length in bytes.
@@ -110,6 +112,7 @@ pub struct LinkConfig {
 impl Default for LinkConfig {
     fn default() -> Self {
         LinkConfig {
+            profile: &IEEE_802_11A,
             rate: Rate::R24,
             psdu_len: 100,
             packets: 10,
@@ -201,7 +204,7 @@ pub(crate) struct PacketScratch {
 }
 
 impl PacketScratch {
-    fn new(rate: Rate, osr: usize) -> Self {
+    fn new(rate: Rate, profile: &'static OfdmProfile, osr: usize) -> Self {
         // Worst-case SIGNAL LENGTH capacity up front: a rare decode
         // candidate with a large (or corrupted) LENGTH field must not
         // grow the receive scratch past the warm-up high-water mark.
@@ -209,7 +212,7 @@ impl PacketScratch {
         rx.reserve_worst_case();
         PacketScratch {
             psdu: Vec::new(),
-            tx: Transmitter::new(rate),
+            tx: Transmitter::with_profile(rate, profile),
             txs: TxScratch::default(),
             burst: Vec::new(),
             chan: Vec::new(),
@@ -220,8 +223,8 @@ impl PacketScratch {
             padded: Vec::new(),
             faded: Vec::new(),
             chan_model: MultipathChannel::identity(),
-            renderer: SceneRenderer::new(SAMPLE_RATE, osr),
-            adj_tx: Transmitter::new(rate),
+            renderer: SceneRenderer::new(profile.sample_rate, osr),
+            adj_tx: Transmitter::with_profile(rate, profile),
             adj_burst: Vec::new(),
             scene: Vec::new(),
         }
@@ -343,7 +346,7 @@ impl LinkSimulation {
         let started = Instant::now();
         let mut rng = Rng::new(cfg.seed);
         let mut fe = self.front_end_state(cfg.seed);
-        let rx = Receiver::new();
+        let rx = Receiver::with_profile(self.config.profile);
         let mut meter = BerMeter::new();
         let mut evm_acc = 0.0f64;
         let mut decoded = 0usize;
@@ -400,7 +403,7 @@ impl LinkSimulation {
         let started = Instant::now();
         let mut rng = Rng::new(cfg.seed);
         let mut fe = self.front_end_state(cfg.seed);
-        let rx = Receiver::new();
+        let rx = Receiver::with_profile(self.config.profile);
         let mut meter = BerMeter::new();
         let mut evm_acc = 0.0f64;
         let mut decoded = 0usize;
@@ -495,7 +498,7 @@ impl LinkSimulation {
             tx.transmit_into(psdu, txs, burst);
 
             if let Some(trms) = cfg.multipath_trms_s {
-                chan_model.regenerate_rayleigh_exponential(trms, SAMPLE_RATE, rng);
+                chan_model.regenerate_rayleigh_exponential(trms, cfg.profile.sample_rate, rng);
                 chan_model.apply_into(burst, faded);
                 std::mem::swap(burst, faded);
             }
@@ -569,7 +572,7 @@ impl LinkSimulation {
         let cfg = &self.config;
         let mut rng = Rng::new(seed);
         let mut fe = self.front_end_state(seed);
-        let rx = Receiver::new();
+        let rx = Receiver::with_profile(self.config.profile);
         let mut report = ShardReport::default();
 
         for i in 0..packets {
@@ -644,7 +647,7 @@ impl LinkSimulation {
             FrontEnd::RfBaseband(rf) => {
                 // The front end must run at the scene's oversampled rate.
                 let mut rf = *rf;
-                rf.sample_rate_hz = wlan_units::Hz(SAMPLE_RATE * cfg.osr as f64);
+                rf.sample_rate_hz = wlan_units::Hz(cfg.profile.sample_rate * cfg.osr as f64);
                 rf.osr = cfg.osr;
                 Some(DoubleConversionReceiver::new(rf, seed ^ 0xABCD))
             }
@@ -658,7 +661,7 @@ impl LinkSimulation {
             } => Some(
                 CosimReceiver::with_filter_edge(
                     *filter_edge_hz,
-                    SAMPLE_RATE * cfg.osr as f64,
+                    cfg.profile.sample_rate * cfg.osr as f64,
                     *analog_osr,
                     cfg.osr,
                 )
@@ -670,7 +673,7 @@ impl LinkSimulation {
             bb,
             cosim,
             noise: Awgn::new(seed ^ 0x5EED),
-            scratch: PacketScratch::new(cfg.rate, cfg.osr),
+            scratch: PacketScratch::new(cfg.rate, cfg.profile, cfg.osr),
         }
     }
 
@@ -719,7 +722,7 @@ impl LinkSimulation {
         // Optional multipath (one realization per packet, taps redrawn
         // into the arena-held channel).
         if let Some(trms) = cfg.multipath_trms_s {
-            chan_model.regenerate_rayleigh_exponential(trms, SAMPLE_RATE, rng);
+            chan_model.regenerate_rayleigh_exponential(trms, cfg.profile.sample_rate, rng);
             chan_model.apply_into(burst, faded);
             std::mem::swap(burst, faded);
         }
@@ -791,7 +794,7 @@ impl LinkSimulation {
             padded,
             wlan_units::Hz(0.0),
             wlan_units::Dbm(cfg.rx_level_dbm),
-            64 * cfg.osr,
+            cfg.profile.fft_size * cfg.osr,
             out,
         );
         if let Some(adj) = cfg.adjacent {
@@ -816,7 +819,7 @@ impl LinkSimulation {
     /// `noise_workaround` flag reproduces the suggested fix of adding it
     /// in the discrete-time part.
     fn add_frontend_noise(&self, scene: &mut [Complex], cfg: &LinkConfig, noise: &mut Awgn) {
-        let fs = SAMPLE_RATE * cfg.osr as f64;
+        let fs = cfg.profile.sample_rate * cfg.osr as f64;
         let floor = wlan_rf::noise::source_noise_power(fs);
         match &cfg.front_end {
             FrontEnd::RfBaseband(_) => noise.add_noise_power_in_place(scene, floor),
@@ -852,6 +855,35 @@ mod tests {
         assert_eq!(r.ber(), 0.0);
         assert_eq!(r.decoded_packets, 3);
         assert!(r.evm_db.unwrap() < -35.0);
+    }
+
+    #[test]
+    fn ideal_noiseless_is_error_free_every_profile() {
+        for profile in wlan_phy::ALL_PROFILES {
+            let r = quick(LinkConfig {
+                profile,
+                packets: 3,
+                snr_db: None,
+                ..LinkConfig::default()
+            });
+            assert_eq!(r.ber(), 0.0, "{} ber", profile.name);
+            assert_eq!(r.decoded_packets, 3, "{} decoded", profile.name);
+        }
+    }
+
+    #[test]
+    fn ideal_awgn_decodes_every_profile() {
+        // Moderate SNR through the AWGN path: sample-rate-dependent code
+        // (CFO, noise scaling) must hold for non-20 MHz numerologies too.
+        for profile in wlan_phy::ALL_PROFILES {
+            let r = quick(LinkConfig {
+                profile,
+                packets: 3,
+                snr_db: Some(30.0),
+                ..LinkConfig::default()
+            });
+            assert_eq!(r.ber(), 0.0, "{} ber {}", profile.name, r.ber());
+        }
     }
 
     #[test]

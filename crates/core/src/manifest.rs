@@ -17,7 +17,7 @@ use std::path::Path;
 /// Schema version of the run manifest. Bump on any breaking change to
 /// the document shape and teach `wlan_conformance::manifest` the new
 /// version in the same commit.
-pub const MANIFEST_SCHEMA: u32 = 1;
+pub const MANIFEST_SCHEMA: u32 = 2;
 
 /// Tool name stamped into every manifest.
 pub const MANIFEST_TOOL: &str = "wlansim";
@@ -84,6 +84,7 @@ fn render_record(out: &mut String, rec: &ExperimentTelemetry) {
         "      \"effort\": {{\"packets\": {}, \"psdu_len\": {}}},",
         rec.effort.packets, rec.effort.psdu_len
     );
+    let _ = writeln!(out, "      \"profile\": {},", json_str(rec.profile));
     let _ = writeln!(out, "      \"seed\": {},", rec.seed);
     let _ = writeln!(out, "      \"threads\": {},", rec.threads);
     let _ = writeln!(out, "      \"serial\": {},", rec.serial);
@@ -150,6 +151,7 @@ mod tests {
                 name: "ip3",
                 paper_ref: "§5.1",
                 effort: Effort::quick(),
+                profile: "802.11a",
                 seed: 7,
                 threads: 4,
                 serial: false,
@@ -178,9 +180,10 @@ mod tests {
     #[test]
     fn renders_schema_and_fields() {
         let text = sample().render();
-        assert!(text.contains("\"schema\": 1"));
+        assert!(text.contains("\"schema\": 2"));
         assert!(text.contains("\"tool\": \"wlansim\""));
         assert!(text.contains("\"name\": \"ip3\""));
+        assert!(text.contains("\"profile\": \"802.11a\""));
         assert!(text.contains("\"early_stopped\": false"));
         assert!(text.contains("\"threads\": 4"));
     }

@@ -25,7 +25,9 @@
 //!    the counting-allocator cases in `zero_alloc.rs` and the
 //!    `steady_state_allocs` flag of `BENCH_serve.json`.
 //! 3. **Explicit backpressure.** Admission beyond
-//!    [`ServeConfig::max_sessions`] is *rejected* ([`AdmitError`]), and
+//!    [`ServeConfig::max_sessions`] *live* sessions is rejected
+//!    ([`AdmitError`]) — a session that has served its whole admission
+//!    budget retires and frees its slot for the next admission — and
 //!    a worker that finds a session's result ring full **parks** the
 //!    session instead of queueing unboundedly; the collector unparks it
 //!    when it drains. Nothing in the engine grows with load.
@@ -79,9 +81,11 @@ impl Default for ServeConfig {
 /// Why a session was not admitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdmitError {
-    /// The engine is at [`ServeConfig::max_sessions`]; the caller must
-    /// retry after a session completes (explicit backpressure, not an
-    /// unbounded queue).
+    /// Every slot holds a live session (budget not yet fully served);
+    /// the caller must retry after one completes (explicit
+    /// backpressure, not an unbounded queue). Slots of *retired*
+    /// sessions — budget exhausted, results drained — are recycled
+    /// before this is returned.
     Full,
 }
 
@@ -338,9 +342,15 @@ impl SessionEngine {
     /// initial traffic; [`SessionEngine::feed`] may stream more, up to
     /// `max_packets` in total.
     ///
+    /// At capacity, the slot of a *retired* session — one whose whole
+    /// admission budget has been served and drained — is recycled (its
+    /// [`SessionId`] is reused and its report replaced), so admission
+    /// cycles indefinitely through a bounded engine.
+    ///
     /// # Errors
     ///
-    /// [`AdmitError::Full`] once `max_sessions` sessions are admitted.
+    /// [`AdmitError::Full`] when all `max_sessions` slots hold live
+    /// sessions.
     ///
     /// # Panics
     ///
@@ -348,9 +358,11 @@ impl SessionEngine {
     /// must cover the initial traffic), or on a zero-packet config
     /// (via [`LinkSimulation::new`]).
     pub fn admit(&mut self, link: LinkConfig, max_packets: usize) -> Result<SessionId, AdmitError> {
-        if self.slots.len() == self.cfg.max_sessions {
-            return Err(AdmitError::Full);
-        }
+        let reuse = if self.slots.len() == self.cfg.max_sessions {
+            Some(self.find_retired_slot().ok_or(AdmitError::Full)?)
+        } else {
+            None
+        };
         assert!(
             max_packets >= link.packets,
             "admission budget {max_packets} below initial traffic {}",
@@ -358,6 +370,7 @@ impl SessionEngine {
         );
         let seed = link.seed;
         let fed = link.packets;
+        let profile = link.profile;
         let sim = LinkSimulation::new(link);
         let fe = sim.front_end_state(seed);
         let core = SessionCore {
@@ -365,7 +378,7 @@ impl SessionEngine {
             rng: Rng::new(seed),
             fe,
             batch: BatchScratch::default(),
-            rx: Receiver::new(),
+            rx: Receiver::with_profile(profile),
             next_packet: 0,
             fed,
             max_packets,
@@ -374,16 +387,47 @@ impl SessionEngine {
             decoded: 0,
             service_ns: 0,
         };
-        self.slots.push(SessionSlot {
-            core: Mutex::new(core),
-            ring: Mutex::new(ChunkRing::new(self.cfg.ring_chunks)),
-        });
         let col = self.collector.get_mut().expect("collector lock");
-        col.pending.push(0);
+        let sid = match reuse {
+            Some(sid) => {
+                let slot = &mut self.slots[sid];
+                *slot.core.get_mut().expect("session lock") = core;
+                let ring = slot.ring.get_mut().expect("ring");
+                debug_assert_eq!(ring.len, 0, "retired ring is drained");
+                ring.head = 0;
+                ring.parked = false;
+                sid
+            }
+            None => {
+                self.slots.push(SessionSlot {
+                    core: Mutex::new(core),
+                    ring: Mutex::new(ChunkRing::new(self.cfg.ring_chunks)),
+                });
+                col.pending.push(0);
+                self.slots.len() - 1
+            }
+        };
         col.expected_chunks += max_packets.div_ceil(self.cfg.chunk_packets);
         let extra = col.expected_chunks - col.latencies_ns.len();
         col.latencies_ns.reserve(extra);
-        Ok(self.slots.len() - 1)
+        Ok(sid)
+    }
+
+    /// Finds a slot whose session has retired: budget fully fed,
+    /// every fed packet processed, and every result drained. Such a
+    /// session can never be scheduled again, so its slot is safe to
+    /// hand to a new admission.
+    fn find_retired_slot(&mut self) -> Option<SessionId> {
+        let col = self.collector.get_mut().expect("collector lock");
+        self.slots.iter_mut().enumerate().find_map(|(sid, slot)| {
+            let core = slot.core.get_mut().expect("session lock");
+            let ring = slot.ring.get_mut().expect("ring");
+            let retired = core.fed == core.max_packets
+                && core.next_packet == core.fed
+                && ring.len == 0
+                && col.pending[sid] == 0;
+            retired.then_some(sid)
+        })
     }
 
     /// Streams `extra` more packets into an admitted session. The new
@@ -748,6 +792,68 @@ mod tests {
         assert!(eng.admit(quick_link(1, 2), 2).is_ok());
         assert!(eng.admit(quick_link(2, 2), 2).is_ok());
         assert_eq!(eng.admit(quick_link(3, 2), 2), Err(AdmitError::Full));
+    }
+
+    #[test]
+    fn completed_sessions_free_their_slots() {
+        let mut eng = SessionEngine::new(ServeConfig {
+            max_sessions: 2,
+            chunk_packets: 2,
+            ring_chunks: 4,
+        });
+        let a = eng.admit(quick_link(1, 2), 2).unwrap();
+        let b = eng.admit(quick_link(2, 2), 2).unwrap();
+        assert_eq!(eng.admit(quick_link(3, 2), 2), Err(AdmitError::Full));
+        eng.drive(&ThreadPool::serial());
+        // Both sessions served their whole budget: admission recycles
+        // their slots and serving continues beyond max_sessions.
+        let c = eng.admit(quick_link(3, 2), 2).unwrap();
+        assert!(c == a || c == b, "recycled an existing slot");
+        let d = eng.admit(quick_link(4, 2), 2).unwrap();
+        assert_ne!(c, d);
+        assert_eq!(eng.admit(quick_link(5, 2), 2), Err(AdmitError::Full));
+        eng.drive(&ThreadPool::serial());
+        let want = LinkSimulation::new(quick_link(3, 2)).run();
+        assert_reports_equal(&eng.report(c), &want, "recycled session");
+    }
+
+    #[test]
+    fn live_sessions_are_not_recycled() {
+        // Budget headroom left (fed < max_packets) keeps the slot even
+        // after all currently-fed traffic has been served.
+        let mut eng = SessionEngine::new(ServeConfig {
+            max_sessions: 1,
+            ..ServeConfig::default()
+        });
+        let sid = eng.admit(quick_link(1, 2), 4).unwrap();
+        eng.drive(&ThreadPool::serial());
+        assert_eq!(eng.admit(quick_link(2, 2), 2), Err(AdmitError::Full));
+        eng.feed(sid, 2).unwrap();
+        eng.drive(&ThreadPool::serial());
+        let recycled = eng.admit(quick_link(2, 2), 2).unwrap();
+        assert_eq!(recycled, sid);
+    }
+
+    #[test]
+    fn mixed_profile_sessions_match_serial_runs() {
+        let mut eng = SessionEngine::new(ServeConfig {
+            chunk_packets: 2,
+            ..ServeConfig::default()
+        });
+        let mut admitted = Vec::new();
+        for (i, profile) in wlan_phy::ALL_PROFILES.into_iter().enumerate() {
+            let cfg = LinkConfig {
+                profile,
+                snr_db: Some(20.0),
+                ..quick_link(7 + i as u64, 3)
+            };
+            admitted.push((eng.admit(cfg.clone(), 3).unwrap(), cfg));
+        }
+        eng.drive(&ThreadPool::serial());
+        for (sid, cfg) in admitted {
+            let want = LinkSimulation::new(cfg.clone()).run();
+            assert_reports_equal(&eng.report(sid), &want, cfg.profile.name);
+        }
     }
 
     #[test]

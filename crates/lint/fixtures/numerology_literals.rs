@@ -1,0 +1,21 @@
+//! Known-bad fixture for the `wlan-lint numerology` pass. Every block
+//! below must keep tripping a rule; CI asserts this file is rejected
+//! with exit code 1. Not compiled into any crate — directory walks skip
+//! `fixtures/`, the file is only linted when listed explicitly.
+
+/// NM001: raw 20 Msps sample-rate literals in assorted spellings.
+pub fn hardcoded_sample_rates() -> [f64; 4] {
+    let fs = 20e6;
+    let fs_alt = 20.0e6;
+    let fs_sci = 2.0e7;
+    let fs_int = 20_000_000 as f64;
+    [fs, fs_alt, fs_sci, fs_int]
+}
+
+/// NM002: bare grid literals in FFT/CP context.
+pub fn hardcoded_grid() -> usize {
+    let fft_size = 64;
+    let cp_len = 16;
+    let symbol_len = 80;
+    fft_size + cp_len + symbol_len
+}

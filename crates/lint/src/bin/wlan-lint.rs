@@ -3,6 +3,7 @@
 //! ```text
 //! wlan-lint [--json] [--input NODE] [--output NODE] [NETLIST.net ...]
 //! wlan-lint units [--json] [--allowlist FILE] [PATH ...]
+//! wlan-lint numerology [--json] [--allowlist FILE] [PATH ...]
 //! ```
 //!
 //! With no file arguments, lints every built-in experiment graph and
@@ -11,30 +12,42 @@
 //! `rf`/`out`, overridable with `--input`/`--output`).
 //!
 //! The `units` mode scans Rust sources for raw dB math outside the
-//! blessed `wlan-units` crate (paths default to `crates`, `tests` and
-//! `examples`; the allowlist defaults to
-//! `crates/lint/units_allowlist.txt` when present). Directories are
-//! walked with `fixtures/` and `target/` skipped; explicitly listed
-//! files are always scanned.
+//! blessed `wlan-units` crate; the `numerology` mode scans for
+//! hard-coded OFDM grid literals (`20e6`, bare `64`/`16` in FFT/CP
+//! context) outside `crates/phy/src/params.rs` and
+//! `crates/phy/src/profile.rs`. Both ratchets default their paths to
+//! `crates`, `tests` and `examples`, and their allowlists to
+//! `crates/lint/units_allowlist.txt` /
+//! `crates/lint/numerology_allowlist.txt` when present. Directories
+//! are walked with `fixtures/` and `target/` skipped; explicitly
+//! listed files are always scanned.
 //!
 //! Exit status: 0 when no errors were found (warnings allowed), 1 when
 //! any error-severity diagnostic was reported, 2 on usage/IO problems.
 
 use std::process::ExitCode;
-use wlan_lint::{ams, dataflow, units, Report};
+use wlan_lint::{ams, dataflow, numerology, units, Report};
 
-/// Default allowlist location relative to the invocation directory
-/// (the repository root in CI).
-const DEFAULT_ALLOWLIST: &str = "crates/lint/units_allowlist.txt";
+/// Default `units` allowlist location relative to the invocation
+/// directory (the repository root in CI).
+const DEFAULT_UNITS_ALLOWLIST: &str = "crates/lint/units_allowlist.txt";
 
-struct UnitsOptions {
+/// Default `numerology` allowlist location relative to the invocation
+/// directory (the repository root in CI).
+const DEFAULT_NUMEROLOGY_ALLOWLIST: &str = "crates/lint/numerology_allowlist.txt";
+
+struct RatchetOptions {
     json: bool,
     allowlist: Option<String>,
     paths: Vec<String>,
 }
 
-fn parse_units_args(args: impl Iterator<Item = String>) -> Result<UnitsOptions, String> {
-    let mut opts = UnitsOptions {
+fn parse_ratchet_args(
+    mode: &str,
+    default_allowlist: &str,
+    args: impl Iterator<Item = String>,
+) -> Result<RatchetOptions, String> {
+    let mut opts = RatchetOptions {
         json: false,
         allowlist: None,
         paths: Vec::new(),
@@ -47,14 +60,12 @@ fn parse_units_args(args: impl Iterator<Item = String>) -> Result<UnitsOptions, 
                 opts.allowlist = Some(args.next().ok_or("--allowlist requires a file path")?);
             }
             "--help" | "-h" => {
-                return Err(
-                    "usage: wlan-lint units [--json] [--allowlist FILE] [PATH ...]
-                     
-                     Scans Rust sources for raw dB math and raw unit-suffixed f64
-                     fields outside the wlan-units crate. Defaults: paths crates
-                     tests examples, allowlist crates/lint/units_allowlist.txt."
-                        .to_string(),
-                );
+                return Err(format!(
+                    "usage: wlan-lint {mode} [--json] [--allowlist FILE] [PATH ...]\n\
+                     \n\
+                     Scans Rust sources for raw sites outside the blessed files.\n\
+                     Defaults: paths crates tests examples, allowlist {default_allowlist}."
+                ));
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option '{other}' (try --help)"));
@@ -65,8 +76,16 @@ fn parse_units_args(args: impl Iterator<Item = String>) -> Result<UnitsOptions, 
     Ok(opts)
 }
 
-fn run_units(args: impl Iterator<Item = String>) -> ExitCode {
-    let mut opts = match parse_units_args(args) {
+/// Runs one source ratchet (`units` or `numerology`): loads the
+/// allowlist, defaults the scan paths, lints, prints the report.
+fn run_ratchet<A: Default>(
+    mode: &str,
+    default_allowlist: &str,
+    args: impl Iterator<Item = String>,
+    parse_allow: impl Fn(&str) -> (A, Vec<(usize, String)>),
+    lint: impl Fn(&[String], &A) -> (Report, Vec<(String, String)>),
+) -> ExitCode {
+    let mut opts = match parse_ratchet_args(mode, default_allowlist, args) {
         Ok(o) => o,
         Err(msg) => {
             eprintln!("{msg}");
@@ -76,11 +95,11 @@ fn run_units(args: impl Iterator<Item = String>) -> ExitCode {
     let allow = {
         let (path, required) = match &opts.allowlist {
             Some(p) => (p.clone(), true),
-            None => (DEFAULT_ALLOWLIST.to_string(), false),
+            None => (default_allowlist.to_string(), false),
         };
         match std::fs::read_to_string(&path) {
             Ok(text) => {
-                let (allow, bad) = units::Allowlist::parse(&text);
+                let (allow, bad) = parse_allow(&text);
                 if !bad.is_empty() {
                     for (line, text) in &bad {
                         eprintln!("wlan-lint: {path}:{line}: bad allowlist entry: {text}");
@@ -93,7 +112,7 @@ fn run_units(args: impl Iterator<Item = String>) -> ExitCode {
                 eprintln!("wlan-lint: cannot read allowlist '{path}': {e}");
                 return ExitCode::from(2);
             }
-            Err(_) => units::Allowlist::default(),
+            Err(_) => A::default(),
         }
     };
     if opts.paths.is_empty() {
@@ -103,7 +122,7 @@ fn run_units(args: impl Iterator<Item = String>) -> ExitCode {
             .map(|p| p.to_string())
             .collect();
     }
-    let (report, io_errors) = units::lint_paths(&opts.paths, &allow);
+    let (report, io_errors) = lint(&opts.paths, &allow);
     for (path, e) in &io_errors {
         eprintln!("wlan-lint: cannot read '{path}': {e}");
     }
@@ -164,9 +183,28 @@ fn parse_args() -> Result<Options, String> {
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1).peekable();
-    if argv.peek().map(String::as_str) == Some("units") {
-        argv.next();
-        return run_units(argv);
+    match argv.peek().map(String::as_str) {
+        Some("units") => {
+            argv.next();
+            return run_ratchet(
+                "units",
+                DEFAULT_UNITS_ALLOWLIST,
+                argv,
+                units::Allowlist::parse,
+                units::lint_paths,
+            );
+        }
+        Some("numerology") => {
+            argv.next();
+            return run_ratchet(
+                "numerology",
+                DEFAULT_NUMEROLOGY_ALLOWLIST,
+                argv,
+                numerology::Allowlist::parse,
+                numerology::lint_paths,
+            );
+        }
+        _ => {}
     }
     let opts = match parse_args() {
         Ok(o) => o,

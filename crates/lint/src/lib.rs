@@ -16,6 +16,10 @@
 //!   `10^(x/10)`-style dB math and unit-suffixed raw `f64` public
 //!   fields are only legal inside `crates/units` or on allowlisted
 //!   serialization boundaries.
+//! * [`numerology::lint_paths`] — the grid-safety ratchet: hard-coded
+//!   OFDM numerology literals (`20e6`, bare `64`/`16` in FFT/CP
+//!   context) are only legal in `crates/phy/src/params.rs` and
+//!   `crates/phy/src/profile.rs` or on allowlisted sites.
 //!
 //! Findings are [`Diagnostic`]s collected into a [`Report`] that
 //! renders as human-readable text or machine-readable JSON, and the
@@ -24,6 +28,7 @@
 
 pub mod ams;
 pub mod dataflow;
+pub mod numerology;
 pub mod units;
 
 /// Schema version of the JSON report emitted by [`Report::to_json`].
@@ -56,7 +61,8 @@ pub struct Diagnostic {
     /// Severity level.
     pub severity: Severity,
     /// Stable machine-readable code (`DF0xx` dataflow, `AMS0xx` netlist
-    /// errors, `AMS1xx` netlist warnings, `UN0xx` units).
+    /// errors, `AMS1xx` netlist warnings, `UN0xx` units, `NM0xx`
+    /// numerology).
     pub code: &'static str,
     /// The graph or netlist the finding belongs to.
     pub target: String,

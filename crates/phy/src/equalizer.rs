@@ -1,57 +1,63 @@
 //! Channel estimation from the long training symbols, zero-forcing
 //! equalization and pilot-based common-phase-error tracking.
 
-use crate::ofdm::{carrier_to_bin, Ofdm};
-use crate::params::{
-    data_carrier_indices, FFT_SIZE, N_DATA_CARRIERS, PILOT_CARRIERS, PILOT_VALUES,
-};
+use crate::ofdm::{FreqSymbol, Ofdm};
+use crate::params::N_DATA_CARRIERS;
 use crate::pilots::polarity;
-use crate::preamble::long_training_value;
+use crate::profile::{OfdmProfile, IEEE_802_11A, MAX_FFT_SIZE};
 use wlan_dsp::Complex;
 
-/// Per-subcarrier channel estimate over the 64 FFT bins (zeros on unused
-/// bins).
+/// Per-subcarrier channel estimate over the FFT bins (zeros on unused
+/// bins), tied to the numerology profile it was estimated under.
 #[derive(Debug, Clone)]
 pub struct ChannelEstimate {
-    h: [Complex; FFT_SIZE],
+    h: [Complex; MAX_FFT_SIZE],
+    profile: &'static OfdmProfile,
 }
 
 impl ChannelEstimate {
     /// Least-squares estimate from the two received long-training symbol
-    /// bodies (64 samples each, cyclic prefix already removed).
+    /// bodies (`fft_size` samples each, cyclic prefix already removed).
     ///
     /// # Panics
     ///
-    /// Panics if either body is not 64 samples.
+    /// Panics if either body is not `fft_size` samples.
     pub fn from_ltf(ofdm: &Ofdm, body1: &[Complex], body2: &[Complex]) -> Self {
+        let p = ofdm.profile();
         let f1 = ofdm.demodulate_body(body1);
         let f2 = ofdm.demodulate_body(body2);
-        let mut h = [Complex::ZERO; FFT_SIZE];
-        for k in -26..=26i32 {
-            let l = long_training_value(k);
-            if l == 0.0 {
-                continue;
-            }
-            let bin = carrier_to_bin(k);
+        let mut h = [Complex::ZERO; MAX_FFT_SIZE];
+        for &(k, s) in p.ltf_carriers {
+            let l = s as f64;
+            let bin = p.bin(k);
             h[bin] = (f1[bin] + f2[bin]) * 0.5 / l;
         }
-        ChannelEstimate { h }
+        ChannelEstimate { h, profile: p }
     }
 
-    /// An ideal (all-ones) channel estimate, for genie testing.
-    pub fn ideal() -> Self {
-        let mut h = [Complex::ZERO; FFT_SIZE];
-        for k in -26..=26i32 {
-            if k != 0 {
-                h[carrier_to_bin(k)] = Complex::ONE;
-            }
+    /// An ideal (all-ones on used carriers) channel estimate for
+    /// `profile`, for genie testing.
+    pub fn ideal_for(profile: &'static OfdmProfile) -> Self {
+        let mut h = [Complex::ZERO; MAX_FFT_SIZE];
+        for &(k, _) in profile.ltf_carriers {
+            h[profile.bin(k)] = Complex::ONE;
         }
-        ChannelEstimate { h }
+        ChannelEstimate { h, profile }
+    }
+
+    /// [`ChannelEstimate::ideal_for`] at the 802.11a profile.
+    pub fn ideal() -> Self {
+        Self::ideal_for(&IEEE_802_11A)
+    }
+
+    /// The profile this estimate belongs to.
+    pub fn profile(&self) -> &'static OfdmProfile {
+        self.profile
     }
 
     /// Channel gain at logical subcarrier `k`.
     pub fn at(&self, k: i32) -> Complex {
-        self.h[carrier_to_bin(k)]
+        self.h[self.profile.bin(k)]
     }
 
     /// Mean squared channel magnitude over the used carriers (an SNR-ish
@@ -59,10 +65,7 @@ impl ChannelEstimate {
     pub fn mean_gain(&self) -> f64 {
         let mut sum = 0.0;
         let mut n = 0;
-        for k in -26..=26i32 {
-            if k == 0 {
-                continue;
-            }
+        for &(k, _) in self.profile.ltf_carriers {
             sum += self.at(k).norm_sqr();
             n += 1;
         }
@@ -78,17 +81,15 @@ impl ChannelEstimate {
 ///
 /// # Panics
 ///
-/// Panics if either body is not 64 samples.
+/// Panics if either body is not `fft_size` samples.
 pub fn estimate_snr_db(ofdm: &Ofdm, body1: &[Complex], body2: &[Complex]) -> Option<f64> {
+    let p = ofdm.profile();
     let f1 = ofdm.demodulate_body(body1);
     let f2 = ofdm.demodulate_body(body2);
     let mut sig = 0.0;
     let mut noise = 0.0;
-    for k in -26..=26i32 {
-        if long_training_value(k) == 0.0 {
-            continue;
-        }
-        let bin = carrier_to_bin(k);
+    for &(k, _) in p.ltf_carriers {
+        let bin = p.bin(k);
         let sum = (f1[bin] + f2[bin]) * 0.5;
         let diff = (f1[bin] - f2[bin]) * 0.5;
         sig += sum.norm_sqr();
@@ -114,41 +115,41 @@ pub struct EqualizedSymbol {
     pub cpe: f64,
 }
 
-/// Equalizes one demodulated symbol (64 frequency bins) with the channel
-/// estimate and removes the pilot-tracked common phase error.
+/// Equalizes one demodulated symbol with the channel estimate (which
+/// carries the profile) and removes the pilot-tracked common phase error.
 ///
 /// `symbol_index` selects the pilot polarity (0 = SIGNAL, 1.. = DATA).
 pub fn equalize_symbol(
-    freq: &[Complex; FFT_SIZE],
+    freq: &FreqSymbol,
     channel: &ChannelEstimate,
     symbol_index: usize,
 ) -> EqualizedSymbol {
+    let prof = channel.profile;
     // Zero-forcing on pilots, then CPE from the four pilots.
     let p = polarity(symbol_index);
     let mut acc = Complex::ZERO;
-    for (i, &k) in PILOT_CARRIERS.iter().enumerate() {
+    for (i, &k) in prof.pilot_carriers.iter().enumerate() {
         let h = channel.at(k);
         if h.norm_sqr() < 1e-18 {
             continue;
         }
-        let eq = freq[carrier_to_bin(k)] / h;
-        let reference = p * PILOT_VALUES[i];
+        let eq = freq[prof.bin(k)] / h;
+        let reference = p * prof.pilot_values[i];
         acc += eq * reference; // reference is ±1 ⇒ conj == itself
     }
     let cpe = acc.arg();
     let derot = Complex::cis(-cpe);
 
-    let idx = data_carrier_indices();
     let mut data = [Complex::ZERO; N_DATA_CARRIERS];
     let mut csi = [0.0; N_DATA_CARRIERS];
-    for (i, &k) in idx.iter().enumerate() {
+    for (i, &k) in prof.data_carriers.iter().enumerate() {
         let h = channel.at(k);
         let h2 = h.norm_sqr();
         if h2 < 1e-18 {
             data[i] = Complex::ZERO;
             csi[i] = 0.0;
         } else {
-            data[i] = freq[carrier_to_bin(k)] / h * derot;
+            data[i] = freq[prof.bin(k)] / h * derot;
             csi[i] = h2;
         }
     }
@@ -159,8 +160,10 @@ pub fn equalize_symbol(
 mod tests {
     use super::*;
     use crate::modulation::map_bits;
-    use crate::params::Modulation;
+    use crate::ofdm::carrier_to_bin;
+    use crate::params::{data_carrier_indices, Modulation};
     use crate::preamble::long_training_symbol;
+    use crate::profile::ALL_PROFILES;
     use wlan_dsp::rng::Rng;
 
     fn random_qpsk(seed: u64) -> Vec<Complex> {
@@ -174,7 +177,7 @@ mod tests {
     fn ideal_channel_estimate_from_clean_ltf() {
         let ofdm = Ofdm::new();
         let ltf = long_training_symbol(&ofdm);
-        let est = ChannelEstimate::from_ltf(&ofdm, &ltf, &ltf);
+        let est = ChannelEstimate::from_ltf(&ofdm, &ltf[..64], &ltf[..64]);
         for k in -26..=26i32 {
             if k == 0 {
                 continue;
@@ -185,10 +188,31 @@ mod tests {
     }
 
     #[test]
+    fn ideal_estimate_every_profile() {
+        for p in ALL_PROFILES {
+            let ofdm = Ofdm::with_profile(p);
+            let ltf = long_training_symbol(&ofdm);
+            let n = p.fft_size;
+            let est = ChannelEstimate::from_ltf(&ofdm, &ltf[..n], &ltf[..n]);
+            for &(k, _) in p.ltf_carriers {
+                assert!(
+                    (est.at(k) - Complex::ONE).abs() < 1e-9,
+                    "{}: k = {k}",
+                    p.name
+                );
+            }
+            assert!((est.mean_gain() - 1.0).abs() < 1e-9, "{}", p.name);
+        }
+    }
+
+    #[test]
     fn estimates_flat_complex_gain() {
         let ofdm = Ofdm::new();
         let g = Complex::from_polar(0.5, 1.1);
-        let ltf: Vec<Complex> = long_training_symbol(&ofdm).iter().map(|&x| x * g).collect();
+        let ltf: Vec<Complex> = long_training_symbol(&ofdm)[..64]
+            .iter()
+            .map(|&x| x * g)
+            .collect();
         let est = ChannelEstimate::from_ltf(&ofdm, &ltf, &ltf);
         for k in [-26i32, -7, 3, 26] {
             assert!((est.at(k) - g).abs() < 1e-9);
@@ -201,7 +225,7 @@ mod tests {
         let mut rng = Rng::new(9);
         let clean = long_training_symbol(&ofdm);
         let noisy = |rng: &mut Rng| -> Vec<Complex> {
-            clean
+            clean[..64]
                 .iter()
                 .map(|&x| x + rng.complex_gaussian(0.01))
                 .collect()
@@ -230,11 +254,11 @@ mod tests {
             let mut acc = 0.0;
             let trials = 50;
             for _ in 0..trials {
-                let b1: Vec<Complex> = clean
+                let b1: Vec<Complex> = clean[..64]
                     .iter()
                     .map(|&x| x + rng.complex_gaussian(nv))
                     .collect();
-                let b2: Vec<Complex> = clean
+                let b2: Vec<Complex> = clean[..64]
                     .iter()
                     .map(|&x| x + rng.complex_gaussian(nv))
                     .collect();
@@ -265,7 +289,10 @@ mod tests {
         let phase = Complex::cis(0.3);
         let rx: Vec<Complex> = sym.iter().map(|&x| x * g * phase).collect();
         // Channel estimate sees only g (estimated before the phase drift).
-        let ltf: Vec<Complex> = long_training_symbol(&ofdm).iter().map(|&x| x * g).collect();
+        let ltf: Vec<Complex> = long_training_symbol(&ofdm)[..64]
+            .iter()
+            .map(|&x| x * g)
+            .collect();
         let est = ChannelEstimate::from_ltf(&ofdm, &ltf, &ltf);
         let freq = ofdm.demodulate(&rx);
         let eq = equalize_symbol(&freq, &est, 1);
@@ -290,20 +317,16 @@ mod tests {
                     * Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / 64.0)
         };
         let apply = |body: &[Complex]| -> Vec<Complex> {
-            let freq0 = ofdm.demodulate_body(body);
-            let mut freq = freq0;
+            let mut freq = ofdm.demodulate_body(body);
             for k in -32..32i32 {
                 let bin = carrier_to_bin(k);
                 freq[bin] *= h_of(k);
             }
-            // back to time
-            let mut arr = [Complex::ZERO; 64];
-            arr.copy_from_slice(&freq);
-            // invert the demodulate_body scaling: time_symbol applies the
-            // forward normalization again.
-            ofdm.time_symbol(&arr).to_vec()
+            // back to time; time_symbol applies the forward normalization
+            // again, inverting the demodulate_body scaling.
+            ofdm.time_symbol(&freq)[..64].to_vec()
         };
-        let ltf_rx = apply(&long_training_symbol(&ofdm));
+        let ltf_rx = apply(&long_training_symbol(&ofdm)[..64]);
         let est = ChannelEstimate::from_ltf(&ofdm, &ltf_rx, &ltf_rx);
         for k in [-26i32, -1, 13, 26] {
             assert!((est.at(k) - h_of(k)).abs() < 1e-9, "k = {k}");
@@ -320,7 +343,7 @@ mod tests {
     #[test]
     fn zero_channel_bins_give_zero_csi() {
         let est = ChannelEstimate::ideal();
-        let mut freq = [Complex::ONE; FFT_SIZE];
+        let mut freq = [Complex::ONE; MAX_FFT_SIZE];
         freq[carrier_to_bin(0)] = Complex::ZERO;
         let eq = equalize_symbol(&freq, &est, 1);
         assert!(eq.csi.iter().all(|&w| w > 0.0));

@@ -12,7 +12,9 @@
 //! * [`puncture`] — rate-2/3 and rate-3/4 puncturing
 //! * [`interleaver`] — the two-permutation block interleaver
 //! * [`modulation`] — BPSK/QPSK/16-QAM/64-QAM mapping and LLR demapping
-//! * [`pilots`] / [`ofdm`] — pilot insertion and 64-point OFDM (de)modulation
+//! * [`profile`] — the OFDM numerology profile family (802.11a plus
+//!   half-clocked and 40 MHz variants)
+//! * [`pilots`] / [`ofdm`] — pilot insertion and OFDM (de)modulation
 //! * [`preamble`] / [`signal_field`] / [`frame`] — PLCP framing
 //! * [`transmitter`] — PSDU in, 20 Msps complex-baseband samples out
 //! * [`sync`] / [`equalizer`] / [`receiver`] — packet detection, carrier
@@ -42,6 +44,7 @@ pub mod ofdm;
 pub mod params;
 pub mod pilots;
 pub mod preamble;
+pub mod profile;
 pub mod puncture;
 pub mod receiver;
 pub mod scrambler;
@@ -51,5 +54,6 @@ pub mod transmitter;
 pub mod viterbi;
 
 pub use params::Rate;
+pub use profile::{find_profile, OfdmProfile, ALL_PROFILES, IEEE_802_11A};
 pub use receiver::{Received, Receiver, RxError};
 pub use transmitter::{Burst, Transmitter};

@@ -1,156 +1,175 @@
-//! OFDM (de)modulation: subcarrier mapping, 64-point IFFT/FFT and cyclic
-//! prefix handling.
+//! OFDM (de)modulation: subcarrier mapping, IFFT/FFT sized from the
+//! numerology profile, and cyclic prefix handling.
 //!
-//! Normalization: the unitary (I)FFT is used, scaled by `√(64/52)`, so a
-//! symbol whose 52 loaded carriers have unit average constellation power
-//! produces time samples with mean power 1.0.
+//! Normalization: the unitary (I)FFT is used, scaled by
+//! `√(fft_size/n_used)` (`√(64/52)` for 802.11a), so a symbol whose
+//! loaded carriers have unit average constellation power produces time
+//! samples with mean power 1.0.
 
-use crate::params::{data_carrier_indices, CP_LEN, FFT_SIZE, N_DATA_CARRIERS, N_USED_CARRIERS};
-use crate::pilots::pilot_symbols;
+use crate::params::{FFT_SIZE, N_DATA_CARRIERS};
+use crate::pilots::pilot_symbols_for;
+use crate::profile::{OfdmProfile, IEEE_802_11A, MAX_FFT_SIZE};
 use wlan_dsp::fft::Fft;
 use wlan_dsp::Complex;
 
-/// Power normalization factor `√(FFT_SIZE / N_USED)`.
+/// A frequency-domain OFDM symbol buffer, sized for the largest shipped
+/// profile; only the first `fft_size` entries of a given profile are
+/// meaningful (the rest stay zero).
+pub type FreqSymbol = [Complex; MAX_FFT_SIZE];
+
+/// Power normalization factor `√(FFT_SIZE / N_USED)` of the 802.11a
+/// profile.
 pub fn power_norm() -> f64 {
-    (FFT_SIZE as f64 / N_USED_CARRIERS as f64).sqrt()
+    IEEE_802_11A.power_norm()
 }
 
-/// Converts a logical subcarrier index `k ∈ −32..32` to its FFT bin.
+/// Converts a logical subcarrier index `k ∈ −32..32` to its 802.11a
+/// (64-point) FFT bin. Profile-aware code uses [`OfdmProfile::bin`].
 #[inline]
 pub fn carrier_to_bin(k: i32) -> usize {
     ((k + FFT_SIZE as i32) % FFT_SIZE as i32) as usize
 }
 
-/// OFDM modulator/demodulator with a cached FFT plan.
+/// OFDM modulator/demodulator with a cached FFT plan for one numerology
+/// profile.
 #[derive(Debug, Clone)]
 pub struct Ofdm {
     fft: Fft,
-    data_idx: [i32; N_DATA_CARRIERS],
+    profile: &'static OfdmProfile,
 }
 
 impl Ofdm {
     /// Creates the 64-point 802.11a OFDM processor.
     pub fn new() -> Self {
+        Ofdm::with_profile(&IEEE_802_11A)
+    }
+
+    /// Creates the OFDM processor for an arbitrary profile. The FFT plan
+    /// keeps the specialized 64-point fast path whenever
+    /// `profile.fft_size == 64`.
+    pub fn with_profile(profile: &'static OfdmProfile) -> Self {
         Ofdm {
-            fft: Fft::new(FFT_SIZE),
-            data_idx: data_carrier_indices(),
+            fft: Fft::new(profile.fft_size),
+            profile,
         }
     }
 
+    /// The numerology this processor is built for.
+    #[inline]
+    pub fn profile(&self) -> &'static OfdmProfile {
+        self.profile
+    }
+
     /// Assembles the frequency-domain symbol for 48 data values and the
-    /// pilots of OFDM symbol index `symbol_index`, returning 64 bins.
+    /// pilots of OFDM symbol index `symbol_index`.
     ///
     /// # Panics
     ///
     /// Panics if `data.len() != 48`.
-    pub fn assemble(&self, data: &[Complex], symbol_index: usize) -> [Complex; FFT_SIZE] {
+    pub fn assemble(&self, data: &[Complex], symbol_index: usize) -> FreqSymbol {
         assert_eq!(data.len(), N_DATA_CARRIERS, "need 48 data values");
-        let mut freq = [Complex::ZERO; FFT_SIZE];
-        for (i, &k) in self.data_idx.iter().enumerate() {
-            freq[carrier_to_bin(k)] = data[i];
+        let mut freq = [Complex::ZERO; MAX_FFT_SIZE];
+        for (i, &k) in self.profile.data_carriers.iter().enumerate() {
+            freq[self.profile.bin(k)] = data[i];
         }
-        for (k, v) in pilot_symbols(symbol_index) {
-            freq[carrier_to_bin(k)] = Complex::from_re(v);
+        for (k, v) in pilot_symbols_for(self.profile, symbol_index) {
+            freq[self.profile.bin(k)] = Complex::from_re(v);
         }
         freq
     }
 
-    /// Modulates 48 data values into one 80-sample OFDM symbol
-    /// (16-sample cyclic prefix + 64-sample body).
+    /// Modulates 48 data values into one OFDM symbol
+    /// (`cp_len`-sample cyclic prefix + `fft_size`-sample body).
     pub fn modulate(&self, data: &[Complex], symbol_index: usize) -> Vec<Complex> {
-        let mut out = Vec::with_capacity(CP_LEN + FFT_SIZE);
+        let mut out = Vec::with_capacity(self.profile.symbol_len());
         self.modulate_append(data, symbol_index, &mut out);
         out
     }
 
-    /// [`Ofdm::modulate`] appending the 80-sample symbol to `out`, so the
+    /// [`Ofdm::modulate`] appending the symbol to `out`, so the
     /// transmitter builds the whole burst into one buffer.
     pub fn modulate_append(&self, data: &[Complex], symbol_index: usize, out: &mut Vec<Complex>) {
         let freq = self.assemble(data, symbol_index);
         self.modulate_freq_append(&freq, out);
     }
 
-    /// Modulates an arbitrary 64-bin frequency symbol (used for the
-    /// preamble) into an 80-sample symbol with cyclic prefix.
-    pub fn modulate_freq(&self, freq: &[Complex; FFT_SIZE]) -> Vec<Complex> {
-        let mut out = Vec::with_capacity(CP_LEN + FFT_SIZE);
+    /// Modulates an arbitrary frequency symbol (used for the preamble)
+    /// into a symbol with cyclic prefix.
+    pub fn modulate_freq(&self, freq: &FreqSymbol) -> Vec<Complex> {
+        let mut out = Vec::with_capacity(self.profile.symbol_len());
         self.modulate_freq_append(freq, &mut out);
         out
     }
 
-    /// [`Ofdm::modulate_freq`] appending the 80 samples to `out`; the
+    /// [`Ofdm::modulate_freq`] appending the samples to `out`; the
     /// time-domain body stays on the stack.
-    pub fn modulate_freq_append(&self, freq: &[Complex; FFT_SIZE], out: &mut Vec<Complex>) {
+    pub fn modulate_freq_append(&self, freq: &FreqSymbol, out: &mut Vec<Complex>) {
+        let n = self.profile.fft_size;
+        let cp = self.profile.cp_len;
         let body = self.time_symbol(freq);
-        out.reserve(CP_LEN + FFT_SIZE);
-        out.extend_from_slice(&body[FFT_SIZE - CP_LEN..]);
-        out.extend_from_slice(&body);
+        out.reserve(cp + n);
+        out.extend_from_slice(&body[n - cp..n]);
+        out.extend_from_slice(&body[..n]);
     }
 
-    /// The 64-sample time-domain body (no cyclic prefix) of a frequency
-    /// symbol.
-    pub fn time_symbol(&self, freq: &[Complex; FFT_SIZE]) -> [Complex; FFT_SIZE] {
+    /// The `fft_size`-sample time-domain body (no cyclic prefix) of a
+    /// frequency symbol; entries past `fft_size` are zero.
+    pub fn time_symbol(&self, freq: &FreqSymbol) -> FreqSymbol {
+        let n = self.profile.fft_size;
         let mut buf = *freq;
-        self.fft.inverse_unitary(&mut buf);
-        let k = power_norm();
-        let mut out = [Complex::ZERO; FFT_SIZE];
-        for (o, b) in out.iter_mut().zip(buf.iter()) {
+        self.fft.inverse_unitary(&mut buf[..n]);
+        let k = self.profile.power_norm();
+        let mut out = [Complex::ZERO; MAX_FFT_SIZE];
+        for (o, b) in out[..n].iter_mut().zip(buf[..n].iter()) {
             *o = *b * k;
         }
         out
     }
 
-    /// Demodulates one 80-sample received symbol: strips the cyclic
-    /// prefix, FFTs, undoes the power normalization and returns all 64
-    /// frequency bins.
+    /// Demodulates one received symbol of `symbol_len` samples: strips
+    /// the cyclic prefix, FFTs, undoes the power normalization and
+    /// returns all frequency bins.
     ///
     /// # Panics
     ///
-    /// Panics if `samples.len() != 80`.
-    pub fn demodulate(&self, samples: &[Complex]) -> [Complex; FFT_SIZE] {
-        assert_eq!(
-            samples.len(),
-            CP_LEN + FFT_SIZE,
-            "need one 80-sample symbol"
-        );
-        let mut buf = [Complex::ZERO; FFT_SIZE];
-        buf.copy_from_slice(&samples[CP_LEN..]);
-        self.fft.forward_unitary(&mut buf);
-        let k = 1.0 / power_norm();
-        for b in buf.iter_mut() {
+    /// Panics if `samples.len() != symbol_len`.
+    pub fn demodulate(&self, samples: &[Complex]) -> FreqSymbol {
+        let n = self.profile.fft_size;
+        let cp = self.profile.cp_len;
+        assert_eq!(samples.len(), cp + n, "need one {}-sample symbol", cp + n);
+        self.demodulate_body(&samples[cp..])
+    }
+
+    /// Demodulates an `fft_size`-sample body that has already had its
+    /// prefix removed (used on the long training symbols).
+    pub fn demodulate_body(&self, samples: &[Complex]) -> FreqSymbol {
+        let n = self.profile.fft_size;
+        assert_eq!(samples.len(), n, "need a {n}-sample body");
+        let mut buf = [Complex::ZERO; MAX_FFT_SIZE];
+        buf[..n].copy_from_slice(samples);
+        self.fft.forward_unitary(&mut buf[..n]);
+        let k = 1.0 / self.profile.power_norm();
+        for b in buf[..n].iter_mut() {
             *b *= k;
         }
         buf
     }
 
-    /// Demodulates a 64-sample body that has already had its prefix
-    /// removed (used on the long training symbols).
-    pub fn demodulate_body(&self, samples: &[Complex]) -> [Complex; FFT_SIZE] {
-        assert_eq!(samples.len(), FFT_SIZE, "need a 64-sample body");
-        let mut buf = [Complex::ZERO; FFT_SIZE];
-        buf.copy_from_slice(samples);
-        self.fft.forward_unitary(&mut buf);
-        let k = 1.0 / power_norm();
-        for b in buf.iter_mut() {
-            *b *= k;
-        }
-        buf
-    }
-
-    /// Extracts the 48 data-subcarrier values from 64 frequency bins.
-    pub fn extract_data(&self, freq: &[Complex; FFT_SIZE]) -> [Complex; N_DATA_CARRIERS] {
+    /// Extracts the 48 data-subcarrier values from the frequency bins.
+    pub fn extract_data(&self, freq: &FreqSymbol) -> [Complex; N_DATA_CARRIERS] {
         let mut out = [Complex::ZERO; N_DATA_CARRIERS];
-        for (i, &k) in self.data_idx.iter().enumerate() {
-            out[i] = freq[carrier_to_bin(k)];
+        for (i, &k) in self.profile.data_carriers.iter().enumerate() {
+            out[i] = freq[self.profile.bin(k)];
         }
         out
     }
 
-    /// Extracts the four pilot values (in −21, −7, 7, 21 order).
-    pub fn extract_pilots(&self, freq: &[Complex; FFT_SIZE]) -> [Complex; 4] {
+    /// Extracts the four pilot values (in the profile's pilot order,
+    /// −21, −7, 7, 21 for 802.11a).
+    pub fn extract_pilots(&self, freq: &FreqSymbol) -> [Complex; 4] {
         let mut out = [Complex::ZERO; 4];
-        for (i, &k) in crate::params::PILOT_CARRIERS.iter().enumerate() {
-            out[i] = freq[carrier_to_bin(k)];
+        for (i, &k) in self.profile.pilot_carriers.iter().enumerate() {
+            out[i] = freq[self.profile.bin(k)];
         }
         out
     }
@@ -165,6 +184,7 @@ impl Default for Ofdm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::profile::ALL_PROFILES;
     use wlan_dsp::complex::mean_power;
     use wlan_dsp::rng::Rng;
 
@@ -187,6 +207,11 @@ mod tests {
         assert_eq!(carrier_to_bin(26), 26);
         assert_eq!(carrier_to_bin(-1), 63);
         assert_eq!(carrier_to_bin(-26), 38);
+        // Profile-aware mapping at 128 points.
+        let p = crate::profile::find_profile("wide-40").unwrap();
+        assert_eq!(p.bin(-1), 127);
+        assert_eq!(p.bin(-52), 76);
+        assert_eq!(p.bin(52), 52);
     }
 
     #[test]
@@ -199,6 +224,21 @@ mod tests {
         let rx = ofdm.extract_data(&freq);
         for (a, b) in rx.iter().zip(data.iter()) {
             assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn roundtrip_every_profile() {
+        for p in ALL_PROFILES {
+            let ofdm = Ofdm::with_profile(p);
+            let data = random_data(7);
+            let sym = ofdm.modulate(&data, 2);
+            assert_eq!(sym.len(), p.symbol_len(), "{}", p.name);
+            let freq = ofdm.demodulate(&sym);
+            let rx = ofdm.extract_data(&freq);
+            for (a, b) in rx.iter().zip(data.iter()) {
+                assert!((*a - *b).abs() < 1e-10, "{}", p.name);
+            }
         }
     }
 
@@ -228,16 +268,18 @@ mod tests {
 
     #[test]
     fn mean_symbol_power_is_unity() {
-        let ofdm = Ofdm::new();
-        // Average over many random symbols.
-        let mut p = 0.0;
-        let n = 200;
-        for s in 0..n {
-            let sym = ofdm.modulate(&random_data(100 + s as u64), s);
-            p += mean_power(&sym[16..]); // body only (CP repeats samples)
+        for p in ALL_PROFILES {
+            let ofdm = Ofdm::with_profile(p);
+            // Average over many random symbols.
+            let mut pw = 0.0;
+            let n = 200;
+            for s in 0..n {
+                let sym = ofdm.modulate(&random_data(100 + s as u64), s);
+                pw += mean_power(&sym[p.cp_len..]); // body only (CP repeats samples)
+            }
+            pw /= n as f64;
+            assert!((pw - 1.0).abs() < 0.02, "{}: mean power {pw}", p.name);
         }
-        p /= n as f64;
-        assert!((p - 1.0).abs() < 0.02, "mean power {p}");
     }
 
     #[test]
@@ -247,6 +289,10 @@ mod tests {
         assert_eq!(freq[0], Complex::ZERO); // DC
         for (k, f) in freq.iter().enumerate().take(38).skip(27) {
             assert_eq!(*f, Complex::ZERO, "guard bin {k}");
+        }
+        // The MAX_FFT_SIZE tail past the 64-point grid stays zero.
+        for (k, f) in freq.iter().enumerate().skip(64) {
+            assert_eq!(*f, Complex::ZERO, "tail bin {k}");
         }
     }
 

@@ -1,108 +1,108 @@
 //! PLCP preamble: short and long training fields
-//! (IEEE 802.11a-1999 §17.3.3).
+//! (IEEE 802.11a-1999 §17.3.3), generated from the numerology profile.
 
-use crate::ofdm::{carrier_to_bin, Ofdm};
-use crate::params::FFT_SIZE;
+use crate::ofdm::{FreqSymbol, Ofdm};
+use crate::profile::{OfdmProfile, IEEE_802_11A, MAX_FFT_SIZE};
 use wlan_dsp::Complex;
 
-/// Length of the short training field in samples (10 × 16).
+/// Length of the 802.11a short training field in samples (10 × 16).
 pub const STF_LEN: usize = 160;
-/// Length of the long training field in samples (32 + 2 × 64).
+/// Length of the 802.11a long training field in samples (32 + 2 × 64).
 pub const LTF_LEN: usize = 160;
-/// Total preamble length in samples.
+/// Total 802.11a preamble length in samples.
 pub const PREAMBLE_LEN: usize = STF_LEN + LTF_LEN;
-/// Period of the short training symbol in samples.
+/// Period of the 802.11a short training symbol in samples.
 pub const STF_PERIOD: usize = 16;
 
-/// Frequency-domain short-training values `S_k` on the 12 loaded
-/// subcarriers (±4, ±8, ±12, ±16, ±20, ±24), including the √(13/6)
-/// power normalization.
-pub fn short_training_freq() -> [Complex; FFT_SIZE] {
-    let k = (13.0f64 / 6.0).sqrt();
-    let p = Complex::new(1.0, 1.0) * k;
-    let m = Complex::new(-1.0, -1.0) * k;
-    let entries: [(i32, Complex); 12] = [
-        (-24, p),
-        (-20, m),
-        (-16, p),
-        (-12, m),
-        (-8, m),
-        (-4, p),
-        (4, m),
-        (8, m),
-        (12, p),
-        (16, p),
-        (20, p),
-        (24, p),
-    ];
-    let mut freq = [Complex::ZERO; FFT_SIZE];
-    for (kk, v) in entries {
-        freq[carrier_to_bin(kk)] = v;
+/// Frequency-domain short-training values `S_k` on the profile's loaded
+/// subcarriers (±4, ±8, …, ±24 for 802.11a), including the
+/// `√(n_used/(2·n_stf))` (= √(13/6)) power normalization.
+pub fn short_training_freq_for(profile: &OfdmProfile) -> FreqSymbol {
+    let k = profile.stf_norm();
+    let mut freq = [Complex::ZERO; MAX_FFT_SIZE];
+    for &(kk, s) in profile.stf_carriers {
+        freq[profile.bin(kk)] = Complex::new(s as f64, s as f64) * k;
     }
     freq
 }
 
-/// Frequency-domain long-training values `L_k` (±1 on all 52 used
-/// subcarriers).
-pub fn long_training_freq() -> [Complex; FFT_SIZE] {
-    // L_{-26..-1} then L_{1..26}, per §17.3.3.
-    const NEG: [i8; 26] = [
-        1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1,
-    ];
-    const POS: [i8; 26] = [
-        1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1,
-    ];
-    let mut freq = [Complex::ZERO; FFT_SIZE];
-    for (i, &v) in NEG.iter().enumerate() {
-        freq[carrier_to_bin(-26 + i as i32)] = Complex::from_re(v as f64);
-    }
-    for (i, &v) in POS.iter().enumerate() {
-        freq[carrier_to_bin(1 + i as i32)] = Complex::from_re(v as f64);
+/// [`short_training_freq_for`] at the 802.11a profile.
+pub fn short_training_freq() -> FreqSymbol {
+    short_training_freq_for(&IEEE_802_11A)
+}
+
+/// Frequency-domain long-training values `L_k` (±1 on all used
+/// subcarriers) for a profile.
+pub fn long_training_freq_for(profile: &OfdmProfile) -> FreqSymbol {
+    let mut freq = [Complex::ZERO; MAX_FFT_SIZE];
+    for &(k, s) in profile.ltf_carriers {
+        freq[profile.bin(k)] = Complex::from_re(s as f64);
     }
     freq
 }
 
-/// The known long-training value at logical subcarrier `k` (±1, or 0 for
-/// unused bins) — the channel estimator's reference.
+/// [`long_training_freq_for`] at the 802.11a profile.
+pub fn long_training_freq() -> FreqSymbol {
+    long_training_freq_for(&IEEE_802_11A)
+}
+
+/// The known long-training value at logical subcarrier `k` of a profile
+/// (±1, or 0 for unused bins) — the channel estimator's reference.
+pub fn long_training_value_for(profile: &OfdmProfile, k: i32) -> f64 {
+    profile
+        .ltf_carriers
+        .iter()
+        .find(|&&(kk, _)| kk == k)
+        .map_or(0.0, |&(_, s)| s as f64)
+}
+
+/// [`long_training_value_for`] at the 802.11a profile.
 pub fn long_training_value(k: i32) -> f64 {
-    long_training_freq()[carrier_to_bin(k)].re
+    long_training_value_for(&IEEE_802_11A, k)
 }
 
-/// Generates the 160-sample short training field: 10 repetitions of the
-/// 16-sample periodic sequence.
+/// Generates the short training field: 10 repetitions of the
+/// `fft/4`-sample periodic sequence (160 samples for 802.11a).
 pub fn short_training_field(ofdm: &Ofdm) -> Vec<Complex> {
-    let body = ofdm.time_symbol(&short_training_freq());
-    // The 64-sample IFFT of S is periodic with period 16; the STF is the
-    // first 160 samples of its periodic extension.
-    (0..STF_LEN).map(|n| body[n % FFT_SIZE]).collect()
+    let p = ofdm.profile();
+    let body = ofdm.time_symbol(&short_training_freq_for(p));
+    // The IFFT of S is periodic with period fft/4; the STF is the first
+    // 10 periods of its periodic extension.
+    (0..p.stf_len()).map(|n| body[n % p.fft_size]).collect()
 }
 
-/// Generates the 160-sample long training field: a 32-sample guard
-/// (cyclic extension) followed by two 64-sample long training symbols.
+/// Generates the long training field: an `fft/2`-sample guard (cyclic
+/// extension) followed by two `fft`-sample long training symbols.
 pub fn long_training_field(ofdm: &Ofdm) -> Vec<Complex> {
-    let body = ofdm.time_symbol(&long_training_freq());
-    let mut out = Vec::with_capacity(LTF_LEN);
-    out.extend_from_slice(&body[FFT_SIZE - 32..]);
-    out.extend_from_slice(&body);
-    out.extend_from_slice(&body);
+    let p = ofdm.profile();
+    let n = p.fft_size;
+    let body = ofdm.time_symbol(&long_training_freq_for(p));
+    let mut out = Vec::with_capacity(p.ltf_len());
+    out.extend_from_slice(&body[n - p.ltf_guard()..n]);
+    out.extend_from_slice(&body[..n]);
+    out.extend_from_slice(&body[..n]);
     out
 }
 
-/// Generates the complete 320-sample PLCP preamble (STF followed by LTF).
+/// Generates the complete PLCP preamble (STF followed by LTF); 320
+/// samples for 802.11a, `5·fft` in general.
 pub fn preamble(ofdm: &Ofdm) -> Vec<Complex> {
     let mut out = short_training_field(ofdm);
     out.extend(long_training_field(ofdm));
     out
 }
 
-/// The 64-sample long-training time symbol (for cross-correlation sync).
-pub fn long_training_symbol(ofdm: &Ofdm) -> [Complex; FFT_SIZE] {
-    ofdm.time_symbol(&long_training_freq())
+/// The long-training time symbol (for cross-correlation sync); only the
+/// first `fft_size` entries are meaningful.
+pub fn long_training_symbol(ofdm: &Ofdm) -> FreqSymbol {
+    ofdm.time_symbol(&long_training_freq_for(ofdm.profile()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ofdm::carrier_to_bin;
+    use crate::profile::ALL_PROFILES;
     use wlan_dsp::complex::mean_power;
 
     #[test]
@@ -112,6 +112,23 @@ mod tests {
         assert_eq!(stf.len(), 160);
         for n in 0..160 - STF_PERIOD {
             assert!((stf[n] - stf[n + STF_PERIOD]).abs() < 1e-12, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn stf_periodic_every_profile() {
+        for p in ALL_PROFILES {
+            let ofdm = Ofdm::with_profile(p);
+            let stf = short_training_field(&ofdm);
+            assert_eq!(stf.len(), p.stf_len(), "{}", p.name);
+            let period = p.stf_period();
+            for n in 0..stf.len() - period {
+                assert!(
+                    (stf[n] - stf[n + period]).abs() < 1e-12,
+                    "{}: n = {n}",
+                    p.name
+                );
+            }
         }
     }
 
@@ -137,33 +154,43 @@ mod tests {
 
     #[test]
     fn ltf_structure_guard_plus_two_symbols() {
-        let ofdm = Ofdm::new();
-        let ltf = long_training_field(&ofdm);
-        assert_eq!(ltf.len(), 160);
-        // The two 64-sample symbols are identical.
-        for n in 0..64 {
-            assert!((ltf[32 + n] - ltf[96 + n]).abs() < 1e-12);
-        }
-        // The guard is the tail of the symbol.
-        for n in 0..32 {
-            assert!((ltf[n] - ltf[n + 64]).abs() < 1e-12);
+        for p in ALL_PROFILES {
+            let ofdm = Ofdm::with_profile(p);
+            let ltf = long_training_field(&ofdm);
+            assert_eq!(ltf.len(), p.ltf_len(), "{}", p.name);
+            let g = p.ltf_guard();
+            let n = p.fft_size;
+            // The two bodies are identical.
+            for i in 0..n {
+                assert!((ltf[g + i] - ltf[g + n + i]).abs() < 1e-12);
+            }
+            // The guard is the tail of the symbol.
+            for i in 0..g {
+                assert!((ltf[i] - ltf[i + n]).abs() < 1e-12);
+            }
         }
     }
 
     #[test]
     fn preamble_power_near_unity() {
-        let ofdm = Ofdm::new();
-        let p = preamble(&ofdm);
-        assert_eq!(p.len(), PREAMBLE_LEN);
-        let power = mean_power(&p);
-        assert!((power - 1.0).abs() < 0.05, "preamble power {power}");
+        for prof in ALL_PROFILES {
+            let ofdm = Ofdm::with_profile(prof);
+            let p = preamble(&ofdm);
+            assert_eq!(p.len(), prof.preamble_len(), "{}", prof.name);
+            let power = mean_power(&p);
+            assert!(
+                (power - 1.0).abs() < 0.05,
+                "{}: preamble power {power}",
+                prof.name
+            );
+        }
     }
 
     #[test]
     fn ltf_demodulates_to_reference() {
         let ofdm = Ofdm::new();
         let sym = long_training_symbol(&ofdm);
-        let freq = ofdm.demodulate_body(&sym);
+        let freq = ofdm.demodulate_body(&sym[..64]);
         for k in -26..=26i32 {
             let got = freq[carrier_to_bin(k)];
             let expect = long_training_value(k);

@@ -1,0 +1,611 @@
+//! OFDM numerology profiles: the PHY as a reconfigurable "IP block
+//! family" instead of one hard-wired standard.
+//!
+//! An [`OfdmProfile`] bundles everything the modem needs to know about
+//! the OFDM grid — FFT size, cyclic prefix, sample rate, subcarrier
+//! maps, preamble sequences and framing — as a `'static` value that is
+//! threaded by reference through the transmitter, receiver, link engine
+//! and experiment registry. [`IEEE_802_11A`] reproduces every constant
+//! in [`crate::params`] bit for bit, so the 802.11a conformance gates
+//! are unaffected; [`HALF_CLOCK`] and [`WIDE_40`] are scaled variants
+//! that open new scenario axes for the existing sweeps.
+//!
+//! # Invariants (asserted by [`OfdmProfile::validate`])
+//!
+//! Every shipped profile keeps exactly 48 data and 4 pilot subcarriers
+//! (52 used) and the 802.11a SERVICE/TAIL/LENGTH framing. This pins the
+//! per-symbol bit counts (`N_CBPS`, `N_DBPS`), the interleaver
+//! geometry, the SIGNAL field and the rate table across the family —
+//! only the *grid* (FFT size, carrier spacing, guard, sample rate)
+//! varies. Profiles that break this invariant would need a per-profile
+//! rate table and are rejected at construction.
+
+use crate::params::{Rate, ALL_RATES, MAX_PSDU_LEN, SERVICE_BITS, TAIL_BITS};
+
+/// Largest FFT size any shipped profile may use; fixed-size
+/// frequency-domain buffers ([`crate::ofdm::FreqSymbol`]) are sized by
+/// this so no profile pays a heap allocation.
+pub const MAX_FFT_SIZE: usize = 128;
+
+/// One OFDM numerology: the complete parameter set of a PHY family
+/// member.
+#[derive(Debug, PartialEq)]
+pub struct OfdmProfile {
+    /// Profile name as used by `wlansim --profile`.
+    pub name: &'static str,
+    /// FFT size (power of two, ≤ [`MAX_FFT_SIZE`]).
+    pub fft_size: usize,
+    /// Cyclic prefix length in samples.
+    pub cp_len: usize,
+    /// Baseband sample rate in Hz.
+    pub sample_rate: f64,
+    /// Logical data-subcarrier indices in the order coded bits fill
+    /// them (always 48 entries).
+    pub data_carriers: &'static [i32],
+    /// Logical pilot subcarrier indices (always 4 entries).
+    pub pilot_carriers: &'static [i32],
+    /// Pilot BPSK values before polarity scrambling (always 4 entries).
+    pub pilot_values: &'static [f64],
+    /// Short-training loaded subcarriers as `(index, sign)`; the value
+    /// is `sign · √(n_used / (2·n_stf)) · (1 + j)`.
+    pub stf_carriers: &'static [(i32, i8)],
+    /// Long-training subcarriers as `(index, sign)` with BPSK value
+    /// `±1`, in the order the channel estimator scans them.
+    pub ltf_carriers: &'static [(i32, i8)],
+    /// Number of SERVICE bits at the start of the DATA field.
+    pub service_bits: usize,
+    /// Number of zero tail bits terminating the convolutional code.
+    pub tail_bits: usize,
+    /// Maximum PSDU length in bytes (12-bit LENGTH field).
+    pub max_psdu_len: usize,
+    /// Supported data rates.
+    pub rates: &'static [Rate],
+}
+
+impl OfdmProfile {
+    /// Number of data subcarriers.
+    #[inline]
+    pub fn n_data(&self) -> usize {
+        self.data_carriers.len()
+    }
+
+    /// Number of pilot subcarriers.
+    #[inline]
+    pub fn n_pilots(&self) -> usize {
+        self.pilot_carriers.len()
+    }
+
+    /// Total used subcarriers (data + pilots).
+    #[inline]
+    pub fn n_used(&self) -> usize {
+        self.n_data() + self.n_pilots()
+    }
+
+    /// Total OFDM symbol length in samples (prefix + body).
+    #[inline]
+    pub fn symbol_len(&self) -> usize {
+        self.fft_size + self.cp_len
+    }
+
+    /// Power normalization factor `√(fft_size / n_used)` making unit
+    /// constellation power produce unit mean sample power.
+    #[inline]
+    pub fn power_norm(&self) -> f64 {
+        (self.fft_size as f64 / self.n_used() as f64).sqrt()
+    }
+
+    /// Short-training amplitude `√(n_used / (2·n_stf))` (the √(13/6) of
+    /// 802.11a) applied to each loaded STF carrier.
+    #[inline]
+    pub fn stf_norm(&self) -> f64 {
+        (self.n_used() as f64 / (2.0 * self.stf_carriers.len() as f64)).sqrt()
+    }
+
+    /// Period of the short training sequence in samples (`fft/4`).
+    #[inline]
+    pub fn stf_period(&self) -> usize {
+        self.fft_size / 4
+    }
+
+    /// Short training field length: 10 repetitions of the period.
+    #[inline]
+    pub fn stf_len(&self) -> usize {
+        10 * self.stf_period()
+    }
+
+    /// Long-training guard length in samples (`fft/2`).
+    #[inline]
+    pub fn ltf_guard(&self) -> usize {
+        self.fft_size / 2
+    }
+
+    /// Long training field length: guard + two full bodies.
+    #[inline]
+    pub fn ltf_len(&self) -> usize {
+        self.ltf_guard() + 2 * self.fft_size
+    }
+
+    /// Total preamble length (STF + LTF), `5·fft` samples.
+    #[inline]
+    pub fn preamble_len(&self) -> usize {
+        self.stf_len() + self.ltf_len()
+    }
+
+    /// Subcarrier spacing in Hz.
+    #[inline]
+    pub fn subcarrier_spacing(&self) -> f64 {
+        self.sample_rate / self.fft_size as f64
+    }
+
+    /// OFDM symbol duration in seconds.
+    #[inline]
+    pub fn symbol_duration(&self) -> f64 {
+        self.symbol_len() as f64 / self.sample_rate
+    }
+
+    /// Total PPDU duration in seconds (preamble + SIGNAL + DATA) for a
+    /// `psdu_len`-byte PSDU at `rate`.
+    pub fn ppdu_duration(&self, rate: Rate, psdu_len: usize) -> f64 {
+        let samples = self.preamble_len() + self.symbol_len() * (1 + rate.data_symbols(psdu_len));
+        samples as f64 / self.sample_rate
+    }
+
+    /// Converts a logical subcarrier index to its FFT bin.
+    #[inline]
+    pub fn bin(&self, k: i32) -> usize {
+        let n = self.fft_size as i32;
+        ((k + n) % n) as usize
+    }
+
+    /// The profile's burst length in samples for a `psdu_len`-byte PSDU
+    /// at `rate` (preamble + SIGNAL + DATA symbols).
+    pub fn burst_len(&self, rate: Rate, psdu_len: usize) -> usize {
+        self.preamble_len() + self.symbol_len() * (1 + rate.data_symbols(psdu_len))
+    }
+
+    /// Checks every structural invariant of the family; see the module
+    /// docs. Called by the profile tests and by consumers that accept
+    /// externally-built profiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a descriptive message) on any violated invariant.
+    pub fn validate(&self) {
+        assert!(
+            self.fft_size.is_power_of_two() && self.fft_size >= 8,
+            "{}: FFT size {} must be a power of two ≥ 8",
+            self.name,
+            self.fft_size
+        );
+        assert!(
+            self.fft_size <= MAX_FFT_SIZE,
+            "{}: FFT size {} exceeds MAX_FFT_SIZE {}",
+            self.name,
+            self.fft_size,
+            MAX_FFT_SIZE
+        );
+        assert!(
+            self.fft_size.is_multiple_of(4),
+            "{}: FFT size must divide into 4 STF periods",
+            self.name
+        );
+        assert!(
+            self.cp_len > 0 && self.cp_len < self.fft_size,
+            "{}: cyclic prefix {} must be in 1..fft_size",
+            self.name,
+            self.cp_len
+        );
+        assert!(
+            self.sample_rate > 0.0,
+            "{}: sample rate must be positive",
+            self.name
+        );
+        // The family invariant: the bit pipeline (rates, interleaver,
+        // SIGNAL field) is shared, so the carrier counts are fixed.
+        assert_eq!(self.n_data(), 48, "{}: need 48 data carriers", self.name);
+        assert_eq!(self.n_pilots(), 4, "{}: need 4 pilot carriers", self.name);
+        assert_eq!(
+            self.pilot_values.len(),
+            self.n_pilots(),
+            "{}: one value per pilot",
+            self.name
+        );
+        assert_eq!(
+            self.ltf_carriers.len(),
+            self.n_used(),
+            "{}: LTF must load every used carrier",
+            self.name
+        );
+        assert_eq!(
+            self.service_bits, SERVICE_BITS,
+            "{}: SERVICE framing is family-wide",
+            self.name
+        );
+        assert_eq!(
+            self.tail_bits, TAIL_BITS,
+            "{}: tail framing is family-wide",
+            self.name
+        );
+        assert_eq!(
+            self.max_psdu_len, MAX_PSDU_LEN,
+            "{}: LENGTH field is family-wide",
+            self.name
+        );
+        assert!(!self.rates.is_empty(), "{}: empty rate set", self.name);
+        let half = (self.fft_size / 2) as i32;
+        let in_range = |k: i32| k != 0 && k > -half && k < half;
+        for &k in self.data_carriers {
+            assert!(in_range(k), "{}: data carrier {k} out of range", self.name);
+        }
+        for &k in self.pilot_carriers {
+            assert!(in_range(k), "{}: pilot carrier {k} out of range", self.name);
+            assert!(
+                !self.data_carriers.contains(&k),
+                "{}: pilot {k} collides with a data carrier",
+                self.name
+            );
+        }
+        for &(k, s) in self.stf_carriers {
+            assert!(in_range(k), "{}: STF carrier {k} out of range", self.name);
+            // fft/4 periodicity needs e^{j2πk·(N/4)/N} = e^{jπk/2} = 1,
+            // i.e. k ≡ 0 (mod 4) regardless of the FFT size.
+            assert!(
+                k % 4 == 0,
+                "{}: STF carrier {k} breaks the fft/4 periodicity",
+                self.name
+            );
+            assert!(s == 1 || s == -1, "{}: STF sign must be ±1", self.name);
+        }
+        for &(k, s) in self.ltf_carriers {
+            assert!(in_range(k), "{}: LTF carrier {k} out of range", self.name);
+            assert!(s == 1 || s == -1, "{}: LTF sign must be ±1", self.name);
+            assert!(
+                self.data_carriers.contains(&k) || self.pilot_carriers.contains(&k),
+                "{}: LTF carrier {k} is not a used carrier",
+                self.name
+            );
+        }
+        // Symbol timing must be unambiguous: if every used carrier had
+        // the same index parity, the time-domain body would repeat with
+        // period fft/2 and LTF correlation could not resolve the symbol
+        // boundary (the receiver would lock half a body early or late).
+        let odd = self
+            .ltf_carriers
+            .iter()
+            .filter(|&&(k, _)| k % 2 != 0)
+            .count();
+        assert!(
+            odd * 4 >= self.n_used(),
+            "{}: fewer than a quarter of the used carriers are odd — \
+             the LTF is (nearly) fft/2-periodic and timing is ambiguous",
+            self.name
+        );
+    }
+}
+
+/// Data-subcarrier indices of the 802.11a layout scaled by `scale`:
+/// −26·s..26·s skipping DC and the (scaled) pilots, in fill order.
+const fn scaled_data_carriers(scale: i32) -> [i32; 48] {
+    let mut out = [0i32; 48];
+    let mut n = 0;
+    let mut k = -26i32;
+    while k <= 26 {
+        if k != 0 && k != -21 && k != -7 && k != 7 && k != 21 {
+            out[n] = k * scale;
+            n += 1;
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Pilot indices `±21·s, ±7·s` in the standard's order.
+const fn scaled_pilot_carriers(scale: i32) -> [i32; 4] {
+    [-21 * scale, -7 * scale, 7 * scale, 21 * scale]
+}
+
+/// STF sign table of §17.3.3 on carriers `±4·s·m`.
+const fn scaled_stf_carriers(scale: i32) -> [(i32, i8); 12] {
+    let base: [(i32, i8); 12] = [
+        (-24, 1),
+        (-20, -1),
+        (-16, 1),
+        (-12, -1),
+        (-8, -1),
+        (-4, 1),
+        (4, -1),
+        (8, -1),
+        (12, 1),
+        (16, 1),
+        (20, 1),
+        (24, 1),
+    ];
+    let mut out = [(0i32, 0i8); 12];
+    let mut i = 0;
+    while i < 12 {
+        out[i] = (base[i].0 * scale, base[i].1);
+        i += 1;
+    }
+    out
+}
+
+/// `L_{−26..−1}` of §17.3.3 (sign per carrier, ascending).
+const LTF_NEG: [i8; 26] = [
+    1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1,
+];
+/// `L_{1..26}` of §17.3.3.
+const LTF_POS: [i8; 26] = [
+    1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1,
+];
+
+/// LTF sign table on carriers `k·s`, negative half first then positive
+/// half, each ascending — the order the channel estimator accumulates
+/// in (so the 802.11a instance reproduces the float accumulation of the
+/// pre-profile code exactly).
+const fn scaled_ltf_carriers(scale: i32) -> [(i32, i8); 52] {
+    let mut out = [(0i32, 0i8); 52];
+    let mut i = 0;
+    while i < 26 {
+        out[i] = ((-26 + i as i32) * scale, LTF_NEG[i]);
+        i += 1;
+    }
+    while i < 52 {
+        out[i] = ((i as i32 - 25) * scale, LTF_POS[i - 26]);
+        i += 1;
+    }
+    out
+}
+
+static DATA_CARRIERS_1X: [i32; 48] = scaled_data_carriers(1);
+static PILOT_CARRIERS_1X: [i32; 4] = scaled_pilot_carriers(1);
+static PILOT_VALUES_STD: [f64; 4] = [1.0, 1.0, 1.0, -1.0];
+static STF_CARRIERS_1X: [(i32, i8); 12] = scaled_stf_carriers(1);
+static LTF_CARRIERS_1X: [(i32, i8); 52] = scaled_ltf_carriers(1);
+
+/// IEEE 802.11a-1999: 64-point FFT, 800 ns guard, 20 Msps. Reproduces
+/// every constant in [`crate::params`] bit for bit (asserted by the
+/// profile tests and the conformance gates).
+pub static IEEE_802_11A: OfdmProfile = OfdmProfile {
+    name: "ieee-802-11a",
+    fft_size: 64,
+    cp_len: 16,
+    sample_rate: 20e6,
+    data_carriers: &DATA_CARRIERS_1X,
+    pilot_carriers: &PILOT_CARRIERS_1X,
+    pilot_values: &PILOT_VALUES_STD,
+    stf_carriers: &STF_CARRIERS_1X,
+    ltf_carriers: &LTF_CARRIERS_1X,
+    service_bits: SERVICE_BITS,
+    tail_bits: TAIL_BITS,
+    max_psdu_len: MAX_PSDU_LEN,
+    rates: &ALL_RATES,
+};
+
+/// Half-clocked 802.11a (the 10 MHz "802.11a/2" of outdoor and DSRC
+/// deployments): same 64-point grid at half the sample rate, so every
+/// duration doubles and the occupied bandwidth halves.
+pub static HALF_CLOCK: OfdmProfile = OfdmProfile {
+    name: "half-clock",
+    fft_size: 64,
+    cp_len: 16,
+    sample_rate: 10e6,
+    data_carriers: &DATA_CARRIERS_1X,
+    pilot_carriers: &PILOT_CARRIERS_1X,
+    pilot_values: &PILOT_VALUES_STD,
+    stf_carriers: &STF_CARRIERS_1X,
+    ltf_carriers: &LTF_CARRIERS_1X,
+    service_bits: SERVICE_BITS,
+    tail_bits: TAIL_BITS,
+    max_psdu_len: MAX_PSDU_LEN,
+    rates: &ALL_RATES,
+};
+
+/// 40 MHz-channel variant: 128-point FFT at 40 Msps with the 802.11a
+/// carrier layout (same 52 used carriers at the same 312.5 kHz spacing;
+/// the doubled sampling bandwidth becomes guard spectrum, like a legacy
+/// transmission in an HT40 channel). Symbol timing is unchanged — 4 µs
+/// symbols with a twice-as-long-in-samples 0.8 µs cyclic prefix.
+///
+/// The carrier indices are deliberately *not* scaled ×2: scaling every
+/// index doubles the occupied band but makes every used carrier even,
+/// which renders the time-domain waveform fft/2-periodic and symbol
+/// timing ambiguous (see [`OfdmProfile::validate`]).
+pub static WIDE_40: OfdmProfile = OfdmProfile {
+    name: "wide-40",
+    fft_size: 128,
+    cp_len: 32,
+    sample_rate: 40e6,
+    data_carriers: &DATA_CARRIERS_1X,
+    pilot_carriers: &PILOT_CARRIERS_1X,
+    pilot_values: &PILOT_VALUES_STD,
+    stf_carriers: &STF_CARRIERS_1X,
+    ltf_carriers: &LTF_CARRIERS_1X,
+    service_bits: SERVICE_BITS,
+    tail_bits: TAIL_BITS,
+    max_psdu_len: MAX_PSDU_LEN,
+    rates: &ALL_RATES,
+};
+
+/// Every shipped profile, default (802.11a) first.
+pub static ALL_PROFILES: [&OfdmProfile; 3] = [&IEEE_802_11A, &HALF_CLOCK, &WIDE_40];
+
+/// Looks a shipped profile up by its `--profile` name.
+pub fn find_profile(name: &str) -> Option<&'static OfdmProfile> {
+    ALL_PROFILES.iter().find(|p| p.name == name).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params;
+
+    #[test]
+    fn all_profiles_validate() {
+        for p in ALL_PROFILES {
+            p.validate();
+        }
+    }
+
+    #[test]
+    fn ieee_802_11a_reproduces_params_exactly() {
+        let p = &IEEE_802_11A;
+        assert_eq!(p.fft_size, params::FFT_SIZE);
+        assert_eq!(p.cp_len, params::CP_LEN);
+        assert_eq!(p.symbol_len(), params::SYMBOL_LEN);
+        assert_eq!(p.sample_rate, params::SAMPLE_RATE);
+        assert_eq!(p.subcarrier_spacing(), params::SUBCARRIER_SPACING);
+        assert_eq!(p.n_data(), params::N_DATA_CARRIERS);
+        assert_eq!(p.n_pilots(), params::N_PILOT_CARRIERS);
+        assert_eq!(p.n_used(), params::N_USED_CARRIERS);
+        assert_eq!(p.data_carriers, &params::data_carrier_indices()[..]);
+        assert_eq!(p.pilot_carriers, &params::PILOT_CARRIERS[..]);
+        assert_eq!(p.pilot_values, &params::PILOT_VALUES[..]);
+        assert_eq!(p.service_bits, params::SERVICE_BITS);
+        assert_eq!(p.tail_bits, params::TAIL_BITS);
+        assert_eq!(p.max_psdu_len, params::MAX_PSDU_LEN);
+        assert_eq!(p.rates, &params::ALL_RATES[..]);
+        assert_eq!(p.stf_len(), 160);
+        assert_eq!(p.ltf_len(), 160);
+        assert_eq!(p.preamble_len(), 320);
+        assert_eq!(p.stf_period(), 16);
+        assert_eq!(p.ltf_guard(), 32);
+        // √(13/6) of §17.3.3, same float as the literal computation.
+        assert_eq!(p.stf_norm(), (13.0f64 / 6.0).sqrt());
+        assert_eq!(p.power_norm(), (64.0f64 / 52.0).sqrt());
+    }
+
+    #[test]
+    fn ppdu_duration_matches_rate_method_for_11a() {
+        for r in params::ALL_RATES {
+            for len in [1usize, 100, 4095] {
+                assert_eq!(IEEE_802_11A.ppdu_duration(r, len), r.ppdu_duration(len));
+            }
+        }
+    }
+
+    #[test]
+    fn half_clock_scales_time_only() {
+        let p = &HALF_CLOCK;
+        assert_eq!(p.fft_size, 64);
+        assert_eq!(p.sample_rate, 10e6);
+        // Same grid, doubled durations.
+        assert_eq!(p.data_carriers, IEEE_802_11A.data_carriers);
+        assert_eq!(p.symbol_len(), IEEE_802_11A.symbol_len());
+        assert_eq!(p.symbol_duration(), 2.0 * IEEE_802_11A.symbol_duration());
+        assert_eq!(p.subcarrier_spacing(), 156_250.0);
+    }
+
+    #[test]
+    fn wide_40_stretches_the_grid() {
+        let p = &WIDE_40;
+        assert_eq!(p.fft_size, 128);
+        assert_eq!(p.cp_len, 32);
+        assert_eq!(p.symbol_len(), 160);
+        assert_eq!(p.stf_period(), 32);
+        assert_eq!(p.preamble_len(), 640);
+        // Same subcarrier spacing and symbol duration as 802.11a: the
+        // channel widens, the timing does not.
+        assert_eq!(p.subcarrier_spacing(), IEEE_802_11A.subcarrier_spacing());
+        assert_eq!(p.symbol_duration(), IEEE_802_11A.symbol_duration());
+        // Same logical carrier layout on the denser grid.
+        assert_eq!(p.data_carriers, IEEE_802_11A.data_carriers);
+        assert_eq!(p.pilot_carriers, &[-21, -7, 7, 21][..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "timing is ambiguous")]
+    fn all_even_carrier_map_rejected() {
+        // Scaling every index ×2 makes the waveform fft/2-periodic.
+        static DATA_2X: [i32; 48] = scaled_data_carriers(2);
+        static PILOTS_2X: [i32; 4] = scaled_pilot_carriers(2);
+        static STF_2X: [(i32, i8); 12] = scaled_stf_carriers(2);
+        static LTF_2X: [(i32, i8); 52] = scaled_ltf_carriers(2);
+        let bad = OfdmProfile {
+            fft_size: 128,
+            cp_len: 32,
+            sample_rate: 40e6,
+            data_carriers: &DATA_2X,
+            pilot_carriers: &PILOTS_2X,
+            stf_carriers: &STF_2X,
+            ltf_carriers: &LTF_2X,
+            ..clone_11a()
+        };
+        bad.validate();
+    }
+
+    #[test]
+    fn ltf_table_matches_standard_order() {
+        let l = IEEE_802_11A.ltf_carriers;
+        assert_eq!(l[0], (-26, 1));
+        assert_eq!(l[1], (-25, 1));
+        assert_eq!(l[2], (-24, -1));
+        assert_eq!(l[25], (-1, 1));
+        assert_eq!(l[26], (1, 1));
+        assert_eq!(l[27], (2, -1));
+        assert_eq!(l[51], (26, 1));
+        // Strictly ascending within each half.
+        for w in l.windows(2) {
+            if w[0].0 < 0 && w[1].0 < 0 || w[0].0 > 0 && w[1].0 > 0 {
+                assert!(w[1].0 == w[0].0 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn find_profile_by_name() {
+        assert_eq!(find_profile("ieee-802-11a"), Some(&IEEE_802_11A));
+        assert_eq!(find_profile("half-clock"), Some(&HALF_CLOCK));
+        assert_eq!(find_profile("wide-40"), Some(&WIDE_40));
+        assert_eq!(find_profile("802.11n"), None);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        for (i, a) in ALL_PROFILES.iter().enumerate() {
+            for b in &ALL_PROFILES[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "data carriers")]
+    fn wrong_data_count_rejected() {
+        static BAD_DATA: [i32; 2] = [1, 2];
+        let bad = OfdmProfile {
+            data_carriers: &BAD_DATA,
+            ..clone_11a()
+        };
+        bad.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_fft_rejected() {
+        let bad = OfdmProfile {
+            fft_size: 60,
+            ..clone_11a()
+        };
+        bad.validate();
+    }
+
+    /// A by-value copy of the 802.11a profile for invariant tests
+    /// (OfdmProfile is deliberately not `Clone` in public API).
+    fn clone_11a() -> OfdmProfile {
+        OfdmProfile {
+            name: "test",
+            fft_size: IEEE_802_11A.fft_size,
+            cp_len: IEEE_802_11A.cp_len,
+            sample_rate: IEEE_802_11A.sample_rate,
+            data_carriers: IEEE_802_11A.data_carriers,
+            pilot_carriers: IEEE_802_11A.pilot_carriers,
+            pilot_values: IEEE_802_11A.pilot_values,
+            stf_carriers: IEEE_802_11A.stf_carriers,
+            ltf_carriers: IEEE_802_11A.ltf_carriers,
+            service_bits: IEEE_802_11A.service_bits,
+            tail_bits: IEEE_802_11A.tail_bits,
+            max_psdu_len: IEEE_802_11A.max_psdu_len,
+            rates: IEEE_802_11A.rates,
+        }
+    }
+}

@@ -1,16 +1,18 @@
-//! The complete 802.11a receiver: packet detection through PSDU
-//! extraction.
+//! The complete OFDM receiver: packet detection through PSDU
+//! extraction (802.11a by default, any numerology profile via
+//! [`Receiver::with_profile`]).
 
 use crate::equalizer::{equalize_symbol, estimate_snr_db, ChannelEstimate};
 use crate::frame::extract_psdu_into;
 use crate::interleaver::Interleaver;
 use crate::modulation::{demap_soft_into, nearest_point};
-use crate::ofdm::Ofdm;
-use crate::params::{Rate, FFT_SIZE, SYMBOL_LEN};
+use crate::ofdm::{FreqSymbol, Ofdm};
+use crate::params::Rate;
 use crate::preamble::long_training_symbol;
+use crate::profile::{OfdmProfile, IEEE_802_11A};
 use crate::puncture::depuncture_into;
 use crate::signal_field::{SignalDecoder, SignalError, SignalField};
-use crate::sync::{correct_cfo_into, detect_packet_with, fine_cfo, locate_ltf_with};
+use crate::sync::{correct_cfo_into_at, detect_packet_in, fine_cfo_at, locate_ltf_with};
 use crate::viterbi::{Llr, ViterbiDecoder};
 use wlan_dsp::Complex;
 
@@ -181,7 +183,7 @@ impl RxScratch {
     }
 }
 
-/// Full 802.11a receiver.
+/// Full OFDM receiver.
 ///
 /// The default configuration performs blind detection, coarse + fine CFO
 /// correction, LTF timing, LS channel estimation, pilot phase tracking
@@ -189,9 +191,9 @@ impl RxScratch {
 #[derive(Debug, Clone)]
 pub struct Receiver {
     ofdm: Ofdm,
-    /// LTF time-domain template, cached so timing search does not rebuild
-    /// it (an IFFT) per packet.
-    ltf: [Complex; FFT_SIZE],
+    /// LTF time-domain template (first `fft_size` entries valid), cached
+    /// so timing search does not rebuild it (an IFFT) per packet.
+    ltf: FreqSymbol,
     detection_threshold: f64,
     detection_run: usize,
     /// FFT window backoff into the cyclic prefix (samples).
@@ -205,9 +207,15 @@ impl Default for Receiver {
 }
 
 impl Receiver {
-    /// Creates a receiver with default synchronization parameters.
+    /// Creates an 802.11a receiver with default synchronization
+    /// parameters.
     pub fn new() -> Self {
-        let ofdm = Ofdm::new();
+        Receiver::with_profile(&IEEE_802_11A)
+    }
+
+    /// Creates a receiver for an arbitrary numerology profile.
+    pub fn with_profile(profile: &'static OfdmProfile) -> Self {
+        let ofdm = Ofdm::with_profile(profile);
         let ltf = long_training_symbol(&ofdm);
         Receiver {
             ofdm,
@@ -216,6 +224,11 @@ impl Receiver {
             detection_run: 16,
             timing_backoff: 3,
         }
+    }
+
+    /// The numerology profile this receiver demodulates with.
+    pub fn profile(&self) -> &'static OfdmProfile {
+        self.ofdm.profile()
     }
 
     /// Overrides the detection metric threshold (0..1).
@@ -248,29 +261,50 @@ impl Receiver {
         samples: &[Complex],
         scratch: &mut RxScratch,
     ) -> Result<RxSummary, RxError> {
-        let det = detect_packet_with(
+        let profile = self.profile();
+        let n = profile.fft_size;
+        let det = detect_packet_in(
             samples,
             self.detection_threshold,
             self.detection_run,
+            profile.stf_period(),
+            profile.sample_rate,
             &mut scratch.p,
             &mut scratch.r,
         )
         .ok_or(RxError::NotDetected)?;
-        correct_cfo_into(samples, det.coarse_cfo_hz, &mut scratch.coarse);
+        correct_cfo_into_at(
+            samples,
+            det.coarse_cfo_hz,
+            profile.sample_rate,
+            &mut scratch.coarse,
+        );
 
-        // The LTF body 1 nominally sits 192 samples after the STF start;
-        // search a generous window around it.
-        let w_lo = (det.start + 150).min(scratch.coarse.len());
-        let w_hi = (det.start + 280).min(scratch.coarse.len());
+        // The LTF body 1 nominally sits stf_len + ltf_guard (192 for
+        // 802.11a) samples after the STF start; search a generous window
+        // around it, scaled with the FFT size.
+        let w_lo = (det.start + (150 * n) / 64).min(scratch.coarse.len());
+        let w_hi = (det.start + (280 * n) / 64).min(scratch.coarse.len());
         if w_lo >= w_hi {
             return Err(RxError::LtfNotFound);
         }
-        let ltf1 = locate_ltf_with(&scratch.coarse, &self.ltf, w_lo..w_hi, &mut scratch.xcorr)
-            .ok_or(RxError::LtfNotFound)?;
+        let ltf1 = locate_ltf_with(
+            &scratch.coarse,
+            &self.ltf[..n],
+            w_lo..w_hi,
+            &mut scratch.xcorr,
+        )
+        .ok_or(RxError::LtfNotFound)?;
 
-        let fine = fine_cfo(&scratch.coarse, ltf1).ok_or(RxError::LtfNotFound)?;
+        let fine = fine_cfo_at(&scratch.coarse, ltf1, n, profile.sample_rate)
+            .ok_or(RxError::LtfNotFound)?;
         let total_cfo = det.coarse_cfo_hz + fine;
-        correct_cfo_into(samples, total_cfo, &mut scratch.corrected);
+        correct_cfo_into_at(
+            samples,
+            total_cfo,
+            profile.sample_rate,
+            &mut scratch.corrected,
+        );
 
         self.decode_from_into(ltf1, total_cfo, scratch)
     }
@@ -311,7 +345,12 @@ impl Receiver {
             scratch.corrected.clear();
             scratch.corrected.extend_from_slice(samples);
         } else {
-            correct_cfo_into(samples, cfo_hz, &mut scratch.corrected);
+            correct_cfo_into_at(
+                samples,
+                cfo_hz,
+                self.profile().sample_rate,
+                &mut scratch.corrected,
+            );
         }
         self.decode_from_into(ltf_start, cfo_hz, scratch)
     }
@@ -324,6 +363,10 @@ impl Receiver {
         cfo_hz: f64,
         scratch: &mut RxScratch,
     ) -> Result<RxSummary, RxError> {
+        let profile = self.profile();
+        let n = profile.fft_size;
+        let cp = profile.cp_len;
+        let sym_len = profile.symbol_len();
         let RxScratch {
             corrected,
             llrs,
@@ -339,9 +382,9 @@ impl Receiver {
         } = scratch;
         let x: &[Complex] = corrected;
         let d = self.timing_backoff;
-        if ltf1 < d || ltf1 + 2 * FFT_SIZE + SYMBOL_LEN > x.len() {
+        if ltf1 < d || ltf1 + 2 * n + sym_len > x.len() {
             return Err(RxError::Truncated {
-                needed: ltf1 + 2 * FFT_SIZE + SYMBOL_LEN,
+                needed: ltf1 + 2 * n + sym_len,
                 available: x.len(),
             });
         }
@@ -349,29 +392,29 @@ impl Receiver {
         // Channel estimate from the two LTF bodies (with timing backoff —
         // the resulting linear phase is absorbed into H and cancelled for
         // the data symbols, which use the same backoff).
-        let b1 = &x[ltf1 - d..ltf1 - d + FFT_SIZE];
-        let b2 = &x[ltf1 - d + FFT_SIZE..ltf1 - d + 2 * FFT_SIZE];
+        let b1 = &x[ltf1 - d..ltf1 - d + n];
+        let b2 = &x[ltf1 - d + n..ltf1 - d + 2 * n];
         let channel = ChannelEstimate::from_ltf(&self.ofdm, b1, b2);
         let snr_est_db = estimate_snr_db(&self.ofdm, b1, b2);
 
         // SIGNAL symbol body.
-        let sig_body_start = ltf1 + 2 * FFT_SIZE + crate::params::CP_LEN - d;
-        if sig_body_start + FFT_SIZE > x.len() {
+        let sig_body_start = ltf1 + 2 * n + cp - d;
+        if sig_body_start + n > x.len() {
             return Err(RxError::Truncated {
-                needed: sig_body_start + FFT_SIZE,
+                needed: sig_body_start + n,
                 available: x.len(),
             });
         }
         let sig_freq = self
             .ofdm
-            .demodulate_body(&x[sig_body_start..sig_body_start + FFT_SIZE]);
+            .demodulate_body(&x[sig_body_start..sig_body_start + n]);
         let sig_eq = equalize_symbol(&sig_freq, &channel, 0);
         let signal = signal_dec.decode(&sig_eq.data, Some(&sig_eq.csi))?;
 
         let rate: Rate = signal.rate;
         let n_sym = rate.data_symbols(signal.length);
-        let data_start = ltf1 + 2 * FFT_SIZE + SYMBOL_LEN; // start of first DATA symbol (incl. CP)
-        let needed = data_start + n_sym * SYMBOL_LEN - d;
+        let data_start = ltf1 + 2 * n + sym_len; // start of first DATA symbol (incl. CP)
+        let needed = data_start + n_sym * sym_len - d;
         if needed > x.len() {
             return Err(RxError::Truncated {
                 needed,
@@ -391,8 +434,8 @@ impl Receiver {
         let mut ev_acc = 0.0f64;
         let mut ev_n = 0usize;
         for m in 0..n_sym {
-            let body = data_start + m * SYMBOL_LEN + crate::params::CP_LEN - d;
-            let freq = self.ofdm.demodulate_body(&x[body..body + FFT_SIZE]);
+            let body = data_start + m * sym_len + cp - d;
+            let freq = self.ofdm.demodulate_body(&x[body..body + n]);
             let eq = equalize_symbol(&freq, &channel, m + 1);
             demap_soft_into(&eq.data, rate.modulation(), Some(&eq.csi), sym_llrs);
             il.deinterleave_append(sym_llrs, llrs);
@@ -451,6 +494,7 @@ pub fn count_bit_errors(tx: &[u8], rx: &[u8]) -> usize {
 mod tests {
     use super::*;
     use crate::params::{ALL_RATES, SAMPLE_RATE};
+    use crate::profile::ALL_PROFILES;
     use crate::transmitter::Transmitter;
     use wlan_dsp::rng::Rng;
 
@@ -487,6 +531,54 @@ mod tests {
             assert_eq!(got.signal.rate, r);
             assert_eq!(got.signal.length, 100);
             assert!(got.evm_db() < -40.0, "{r}: EVM {}", got.evm_db());
+        }
+    }
+
+    #[test]
+    fn loopback_clean_every_profile() {
+        let mut rng = Rng::new(21);
+        for p in ALL_PROFILES {
+            let rx = Receiver::with_profile(p);
+            let mut psdu = vec![0u8; 100];
+            rng.bytes(&mut psdu);
+            let burst = Transmitter::with_profile(Rate::R24, p).transmit(&psdu);
+            let got = rx
+                .receive(&burst.samples)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            assert_eq!(got.psdu, psdu, "{}", p.name);
+            assert_eq!(got.signal.rate, Rate::R24);
+            assert!(got.evm_db() < -40.0, "{}: EVM {}", p.name, got.evm_db());
+        }
+    }
+
+    #[test]
+    fn noisy_cfo_loopback_every_profile() {
+        let mut rng = Rng::new(22);
+        for p in ALL_PROFILES {
+            let rx = Receiver::with_profile(p);
+            let mut psdu = vec![0u8; 80];
+            rng.bytes(&mut psdu);
+            let burst = Transmitter::with_profile(Rate::R12, p).transmit(&psdu);
+            // Impair at the profile's own sample rate; scale the CFO with
+            // the subcarrier spacing so the fractional offset matches.
+            let cfo = 0.004 * p.sample_rate;
+            let nv = wlan_dsp::math::db_to_lin(-18.0);
+            let w = 2.0 * std::f64::consts::PI * cfo / p.sample_rate;
+            let mut rng2 = Rng::new(23);
+            let mut x: Vec<Complex> = (0..137).map(|_| rng2.complex_gaussian(nv)).collect();
+            for (n, &s) in burst.samples.iter().enumerate() {
+                x.push(s * Complex::cis(w * (137 + n) as f64) + rng2.complex_gaussian(nv));
+            }
+            x.extend((0..200).map(|_| rng2.complex_gaussian(nv)));
+            let got = rx.receive(&x).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            assert_eq!(got.psdu, psdu, "{}", p.name);
+            assert!(
+                (got.cfo_hz - cfo).abs() < 0.1 * cfo.abs().max(1.0),
+                "{}: cfo {} vs {}",
+                p.name,
+                got.cfo_hz,
+                cfo
+            );
         }
     }
 
@@ -598,7 +690,7 @@ mod tests {
     fn count_bit_errors_cases() {
         assert_eq!(count_bit_errors(&[0xff], &[0xff]), 0);
         assert_eq!(count_bit_errors(&[0xff], &[0x7f]), 1);
-        assert_eq!(count_bit_errors(&[0xff, 0x00], &[0xff]), 8);
         assert_eq!(count_bit_errors(&[], &[]), 0);
+        assert_eq!(count_bit_errors(&[0xff, 0x00], &[0xff]), 8);
     }
 }

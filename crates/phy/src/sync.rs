@@ -1,8 +1,9 @@
 //! Packet detection, carrier-frequency-offset estimation and symbol
-//! timing for the 802.11a receiver.
+//! timing for the OFDM receiver, parameterized by the numerology
+//! profile (the bare-name functions are 802.11a wrappers).
 
 use crate::ofdm::Ofdm;
-use crate::params::{FFT_SIZE, SAMPLE_RATE};
+use crate::params::SAMPLE_RATE;
 use crate::preamble::{long_training_symbol, STF_PERIOD};
 use wlan_dsp::corr::{cross_correlate_into, delay_correlate_into};
 use wlan_dsp::Complex;
@@ -17,7 +18,7 @@ pub struct Detection {
 }
 
 /// Detects a packet by the Schmidl–Cox style periodicity metric of the
-/// short training field.
+/// 802.11a short training field.
 ///
 /// `threshold` is the normalized metric `|P|/R` required (0.5–0.8 is
 /// typical); detection requires `run` consecutive samples above it.
@@ -38,8 +39,23 @@ pub fn detect_packet_with(
     p: &mut Vec<Complex>,
     r: &mut Vec<f64>,
 ) -> Option<Detection> {
-    let win = 2 * STF_PERIOD;
-    delay_correlate_into(samples, STF_PERIOD, win, p, r);
+    detect_packet_in(samples, threshold, run, STF_PERIOD, SAMPLE_RATE, p, r)
+}
+
+/// [`detect_packet_with`] for an arbitrary numerology: `stf_period` is
+/// the short-training periodicity in samples and `sample_rate` scales
+/// the CFO estimate to Hz.
+pub fn detect_packet_in(
+    samples: &[Complex],
+    threshold: f64,
+    run: usize,
+    stf_period: usize,
+    sample_rate: f64,
+    p: &mut Vec<Complex>,
+    r: &mut Vec<f64>,
+) -> Option<Detection> {
+    let win = 2 * stf_period;
+    delay_correlate_into(samples, stf_period, win, p, r);
     if p.is_empty() {
         return None;
     }
@@ -63,7 +79,7 @@ pub fn detect_packet_with(
                 // estimate.
                 let m = (start + run / 2).min(p.len() - 1);
                 let coarse_cfo_hz =
-                    -p[m].arg() * SAMPLE_RATE / (2.0 * std::f64::consts::PI * STF_PERIOD as f64);
+                    -p[m].arg() * sample_rate / (2.0 * std::f64::consts::PI * stf_period as f64);
                 return Some(Detection {
                     start,
                     coarse_cfo_hz,
@@ -76,8 +92,8 @@ pub fn detect_packet_with(
     None
 }
 
-/// Removes a carrier frequency offset of `cfo_hz` from `samples`
-/// (derotation by `e^{-j2π·cfo·n/fs}`).
+/// Removes a carrier frequency offset of `cfo_hz` from 20 Msps
+/// (802.11a) `samples` (derotation by `e^{-j2π·cfo·n/fs}`).
 pub fn correct_cfo(samples: &[Complex], cfo_hz: f64) -> Vec<Complex> {
     let mut out = Vec::new();
     correct_cfo_into(samples, cfo_hz, &mut out);
@@ -87,7 +103,17 @@ pub fn correct_cfo(samples: &[Complex], cfo_hz: f64) -> Vec<Complex> {
 /// [`correct_cfo`] writing into a caller-owned buffer (cleared first), so
 /// the coarse and fine correction passes reuse their allocations.
 pub fn correct_cfo_into(samples: &[Complex], cfo_hz: f64, out: &mut Vec<Complex>) {
-    let w = -2.0 * std::f64::consts::PI * cfo_hz / SAMPLE_RATE;
+    correct_cfo_into_at(samples, cfo_hz, SAMPLE_RATE, out);
+}
+
+/// [`correct_cfo_into`] at an explicit sample rate.
+pub fn correct_cfo_into_at(
+    samples: &[Complex],
+    cfo_hz: f64,
+    sample_rate: f64,
+    out: &mut Vec<Complex>,
+) {
+    let w = -2.0 * std::f64::consts::PI * cfo_hz / sample_rate;
     out.clear();
     out.reserve(samples.len());
     out.extend(
@@ -101,7 +127,7 @@ pub fn correct_cfo_into(samples: &[Complex], cfo_hz: f64, out: &mut Vec<Complex>
 /// Locates the first long-training symbol body by cross-correlating with
 /// the known LTF waveform inside `window` (a range of candidate start
 /// indices). Scores each candidate by the combined correlation of both
-/// repetitions (spaced 64 samples).
+/// repetitions (spaced one FFT length).
 ///
 /// Returns the sample index of the first LTF body, or `None` if the
 /// window does not fit in the signal.
@@ -112,28 +138,30 @@ pub fn locate_ltf(
 ) -> Option<usize> {
     let ltf = long_training_symbol(ofdm);
     let mut xcorr = Vec::new();
-    locate_ltf_with(samples, &ltf, window, &mut xcorr)
+    locate_ltf_with(samples, &ltf[..ofdm.profile().fft_size], window, &mut xcorr)
 }
 
-/// [`locate_ltf`] taking a precomputed LTF template and reusing a
-/// caller-owned correlation buffer — the receiver caches the template
-/// once instead of rebuilding it (an IFFT) on every packet.
+/// [`locate_ltf`] taking a precomputed LTF template (one FFT body,
+/// `ltf.len()` defines the FFT size) and reusing a caller-owned
+/// correlation buffer — the receiver caches the template once instead
+/// of rebuilding it (an IFFT) on every packet.
 pub fn locate_ltf_with(
     samples: &[Complex],
-    ltf: &[Complex; FFT_SIZE],
+    ltf: &[Complex],
     window: std::ops::Range<usize>,
     xcorr: &mut Vec<Complex>,
 ) -> Option<usize> {
-    let need = window.end + 2 * FFT_SIZE;
+    let n = ltf.len();
+    let need = window.end + 2 * n;
     if need > samples.len() || window.is_empty() {
         return None;
     }
-    let region = &samples[window.start..window.end + 2 * FFT_SIZE];
+    let region = &samples[window.start..window.end + 2 * n];
     cross_correlate_into(region, ltf, xcorr);
     let span = window.end - window.start;
     let mut best = (0usize, f64::MIN);
-    for i in 0..span.min(xcorr.len().saturating_sub(FFT_SIZE)) {
-        let score = xcorr[i].abs() + xcorr[i + FFT_SIZE].abs();
+    for i in 0..span.min(xcorr.len().saturating_sub(n)) {
+        let score = xcorr[i].abs() + xcorr[i + n].abs();
         if score > best.1 {
             best = (i, score);
         }
@@ -141,19 +169,30 @@ pub fn locate_ltf_with(
     Some(window.start + best.0)
 }
 
-/// Fine CFO estimate from the phase drift between the two long-training
-/// symbol bodies starting at `ltf_start`.
+/// Fine CFO estimate from the phase drift between the two 802.11a
+/// long-training symbol bodies starting at `ltf_start`.
 ///
 /// Returns `None` if the signal is too short.
 pub fn fine_cfo(samples: &[Complex], ltf_start: usize) -> Option<f64> {
-    if ltf_start + 2 * FFT_SIZE > samples.len() {
+    fine_cfo_at(samples, ltf_start, crate::params::FFT_SIZE, SAMPLE_RATE)
+}
+
+/// [`fine_cfo`] for an arbitrary numerology: the two bodies are
+/// `fft_size` samples each and `sample_rate` scales the estimate to Hz.
+pub fn fine_cfo_at(
+    samples: &[Complex],
+    ltf_start: usize,
+    fft_size: usize,
+    sample_rate: f64,
+) -> Option<f64> {
+    if ltf_start + 2 * fft_size > samples.len() {
         return None;
     }
     let mut acc = Complex::ZERO;
-    for k in 0..FFT_SIZE {
-        acc += samples[ltf_start + k] * samples[ltf_start + k + FFT_SIZE].conj();
+    for k in 0..fft_size {
+        acc += samples[ltf_start + k] * samples[ltf_start + k + fft_size].conj();
     }
-    Some(-acc.arg() * SAMPLE_RATE / (2.0 * std::f64::consts::PI * FFT_SIZE as f64))
+    Some(-acc.arg() * sample_rate / (2.0 * std::f64::consts::PI * fft_size as f64))
 }
 
 #[cfg(test)]
@@ -235,6 +274,19 @@ mod tests {
         // True LTF body 1 position: 160 (STF) + 32 (guard) = 192.
         let found = locate_ltf(&burst.samples, &ofdm, 100..260).expect("in range");
         assert_eq!(found, 192);
+    }
+
+    #[test]
+    fn locates_ltf_every_profile() {
+        for p in crate::profile::ALL_PROFILES {
+            let burst = Transmitter::with_profile(Rate::R24, p).transmit(&[1u8; 80]);
+            let ofdm = Ofdm::with_profile(p);
+            // True LTF body 1 position: stf_len + guard.
+            let truth = p.stf_len() + p.ltf_guard();
+            let lo = truth.saturating_sub(60);
+            let found = locate_ltf(&burst.samples, &ofdm, lo..truth + 60).expect("in range");
+            assert_eq!(found, truth, "{}", p.name);
+        }
     }
 
     #[test]

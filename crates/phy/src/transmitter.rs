@@ -1,12 +1,15 @@
-//! The complete 802.11a transmitter: PSDU in, complex-baseband burst out.
+//! The complete OFDM transmitter: PSDU in, complex-baseband burst out
+//! (802.11a by default, any numerology profile via
+//! [`Transmitter::with_profile`]).
 
 use crate::convolutional::encode_into;
 use crate::frame::{bytes_to_bits, bytes_to_bits_append};
 use crate::interleaver::Interleaver;
 use crate::modulation::map_bits_into;
 use crate::ofdm::Ofdm;
-use crate::params::{Rate, MAX_PSDU_LEN, SAMPLE_RATE, SERVICE_BITS, SYMBOL_LEN, TAIL_BITS};
-use crate::preamble::{preamble, PREAMBLE_LEN};
+use crate::params::{Rate, MAX_PSDU_LEN, SERVICE_BITS, TAIL_BITS};
+use crate::preamble::preamble;
+use crate::profile::{OfdmProfile, IEEE_802_11A};
 use crate::puncture::puncture_into;
 use crate::scrambler::{Scrambler, DEFAULT_SEED};
 use crate::signal_field::modulate_signal;
@@ -15,7 +18,7 @@ use wlan_dsp::Complex;
 /// A transmitted PPDU burst.
 #[derive(Debug, Clone)]
 pub struct Burst {
-    /// Complex-baseband samples at 20 Msps, mean power ≈ 1.
+    /// Complex-baseband samples at [`Burst::sample_rate`], mean power ≈ 1.
     pub samples: Vec<Complex>,
     /// The transmitted PSDU (payload reference for BER counting).
     pub psdu: Vec<u8>,
@@ -25,16 +28,18 @@ pub struct Burst {
     pub rate: Rate,
     /// Number of DATA OFDM symbols.
     pub data_symbols: usize,
+    /// Baseband sample rate of `samples` in Hz (20 MHz for 802.11a).
+    pub sample_rate: f64,
 }
 
 impl Burst {
     /// Burst duration in seconds.
     pub fn duration(&self) -> f64 {
-        self.samples.len() as f64 / SAMPLE_RATE
+        self.samples.len() as f64 / self.sample_rate
     }
 }
 
-/// 802.11a transmitter for a fixed rate.
+/// OFDM transmitter for a fixed rate and numerology profile.
 ///
 /// # Example
 ///
@@ -53,12 +58,19 @@ pub struct Transmitter {
 }
 
 impl Transmitter {
-    /// Creates a transmitter at `rate` with the default scrambler seed.
+    /// Creates an 802.11a transmitter at `rate` with the default
+    /// scrambler seed.
     pub fn new(rate: Rate) -> Self {
+        Transmitter::with_profile(rate, &IEEE_802_11A)
+    }
+
+    /// Creates a transmitter at `rate` for an arbitrary numerology
+    /// profile.
+    pub fn with_profile(rate: Rate, profile: &'static OfdmProfile) -> Self {
         Transmitter {
             rate,
             scrambler_seed: DEFAULT_SEED,
-            ofdm: Ofdm::new(),
+            ofdm: Ofdm::with_profile(profile),
         }
     }
 
@@ -91,6 +103,11 @@ impl Transmitter {
         self.rate
     }
 
+    /// The numerology profile this transmitter modulates with.
+    pub fn profile(&self) -> &'static OfdmProfile {
+        self.ofdm.profile()
+    }
+
     /// Builds the PPDU burst for `psdu`.
     ///
     /// # Panics
@@ -106,6 +123,7 @@ impl Transmitter {
             psdu_bits: bytes_to_bits(psdu),
             rate: self.rate,
             data_symbols: n_sym,
+            sample_rate: self.profile().sample_rate,
         }
     }
 
@@ -132,6 +150,7 @@ impl Transmitter {
     ) -> usize {
         assert!(!psdu.is_empty(), "PSDU must not be empty");
         assert!(psdu.len() <= MAX_PSDU_LEN, "PSDU too long");
+        let profile = self.profile();
         let ndbps = self.rate.ndbps();
         let n_sym = self.rate.data_symbols(psdu.len());
         let payload_bits = SERVICE_BITS + 8 * psdu.len() + TAIL_BITS;
@@ -148,7 +167,16 @@ impl Transmitter {
             preamble: pre,
             signal_sym,
             signal_key,
+            profile: cached_profile,
         } = scratch;
+
+        // The cached sub-waveforms are profile-dependent; invalidate them
+        // if this scratch last served a different numerology.
+        if *cached_profile != Some(profile.name) {
+            pre.clear();
+            *signal_key = None;
+            *cached_profile = Some(profile.name);
+        }
 
         // SERVICE (16 zero bits) + PSDU + tail + pad.
         bits.clear();
@@ -172,7 +200,7 @@ impl Transmitter {
         debug_assert_eq!(punctured.len(), n_sym * self.rate.ncbps());
 
         // Cached deterministic sub-waveforms: the preamble depends only
-        // on the (fixed) OFDM plan; the SIGNAL symbol on (rate, length).
+        // on the OFDM plan; the SIGNAL symbol on (rate, length).
         if pre.is_empty() {
             *pre = preamble(&self.ofdm);
         }
@@ -186,7 +214,7 @@ impl Transmitter {
         let il = &il.as_ref().expect("interleaver cached above").1;
 
         samples.clear();
-        samples.reserve(PREAMBLE_LEN + SYMBOL_LEN * (1 + n_sym));
+        samples.reserve(profile.preamble_len() + profile.symbol_len() * (1 + n_sym));
         samples.extend_from_slice(pre);
         samples.extend_from_slice(signal_sym);
         let modulation = self.rate.modulation();
@@ -213,12 +241,15 @@ pub struct TxScratch {
     preamble: Vec<Complex>,
     signal_sym: Vec<Complex>,
     signal_key: Option<(Rate, usize)>,
+    /// Profile the cached waveforms were generated for.
+    profile: Option<&'static str>,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::params::ALL_RATES;
+    use crate::profile::{ALL_PROFILES, HALF_CLOCK, WIDE_40};
     use wlan_dsp::complex::mean_power;
     use wlan_dsp::rng::Rng;
 
@@ -236,6 +267,20 @@ mod tests {
     }
 
     #[test]
+    fn burst_length_all_profiles() {
+        for p in ALL_PROFILES {
+            let burst = Transmitter::with_profile(Rate::R24, p).transmit(&[0x3C; 123]);
+            assert_eq!(
+                burst.samples.len(),
+                p.burst_len(Rate::R24, 123),
+                "{}",
+                p.name
+            );
+            assert_eq!(burst.sample_rate, p.sample_rate, "{}", p.name);
+        }
+    }
+
+    #[test]
     fn burst_power_near_unity() {
         let burst = Transmitter::new(Rate::R54).transmit(&[0x5A; 500]);
         let p = mean_power(&burst.samples);
@@ -247,6 +292,45 @@ mod tests {
         // 9 data symbols → (320 + 80 + 720) samples / 20 MHz = 56 µs.
         let burst = Transmitter::new(Rate::R24).transmit(&[0u8; 100]);
         assert!((burst.duration() - 56e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_clock_doubles_duration() {
+        let a = Transmitter::new(Rate::R24).transmit(&[0u8; 100]);
+        let h = Transmitter::with_profile(Rate::R24, &HALF_CLOCK).transmit(&[0u8; 100]);
+        assert_eq!(a.samples.len(), h.samples.len());
+        assert!((h.duration() - 2.0 * a.duration()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_clock_samples_match_11a_exactly() {
+        // Same grid, different clock: the baseband waveform is identical.
+        let a = Transmitter::new(Rate::R36).transmit(&[7u8; 64]);
+        let h = Transmitter::with_profile(Rate::R36, &HALF_CLOCK).transmit(&[7u8; 64]);
+        assert_eq!(a.samples, h.samples);
+    }
+
+    #[test]
+    fn wide_40_keeps_symbol_duration() {
+        // Twice the samples per symbol at twice the rate: 4 µs symbols.
+        let w = Transmitter::with_profile(Rate::R24, &WIDE_40).transmit(&[0u8; 100]);
+        assert!((w.duration() - 56e-6).abs() < 1e-12);
+        assert_eq!(w.samples.len(), 2 * (320 + 80 + 9 * 80));
+    }
+
+    #[test]
+    fn scratch_reuse_across_profiles_invalidates_caches() {
+        let mut scratch = TxScratch::default();
+        let mut samples = Vec::new();
+        let tx_a = Transmitter::new(Rate::R12);
+        let tx_w = Transmitter::with_profile(Rate::R12, &WIDE_40);
+        tx_a.transmit_into(&[9u8; 50], &mut scratch, &mut samples);
+        let direct_w = tx_w.transmit(&[9u8; 50]);
+        tx_w.transmit_into(&[9u8; 50], &mut scratch, &mut samples);
+        assert_eq!(samples, direct_w.samples);
+        let direct_a = tx_a.transmit(&[9u8; 50]);
+        tx_a.transmit_into(&[9u8; 50], &mut scratch, &mut samples);
+        assert_eq!(samples, direct_a.samples);
     }
 
     #[test]

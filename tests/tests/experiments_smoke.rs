@@ -43,7 +43,7 @@ fn table2_smoke() {
 
 #[test]
 fn ip3_smoke() {
-    let r = ip3::run(Effort::quick(), -35.0, -5.0, 3, 5);
+    let r = ip3::run(Effort::quick(), -35.0, -5.0, 3, 5, &wlan_phy::IEEE_802_11A);
     assert_eq!(r.points.len(), 3);
     assert!(r.points[0].ber >= r.points[2].ber);
 }
@@ -69,6 +69,6 @@ fn rf_char_smoke() {
 
 #[test]
 fn ber_snr_smoke() {
-    let r = ber_snr::run(Effort::quick(), &[10.0, 24.0], 9);
+    let r = ber_snr::run(Effort::quick(), &[10.0, 24.0], 9, &wlan_phy::IEEE_802_11A);
     assert_eq!(r.points.len(), 16);
 }

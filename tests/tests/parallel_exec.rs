@@ -95,13 +95,22 @@ fn early_stopping_decisions_are_thread_invariant() {
 #[test]
 fn experiment_sweep_is_thread_invariant_end_to_end() {
     // Full RF-chain experiment through the engine: 1 vs 4 threads.
-    let serial = ip3::run_parallel(Effort::quick(), -35.0, -15.0, 2, 11, &Engine::serial());
+    let serial = ip3::run_parallel(
+        Effort::quick(),
+        -35.0,
+        -15.0,
+        2,
+        11,
+        &wlan_phy::IEEE_802_11A,
+        &Engine::serial(),
+    );
     let par = ip3::run_parallel(
         Effort::quick(),
         -35.0,
         -15.0,
         2,
         11,
+        &wlan_phy::IEEE_802_11A,
         &Engine::with_threads(4),
     );
     assert_eq!(serial.points.len(), par.points.len());

@@ -188,7 +188,16 @@ fn trait_run_bit_identical_to_legacy_blocking() {
     };
     let mut ctx = RunContext::serial_reference(Effort::quick(), 5);
     let via_trait = execute(&EXP, &mut ctx).snapshot;
-    let legacy = blocking::run(Effort::quick(), Rate::R12, 10.0, 30.0, 2, 5).snapshot();
+    let legacy = blocking::run(
+        Effort::quick(),
+        Rate::R12,
+        10.0,
+        30.0,
+        2,
+        5,
+        &wlan_phy::IEEE_802_11A,
+    )
+    .snapshot();
     assert_eq!(via_trait, legacy);
 }
 
